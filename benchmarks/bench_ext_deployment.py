@@ -1,0 +1,92 @@
+"""Extension bench: deployment metrics beyond the paper's tables.
+
+Energy per inference, battery life, and AXI I/O balance for every Table I
+configuration, plus a fault-tolerance sweep — the analyses a
+resource-stringent deployment (the paper's BCI motivation) asks for next.
+Recorded in EXPERIMENTS.md under "Beyond the paper".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import TASKS, write_result
+from repro.core import UniVSAConfig
+from repro.hw import (
+    PAPER_CONFIGS,
+    HardwareSpec,
+    energy_report,
+    fault_sweep,
+    io_analysis,
+)
+from repro.utils.tables import render_table
+
+
+@pytest.fixture(scope="module")
+def deployment_rows():
+    rows = {}
+    for name in TASKS:
+        shape, classes, tup = PAPER_CONFIGS[name]
+        spec = HardwareSpec(UniVSAConfig.from_paper_tuple(tup), shape, classes)
+        rows[name] = (energy_report(spec), io_analysis(spec))
+    return rows
+
+
+def test_deployment_report(deployment_rows, results_dir, benchmark):
+    rows = []
+    for name in TASKS:
+        energy, io = deployment_rows[name]
+        rows.append(
+            [
+                name,
+                f"{energy.energy_per_inference_uj:.2f}",
+                f"{energy.battery_hours(200, 50):.0f}",
+                io.input_bytes,
+                f"{io.transfer_cycles}",
+                f"{io.compute_interval}",
+                "I/O" if io.io_bound else "compute",
+            ]
+        )
+    table = render_table(
+        ["task", "uJ/inf", "hours@50/s (200mWh)", "in bytes", "xfer cyc", "conv cyc", "bound"],
+        rows,
+        title="Deployment extension — energy, battery, and AXI I/O balance",
+    )
+    write_result(results_dir, "ext_deployment.txt", table)
+    shape, classes, tup = PAPER_CONFIGS["isolet"]
+    spec = HardwareSpec(UniVSAConfig.from_paper_tuple(tup), shape, classes)
+    benchmark(energy_report, spec)
+
+
+def test_all_tasks_microjoule_and_compute_bound(deployment_rows, benchmark):
+    for name in TASKS:
+        energy, io = deployment_rows[name]
+        assert energy.energy_per_inference_uj < 100, name
+        assert not io.io_bound, name
+    benchmark(lambda: [deployment_rows[n][0].power_w for n in TASKS])
+
+
+def test_fault_tolerance_report(univsa_runs, results_dir, benchmark):
+    """Bit-flip robustness of the trained HAR model."""
+    run = univsa_runs["har"]
+    sweep = fault_sweep(
+        run.artifacts,
+        run.data.x_test,
+        run.data.y_test,
+        flip_fractions=(0.001, 0.01, 0.05, 0.1),
+        seed=0,
+    )
+    rows = [
+        [f"{f:.1%}", f"{acc:.4f}", f"{acc - sweep.baseline_accuracy:+.4f}"]
+        for f, acc in zip(sweep.flip_fractions, sweep.accuracies)
+    ]
+    table = render_table(
+        ["flip rate", "accuracy", "delta"],
+        rows,
+        title=f"Fault tolerance (har, fault-free {sweep.baseline_accuracy:.4f})",
+    )
+    write_result(results_dir, "ext_fault_tolerance.txt", table)
+    # Graceful degradation: sub-percent corruption costs < 10 points.
+    assert sweep.accuracies[0] > sweep.baseline_accuracy - 0.1
+    benchmark(lambda: sweep.accuracies[-1])

@@ -1,0 +1,107 @@
+"""Extension bench: the full accuracy/hardware Pareto frontier.
+
+The paper's Eq. 7 scalarization picks one trade-off point; the NSGA-II
+search exposes the whole frontier.  This bench runs it with the fast
+accuracy proxy on one benchmark and renders the frontier as an ASCII
+scatter (accuracy vs Eq. 5 memory).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import FAST, write_result
+from repro.analysis import scatter
+from repro.data import get_benchmark, load
+from repro.hw import hardware_penalty, memory_kb
+from repro.search import AccuracyProxy, SearchSpace, nsga2_search
+from repro.utils.tables import render_table
+
+TASK = "bci-iii-v"
+
+
+@pytest.fixture(scope="module")
+def frontier_result():
+    benchmark = get_benchmark(TASK)
+    data = load(
+        TASK,
+        n_train=120 if FAST else 360,
+        n_test=60 if FAST else 180,
+        seed=0,
+    )
+    proxy = AccuracyProxy(
+        data.x_train,
+        data.y_train,
+        data.x_test,
+        data.y_test,
+        n_classes=benchmark.n_classes,
+        epochs=2 if FAST else 4,
+        max_train_samples=96 if FAST else 240,
+    )
+
+    def penalty(config):
+        return hardware_penalty(config, benchmark.input_shape, benchmark.n_classes)
+
+    result = nsga2_search(
+        proxy,
+        penalty,
+        SearchSpace(out_channel_choices=tuple(range(8, 129, 24))),
+        population=4 if FAST else 10,
+        generations=2 if FAST else 5,
+        seed=0,
+    )
+    return result, benchmark
+
+
+def test_pareto_report(frontier_result, results_dir, benchmark):
+    result, benchmark_def = frontier_result
+    rows = []
+    memories = []
+    accuracies = []
+    for point in result.frontier:
+        memory = memory_kb(point.config, benchmark_def.input_shape, benchmark_def.n_classes)
+        rows.append(
+            [
+                str(point.config.as_paper_tuple()),
+                f"{point.accuracy:.4f}",
+                f"{point.penalty:.4f}",
+                f"{memory:.2f}",
+            ]
+        )
+        memories.append(memory)
+        accuracies.append(point.accuracy)
+    table = render_table(
+        ["config (D_H,D_L,D_K,O,Th)", "accuracy", "L_HW", "memory_KB"],
+        rows,
+        title=f"Pareto frontier — {TASK} ({len(result.evaluated)} configs trained)",
+    )
+    chart = (
+        scatter(
+            memories,
+            accuracies,
+            width=56,
+            height=12,
+            title="accuracy (y) vs memory KB (x)",
+        )
+        if len(memories) >= 2
+        else "(frontier collapsed to one point)"
+    )
+    write_result(results_dir, "ext_pareto.txt", table + "\n\n" + chart)
+    benchmark(lambda: len(result.frontier))
+
+
+def test_frontier_is_non_dominated(frontier_result, benchmark):
+    result, _ = frontier_result
+    for a in result.frontier:
+        for b in result.frontier:
+            assert not a.dominates(b) or a == b
+    benchmark(lambda: result.best_accuracy().accuracy)
+
+
+def test_frontier_spans_tradeoff(frontier_result, benchmark):
+    result, _ = frontier_result
+    best = result.best_accuracy()
+    cheapest = result.cheapest()
+    assert best.accuracy >= cheapest.accuracy
+    assert cheapest.penalty <= best.penalty
+    benchmark(lambda: cheapest.penalty)

@@ -1,0 +1,163 @@
+"""Fig. 4 reproduction: ablation of DVP / BiConv / SV over vector dimension.
+
+Five variants are trained per value-vector dimension D on the EEGMMI
+stand-in (the paper's Fig. 4 dataset): plain binary VSA, +DVP, +BiConv,
++SV, and full UniVSA.  Reported per point: mean accuracy +/- std over
+seeds (the bars of Fig. 4) and the Eq. 5 memory footprint (the line),
+plus the Sec. III-B memory-overhead percentages of each enhancement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_SEEDS, FAST, write_result
+from repro.core import UniVSAConfig, train_univsa
+from repro.data import load
+from repro.hw import memory_bits
+from repro.utils.tables import render_table
+from repro.utils.trainloop import TrainConfig
+
+DIMS = (2, 4) if FAST else (2, 4, 8, 16)
+SEEDS = tuple(range(1 if FAST else BENCH_SEEDS))
+EPOCHS = 3 if FAST else 10
+N_TRAIN, N_TEST = (120, 60) if FAST else (500, 250)
+
+VARIANTS = {
+    "VSA": dict(use_dvp=False, use_biconv=False, voters=1),
+    "+DVP": dict(use_dvp=True, use_biconv=False, voters=1),
+    "+BiConv": dict(use_dvp=False, use_biconv=True, voters=1),
+    "+SV": dict(use_dvp=False, use_biconv=False, voters=3),
+    "UniVSA": dict(use_dvp=True, use_biconv=True, voters=3),
+}
+
+
+def _config(dim: int, variant: dict) -> UniVSAConfig:
+    return UniVSAConfig(
+        d_high=dim,
+        d_low=max(1, dim // 4),
+        kernel_size=3,
+        out_channels=dim,
+        voters=variant["voters"],
+        use_dvp=variant["use_dvp"],
+        use_biconv=variant["use_biconv"],
+        high_fraction=0.6,
+    )
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    data = load("eegmmi", n_train=N_TRAIN, n_test=N_TEST, seed=0)
+    results: dict[tuple[str, int], tuple[float, float, float]] = {}
+    for dim in DIMS:
+        for variant_name, variant in VARIANTS.items():
+            config = _config(dim, variant)
+            accuracies = []
+            for seed in SEEDS:
+                run = train_univsa(
+                    data.x_train,
+                    data.y_train,
+                    n_classes=2,
+                    config=config,
+                    train_config=TrainConfig(epochs=EPOCHS, lr=0.008, seed=seed),
+                )
+                accuracies.append(run.artifacts.score(data.x_test, data.y_test))
+            memory = memory_bits(config, (16, 64), 2) / 8000.0
+            results[(variant_name, dim)] = (
+                float(np.mean(accuracies)),
+                float(np.std(accuracies)),
+                memory,
+            )
+    return results
+
+
+def test_fig4_report(ablation, results_dir, benchmark):
+    rows = []
+    for dim in DIMS:
+        for variant in VARIANTS:
+            mean, std, memory = ablation[(variant, dim)]
+            rows.append([dim, variant, f"{mean:.4f}", f"{std:.4f}", f"{memory:.2f}"])
+    table = render_table(
+        ["D", "variant", "acc_mean", "acc_std", "memory_KB"],
+        rows,
+        title="Fig. 4 — ablation over vector dimension (EEGMMI stand-in)",
+    )
+
+    # Sec. III-B: per-enhancement memory overhead at the paper's Fig. 4
+    # scale (relative to the plain-VSA footprint at the same D).
+    dim = DIMS[-1]
+    base = memory_bits(_config(dim, VARIANTS["VSA"]), (16, 64), 2)
+    overhead_rows = []
+    for variant in ("+DVP", "+BiConv", "+SV"):
+        extra = memory_bits(_config(dim, VARIANTS[variant]), (16, 64), 2) - base
+        overhead_rows.append([variant, f"{extra / base * 100:+.2f}%"])
+    overhead = render_table(
+        ["enhancement", "memory overhead"],
+        overhead_rows,
+        title=f"Sec. III-B — enhancement memory overhead at D={dim}",
+    )
+
+    # Same accounting at the paper's EEGMMI configuration (the reference
+    # the paper's +0.59% / +5.64% / +0.39% numbers live at): each
+    # enhancement's stored bits as a share of the full model.
+    paper_config = UniVSAConfig.from_paper_tuple((8, 2, 3, 95, 1))
+    total = memory_bits(paper_config, (16, 64), 2)
+    vl_bits = paper_config.levels * paper_config.d_low
+    kernel_bits = (
+        paper_config.out_channels * paper_config.d_high * paper_config.kernel_size**2
+    )
+    extra_voter_bits = 16 * 64 * 2  # one extra similarity layer (C x W x L)
+    paper_overhead = render_table(
+        ["enhancement", "stored bits", "share of model", "paper"],
+        [
+            ["DVP (V_L)", vl_bits, f"{vl_bits / total * 100:+.2f}%", "+0.59%"],
+            ["BiConv (K)", kernel_bits, f"{kernel_bits / total * 100:+.2f}%", "+5.64%"],
+            ["SV (+1 voter)", extra_voter_bits, f"{extra_voter_bits / total * 100:+.2f}%", "+0.39%"],
+        ],
+        title="Sec. III-B — overhead at the paper's EEGMMI config (8,2,3,95,1)",
+    )
+    write_result(
+        results_dir,
+        "fig4_ablation.txt",
+        table + "\n\n" + overhead + "\n\n" + paper_overhead,
+    )
+    benchmark(memory_bits, _config(8, VARIANTS["UniVSA"]), (16, 64), 2)
+
+
+@pytest.mark.skipif(FAST, reason="ordering claims need full budgets")
+def test_biconv_improves_plain_vsa(ablation, benchmark):
+    """Fig. 4: BiConv consistently improves accuracy across dimensions."""
+    wins = sum(
+        ablation[("+BiConv", d)][0] > ablation[("VSA", d)][0] for d in DIMS
+    )
+    assert wins >= len(DIMS) - 1  # allow one noisy tie
+    benchmark(lambda: wins)
+
+
+@pytest.mark.skipif(FAST, reason="ordering claims need full budgets")
+def test_univsa_tops_the_ablation(ablation, benchmark):
+    """The combined model is at least as good as every single enhancement
+    at the largest dimension."""
+    dim = DIMS[-1]
+    univsa = ablation[("UniVSA", dim)][0]
+    for variant in ("VSA", "+DVP", "+SV"):
+        assert univsa >= ablation[(variant, dim)][0] - 0.02, variant
+    benchmark(lambda: univsa)
+
+
+def test_enhancement_memory_is_tiny(ablation, benchmark):
+    """Sec. III-B: enhancement memory is small vs the overall footprint.
+
+    The paper's percentages (+0.59% DVP, +5.64% BiConv, +0.39% SV) are
+    relative to its full EEGMMI model (O=95); at the small ablation dims
+    the relative numbers are larger, so the assertions bound each
+    enhancement at that scale: DVP < 10%, BiConv < 15%, SV < 25%.
+    """
+    dim = 16  # pure arithmetic: evaluated at the full-sweep scale always
+    base = memory_bits(_config(dim, VARIANTS["VSA"]), (16, 64), 2)
+    bounds = {"+DVP": 0.10, "+BiConv": 0.15, "+SV": 0.25}
+    for variant, bound in bounds.items():
+        extra = memory_bits(_config(dim, VARIANTS[variant]), (16, 64), 2) - base
+        assert extra / base < bound, variant
+    benchmark(lambda: base)

@@ -1,0 +1,100 @@
+"""Fig. 6 reproduction: per-stage hardware overhead of UniVSA.
+
+For every task, the resource (LUT share) and execution-time (cycle share)
+of each computing stage, plus the memory distribution over the stored
+vector groups — reproducing the figure's two claims: BiConv dominates
+resources and time; F/C dominate the memory footprint.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import TASKS, write_result
+from repro.core import UniVSAConfig
+from repro.hw import (
+    PAPER_CONFIGS,
+    HardwareSpec,
+    memory_breakdown,
+    stage_cycles,
+    stage_lut_shares,
+)
+from repro.utils.tables import render_table
+
+STAGES = ("dvp", "biconv", "encode", "similarity", "control")
+
+
+@pytest.fixture(scope="module")
+def breakdowns():
+    out = {}
+    for name in TASKS:
+        shape, classes, tup = PAPER_CONFIGS[name]
+        config = UniVSAConfig.from_paper_tuple(tup)
+        spec = HardwareSpec(config, shape, classes)
+        cycles = stage_cycles(spec).as_dict()
+        total_cycles = sum(cycles.values())
+        out[name] = {
+            "luts": stage_lut_shares(spec),
+            "cycles": {k: v / total_cycles for k, v in cycles.items()},
+            "memory": memory_breakdown(config, shape, classes),
+        }
+    return out
+
+
+def test_fig6_report(breakdowns, results_dir, benchmark):
+    lut_rows = [
+        [name] + [f"{breakdowns[name]['luts'][s] * 100:.1f}%" for s in STAGES]
+        for name in TASKS
+    ]
+    cycle_rows = [
+        [name] + [f"{breakdowns[name]['cycles'][s] * 100:.1f}%" for s in STAGES]
+        for name in TASKS
+    ]
+    memory_rows = []
+    for name in TASKS:
+        b = breakdowns[name]["memory"]
+        total = b.total_bits
+        memory_rows.append(
+            [name]
+            + [f"{bits / total * 100:.1f}%" for bits in b.as_dict().values()]
+            + [f"{b.total_kb:.2f}"]
+        )
+    content = "\n\n".join(
+        [
+            render_table(["task", *STAGES], lut_rows, title="Fig. 6a — LUT share per stage"),
+            render_table(["task", *STAGES], cycle_rows, title="Fig. 6b — cycle share per stage"),
+            render_table(
+                ["task", "V", "K", "F", "C", "total_KB"],
+                memory_rows,
+                title="Fig. 6c — memory share per stored vector group (Eq. 5)",
+            ),
+        ]
+    )
+    write_result(results_dir, "fig6_stage_breakdown.txt", content)
+    shape, classes, tup = PAPER_CONFIGS["eegmmi"]
+    spec = HardwareSpec(UniVSAConfig.from_paper_tuple(tup), shape, classes)
+    benchmark(stage_lut_shares, spec)
+
+
+def test_biconv_dominates_everywhere(breakdowns, benchmark):
+    """The figure's headline: BiConv leads both resources and time."""
+    for name in TASKS:
+        luts = breakdowns[name]["luts"]
+        cycles = breakdowns[name]["cycles"]
+        assert max(luts, key=luts.get) == "biconv", name
+        assert max(cycles, key=cycles.get) == "biconv", name
+    benchmark(lambda: [breakdowns[n]["luts"]["biconv"] for n in TASKS])
+
+
+def test_kernel_memory_is_tiny_f_c_dominate(breakdowns, benchmark):
+    """Sec. V-C: F (or C for many classes) dominates memory; K stays small
+    (largest share on BCI-III-V, whose input is tiny while O=151)."""
+    for name in TASKS:
+        b = breakdowns[name]["memory"]
+        assert b.feature_bits + b.class_bits > 0.5 * b.total_bits, name
+        assert b.kernel_bits < b.feature_bits + b.class_bits, name
+    # For the large-input tasks the kernel is truly negligible.
+    for name in ("eegmmi", "chb-b", "chb-ib", "isolet", "har"):
+        b = breakdowns[name]["memory"]
+        assert b.kernel_bits < 0.1 * b.total_bits, name
+    benchmark(lambda: breakdowns["eegmmi"]["memory"].total_bits)

@@ -1,0 +1,171 @@
+"""Table II reproduction: accuracy + memory for all six models x six tasks.
+
+Regenerates the paper's software comparison — LDA, KNN (K=5), RBF-SVM,
+LeHDC, LDC (D=128), UniVSA (Table I configs) — on the synthetic stand-in
+benchmarks, printing measured-vs-paper rows and checking the ordering
+claims the paper makes in Sec. V-B.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import (
+    BENCH_EPOCHS,
+    FAST,
+    PAPER_TABLE2,
+    TASKS,
+    write_result,
+)
+from repro.baselines import (
+    KNNClassifier,
+    LDAClassifier,
+    SVMClassifier,
+    bits_to_kb,
+)
+from repro.core import BitPackedUniVSA
+from repro.ldc import train_ldc
+from repro.lehdc import LeHDCClassifier
+from repro.utils.tables import render_table
+from repro.utils.trainloop import TrainConfig
+
+# LeHDC's deployed dimension is 10k in the paper; training a 10k-dim dense
+# layer in numpy is feasible but slow, so the bench scales it down and the
+# memory column reports the actual dimension used.
+LEHDC_DIM = 1024 if FAST else 4096
+
+
+@pytest.fixture(scope="module")
+def table2(datasets, univsa_runs):
+    """Accuracy and memory (KB) for every (model, task) pair."""
+    epochs = 4 if FAST else BENCH_EPOCHS
+    results: dict[str, dict[str, tuple[float, float | None]]] = {}
+    for name in TASKS:
+        data = datasets[name]
+        balanced = data.benchmark.spec.class_balance is not None
+        config = TrainConfig(epochs=epochs, lr=0.008, seed=0, balance_classes=balanced)
+        flat_train = data.flat_train().astype(np.float64)
+        flat_test = data.flat_test().astype(np.float64)
+        row: dict[str, tuple[float, float | None]] = {}
+
+        lda = LDAClassifier().fit(flat_train, data.y_train)
+        row["LDA"] = (lda.score(flat_test, data.y_test), lda.memory_footprint_bits())
+
+        knn = KNNClassifier(k=5).fit(flat_train, data.y_train)
+        row["KNN"] = (knn.score(flat_test, data.y_test), None)
+
+        svm = SVMClassifier(c=2.0).fit(flat_train, data.y_train)
+        row["SVM"] = (svm.score(flat_test, data.y_test), svm.memory_footprint_bits())
+
+        lehdc = LeHDCClassifier(
+            dim=LEHDC_DIM,
+            seed=0,
+            train_config=TrainConfig(epochs=epochs, lr=0.01, seed=0, balance_classes=balanced),
+        ).fit(data.x_train, data.y_train)
+        row["LeHDC"] = (
+            lehdc.score(data.x_test, data.y_test),
+            lehdc.memory_footprint_bits(),
+        )
+
+        ldc = train_ldc(
+            data.x_train,
+            data.y_train,
+            n_classes=data.benchmark.n_classes,
+            dim=128,
+            config=config,
+        )
+        row["LDC"] = (
+            ldc.artifacts.score(data.flat_test(), data.y_test),
+            ldc.artifacts.memory_footprint_bits(),
+        )
+
+        run = univsa_runs[name]
+        row["UniVSA"] = (run.accuracy, run.artifacts.memory_footprint_bits())
+        results[name] = row
+    return results
+
+
+MODELS = ("LDA", "KNN", "SVM", "LeHDC", "LDC", "UniVSA")
+
+
+def test_table2_report(table2, results_dir, benchmark, univsa_runs):
+    """Render the measured Table II next to the paper's numbers."""
+    rows = []
+    for name in TASKS:
+        rows.append(
+            [name]
+            + [f"{table2[name][m][0]:.4f}" for m in MODELS]
+            + [f"{PAPER_TABLE2[name]['UniVSA']:.4f}"]
+        )
+    averages = ["average"] + [
+        f"{np.mean([table2[t][m][0] for t in TASKS]):.4f}" for m in MODELS
+    ] + [f"{np.mean([PAPER_TABLE2[t]['UniVSA'] for t in TASKS]):.4f}"]
+    rows.append(averages)
+    accuracy_table = render_table(
+        ["task", *MODELS, "UniVSA(paper)"],
+        rows,
+        title="Table II (accuracy) — measured on synthetic stand-ins",
+    )
+    memory_rows = []
+    for name in TASKS:
+        memory_rows.append(
+            [name]
+            + [
+                "-" if table2[name][m][1] is None else f"{bits_to_kb(table2[name][m][1]):.2f}"
+                for m in MODELS
+            ]
+        )
+    memory_table = render_table(
+        ["task", *MODELS],
+        memory_rows,
+        title="Table II (memory, KB; KNN stores the training set)",
+    )
+    write_result(results_dir, "table2_accuracy.txt", accuracy_table + "\n\n" + memory_table)
+
+    # Benchmark the deployed inference kernel (packed XNOR/popcount).
+    run = univsa_runs["isolet"]
+    packed = BitPackedUniVSA(run.artifacts)
+    batch = run.data.x_test[:64]
+    benchmark(packed.predict, batch)
+
+
+@pytest.mark.skipif(FAST, reason="ordering claims need full budgets")
+def test_univsa_beats_ldc_everywhere(table2, benchmark):
+    """Sec. V-B: 'UniVSA shows superior accuracy across all tasks' vs LDC."""
+    for name in TASKS:
+        assert table2[name]["UniVSA"][0] >= table2[name]["LDC"][0] - 1e-9, name
+    benchmark(lambda: sum(table2[t]["UniVSA"][0] for t in TASKS))
+
+
+@pytest.mark.skipif(FAST, reason="ordering claims need full budgets")
+def test_paper_orderings_hold(table2, benchmark):
+    """Task-level qualitative claims of Table II."""
+    # KNN is at/near the top on BCI-III-V (clearly above LDA and the
+    # binary VSA models; within noise of the single best model).
+    bci = table2["bci-iii-v"]
+    assert bci["KNN"][0] >= max(bci[m][0] for m in MODELS) - 0.05
+    assert bci["KNN"][0] > bci["LDA"][0]
+    assert bci["KNN"][0] > bci["LDC"][0]
+    # KNN collapses on HAR (clearly below every learned VSA model).
+    har = table2["har"]
+    assert har["KNN"][0] < har["LDC"][0] - 0.1
+    assert har["KNN"][0] < har["UniVSA"][0] - 0.1
+    # LDA is the weakest model on EEGMMI.
+    eeg = table2["eegmmi"]
+    assert eeg["LDA"][0] == min(eeg[m][0] for m in MODELS)
+    benchmark(lambda: max(bci[m][0] for m in MODELS))
+
+
+@pytest.mark.skipif(FAST, reason="ordering claims need full budgets")
+def test_univsa_smallest_average_memory(table2, benchmark):
+    """UniVSA's average memory is the smallest of the stored models."""
+    averages = {
+        m: np.mean([table2[t][m][1] for t in TASKS])
+        for m in MODELS
+        if m != "KNN"
+    }
+    assert averages["UniVSA"] == min(averages.values())
+    # SVM is orders of magnitude larger than the binary VSA models.
+    assert averages["SVM"] > 50 * averages["UniVSA"]
+    benchmark(lambda: min(averages.values()))

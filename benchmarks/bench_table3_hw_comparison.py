@@ -1,0 +1,97 @@
+"""Table III reproduction: UniVSA hardware vs published accelerators.
+
+The SVM/KNN/BNN/QNN/LookHD rows are the literature constants the paper
+itself cites; the LDC row is the published LDC implementation; the UniVSA
+row (ISOLET config) comes from our calibrated hardware model.  The tests
+check the paper's comparison claims (Sec. V-C ① and ②).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.core import UniVSAConfig
+from repro.hw import PAPER_CONFIGS, PAPER_TABLE3, hardware_report
+from repro.utils.tables import render_table
+
+
+@pytest.fixture(scope="module")
+def univsa_row():
+    shape, classes, tup = PAPER_CONFIGS["isolet"]
+    report = hardware_report(
+        UniVSAConfig.from_paper_tuple(tup), shape, classes, name="UniVSA (ours)"
+    )
+    return {
+        "fpga": "Zynq-ZU3EG",
+        "input": "(16,40) / 26",
+        "freq_mhz": 250,
+        "memory_kb": report.memory_kb,
+        "latency_ms": report.latency_ms,
+        "power_w": report.power_w,
+        "luts": report.luts,
+        "brams": report.brams,
+        "dsps": report.dsps,
+    }
+
+
+def _fmt(value, pattern="{:.2f}"):
+    if value is None:
+        return "-"
+    return pattern.format(value)
+
+
+def test_table3_report(univsa_row, results_dir, benchmark):
+    rows = []
+    for name, row in {**PAPER_TABLE3, "UniVSA (ours)": univsa_row}.items():
+        rows.append(
+            [
+                name,
+                row["fpga"],
+                row["input"],
+                _fmt(row["freq_mhz"], "{:.0f}"),
+                _fmt(row["memory_kb"]),
+                _fmt(row["latency_ms"], "{:.3f}"),
+                _fmt(row["power_w"]),
+                f"{row['luts'] / 1000:.2f}",
+                _fmt(row["brams"], "{:.0f}"),
+                _fmt(row["dsps"], "{:.0f}"),
+            ]
+        )
+    table = render_table(
+        ["model", "FPGA", "input/classes", "MHz", "mem_KB", "lat_ms", "W", "kLUT", "BRAM", "DSP"],
+        rows,
+        title="Table III — UniVSA (calibrated model) vs published implementations",
+    )
+    write_result(results_dir, "table3_hw_comparison.txt", table)
+    shape, classes, tup = PAPER_CONFIGS["isolet"]
+    benchmark(
+        hardware_report, UniVSAConfig.from_paper_tuple(tup), shape, classes
+    )
+
+
+def test_univsa_vs_conventional_ml(univsa_row, benchmark):
+    """Claim ①: far lower resources/power/latency than SVM/KNN/BNN/QNN."""
+    for other in ("SVM [31]", "KNN [16]", "BNN [14]", "QNN [13]"):
+        row = PAPER_TABLE3[other]
+        assert univsa_row["luts"] < 0.5 * row["luts"], other
+        assert univsa_row["power_w"] < row["power_w"] / 10, other
+    # Under the 1.5 W BCI feasibility line; every non-binary-VSA row above.
+    assert univsa_row["power_w"] < 1.5
+    for other in ("SVM [31]", "KNN [16]", "BNN [14]", "QNN [13]", "LookHD [9]"):
+        assert PAPER_TABLE3[other]["power_w"] > 1.5, other
+    benchmark(lambda: univsa_row["luts"])
+
+
+def test_univsa_vs_binary_vsa(univsa_row, benchmark):
+    """Claim ②: dominates LookHD; costs more than LDC (accepted trade-off)."""
+    lookhd = PAPER_TABLE3["LookHD [9]"]
+    assert univsa_row["luts"] < lookhd["luts"] / 10
+    assert univsa_row["memory_kb"] < lookhd["memory_kb"] / 10
+    ldc = PAPER_TABLE3["LDC [11]"]
+    assert univsa_row["luts"] > ldc["luts"]
+    assert univsa_row["power_w"] > ldc["power_w"]
+    # ... but still below the published SVM resource bar (the paper's
+    # feasibility argument for the trade-off).
+    assert univsa_row["luts"] < PAPER_TABLE3["SVM [31]"]["luts"]
+    benchmark(lambda: univsa_row["memory_kb"])

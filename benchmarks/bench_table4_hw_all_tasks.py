@@ -1,0 +1,112 @@
+"""Table IV reproduction: hardware performance of UniVSA on all six tasks.
+
+Regenerates latency, power, LUTs, BRAMs, DSPs, and streaming throughput
+from the calibrated hardware model and cross-checks the cycle simulator
+against the analytic pipeline schedule.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import TASKS, write_result
+from repro.core import UniVSAConfig
+from repro.hw import (
+    PAPER_CONFIGS,
+    PAPER_TABLE4,
+    HardwareSimulator,
+    HardwareSpec,
+    hardware_report,
+    pipeline_schedule,
+)
+from repro.utils.tables import render_table
+
+
+@pytest.fixture(scope="module")
+def reports():
+    out = {}
+    for name in TASKS:
+        shape, classes, tup = PAPER_CONFIGS[name]
+        out[name] = hardware_report(
+            UniVSAConfig.from_paper_tuple(tup), shape, classes, name=name
+        )
+    return out
+
+
+def test_table4_report(reports, results_dir, benchmark):
+    rows = []
+    for name in TASKS:
+        r = reports[name]
+        paper = PAPER_TABLE4[name]
+        rows.append(
+            [
+                name,
+                f"{r.latency_ms:.3f}",
+                f"{paper[0]:.3f}",
+                f"{r.power_w:.2f}",
+                f"{paper[1]:.2f}",
+                f"{r.luts / 1000:.2f}",
+                f"{paper[2] / 1000:.2f}",
+                f"{r.brams}",
+                f"{paper[3]}",
+                r.dsps,
+                f"{r.throughput_per_s / 1000:.2f}",
+                f"{paper[5] / 1000:.2f}",
+            ]
+        )
+    table = render_table(
+        [
+            "task",
+            "lat_ms",
+            "paper",
+            "power_W",
+            "paper",
+            "kLUT",
+            "paper",
+            "BRAM",
+            "paper",
+            "DSP",
+            "thr_k/s",
+            "paper",
+        ],
+        rows,
+        title="Table IV — calibrated hardware model vs paper (ZU3EG, 250 MHz)",
+    )
+    write_result(results_dir, "table4_hw_all_tasks.txt", table)
+    shape, classes, tup = PAPER_CONFIGS["isolet"]
+    spec = HardwareSpec(UniVSAConfig.from_paper_tuple(tup), shape, classes)
+    benchmark(pipeline_schedule, spec)
+
+
+def test_latency_and_throughput_track_paper(reports, benchmark):
+    """Latency/throughput within 10%, BRAM exact, DSP zero (Table IV)."""
+    for name in TASKS:
+        r = reports[name]
+        paper = PAPER_TABLE4[name]
+        assert r.latency_ms == pytest.approx(paper[0], rel=0.10), name
+        assert r.throughput_per_s == pytest.approx(paper[5], rel=0.10), name
+        assert r.brams == paper[3], name
+        assert r.dsps == 0
+    benchmark(lambda: [reports[n].latency_ms for n in TASKS])
+
+
+def test_power_below_bci_budget(reports, benchmark):
+    """Sec. V-C: all tasks < 0.5 W, far under the 1.5 W SVM line."""
+    for name in TASKS:
+        assert reports[name].power_w < 0.5, name
+    benchmark(lambda: max(reports[n].power_w for n in TASKS))
+
+
+def test_simulator_matches_schedule(univsa_runs, benchmark):
+    """Event simulator steady-state interval == analytic schedule (Fig. 5)."""
+    run = univsa_runs["har"]
+    shape, classes, tup = PAPER_CONFIGS["har"]
+    spec = HardwareSpec(UniVSAConfig.from_paper_tuple(tup), shape, classes)
+    # The trained artifacts use the data-driven mask fraction but share the
+    # paper (D_H, D_L, D_K, O, Theta), so spec and artifacts agree.
+    simulator = HardwareSimulator(run.artifacts, spec)
+    levels = run.data.x_test[:8]
+    result = simulator.run(levels)
+    schedule = pipeline_schedule(spec)
+    assert result.initiation_intervals()[-1] == schedule.initiation_interval
+    benchmark(simulator.run, levels[:2])

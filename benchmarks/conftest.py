@@ -1,0 +1,105 @@
+"""Shared fixtures for the reproduction benchmark harness.
+
+Every bench writes its paper-style table to ``benchmarks/results/`` (the
+artifacts EXPERIMENTS.md records) and also times a representative kernel
+through pytest-benchmark.
+
+Budget knobs (environment variables):
+
+* ``REPRO_BENCH_EPOCHS``  — training epochs per model (default 20)
+* ``REPRO_BENCH_SEEDS``   — seeds for variance estimates (default 2)
+* ``REPRO_BENCH_FAST=1``  — shrink datasets/budgets for a smoke run
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+BENCH_EPOCHS = int(os.environ.get("REPRO_BENCH_EPOCHS", "20"))
+BENCH_SEEDS = int(os.environ.get("REPRO_BENCH_SEEDS", "2"))
+FAST = os.environ.get("REPRO_BENCH_FAST", "0") == "1"
+
+TASKS = ("eegmmi", "bci-iii-v", "chb-b", "chb-ib", "isolet", "har")
+
+# Paper Table II: accuracy (memory KB) per model and task.
+PAPER_TABLE2 = {
+    "eegmmi": {"LDA": 0.7004, "KNN": 0.8262, "SVM": 0.8766, "LeHDC": 0.7980, "LDC": 0.8279, "UniVSA": 0.8971},
+    "bci-iii-v": {"LDA": 0.8599, "KNN": 0.9888, "SVM": 0.8971, "LeHDC": 0.8235, "LDC": 0.9370, "UniVSA": 0.9545},
+    "chb-b": {"LDA": 0.9067, "KNN": 0.9744, "SVM": 0.9819, "LeHDC": 0.8992, "LDC": 0.9669, "UniVSA": 0.9774},
+    "chb-ib": {"LDA": 0.9142, "KNN": 0.9488, "SVM": 0.9729, "LeHDC": 0.8675, "LDC": 0.9639, "UniVSA": 0.9684},
+    "isolet": {"LDA": 0.9410, "KNN": 0.9140, "SVM": 0.9602, "LeHDC": 0.9489, "LDC": 0.9133, "UniVSA": 0.9282},
+    "har": {"LDA": 0.7625, "KNN": 0.5582, "SVM": 0.7852, "LeHDC": 0.9523, "LDC": 0.9256, "UniVSA": 0.9338},
+}
+
+PAPER_TABLE2_MEMORY_KB = {
+    "eegmmi": {"LDA": 8.19, "SVM": 11223.04, "LeHDC": 1602.50, "LDC": 16.54, "UniVSA": 13.59},
+    "bci-iii-v": {"LDA": 1.15, "SVM": 510.22, "LeHDC": 443.75, "LDC": 1.71, "UniVSA": 3.57},
+    "chb-b": {"LDA": 11.78, "SVM": 1990.14, "LeHDC": 2162.50, "LDC": 23.71, "UniVSA": 4.51},
+    "chb-ib": {"LDA": 11.78, "SVM": 3612.29, "LeHDC": 2162.50, "LDC": 23.71, "UniVSA": 3.67},
+    "isolet": {"LDA": 66.56, "SVM": 5048.32, "LeHDC": 1152.50, "LDC": 10.78, "UniVSA": 8.36},
+    "har": {"LDA": 13.82, "SVM": 6743.81, "LeHDC": 1047.50, "LDC": 9.44, "UniVSA": 3.14},
+}
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: Path, name: str, content: str) -> None:
+    """Persist a rendered table and echo it for terminal runs with -s."""
+    path = results_dir / name
+    path.write_text(content + "\n")
+    print(f"\n{content}\n[written to {path}]")
+
+
+@pytest.fixture(scope="session")
+def datasets():
+    """Quantized data per task at bench budgets (cached for the session)."""
+    from repro.data import load
+
+    sizes = {name: (None, None) for name in TASKS}
+    if FAST:
+        sizes = {name: (160, 80) for name in TASKS}
+    return {
+        name: load(name, n_train=sizes[name][0], n_test=sizes[name][1], seed=0)
+        for name in TASKS
+    }
+
+
+@pytest.fixture(scope="session")
+def univsa_runs(datasets):
+    """Trained UniVSA (paper config) per task, reused by several benches."""
+    from repro import run_benchmark
+    from repro.utils.trainloop import TrainConfig
+
+    runs = {}
+    for name in TASKS:
+        data = datasets[name]
+        config = TrainConfig(
+            epochs=4 if FAST else BENCH_EPOCHS,
+            lr=0.008,
+            seed=0,
+            balance_classes=data.benchmark.spec.class_balance is not None,
+        )
+        runs[name] = run_benchmark(
+            name,
+            train_config=config,
+            n_train=len(data.x_train),
+            n_test=len(data.x_test),
+            seed=0,
+        )
+    return runs
+
+
+def model_memory_kb(bits: int | None) -> str:
+    from repro.baselines import format_kb
+
+    return format_kb(bits)

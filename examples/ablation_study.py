@@ -1,0 +1,62 @@
+"""Mini Fig. 4: measure what each UniVSA enhancement contributes.
+
+Trains plain binary VSA, +DVP, +BiConv, +SV, and the full UniVSA model on
+the EEGMMI stand-in at one dimension and prints accuracy and Eq. 5 memory
+side by side (the full dimension sweep lives in
+benchmarks/bench_fig4_ablation.py).
+
+    python examples/ablation_study.py
+"""
+
+from __future__ import annotations
+
+from repro.core import UniVSAConfig, train_univsa
+from repro.data import load
+from repro.hw import memory_bits
+from repro.utils.tables import render_table
+from repro.utils.trainloop import TrainConfig
+
+DIM = 8
+VARIANTS = {
+    "binary VSA": (False, False, 1),
+    "+ DVP": (True, False, 1),
+    "+ BiConv": (False, True, 1),
+    "+ SV": (False, False, 3),
+    "UniVSA (all)": (True, True, 3),
+}
+
+
+def main() -> None:
+    data = load("eegmmi", n_train=500, n_test=250, seed=0)
+    rows = []
+    for label, (use_dvp, use_biconv, voters) in VARIANTS.items():
+        config = UniVSAConfig(
+            d_high=DIM,
+            d_low=2,
+            kernel_size=3,
+            out_channels=DIM,
+            voters=voters,
+            use_dvp=use_dvp,
+            use_biconv=use_biconv,
+            high_fraction=0.6,
+        )
+        result = train_univsa(
+            data.x_train,
+            data.y_train,
+            n_classes=2,
+            config=config,
+            train_config=TrainConfig(epochs=10, lr=0.008, seed=0),
+        )
+        accuracy = result.artifacts.score(data.x_test, data.y_test)
+        memory = memory_bits(config, (16, 64), 2) / 8000.0
+        rows.append([label, f"{accuracy:.4f}", f"{memory:.2f}"])
+        print(f"  trained {label:14s} acc={accuracy:.4f}")
+    print("\n" + render_table(
+        ["variant", "test accuracy", "memory KB"],
+        rows,
+        title=f"enhancement ablation at D={DIM} (EEGMMI stand-in)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""repro — reproduction of UniVSA (DAC 2025).
+
+"Holistic Design towards Resource-Stringent Binary Vector Symbolic
+Architecture": an algorithm/hardware co-optimized binary VSA classifier.
+
+Top-level convenience re-exports; see the subpackages for the full API:
+
+* :mod:`repro.core` — the UniVSA model, training, export, bit inference
+* :mod:`repro.hw` — FPGA cycle/resource/power/memory models + simulator
+* :mod:`repro.data` — the six synthetic benchmark tasks
+* :mod:`repro.ldc`, :mod:`repro.lehdc`, :mod:`repro.baselines`,
+  :mod:`repro.vsa` — baselines and the classic VSA substrate
+* :mod:`repro.search` — evolutionary co-design search
+* :mod:`repro.nn` — the numpy autograd training substrate
+"""
+
+from .core import (
+    BitPackedUniVSA,
+    UniVSAArtifacts,
+    UniVSAConfig,
+    UniVSAModel,
+    train_univsa,
+)
+from .core.pipeline import BenchmarkRun, evaluate_artifacts, run_benchmark
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "UniVSAConfig",
+    "UniVSAModel",
+    "UniVSAArtifacts",
+    "BitPackedUniVSA",
+    "train_univsa",
+    "BenchmarkRun",
+    "run_benchmark",
+    "evaluate_artifacts",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""Analysis tooling: design-space sweeps and robustness studies."""
+
+from .asciiplot import bar_chart, line_chart, scatter
+from .reportgen import generate_report
+from .robustness import NoiseReport, input_noise_sweep, level_subsample_accuracy
+from .sweeps import SweepPoint, SweepResult, pareto_front, sweep_axis
+
+__all__ = [
+    "scatter",
+    "line_chart",
+    "bar_chart",
+    "SweepPoint",
+    "SweepResult",
+    "sweep_axis",
+    "pareto_front",
+    "generate_report",
+    "NoiseReport",
+    "input_noise_sweep",
+    "level_subsample_accuracy",
+]

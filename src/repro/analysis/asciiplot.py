@@ -1,0 +1,100 @@
+"""ASCII charts for terminal reports (no plotting backend offline).
+
+Covers what the analysis workflows need: scatter plots for
+accuracy-vs-memory trade-off curves (Pareto views), line charts for
+sweeps (Fig. 4-style), and horizontal bar charts for stage breakdowns
+(Fig. 6-style).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["scatter", "line_chart", "bar_chart"]
+
+
+def _scale(values: Sequence[float], size: int) -> list[int]:
+    lo, hi = min(values), max(values)
+    span = hi - lo or 1.0
+    return [int(round((v - lo) / span * (size - 1))) for v in values]
+
+
+def scatter(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 60,
+    height: int = 16,
+    labels: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Scatter plot; points marked 'o' (or first char of their label)."""
+    if len(xs) != len(ys) or not xs:
+        raise ValueError("xs and ys must be equal-length and non-empty")
+    if width < 8 or height < 4:
+        raise ValueError("plot area too small")
+    grid = [[" "] * width for _ in range(height)]
+    cols = _scale(xs, width)
+    rows = _scale(ys, height)
+    for i, (c, r) in enumerate(zip(cols, rows)):
+        mark = labels[i][0] if labels else "o"
+        grid[height - 1 - r][c] = mark
+    lines = [title] if title else []
+    lines.append(f"{max(ys):12.4g} +" + "-" * width + "+")
+    for row in grid:
+        lines.append(" " * 13 + "|" + "".join(row) + "|")
+    lines.append(f"{min(ys):12.4g} +" + "-" * width + "+")
+    lines.append(" " * 14 + f"{min(xs):<12.4g}" + " " * max(width - 24, 0) + f"{max(xs):>12.4g}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    series: dict[str, Sequence[float]],
+    width: int = 60,
+    height: int = 12,
+    title: str | None = None,
+) -> str:
+    """Multi-series line chart; each series drawn with its own glyph."""
+    if not series:
+        raise ValueError("need at least one series")
+    lengths = {len(v) for v in series.values()}
+    if len(lengths) != 1 or 0 in lengths:
+        raise ValueError("all series must share a non-zero length")
+    n = lengths.pop()
+    all_values = [v for vs in series.values() for v in vs]
+    lo, hi = min(all_values), max(all_values)
+    span = hi - lo or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    glyphs = "ox+*#@%&"
+    for g, (name, values) in enumerate(series.items()):
+        glyph = glyphs[g % len(glyphs)]
+        for i, value in enumerate(values):
+            col = int(round(i / max(n - 1, 1) * (width - 1)))
+            row = int(round((value - lo) / span * (height - 1)))
+            grid[height - 1 - row][col] = glyph
+    lines = [title] if title else []
+    lines.append(f"{hi:12.4g} +" + "-" * width + "+")
+    for row in grid:
+        lines.append(" " * 13 + "|" + "".join(row) + "|")
+    lines.append(f"{lo:12.4g} +" + "-" * width + "+")
+    legend = "   ".join(
+        f"{glyphs[g % len(glyphs)]} {name}" for g, name in enumerate(series)
+    )
+    lines.append(" " * 14 + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: dict[str, float], width: int = 50, title: str | None = None
+) -> str:
+    """Horizontal bars scaled to the maximum value."""
+    if not values:
+        raise ValueError("need at least one bar")
+    peak = max(values.values())
+    if peak <= 0:
+        raise ValueError("values must contain a positive maximum")
+    label_width = max(len(k) for k in values)
+    lines = [title] if title else []
+    for name, value in values.items():
+        bar = "#" * max(int(round(value / peak * width)), 0)
+        lines.append(f"{name.ljust(label_width)} |{bar} {value:.4g}")
+    return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Assemble a markdown reproduction report from benchmark results.
+
+``pytest benchmarks/ --benchmark-only`` writes each table/figure artifact
+to ``benchmarks/results/*.txt``; this module stitches them into one
+markdown document — the machine-generated companion to the hand-written
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+__all__ = ["SECTION_ORDER", "generate_report"]
+
+# results file stem -> (section title, blurb)
+SECTION_ORDER = [
+    ("table1_search", "Table I — configuration search"),
+    ("table2_accuracy", "Table II — accuracy and memory"),
+    ("table3_hw_comparison", "Table III — hardware comparison"),
+    ("table4_hw_all_tasks", "Table IV — hardware on all tasks"),
+    ("fig1_overview", "Fig. 1 — overview comparison"),
+    ("fig4_ablation", "Fig. 4 — enhancement ablation"),
+    ("fig6_stage_breakdown", "Fig. 6 — per-stage overhead"),
+    ("ext_deployment", "Extension — energy & I/O"),
+    ("ext_fault_tolerance", "Extension — fault tolerance"),
+    ("ext_pareto", "Extension — Pareto frontier"),
+    ("ext_hw_ablation", "Extension — scheduling ablations"),
+]
+
+
+def generate_report(
+    results_dir: str | Path,
+    output_path: str | Path | None = None,
+    title: str = "UniVSA reproduction — benchmark report",
+) -> str:
+    """Render all available results as one markdown document.
+
+    Missing sections are skipped with a note; returns the markdown and
+    optionally writes it to ``output_path``.
+    """
+    results_dir = Path(results_dir)
+    if not results_dir.is_dir():
+        raise FileNotFoundError(f"no results directory at {results_dir}")
+    lines = [f"# {title}", ""]
+    found = 0
+    for stem, section in SECTION_ORDER:
+        path = results_dir / f"{stem}.txt"
+        lines.append(f"## {section}")
+        lines.append("")
+        if path.exists():
+            lines.append("```")
+            lines.append(path.read_text().rstrip())
+            lines.append("```")
+            found += 1
+        else:
+            lines.append(f"_not generated (run `pytest benchmarks/{stem and 'bench_' + stem}*`)_")
+        lines.append("")
+    if found == 0:
+        raise FileNotFoundError(f"no result files in {results_dir}")
+    report = "\n".join(lines)
+    if output_path is not None:
+        Path(output_path).write_text(report)
+    return report

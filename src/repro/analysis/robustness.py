@@ -1,0 +1,73 @@
+"""Robustness analyses: input noise and quantization-resolution effects.
+
+Complements :mod:`repro.hw.faults` (memory corruption) with the two other
+degradation axes a deployed VSA classifier faces: sensor noise on the
+input levels and reduced quantizer resolution M.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.export import UniVSAArtifacts
+
+__all__ = ["NoiseReport", "input_noise_sweep", "level_subsample_accuracy"]
+
+
+@dataclass
+class NoiseReport:
+    """Accuracy vs input-noise magnitude."""
+
+    noise_levels: list[float]  # std of level-domain jitter
+    accuracies: list[float]
+    baseline_accuracy: float
+
+
+def input_noise_sweep(
+    artifacts: UniVSAArtifacts,
+    levels: np.ndarray,
+    labels: np.ndarray,
+    noise_stds: tuple[float, ...] = (1.0, 4.0, 16.0, 32.0),
+    seed: int = 0,
+) -> NoiseReport:
+    """Add Gaussian jitter (in level units) to inputs and re-classify.
+
+    Models ADC/sensor noise after discretization; jittered levels are
+    clipped back into [0, M).
+    """
+    labels = np.asarray(labels)
+    levels = np.asarray(levels)
+    m = artifacts.config.levels
+    rng = np.random.default_rng(seed)
+    baseline = float((artifacts.predict(levels) == labels).mean())
+    accuracies = []
+    for std in noise_stds:
+        jitter = rng.normal(0.0, std, size=levels.shape)
+        noisy = np.clip(np.round(levels + jitter), 0, m - 1).astype(np.int64)
+        accuracies.append(float((artifacts.predict(noisy) == labels).mean()))
+    return NoiseReport(
+        noise_levels=list(noise_stds),
+        accuracies=accuracies,
+        baseline_accuracy=baseline,
+    )
+
+
+def level_subsample_accuracy(
+    artifacts: UniVSAArtifacts,
+    levels: np.ndarray,
+    labels: np.ndarray,
+    factor: int,
+) -> float:
+    """Accuracy when inputs are quantized ``factor``x coarser.
+
+    Each level is snapped to the centre of its coarse bin, emulating a
+    deployment that ships a smaller V table (M/factor entries replicated).
+    """
+    if factor < 1:
+        raise ValueError("factor must be >= 1")
+    levels = np.asarray(levels)
+    coarse = (levels // factor) * factor + factor // 2
+    coarse = np.clip(coarse, 0, artifacts.config.levels - 1)
+    return float((artifacts.predict(coarse) == np.asarray(labels)).mean())

@@ -1,0 +1,101 @@
+"""Design-space sweeps: accuracy vs hardware cost along any config axis.
+
+The co-design story of the paper is a trade-off curve; this module
+produces such curves programmatically — train a model per design point,
+collect accuracy + Eq. 5 memory + calibrated hardware metrics — and finds
+the Pareto frontier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.config import UniVSAConfig
+from repro.core.train import train_univsa
+from repro.hw.report import HardwareReport, hardware_report
+from repro.utils.trainloop import TrainConfig
+
+__all__ = ["SweepPoint", "SweepResult", "sweep_axis", "pareto_front"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One evaluated design point."""
+
+    value: object  # the swept axis value
+    config: UniVSAConfig
+    accuracy: float
+    hardware: HardwareReport
+
+    @property
+    def memory_kb(self) -> float:
+        """Deployed model size in (decimal) kilobytes."""
+        return self.hardware.memory_kb
+
+
+@dataclass
+class SweepResult:
+    """All points of one sweep, in axis order."""
+
+    axis: str
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def accuracies(self) -> list[float]:
+        """Accuracy per sweep point, in axis order."""
+        return [p.accuracy for p in self.points]
+
+    def memories_kb(self) -> list[float]:
+        """Eq. 5 memory per sweep point, in axis order."""
+        return [p.memory_kb for p in self.points]
+
+    def best(self) -> SweepPoint:
+        """Highest-accuracy point (ties -> cheapest memory)."""
+        return max(self.points, key=lambda p: (p.accuracy, -p.memory_kb))
+
+
+def sweep_axis(
+    axis: str,
+    values: tuple,
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    x_test: np.ndarray,
+    y_test: np.ndarray,
+    n_classes: int,
+    base_config: UniVSAConfig = UniVSAConfig(),
+    train_config: TrainConfig = TrainConfig(epochs=6, lr=0.01),
+) -> SweepResult:
+    """Train/evaluate one model per value of ``axis``.
+
+    ``axis`` must be a field of :class:`UniVSAConfig` (e.g. "out_channels",
+    "d_high", "voters", "kernel_size").
+    """
+    if not hasattr(base_config, axis):
+        raise ValueError(f"unknown config axis {axis!r}")
+    x_train = np.asarray(x_train)
+    input_shape = x_train.shape[1:]
+    result = SweepResult(axis=axis)
+    for value in values:
+        config = replace(base_config, **{axis: value})
+        run = train_univsa(
+            x_train, y_train, n_classes=n_classes, config=config, train_config=train_config
+        )
+        accuracy = run.artifacts.score(x_test, y_test)
+        report = hardware_report(config, tuple(input_shape), n_classes, name=f"{axis}={value}")
+        result.points.append(
+            SweepPoint(value=value, config=config, accuracy=accuracy, hardware=report)
+        )
+    return result
+
+
+def pareto_front(points: list[SweepPoint]) -> list[SweepPoint]:
+    """Points not dominated in (accuracy up, memory down), sorted by memory."""
+    ordered = sorted(points, key=lambda p: (p.memory_kb, -p.accuracy))
+    front: list[SweepPoint] = []
+    best_accuracy = -np.inf
+    for point in ordered:
+        if point.accuracy > best_accuracy:
+            front.append(point)
+            best_accuracy = point.accuracy
+    return front

@@ -1,0 +1,24 @@
+"""Classical lightweight-ML baselines of Table II."""
+
+from .bnn import BinaryConvNet, BNNClassifier
+from .knn import KNNClassifier
+from .lda import LDAClassifier
+from .qnn import QNNClassifier, QuantConvNet
+from .memory import bits_to_kb, format_kb, ldc_memory_bits, lehdc_memory_bits
+from .svm import BinarySVM, SVMClassifier, rbf_kernel
+
+__all__ = [
+    "BinaryConvNet",
+    "BNNClassifier",
+    "KNNClassifier",
+    "LDAClassifier",
+    "QNNClassifier",
+    "QuantConvNet",
+    "BinarySVM",
+    "SVMClassifier",
+    "rbf_kernel",
+    "bits_to_kb",
+    "format_kb",
+    "ldc_memory_bits",
+    "lehdc_memory_bits",
+]

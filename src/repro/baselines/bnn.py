@@ -1,0 +1,146 @@
+"""Binary neural network baseline (the Table III BNN/QNN family).
+
+The paper excludes deep models from its Table II software comparison
+because they blow the BCI resource budget, but cites FracBNN-class binary
+CNNs in the hardware comparison.  This baseline makes the comparison
+concrete in software: a small binary CNN (binary conv -> BN -> sign ->
+pool, twice, then a binary dense classifier) trained with the same STE
+substrate as UniVSA, with deployed-size accounting so the memory column
+can sit next to Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ldc.model import normalize_levels
+from repro.nn import (
+    BatchNorm1d,
+    BatchNorm2d,
+    BinaryConv2d,
+    BinaryLinear,
+    Linear,
+    Module,
+    Tensor,
+    max_pool2d,
+    no_grad,
+)
+from repro.nn import functional as F
+from repro.utils.trainloop import TrainConfig, TrainHistory, fit_classifier
+
+__all__ = ["BinaryConvNet", "BNNClassifier"]
+
+
+class BinaryConvNet(Module):
+    """Two binary conv blocks + binary dense head.
+
+    First conv consumes the raw (single-channel) value plane; weights of
+    every learnable layer are binarized with STE.  BatchNorm keeps the
+    binary pre-activations trainable (and would fold into thresholds on
+    hardware, exactly as in :mod:`repro.core.export`).
+    """
+
+    def __init__(
+        self,
+        input_shape: tuple[int, int],
+        n_classes: int,
+        channels: tuple[int, int] = (16, 32),
+        kernel_size: int = 3,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.input_shape = tuple(input_shape)
+        w, length = self.input_shape
+        c1, c2 = channels
+        pad = kernel_size // 2
+        self._pad = pad
+        self.conv1 = BinaryConv2d(1, c1, kernel_size, padding=pad, rng=rng)
+        self.bn1 = BatchNorm2d(c1)
+        self.conv2 = BinaryConv2d(c1, c2, kernel_size, padding=pad, rng=rng)
+        self.bn2 = BatchNorm2d(c2)
+        pooled_w = max(w // 2 // 2, 1)
+        pooled_l = max(length // 2 // 2, 1)
+        self.flat_features = c2 * pooled_w * pooled_l
+        self.head = BinaryLinear(self.flat_features, n_classes, rng=rng)
+        self.head_bn = BatchNorm1d(n_classes)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """x (B, W, L) normalized floats -> logits (B, C)."""
+        batch = x.shape[0]
+        x = x.reshape(batch, 1, *self.input_shape)
+        x = self.bn1(self.conv1(x)).sign_ste()
+        x = max_pool2d(x, 2)
+        x = self.bn2(self.conv2(x)).sign_ste()
+        x = max_pool2d(x, 2)
+        x = x.reshape(batch, self.flat_features)
+        return self.head_bn(self.head(x))
+
+    def deployed_bits(self) -> int:
+        """Binary weights at 1 bit plus BN thresholds at 16 bits/channel."""
+        binary = (
+            self.conv1.weight.size + self.conv2.weight.size + self.head.weight.size
+        )
+        thresholds = (
+            self.bn1.num_features + self.bn2.num_features + self.head_bn.num_features
+        )
+        return binary + 16 * thresholds
+
+
+@dataclass
+class BNNClassifier:
+    """Scikit-style wrapper: BinaryConvNet + the shared training loop."""
+
+    input_shape: tuple[int, int]
+    n_classes: int
+    channels: tuple[int, int] = (16, 32)
+    levels: int = 256
+    seed: int = 0
+    train_config: TrainConfig = None
+
+    def __post_init__(self) -> None:
+        if self.train_config is None:
+            self.train_config = TrainConfig(epochs=15, lr=0.01, seed=self.seed)
+        self.model: BinaryConvNet | None = None
+        self.history: TrainHistory | None = None
+
+    def _preprocess(self, levels: np.ndarray) -> np.ndarray:
+        return normalize_levels(
+            np.asarray(levels).reshape((-1,) + tuple(self.input_shape)), self.levels
+        )
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "BNNClassifier":
+        """Train on discretized samples (B, W, L)."""
+        self.model = BinaryConvNet(
+            self.input_shape, self.n_classes, channels=self.channels, seed=self.seed
+        )
+        self.history = fit_classifier(
+            self.model, np.asarray(x), np.asarray(y), self.train_config,
+            preprocess=self._preprocess,
+        )
+        return self
+
+    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Predicted labels (B,)."""
+        if self.model is None:
+            raise RuntimeError("classifier is not fitted")
+        self.model.eval()
+        out = []
+        x = np.asarray(x)
+        with no_grad():
+            for start in range(0, len(x), batch_size):
+                logits = self.model(Tensor(self._preprocess(x[start : start + batch_size])))
+                out.append(logits.data.argmax(axis=1))
+        return np.concatenate(out)
+
+    def score(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Mean accuracy."""
+        return float((self.predict(x) == np.asarray(y)).mean())
+
+    def memory_footprint_bits(self) -> int:
+        """Deployed model size."""
+        if self.model is None:
+            raise RuntimeError("classifier is not fitted")
+        return self.model.deployed_bits()

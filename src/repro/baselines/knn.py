@@ -1,0 +1,55 @@
+"""K-nearest-neighbour baseline (K=5 in Table II)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["KNNClassifier"]
+
+
+class KNNClassifier:
+    """Brute-force Euclidean KNN with majority vote (lowest label on ties)."""
+
+    def __init__(self, k: int = 5) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self._x: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+        self._n_classes = 0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "KNNClassifier":
+        """Store the training set (KNN has no parameters)."""
+        self._x = np.asarray(x, dtype=np.float64)
+        self._y = np.asarray(y)
+        self._n_classes = int(self._y.max()) + 1
+        if self.k > len(self._x):
+            raise ValueError("k exceeds training-set size")
+        return self
+
+    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Predicted labels; distance computation is batched for memory."""
+        if self._x is None:
+            raise RuntimeError("classifier is not fitted")
+        x = np.asarray(x, dtype=np.float64)
+        train_sq = (self._x**2).sum(axis=1)
+        out = np.empty(len(x), dtype=np.int64)
+        for start in range(0, len(x), batch_size):
+            chunk = x[start : start + batch_size]
+            d2 = (chunk**2).sum(axis=1)[:, None] - 2 * chunk @ self._x.T + train_sq[None]
+            nearest = np.argpartition(d2, self.k - 1, axis=1)[:, : self.k]
+            votes = np.zeros((len(chunk), self._n_classes), dtype=np.int64)
+            for j in range(self.k):
+                np.add.at(votes, (np.arange(len(chunk)), self._y[nearest[:, j]]), 1)
+            out[start : start + batch_size] = votes.argmax(axis=1)
+        return out
+
+    def score(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Mean accuracy."""
+        return float((self.predict(x) == np.asarray(y)).mean())
+
+    def memory_footprint_bits(self) -> int:
+        """KNN stores the whole training set (Table II reports '-')."""
+        if self._x is None:
+            raise RuntimeError("classifier is not fitted")
+        return 32 * self._x.size + 8 * self._y.size

@@ -1,0 +1,63 @@
+"""Linear Discriminant Analysis baseline (32-bit float, Table II)."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import linalg
+
+__all__ = ["LDAClassifier"]
+
+
+class LDAClassifier:
+    """Multi-class LDA with a shared, shrinkage-regularized covariance.
+
+    Discriminant: delta_c(x) = x^T S^-1 mu_c - 0.5 mu_c^T S^-1 mu_c
+    + log pi_c; deployed as C linear functions (weights + bias), which is
+    what the Table II memory accounting counts.
+    """
+
+    def __init__(self, shrinkage: float = 0.1) -> None:
+        if not 0.0 <= shrinkage <= 1.0:
+            raise ValueError("shrinkage must be in [0, 1]")
+        self.shrinkage = shrinkage
+        self.weights: np.ndarray | None = None  # (C, N)
+        self.biases: np.ndarray | None = None  # (C,)
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LDAClassifier":
+        """Fit on float features x (B, N) and integer labels y (B,)."""
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y)
+        classes = np.arange(int(y.max()) + 1)
+        n_features = x.shape[1]
+        means = np.stack([x[y == c].mean(axis=0) for c in classes])
+        centered = x - means[y]
+        cov = centered.T @ centered / max(len(x) - len(classes), 1)
+        trace_scale = np.trace(cov) / n_features
+        cov = (1 - self.shrinkage) * cov + self.shrinkage * trace_scale * np.eye(n_features)
+        priors = np.array([(y == c).mean() for c in classes])
+        solve = linalg.solve(cov, means.T, assume_a="pos")  # (N, C)
+        self.weights = solve.T.astype(np.float32)
+        self.biases = (
+            -0.5 * np.einsum("cn,cn->c", means, solve.T) + np.log(priors)
+        ).astype(np.float32)
+        return self
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        """Per-class discriminant scores (B, C)."""
+        if self.weights is None:
+            raise RuntimeError("classifier is not fitted")
+        return np.asarray(x, dtype=np.float32) @ self.weights.T + self.biases
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted labels (B,)."""
+        return self.decision_function(x).argmax(axis=1)
+
+    def score(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Mean accuracy."""
+        return float((self.predict(x) == np.asarray(y)).mean())
+
+    def memory_footprint_bits(self) -> int:
+        """Deployed size: C x (N + 1) float32 parameters."""
+        if self.weights is None:
+            raise RuntimeError("classifier is not fitted")
+        return 32 * (self.weights.size + self.biases.size)

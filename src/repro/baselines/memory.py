@@ -1,0 +1,37 @@
+"""Model memory-footprint accounting used in the Table II comparison.
+
+All sizes are deployed-inference artifacts, following the paper's
+conventions: LDA at 32-bit float, SVM at 16-bit float, binary VSA models at
+1 bit/element, KNN reported as the raw training set (the paper prints '-').
+"""
+
+from __future__ import annotations
+
+__all__ = ["bits_to_kb", "lehdc_memory_bits", "ldc_memory_bits", "format_kb"]
+
+
+def bits_to_kb(bits: int) -> float:
+    """Bits -> kilobytes (decimal: 1 KB = 8000 bits, the paper's convention)."""
+    return bits / 8000.0
+
+
+def lehdc_memory_bits(dim: int, n_features: int, n_classes: int, levels: int) -> int:
+    """LeHDC deployed size: V (M x D) + F (N x D) + C (C x D) bits."""
+    return dim * (levels + n_features + n_classes)
+
+
+def ldc_memory_bits(
+    dim: int, n_features: int, n_classes: int, levels: int
+) -> int:
+    """LDC deployed size: same artifact structure as LeHDC at small D."""
+    return dim * (levels + n_features + n_classes)
+
+
+def format_kb(bits: int | None) -> str:
+    """Human-readable KB string; None renders as the paper's dash."""
+    if bits is None:
+        return "-"
+    kb = bits_to_kb(bits)
+    if kb >= 1024:
+        return f"{kb / 1024:.2f}MB"
+    return f"{kb:.2f}KB"

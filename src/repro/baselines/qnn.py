@@ -1,0 +1,135 @@
+"""Quantized neural network baseline (Table III's QNN family, k-bit).
+
+Same topology as the BNN baseline but with k-bit weights and k-bit
+activations (DoReFa-style fake quantization): the software accuracy
+comparator for Synetgy-class accelerators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ldc.model import normalize_levels
+from repro.nn import BatchNorm1d, BatchNorm2d, Module, Tensor, max_pool2d, no_grad
+from repro.nn.quantize import QuantConv2d, QuantLinear, quantize_ste
+from repro.utils.trainloop import TrainConfig, TrainHistory, fit_classifier
+
+__all__ = ["QuantConvNet", "QNNClassifier"]
+
+
+class QuantConvNet(Module):
+    """Two k-bit conv blocks + k-bit dense head."""
+
+    def __init__(
+        self,
+        input_shape: tuple[int, int],
+        n_classes: int,
+        bits: int = 4,
+        channels: tuple[int, int] = (16, 32),
+        kernel_size: int = 3,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.input_shape = tuple(input_shape)
+        self.bits = bits
+        w, length = self.input_shape
+        c1, c2 = channels
+        pad = kernel_size // 2
+        self.conv1 = QuantConv2d(1, c1, kernel_size, bits=bits, padding=pad, rng=rng)
+        self.bn1 = BatchNorm2d(c1)
+        self.conv2 = QuantConv2d(c1, c2, kernel_size, bits=bits, padding=pad, rng=rng)
+        self.bn2 = BatchNorm2d(c2)
+        pooled = max(w // 4, 1) * max(length // 4, 1)
+        self.flat_features = c2 * pooled
+        self.head = QuantLinear(self.flat_features, n_classes, bits=bits, rng=rng)
+        self.head_bn = BatchNorm1d(n_classes)
+
+    def _activation(self, x: Tensor) -> Tensor:
+        # Bounded activation then k-bit quantization (PACT-style).
+        return quantize_ste(x.tanh(), self.bits)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Run the module's forward computation."""
+        batch = x.shape[0]
+        x = x.reshape(batch, 1, *self.input_shape)
+        x = self._activation(self.bn1(self.conv1(x)))
+        x = max_pool2d(x, 2)
+        x = self._activation(self.bn2(self.conv2(x)))
+        x = max_pool2d(x, 2)
+        x = x.reshape(batch, self.flat_features)
+        return self.head_bn(self.head(x))
+
+    def deployed_bits(self) -> int:
+        """k bits per weight plus 16-bit BN parameters per channel."""
+        weights = (
+            self.conv1.weight.size + self.conv2.weight.size + self.head.weight.size
+        )
+        thresholds = (
+            self.bn1.num_features + self.bn2.num_features + self.head_bn.num_features
+        )
+        return self.bits * weights + 16 * 2 * thresholds
+
+
+@dataclass
+class QNNClassifier:
+    """Scikit-style wrapper around :class:`QuantConvNet`."""
+
+    input_shape: tuple[int, int]
+    n_classes: int
+    bits: int = 4
+    channels: tuple[int, int] = (16, 32)
+    levels: int = 256
+    seed: int = 0
+    train_config: TrainConfig = None
+
+    def __post_init__(self) -> None:
+        if self.train_config is None:
+            self.train_config = TrainConfig(epochs=15, lr=0.01, seed=self.seed)
+        self.model: QuantConvNet | None = None
+        self.history: TrainHistory | None = None
+
+    def _preprocess(self, levels: np.ndarray) -> np.ndarray:
+        return normalize_levels(
+            np.asarray(levels).reshape((-1,) + tuple(self.input_shape)), self.levels
+        )
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "QNNClassifier":
+        """Train on discretized samples (B, W, L)."""
+        self.model = QuantConvNet(
+            self.input_shape,
+            self.n_classes,
+            bits=self.bits,
+            channels=self.channels,
+            seed=self.seed,
+        )
+        self.history = fit_classifier(
+            self.model, np.asarray(x), np.asarray(y), self.train_config,
+            preprocess=self._preprocess,
+        )
+        return self
+
+    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Predicted labels (B,)."""
+        if self.model is None:
+            raise RuntimeError("classifier is not fitted")
+        self.model.eval()
+        out = []
+        x = np.asarray(x)
+        with no_grad():
+            for start in range(0, len(x), batch_size):
+                logits = self.model(Tensor(self._preprocess(x[start : start + batch_size])))
+                out.append(logits.data.argmax(axis=1))
+        return np.concatenate(out)
+
+    def score(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Mean accuracy."""
+        return float((self.predict(x) == np.asarray(y)).mean())
+
+    def memory_footprint_bits(self) -> int:
+        """Deployed model size."""
+        if self.model is None:
+            raise RuntimeError("classifier is not fitted")
+        return self.model.deployed_bits()

@@ -1,0 +1,230 @@
+"""Command-line interface: train / evaluate / hw / search / info.
+
+    python -m repro info
+    python -m repro train isolet --epochs 12 --out isolet.npz
+    python -m repro evaluate isolet.npz isolet
+    python -m repro hw har
+    python -m repro search bci-iii-v --generations 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core import UniVSAArtifacts, UniVSAConfig
+from repro.core.pipeline import run_benchmark
+from repro.data import benchmark_names, get_benchmark, load
+from repro.hw import hardware_report
+from repro.utils.tables import render_kv, render_table
+from repro.utils.trainloop import TrainConfig
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_config(text: str | None, benchmark) -> UniVSAConfig | None:
+    if text is None:
+        return None
+    parts = tuple(int(p) for p in text.split(","))
+    if len(parts) != 5:
+        raise SystemExit("--config expects 5 integers: D_H,D_L,D_K,O,Theta")
+    return UniVSAConfig.from_paper_tuple(parts, levels=benchmark.levels)
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    rows = []
+    for name in benchmark_names():
+        benchmark = get_benchmark(name)
+        rows.append(
+            [
+                name,
+                benchmark.spec.domain,
+                benchmark.n_classes,
+                f"{benchmark.input_shape}",
+                str(benchmark.paper_config),
+            ]
+        )
+    print(render_table(
+        ["benchmark", "domain", "classes", "(W, L)", "paper config"],
+        rows,
+        title="registered benchmarks (Table I)",
+    ))
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    benchmark = get_benchmark(args.benchmark)
+    config = _parse_config(args.config, benchmark)
+    run = run_benchmark(
+        args.benchmark,
+        config=config,
+        train_config=TrainConfig(epochs=args.epochs, lr=args.lr, seed=args.seed),
+        seed=args.seed,
+    )
+    print(render_kv(
+        {
+            "benchmark": run.name,
+            "config": str(run.config.as_paper_tuple()),
+            "train accuracy": f"{run.train_accuracy:.4f}",
+            "test accuracy": f"{run.accuracy:.4f}",
+            "memory": f"{run.memory_kb:.2f} KB",
+        },
+        title="training result",
+    ))
+    if args.out:
+        run.artifacts.save(args.out)
+        print(f"artifacts written to {args.out}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    artifacts = UniVSAArtifacts.load(args.model)
+    data = load(args.benchmark, seed=args.seed)
+    predictions = artifacts.predict(data.x_test)
+    accuracy = float((predictions == data.y_test).mean())
+    print(render_kv(
+        {
+            "model": args.model,
+            "benchmark": args.benchmark,
+            "test samples": len(data.x_test),
+            "accuracy": f"{accuracy:.4f}",
+            "memory": f"{artifacts.memory_footprint_bits() / 8000:.2f} KB",
+        },
+        title="evaluation",
+    ))
+    return 0
+
+
+def _cmd_hw(args: argparse.Namespace) -> int:
+    benchmark = get_benchmark(args.benchmark)
+    config = _parse_config(args.config, benchmark) or UniVSAConfig.from_paper_tuple(
+        benchmark.paper_config, levels=benchmark.levels
+    )
+    report = hardware_report(
+        config, benchmark.input_shape, benchmark.n_classes, name=args.benchmark
+    )
+    print(render_kv(
+        {
+            "config": str(config.as_paper_tuple()),
+            "latency": f"{report.latency_ms:.3f} ms",
+            "power": f"{report.power_w:.2f} W",
+            "LUTs": report.luts,
+            "BRAMs": report.brams,
+            "DSPs": report.dsps,
+            "throughput": f"{report.throughput_per_s / 1000:.2f}k/s",
+            "memory": f"{report.memory_kb:.2f} KB",
+            "bottleneck": report.bottleneck,
+        },
+        title=f"hardware report — {args.benchmark} (ZU3EG @250 MHz)",
+    ))
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    from repro.search import (
+        AccuracyProxy,
+        CodesignObjective,
+        EvolutionConfig,
+        SearchSpace,
+        evolutionary_search,
+    )
+
+    benchmark = get_benchmark(args.benchmark)
+    data = load(args.benchmark, seed=args.seed)
+    split = int(0.75 * len(data.x_train))
+    proxy = AccuracyProxy(
+        data.x_train[:split],
+        data.y_train[:split],
+        data.x_train[split:],
+        data.y_train[split:],
+        n_classes=benchmark.n_classes,
+        epochs=args.proxy_epochs,
+    )
+    objective = CodesignObjective(proxy, benchmark.input_shape, benchmark.n_classes)
+    result = evolutionary_search(
+        objective,
+        SearchSpace(),
+        EvolutionConfig(
+            population=args.population, generations=args.generations, seed=args.seed
+        ),
+    )
+    parts = objective.breakdown(result.best_config)
+    print(render_kv(
+        {
+            "best config": str(result.best_config.as_paper_tuple()),
+            "paper config": str(benchmark.paper_config),
+            "proxy accuracy": f"{parts['accuracy']:.4f}",
+            "L_HW penalty": f"{parts['penalty']:.4f}",
+            "objective": f"{parts['objective']:.4f}",
+            "configs evaluated": len(result.evaluated),
+        },
+        title=f"co-design search — {args.benchmark}",
+    ))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.reportgen import generate_report
+
+    report = generate_report(args.results, output_path=args.out)
+    print(f"report with {report.count('##')} sections -> {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="UniVSA reproduction command-line interface"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="list registered benchmarks").set_defaults(func=_cmd_info)
+
+    train = sub.add_parser("train", help="train UniVSA on a benchmark")
+    train.add_argument("benchmark")
+    train.add_argument("--config", help="D_H,D_L,D_K,O,Theta (default: paper)")
+    train.add_argument("--epochs", type=int, default=20)
+    train.add_argument("--lr", type=float, default=0.008)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--out", help="write artifacts (.npz)")
+    train.set_defaults(func=_cmd_train)
+
+    evaluate = sub.add_parser("evaluate", help="evaluate saved artifacts")
+    evaluate.add_argument("model")
+    evaluate.add_argument("benchmark")
+    evaluate.add_argument("--seed", type=int, default=0)
+    evaluate.set_defaults(func=_cmd_evaluate)
+
+    hw = sub.add_parser("hw", help="hardware report for a design point")
+    hw.add_argument("benchmark")
+    hw.add_argument("--config", help="D_H,D_L,D_K,O,Theta (default: paper)")
+    hw.set_defaults(func=_cmd_hw)
+
+    search = sub.add_parser("search", help="evolutionary co-design search")
+    search.add_argument("benchmark")
+    search.add_argument("--population", type=int, default=8)
+    search.add_argument("--generations", type=int, default=4)
+    search.add_argument("--proxy-epochs", type=int, default=3)
+    search.add_argument("--seed", type=int, default=0)
+    search.set_defaults(func=_cmd_search)
+
+    report = sub.add_parser(
+        "report", help="assemble benchmarks/results into one markdown report"
+    )
+    report.add_argument("--results", default="benchmarks/results")
+    report.add_argument("--out", default="benchmarks/results/REPORT.md")
+    report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

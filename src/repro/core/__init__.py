@@ -1,0 +1,31 @@
+"""UniVSA core: the paper's primary contribution.
+
+Public API:
+
+* :class:`UniVSAConfig` — the (D_H, D_L, D_K, O, Theta) design point;
+* :func:`train_univsa` — LDC-style training of the full pipeline;
+* :class:`UniVSAArtifacts` — the deployed pure-binary model;
+* :class:`BitPackedUniVSA` — XNOR/popcount inference (hardware twin).
+"""
+
+from .adapt import AdaptationReport, adapt_class_vectors
+from .config import UniVSAConfig
+from .export import UniVSAArtifacts, extract_artifacts
+from .inference import BitPackedUniVSA
+from .model import ChannelEncodingLayer, SoftVotingHead, UniVSAModel
+from .train import UniVSAResult, build_mask, train_univsa
+
+__all__ = [
+    "AdaptationReport",
+    "adapt_class_vectors",
+    "UniVSAConfig",
+    "UniVSAModel",
+    "ChannelEncodingLayer",
+    "SoftVotingHead",
+    "UniVSAArtifacts",
+    "extract_artifacts",
+    "BitPackedUniVSA",
+    "UniVSAResult",
+    "build_mask",
+    "train_univsa",
+]

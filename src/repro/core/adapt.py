@@ -1,0 +1,96 @@
+"""On-device adaptation of deployed UniVSA models.
+
+The binary artifacts can be updated without the training stack: the
+classic HDC mistake-driven rule keeps integer class accumulators and adds
+or subtracts the (binary) sample encoding of misclassified samples, then
+re-binarizes.  This is the standard VSA online-learning recipe ([9]'s
+retraining, LeHDC's motivation) applied to the UniVSA artifact format —
+the encoding path (V, K, F) stays frozen, only C adapts, so the hardware
+similarity memory is the only thing rewritten on device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.vsa.hypervector import sign_bipolar
+
+from .export import UniVSAArtifacts
+
+__all__ = ["AdaptationReport", "adapt_class_vectors"]
+
+
+@dataclass
+class AdaptationReport:
+    """What an adaptation pass did."""
+
+    epochs_run: int
+    updates: int
+    accuracy_before: float
+    accuracy_after: float
+
+
+def adapt_class_vectors(
+    artifacts: UniVSAArtifacts,
+    levels: np.ndarray,
+    labels: np.ndarray,
+    epochs: int = 5,
+    margin: int = 0,
+    seed: int = 0,
+) -> AdaptationReport:
+    """Mistake-driven update of the class vectors, in place.
+
+    For every sample whose predicted class wins by less than ``margin``
+    over the true class, the sample encoding is added to the true class
+    accumulator and subtracted from the winner, per voter.  Accumulators
+    are initialized from the current (scaled) class vectors, so repeated
+    adaptation is stable.
+    """
+    levels = np.asarray(levels).reshape((-1,) + artifacts.input_shape)
+    labels = np.asarray(labels)
+    if len(levels) != len(labels):
+        raise ValueError("levels/labels length mismatch")
+    if epochs < 1:
+        raise ValueError("epochs must be >= 1")
+
+    encodings = artifacts.encode(levels).astype(np.int64)  # (B, P)
+    voters, n_classes, positions = artifacts.class_vectors.shape
+    # Warm-start accumulators at a magnitude comparable to a few updates.
+    accumulators = artifacts.class_vectors.astype(np.int64) * 3
+
+    def scores_of(enc: np.ndarray) -> np.ndarray:
+        stacked = sign_bipolar(accumulators).astype(np.int64).sum(axis=0)
+        return enc @ stacked.T
+
+    before = float((scores_of(encodings).argmax(axis=1) == labels).mean())
+    rng = np.random.default_rng(seed)
+    updates = 0
+    epochs_run = 0
+    for _ in range(epochs):
+        epochs_run += 1
+        changed = 0
+        for i in rng.permutation(len(encodings)):
+            s = encodings[i]
+            scores = scores_of(s[None])[0]
+            true = labels[i]
+            winner = int(scores.argmax())
+            if winner == true and scores[winner] - np.partition(scores, -2)[-2] > margin:
+                continue
+            if winner != true or margin > 0:
+                accumulators[:, true] += s
+                if winner != true:
+                    accumulators[:, winner] -= s
+                changed += 1
+        updates += changed
+        if changed == 0:
+            break
+    artifacts.class_vectors = sign_bipolar(accumulators).astype(np.int8)
+    after = float((artifacts.predict(levels) == labels).mean())
+    return AdaptationReport(
+        epochs_run=epochs_run,
+        updates=updates,
+        accuracy_before=before,
+        accuracy_after=after,
+    )

@@ -1,0 +1,82 @@
+"""UniVSA model configuration (the search space of Table I)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["UniVSAConfig"]
+
+
+@dataclass(frozen=True)
+class UniVSAConfig:
+    """Hyperparameters of a UniVSA model.
+
+    The tuple (d_high, d_low, kernel_size, out_channels, voters) is the
+    paper's (D_H, D_L, D_K, O, Theta); ``levels`` is M.  The three
+    enhancement switches implement the Fig. 4 ablation:
+
+    * ``use_dvp`` — route low-importance features to VB_L (D_L bits);
+      off = every feature uses VB_H.
+    * ``use_biconv`` — binary convolution between value projection and
+      encoding; off = encode the value volume directly (classic LDC view,
+      with encoding channels = D_H instead of O).
+    * ``voters`` — number of parallel similarity layers (1 = no soft
+      voting).
+    """
+
+    d_high: int = 8  # D_H
+    d_low: int = 2  # D_L
+    kernel_size: int = 3  # D_K
+    out_channels: int = 64  # O
+    voters: int = 1  # Theta
+    levels: int = 256  # M
+    high_fraction: float = 0.5  # share of windows routed to VB_H
+    hidden: int = 16  # ValueBox MLP width
+    use_dvp: bool = True
+    use_biconv: bool = True
+    use_batchnorm: bool = False  # optional BN before conv binarization
+
+    def __post_init__(self) -> None:
+        if self.d_high < 1 or self.d_low < 1:
+            raise ValueError("d_high and d_low must be positive")
+        if self.d_low > self.d_high:
+            raise ValueError("d_low must not exceed d_high (VB_L is the cheap box)")
+        if self.kernel_size < 1 or self.kernel_size % 2 == 0:
+            raise ValueError("kernel_size must be odd and positive")
+        if self.out_channels < 1:
+            raise ValueError("out_channels must be positive")
+        if self.voters < 1:
+            raise ValueError("voters must be >= 1")
+        if self.levels < 2:
+            raise ValueError("levels must be >= 2")
+        if not 0.0 < self.high_fraction <= 1.0:
+            raise ValueError("high_fraction must be in (0, 1]")
+
+    @classmethod
+    def from_paper_tuple(
+        cls, config: tuple[int, int, int, int, int], **overrides: object
+    ) -> "UniVSAConfig":
+        """Build from a Table I tuple (D_H, D_L, D_K, O, Theta)."""
+        d_high, d_low, kernel_size, out_channels, voters = config
+        return cls(
+            d_high=d_high,
+            d_low=d_low,
+            kernel_size=kernel_size,
+            out_channels=out_channels,
+            voters=voters,
+            **overrides,
+        )
+
+    def as_paper_tuple(self) -> tuple[int, int, int, int, int]:
+        """The (D_H, D_L, D_K, O, Theta) tuple of Table I."""
+        return (self.d_high, self.d_low, self.kernel_size, self.out_channels, self.voters)
+
+    def encoding_channels(self) -> int:
+        """Channels seen by the encoding layer: O with BiConv, D_H without."""
+        return self.out_channels if self.use_biconv else self.d_high
+
+    def with_ablation(
+        self, use_dvp: bool, use_biconv: bool, voters: int
+    ) -> "UniVSAConfig":
+        """Variant with the three Fig. 4 enhancement switches set."""
+        return replace(self, use_dvp=use_dvp, use_biconv=use_biconv, voters=voters)

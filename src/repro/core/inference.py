@@ -1,0 +1,132 @@
+"""Bit-packed XNOR/popcount inference engine for deployed UniVSA models.
+
+This is the software twin of the FPGA datapath: every stage operates on
+uint64-packed bipolar words exactly as the hardware's XNOR arrays and
+popcount adder trees do.
+
+* **BiConv**: each output pixel's operand block (D_H x D_K x D_K bipolar
+  values, borders padded with -1) is packed along the reduction axis; the
+  accumulation is ``2 * popcount(~(x ^ k)) - n_bits``, compared against the
+  per-channel threshold.
+* **Encoding**: reduction over the O channel axis per position.
+* **Similarity**: reduction over the W*L position axis per class and voter.
+
+Bit-exact equivalence with the integer path (`UniVSAArtifacts`) and the
+trained graph is enforced by tests — this engine doubles as the golden
+model for the cycle simulator in :mod:`repro.hw.simulator`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.vsa.bitops import pack_bipolar, xnor_popcount
+
+from .export import UniVSAArtifacts
+
+__all__ = ["BitPackedUniVSA"]
+
+
+class BitPackedUniVSA:
+    """Packed-word inference over exported UniVSA artifacts."""
+
+    def __init__(self, artifacts: UniVSAArtifacts) -> None:
+        self.artifacts = artifacts
+        self.input_shape = artifacts.input_shape
+        self.positions = artifacts.positions
+        config = artifacts.config
+
+        if artifacts.kernel is not None:
+            o = artifacts.kernel.shape[0]
+            self._kernel_packed, self._conv_bits = pack_bipolar(
+                artifacts.kernel.reshape(o, -1)
+            )
+            self._thresholds = artifacts.conv_thresholds
+            self._flips = artifacts.conv_flips
+        else:
+            self._kernel_packed = None
+
+        # F packed along the channel axis, one word-vector per position.
+        channels = config.encoding_channels()
+        self._feature_packed, self._enc_bits = pack_bipolar(
+            artifacts.feature_vectors.T  # (P, channels)
+        )
+        # C packed along the position axis per (voter, class).
+        self._class_packed, self._sim_bits = pack_bipolar(artifacts.class_vectors)
+        self._channels = channels
+
+    # ------------------------------------------------------------------
+    def _conv_stage(self, volume: np.ndarray) -> np.ndarray:
+        """Packed BiConv: volume (B, D_H, W, L) int8 -> bipolar (B, O, W, L)."""
+        kernel = self.artifacts.kernel
+        b, c, h, w = volume.shape
+        k = kernel.shape[2]
+        pad = k // 2
+        padded = np.pad(
+            volume, ((0, 0), (0, 0), (pad, pad), (pad, pad)), constant_values=-1
+        )
+        strides = padded.strides
+        windows = np.lib.stride_tricks.as_strided(
+            padded,
+            shape=(b, c, h, w, k, k),
+            strides=(
+                strides[0],
+                strides[1],
+                strides[2],
+                strides[3],
+                strides[2],
+                strides[3],
+            ),
+            writeable=False,
+        )
+        blocks = windows.transpose(0, 2, 3, 1, 4, 5).reshape(b, h * w, c * k * k)
+        packed, dim = pack_bipolar(blocks)
+        matches = xnor_popcount(
+            packed[:, :, None, :], self._kernel_packed[None, None, :, :], dim
+        )  # (B, P, O)
+        accumulated = 2 * matches - dim
+        thresholds = self._thresholds[None, None, :]
+        flips = self._flips[None, None, :]
+        fires = np.where(flips, accumulated <= thresholds, accumulated >= thresholds)
+        bipolar = np.where(fires, 1, -1).astype(np.int8)
+        return bipolar.transpose(0, 2, 1).reshape(b, -1, h, w)
+
+    def _encode_stage(self, feature: np.ndarray) -> np.ndarray:
+        """Packed encoding: (B, channels, W, L) -> bipolar s (B, P)."""
+        b = feature.shape[0]
+        flat = feature.reshape(b, self._channels, self.positions)
+        packed, dim = pack_bipolar(flat.transpose(0, 2, 1))  # (B, P, words)
+        matches = xnor_popcount(packed, self._feature_packed[None], dim)
+        accumulated = 2 * matches - dim
+        return np.where(accumulated >= 0, 1, -1).astype(np.int8)
+
+    def _similarity_stage(self, s: np.ndarray) -> np.ndarray:
+        """Packed soft voting: s (B, P) -> scores (B, n_classes)."""
+        packed, dim = pack_bipolar(s)
+        matches = xnor_popcount(
+            packed[:, None, None, :], self._class_packed[None], dim
+        )  # (B, Theta, C)
+        dots = 2 * matches - dim
+        return dots.sum(axis=1)
+
+    # ------------------------------------------------------------------
+    def encode(self, levels: np.ndarray) -> np.ndarray:
+        """Levels (B, W, L) -> bipolar sample vectors (B, W*L)."""
+        volume = self.artifacts.value_volume(levels)
+        if self._kernel_packed is not None:
+            feature = self._conv_stage(volume)
+        else:
+            feature = volume
+        return self._encode_stage(feature)
+
+    def scores(self, levels: np.ndarray) -> np.ndarray:
+        """Soft-voting class scores (B, n_classes)."""
+        return self._similarity_stage(self.encode(levels))
+
+    def predict(self, levels: np.ndarray) -> np.ndarray:
+        """Predicted labels via the packed datapath."""
+        return self.scores(levels).argmax(axis=1)
+
+    def score(self, levels: np.ndarray, y: np.ndarray) -> float:
+        """Mean accuracy."""
+        return float((self.predict(levels) == np.asarray(y)).mean())

@@ -1,0 +1,204 @@
+"""The trainable UniVSA model (Fig. 3 pipeline).
+
+Stage order, matching the paper:
+
+1. **DVP** — each discretized feature value goes through VB_H (D_H bits) or
+   VB_L (D_L bits) depending on the importance mask; VB_L outputs are
+   placed in the first D_L channels and the remaining channels are tied to
+   the constant +1 (a zero-cost pad in hardware).  The result is the value
+   volume (B, D_H, W, L).
+2. **BiConv** — binary convolution (O, D_H, D_K, D_K) over the volume with
+   bipolar -1 border padding, binarized (optionally through BatchNorm,
+   which folds to per-channel integer thresholds at export).
+3. **Encoding** — binary feature vectors F of shape (O, W*L); the sample
+   vector is s_j = sgn(sum_o F[o, j] * conv[o, j]), dimension W*L.
+4. **Soft voting** — Theta parallel binary similarity layers averaged into
+   class logits (Eq. 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ldc.model import ValueBox, normalize_levels
+from repro.nn import BatchNorm2d, BinaryConv2d, BinaryLinear, Module, Parameter, Tensor, no_grad
+from repro.nn import functional as F
+from repro.nn.init import uniform_symmetric
+from repro.nn.tensor import stack
+
+from .config import UniVSAConfig
+
+__all__ = ["ChannelEncodingLayer", "SoftVotingHead", "UniVSAModel"]
+
+
+class ChannelEncodingLayer(Module):
+    """Encoding over conv channels: s_j = sgn(sum_o F[o, j] * x[o, j]).
+
+    Unlike LDC (one feature vector per input feature), F here indexes the
+    *channel position* of the BiConv output (Sec. III-A.3), so the weight
+    has shape (channels, positions) and the sample vector has dimension
+    ``positions`` (= W * L).
+    """
+
+    def __init__(self, channels: int, positions: int, rng=None) -> None:
+        super().__init__()
+        self.channels = channels
+        self.positions = positions
+        self.weight = Parameter(uniform_symmetric((channels, positions), rng=rng), binary=True)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """x (B, channels, positions) bipolar -> (B, positions) bipolar."""
+        f = self.weight.sign_ste()
+        accumulated = (x * f.reshape(1, self.channels, self.positions)).sum(axis=1)
+        return (accumulated * (1.0 / np.sqrt(self.channels))).sign_ste()
+
+    def binary_weight(self) -> np.ndarray:
+        """Deployed feature vectors F (channels, positions) in {-1, +1}."""
+        return np.where(self.weight.data >= 0.0, 1, -1).astype(np.int8)
+
+
+class SoftVotingHead(Module):
+    """Theta parallel binary similarity layers, averaged (Eq. 4)."""
+
+    def __init__(self, dim: int, n_classes: int, voters: int, rng=None) -> None:
+        super().__init__()
+        self.voters = voters
+        self.heads = [BinaryLinear(dim, n_classes, rng=rng) for _ in range(voters)]
+        for i, head in enumerate(self.heads):
+            setattr(self, f"head{i}", head)
+        self.logit_scale = 8.0 / dim
+
+    def forward(self, s: Tensor) -> Tensor:
+        """s (B, dim) bipolar -> averaged logits (B, C)."""
+        outputs = [head(s) for head in self.heads]
+        if len(outputs) == 1:
+            return outputs[0] * self.logit_scale
+        return stack(outputs, axis=0).mean(axis=0) * self.logit_scale
+
+    def binary_weights(self) -> np.ndarray:
+        """Deployed class vectors C (voters, n_classes, dim) in {-1, +1}."""
+        return np.stack([head.binary_weight() for head in self.heads])
+
+
+class UniVSAModel(Module):
+    """End-to-end trainable UniVSA graph.
+
+    ``mask`` is the (W, L) importance mask from
+    :func:`repro.features.importance_mask`; None means all-high (DVP
+    disabled or mask deferred).
+    """
+
+    def __init__(
+        self,
+        input_shape: tuple[int, int],
+        n_classes: int,
+        config: UniVSAConfig = UniVSAConfig(),
+        mask: np.ndarray | None = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.input_shape = tuple(input_shape)
+        self.n_classes = n_classes
+        self.config = config
+        w, length = self.input_shape
+        self.positions = w * length
+
+        if mask is None or not config.use_dvp:
+            mask = np.ones(self.input_shape, dtype=np.int8)
+        mask = np.asarray(mask, dtype=np.int8)
+        if mask.shape != self.input_shape:
+            raise ValueError(f"mask shape {mask.shape} != input shape {self.input_shape}")
+        self.register_buffer("mask", mask)
+
+        self.vb_high = ValueBox(config.d_high, hidden=config.hidden, rng=rng)
+        self.vb_low = (
+            ValueBox(config.d_low, hidden=config.hidden, rng=rng)
+            if config.use_dvp
+            else None
+        )
+        if config.use_biconv:
+            self.conv = BinaryConv2d(
+                config.d_high,
+                config.out_channels,
+                config.kernel_size,
+                stride=1,
+                padding=0,  # padding applied manually with bipolar -1
+                rng=rng,
+            )
+            self.conv_bn = BatchNorm2d(config.out_channels) if config.use_batchnorm else None
+        else:
+            self.conv = None
+            self.conv_bn = None
+        self.encoder = ChannelEncodingLayer(config.encoding_channels(), self.positions, rng=rng)
+        self.voting = SoftVotingHead(self.positions, n_classes, config.voters, rng=rng)
+
+    # ------------------------------------------------------------------
+    # stages
+    # ------------------------------------------------------------------
+    def preprocess(self, levels: np.ndarray) -> np.ndarray:
+        """Integer levels (B, W, L) -> normalized float input."""
+        levels = np.asarray(levels).reshape((-1,) + self.input_shape)
+        return normalize_levels(levels, self.config.levels)
+
+    def value_volume(self, x: Tensor) -> Tensor:
+        """DVP stage: (B, W, L) values -> (B, D_H, W, L) bipolar volume."""
+        batch = x.shape[0]
+        w, length = self.input_shape
+        flat = x.reshape(batch * w * length, 1)
+        high = self.vb_high(flat).reshape(batch, w, length, self.config.d_high)
+        if self.vb_low is None:
+            volume = high
+        else:
+            low = self.vb_low(flat).reshape(batch, w, length, self.config.d_low)
+            pad_width = self.config.d_high - self.config.d_low
+            if pad_width:
+                ones = Tensor(np.ones((batch, w, length, pad_width), dtype=np.float32))
+                from repro.nn.tensor import concat
+
+                low = concat([low, ones], axis=3)
+            mask = Tensor(
+                self._buffers["mask"].astype(np.float32).reshape(1, w, length, 1)
+            )
+            volume = high * mask + low * (1.0 - mask)
+        return volume.transpose(0, 3, 1, 2)
+
+    def feature_map(self, volume: Tensor) -> Tensor:
+        """BiConv stage: value volume -> (B, channels, W, L) bipolar map."""
+        if self.conv is None:
+            return volume
+        padding = self.config.kernel_size // 2
+        padded = F.pad2d(volume, padding, value=-1.0)
+        accumulated = self.conv(padded)
+        if self.conv_bn is not None:
+            accumulated = self.conv_bn(accumulated)
+        reduction = self.config.d_high * self.config.kernel_size**2
+        return (accumulated * (1.0 / np.sqrt(reduction))).sign_ste()
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Normalized values (B, W, L) -> class logits (B, C)."""
+        volume = self.value_volume(x)
+        feature = self.feature_map(volume)
+        batch = feature.shape[0]
+        channels = self.config.encoding_channels()
+        sample_vectors = self.encoder(feature.reshape(batch, channels, self.positions))
+        return self.voting(sample_vectors)
+
+    def encode(self, levels: np.ndarray) -> np.ndarray:
+        """Discretized samples -> bipolar sample vectors (B, W*L)."""
+        self.eval()
+        with no_grad():
+            x = Tensor(self.preprocess(levels))
+            volume = self.value_volume(x)
+            feature = self.feature_map(volume)
+            batch = feature.shape[0]
+            channels = self.config.encoding_channels()
+            s = self.encoder(feature.reshape(batch, channels, self.positions))
+        return s.data.astype(np.int8)
+
+    def predict(self, levels: np.ndarray) -> np.ndarray:
+        """Predicted labels straight from the trained graph."""
+        self.eval()
+        with no_grad():
+            logits = self.forward(Tensor(self.preprocess(levels)))
+        return logits.data.argmax(axis=1)

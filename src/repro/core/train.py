@@ -1,0 +1,84 @@
+"""Training entry points for UniVSA models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.features import importance_mask
+from repro.utils.trainloop import TrainConfig, TrainHistory, fit_classifier
+
+from .config import UniVSAConfig
+from .export import UniVSAArtifacts, extract_artifacts
+from .model import UniVSAModel
+
+__all__ = ["UniVSAResult", "train_univsa", "build_mask"]
+
+
+@dataclass
+class UniVSAResult:
+    """Trained graph, deployed artifacts, and the training history."""
+
+    model: UniVSAModel
+    artifacts: UniVSAArtifacts
+    history: TrainHistory
+    mask: np.ndarray
+
+
+def build_mask(
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    config: UniVSAConfig,
+    method: str = "mi",
+    seed: int = 0,
+) -> np.ndarray:
+    """Importance mask for DVP (all-ones when DVP is disabled)."""
+    x_train = np.asarray(x_train)
+    if not config.use_dvp:
+        return np.ones(x_train.shape[1:], dtype=np.int8)
+    return importance_mask(
+        x_train.astype(np.float64),
+        np.asarray(y_train),
+        high_fraction=config.high_fraction,
+        method=method,
+        seed=seed,
+    )
+
+
+def train_univsa(
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    n_classes: int,
+    config: UniVSAConfig = UniVSAConfig(),
+    mask: np.ndarray | None = None,
+    mask_method: str = "mi",
+    train_config: TrainConfig = TrainConfig(),
+) -> UniVSAResult:
+    """Train a UniVSA classifier on discretized samples (B, W, L).
+
+    When ``mask`` is None and DVP is enabled, the importance mask is built
+    from the training split with ``mask_method`` ("mi" or "wrapper").
+    """
+    x_train = np.asarray(x_train)
+    if x_train.ndim != 3:
+        raise ValueError("x_train must be (samples, W, L) integer levels")
+    y_train = np.asarray(y_train)
+    if mask is None:
+        mask = build_mask(x_train, y_train, config, method=mask_method, seed=train_config.seed)
+    model = UniVSAModel(
+        input_shape=x_train.shape[1:],
+        n_classes=n_classes,
+        config=config,
+        mask=mask,
+        seed=train_config.seed,
+    )
+    history = fit_classifier(
+        model, x_train, y_train, train_config, preprocess=model.preprocess
+    )
+    return UniVSAResult(
+        model=model,
+        artifacts=extract_artifacts(model),
+        history=history,
+        mask=mask,
+    )

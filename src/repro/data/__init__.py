@@ -1,0 +1,43 @@
+"""Benchmark datasets: synthetic stand-ins for the paper's six tasks."""
+
+from . import benchmarks as _benchmarks  # noqa: F401  (registers the tasks)
+from .cache import load_benchmark_data, load_cached, save_benchmark_data
+from .quantize import Quantizer, quantize_dataset
+from .registry import (
+    Benchmark,
+    BenchmarkData,
+    benchmark_names,
+    get_benchmark,
+    load,
+    register,
+)
+from .userdata import UserDataset, from_arrays, from_csv_dir, from_npz, prepare_windows
+from .splits import kfold_indices, stratified_subsample
+from .synthetic import SignalTaskSpec, SyntheticDataset, generate_signal_task
+from .windows import sliding_windows, window_layout
+
+__all__ = [
+    "Quantizer",
+    "save_benchmark_data",
+    "load_benchmark_data",
+    "load_cached",
+    "quantize_dataset",
+    "Benchmark",
+    "BenchmarkData",
+    "benchmark_names",
+    "get_benchmark",
+    "load",
+    "register",
+    "SignalTaskSpec",
+    "SyntheticDataset",
+    "generate_signal_task",
+    "sliding_windows",
+    "window_layout",
+    "UserDataset",
+    "from_arrays",
+    "from_csv_dir",
+    "from_npz",
+    "prepare_windows",
+    "kfold_indices",
+    "stratified_subsample",
+]

@@ -1,0 +1,151 @@
+"""The six Table I benchmarks as synthetic stand-ins.
+
+Shapes, class counts, domains, and the searched UniVSA configurations come
+straight from Table I of the paper; the generator knobs encode each task's
+statistical character via the four mechanisms of
+:mod:`repro.data.synthetic` (dc / spread / oscillation / coupling), tuned
+so the Table II accuracy *orderings* reproduce (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from .registry import Benchmark, register
+from .synthetic import SignalTaskSpec
+
+__all__ = ["EEGMMI", "BCI_III_V", "CHB_B", "CHB_IB", "ISOLET", "HAR"]
+
+# EEGMMI: 64-channel motor imagery EEG, 2 classes, time domain.  Small
+# multimodal dc (KNN > LDA), a strong variance-coded component (learned
+# VSA > LDA), and strong coupling (UniVSA/SVM > LDC) — the paper's
+# signature task where plain LDC trails SVM and UniVSA closes the gap.
+EEGMMI = register(
+    Benchmark(
+        spec=SignalTaskSpec(
+            name="eegmmi",
+            n_classes=2,
+            window_count=16,
+            window_length=64,
+            domain="time",
+            noise=1.3,
+            dc_strength=0.26,
+            spread_strength=0.9,
+            oscillation_strength=0.5,
+            coupling_strength=0.8,
+            informative_fraction=0.6,
+            clusters_per_class=3,
+        ),
+        paper_config=(8, 2, 3, 95, 1),
+        default_train=900,
+        default_test=300,
+    )
+)
+
+# BCI-III-V: mental imagery, 3 classes, frequency domain.  Multi-cluster
+# band-power prototypes favor local neighbourhood methods (paper: KNN is
+# best here at 0.99).
+BCI_III_V = register(
+    Benchmark(
+        spec=SignalTaskSpec(
+            name="bci-iii-v",
+            n_classes=3,
+            window_count=16,
+            window_length=6,
+            domain="frequency",
+            noise=1.15,
+            oscillation_strength=0.75,
+            coupling_strength=0.5,
+            informative_fraction=0.8,
+            clusters_per_class=4,
+        ),
+        paper_config=(8, 1, 3, 151, 3),
+    )
+)
+
+# CHB (balanced): seizure detection, 2 classes, frequency domain; strongly
+# separable band powers — every competent method scores high (paper: all
+# models > 0.89).
+CHB_B = register(
+    Benchmark(
+        spec=SignalTaskSpec(
+            name="chb-b",
+            n_classes=2,
+            window_count=23,
+            window_length=64,
+            domain="frequency",
+            noise=3.2,
+            oscillation_strength=0.45,
+            coupling_strength=0.9,
+            informative_fraction=0.5,
+        ),
+        paper_config=(8, 2, 3, 16, 3),
+    )
+)
+
+# CHB (imbalanced): same signal, 85/15 class prior.
+CHB_IB = register(
+    Benchmark(
+        spec=SignalTaskSpec(
+            name="chb-ib",
+            n_classes=2,
+            window_count=23,
+            window_length=64,
+            domain="frequency",
+            noise=3.2,
+            oscillation_strength=0.45,
+            coupling_strength=0.9,
+            informative_fraction=0.5,
+            class_balance=(0.85, 0.15),
+        ),
+        paper_config=(4, 1, 5, 16, 1),
+    )
+)
+
+# ISOLET: spoken letters, 26 classes, time domain.  Clear per-class dc
+# formant patterns (LDA/SVM strong) with moderate variance coding; the
+# challenge is class count, not noise.
+ISOLET = register(
+    Benchmark(
+        spec=SignalTaskSpec(
+            name="isolet",
+            n_classes=26,
+            window_count=16,
+            window_length=40,
+            domain="time",
+            noise=1.1,
+            dc_strength=0.55,
+            spread_strength=0.6,
+            oscillation_strength=1.0,
+            coupling_strength=0.45,
+            informative_fraction=0.9,
+        ),
+        paper_config=(4, 4, 3, 22, 3),
+        default_train=1040,
+        default_test=390,
+    )
+)
+
+# HAR: accelerometer/gyro activities, 6 classes, time domain.  Class
+# evidence is almost entirely variance-coded and power-normalized —
+# distance-based methods collapse (paper: KNN 0.56) and linear models sit
+# mid-pack, while learned VSA models shine (LeHDC/LDC/UniVSA > 0.92).
+HAR = register(
+    Benchmark(
+        spec=SignalTaskSpec(
+            name="har",
+            n_classes=6,
+            window_count=16,
+            window_length=36,
+            domain="time",
+            noise=1.35,
+            dc_strength=0.13,
+            spread_strength=1.4,
+            oscillation_strength=0.5,
+            coupling_strength=0.35,
+            informative_fraction=0.9,
+            distributed_weak_features=True,
+        ),
+        paper_config=(8, 4, 3, 18, 3),
+        default_train=720,
+        default_test=300,
+    )
+)

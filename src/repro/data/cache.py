@@ -1,0 +1,76 @@
+"""Dataset caching: persist generated benchmarks as .npz archives.
+
+Generation is deterministic but not free (the EEGMMI stand-in synthesizes
+~1M samples of signal); caching makes repeated benchmark runs and
+notebook sessions instant, and gives deployments a fixed dataset artifact
+to version.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from .quantize import Quantizer
+from .registry import BenchmarkData, get_benchmark, load
+
+__all__ = ["save_benchmark_data", "load_benchmark_data", "load_cached"]
+
+
+def save_benchmark_data(data: BenchmarkData, path: str | os.PathLike) -> None:
+    """Write a quantized benchmark split to ``path`` (.npz)."""
+    np.savez_compressed(
+        path,
+        name=np.array(data.benchmark.name),
+        x_train=data.x_train,
+        y_train=data.y_train,
+        x_test=data.x_test,
+        y_test=data.y_test,
+        quantizer_low=np.array(data.quantizer.low),
+        quantizer_high=np.array(data.quantizer.high),
+        quantizer_levels=np.array(data.quantizer.levels),
+        informative=data.informative_windows,
+    )
+
+
+def load_benchmark_data(path: str | os.PathLike) -> BenchmarkData:
+    """Load a split saved by :func:`save_benchmark_data`."""
+    with np.load(path) as archive:
+        name = str(archive["name"])
+        quantizer = Quantizer(
+            levels=int(archive["quantizer_levels"]),
+            low=float(archive["quantizer_low"]),
+            high=float(archive["quantizer_high"]),
+        )
+        return BenchmarkData(
+            benchmark=get_benchmark(name),
+            x_train=archive["x_train"],
+            y_train=archive["y_train"],
+            x_test=archive["x_test"],
+            y_test=archive["y_test"],
+            quantizer=quantizer,
+            informative_windows=archive["informative"],
+        )
+
+
+def load_cached(
+    name: str,
+    cache_dir: str | os.PathLike,
+    n_train: int | None = None,
+    n_test: int | None = None,
+    seed: int = 0,
+) -> BenchmarkData:
+    """Load a benchmark through an on-disk cache keyed by its parameters."""
+    cache_dir = Path(cache_dir)
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    benchmark = get_benchmark(name)
+    key_train = n_train or benchmark.default_train
+    key_test = n_test or benchmark.default_test
+    path = cache_dir / f"{name}-{key_train}-{key_test}-s{seed}.npz"
+    if path.exists():
+        return load_benchmark_data(path)
+    data = load(name, n_train=n_train, n_test=n_test, seed=seed)
+    save_benchmark_data(data, path)
+    return data

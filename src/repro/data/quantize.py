@@ -1,0 +1,62 @@
+"""Input discretization to M levels (paper Sec. V-A: M = 256).
+
+Levels are fitted on training data only (uniform bins between robust
+percentiles) so that train/test see the same quantizer — the V codebook of
+the deployed VSA model is indexed by these levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Quantizer", "quantize_dataset"]
+
+
+@dataclass
+class Quantizer:
+    """Uniform quantizer mapping floats to integer levels [0, levels)."""
+
+    levels: int = 256
+    low: float | None = None
+    high: float | None = None
+
+    def fit(self, x: np.ndarray, percentile: float = 0.5) -> "Quantizer":
+        """Fit the value range on training data (robust percentiles)."""
+        if self.levels < 2:
+            raise ValueError("levels must be >= 2")
+        x = np.asarray(x, dtype=np.float64)
+        self.low = float(np.percentile(x, percentile))
+        self.high = float(np.percentile(x, 100.0 - percentile))
+        if self.high <= self.low:
+            self.high = self.low + 1.0
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Map floats to integer levels, clipping out-of-range values."""
+        if self.low is None or self.high is None:
+            raise RuntimeError("quantizer is not fitted")
+        x = np.asarray(x, dtype=np.float64)
+        scaled = (x - self.low) / (self.high - self.low)
+        levels = np.floor(scaled * self.levels).astype(np.int64)
+        return np.clip(levels, 0, self.levels - 1)
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        """Fit the quantizer on x and return its levels."""
+        return self.fit(x).transform(x)
+
+    def inverse(self, levels: np.ndarray) -> np.ndarray:
+        """Map levels back to bin-center floats (for inspection)."""
+        if self.low is None or self.high is None:
+            raise RuntimeError("quantizer is not fitted")
+        centers = (np.asarray(levels, dtype=np.float64) + 0.5) / self.levels
+        return centers * (self.high - self.low) + self.low
+
+
+def quantize_dataset(
+    x_train: np.ndarray, x_test: np.ndarray, levels: int = 256
+) -> tuple[np.ndarray, np.ndarray, Quantizer]:
+    """Fit a quantizer on train data and discretize both splits."""
+    quantizer = Quantizer(levels=levels).fit(x_train)
+    return quantizer.transform(x_train), quantizer.transform(x_test), quantizer

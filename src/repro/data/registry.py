@@ -1,0 +1,124 @@
+"""Benchmark registry: the six evaluation tasks of Table I.
+
+Each entry couples a synthetic generator spec with the paper's searched
+UniVSA configuration so that every experiment (Tables I-IV, Figs. 4/6) can
+refer to benchmarks by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .quantize import Quantizer, quantize_dataset
+from .synthetic import SignalTaskSpec, generate_signal_task
+
+__all__ = ["Benchmark", "BenchmarkData", "register", "get_benchmark", "benchmark_names", "load"]
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """A named benchmark: generator spec + paper Table I model config."""
+
+    spec: SignalTaskSpec
+    # Paper Table I searched configuration (D_H, D_L, D_K, O, Theta).
+    paper_config: tuple[int, int, int, int, int]
+    levels: int = 256  # M
+    default_train: int = 480
+    default_test: int = 240
+
+    @property
+    def name(self) -> str:
+        """Benchmark name."""
+        return self.spec.name
+
+    @property
+    def input_shape(self) -> tuple[int, int]:
+        """Input window shape (W, L)."""
+        return (self.spec.window_count, self.spec.window_length)
+
+    @property
+    def n_classes(self) -> int:
+        """Number of classes."""
+        return self.spec.n_classes
+
+
+@dataclass
+class BenchmarkData:
+    """Quantized train/test splits ready for any model in the repo."""
+
+    benchmark: Benchmark
+    x_train: np.ndarray  # (B, W, L) int64 levels in [0, M)
+    y_train: np.ndarray
+    x_test: np.ndarray
+    y_test: np.ndarray
+    quantizer: Quantizer
+    informative_windows: np.ndarray = field(repr=False)
+
+    @property
+    def n_features(self) -> int:
+        """Number of input features (N = W x L)."""
+        return self.x_train.shape[1] * self.x_train.shape[2]
+
+    def flat_train(self) -> np.ndarray:
+        """Train inputs flattened to (B, W*L)."""
+        return self.x_train.reshape(len(self.x_train), -1)
+
+    def flat_test(self) -> np.ndarray:
+        """Test inputs flattened to (B, W*L)."""
+        return self.x_test.reshape(len(self.x_test), -1)
+
+
+_REGISTRY: dict[str, Benchmark] = {}
+
+
+def register(benchmark: Benchmark) -> Benchmark:
+    """Add a benchmark to the global registry (name must be unique)."""
+    if benchmark.name in _REGISTRY:
+        raise ValueError(f"benchmark {benchmark.name!r} already registered")
+    _REGISTRY[benchmark.name] = benchmark
+    return benchmark
+
+
+def get_benchmark(name: str) -> Benchmark:
+    """Look up a registered benchmark by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def benchmark_names() -> list[str]:
+    """Names of all registered benchmarks, in registration order."""
+    return list(_REGISTRY)
+
+
+def load(
+    name: str,
+    n_train: int | None = None,
+    n_test: int | None = None,
+    seed: int = 0,
+) -> BenchmarkData:
+    """Generate + quantize a benchmark's data (deterministic in ``seed``)."""
+    benchmark = get_benchmark(name)
+    raw = generate_signal_task(
+        benchmark.spec,
+        n_train=n_train or benchmark.default_train,
+        n_test=n_test or benchmark.default_test,
+        seed=seed,
+    )
+    x_train, x_test, quantizer = quantize_dataset(
+        raw.x_train, raw.x_test, levels=benchmark.levels
+    )
+    return BenchmarkData(
+        benchmark=benchmark,
+        x_train=x_train,
+        y_train=raw.y_train,
+        x_test=x_test,
+        y_test=raw.y_test,
+        quantizer=quantizer,
+        informative_windows=raw.informative_windows,
+    )

@@ -1,0 +1,47 @@
+"""Cross-validation splits and stratified subsampling."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["stratified_subsample", "kfold_indices"]
+
+
+def stratified_subsample(
+    y: np.ndarray, n_samples: int, rng: np.random.Generator | int | None = None
+) -> np.ndarray:
+    """Pick ``n_samples`` indices preserving class proportions."""
+    y = np.asarray(y)
+    if n_samples > len(y):
+        raise ValueError("cannot subsample more points than available")
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    classes, counts = np.unique(y, return_counts=True)
+    fractions = counts / counts.sum()
+    picks: list[np.ndarray] = []
+    allocated = 0
+    for i, cls in enumerate(classes):
+        want = int(round(fractions[i] * n_samples)) if i < len(classes) - 1 else n_samples - allocated
+        want = min(max(want, 1), counts[i])
+        allocated += want
+        idx = np.flatnonzero(y == cls)
+        picks.append(gen.choice(idx, size=want, replace=False))
+    result = np.concatenate(picks)
+    gen.shuffle(result)
+    return result[:n_samples]
+
+
+def kfold_indices(
+    n: int, k: int, rng: np.random.Generator | int | None = None
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield (train_idx, val_idx) for k folds over n samples."""
+    if k < 2 or k > n:
+        raise ValueError("k must be in [2, n]")
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    order = gen.permutation(n)
+    folds = np.array_split(order, k)
+    for i in range(k):
+        val = folds[i]
+        train = np.concatenate([folds[j] for j in range(k) if j != i])
+        yield train, val

@@ -1,0 +1,162 @@
+"""Bring-your-own-data pipeline: raw recordings -> UniVSA-ready splits.
+
+When the real datasets (PhysioNet EEGMMI, CHB-MIT, UCI ISOLET/HAR, ...)
+are available, this module is the on-ramp: it applies exactly the
+preprocessing contract the synthetic benchmarks use — per-recording
+sliding windows into a (W, L) matrix, train-only quantizer fitting,
+stratified splitting — so every model in the repository runs on real
+data unchanged.
+
+Accepted inputs: in-memory arrays, ``.npz`` archives with ``signals`` +
+``labels``, or a directory of per-class CSV files (one recording per
+row).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .quantize import Quantizer
+from .windows import sliding_windows
+
+__all__ = ["prepare_windows", "UserDataset", "from_arrays", "from_npz", "from_csv_dir"]
+
+
+def prepare_windows(
+    recordings: np.ndarray, window_count: int, window_length: int
+) -> np.ndarray:
+    """Window each 1-D recording into a (W, L) matrix.
+
+    ``recordings`` is (B, T) float; returns (B, W, L).
+    """
+    recordings = np.asarray(recordings, dtype=np.float64)
+    if recordings.ndim != 2:
+        raise ValueError("recordings must be (B, T)")
+    return np.stack(
+        [sliding_windows(rec, window_count, window_length) for rec in recordings]
+    )
+
+
+class UserDataset:
+    """Quantized user data, API-compatible with benchmark splits."""
+
+    def __init__(
+        self,
+        x_train: np.ndarray,
+        y_train: np.ndarray,
+        x_test: np.ndarray,
+        y_test: np.ndarray,
+        quantizer: Quantizer,
+    ) -> None:
+        self.x_train = x_train
+        self.y_train = y_train
+        self.x_test = x_test
+        self.y_test = y_test
+        self.quantizer = quantizer
+
+    @property
+    def input_shape(self) -> tuple[int, int]:
+        """Input window shape (W, L)."""
+        return self.x_train.shape[1:]
+
+    @property
+    def n_classes(self) -> int:
+        """Number of classes."""
+        return int(max(self.y_train.max(), self.y_test.max())) + 1
+
+    def flat_train(self) -> np.ndarray:
+        """Train inputs flattened to (B, W*L)."""
+        return self.x_train.reshape(len(self.x_train), -1)
+
+    def flat_test(self) -> np.ndarray:
+        """Test inputs flattened to (B, W*L)."""
+        return self.x_test.reshape(len(self.x_test), -1)
+
+
+def from_arrays(
+    signals: np.ndarray,
+    labels: np.ndarray,
+    window_count: int,
+    window_length: int,
+    levels: int = 256,
+    test_fraction: float = 0.25,
+    seed: int = 0,
+) -> UserDataset:
+    """Build a quantized split from raw (B, T) recordings + labels."""
+    signals = np.asarray(signals, dtype=np.float64)
+    labels = np.asarray(labels)
+    if len(signals) != len(labels):
+        raise ValueError("signals/labels length mismatch")
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    windows = prepare_windows(signals, window_count, window_length)
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(windows))
+    n_test = max(1, int(round(test_fraction * len(windows))))
+    test_idx, train_idx = order[:n_test], order[n_test:]
+    quantizer = Quantizer(levels=levels).fit(windows[train_idx])
+    return UserDataset(
+        x_train=quantizer.transform(windows[train_idx]),
+        y_train=labels[train_idx],
+        x_test=quantizer.transform(windows[test_idx]),
+        y_test=labels[test_idx],
+        quantizer=quantizer,
+    )
+
+
+def from_npz(
+    path: str | Path,
+    window_count: int,
+    window_length: int,
+    levels: int = 256,
+    test_fraction: float = 0.25,
+    seed: int = 0,
+) -> UserDataset:
+    """Load ``signals`` (B, T) and ``labels`` (B,) from an .npz archive."""
+    with np.load(path) as archive:
+        if "signals" not in archive or "labels" not in archive:
+            raise ValueError("npz must contain 'signals' and 'labels'")
+        signals = archive["signals"]
+        labels = archive["labels"]
+    return from_arrays(
+        signals, labels, window_count, window_length, levels, test_fraction, seed
+    )
+
+
+def from_csv_dir(
+    directory: str | Path,
+    window_count: int,
+    window_length: int,
+    levels: int = 256,
+    test_fraction: float = 0.25,
+    seed: int = 0,
+) -> UserDataset:
+    """Load a directory of ``<class-name>.csv`` files (one recording/row).
+
+    Class labels are assigned by sorted file order, so the mapping is
+    deterministic across runs.
+    """
+    directory = Path(directory)
+    files = sorted(directory.glob("*.csv"))
+    if not files:
+        raise ValueError(f"no .csv files in {directory}")
+    signals = []
+    labels = []
+    for label, path in enumerate(files):
+        rows = np.loadtxt(path, delimiter=",", ndmin=2)
+        signals.append(rows)
+        labels.append(np.full(len(rows), label))
+    lengths = {s.shape[1] for s in signals}
+    if len(lengths) != 1:
+        raise ValueError(f"inconsistent recording lengths across files: {lengths}")
+    return from_arrays(
+        np.concatenate(signals),
+        np.concatenate(labels),
+        window_count,
+        window_length,
+        levels,
+        test_fraction,
+        seed,
+    )

@@ -1,0 +1,44 @@
+"""Sliding-window preprocessing (Sec. III-A input pipeline).
+
+BCI signals are "preprocessed and evenly divided into W sliding windows with
+overlap, where each window contains a signal snippet of length L"; the model
+input is the (W, L) matrix of snippets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sliding_windows", "window_layout"]
+
+
+def window_layout(
+    total_length: int, window_count: int, window_length: int
+) -> tuple[np.ndarray, int]:
+    """Compute window start offsets and overlap for a W x L division.
+
+    Returns (starts, overlap).  Windows are evenly spaced so the first
+    starts at 0 and the last ends at ``total_length``; the overlap is
+    ``window_length - stride`` (may be 0 for non-overlapping layouts).
+    """
+    if window_count < 1 or window_length < 1:
+        raise ValueError("window_count and window_length must be positive")
+    if window_length > total_length:
+        raise ValueError("window longer than the signal")
+    if window_count == 1:
+        return np.array([0]), 0
+    span = total_length - window_length
+    starts = np.linspace(0, span, window_count).round().astype(int)
+    stride = int(starts[1] - starts[0]) if window_count > 1 else window_length
+    return starts, max(window_length - stride, 0)
+
+
+def sliding_windows(
+    signal: np.ndarray, window_count: int, window_length: int
+) -> np.ndarray:
+    """Divide a 1-D signal into (window_count, window_length) snippets."""
+    signal = np.asarray(signal)
+    if signal.ndim != 1:
+        raise ValueError("sliding_windows expects a 1-D signal")
+    starts, _ = window_layout(signal.shape[0], window_count, window_length)
+    return np.stack([signal[s : s + window_length] for s in starts])

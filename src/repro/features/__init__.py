@@ -1,0 +1,13 @@
+"""Feature-importance selection for DVP masks."""
+
+from .selection import (
+    greedy_wrapper_selection,
+    importance_mask,
+    mutual_information_scores,
+)
+
+__all__ = [
+    "mutual_information_scores",
+    "greedy_wrapper_selection",
+    "importance_mask",
+]

@@ -1,0 +1,75 @@
+"""Hardware model: cycle simulation, resources, power, memory, cost."""
+
+from .arch import HardwareSpec
+from .axi import AxiLinkConfig, IoAnalysis, io_analysis
+from .energy import EnergyReport, energy_report
+from .timeline import render_timeline
+from .calibration import (
+    CYCLE_CONSTANTS,
+    LUT_MODEL,
+    PAPER_CONFIGS,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    POWER_MODEL,
+    fit_lut_model,
+    fit_power_model,
+)
+from .faults import FaultReport, fault_sweep, inject_bit_flips
+from .cost import BASIS_CONFIG, codesign_objective, hardware_penalty, resource_units
+from .cycles import StageCycles, latency_ms, stage_cycles, total_latency_cycles
+from .memory import MemoryBreakdown, memory_bits, memory_breakdown, memory_kb
+from .pipeline import PipelineSchedule, pipeline_schedule, throughput_per_s
+from .power import estimate_power_w
+from .report import HardwareReport, hardware_report
+from .rtl import RtlBundle, generate_rtl
+from .resources import ResourceReport, estimate_resources, stage_lut_shares
+from .simulator import HardwareSimulator, SimulationResult, StageEvent
+from .verify import verify_bit_exactness
+
+__all__ = [
+    "HardwareSpec",
+    "AxiLinkConfig",
+    "IoAnalysis",
+    "io_analysis",
+    "EnergyReport",
+    "energy_report",
+    "render_timeline",
+    "FaultReport",
+    "fault_sweep",
+    "inject_bit_flips",
+    "CYCLE_CONSTANTS",
+    "LUT_MODEL",
+    "POWER_MODEL",
+    "PAPER_CONFIGS",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+    "fit_lut_model",
+    "fit_power_model",
+    "BASIS_CONFIG",
+    "codesign_objective",
+    "hardware_penalty",
+    "resource_units",
+    "StageCycles",
+    "stage_cycles",
+    "total_latency_cycles",
+    "latency_ms",
+    "MemoryBreakdown",
+    "memory_bits",
+    "memory_breakdown",
+    "memory_kb",
+    "PipelineSchedule",
+    "pipeline_schedule",
+    "throughput_per_s",
+    "estimate_power_w",
+    "HardwareReport",
+    "hardware_report",
+    "RtlBundle",
+    "generate_rtl",
+    "ResourceReport",
+    "estimate_resources",
+    "stage_lut_shares",
+    "HardwareSimulator",
+    "SimulationResult",
+    "StageEvent",
+    "verify_bit_exactness",
+]

@@ -1,0 +1,82 @@
+"""Structural description of the UniVSA hardware (Fig. 5 architecture).
+
+Derives every dimension the cycle/resource/power models need from a model
+configuration and input shape: the DVP lookup stream, the double-buffered
+binary-convolution engine parallel over O, the encoding adder tree, and the
+soft-voting similarity accumulators.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.config import UniVSAConfig
+
+__all__ = ["HardwareSpec"]
+
+
+@dataclass(frozen=True)
+class HardwareSpec:
+    """All structural quantities of one UniVSA hardware instance."""
+
+    config: UniVSAConfig
+    input_shape: tuple[int, int]
+    n_classes: int
+    frequency_mhz: float = 250.0  # paper: 250 MHz on ZU3EG
+
+    # ------------------------------------------------------------------
+    @property
+    def n_features(self) -> int:
+        """N = W x L input features."""
+        return self.input_shape[0] * self.input_shape[1]
+
+    @property
+    def positions(self) -> int:
+        """Output positions W' x L' ('same' convolution => W x L)."""
+        return self.n_features
+
+    @property
+    def alpha(self) -> int:
+        """Cycles per convolution iteration: alpha = max(D_K, log2 D_H).
+
+        One iteration streams a kernel column (D_K values) while the
+        popcount tree over D_H channels needs log2(D_H) pipeline stages;
+        the slower of the two paces the engine (Fig. 5, bottom right).
+        """
+        log_dh = max(1, math.ceil(math.log2(max(self.config.d_high, 2))))
+        return max(self.config.kernel_size, log_dh)
+
+    @property
+    def conv_iterations(self) -> int:
+        """W' x L' x D_K iterations (Sec. IV-A, Binary Convolution)."""
+        return self.positions * self.config.kernel_size
+
+    @property
+    def conv_datapath_units(self) -> int:
+        """Eq. 6 structural size: D_K x O x D_H XNOR/accumulate cells."""
+        return self.config.kernel_size * self.config.out_channels * self.config.d_high
+
+    @property
+    def encoder_tree_depth(self) -> int:
+        """Adder-tree depth of the encoding stage: ceil(log2 O)."""
+        return max(1, math.ceil(math.log2(max(self.config.encoding_channels(), 2))))
+
+    @property
+    def similarity_units(self) -> int:
+        """Parallel accumulators: Theta x C (partial parallelism, Sec. IV-A)."""
+        return self.config.voters * self.n_classes
+
+    @property
+    def accumulator_width(self) -> int:
+        """Bit width of similarity accumulators: ceil(log2 (W*L)) + 1."""
+        return math.ceil(math.log2(max(self.positions, 2))) + 1
+
+    @property
+    def line_buffer_bits(self) -> int:
+        """Conv line buffer: D_K rows of L positions x D_H channels."""
+        return self.config.d_high * self.input_shape[1] * self.config.kernel_size
+
+    def clock_period_ns(self) -> float:
+        """Clock period in nanoseconds."""
+        return 1000.0 / self.frequency_mhz

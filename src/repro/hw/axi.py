@@ -1,0 +1,77 @@
+"""Host-to-accelerator I/O model (the paper's AXI_HPM_LPD link).
+
+The CPU streams each sample's W x L discretized values (one byte each at
+M = 256) to the FPGA over AXI and reads back the class scores.  This
+module models that transfer and answers whether the design is compute- or
+I/O-bound: under streaming, input transfer of sample k+1 overlaps BiConv
+of sample k, so the effective initiation interval is
+max(compute_interval, transfer_cycles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .arch import HardwareSpec
+from .pipeline import pipeline_schedule
+
+__all__ = ["AxiLinkConfig", "IoAnalysis", "io_analysis"]
+
+
+@dataclass(frozen=True)
+class AxiLinkConfig:
+    """AXI link parameters (defaults: 32-bit LPD port at the fabric clock)."""
+
+    data_width_bits: int = 32
+    bus_frequency_mhz: float = 250.0
+    burst_length: int = 16  # beats per burst
+    burst_overhead_cycles: int = 4  # address phase + response per burst
+
+    def __post_init__(self) -> None:
+        if self.data_width_bits % 8:
+            raise ValueError("data_width_bits must be byte-aligned")
+        if self.burst_length < 1:
+            raise ValueError("burst_length must be >= 1")
+
+
+@dataclass(frozen=True)
+class IoAnalysis:
+    """Transfer-vs-compute balance of one design point."""
+
+    input_bytes: int
+    output_bytes: int
+    transfer_cycles: int  # in fabric-clock cycles
+    compute_interval: int
+    effective_interval: int
+    io_bound: bool
+
+    @property
+    def io_utilization(self) -> float:
+        """Fraction of the steady-state interval the link is busy."""
+        return self.transfer_cycles / self.effective_interval
+
+
+def _burst_cycles(n_bytes: int, link: AxiLinkConfig) -> int:
+    beats = -(-n_bytes * 8 // link.data_width_bits)  # ceil
+    bursts = -(-beats // link.burst_length)
+    return beats + bursts * link.burst_overhead_cycles
+
+
+def io_analysis(spec: HardwareSpec, link: AxiLinkConfig = AxiLinkConfig()) -> IoAnalysis:
+    """Model per-sample AXI traffic against the compute pipeline."""
+    input_bytes = spec.n_features  # one byte per discretized value (M=256)
+    # Scores: one accumulator word per (voter-summed) class.
+    output_bytes = spec.n_classes * 4
+    bus_cycles = _burst_cycles(input_bytes, link) + _burst_cycles(output_bytes, link)
+    # Convert bus cycles to fabric cycles.
+    transfer_cycles = int(round(bus_cycles * spec.frequency_mhz / link.bus_frequency_mhz))
+    compute = pipeline_schedule(spec).initiation_interval
+    effective = max(compute, transfer_cycles)
+    return IoAnalysis(
+        input_bytes=input_bytes,
+        output_bytes=output_bytes,
+        transfer_cycles=transfer_cycles,
+        compute_interval=compute,
+        effective_interval=effective,
+        io_bound=transfer_cycles > compute,
+    )

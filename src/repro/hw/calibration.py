@@ -1,0 +1,191 @@
+"""Calibrated technology constants and the paper tables they come from.
+
+The paper reports measured Vivado results on a ZU3EG (Tables III and IV).
+We cannot run Vivado, so the resource/power/cycle models carry small
+coefficient sets calibrated *once* against those published rows; the
+calibration procedure itself ships here (:func:`fit_lut_model`,
+:func:`fit_power_model`) so the fit is reproducible, and the residuals are
+part of the recorded experiment output (EXPERIMENTS.md).
+
+Calibration findings (see DESIGN.md Sec. 5):
+
+* Table IV's throughput column is reproduced within ~2% (alpha = 3 tasks)
+  by ``interval = W*L*D_K*(alpha + 1.69)`` — the conv engine paces the
+  stream with ~1.7 cycles of per-iteration overhead.
+* Latency is consistent with DVP + encode + similarity adding ~3 cycles
+  per input feature on top of the conv time.
+* LUTs follow a power law ``2.35 * (D_K*O*D_H)^0.60 * N^0.62 * D_K^0.53``
+  (sub-linear exponents: the paper manages parallelism down as configs
+  grow).  Max residual 24% (HAR), most rows < 3%.
+* Power = 11.8 uW/LUT + 0.53 W per 1e9 switched volume bits/s.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "CycleConstants",
+    "CYCLE_CONSTANTS",
+    "LUT_MODEL",
+    "POWER_MODEL",
+    "BRAM_BITS_PER_BLOCK",
+    "PAPER_TABLE4",
+    "PAPER_TABLE3",
+    "fit_lut_model",
+    "fit_power_model",
+]
+
+
+@dataclass(frozen=True)
+class CycleConstants:
+    """Small schedule constants of the cycle model."""
+
+    dvp_cycles_per_feature: int = 1
+    fifo_depth: int = 8
+    conv_iteration_overhead: float = 1.69  # fitted to Table IV throughput
+    stage_handoff: int = 4
+    controller_overhead: int = 16
+
+
+CYCLE_CONSTANTS = CycleConstants()
+
+# LUTs ~= k * (D_K*O*D_H)^a * N^b * D_K^c   (log-space least squares on
+# Table IV; see fit_lut_model below).
+LUT_MODEL = {"k": math.exp(0.85434753), "a": 0.60185284, "b": 0.62050410, "c": 0.53215447}
+
+# Power [W] = per_lut * LUTs + per_gbps * (throughput * N * D_H / 1e9)
+# (non-negative least squares on Table IV; static term fitted to zero --
+# the ZU3EG static power is folded into the per-LUT coefficient).
+POWER_MODEL = {"static": 0.0, "per_lut": 1.17885282e-5, "per_gbps": 0.52790883}
+
+# One ZU3EG BRAM36 block stores 36 kbit.
+BRAM_BITS_PER_BLOCK = 36 * 1024
+
+# Table IV of the paper: per-task measured hardware results.
+# name -> (latency_ms, power_w, luts, brams, dsps, throughput_per_s)
+PAPER_TABLE4 = {
+    "eegmmi": (0.070, 0.45, 33_620, 3, 0, 17_340),
+    "bci-iii-v": (0.007, 0.18, 10_100, 1, 0, 184_840),
+    "chb-b": (0.100, 0.34, 13_920, 1, 0, 12_060),
+    "chb-ib": (0.206, 0.21, 16_460, 1, 0, 5_300),
+    "isolet": (0.044, 0.11, 7_920, 1, 0, 27_780),
+    "har": (0.039, 0.10, 6_780, 1, 0, 30_850),
+}
+
+# Table III: published comparison rows (literature constants the paper
+# itself cites; parenthesized values in the paper are estimates).
+# name -> dict of the printed columns.
+PAPER_TABLE3 = {
+    "SVM [31]": {
+        "fpga": "Virtex-5",
+        "input": "(20,20) / -",
+        "freq_mhz": 84,
+        "memory_kb": 406.0,
+        "latency_ms": 14.29,
+        "power_w": 3.2,
+        "luts": 31_850,
+        "brams": 131,
+        "dsps": 59,
+    },
+    "KNN [16]": {
+        "fpga": "Stratix IV",
+        "input": "64 / 2",
+        "freq_mhz": 131.42,
+        "memory_kb": None,
+        "latency_ms": 69.12,
+        "power_w": 24.0,
+        "luts": 135_000,
+        "brams": None,
+        "dsps": 80,
+    },
+    "BNN [14]": {
+        "fpga": "Zynq-ZU3EG",
+        "input": "(3,32,32) / 10",
+        "freq_mhz": 250,
+        "memory_kb": None,
+        "latency_ms": 0.36,
+        "power_w": 4.1,
+        "luts": 51_440,
+        "brams": 212,
+        "dsps": 126,
+    },
+    "QNN [13]": {
+        "fpga": "Zynq-ZU3EG",
+        "input": "(3,224,224) / 1000",
+        "freq_mhz": 250,
+        "memory_kb": 1450.0,
+        "latency_ms": 24.33,
+        "power_w": 5.5,
+        "luts": 51_780,
+        "brams": 159,
+        "dsps": 360,
+    },
+    "LookHD [9]": {
+        "fpga": "Kintex-7",
+        "input": "617 / 26",
+        "freq_mhz": 200,
+        "memory_kb": 165.0,
+        "latency_ms": None,
+        "power_w": 9.52,
+        "luts": 165_000,
+        "brams": 175,
+        "dsps": 807,
+    },
+    "LDC [11]": {
+        "fpga": "Zynq-ZU3EG",
+        "input": "784 / 10",
+        "freq_mhz": 200,
+        "memory_kb": 6.48,
+        "latency_ms": 0.004,
+        "power_w": 0.016,
+        "luts": 750,
+        "brams": 5,
+        "dsps": 1,
+    },
+}
+
+# Paper Table I configurations, duplicated here so the hw package does not
+# depend on the dataset registry.
+PAPER_CONFIGS = {
+    "eegmmi": ((16, 64), 2, (8, 2, 3, 95, 1)),
+    "bci-iii-v": ((16, 6), 3, (8, 1, 3, 151, 3)),
+    "chb-b": ((23, 64), 2, (8, 2, 3, 16, 3)),
+    "chb-ib": ((23, 64), 2, (4, 1, 5, 16, 1)),
+    "isolet": ((16, 40), 26, (4, 4, 3, 22, 3)),
+    "har": ((16, 36), 6, (8, 4, 3, 18, 3)),
+}
+
+
+def fit_lut_model() -> dict[str, float]:
+    """Re-derive the LUT power-law coefficients from PAPER_TABLE4.
+
+    Returns {"k", "a", "b", "c"}; the shipped LUT_MODEL values are this
+    fit's output, frozen for determinism.
+    """
+    rows = []
+    targets = []
+    for name, ((w, length), _classes, (dh, _dl, dk, o, _th)) in PAPER_CONFIGS.items():
+        n = w * length
+        rows.append([math.log(dk * o * dh), math.log(n), math.log(dk), 1.0])
+        targets.append(math.log(PAPER_TABLE4[name][2]))
+    coef, *_ = np.linalg.lstsq(np.array(rows), np.array(targets), rcond=None)
+    return {"k": math.exp(coef[3]), "a": coef[0], "b": coef[1], "c": coef[2]}
+
+
+def fit_power_model() -> dict[str, float]:
+    """Re-derive the power coefficients from PAPER_TABLE4 (NNLS)."""
+    from scipy.optimize import nnls
+
+    rows = []
+    targets = []
+    for name, ((w, length), _classes, (dh, _dl, _dk, _o, _th)) in PAPER_CONFIGS.items():
+        latency_ms, power_w, luts, _, _, throughput = PAPER_TABLE4[name]
+        n = w * length
+        rows.append([1.0, luts, throughput * n * dh / 1e9])
+        targets.append(power_w)
+    coef, _ = nnls(np.array(rows), np.array(targets))
+    return {"static": coef[0], "per_lut": coef[1], "per_gbps": coef[2]}

@@ -1,0 +1,63 @@
+"""Hardware penalty for co-design: Eq. 6 and Eq. 7 of the paper.
+
+    Resource ~= beta * D_K * O * D_H                          (Eq. 6)
+    L_HW = lambda1 * Memory/M0 + lambda2 * Resource/R0        (Eq. 7)
+
+The basis (M0, R0) is the paper's reference configuration
+(D_H, D_L, D_K, O, Theta, M) = (4, 2, 3, 64, 1, 256); lambda1 = lambda2 =
+0.005 in the evaluation.  The search objective is ``accuracy - L_HW``.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import UniVSAConfig
+
+from .memory import memory_bits
+
+__all__ = [
+    "BASIS_CONFIG",
+    "resource_units",
+    "hardware_penalty",
+    "codesign_objective",
+]
+
+BASIS_CONFIG = UniVSAConfig(
+    d_high=4, d_low=2, kernel_size=3, out_channels=64, voters=1, levels=256
+)
+
+
+def resource_units(config: UniVSAConfig, beta: float = 1.0) -> float:
+    """Eq. 6: Resource ~= beta * D_K * O * D_H.
+
+    Without BiConv the datapath reduces to the encoding row over D_H.
+    """
+    if config.use_biconv:
+        return beta * config.kernel_size * config.out_channels * config.d_high
+    return beta * config.d_high
+
+
+def hardware_penalty(
+    config: UniVSAConfig,
+    input_shape: tuple[int, int],
+    n_classes: int,
+    lambda1: float = 0.005,
+    lambda2: float = 0.005,
+) -> float:
+    """Eq. 7: normalized memory + resource penalty L_HW."""
+    memory = memory_bits(config, input_shape, n_classes)
+    basis_memory = memory_bits(BASIS_CONFIG, input_shape, n_classes)
+    resource = resource_units(config)
+    basis_resource = resource_units(BASIS_CONFIG)
+    return lambda1 * memory / basis_memory + lambda2 * resource / basis_resource
+
+
+def codesign_objective(
+    accuracy: float,
+    config: UniVSAConfig,
+    input_shape: tuple[int, int],
+    n_classes: int,
+    lambda1: float = 0.005,
+    lambda2: float = 0.005,
+) -> float:
+    """The search objective obj = Acc - L_HW (Sec. V-A, Model Design)."""
+    return accuracy - hardware_penalty(config, input_shape, n_classes, lambda1, lambda2)

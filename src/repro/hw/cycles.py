@@ -1,0 +1,76 @@
+"""Per-stage cycle model of the UniVSA pipeline (Fig. 5 scheduling).
+
+Stage timings, matching the micro-architecture description:
+
+* **DVP**: sequential (one feature value looked up per cycle, Sec. IV-A)
+  behind an input FIFO.
+* **BiConv**: W' x L' x D_K iterations, each taking
+  alpha = max(D_K, log2 D_H) cycles plus a small per-iteration pipeline
+  overhead (operand fetch under double buffering).  The overhead constant
+  is calibrated against the paper's Table IV throughput column (see
+  :mod:`repro.hw.calibration`); the published numbers are consistent with
+  ~1.7 extra cycles per iteration across all six tasks.
+* **Encoding**: one output position per cycle through the XNOR + adder
+  tree, plus the tree drain.
+* **Similarity**: one position per cycle with Theta x C accumulators in
+  parallel, plus the final compare chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .arch import HardwareSpec
+from .calibration import CYCLE_CONSTANTS
+
+__all__ = ["StageCycles", "stage_cycles", "total_latency_cycles", "latency_ms"]
+
+
+@dataclass(frozen=True)
+class StageCycles:
+    """Cycle counts of the four computing stages plus control."""
+
+    dvp: int
+    conv: int
+    encode: int
+    similarity: int
+    control: int
+
+    @property
+    def total(self) -> int:
+        """End-to-end latency for one (non-streamed) sample."""
+        return self.dvp + self.conv + self.encode + self.similarity + self.control
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view of the record."""
+        return {
+            "dvp": self.dvp,
+            "biconv": self.conv,
+            "encode": self.encode,
+            "similarity": self.similarity,
+            "control": self.control,
+        }
+
+
+def stage_cycles(spec: HardwareSpec) -> StageCycles:
+    """Cycle counts per stage for one input sample."""
+    constants = CYCLE_CONSTANTS
+    dvp = spec.n_features * constants.dvp_cycles_per_feature + constants.fifo_depth
+    conv_per_iter = spec.alpha + constants.conv_iteration_overhead
+    conv = int(round(spec.conv_iterations * conv_per_iter))
+    encode = spec.positions + spec.encoder_tree_depth + constants.stage_handoff
+    similarity = spec.positions + spec.accumulator_width + constants.stage_handoff
+    control = constants.controller_overhead
+    return StageCycles(
+        dvp=int(dvp), conv=conv, encode=int(encode), similarity=int(similarity), control=control
+    )
+
+
+def total_latency_cycles(spec: HardwareSpec) -> int:
+    """Single-sample latency in cycles (stages run back to back)."""
+    return stage_cycles(spec).total
+
+
+def latency_ms(spec: HardwareSpec) -> float:
+    """Single-sample latency in milliseconds at the spec's clock."""
+    return total_latency_cycles(spec) * spec.clock_period_ns() / 1e6

@@ -1,0 +1,63 @@
+"""Energy accounting: per-inference energy and battery-life estimation.
+
+Resource-stringent devices are energy-budgeted, not just power-budgeted:
+an implanted BCI runs from a ~200 mWh-class cell.  This module combines
+the calibrated power model with the cycle model to answer the questions a
+deployment actually asks: microjoules per inference, and hours of
+continuous operation at a given inference rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .arch import HardwareSpec
+from .cycles import stage_cycles
+from .pipeline import pipeline_schedule
+from .power import estimate_power_w
+
+__all__ = ["EnergyReport", "energy_report"]
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy figures for one UniVSA hardware instance."""
+
+    power_w: float
+    energy_per_inference_uj: float  # streaming steady state
+    energy_per_inference_burst_uj: float  # single-shot (full latency)
+    max_inference_rate: float  # samples/s at full utilization
+
+    def battery_hours(self, capacity_mwh: float, inferences_per_s: float) -> float:
+        """Continuous runtime on a battery at a given workload.
+
+        The duty-cycled power is the active-energy rate plus nothing else
+        (static power is folded into the calibrated per-LUT coefficient,
+        which scales with utilization here).
+        """
+        if inferences_per_s <= 0:
+            raise ValueError("inferences_per_s must be positive")
+        if inferences_per_s > self.max_inference_rate:
+            raise ValueError(
+                f"workload {inferences_per_s:.0f}/s exceeds peak rate "
+                f"{self.max_inference_rate:.0f}/s"
+            )
+        active_power_w = (
+            self.energy_per_inference_uj * 1e-6 * inferences_per_s
+        )
+        return capacity_mwh * 1e-3 / active_power_w if active_power_w > 0 else float("inf")
+
+
+def energy_report(spec: HardwareSpec) -> EnergyReport:
+    """Derive energy figures from the calibrated power + cycle models."""
+    power = estimate_power_w(spec)
+    schedule = pipeline_schedule(spec)
+    period_s = spec.clock_period_ns() * 1e-9
+    streaming_energy_j = power * schedule.initiation_interval * period_s
+    burst_energy_j = power * stage_cycles(spec).total * period_s
+    return EnergyReport(
+        power_w=power,
+        energy_per_inference_uj=streaming_energy_j * 1e6,
+        energy_per_inference_burst_uj=burst_energy_j * 1e6,
+        max_inference_rate=schedule.throughput(spec.frequency_mhz),
+    )

@@ -1,0 +1,87 @@
+"""Fault injection: bit flips in the stored vector memories.
+
+Resource-stringent deployments (implanted BCIs especially) care about
+robustness to memory corruption — single-event upsets in the BRAM holding
+F or the LUTRAM holding V/K/C.  Binary VSA's holographic representations
+degrade gracefully under such flips; this module quantifies that for a
+deployed UniVSA model.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.export import UniVSAArtifacts
+
+__all__ = ["FaultReport", "inject_bit_flips", "fault_sweep"]
+
+_GROUPS = ("value_high", "value_low", "kernel", "feature_vectors", "class_vectors")
+
+
+def inject_bit_flips(
+    artifacts: UniVSAArtifacts,
+    flip_fraction: float,
+    groups: tuple[str, ...] = _GROUPS,
+    seed: int = 0,
+) -> UniVSAArtifacts:
+    """Return a copy with ``flip_fraction`` of the selected bits flipped.
+
+    ``groups`` selects which stored memories are corrupted; groups not
+    present in the artifact (e.g. ``kernel`` with BiConv off) are skipped.
+    """
+    if not 0.0 <= flip_fraction <= 1.0:
+        raise ValueError("flip_fraction must be in [0, 1]")
+    unknown = set(groups) - set(_GROUPS)
+    if unknown:
+        raise ValueError(f"unknown memory groups: {sorted(unknown)}")
+    corrupted = copy.deepcopy(artifacts)
+    rng = np.random.default_rng(seed)
+    for group in groups:
+        array = getattr(corrupted, group)
+        if array is None:
+            continue
+        flat = array.reshape(-1)
+        n_flips = int(round(flip_fraction * flat.size))
+        if n_flips == 0:
+            continue
+        idx = rng.choice(flat.size, size=n_flips, replace=False)
+        flat[idx] = -flat[idx]
+    return corrupted
+
+
+@dataclass
+class FaultReport:
+    """Accuracy vs flip rate for one memory group selection."""
+
+    flip_fractions: list[float]
+    accuracies: list[float]
+    baseline_accuracy: float
+
+    def degradation(self) -> list[float]:
+        """Accuracy drop vs the fault-free model, per flip rate."""
+        return [self.baseline_accuracy - a for a in self.accuracies]
+
+
+def fault_sweep(
+    artifacts: UniVSAArtifacts,
+    levels: np.ndarray,
+    labels: np.ndarray,
+    flip_fractions: tuple[float, ...] = (0.001, 0.01, 0.05, 0.1),
+    groups: tuple[str, ...] = _GROUPS,
+    seed: int = 0,
+) -> FaultReport:
+    """Measure accuracy under increasing memory-corruption rates."""
+    labels = np.asarray(labels)
+    baseline = float((artifacts.predict(levels) == labels).mean())
+    accuracies = []
+    for fraction in flip_fractions:
+        corrupted = inject_bit_flips(artifacts, fraction, groups=groups, seed=seed)
+        accuracies.append(float((corrupted.predict(levels) == labels).mean()))
+    return FaultReport(
+        flip_fractions=list(flip_fractions),
+        accuracies=accuracies,
+        baseline_accuracy=baseline,
+    )

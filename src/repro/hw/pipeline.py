@@ -1,0 +1,59 @@
+"""Streaming-pipeline schedule (Fig. 5 bottom-right).
+
+Under streaming inputs, the central controller overlaps DVP of sample
+k+1 with BiConv of sample k (double buffering) and the encode/similarity
+of sample k-1; the initiation interval is set by the slowest stage —
+BiConv in every paper configuration — so throughput = f / conv_cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .arch import HardwareSpec
+from .cycles import StageCycles, stage_cycles
+
+__all__ = ["PipelineSchedule", "pipeline_schedule", "throughput_per_s"]
+
+
+@dataclass(frozen=True)
+class PipelineSchedule:
+    """Steady-state schedule of the streaming pipeline."""
+
+    stages: StageCycles
+    initiation_interval: int  # cycles between consecutive sample starts
+    bottleneck: str
+
+    def latency_cycles(self) -> int:
+        """Single-sample fill latency (all stages end to end)."""
+        return self.stages.total
+
+    def completion_cycle(self, sample_index: int) -> int:
+        """Cycle at which sample ``sample_index`` (0-based) completes."""
+        return self.stages.total + sample_index * self.initiation_interval
+
+    def throughput(self, frequency_mhz: float) -> float:
+        """Samples per second at the given clock."""
+        return frequency_mhz * 1e6 / self.initiation_interval
+
+
+def pipeline_schedule(spec: HardwareSpec) -> PipelineSchedule:
+    """Derive the steady-state schedule for one hardware instance."""
+    stages = stage_cycles(spec)
+    candidates = {
+        "dvp": stages.dvp,
+        "biconv": stages.conv,
+        "encode": stages.encode,
+        "similarity": stages.similarity,
+    }
+    bottleneck = max(candidates, key=candidates.get)
+    return PipelineSchedule(
+        stages=stages,
+        initiation_interval=candidates[bottleneck],
+        bottleneck=bottleneck,
+    )
+
+
+def throughput_per_s(spec: HardwareSpec) -> float:
+    """Streaming throughput in samples/second."""
+    return pipeline_schedule(spec).throughput(spec.frequency_mhz)

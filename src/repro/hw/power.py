@@ -1,0 +1,29 @@
+"""Power model calibrated against the paper's Table IV.
+
+    P = static + per_lut * LUTs + per_gbps * switched_volume_Gbps
+
+The switched-volume term captures toggling in the value-volume datapath:
+``throughput * N * D_H`` bits enter the conv engine per second.
+"""
+
+from __future__ import annotations
+
+from .arch import HardwareSpec
+from .calibration import POWER_MODEL
+from .pipeline import throughput_per_s
+from .resources import estimate_resources
+
+__all__ = ["estimate_power_w"]
+
+
+def estimate_power_w(spec: HardwareSpec, luts: int | None = None) -> float:
+    """Estimated on-chip power in watts.
+
+    ``luts`` may be supplied to reuse an existing resource estimate.
+    """
+    if luts is None:
+        luts = estimate_resources(spec).luts
+    throughput = throughput_per_s(spec)
+    switched_gbps = throughput * spec.n_features * spec.config.d_high / 1e9
+    model = POWER_MODEL
+    return model["static"] + model["per_lut"] * luts + model["per_gbps"] * switched_gbps

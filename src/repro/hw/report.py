@@ -1,0 +1,76 @@
+"""One-call hardware report: everything Table IV prints for one design."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import UniVSAConfig
+
+from .arch import HardwareSpec
+from .cycles import latency_ms, stage_cycles
+from .memory import memory_kb
+from .pipeline import pipeline_schedule
+from .power import estimate_power_w
+from .resources import estimate_resources
+
+__all__ = ["HardwareReport", "hardware_report"]
+
+
+@dataclass(frozen=True)
+class HardwareReport:
+    """The Table IV row for one UniVSA design point."""
+
+    name: str
+    latency_ms: float
+    power_w: float
+    luts: int
+    brams: int
+    dsps: int
+    throughput_per_s: float
+    memory_kb: float
+    stage_cycles: dict[str, int]
+    stage_luts: dict[str, int]
+    bottleneck: str
+
+    def as_row(self) -> list[object]:
+        """Row in the paper's Table IV column order."""
+        return [
+            self.name,
+            round(self.latency_ms, 3),
+            round(self.power_w, 2),
+            round(self.luts / 1000, 2),
+            self.brams,
+            self.dsps,
+            round(self.throughput_per_s / 1000, 2),
+        ]
+
+
+def hardware_report(
+    config: UniVSAConfig,
+    input_shape: tuple[int, int],
+    n_classes: int,
+    name: str = "univsa",
+    frequency_mhz: float = 250.0,
+) -> HardwareReport:
+    """Full hardware evaluation of one design point."""
+    spec = HardwareSpec(
+        config=config,
+        input_shape=input_shape,
+        n_classes=n_classes,
+        frequency_mhz=frequency_mhz,
+    )
+    resources = estimate_resources(spec)
+    schedule = pipeline_schedule(spec)
+    return HardwareReport(
+        name=name,
+        latency_ms=latency_ms(spec),
+        power_w=estimate_power_w(spec, luts=resources.luts),
+        luts=resources.luts,
+        brams=resources.brams,
+        dsps=resources.dsps,
+        throughput_per_s=schedule.throughput(frequency_mhz),
+        memory_kb=memory_kb(config, input_shape, n_classes),
+        stage_cycles=stage_cycles(spec).as_dict(),
+        stage_luts=resources.stage_luts,
+        bottleneck=schedule.bottleneck,
+    )

@@ -1,0 +1,87 @@
+"""FPGA resource model: LUTs, BRAMs, DSPs, with per-stage breakdown.
+
+* **LUTs** follow the calibrated power law over the Eq. 6 datapath size
+  and the position count (see :mod:`repro.hw.calibration`); the total is
+  distributed across stages proportionally to their structural unit
+  counts, which is what Fig. 6 plots.
+* **BRAMs** hold the feature-vector store F (the one large sequential
+  memory); one ZU3EG block is 36 kbit.  This single rule reproduces the
+  BRAM column of Table IV for all six tasks.
+* **DSPs** are zero: the datapath is XNOR/popcount logic only.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .arch import HardwareSpec
+from .calibration import BRAM_BITS_PER_BLOCK, LUT_MODEL
+from .memory import memory_breakdown
+
+__all__ = ["ResourceReport", "estimate_resources", "stage_lut_shares"]
+
+
+@dataclass(frozen=True)
+class ResourceReport:
+    """Estimated FPGA resources for one UniVSA instance."""
+
+    luts: int
+    brams: int
+    dsps: int
+    stage_luts: dict[str, int]
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict view of the record."""
+        return {"luts": self.luts, "brams": self.brams, "dsps": self.dsps}
+
+
+def _total_luts(spec: HardwareSpec) -> int:
+    units = spec.conv_datapath_units if spec.config.use_biconv else (
+        spec.config.d_high * spec.config.kernel_size
+    )
+    model = LUT_MODEL
+    estimate = (
+        model["k"]
+        * units ** model["a"]
+        * spec.n_features ** model["b"]
+        * spec.config.kernel_size ** model["c"]
+    )
+    return int(round(estimate))
+
+
+def stage_lut_shares(spec: HardwareSpec) -> dict[str, float]:
+    """Relative LUT share per stage from structural unit counts.
+
+    BiConv: the Eq. 6 datapath.  DVP: the two value tables plus FIFO.
+    Encoding: XNOR row + adder tree over O.  Similarity: Theta x C
+    accumulators at the position-counter width.  Controller: fixed small
+    share of the total.
+    """
+    config = spec.config
+    # Each conv cell is an XNOR + popcount-adder bit + operand mux + the
+    # double-buffer register — roughly 4 LUT-equivalents per Eq. 6 unit,
+    # versus ~1 per plain accumulator bit elsewhere.
+    conv_units = 4 * (spec.conv_datapath_units if config.use_biconv else 0)
+    dvp_units = config.d_high + (config.d_low if config.use_dvp else 0) + 16
+    enc_units = config.encoding_channels() + 2 ** spec.encoder_tree_depth // 2
+    sim_units = spec.similarity_units * spec.accumulator_width
+    control_units = 32
+    total = conv_units + dvp_units + enc_units + sim_units + control_units
+    return {
+        "dvp": dvp_units / total,
+        "biconv": conv_units / total,
+        "encode": enc_units / total,
+        "similarity": sim_units / total,
+        "control": control_units / total,
+    }
+
+
+def estimate_resources(spec: HardwareSpec) -> ResourceReport:
+    """LUT/BRAM/DSP estimate with per-stage LUT breakdown."""
+    total_luts = _total_luts(spec)
+    shares = stage_lut_shares(spec)
+    stage_luts = {stage: int(round(total_luts * share)) for stage, share in shares.items()}
+    breakdown = memory_breakdown(spec.config, spec.input_shape, spec.n_classes)
+    brams = max(1, math.ceil(breakdown.feature_bits / BRAM_BITS_PER_BLOCK))
+    return ResourceReport(luts=total_luts, brams=brams, dsps=0, stage_luts=stage_luts)

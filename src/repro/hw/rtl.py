@@ -1,0 +1,588 @@
+"""Verilog generation for deployed UniVSA models.
+
+The paper implements UniVSA in Verilog on a ZU3EG; this module closes the
+same loop: given exported binary artifacts it emits a synthesizable-style
+RTL bundle —
+
+* memory initialization files (``.mem``, ``$readmemh`` format) for the
+  value tables V_H/V_L, the importance mask, kernels K, feature vectors F
+  and class vectors C (one word per O-channel / position / class row,
+  matching the datapath's access pattern);
+* per-stage modules: ``dvp_unit`` (table lookup + mask mux), the
+  ``biconv_engine`` (XNOR + popcount parallel over O, thresholds from the
+  folded BatchNorm), ``encode_unit`` (XNOR + adder tree over O),
+  ``similarity_unit`` (Theta x C accumulators), and a ``univsa_top`` FSM
+  wiring them behind a byte-stream input;
+* a self-checking testbench with stimulus and expected-score vectors
+  produced by the golden model (:class:`repro.core.UniVSAArtifacts`).
+
+No simulator is available offline, so tests validate the bundle
+structurally: deterministic output, balanced module/endmodule, width
+parameters consistent with the artifact shapes, and — most importantly —
+the ``.mem`` contents decode bit-exactly back to the artifact arrays and
+the testbench's expected scores equal the golden model's.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.export import UniVSAArtifacts
+
+__all__ = ["RtlBundle", "generate_rtl", "bits_to_hex_words", "decode_mem_file"]
+
+
+def _bits_from_bipolar(vector: np.ndarray) -> np.ndarray:
+    """Bipolar {-1,+1} -> bit {0,1} arrays (+1 -> 1)."""
+    return (np.asarray(vector) > 0).astype(np.uint8)
+
+
+def bits_to_hex_words(bits: np.ndarray) -> str:
+    """Pack a 1-D bit array (MSB first) into a hex literal string."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    value = 0
+    for bit in bits:
+        value = (value << 1) | int(bit)
+    width = max((len(bits) + 3) // 4, 1)
+    return format(value, f"0{width}x")
+
+
+def _mem_lines(rows: np.ndarray) -> str:
+    """One hex word per row of a (N, bits) bit matrix ($readmemh format)."""
+    return "\n".join(bits_to_hex_words(row) for row in rows) + "\n"
+
+
+def decode_mem_file(text: str, width_bits: int) -> np.ndarray:
+    """Inverse of :func:`_mem_lines`: hex lines -> (N, width_bits) bits."""
+    rows = []
+    for line in text.strip().splitlines():
+        value = int(line.strip(), 16)
+        bits = [(value >> (width_bits - 1 - i)) & 1 for i in range(width_bits)]
+        rows.append(bits)
+    return np.asarray(rows, dtype=np.uint8)
+
+
+@dataclass
+class RtlBundle:
+    """All generated files, path -> content."""
+
+    files: dict[str, str]
+    top_module: str = "univsa_top"
+
+    def write_to(self, directory: str | Path) -> Path:
+        """Materialize the bundle on disk; returns the directory."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        for name, content in self.files.items():
+            (directory / name).write_text(content)
+        return directory
+
+    def verilog_files(self) -> list[str]:
+        """Names of the generated Verilog sources."""
+        return [n for n in self.files if n.endswith(".v")]
+
+    def mem_files(self) -> list[str]:
+        """Names of the generated $readmemh memory images."""
+        return [n for n in self.files if n.endswith(".mem")]
+
+
+def _dvp_unit(d_high: int, d_low: int, levels: int, has_low: bool) -> str:
+    addr_bits = max(1, math.ceil(math.log2(levels)))
+    low_rom = (
+        f"""
+  reg [{d_low - 1}:0] v_low_rom [0:{levels - 1}];
+  initial $readmemh("v_low.mem", v_low_rom);
+"""
+        if has_low
+        else ""
+    )
+    low_select = (
+        f"""
+      // Low-importance features use V_L in the low D_L channels and
+      // constant +1 elsewhere (zero-cost channel padding).
+      value_vector <= {{{{(DH - DL){{1'b1}}}}, v_low_rom[level]}};
+"""
+        if has_low
+        else """
+      value_vector <= v_high_rom[level];
+"""
+    )
+    return f"""// DVP: sequential value projection (one feature per cycle, Sec. IV-A).
+module dvp_unit #(
+  parameter DH = {d_high},
+  parameter DL = {d_low},
+  parameter LEVEL_BITS = {addr_bits}
+) (
+  input  wire clk,
+  input  wire valid_in,
+  input  wire [LEVEL_BITS-1:0] level,
+  input  wire importance,            // mask bit for this feature position
+  output reg  [DH-1:0] value_vector,
+  output reg  valid_out
+);
+  reg [{d_high - 1}:0] v_high_rom [0:{levels - 1}];
+  initial $readmemh("v_high.mem", v_high_rom);
+{low_rom}
+  always @(posedge clk) begin
+    valid_out <= valid_in;
+    if (importance) begin
+      value_vector <= v_high_rom[level];
+    end else begin{low_select}    end
+  end
+endmodule
+"""
+
+
+def _biconv_engine(o: int, d_high: int, d_k: int, positions: int, acc_bits: int) -> str:
+    reduction = d_high * d_k * d_k
+    return f"""// BiConv: XNOR + popcount, parallel over the O output channels.
+// One column of the D_K x D_K window is consumed per iteration; the
+// popcount tree over DH channels is log2(DH) stages deep, giving the
+// alpha = max(D_K, log2 DH) pacing of Fig. 5.
+module biconv_engine #(
+  parameter O = {o},
+  parameter DH = {d_high},
+  parameter DK = {d_k},
+  parameter REDUCTION = {reduction},
+  parameter ACC_BITS = {acc_bits}
+) (
+  input  wire clk,
+  input  wire rst,
+  input  wire valid_in,
+  input  wire [REDUCTION-1:0] window,      // marshalled operand block
+  output reg  [O-1:0] feature_bits,
+  output reg  valid_out
+);
+  reg [REDUCTION-1:0] kernel_rom [0:O-1];
+  reg signed [ACC_BITS-1:0] threshold_rom [0:O-1];
+  initial $readmemh("kernel.mem", kernel_rom);
+  initial $readmemh("conv_threshold.mem", threshold_rom);
+
+  integer ch;
+  reg [REDUCTION-1:0] matches;
+  reg signed [ACC_BITS-1:0] acc;
+  integer b;
+  always @(posedge clk) begin
+    if (rst) begin
+      feature_bits <= {{O{{1'b0}}}};
+      valid_out <= 1'b0;
+    end else begin
+      valid_out <= valid_in;
+      for (ch = 0; ch < O; ch = ch + 1) begin
+        matches = ~(window ^ kernel_rom[ch]);
+        acc = 0;
+        for (b = 0; b < REDUCTION; b = b + 1)
+          acc = acc + {{1'b0, matches[b]}};
+        // dot = 2*popcount - REDUCTION, compared against the folded
+        // BatchNorm threshold (0 when training ran without BN).
+        feature_bits[ch] <= ((acc <<< 1) - REDUCTION >= threshold_rom[ch]);
+      end
+    end
+  end
+endmodule
+"""
+
+
+def _window_marshaller(d_high: int, d_k: int, w: int, length: int) -> str:
+    pad = d_k // 2
+    return f"""// Window marshaller: line buffer + column mux feeding the conv engine.
+// Holds D_K rows of the value volume (D_H bits per site); each request
+// for output position (row, col) produces the D_H x D_K x D_K operand
+// block with bipolar -1 (bit 0) border padding.
+module window_marshaller #(
+  parameter DH = {d_high},
+  parameter DK = {d_k},
+  parameter W = {w},
+  parameter L = {length},
+  parameter PAD = {pad}
+) (
+  input  wire clk,
+  input  wire wr_en,
+  input  wire [$clog2(W*L)-1:0] wr_addr,
+  input  wire [DH-1:0] wr_data,
+  input  wire [$clog2(W)-1:0] row,
+  input  wire [$clog2(L)-1:0] col,
+  output reg  [DH*DK*DK-1:0] window
+);
+  // Full-volume buffer (one bank of the top module's ping-pong pair).
+  reg [DH-1:0] volume [0:W*L-1];
+  always @(posedge clk) if (wr_en) volume[wr_addr] <= wr_data;
+
+  integer dr, dc;
+  integer r_idx, c_idx;
+  always @(posedge clk) begin
+    for (dr = 0; dr < DK; dr = dr + 1) begin
+      for (dc = 0; dc < DK; dc = dc + 1) begin
+        r_idx = row + dr - PAD;
+        c_idx = col + dc - PAD;
+        if (r_idx < 0 || r_idx >= W || c_idx < 0 || c_idx >= L)
+          // -1 border padding: bit pattern 0 in the bipolar encoding.
+          window[(dr*DK+dc)*DH +: DH] <= {{DH{{1'b0}}}};
+        else
+          window[(dr*DK+dc)*DH +: DH] <= volume[r_idx*L + c_idx];
+      end
+    end
+  end
+endmodule
+"""
+
+
+def _encode_unit(o: int, positions: int, tree_depth: int) -> str:
+    return f"""// Encoding: s_j = sgn(sum_o F[o][j] * x[o][j]) via XNOR + adder tree.
+module encode_unit #(
+  parameter O = {o},
+  parameter POSITIONS = {positions},
+  parameter TREE_DEPTH = {tree_depth},
+  parameter POS_BITS = {max(1, math.ceil(math.log2(positions)))}
+) (
+  input  wire clk,
+  input  wire valid_in,
+  input  wire [POS_BITS-1:0] position,
+  input  wire [O-1:0] channel_bits,
+  output reg  sample_bit,
+  output reg  valid_out
+);
+  reg [O-1:0] feature_rom [0:POSITIONS-1];
+  initial $readmemh("feature.mem", feature_rom);
+
+  integer i;
+  reg [O-1:0] matches;
+  integer acc;
+  always @(posedge clk) begin
+    valid_out <= valid_in;
+    matches = ~(channel_bits ^ feature_rom[position]);
+    acc = 0;
+    for (i = 0; i < O; i = i + 1)
+      acc = acc + {{31'b0, matches[i]}};
+    // sgn with the +1 tiebreak: dot = 2*acc - O >= 0.
+    sample_bit <= ((acc << 1) >= O);
+  end
+endmodule
+"""
+
+
+def _similarity_unit(voters: int, n_classes: int, positions: int, acc_bits: int) -> str:
+    rows = voters * n_classes
+    return f"""// Similarity: Theta x C parallel accumulators over the sample vector.
+module similarity_unit #(
+  parameter VOTERS = {voters},
+  parameter CLASSES = {n_classes},
+  parameter POSITIONS = {positions},
+  parameter ACC_BITS = {acc_bits},
+  parameter POS_BITS = {max(1, math.ceil(math.log2(positions)))}
+) (
+  input  wire clk,
+  input  wire rst,
+  input  wire valid_in,
+  input  wire [POS_BITS-1:0] position,
+  input  wire sample_bit,
+  input  wire last_position,
+  output reg  signed [VOTERS*CLASSES*ACC_BITS-1:0] scores_flat,
+  output reg  done
+);
+  // One packed row per (voter, class): POSITIONS bits of the class vector.
+  reg [POSITIONS-1:0] class_rom [0:{rows - 1}];
+  initial $readmemh("class.mem", class_rom);
+
+  reg signed [ACC_BITS-1:0] acc [0:{rows - 1}];
+  integer r;
+  always @(posedge clk) begin
+    if (rst) begin
+      for (r = 0; r < {rows}; r = r + 1) acc[r] <= 0;
+      done <= 1'b0;
+    end else if (valid_in) begin
+      for (r = 0; r < {rows}; r = r + 1) begin
+        // XNOR match adds +1, mismatch adds -1 (dot-product accumulate).
+        if (class_rom[r][position] == sample_bit)
+          acc[r] <= acc[r] + 1;
+        else
+          acc[r] <= acc[r] - 1;
+      end
+      if (last_position) begin
+        for (r = 0; r < {rows}; r = r + 1)
+          scores_flat[r*ACC_BITS +: ACC_BITS] <= acc[r];
+        done <= 1'b1;
+      end
+    end
+  end
+endmodule
+"""
+
+
+def _top_module(artifacts: UniVSAArtifacts, acc_bits: int) -> str:
+    config = artifacts.config
+    w, length = artifacts.input_shape
+    return f"""// UniVSA top: central controller + the four computing stages (Fig. 5).
+// Generated from exported artifacts; configuration
+// (D_H, D_L, D_K, O, Theta) = {config.as_paper_tuple()}, input (W, L) = ({w}, {length}).
+module univsa_top #(
+  parameter W = {w},
+  parameter L = {length},
+  parameter N = {w * length},
+  parameter DH = {config.d_high},
+  parameter DL = {config.d_low},
+  parameter DK = {config.kernel_size},
+  parameter O = {config.encoding_channels()},
+  parameter VOTERS = {config.voters},
+  parameter CLASSES = {artifacts.n_classes},
+  parameter LEVELS = {config.levels},
+  parameter ACC_BITS = {acc_bits}
+) (
+  input  wire clk,
+  input  wire rst,
+  // byte stream of discretized feature values, row-major over (W, L)
+  input  wire in_valid,
+  input  wire [7:0] in_level,
+  output wire in_ready,
+  // per-class soft-voting scores (voter-summed off-chip or by the host)
+  output wire signed [VOTERS*CLASSES*ACC_BITS-1:0] scores_flat,
+  output wire out_valid
+);
+  // Importance mask ROM (one bit per feature position).
+  reg mask_rom [0:N-1];
+  initial $readmemh("mask.mem", mask_rom);
+
+  // ---- control FSM -------------------------------------------------
+  localparam S_LOAD = 2'd0, S_CONV = 2'd1, S_ENCODE = 2'd2, S_DONE = 2'd3;
+  reg [1:0] state;
+  reg [$clog2(N)-1:0] feature_index;
+  assign in_ready = (state == S_LOAD);
+
+  // ---- stage instances ---------------------------------------------
+  wire [DH-1:0] value_vector;
+  wire dvp_valid;
+  dvp_unit #(.DH(DH), .DL(DL), .LEVEL_BITS($clog2(LEVELS))) u_dvp (
+    .clk(clk),
+    .valid_in(in_valid && in_ready),
+    .level(in_level[$clog2(LEVELS)-1:0]),
+    .importance(mask_rom[feature_index]),
+    .value_vector(value_vector),
+    .valid_out(dvp_valid)
+  );
+
+  // Double buffering (Sec. IV-A): DVP writes into the marshaller's
+  // volume bank while the conv engine drains the previous sample.
+  reg bank;
+
+  wire [O-1:0] feature_bits;
+  wire conv_valid;
+  wire [DH*DK*DK-1:0] window;
+  window_marshaller #(.DH(DH), .DK(DK), .W(W), .L(L)) u_marshal (
+    .clk(clk),
+    .wr_en(dvp_valid),
+    .wr_addr(feature_index),
+    .wr_data(value_vector),
+    .row(feature_index / L[$clog2(W)-1:0]),
+    .col(feature_index % L[$clog2(L)-1:0]),
+    .window(window)
+  );
+
+  biconv_engine #(.O(O), .DH(DH), .DK(DK), .ACC_BITS(ACC_BITS)) u_conv (
+    .clk(clk), .rst(rst), .valid_in(state == S_CONV),
+    .window(window), .feature_bits(feature_bits), .valid_out(conv_valid)
+  );
+
+  wire sample_bit, encode_valid;
+  encode_unit #(.O(O), .POSITIONS(N)) u_encode (
+    .clk(clk), .valid_in(conv_valid),
+    .position(feature_index), .channel_bits(feature_bits),
+    .sample_bit(sample_bit), .valid_out(encode_valid)
+  );
+
+  similarity_unit #(
+    .VOTERS(VOTERS), .CLASSES(CLASSES), .POSITIONS(N), .ACC_BITS(ACC_BITS)
+  ) u_similarity (
+    .clk(clk), .rst(rst), .valid_in(encode_valid),
+    .position(feature_index), .sample_bit(sample_bit),
+    .last_position(feature_index == N - 1),
+    .scores_flat(scores_flat), .done(out_valid)
+  );
+
+  // ---- sequencing ---------------------------------------------------
+  always @(posedge clk) begin
+    if (rst) begin
+      state <= S_LOAD;
+      feature_index <= 0;
+      bank <= 1'b0;
+    end else begin
+      case (state)
+        S_LOAD: if (in_valid) begin
+          // u_marshal captures value_vector at dvp_valid.
+          if (feature_index == N - 1) begin
+            feature_index <= 0;
+            bank <= ~bank;
+            state <= S_CONV;
+          end else feature_index <= feature_index + 1;
+        end
+        S_CONV: if (conv_valid) begin
+          if (feature_index == N - 1) begin
+            feature_index <= 0;
+            state <= S_DONE;
+          end else feature_index <= feature_index + 1;
+        end
+        S_DONE: state <= S_LOAD;
+        default: state <= S_LOAD;
+      endcase
+    end
+  end
+endmodule
+"""
+
+
+def _testbench(
+    artifacts: UniVSAArtifacts, stimulus: np.ndarray, expected: np.ndarray, acc_bits: int
+) -> str:
+    n_samples = len(stimulus)
+    n = artifacts.positions
+    rows = artifacts.config.voters * artifacts.n_classes
+    return f"""// Self-checking testbench: drives stimulus.mem through univsa_top and
+// compares against expected.mem (golden scores from the Python model).
+`timescale 1ns/1ps
+module univsa_tb;
+  localparam N_SAMPLES = {n_samples};
+  localparam N = {n};
+  localparam ROWS = {rows};
+  localparam ACC_BITS = {acc_bits};
+
+  reg clk = 0; always #2 clk = ~clk;  // 250 MHz
+  reg rst = 1;
+  reg in_valid = 0;
+  reg [7:0] in_level;
+  wire in_ready;
+  wire signed [ROWS*ACC_BITS-1:0] scores_flat;
+  wire out_valid;
+
+  univsa_top dut (
+    .clk(clk), .rst(rst), .in_valid(in_valid), .in_level(in_level),
+    .in_ready(in_ready), .scores_flat(scores_flat), .out_valid(out_valid)
+  );
+
+  reg [7:0] stimulus [0:N_SAMPLES*N-1];
+  reg signed [ACC_BITS-1:0] expected [0:N_SAMPLES*ROWS-1];
+  initial $readmemh("stimulus.mem", stimulus);
+  initial $readmemh("expected.mem", expected);
+
+  integer s, f, r, errors;
+  initial begin
+    errors = 0;
+    repeat (4) @(posedge clk);
+    rst = 0;
+    for (s = 0; s < N_SAMPLES; s = s + 1) begin
+      for (f = 0; f < N; f = f + 1) begin
+        @(posedge clk);
+        in_valid = 1;
+        in_level = stimulus[s*N + f];
+      end
+      @(posedge clk) in_valid = 0;
+      wait (out_valid);
+      for (r = 0; r < ROWS; r = r + 1)
+        if (scores_flat[r*ACC_BITS +: ACC_BITS] !== expected[s*ROWS + r]) begin
+          $display("MISMATCH sample %0d row %0d", s, r);
+          errors = errors + 1;
+        end
+    end
+    if (errors == 0) $display("PASS: %0d samples bit-exact", N_SAMPLES);
+    else $display("FAIL: %0d mismatches", errors);
+    $finish;
+  end
+endmodule
+"""
+
+
+def generate_rtl(
+    artifacts: UniVSAArtifacts,
+    stimulus_levels: np.ndarray | None = None,
+) -> RtlBundle:
+    """Emit the full Verilog bundle for a deployed UniVSA model.
+
+    ``stimulus_levels`` (B, W, L) optionally drives the self-checking
+    testbench; expected scores are computed with the golden model.
+    Requires BiConv enabled (the paper's hardware always has it).
+    """
+    config = artifacts.config
+    if artifacts.kernel is None:
+        raise ValueError("RTL generation requires a BiConv model (kernel present)")
+    positions = artifacts.positions
+    acc_bits = math.ceil(math.log2(positions + 1)) + 2
+
+    files: dict[str, str] = {}
+    # ---- memory images -------------------------------------------------
+    files["v_high.mem"] = _mem_lines(_bits_from_bipolar(artifacts.value_high))
+    if artifacts.value_low is not None:
+        files["v_low.mem"] = _mem_lines(_bits_from_bipolar(artifacts.value_low))
+    files["mask.mem"] = _mem_lines(
+        np.asarray(artifacts.mask, dtype=np.uint8).reshape(-1, 1)
+    )
+    o = artifacts.kernel.shape[0]
+    files["kernel.mem"] = _mem_lines(
+        _bits_from_bipolar(artifacts.kernel.reshape(o, -1))
+    )
+    # Thresholds as acc_bits-wide two's-complement hex.
+    thresholds = np.nan_to_num(
+        artifacts.conv_thresholds, posinf=2 ** (acc_bits - 1) - 1,
+        neginf=-(2 ** (acc_bits - 1)),
+    )
+    threshold_words = [
+        format(int(round(t)) & ((1 << acc_bits) - 1), f"0{(acc_bits + 3) // 4}x")
+        for t in thresholds
+    ]
+    files["conv_threshold.mem"] = "\n".join(threshold_words) + "\n"
+    files["feature.mem"] = _mem_lines(
+        _bits_from_bipolar(artifacts.feature_vectors.T)  # one O-wide word/position
+    )
+    files["class.mem"] = _mem_lines(
+        _bits_from_bipolar(
+            artifacts.class_vectors.reshape(-1, positions)[:, ::-1]
+            # bit index == position: position p maps to bit p (LSB-first),
+            # so reverse before MSB-first hex packing.
+        )
+    )
+
+    # ---- RTL ------------------------------------------------------------
+    tree_depth = max(1, math.ceil(math.log2(max(config.encoding_channels(), 2))))
+    files["dvp_unit.v"] = _dvp_unit(
+        config.d_high, config.d_low, config.levels, artifacts.value_low is not None
+    )
+    w, length = artifacts.input_shape
+    files["window_marshaller.v"] = _window_marshaller(
+        config.d_high, config.kernel_size, w, length
+    )
+    files["biconv_engine.v"] = _biconv_engine(
+        o, config.d_high, config.kernel_size, positions, acc_bits
+    )
+    files["encode_unit.v"] = _encode_unit(
+        config.encoding_channels(), positions, tree_depth
+    )
+    files["similarity_unit.v"] = _similarity_unit(
+        config.voters, artifacts.n_classes, positions, acc_bits
+    )
+    files["univsa_top.v"] = _top_module(artifacts, acc_bits)
+
+    # ---- testbench vectors ----------------------------------------------
+    if stimulus_levels is not None:
+        stimulus_levels = np.asarray(stimulus_levels).reshape(
+            (-1,) + artifacts.input_shape
+        )
+        expected = artifacts.scores(stimulus_levels)  # voter-summed (B, C)
+        # Per-voter expected rows: recompute per voter for the testbench.
+        s = artifacts.encode(stimulus_levels).astype(np.int64)
+        per_voter = np.einsum("bp,vcp->bvc", s, artifacts.class_vectors.astype(np.int64))
+        rows = per_voter.reshape(len(stimulus_levels), -1)
+        files["stimulus.mem"] = (
+            "\n".join(format(int(v), "02x") for v in stimulus_levels.reshape(-1)) + "\n"
+        )
+        files["expected.mem"] = (
+            "\n".join(
+                format(int(v) & ((1 << acc_bits) - 1), f"0{(acc_bits + 3) // 4}x")
+                for v in rows.reshape(-1)
+            )
+            + "\n"
+        )
+        files["univsa_tb.v"] = _testbench(artifacts, stimulus_levels, rows, acc_bits)
+        # Cross-check: voter-summed testbench rows match artifact scores.
+        assert np.array_equal(per_voter.sum(axis=1), expected)
+    return RtlBundle(files=files)

@@ -1,0 +1,53 @@
+"""ASCII rendering of pipeline schedules (the Fig. 5 Gantt view).
+
+Turns a :class:`~repro.hw.simulator.SimulationResult` into a terminal
+timeline: one row per hardware unit, one character column per time
+bucket, sample indices as the fill glyphs — making the double-buffered
+overlap (DVP of sample k+1 under BiConv of sample k) directly visible.
+"""
+
+from __future__ import annotations
+
+from .simulator import SimulationResult
+
+__all__ = ["render_timeline"]
+
+_STAGE_ROWS = ("dvp", "biconv", "encode", "similarity")
+
+
+def render_timeline(
+    result: SimulationResult, width: int = 72, max_samples: int | None = None
+) -> str:
+    """Render the stage occupancy of a simulation as ASCII art.
+
+    ``width`` is the number of character columns the full run is scaled
+    into; ``max_samples`` optionally restricts to the first samples.
+    """
+    if width < 8:
+        raise ValueError("width must be >= 8")
+    events = result.events
+    if max_samples is not None:
+        events = [e for e in events if e.sample < max_samples]
+    if not events:
+        return "(empty timeline)"
+    horizon = max(e.end_cycle for e in events)
+    scale = horizon / width
+    label_width = max(len(s) for s in _STAGE_ROWS) + 1
+    lines = []
+    for stage in _STAGE_ROWS:
+        row = [" "] * width
+        for event in events:
+            if event.stage != stage:
+                continue
+            start = int(event.start_cycle / scale)
+            end = max(int(event.end_cycle / scale), start + 1)
+            glyph = str(event.sample % 10)
+            for col in range(start, min(end, width)):
+                row[col] = glyph
+        lines.append(stage.ljust(label_width) + "|" + "".join(row) + "|")
+    axis = " " * label_width + "+" + "-" * width + "+"
+    footer = (
+        " " * label_width
+        + f" 0 cycles {' ' * max(width - 24, 0)}{horizon} cycles"
+    )
+    return "\n".join([axis] + lines + [axis, footer])

@@ -1,0 +1,51 @@
+"""Cross-verification of the hardware functional model.
+
+Checks that the cycle simulator's per-stage functional outputs agree
+bit-exactly with the packed XNOR/popcount engine and the integer artifact
+path — the hardware-equals-software gate of DESIGN.md Sec. 6.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.export import UniVSAArtifacts
+from repro.core.inference import BitPackedUniVSA
+
+from .arch import HardwareSpec
+from .simulator import HardwareSimulator
+
+__all__ = ["verify_bit_exactness"]
+
+
+def verify_bit_exactness(
+    artifacts: UniVSAArtifacts,
+    levels: np.ndarray,
+    n_classes: int | None = None,
+    frequency_mhz: float = 250.0,
+) -> bool:
+    """Run all three inference paths on ``levels`` and compare exactly.
+
+    Returns True on success; raises AssertionError with a diagnostic on
+    the first mismatch.
+    """
+    spec = HardwareSpec(
+        config=artifacts.config,
+        input_shape=artifacts.input_shape,
+        n_classes=n_classes or artifacts.n_classes,
+        frequency_mhz=frequency_mhz,
+    )
+    simulator = HardwareSimulator(artifacts, spec)
+    packed = BitPackedUniVSA(artifacts)
+
+    sim_result = simulator.run(levels)
+    int_scores = artifacts.scores(levels)
+    packed_scores = packed.scores(levels)
+
+    if not np.array_equal(sim_result.scores, int_scores):
+        raise AssertionError("simulator scores differ from integer artifact path")
+    if not np.array_equal(int_scores, packed_scores):
+        raise AssertionError("packed engine scores differ from integer artifact path")
+    if not np.array_equal(sim_result.predictions, artifacts.predict(levels)):
+        raise AssertionError("simulator predictions differ from artifact predictions")
+    return True

@@ -1,0 +1,22 @@
+"""LDC: trainable low-dimensional binary VSA (the paper's base strategy)."""
+
+from .model import (
+    BinaryEncodingLayer,
+    LDCArtifacts,
+    LDCModel,
+    ValueBox,
+    extract_artifacts,
+    normalize_levels,
+)
+from .train import LDCResult, train_ldc
+
+__all__ = [
+    "ValueBox",
+    "BinaryEncodingLayer",
+    "LDCModel",
+    "LDCArtifacts",
+    "extract_artifacts",
+    "normalize_levels",
+    "LDCResult",
+    "train_ldc",
+]

@@ -1,0 +1,186 @@
+"""LDC: low-dimensional computing for binary VSA (Sec. II-C substrate).
+
+The VSA pipeline (Eq. 3) is expressed as a partial BNN:
+
+* **ValueBox** — an MLP + binarization projecting a (normalized) feature
+  value to a D-bit value vector; evaluating it on all M levels yields V.
+* **Encoding layer** — binary weights F of shape (N, D); the sample vector
+  is s = sgn(sum_i f_i * v_{x_i}).
+* **Similarity layer** — a binary dense layer whose weights are the class
+  vectors C (Hamming == dot equivalence makes this exact).
+
+After training, :func:`extract_artifacts` reads out the pure binary model;
+inference then needs no floating point at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn import BinaryLinear, Linear, Module, Parameter, Tensor, no_grad
+from repro.nn.init import uniform_symmetric
+from repro.vsa import classify
+from repro.vsa.hypervector import sign_bipolar
+
+__all__ = ["ValueBox", "BinaryEncodingLayer", "LDCModel", "LDCArtifacts", "normalize_levels"]
+
+
+def normalize_levels(levels: np.ndarray, n_levels: int) -> np.ndarray:
+    """Map integer levels [0, M) to floats in [-1, 1]."""
+    return (2.0 * np.asarray(levels, dtype=np.float32) / (n_levels - 1) - 1.0).astype(
+        np.float32
+    )
+
+
+class ValueBox(Module):
+    """VB(x) = sgn(MLP(x)): scalar value -> D-bit bipolar vector."""
+
+    def __init__(self, dim: int, hidden: int = 16, rng=None) -> None:
+        super().__init__()
+        self.dim = dim
+        self.fc1 = Linear(1, hidden, rng=rng)
+        self.fc2 = Linear(hidden, dim, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """x is (B, 1) normalized values; returns (B, dim) bipolar."""
+        return self.fc2(self.fc1(x).tanh()).sign_ste()
+
+    def lookup_table(self, n_levels: int) -> np.ndarray:
+        """Evaluate VB on every level -> the deployed V table (M, dim)."""
+        values = normalize_levels(np.arange(n_levels), n_levels).reshape(-1, 1)
+        self.eval()
+        with no_grad():
+            table = self.forward(Tensor(values)).data
+        return table.astype(np.int8)
+
+
+class BinaryEncodingLayer(Module):
+    """Vector encoding (Eq. 1) as a binary layer: s = sgn(sum_i f_i * v_i).
+
+    Latent weights have shape (n_positions, dim); effective weights are
+    their sign.  The pre-sign accumulation is scaled by 1/sqrt(n_positions)
+    so the STE clip window passes useful gradient (forward sign unchanged).
+    """
+
+    def __init__(self, n_positions: int, dim: int, rng=None) -> None:
+        super().__init__()
+        self.n_positions = n_positions
+        self.dim = dim
+        self.weight = Parameter(uniform_symmetric((n_positions, dim), rng=rng), binary=True)
+
+    def forward(self, v: Tensor) -> Tensor:
+        """v is (B, n_positions, dim) bipolar; returns (B, dim) bipolar."""
+        f = self.weight.sign_ste()
+        accumulated = (v * f.reshape(1, self.n_positions, self.dim)).sum(axis=1)
+        return (accumulated * (1.0 / np.sqrt(self.n_positions))).sign_ste()
+
+    def binary_weight(self) -> np.ndarray:
+        """Deployed feature vectors F (n_positions, dim) in {-1, +1}."""
+        return np.where(self.weight.data >= 0.0, 1, -1).astype(np.int8)
+
+
+class LDCModel(Module):
+    """The trainable partial BNN of LDC.
+
+    Input is a batch of discretized samples (B, N) as integer levels; the
+    constructor fixes the level count M.  Forward returns class logits.
+    """
+
+    def __init__(
+        self,
+        n_features: int,
+        n_classes: int,
+        dim: int = 128,
+        levels: int = 256,
+        hidden: int = 16,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.n_features = n_features
+        self.n_classes = n_classes
+        self.dim = dim
+        self.levels = levels
+        self.valuebox = ValueBox(dim, hidden=hidden, rng=rng)
+        self.encoder = BinaryEncodingLayer(n_features, dim, rng=rng)
+        self.similarity = BinaryLinear(dim, n_classes, rng=rng)
+        self.logit_scale = 8.0 / dim
+
+    def preprocess(self, levels: np.ndarray) -> np.ndarray:
+        """Integer levels (B, N) -> normalized float input."""
+        return normalize_levels(levels.reshape(len(levels), -1), self.levels)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """x (B, N) normalized values -> logits (B, C)."""
+        batch, n = x.shape
+        values = self.valuebox(x.reshape(batch * n, 1)).reshape(batch, n, self.dim)
+        sample_vectors = self.encoder(values)
+        return self.similarity(sample_vectors) * self.logit_scale
+
+    def encode(self, levels: np.ndarray) -> np.ndarray:
+        """Discretized samples -> bipolar sample vectors (B, dim)."""
+        self.eval()
+        with no_grad():
+            x = Tensor(self.preprocess(levels))
+            batch, n = x.shape
+            values = self.valuebox(x.reshape(batch * n, 1)).reshape(batch, n, self.dim)
+            return self.encoder(values).data.astype(np.int8)
+
+
+@dataclass
+class LDCArtifacts:
+    """The deployed pure-binary VSA model: V, F, C vector sets."""
+
+    value_vectors: np.ndarray  # V: (M, D) int8
+    feature_vectors: np.ndarray  # F: (N, D) int8
+    class_vectors: np.ndarray  # C: (C, D) int8
+
+    @property
+    def dim(self) -> int:
+        """Vector dimensionality."""
+        return self.value_vectors.shape[1]
+
+    @property
+    def levels(self) -> int:
+        """Number of quantization levels (M)."""
+        return self.value_vectors.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        """Number of input features (N = W x L)."""
+        return self.feature_vectors.shape[0]
+
+    @property
+    def n_classes(self) -> int:
+        """Number of classes."""
+        return self.class_vectors.shape[0]
+
+    def encode(self, levels: np.ndarray) -> np.ndarray:
+        """Eq. 1 on the binary artifacts: s = sgn(sum_i f_i * v_{x_i})."""
+        levels = np.atleast_2d(np.asarray(levels))
+        values = self.value_vectors[levels]  # (B, N, D)
+        bound = values.astype(np.int64) * self.feature_vectors[None].astype(np.int64)
+        return sign_bipolar(bound.sum(axis=1))
+
+    def predict(self, levels: np.ndarray) -> np.ndarray:
+        """Eq. 2 via XNOR/popcount on packed words."""
+        return classify(self.encode(levels), self.class_vectors)
+
+    def score(self, levels: np.ndarray, y: np.ndarray) -> float:
+        """Mean accuracy."""
+        return float((self.predict(levels) == np.asarray(y)).mean())
+
+    def memory_footprint_bits(self) -> int:
+        """Deployed size: (M + N + C) x D bits."""
+        return (self.levels + self.n_features + self.n_classes) * self.dim
+
+
+def extract_artifacts(model: LDCModel) -> LDCArtifacts:
+    """Read out V, F, C from a trained LDC model (bit-exact deployment)."""
+    return LDCArtifacts(
+        value_vectors=model.valuebox.lookup_table(model.levels),
+        feature_vectors=model.encoder.binary_weight(),
+        class_vectors=model.similarity.binary_weight(),
+    )

@@ -1,0 +1,50 @@
+"""Training entry point for LDC models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.trainloop import TrainConfig, TrainHistory, fit_classifier
+
+from .model import LDCArtifacts, LDCModel, extract_artifacts
+
+__all__ = ["LDCResult", "train_ldc"]
+
+
+@dataclass
+class LDCResult:
+    """Trained model plus its deployed artifacts and history."""
+
+    model: LDCModel
+    artifacts: LDCArtifacts
+    history: TrainHistory
+
+
+def train_ldc(
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    n_classes: int,
+    dim: int = 128,
+    levels: int = 256,
+    hidden: int = 16,
+    config: TrainConfig = TrainConfig(),
+) -> LDCResult:
+    """Train an LDC binary VSA classifier on discretized samples.
+
+    ``x_train`` is (B, N) or (B, W, L) integer levels in [0, levels).
+    """
+    x_flat = np.asarray(x_train).reshape(len(x_train), -1)
+    model = LDCModel(
+        n_features=x_flat.shape[1],
+        n_classes=n_classes,
+        dim=dim,
+        levels=levels,
+        hidden=hidden,
+        seed=config.seed,
+    )
+    history = fit_classifier(
+        model, x_flat, np.asarray(y_train), config, preprocess=model.preprocess
+    )
+    return LDCResult(model=model, artifacts=extract_artifacts(model), history=history)

@@ -1,0 +1,5 @@
+"""LeHDC baseline: learning-based high-dimensional computing [12]."""
+
+from .model import LeHDCClassifier, LeHDCHead
+
+__all__ = ["LeHDCClassifier", "LeHDCHead"]

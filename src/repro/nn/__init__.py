@@ -1,0 +1,70 @@
+"""Numpy training substrate: autograd, binary layers, optimizers.
+
+This package replaces the PyTorch dependency of the original UniVSA work
+with a self-contained reverse-mode autodiff engine sized for the paper's
+partial-BNN training workloads.
+"""
+
+from . import functional
+from .dropout import Dropout
+from .quantize import QuantConv2d, QuantLinear, quantize_ste
+from .pooling import AvgPool2d, MaxPool2d, avg_pool2d, max_pool2d
+from .schedulers import CosineAnnealingLR, StepLR
+from .data import batch_iterator, train_val_split
+from .layers import (
+    BatchNorm1d,
+    BatchNorm2d,
+    BinaryConv2d,
+    BinaryLinear,
+    Linear,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    SignActivation,
+    Tanh,
+)
+from .loss import accuracy, cross_entropy
+from .optim import SGD, Adam, Optimizer
+from .serialize import load_state, save_state
+from .tensor import Tensor, as_tensor, concat, is_grad_enabled, no_grad, stack
+
+__all__ = [
+    "functional",
+    "Dropout",
+    "QuantLinear",
+    "QuantConv2d",
+    "quantize_ste",
+    "MaxPool2d",
+    "AvgPool2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "StepLR",
+    "CosineAnnealingLR",
+    "Tensor",
+    "as_tensor",
+    "concat",
+    "stack",
+    "no_grad",
+    "is_grad_enabled",
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "BinaryLinear",
+    "BinaryConv2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "ReLU",
+    "Tanh",
+    "SignActivation",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "cross_entropy",
+    "accuracy",
+    "batch_iterator",
+    "train_val_split",
+    "save_state",
+    "load_state",
+]

@@ -1,0 +1,48 @@
+"""Minimal batching utilities for numpy datasets."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["batch_iterator", "train_val_split"]
+
+
+def batch_iterator(
+    x: np.ndarray,
+    y: np.ndarray,
+    batch_size: int,
+    shuffle: bool = True,
+    rng: np.random.Generator | int | None = None,
+    drop_last: bool = False,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield (x_batch, y_batch) minibatches."""
+    n = len(x)
+    if len(y) != n:
+        raise ValueError("x and y length mismatch")
+    order = np.arange(n)
+    if shuffle:
+        gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        gen.shuffle(order)
+    for start in range(0, n, batch_size):
+        idx = order[start : start + batch_size]
+        if drop_last and len(idx) < batch_size:
+            break
+        yield x[idx], y[idx]
+
+
+def train_val_split(
+    x: np.ndarray,
+    y: np.ndarray,
+    val_fraction: float = 0.2,
+    rng: np.random.Generator | int | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle and split into train/validation parts."""
+    if not 0.0 < val_fraction < 1.0:
+        raise ValueError("val_fraction must be in (0, 1)")
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    order = gen.permutation(len(x))
+    n_val = max(1, int(round(len(x) * val_fraction)))
+    val_idx, train_idx = order[:n_val], order[n_val:]
+    return x[train_idx], y[train_idx], x[val_idx], y[val_idx]

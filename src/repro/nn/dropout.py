@@ -1,0 +1,30 @@
+"""Dropout regularization (inverted dropout, train-mode only)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import Module
+from .tensor import Tensor
+
+__all__ = ["Dropout"]
+
+
+class Dropout(Module):
+    """Inverted dropout: zero activations with probability ``p`` and
+    rescale survivors by 1/(1-p); identity in eval mode."""
+
+    def __init__(self, p: float = 0.5, seed: int = 0) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("p must be in [0, 1)")
+        self.p = p
+        self._rng = np.random.default_rng(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Run the module's forward computation."""
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self._rng.random(x.shape) < keep).astype(np.float32) / keep
+        return x * Tensor(mask)

@@ -1,0 +1,163 @@
+"""Functional neural-network operations on :class:`~repro.nn.tensor.Tensor`.
+
+Contains the convolution machinery (im2col based, exactly the access pattern
+the UniVSA hardware convolution engine iterates over), softmax/log-softmax,
+and padding utilities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "im2col",
+    "col2im",
+    "conv2d",
+    "pad2d",
+    "log_softmax",
+    "softmax",
+    "linear",
+]
+
+
+def _conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def im2col(
+    x: np.ndarray, kernel: tuple[int, int], stride: int = 1, padding: int = 0
+) -> np.ndarray:
+    """Unfold ``x`` of shape (B, C, H, W) to (B, out_h*out_w, C*kh*kw).
+
+    This is the software mirror of the hardware's sliding-window data
+    marshalling: each row of the result is one convolution iteration's
+    operand block.
+    """
+    b, c, h, w = x.shape
+    kh, kw = kernel
+    out_h = _conv_output_size(h, kh, stride, padding)
+    out_w = _conv_output_size(w, kw, stride, padding)
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    strides = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(b, c, out_h, out_w, kh, kw),
+        strides=(
+            strides[0],
+            strides[1],
+            strides[2] * stride,
+            strides[3] * stride,
+            strides[2],
+            strides[3],
+        ),
+        writeable=False,
+    )
+    # (B, out_h, out_w, C, kh, kw) -> (B, out_h*out_w, C*kh*kw)
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(b, out_h * out_w, c * kh * kw)
+    return np.ascontiguousarray(cols)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kernel: tuple[int, int],
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Fold column gradients back to the input shape (adjoint of im2col)."""
+    b, c, h, w = x_shape
+    kh, kw = kernel
+    out_h = _conv_output_size(h, kh, stride, padding)
+    out_w = _conv_output_size(w, kw, stride, padding)
+    padded = np.zeros((b, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    cols6 = cols.reshape(b, out_h, out_w, c, kh, kw).transpose(0, 3, 1, 2, 4, 5)
+    for i in range(kh):
+        for j in range(kw):
+            padded[:, :, i : i + stride * out_h : stride, j : j + stride * out_w : stride] += (
+                cols6[:, :, :, :, i, j]
+            )
+    if padding:
+        return padded[:, :, padding : padding + h, padding : padding + w]
+    return padded
+
+
+def conv2d(x: Tensor, weight: Tensor, stride: int = 1, padding: int = 0) -> Tensor:
+    """2-D cross-correlation: x (B, C, H, W) * weight (O, C, kh, kw).
+
+    No bias: the binary hardware datapath has none (thresholds come from
+    folded batch norm instead, see :mod:`repro.core.export`).
+    """
+    x = as_tensor(x)
+    weight = as_tensor(weight)
+    b, c, h, w = x.shape
+    o, c2, kh, kw = weight.shape
+    if c != c2:
+        raise ValueError(f"channel mismatch: input {c} vs kernel {c2}")
+    out_h = _conv_output_size(h, kh, stride, padding)
+    out_w = _conv_output_size(w, kw, stride, padding)
+
+    cols = im2col(x.data, (kh, kw), stride, padding)  # (B, P, C*kh*kw)
+    w_mat = weight.data.reshape(o, -1)  # (O, C*kh*kw)
+    out_data = (cols @ w_mat.T).transpose(0, 2, 1).reshape(b, o, out_h, out_w)
+
+    def backward(grad: np.ndarray) -> None:
+        grad_mat = grad.reshape(b, o, out_h * out_w).transpose(0, 2, 1)  # (B, P, O)
+        if weight.requires_grad:
+            gw = np.einsum("bpo,bpk->ok", grad_mat, cols)
+            weight._accumulate(gw.reshape(o, c, kh, kw))
+        if x.requires_grad:
+            gcols = grad_mat @ w_mat  # (B, P, C*kh*kw)
+            x._accumulate(col2im(gcols, (b, c, h, w), (kh, kw), stride, padding))
+
+    return Tensor._make(out_data, (x, weight), backward)
+
+
+def pad2d(x: Tensor, padding: int, value: float = 0.0) -> Tensor:
+    """Constant-pad the two trailing spatial dims.
+
+    Binary layers pad with -1 (a valid bipolar symbol) so that XNOR/popcount
+    inference stays bit-exact at the borders.
+    """
+    x = as_tensor(x)
+    if padding == 0:
+        return x
+    out_data = np.pad(
+        x.data,
+        ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+        constant_values=value,
+    )
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad[:, :, padding:-padding, padding:-padding])
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Affine map ``x @ weight.T (+ bias)`` with weight of shape (out, in)."""
+    out = as_tensor(x) @ as_tensor(weight).transpose()
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted_data = x.data - x.data.max(axis=axis, keepdims=True)
+    log_norm = np.log(np.exp(shifted_data).sum(axis=axis, keepdims=True))
+    out_data = shifted_data - log_norm
+
+    def backward(grad: np.ndarray) -> None:
+        softmax_vals = np.exp(out_data)
+        x._accumulate(grad - softmax_vals * grad.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Softmax along ``axis``."""
+    return log_softmax(x, axis=axis).exp()

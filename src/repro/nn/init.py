@@ -1,0 +1,32 @@
+"""Weight initializers for the training substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["kaiming_uniform", "uniform_symmetric", "default_rng"]
+
+
+def default_rng(rng: np.random.Generator | int | None) -> np.random.Generator:
+    """Coerce ``rng`` (generator, seed, or None) to a Generator."""
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def kaiming_uniform(shape: tuple[int, ...], rng=None) -> np.ndarray:
+    """He-style uniform init: bound = sqrt(6 / fan_in)."""
+    gen = default_rng(rng)
+    fan_in = int(np.prod(shape[1:])) if len(shape) > 1 else shape[0]
+    bound = np.sqrt(6.0 / max(fan_in, 1))
+    return gen.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def uniform_symmetric(shape: tuple[int, ...], scale: float = 0.1, rng=None) -> np.ndarray:
+    """Small symmetric uniform init for binary latent weights.
+
+    Latents live in [-1, 1]; starting them small keeps early sign flips easy
+    (the standard BNN latent-weight initialization).
+    """
+    gen = default_rng(rng)
+    return gen.uniform(-scale, scale, size=shape).astype(np.float32)

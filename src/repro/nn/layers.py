@@ -1,0 +1,338 @@
+"""Layer/module system: real and binarized layers used by LDC and UniVSA.
+
+Binary layers keep full-precision *latent* weights, binarize them with a
+straight-through estimator on every forward pass, and clip latents to
+[-1, 1] after each optimizer step (the standard BNN recipe the LDC paper
+trains with).  After training, ``repro.core.export`` extracts the binarized
+weights as the VSA artifacts V, K, F, C.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from . import functional as F
+from .init import kaiming_uniform, uniform_symmetric
+from .tensor import Tensor
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "BinaryLinear",
+    "BinaryConv2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "ReLU",
+    "Tanh",
+    "SignActivation",
+]
+
+
+class Parameter(Tensor):
+    """A tensor registered as trainable state of a module."""
+
+    def __init__(self, data: np.ndarray, binary: bool = False) -> None:
+        super().__init__(data, requires_grad=True)
+        self.binary = binary
+
+
+class Module:
+    """Base class with parameter registration and train/eval modes."""
+
+    def __init__(self) -> None:
+        self._parameters: dict[str, Parameter] = {}
+        self._modules: dict[str, "Module"] = {}
+        self._buffers: dict[str, np.ndarray] = {}
+        self.training = True
+
+    def __setattr__(self, name: str, value: object) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", {})[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Attach non-trainable state saved with the module."""
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    def parameters(self) -> Iterator[Parameter]:
+        """Iterate over all trainable parameters (depth first)."""
+        yield from self._parameters.values()
+        for module in self._modules.values():
+            yield from module.parameters()
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Iterate over (dotted name, parameter) pairs."""
+        for name, param in self._parameters.items():
+            yield prefix + name, param
+        for mod_name, module in self._modules.items():
+            yield from module.named_parameters(prefix + mod_name + ".")
+
+    def modules(self) -> Iterator["Module"]:
+        """Iterate over this module and every submodule."""
+        yield self
+        for module in self._modules.values():
+            yield from module.modules()
+
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode on this module and all submodules."""
+        for module in self.modules():
+            module.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        """Set inference mode on this module and all submodules."""
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        """Clear accumulated gradients."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total number of trainable scalar parameters."""
+        return sum(p.size for p in self.parameters())
+
+    def state_dict(self, prefix: str = "") -> dict[str, np.ndarray]:
+        """All parameters and buffers as a flat name->array dict."""
+        state: dict[str, np.ndarray] = {}
+        for name, param in self._parameters.items():
+            state[prefix + name] = param.data.copy()
+        for name, buf in self._buffers.items():
+            state[prefix + name] = np.array(buf, copy=True)
+        for mod_name, module in self._modules.items():
+            state.update(module.state_dict(prefix + mod_name + "."))
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray], prefix: str = "") -> None:
+        """Restore parameters and buffers from state_dict output."""
+        for name, param in self._parameters.items():
+            key = prefix + name
+            if key not in state:
+                raise KeyError(f"missing parameter {key!r} in state dict")
+            if state[key].shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {key!r}: "
+                    f"{state[key].shape} vs {param.data.shape}"
+                )
+            param.data = np.asarray(state[key], dtype=np.float32).copy()
+        for name in self._buffers:
+            key = prefix + name
+            if key in state:
+                buf = np.asarray(state[key]).copy()
+                self._buffers[name] = buf
+                object.__setattr__(self, name, buf)
+        for mod_name, module in self._modules.items():
+            module.load_state_dict(state, prefix + mod_name + ".")
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        """Run the module's forward computation."""
+        raise NotImplementedError
+
+
+class Sequential(Module):
+    """Run submodules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self.layers = list(modules)
+        for i, module in enumerate(modules):
+            setattr(self, f"layer{i}", module)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Run the module's forward computation."""
+        for module in self.layers:
+            x = module(x)
+        return x
+
+
+class Linear(Module):
+    """Full-precision dense layer ``y = x W^T + b``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True, rng=None) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(kaiming_uniform((out_features, in_features), rng=rng))
+        self.bias = Parameter(np.zeros(out_features, dtype=np.float32)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Run the module's forward computation."""
+        return F.linear(x, self.weight, self.bias)
+
+
+class BinaryLinear(Module):
+    """Dense layer whose effective weights are sign(latent) in {-1, +1}.
+
+    ``binary_weight()`` exposes the deployed bipolar matrix — this is where
+    the F and C vector sets of the VSA model are read out after training.
+    """
+
+    def __init__(self, in_features: int, out_features: int, rng=None) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(uniform_symmetric((out_features, in_features), rng=rng), binary=True)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Run the module's forward computation."""
+        return F.linear(x, self.weight.sign_ste())
+
+    def binary_weight(self) -> np.ndarray:
+        """Deployed bipolar weights as int8 in {-1, +1}."""
+        return np.where(self.weight.data >= 0.0, 1, -1).astype(np.int8)
+
+
+class BinaryConv2d(Module):
+    """Binary 2-D convolution (the paper's BiConv).
+
+    Kernel shape is (O, C, D_K, D_K); effective weights are sign(latent).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        rng=None,
+    ) -> None:
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        shape = (out_channels, in_channels, kernel_size, kernel_size)
+        self.weight = Parameter(uniform_symmetric(shape, rng=rng), binary=True)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Run the module's forward computation."""
+        return F.conv2d(x, self.weight.sign_ste(), stride=self.stride, padding=self.padding)
+
+    def binary_weight(self) -> np.ndarray:
+        """Deployed bipolar kernel K as int8 in {-1, +1}."""
+        return np.where(self.weight.data >= 0.0, 1, -1).astype(np.int8)
+
+
+class _BatchNormBase(Module):
+    """Shared batch-norm logic; subclasses declare the reduction axes."""
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(np.ones(num_features, dtype=np.float32))
+        self.beta = Parameter(np.zeros(num_features, dtype=np.float32))
+        self.register_buffer("running_mean", np.zeros(num_features, dtype=np.float32))
+        self.register_buffer("running_var", np.ones(num_features, dtype=np.float32))
+
+    def _axes(self, x: Tensor) -> tuple[int, ...]:
+        raise NotImplementedError
+
+    def _param_shape(self, x: Tensor) -> tuple[int, ...]:
+        raise NotImplementedError
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Run the module's forward computation."""
+        axes = self._axes(x)
+        shape = self._param_shape(x)
+        if self.training:
+            mean = x.mean(axis=axes, keepdims=True)
+            centered = x - mean
+            var = (centered * centered).mean(axis=axes, keepdims=True)
+            m = self.momentum
+            self._buffers["running_mean"] = (
+                (1 - m) * self._buffers["running_mean"] + m * mean.data.reshape(-1)
+            )
+            self._buffers["running_var"] = (
+                (1 - m) * self._buffers["running_var"] + m * var.data.reshape(-1)
+            )
+            self.running_mean = self._buffers["running_mean"]
+            self.running_var = self._buffers["running_var"]
+            normalized = centered * (var + self.eps).pow(-0.5)
+        else:
+            mean = Tensor(self._buffers["running_mean"].reshape(shape))
+            var = Tensor(self._buffers["running_var"].reshape(shape))
+            normalized = (x - mean) * (var + self.eps).pow(-0.5)
+        return normalized * self.gamma.reshape(shape) + self.beta.reshape(shape)
+
+    def fold_thresholds(self) -> tuple[np.ndarray, np.ndarray]:
+        """Fold BN + sign into per-channel integer thresholds.
+
+        For a pre-activation integer value ``y`` (an XNOR/popcount
+        accumulation), ``sign(BN(y)) = +1`` iff ``gamma*(y-mu)/sigma + beta
+        >= 0``.  With gamma > 0 this is ``y >= mu - beta*sigma/gamma``; with
+        gamma < 0 the comparison flips.  Returns (thresholds, flip_mask):
+        output bit is ``y >= t`` where flip=False, ``y < t`` where flip=True
+        (inclusive boundaries chosen to preserve the sgn(0)=+1 tiebreak).
+        """
+        sigma = np.sqrt(self._buffers["running_var"] + self.eps)
+        gamma = self.gamma.data
+        beta = self.beta.data
+        mu = self._buffers["running_mean"]
+        safe_gamma = np.where(gamma == 0.0, 1.0, gamma)
+        thresholds = mu - beta * sigma / safe_gamma
+        flip = gamma < 0.0
+        # gamma == 0: output is sign(beta) everywhere; encode as +/- infinity.
+        zero = gamma == 0.0
+        thresholds = np.where(zero & (beta >= 0.0), -np.inf, thresholds)
+        thresholds = np.where(zero & (beta < 0.0), np.inf, thresholds)
+        return thresholds.astype(np.float64), flip
+
+
+class BatchNorm1d(_BatchNormBase):
+    """Batch norm over (B, C) or (B, C, L) inputs."""
+
+    def _axes(self, x: Tensor) -> tuple[int, ...]:
+        return (0,) if x.ndim == 2 else (0, 2)
+
+    def _param_shape(self, x: Tensor) -> tuple[int, ...]:
+        return (1, self.num_features) if x.ndim == 2 else (1, self.num_features, 1)
+
+
+class BatchNorm2d(_BatchNormBase):
+    """Batch norm over (B, C, H, W) inputs."""
+
+    def _axes(self, x: Tensor) -> tuple[int, ...]:
+        return (0, 2, 3)
+
+    def _param_shape(self, x: Tensor) -> tuple[int, ...]:
+        return (1, self.num_features, 1, 1)
+
+
+class ReLU(Module):
+    """Module wrapper for the ReLU activation."""
+    def forward(self, x: Tensor) -> Tensor:
+        """Run the module's forward computation."""
+        return x.relu()
+
+
+class Tanh(Module):
+    """Module wrapper for the tanh activation."""
+    def forward(self, x: Tensor) -> Tensor:
+        """Run the module's forward computation."""
+        return x.tanh()
+
+
+class SignActivation(Module):
+    """Binarization activation with STE backward (the sgn of Eq. 1)."""
+
+    def __init__(self, clip: float = 1.0) -> None:
+        super().__init__()
+        self.clip = clip
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Run the module's forward computation."""
+        return x.sign_ste(clip=self.clip)

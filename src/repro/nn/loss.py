@@ -1,0 +1,41 @@
+"""Loss functions for classifier training."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from .tensor import Tensor
+
+__all__ = ["cross_entropy", "accuracy"]
+
+
+def cross_entropy(
+    logits: Tensor, targets: np.ndarray, class_weights: np.ndarray | None = None
+) -> Tensor:
+    """Mean cross-entropy between logits (B, C) and integer targets (B,).
+
+    ``class_weights`` (C,) rescales each sample's loss by its class weight
+    (normalized by the batch's total weight) — used to balance skewed
+    class priors such as CHB-IB's 85/15 split.
+    """
+    targets = np.asarray(targets)
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be 2-D, got shape {logits.shape}")
+    batch = logits.shape[0]
+    if targets.shape != (batch,):
+        raise ValueError(f"targets shape {targets.shape} does not match batch {batch}")
+    log_probs = F.log_softmax(logits, axis=-1)
+    picked = log_probs[np.arange(batch), targets]
+    if class_weights is None:
+        return -picked.mean()
+    weights = np.asarray(class_weights, dtype=np.float32)[targets]
+    scale = Tensor(weights / weights.sum())
+    return -(picked * scale).sum()
+
+
+def accuracy(logits: Tensor | np.ndarray, targets: np.ndarray) -> float:
+    """Top-1 accuracy of logits/scores (B, C) against targets (B,)."""
+    scores = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    predictions = scores.argmax(axis=-1)
+    return float((predictions == np.asarray(targets)).mean())

@@ -1,0 +1,107 @@
+"""Optimizers with the latent-weight clipping binary nets require."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from .layers import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer:
+    """Base optimizer: holds parameters, applies binary latent clipping."""
+
+    def __init__(self, params: Iterable[Parameter]) -> None:
+        self.params = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+
+    def zero_grad(self) -> None:
+        """Clear accumulated gradients."""
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        """Apply one optimizer update from accumulated gradients."""
+        raise NotImplementedError
+
+    def _clip_binary_latents(self) -> None:
+        # Binary layers train latent weights in [-1, 1]; values outside the
+        # clip band would never receive STE gradient again.
+        for p in self.params:
+            if getattr(p, "binary", False):
+                np.clip(p.data, -1.0, 1.0, out=p.data)
+
+
+class SGD(Optimizer):
+    """Plain SGD with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params)
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        """Apply one optimizer update from accumulated gradients."""
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            if self.momentum:
+                v *= self.momentum
+                v += grad
+                grad = v
+            p.data -= self.lr * grad
+        self._clip_binary_latents()
+
+
+class Adam(Optimizer):
+    """Adam; the optimizer used for all binary-VSA training in this repo."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        """Apply one optimizer update from accumulated gradients."""
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            p.data -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+        self._clip_binary_latents()

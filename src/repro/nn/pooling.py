@@ -1,0 +1,114 @@
+"""Spatial pooling operations (used by the BNN/QNN baseline family)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import Module
+from .tensor import Tensor
+
+__all__ = ["max_pool2d", "MaxPool2d", "avg_pool2d", "AvgPool2d"]
+
+
+def _pooled_size(size: int, kernel: int, stride: int) -> int:
+    return (size - kernel) // stride + 1
+
+
+def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Max pooling over (B, C, H, W) with square windows."""
+    stride = stride or kernel
+    b, c, h, w = x.shape
+    out_h = _pooled_size(h, kernel, stride)
+    out_w = _pooled_size(w, kernel, stride)
+    strides = x.data.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x.data,
+        shape=(b, c, out_h, out_w, kernel, kernel),
+        strides=(
+            strides[0],
+            strides[1],
+            strides[2] * stride,
+            strides[3] * stride,
+            strides[2],
+            strides[3],
+        ),
+        writeable=False,
+    )
+    flat = windows.reshape(b, c, out_h, out_w, kernel * kernel)
+    argmax = flat.argmax(axis=-1)
+    out_data = np.take_along_axis(flat, argmax[..., None], axis=-1)[..., 0]
+
+    def backward(grad: np.ndarray) -> None:
+        gx = np.zeros_like(x.data)
+        ky, kx_ = np.unravel_index(argmax, (kernel, kernel))
+        b_idx, c_idx, i_idx, j_idx = np.indices(argmax.shape)
+        rows = i_idx * stride + ky
+        cols = j_idx * stride + kx_
+        np.add.at(gx, (b_idx, c_idx, rows, cols), grad)
+        x._accumulate(gx)
+
+    return Tensor._make(out_data.copy(), (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Average pooling over (B, C, H, W) with square windows."""
+    stride = stride or kernel
+    b, c, h, w = x.shape
+    out_h = _pooled_size(h, kernel, stride)
+    out_w = _pooled_size(w, kernel, stride)
+    strides = x.data.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x.data,
+        shape=(b, c, out_h, out_w, kernel, kernel),
+        strides=(
+            strides[0],
+            strides[1],
+            strides[2] * stride,
+            strides[3] * stride,
+            strides[2],
+            strides[3],
+        ),
+        writeable=False,
+    )
+    out_data = windows.mean(axis=(-2, -1))
+    scale = 1.0 / (kernel * kernel)
+
+    def backward(grad: np.ndarray) -> None:
+        gx = np.zeros_like(x.data)
+        for ky in range(kernel):
+            for kx_ in range(kernel):
+                gx[
+                    :,
+                    :,
+                    ky : ky + stride * out_h : stride,
+                    kx_ : kx_ + stride * out_w : stride,
+                ] += grad * scale
+        x._accumulate(gx)
+
+    return Tensor._make(out_data.copy(), (x,), backward)
+
+
+class MaxPool2d(Module):
+    """Module wrapper for :func:`max_pool2d`."""
+
+    def __init__(self, kernel: int, stride: int | None = None) -> None:
+        super().__init__()
+        self.kernel = kernel
+        self.stride = stride or kernel
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Run the module's forward computation."""
+        return max_pool2d(x, self.kernel, self.stride)
+
+
+class AvgPool2d(Module):
+    """Module wrapper for :func:`avg_pool2d`."""
+
+    def __init__(self, kernel: int, stride: int | None = None) -> None:
+        super().__init__()
+        self.kernel = kernel
+        self.stride = stride or kernel
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Run the module's forward computation."""
+        return avg_pool2d(x, self.kernel, self.stride)

@@ -1,0 +1,107 @@
+"""K-bit fake quantization with straight-through gradients.
+
+Supports the QNN baseline (Table III's Synetgy-class quantized networks):
+weights and activations are quantized to k bits in the forward pass while
+gradients flow through unchanged inside the clip range — the standard
+DoReFa/PACT-style recipe, of which binarization (k=1) is the special case
+already built into :meth:`Tensor.sign_ste`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import Module, Parameter
+from .init import kaiming_uniform
+from .tensor import Tensor
+
+__all__ = ["quantize_ste", "QuantLinear", "QuantConv2d"]
+
+
+def quantize_ste(x: Tensor, bits: int, signed: bool = True) -> Tensor:
+    """Uniform k-bit quantization of values clipped to [-1,1] (or [0,1]).
+
+    Forward: clip, scale to the k-bit grid, round, rescale.  Backward:
+    identity inside the clip range, zero outside (STE).
+    """
+    if bits < 1:
+        raise ValueError("bits must be >= 1")
+    if signed:
+        levels = float(2 ** (bits - 1) - 1) if bits > 1 else 1.0
+        clipped = np.clip(x.data, -1.0, 1.0)
+        quantized = np.round(clipped * levels) / levels
+        inside = (x.data >= -1.0) & (x.data <= 1.0)
+    else:
+        levels = float(2**bits - 1)
+        clipped = np.clip(x.data, 0.0, 1.0)
+        quantized = np.round(clipped * levels) / levels
+        inside = (x.data >= 0.0) & (x.data <= 1.0)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * inside)
+
+    return Tensor._make(quantized.astype(np.float32), (x,), backward)
+
+
+class QuantLinear(Module):
+    """Dense layer with k-bit weights (and optional activation quant)."""
+
+    def __init__(self, in_features: int, out_features: int, bits: int = 4, rng=None) -> None:
+        super().__init__()
+        if bits < 1:
+            raise ValueError("bits must be >= 1")
+        self.bits = bits
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            np.clip(kaiming_uniform((out_features, in_features), rng=rng), -1, 1),
+            binary=True,  # reuse the [-1, 1] latent clipping
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Run the module's forward computation."""
+        w = quantize_ste(self.weight, self.bits)
+        return x @ w.transpose()
+
+    def quantized_weight(self) -> np.ndarray:
+        """Deployed integer weights in [-(2^(b-1)-1), 2^(b-1)-1]."""
+        levels = 2 ** (self.bits - 1) - 1 if self.bits > 1 else 1
+        return np.round(np.clip(self.weight.data, -1, 1) * levels).astype(np.int32)
+
+
+class QuantConv2d(Module):
+    """2-D convolution with k-bit weights."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        bits: int = 4,
+        stride: int = 1,
+        padding: int = 0,
+        rng=None,
+    ) -> None:
+        super().__init__()
+        if bits < 1:
+            raise ValueError("bits must be >= 1")
+        self.bits = bits
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        shape = (out_channels, in_channels, kernel_size, kernel_size)
+        self.weight = Parameter(np.clip(kaiming_uniform(shape, rng=rng), -1, 1), binary=True)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Run the module's forward computation."""
+        from . import functional as F
+
+        w = quantize_ste(self.weight, self.bits)
+        return F.conv2d(x, w, stride=self.stride, padding=self.padding)
+
+    def quantized_weight(self) -> np.ndarray:
+        """Deployed integer kernel."""
+        levels = 2 ** (self.bits - 1) - 1 if self.bits > 1 else 1
+        return np.round(np.clip(self.weight.data, -1, 1) * levels).astype(np.int32)

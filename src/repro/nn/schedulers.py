@@ -1,0 +1,61 @@
+"""Learning-rate schedulers for the training substrate."""
+
+from __future__ import annotations
+
+import math
+
+from .optim import Optimizer
+
+__all__ = ["StepLR", "CosineAnnealingLR"]
+
+
+class _Scheduler:
+    """Base: tracks epochs and rewrites optimizer.lr."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch and apply the new learning rate."""
+        self.epoch += 1
+        self.optimizer.lr = self.get_lr()
+        return self.optimizer.lr
+
+    def get_lr(self) -> float:  # pragma: no cover - abstract
+        """Learning rate for the current epoch."""
+        raise NotImplementedError
+
+
+class StepLR(_Scheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        if step_size < 1:
+            raise ValueError("step_size must be >= 1")
+        super().__init__(optimizer)
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        """Learning rate for the current epoch."""
+        return self.base_lr * self.gamma ** (self.epoch // self.step_size)
+
+
+class CosineAnnealingLR(_Scheduler):
+    """Cosine decay from the base LR to ``min_lr`` over ``total_epochs``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int, min_lr: float = 0.0) -> None:
+        if total_epochs < 1:
+            raise ValueError("total_epochs must be >= 1")
+        super().__init__(optimizer)
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+
+    def get_lr(self) -> float:
+        """Learning rate for the current epoch."""
+        progress = min(self.epoch, self.total_epochs) / self.total_epochs
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+            1.0 + math.cos(math.pi * progress)
+        )

@@ -1,0 +1,24 @@
+"""Save/load model state dicts as .npz archives."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .layers import Module
+
+__all__ = ["save_state", "load_state"]
+
+
+def save_state(module: Module, path: str | os.PathLike) -> None:
+    """Persist a module's parameters and buffers to ``path`` (.npz)."""
+    state = module.state_dict()
+    np.savez(path, **state)
+
+
+def load_state(module: Module, path: str | os.PathLike) -> None:
+    """Load parameters and buffers saved by :func:`save_state`."""
+    with np.load(path) as archive:
+        state = {key: archive[key] for key in archive.files}
+    module.load_state_dict(state)

@@ -1,0 +1,5 @@
+"""Streaming deployment runtime for deployed UniVSA models."""
+
+from .stream import StreamingClassifier, StreamingDecision
+
+__all__ = ["StreamingClassifier", "StreamingDecision"]

@@ -1,0 +1,129 @@
+"""Streaming inference runtime: continuous signal in, decisions out.
+
+The paper's deployment target is a continuously-sampling BCI: the device
+never sees "samples", it sees an unbounded signal. This runtime closes
+that gap around a deployed model:
+
+* a ring buffer accumulates raw channel data;
+* every ``hop`` new frames, the (W, L) window matrix is assembled exactly
+  as the training pipeline's windowing did, quantized with the *training*
+  quantizer, and classified by the binary artifacts;
+* an optional majority-vote smoother debounces the decision stream (the
+  standard BCI post-processing);
+* per-decision latency is accounted against the hardware model's
+  streaming schedule.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.export import UniVSAArtifacts
+from repro.data.quantize import Quantizer
+from repro.data.windows import window_layout
+from repro.hw.arch import HardwareSpec
+from repro.hw.pipeline import pipeline_schedule
+
+__all__ = ["StreamingDecision", "StreamingClassifier"]
+
+
+@dataclass(frozen=True)
+class StreamingDecision:
+    """One emitted decision."""
+
+    frame_index: int  # index of the newest frame in the window
+    label: int
+    smoothed_label: int
+    scores: np.ndarray
+    latency_us: float  # hardware-model inference latency
+
+
+@dataclass
+class StreamingClassifier:
+    """Online classifier over a continuous 1-D signal.
+
+    ``artifacts`` is the deployed model; ``quantizer`` must be the one
+    fitted on the training split.  The signal is consumed frame by frame
+    via :meth:`push`; decisions are emitted every ``hop`` frames once the
+    buffer holds a full window span.
+    """
+
+    artifacts: UniVSAArtifacts
+    quantizer: Quantizer
+    hop: int = 32
+    smoothing: int = 1  # majority vote over the last k decisions
+    frequency_mhz: float = 250.0
+    _buffer: deque = field(default_factory=deque, repr=False)
+    _recent: deque = field(default_factory=deque, repr=False)
+    _frames_seen: int = 0
+    _span: int = field(default=0, repr=False)
+    _starts: np.ndarray = field(default=None, repr=False)
+    _latency_us: float = field(default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.hop < 1:
+            raise ValueError("hop must be >= 1")
+        if self.smoothing < 1:
+            raise ValueError("smoothing must be >= 1")
+        w, length = self.artifacts.input_shape
+        # Span: enough frames that W windows of length L fit with the
+        # training layout's overlap structure.
+        self._span = length * max(w // 2, 1) + length
+        self._starts, _ = window_layout(self._span, w, length)
+        self._buffer = deque(maxlen=self._span)
+        self._recent = deque(maxlen=self.smoothing)
+        spec = HardwareSpec(
+            config=self.artifacts.config,
+            input_shape=self.artifacts.input_shape,
+            n_classes=self.artifacts.n_classes,
+            frequency_mhz=self.frequency_mhz,
+        )
+        interval = pipeline_schedule(spec).initiation_interval
+        self._latency_us = interval * spec.clock_period_ns() / 1000.0
+
+    @property
+    def window_span(self) -> int:
+        """Frames needed before the first decision."""
+        return self._span
+
+    def push(self, frames: np.ndarray | float) -> list[StreamingDecision]:
+        """Feed new signal frames; returns decisions emitted (may be [])."""
+        frames = np.atleast_1d(np.asarray(frames, dtype=np.float64))
+        if frames.ndim != 1:
+            raise ValueError("push expects scalar or 1-D frames")
+        decisions: list[StreamingDecision] = []
+        for value in frames:
+            self._buffer.append(float(value))
+            self._frames_seen += 1
+            ready = len(self._buffer) == self._span
+            if ready and self._frames_seen % self.hop == 0:
+                decisions.append(self._classify())
+        return decisions
+
+    def _classify(self) -> StreamingDecision:
+        w, length = self.artifacts.input_shape
+        signal = np.asarray(self._buffer)
+        window_matrix = np.stack(
+            [signal[s : s + length] for s in self._starts]
+        )
+        levels = self.quantizer.transform(window_matrix)[None]
+        scores = self.artifacts.scores(levels)[0]
+        label = int(scores.argmax())
+        self._recent.append(label)
+        smoothed = Counter(self._recent).most_common(1)[0][0]
+        return StreamingDecision(
+            frame_index=self._frames_seen - 1,
+            label=label,
+            smoothed_label=int(smoothed),
+            scores=scores,
+            latency_us=self._latency_us,
+        )
+
+    def reset(self) -> None:
+        """Drop buffered signal and smoothing history."""
+        self._buffer.clear()
+        self._recent.clear()
+        self._frames_seen = 0

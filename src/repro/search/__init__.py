@@ -1,0 +1,21 @@
+"""Evolutionary algorithm/hardware co-design search (Sec. V-A)."""
+
+from .evolution import EvolutionConfig, SearchResult, evolutionary_search
+from .objective import CodesignObjective
+from .pareto import ParetoPoint, ParetoResult, crowding_distance, non_dominated_sort, nsga2_search
+from .proxy import AccuracyProxy
+from .space import SearchSpace
+
+__all__ = [
+    "SearchSpace",
+    "AccuracyProxy",
+    "CodesignObjective",
+    "ParetoPoint",
+    "ParetoResult",
+    "non_dominated_sort",
+    "crowding_distance",
+    "nsga2_search",
+    "EvolutionConfig",
+    "SearchResult",
+    "evolutionary_search",
+]

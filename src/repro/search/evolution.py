@@ -1,0 +1,109 @@
+"""Evolutionary configuration search with elitist preservation [28].
+
+Generational GA over the (D_H, D_L, D_K, O, Theta) genome: tournament
+selection, uniform crossover, single-gene neighbourhood mutation, and
+elitist preservation (the top ``elite`` individuals survive unchanged,
+guaranteeing monotone best-so-far fitness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.config import UniVSAConfig
+
+from .space import SearchSpace
+
+__all__ = ["EvolutionConfig", "SearchResult", "evolutionary_search"]
+
+
+@dataclass(frozen=True)
+class EvolutionConfig:
+    """GA hyperparameters."""
+
+    population: int = 12
+    generations: int = 6
+    elite: int = 2
+    tournament: int = 3
+    crossover_rate: float = 0.7
+    mutation_rate: float = 0.8
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.population < 2:
+            raise ValueError("population must be >= 2")
+        if not 0 < self.elite < self.population:
+            raise ValueError("elite must be in (0, population)")
+        if self.tournament < 1:
+            raise ValueError("tournament must be >= 1")
+
+
+@dataclass
+class SearchResult:
+    """Best configuration found plus the full search trace."""
+
+    best_config: UniVSAConfig
+    best_fitness: float
+    history: list[float] = field(default_factory=list)  # best per generation
+    evaluated: dict = field(default_factory=dict)  # genome -> fitness
+
+    @property
+    def generations_run(self) -> int:
+        """Number of generations actually executed."""
+        return len(self.history)
+
+
+def evolutionary_search(
+    objective: Callable[[UniVSAConfig], float],
+    space: SearchSpace = SearchSpace(),
+    config: EvolutionConfig = EvolutionConfig(),
+) -> SearchResult:
+    """Maximize ``objective`` over the search space."""
+    rng = np.random.default_rng(config.seed)
+    evaluated: dict[tuple, float] = {}
+
+    def fitness(candidate: UniVSAConfig) -> float:
+        key = space.encode(candidate)
+        if key not in evaluated:
+            evaluated[key] = float(objective(candidate))
+        return evaluated[key]
+
+    population = [space.random(rng) for _ in range(config.population)]
+    history: list[float] = []
+    for _generation in range(config.generations):
+        scored = sorted(population, key=fitness, reverse=True)
+        history.append(fitness(scored[0]))
+        # Elitist preservation: the best individuals survive unchanged.
+        next_population = scored[: config.elite]
+        while len(next_population) < config.population:
+            parent_a = _tournament(scored, fitness, config.tournament, rng)
+            if rng.random() < config.crossover_rate:
+                parent_b = _tournament(scored, fitness, config.tournament, rng)
+                child = space.crossover(parent_a, parent_b, rng)
+            else:
+                child = parent_a
+            if rng.random() < config.mutation_rate:
+                child = space.mutate(child, rng)
+            next_population.append(child)
+        population = next_population
+    best_genome = max(evaluated, key=evaluated.get)
+    return SearchResult(
+        best_config=space.decode(best_genome),
+        best_fitness=evaluated[best_genome],
+        history=history,
+        evaluated=evaluated,
+    )
+
+
+def _tournament(
+    scored: list[UniVSAConfig],
+    fitness: Callable[[UniVSAConfig], float],
+    size: int,
+    rng: np.random.Generator,
+) -> UniVSAConfig:
+    """Pick the fittest of ``size`` random individuals."""
+    picks = rng.integers(0, len(scored), size=size)
+    return max((scored[i] for i in picks), key=fitness)

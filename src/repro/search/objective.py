@@ -1,0 +1,37 @@
+"""Co-design objective: obj = Acc - L_HW (Sec. V-A, Model Design)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.config import UniVSAConfig
+from repro.hw.cost import hardware_penalty
+
+__all__ = ["CodesignObjective"]
+
+
+@dataclass
+class CodesignObjective:
+    """Couples an accuracy evaluator with the Eq. 7 hardware penalty."""
+
+    accuracy_fn: Callable[[UniVSAConfig], float]
+    input_shape: tuple[int, int]
+    n_classes: int
+    lambda1: float = 0.005
+    lambda2: float = 0.005
+
+    def __call__(self, config: UniVSAConfig) -> float:
+        accuracy = self.accuracy_fn(config)
+        penalty = hardware_penalty(
+            config, self.input_shape, self.n_classes, self.lambda1, self.lambda2
+        )
+        return accuracy - penalty
+
+    def breakdown(self, config: UniVSAConfig) -> dict[str, float]:
+        """Objective decomposition for reporting."""
+        accuracy = self.accuracy_fn(config)
+        penalty = hardware_penalty(
+            config, self.input_shape, self.n_classes, self.lambda1, self.lambda2
+        )
+        return {"accuracy": accuracy, "penalty": penalty, "objective": accuracy - penalty}

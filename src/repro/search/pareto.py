@@ -1,0 +1,169 @@
+"""Multi-objective co-design search (NSGA-II-style, two objectives).
+
+The scalarized objective of Eq. 7 picks one point on the
+accuracy/hardware trade-off; this extension exposes the whole frontier:
+non-dominated sorting + crowding-distance selection over
+(maximize accuracy, minimize hardware penalty).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.config import UniVSAConfig
+
+from .space import SearchSpace
+
+__all__ = ["ParetoPoint", "ParetoResult", "non_dominated_sort", "crowding_distance", "nsga2_search"]
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One evaluated design point with both objectives."""
+
+    config: UniVSAConfig
+    accuracy: float
+    penalty: float
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        """Pareto dominance: no worse in both, better in at least one."""
+        no_worse = self.accuracy >= other.accuracy and self.penalty <= other.penalty
+        better = self.accuracy > other.accuracy or self.penalty < other.penalty
+        return no_worse and better
+
+
+@dataclass
+class ParetoResult:
+    """Final population and the non-dominated frontier."""
+
+    frontier: list[ParetoPoint]
+    evaluated: dict = field(default_factory=dict)
+
+    def best_accuracy(self) -> ParetoPoint:
+        """Frontier point with the highest accuracy."""
+        return max(self.frontier, key=lambda p: p.accuracy)
+
+    def cheapest(self) -> ParetoPoint:
+        """Frontier point with the lowest hardware penalty."""
+        return min(self.frontier, key=lambda p: p.penalty)
+
+
+def non_dominated_sort(points: list[ParetoPoint]) -> list[list[int]]:
+    """NSGA-II fast non-dominated sorting; returns index fronts."""
+    n = len(points)
+    dominated_by: list[list[int]] = [[] for _ in range(n)]
+    domination_count = [0] * n
+    fronts: list[list[int]] = [[]]
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            if points[i].dominates(points[j]):
+                dominated_by[i].append(j)
+            elif points[j].dominates(points[i]):
+                domination_count[i] += 1
+        if domination_count[i] == 0:
+            fronts[0].append(i)
+    current = 0
+    while fronts[current]:
+        next_front: list[int] = []
+        for i in fronts[current]:
+            for j in dominated_by[i]:
+                domination_count[j] -= 1
+                if domination_count[j] == 0:
+                    next_front.append(j)
+        current += 1
+        fronts.append(next_front)
+    return [f for f in fronts if f]
+
+
+def crowding_distance(points: list[ParetoPoint], front: list[int]) -> dict[int, float]:
+    """Crowding distance of each index within a front."""
+    distance = {i: 0.0 for i in front}
+    if len(front) <= 2:
+        return {i: float("inf") for i in front}
+    for objective in ("accuracy", "penalty"):
+        ordered = sorted(front, key=lambda i: getattr(points[i], objective))
+        lo = getattr(points[ordered[0]], objective)
+        hi = getattr(points[ordered[-1]], objective)
+        span = hi - lo or 1.0
+        distance[ordered[0]] = float("inf")
+        distance[ordered[-1]] = float("inf")
+        for k in range(1, len(ordered) - 1):
+            prev_v = getattr(points[ordered[k - 1]], objective)
+            next_v = getattr(points[ordered[k + 1]], objective)
+            distance[ordered[k]] += (next_v - prev_v) / span
+    return distance
+
+
+def nsga2_search(
+    accuracy_fn: Callable[[UniVSAConfig], float],
+    penalty_fn: Callable[[UniVSAConfig], float],
+    space: SearchSpace = SearchSpace(),
+    population: int = 12,
+    generations: int = 6,
+    seed: int = 0,
+) -> ParetoResult:
+    """Two-objective evolutionary search; returns the final frontier."""
+    if population < 4:
+        raise ValueError("population must be >= 4")
+    rng = np.random.default_rng(seed)
+    evaluated: dict[tuple, ParetoPoint] = {}
+
+    def evaluate(config: UniVSAConfig) -> ParetoPoint:
+        key = space.encode(config)
+        if key not in evaluated:
+            evaluated[key] = ParetoPoint(
+                config=config,
+                accuracy=float(accuracy_fn(config)),
+                penalty=float(penalty_fn(config)),
+            )
+        return evaluated[key]
+
+    pool = [evaluate(space.random(rng)) for _ in range(population)]
+    for _ in range(generations):
+        # Variation: binary-tournament parents by (front rank, crowding).
+        fronts = non_dominated_sort(pool)
+        rank = {}
+        for level, front in enumerate(fronts):
+            for i in front:
+                rank[i] = level
+        crowd: dict[int, float] = {}
+        for front in fronts:
+            crowd.update(crowding_distance(pool, front))
+
+        def tournament() -> ParetoPoint:
+            a, b = rng.integers(0, len(pool), size=2)
+            if (rank[a], -crowd[a]) <= (rank[b], -crowd[b]):
+                return pool[a]
+            return pool[b]
+
+        offspring = []
+        while len(offspring) < population:
+            parent_a, parent_b = tournament(), tournament()
+            child = space.crossover(parent_a.config, parent_b.config, rng)
+            child = space.mutate(child, rng)
+            offspring.append(evaluate(child))
+        # Environmental selection over parents + offspring.
+        merged = pool + offspring
+        fronts = non_dominated_sort(merged)
+        survivors: list[ParetoPoint] = []
+        for front in fronts:
+            if len(survivors) + len(front) <= population:
+                survivors.extend(merged[i] for i in front)
+            else:
+                crowd = crowding_distance(merged, front)
+                ordered = sorted(front, key=lambda i: -crowd[i])
+                survivors.extend(
+                    merged[i] for i in ordered[: population - len(survivors)]
+                )
+                break
+        pool = survivors
+    frontier_idx = non_dominated_sort(pool)[0]
+    frontier = sorted(
+        {pool[i] for i in frontier_idx}, key=lambda p: p.penalty
+    )
+    return ParetoResult(frontier=list(frontier), evaluated=evaluated)

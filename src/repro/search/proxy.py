@@ -1,0 +1,63 @@
+"""Cheap accuracy proxy for configuration search.
+
+Full LDC-style training per candidate would dominate search time, so the
+proxy trains each candidate for a handful of epochs on a stratified
+subsample and evaluates on a held-out split — the standard proxy-task
+trick of NAS-style co-exploration [27].  Results are memoized per config.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import UniVSAConfig
+from repro.core.train import train_univsa
+from repro.data.splits import stratified_subsample
+from repro.utils.trainloop import TrainConfig
+
+__all__ = ["AccuracyProxy"]
+
+
+@dataclass
+class AccuracyProxy:
+    """Memoized quick-train evaluator: config -> validation accuracy."""
+
+    x_train: np.ndarray
+    y_train: np.ndarray
+    x_val: np.ndarray
+    y_val: np.ndarray
+    n_classes: int
+    epochs: int = 4
+    max_train_samples: int = 256
+    seed: int = 0
+    mask: np.ndarray | None = None
+    _cache: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if len(self.x_train) > self.max_train_samples:
+            idx = stratified_subsample(
+                self.y_train, self.max_train_samples, rng=self.seed
+            )
+            self.x_train = self.x_train[idx]
+            self.y_train = self.y_train[idx]
+
+    def __call__(self, config: UniVSAConfig) -> float:
+        key = (config.as_paper_tuple(), config.use_dvp, config.use_biconv)
+        if key not in self._cache:
+            result = train_univsa(
+                self.x_train,
+                self.y_train,
+                n_classes=self.n_classes,
+                config=config,
+                mask=self.mask,
+                train_config=TrainConfig(epochs=self.epochs, lr=0.02, seed=self.seed),
+            )
+            self._cache[key] = result.artifacts.score(self.x_val, self.y_val)
+        return self._cache[key]
+
+    @property
+    def evaluations(self) -> int:
+        """Number of distinct configs actually trained."""
+        return len(self._cache)

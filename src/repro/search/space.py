@@ -1,0 +1,93 @@
+"""Search space over UniVSA configurations (the Table I knobs).
+
+A genome is the tuple (D_H, D_L, D_K, O, Theta); gene domains follow the
+ranges the paper's searched configurations span.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import UniVSAConfig
+
+__all__ = ["SearchSpace"]
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """Discrete domains for each gene, with validity repair."""
+
+    d_high_choices: tuple[int, ...] = (2, 4, 8, 16)
+    d_low_choices: tuple[int, ...] = (1, 2, 4)
+    kernel_choices: tuple[int, ...] = (3, 5)
+    out_channel_choices: tuple[int, ...] = tuple(range(8, 161, 8))
+    voter_choices: tuple[int, ...] = (1, 3, 5)
+    levels: int = 256
+    extra: dict = field(default_factory=dict)  # fixed UniVSAConfig overrides
+
+    def random(self, rng: np.random.Generator) -> UniVSAConfig:
+        """Sample a uniformly random valid configuration."""
+        genome = (
+            rng.choice(self.d_high_choices),
+            rng.choice(self.d_low_choices),
+            rng.choice(self.kernel_choices),
+            rng.choice(self.out_channel_choices),
+            rng.choice(self.voter_choices),
+        )
+        return self.decode(genome)
+
+    def decode(self, genome: tuple[int, int, int, int, int]) -> UniVSAConfig:
+        """Genome -> config, repairing D_L > D_H."""
+        d_high, d_low, kernel, channels, voters = (int(g) for g in genome)
+        d_low = min(d_low, d_high)
+        return UniVSAConfig(
+            d_high=d_high,
+            d_low=d_low,
+            kernel_size=kernel,
+            out_channels=channels,
+            voters=voters,
+            levels=self.levels,
+            **self.extra,
+        )
+
+    def encode(self, config: UniVSAConfig) -> tuple[int, int, int, int, int]:
+        """Config -> genome."""
+        return config.as_paper_tuple()
+
+    def mutate(
+        self, config: UniVSAConfig, rng: np.random.Generator
+    ) -> UniVSAConfig:
+        """Flip one gene to a neighbouring domain value."""
+        genome = list(self.encode(config))
+        gene = int(rng.integers(0, len(genome)))
+        domains = (
+            self.d_high_choices,
+            self.d_low_choices,
+            self.kernel_choices,
+            self.out_channel_choices,
+            self.voter_choices,
+        )
+        domain = domains[gene]
+        current = genome[gene]
+        if current in domain and len(domain) > 1:
+            idx = domain.index(current)
+            step = int(rng.choice([-1, 1]))
+            idx = int(np.clip(idx + step, 0, len(domain) - 1))
+            genome[gene] = domain[idx]
+        else:
+            genome[gene] = int(rng.choice(domain))
+        return self.decode(tuple(genome))
+
+    def crossover(
+        self, a: UniVSAConfig, b: UniVSAConfig, rng: np.random.Generator
+    ) -> UniVSAConfig:
+        """Uniform crossover over genes."""
+        genome_a = self.encode(a)
+        genome_b = self.encode(b)
+        child = tuple(
+            genome_a[i] if rng.random() < 0.5 else genome_b[i]
+            for i in range(len(genome_a))
+        )
+        return self.decode(child)

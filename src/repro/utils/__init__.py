@@ -1,0 +1,18 @@
+"""Shared utilities: metrics, tables, training loop."""
+
+from .metrics import accuracy_score, balanced_accuracy, confusion_matrix, f1_macro
+from .tables import render_kv, render_table
+from .trainloop import TrainConfig, TrainHistory, evaluate_classifier, fit_classifier
+
+__all__ = [
+    "accuracy_score",
+    "balanced_accuracy",
+    "confusion_matrix",
+    "f1_macro",
+    "render_kv",
+    "render_table",
+    "TrainConfig",
+    "TrainHistory",
+    "evaluate_classifier",
+    "fit_classifier",
+]

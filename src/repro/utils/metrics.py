@@ -1,0 +1,51 @@
+"""Classification metrics used across benchmarks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["accuracy_score", "confusion_matrix", "balanced_accuracy", "f1_macro"]
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of correct predictions."""
+    y_true, y_pred = np.asarray(y_true), np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("shape mismatch between y_true and y_pred")
+    return float((y_true == y_pred).mean())
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray, n_classes: int | None = None) -> np.ndarray:
+    """(C, C) matrix with true classes on rows."""
+    y_true, y_pred = np.asarray(y_true), np.asarray(y_pred)
+    if n_classes is None:
+        n_classes = int(max(y_true.max(), y_pred.max())) + 1
+    matrix = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(matrix, (y_true, y_pred), 1)
+    return matrix
+
+
+def balanced_accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean per-class recall — the fair metric for CHB-IB's imbalance."""
+    matrix = confusion_matrix(y_true, y_pred)
+    support = matrix.sum(axis=1)
+    recalls = np.divide(
+        np.diag(matrix), support, out=np.zeros(len(matrix)), where=support > 0
+    )
+    return float(recalls[support > 0].mean())
+
+
+def f1_macro(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Macro-averaged F1."""
+    matrix = confusion_matrix(y_true, y_pred)
+    tp = np.diag(matrix).astype(np.float64)
+    fp = matrix.sum(axis=0) - tp
+    fn = matrix.sum(axis=1) - tp
+    precision = np.divide(tp, tp + fp, out=np.zeros_like(tp), where=(tp + fp) > 0)
+    recall = np.divide(tp, tp + fn, out=np.zeros_like(tp), where=(tp + fn) > 0)
+    denominator = precision + recall
+    f1 = np.divide(
+        2 * precision * recall, denominator, out=np.zeros_like(tp), where=denominator > 0
+    )
+    present = matrix.sum(axis=1) > 0
+    return float(f1[present].mean())

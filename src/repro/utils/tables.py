@@ -1,0 +1,44 @@
+"""ASCII table rendering in the style of the paper's tables."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "render_kv"]
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}" if abs(value) < 100 else f"{value:,.2f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width table with a header rule."""
+    str_rows = [[_format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match header length")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_kv(pairs: dict[str, object], title: str | None = None) -> str:
+    """Render key/value pairs aligned on the colon."""
+    width = max((len(k) for k in pairs), default=0)
+    lines = [title] if title else []
+    lines.extend(f"{k.ljust(width)} : {_format_cell(v)}" for k, v in pairs.items())
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Generic minibatch training loop shared by LDC, LeHDC, and UniVSA."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.nn import Adam, Module, Tensor, batch_iterator, cross_entropy, no_grad
+
+__all__ = ["TrainConfig", "TrainHistory", "fit_classifier", "evaluate_classifier"]
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Hyperparameters of the STE training recipe."""
+
+    epochs: int = 20
+    batch_size: int = 64
+    lr: float = 0.01
+    weight_decay: float = 0.0
+    seed: int = 0
+    verbose: bool = False
+    balance_classes: bool = False  # inverse-frequency class weights
+
+
+@dataclass
+class TrainHistory:
+    """Per-epoch training record."""
+
+    losses: list[float] = field(default_factory=list)
+    accuracies: list[float] = field(default_factory=list)
+
+
+def evaluate_classifier(
+    model: Module, x: np.ndarray, y: np.ndarray, batch_size: int = 256
+) -> float:
+    """Accuracy of ``model`` (forward returns logits) in eval mode."""
+    model.eval()
+    correct = 0
+    with no_grad():
+        for start in range(0, len(x), batch_size):
+            logits = model(Tensor(x[start : start + batch_size]))
+            correct += int(
+                (logits.data.argmax(axis=1) == y[start : start + batch_size]).sum()
+            )
+    return correct / len(x)
+
+
+def fit_classifier(
+    model: Module,
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    config: TrainConfig = TrainConfig(),
+    preprocess: Callable[[np.ndarray], np.ndarray] | None = None,
+) -> TrainHistory:
+    """Train ``model`` with Adam + cross-entropy; returns the history.
+
+    ``preprocess`` maps raw integer-level inputs to the model's expected
+    float input (e.g. level normalization); identity when None.
+    """
+    optimizer = Adam(model.parameters(), lr=config.lr, weight_decay=config.weight_decay)
+    rng = np.random.default_rng(config.seed)
+    history = TrainHistory()
+    class_weights = None
+    if config.balance_classes:
+        counts = np.bincount(np.asarray(y_train))
+        class_weights = counts.sum() / np.maximum(counts, 1) / len(counts)
+    model.train()
+    for epoch in range(config.epochs):
+        epoch_loss = 0.0
+        epoch_correct = 0
+        count = 0
+        for xb, yb in batch_iterator(
+            x_train, y_train, config.batch_size, shuffle=True, rng=rng
+        ):
+            inputs = preprocess(xb) if preprocess else xb
+            optimizer.zero_grad()
+            logits = model(Tensor(inputs))
+            loss = cross_entropy(logits, yb, class_weights=class_weights)
+            loss.backward()
+            optimizer.step()
+            epoch_loss += loss.item() * len(xb)
+            epoch_correct += int((logits.data.argmax(axis=1) == yb).sum())
+            count += len(xb)
+        history.losses.append(epoch_loss / count)
+        history.accuracies.append(epoch_correct / count)
+        if config.verbose:
+            print(
+                f"epoch {epoch + 1:3d}/{config.epochs}: "
+                f"loss={history.losses[-1]:.4f} acc={history.accuracies[-1]:.4f}"
+            )
+    model.eval()
+    return history

@@ -1,0 +1,58 @@
+"""Classic binary VSA substrate: bit ops, hypervectors, item memories."""
+
+from .bitops import (
+    dot_from_matches,
+    hamming_distance_packed,
+    pack_bipolar,
+    popcount,
+    unpack_bipolar,
+    xnor_popcount,
+)
+from .capacity import CapacityReport, expected_member_similarity, measure_capacity
+from .classic import ClassicVSAClassifier, encode_record
+from .hypervector import (
+    bind,
+    bundle,
+    flip_fraction,
+    is_bipolar,
+    permute,
+    random_bipolar,
+    sign_bipolar,
+)
+from .itemmemory import ItemMemory, level_item_memory, random_item_memory
+from .resonator import ResonatorResult, resonator_factorize
+from .sequence import encode_ngram, encode_sequence, ngram_statistics_vector
+from .similarity import classify, cosine_similarity, dot_similarity, hamming_distance
+
+__all__ = [
+    "pack_bipolar",
+    "unpack_bipolar",
+    "popcount",
+    "xnor_popcount",
+    "hamming_distance_packed",
+    "dot_from_matches",
+    "bind",
+    "bundle",
+    "sign_bipolar",
+    "random_bipolar",
+    "permute",
+    "flip_fraction",
+    "is_bipolar",
+    "ItemMemory",
+    "random_item_memory",
+    "level_item_memory",
+    "dot_similarity",
+    "hamming_distance",
+    "cosine_similarity",
+    "classify",
+    "ClassicVSAClassifier",
+    "encode_record",
+    "CapacityReport",
+    "expected_member_similarity",
+    "measure_capacity",
+    "ResonatorResult",
+    "resonator_factorize",
+    "encode_ngram",
+    "encode_sequence",
+    "ngram_statistics_vector",
+]

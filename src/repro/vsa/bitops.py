@@ -1,0 +1,92 @@
+"""Bit-level primitives: packing bipolar vectors into uint64 words.
+
+These functions are the software model of the hardware datapath: XNOR +
+popcount on packed words is exactly what the FPGA similarity/encoding units
+compute.  Convention: bipolar +1 maps to bit 1, bipolar -1 maps to bit 0.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "pack_bipolar",
+    "unpack_bipolar",
+    "popcount",
+    "xnor_popcount",
+    "hamming_distance_packed",
+    "dot_from_matches",
+]
+
+_WORD_BITS = 64
+# 16-bit popcount lookup table; uint64 popcount = 4 table lookups.
+_POP16 = np.array([bin(i).count("1") for i in range(1 << 16)], dtype=np.uint8)
+
+
+def pack_bipolar(vectors: np.ndarray) -> tuple[np.ndarray, int]:
+    """Pack bipolar {-1,+1} vectors (..., D) into uint64 words (..., W).
+
+    Returns (packed, D).  Bit order: element ``d`` of a vector lives in word
+    ``d // 64`` at bit position ``d % 64``.  Padding bits are 0 and are
+    excluded from distances via the returned dimension.
+    """
+    vectors = np.asarray(vectors)
+    if vectors.size and not np.isin(vectors, (-1, 1)).all():
+        raise ValueError("pack_bipolar expects entries in {-1, +1}")
+    dim = vectors.shape[-1]
+    n_words = (dim + _WORD_BITS - 1) // _WORD_BITS
+    bits = (vectors > 0).astype(np.uint8)
+    padded = np.zeros(vectors.shape[:-1] + (n_words * _WORD_BITS,), dtype=np.uint8)
+    padded[..., :dim] = bits
+    shaped = padded.reshape(vectors.shape[:-1] + (n_words, _WORD_BITS))
+    weights = (np.uint64(1) << np.arange(_WORD_BITS, dtype=np.uint64)).astype(np.uint64)
+    packed = (shaped.astype(np.uint64) * weights).sum(axis=-1, dtype=np.uint64)
+    return packed, dim
+
+
+def unpack_bipolar(packed: np.ndarray, dim: int) -> np.ndarray:
+    """Inverse of :func:`pack_bipolar`: words (..., W) -> bipolar (..., D)."""
+    packed = np.asarray(packed, dtype=np.uint64)
+    n_words = packed.shape[-1]
+    shifts = np.arange(_WORD_BITS, dtype=np.uint64)
+    bits = (packed[..., :, None] >> shifts) & np.uint64(1)
+    flat = bits.reshape(packed.shape[:-1] + (n_words * _WORD_BITS,))[..., :dim]
+    return np.where(flat == 1, 1, -1).astype(np.int8)
+
+
+def popcount(words: np.ndarray) -> np.ndarray:
+    """Per-element popcount of uint64 words (vectorized table lookup)."""
+    words = np.asarray(words, dtype=np.uint64)
+    mask = np.uint64(0xFFFF)
+    total = _POP16[(words & mask).astype(np.intp)].astype(np.int64)
+    for shift in (16, 32, 48):
+        total += _POP16[((words >> np.uint64(shift)) & mask).astype(np.intp)]
+    return total
+
+
+def xnor_popcount(a: np.ndarray, b: np.ndarray, dim: int) -> np.ndarray:
+    """Number of matching positions between packed vectors a and b.
+
+    Padding bits match under XNOR, so the padding contribution is
+    subtracted.  Broadcasting over leading axes is supported.
+    """
+    a = np.asarray(a, dtype=np.uint64)
+    b = np.asarray(b, dtype=np.uint64)
+    n_words = a.shape[-1]
+    pad_bits = n_words * _WORD_BITS - dim
+    matches = popcount(~(a ^ b)).sum(axis=-1)
+    return matches - pad_bits
+
+
+def hamming_distance_packed(a: np.ndarray, b: np.ndarray, dim: int) -> np.ndarray:
+    """Hamming distance between packed bipolar vectors."""
+    return dim - xnor_popcount(a, b, dim)
+
+
+def dot_from_matches(matches: np.ndarray, dim: int) -> np.ndarray:
+    """Bipolar dot product from a match count: dot = 2*matches - D.
+
+    This identity is the Hamming/dot equivalence the LDC paper relies on
+    (Sec. II-C): maximizing dot product == minimizing Hamming distance.
+    """
+    return 2 * np.asarray(matches, dtype=np.int64) - dim

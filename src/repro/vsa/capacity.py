@@ -1,0 +1,96 @@
+"""Bundling-capacity analysis for bipolar hypervectors.
+
+How many vectors can a single bundle hold before its members become
+unrecoverable?  The classic VSA question (Kanerva; Frady et al.) —
+relevant here because UniVSA's low dimensions sit exactly where capacity
+limits bite (the paper's Fig. 4 saturation argument).
+
+For a bundle of k random bipolar vectors in D dimensions, the expected
+normalized similarity of a member to the bundle is ~ sqrt(2/(pi k)) and
+member/non-member separation shrinks as k grows; this module provides
+both the analytic estimate and an empirical measurement.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .hypervector import bundle, random_bipolar
+
+__all__ = ["CapacityReport", "expected_member_similarity", "measure_capacity"]
+
+
+def expected_member_similarity(k: int) -> float:
+    """Analytic E[cos(member, bundle)] for k bundled random vectors.
+
+    For odd k the majority of k i.i.d. signs agrees with any single member
+    with probability p = 1/2 + binom(k-1, (k-1)/2) / 2^k, giving expected
+    normalized similarity 2p - 1 ~ sqrt(2 / (pi k)).
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    return math.sqrt(2.0 / (math.pi * k))
+
+
+@dataclass
+class CapacityReport:
+    """Empirical capacity curve of a dimension."""
+
+    dim: int
+    set_sizes: list[int]
+    member_similarities: list[float]  # mean cos(member, bundle)
+    retrieval_accuracies: list[float]  # member recovered from candidates
+
+    def capacity_at(self, threshold: float = 0.99) -> int:
+        """Largest tested set size whose retrieval accuracy >= threshold."""
+        best = 0
+        for size, accuracy in zip(self.set_sizes, self.retrieval_accuracies):
+            if accuracy >= threshold:
+                best = size
+        return best
+
+
+def measure_capacity(
+    dim: int,
+    set_sizes: tuple[int, ...] = (1, 3, 7, 15, 31),
+    n_candidates: int = 64,
+    trials: int = 20,
+    seed: int = 0,
+) -> CapacityReport:
+    """Empirically measure bundling capacity at dimension ``dim``.
+
+    For each set size k: bundle k random vectors, then check that each
+    member is closer to the bundle than ``n_candidates`` random
+    distractors (the item-memory retrieval task).
+    """
+    if dim < 2:
+        raise ValueError("dim must be >= 2")
+    rng = np.random.default_rng(seed)
+    similarities: list[float] = []
+    accuracies: list[float] = []
+    for k in set_sizes:
+        sim_total = 0.0
+        correct = 0
+        total = 0
+        for _ in range(trials):
+            members = random_bipolar((k, dim), rng=rng)
+            s = bundle(members).astype(np.int64)
+            distractors = random_bipolar((n_candidates, dim), rng=rng).astype(np.int64)
+            member_sims = members.astype(np.int64) @ s / dim
+            sim_total += float(member_sims.mean())
+            distractor_best = int((distractors @ s).max())
+            for m in range(k):
+                total += 1
+                if int(members[m].astype(np.int64) @ s) > distractor_best:
+                    correct += 1
+        similarities.append(sim_total / trials)
+        accuracies.append(correct / total)
+    return CapacityReport(
+        dim=dim,
+        set_sizes=list(set_sizes),
+        member_similarities=similarities,
+        retrieval_accuracies=accuracies,
+    )

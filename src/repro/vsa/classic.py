@@ -1,0 +1,114 @@
+"""Classic (non-learned) binary VSA classifier — the VSA-H baseline.
+
+Implements Eq. 1 (record-based encoding with bind + bundle) and Eq. 2
+(argmax similarity), with class vectors formed by bundling the training
+encodings of each class plus optional retraining passes (the perceptron-
+style update used by high-dimensional HDC baselines such as [9]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .hypervector import bind, sign_bipolar
+from .itemmemory import level_item_memory, random_item_memory
+from .similarity import classify, dot_similarity
+
+__all__ = ["ClassicVSAClassifier", "encode_record"]
+
+
+def encode_record(
+    values: np.ndarray, feature_memory: np.ndarray, value_memory: np.ndarray
+) -> np.ndarray:
+    """Encode discretized samples via Eq. 1: s = sgn(sum_i f_i * v_{x_i}).
+
+    ``values`` is (B, N) integer levels; feature_memory is (N, D);
+    value_memory is (M, D).  Returns bipolar (B, D).
+    """
+    values = np.atleast_2d(np.asarray(values))
+    value_vectors = value_memory[values]  # (B, N, D)
+    bound = bind(value_vectors, feature_memory[None, :, :])
+    return sign_bipolar(bound.astype(np.int64).sum(axis=1))
+
+
+@dataclass
+class ClassicVSAClassifier:
+    """Record-encoding binary VSA classifier with retraining.
+
+    Parameters mirror Sec. II: ``dim`` is D, ``levels`` is M.  ``retrain``
+    epochs apply the standard HDC mistake-driven update: add the sample
+    encoding to the true class accumulator and subtract it from the wrongly
+    predicted one, then re-binarize.
+    """
+
+    dim: int = 10_000
+    levels: int = 256
+    retrain_epochs: int = 0
+    seed: int = 0
+    feature_memory: np.ndarray = field(default=None, repr=False)
+    value_memory: np.ndarray = field(default=None, repr=False)
+    class_vectors: np.ndarray = field(default=None, repr=False)
+    _accumulators: np.ndarray = field(default=None, repr=False)
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "ClassicVSAClassifier":
+        """Train on discretized samples x (B, N) with integer labels y."""
+        x = np.atleast_2d(np.asarray(x))
+        y = np.asarray(y)
+        rng = np.random.default_rng(self.seed)
+        n_features = x.shape[1]
+        n_classes = int(y.max()) + 1
+        self.feature_memory = random_item_memory(n_features, self.dim, rng=rng)
+        self.value_memory = level_item_memory(self.levels, self.dim, rng=rng)
+        encodings = self.encode(x)
+        accumulators = np.zeros((n_classes, self.dim), dtype=np.int64)
+        for label in range(n_classes):
+            accumulators[label] = encodings[y == label].astype(np.int64).sum(axis=0)
+        for _ in range(self.retrain_epochs):
+            class_vectors = sign_bipolar(accumulators)
+            predictions = classify(encodings, class_vectors)
+            wrong = predictions != y
+            if not wrong.any():
+                break
+            for i in np.flatnonzero(wrong):
+                accumulators[y[i]] += encodings[i]
+                accumulators[predictions[i]] -= encodings[i]
+        self._accumulators = accumulators
+        self.class_vectors = sign_bipolar(accumulators)
+        return self
+
+    def encode(self, x: np.ndarray, chunk: int = 64) -> np.ndarray:
+        """Encode samples to bipolar hypervectors (Eq. 1), chunked over B."""
+        if self.feature_memory is None:
+            raise RuntimeError("classifier is not fitted")
+        x = np.atleast_2d(np.asarray(x))
+        pieces = [
+            encode_record(x[start : start + chunk], self.feature_memory, self.value_memory)
+            for start in range(0, len(x), chunk)
+        ]
+        return np.concatenate(pieces)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predict labels for discretized samples (Eq. 2)."""
+        return classify(self.encode(x), self.class_vectors)
+
+    def score(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Mean accuracy on (x, y)."""
+        return float((self.predict(x) == np.asarray(y)).mean())
+
+    def similarity_scores(self, x: np.ndarray) -> np.ndarray:
+        """Raw dot-product similarities (B, C) for inspection."""
+        encodings = self.encode(x)
+        return dot_similarity(
+            encodings[:, None, :].astype(np.int64),
+            self.class_vectors[None, :, :].astype(np.int64),
+        )
+
+    def memory_footprint_bits(self) -> int:
+        """Deployed model size: V + F + C bit counts."""
+        if self.class_vectors is None:
+            raise RuntimeError("classifier is not fitted")
+        n_features = self.feature_memory.shape[0]
+        n_classes = self.class_vectors.shape[0]
+        return (self.levels + n_features + n_classes) * self.dim

@@ -1,0 +1,69 @@
+"""Dense bipolar hypervector operations (the VSA algebra of Eq. 1).
+
+Vectors are int8 arrays over {-1, +1}.  ``bind`` is elementwise product
+(XNOR in bit domain), ``bundle`` is majority with the paper's sgn(0)=+1
+tiebreak.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "random_bipolar",
+    "bind",
+    "bundle",
+    "sign_bipolar",
+    "permute",
+    "flip_fraction",
+    "is_bipolar",
+]
+
+
+def is_bipolar(v: np.ndarray) -> bool:
+    """True if every entry of ``v`` is -1 or +1."""
+    return bool(np.isin(np.asarray(v), (-1, 1)).all())
+
+
+def random_bipolar(
+    shape: tuple[int, ...] | int, rng: np.random.Generator | int | None = None
+) -> np.ndarray:
+    """I.i.d. uniform bipolar array of the given shape."""
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    return gen.choice(np.array([-1, 1], dtype=np.int8), size=shape)
+
+
+def bind(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Binding: elementwise product. Self-inverse: bind(bind(a,b),b) == a."""
+    return (np.asarray(a, dtype=np.int8) * np.asarray(b, dtype=np.int8)).astype(np.int8)
+
+
+def sign_bipolar(x: np.ndarray) -> np.ndarray:
+    """sgn with the paper's tiebreak sgn(0) = +1, output int8 bipolar."""
+    return np.where(np.asarray(x) >= 0, 1, -1).astype(np.int8)
+
+
+def bundle(vectors: np.ndarray, axis: int = 0) -> np.ndarray:
+    """Bundling: majority vote along ``axis`` (Eq. 1's sgn of sum)."""
+    total = np.asarray(vectors, dtype=np.int64).sum(axis=axis)
+    return sign_bipolar(total)
+
+
+def permute(v: np.ndarray, shift: int = 1) -> np.ndarray:
+    """Cyclic-shift permutation along the last axis (a VSA role operator)."""
+    return np.roll(np.asarray(v), shift, axis=-1)
+
+
+def flip_fraction(
+    v: np.ndarray, fraction: float, rng: np.random.Generator | int | None = None
+) -> np.ndarray:
+    """Flip a random ``fraction`` of positions — noise-injection utility."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    v = np.asarray(v, dtype=np.int8).copy()
+    flat = v.reshape(-1)
+    n_flip = int(round(fraction * flat.size))
+    idx = gen.choice(flat.size, size=n_flip, replace=False)
+    flat[idx] = -flat[idx]
+    return v

@@ -1,0 +1,76 @@
+"""Item memories (codebooks) for features and values.
+
+Classic binary VSA draws the feature set F i.i.d. and builds the value set V
+as a *level* codebook so that nearby discretized values get similar vectors
+(continuous values are discretized into M intervals, Sec. II-A).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .hypervector import random_bipolar, sign_bipolar
+
+__all__ = ["random_item_memory", "level_item_memory", "ItemMemory"]
+
+
+def random_item_memory(
+    count: int, dim: int, rng: np.random.Generator | int | None = None
+) -> np.ndarray:
+    """(count, dim) i.i.d. bipolar codebook — for feature-position vectors."""
+    return random_bipolar((count, dim), rng=rng)
+
+
+def level_item_memory(
+    levels: int, dim: int, rng: np.random.Generator | int | None = None
+) -> np.ndarray:
+    """(levels, dim) level codebook: linear bit-flip interpolation.
+
+    Level 0 and level M-1 are (near-)orthogonal; adjacent levels differ in
+    ~dim/(levels-1) positions, so similarity decays linearly with value
+    distance — the standard encoding for discretized continuous features.
+    """
+    if levels < 1:
+        raise ValueError("levels must be >= 1")
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    base = random_bipolar(dim, rng=gen)
+    if levels == 1:
+        return base.reshape(1, dim)
+    memory = np.empty((levels, dim), dtype=np.int8)
+    memory[0] = base
+    flip_order = gen.permutation(dim)
+    boundaries = np.linspace(0, dim, levels).round().astype(int)
+    current = base.copy()
+    for level in range(1, levels):
+        to_flip = flip_order[boundaries[level - 1] : boundaries[level]]
+        current[to_flip] = -current[to_flip]
+        memory[level] = current
+    return memory
+
+
+class ItemMemory:
+    """Lookup table from discrete symbols to bipolar vectors."""
+
+    def __init__(self, vectors: np.ndarray) -> None:
+        vectors = np.asarray(vectors, dtype=np.int8)
+        if vectors.ndim != 2:
+            raise ValueError("ItemMemory expects a (count, dim) array")
+        self.vectors = vectors
+
+    @property
+    def count(self) -> int:
+        """Number of stored vectors."""
+        return self.vectors.shape[0]
+
+    @property
+    def dim(self) -> int:
+        """Vector dimensionality."""
+        return self.vectors.shape[1]
+
+    def __getitem__(self, keys: int | np.ndarray) -> np.ndarray:
+        return self.vectors[keys]
+
+    def cleanup(self, query: np.ndarray) -> int:
+        """Return the index of the stored vector nearest to ``query``."""
+        scores = (self.vectors.astype(np.int64) * sign_bipolar(query)).sum(axis=-1)
+        return int(scores.argmax())

@@ -1,0 +1,63 @@
+"""Sequence and n-gram encodings over the bipolar VSA algebra.
+
+Completes the classic VSA substrate with the permutation-based sequence
+operators used throughout the HDC literature (Kanerva [7]): a sequence is
+encoded by cyclically permuting each element's vector by its position and
+binding/bundling the results.  Not used by UniVSA's record encoding, but
+part of any credible VSA library surface and exercised by the VSA-H
+baseline tooling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .hypervector import bind, permute, sign_bipolar
+
+__all__ = ["encode_ngram", "encode_sequence", "ngram_statistics_vector"]
+
+
+def encode_ngram(vectors: np.ndarray) -> np.ndarray:
+    """Bind a window of vectors with position-permutation.
+
+    ``vectors`` is (n, D); element i is permuted by (n-1-i) and all are
+    bound together:  rho^{n-1}(v_0) * rho^{n-2}(v_1) * ... * v_{n-1}.
+    """
+    vectors = np.asarray(vectors, dtype=np.int8)
+    if vectors.ndim != 2:
+        raise ValueError("encode_ngram expects (n, D)")
+    n = vectors.shape[0]
+    out = np.ones(vectors.shape[1], dtype=np.int8)
+    for i in range(n):
+        out = bind(out, permute(vectors[i], n - 1 - i))
+    return out
+
+
+def encode_sequence(vectors: np.ndarray, n: int = 3) -> np.ndarray:
+    """Encode a sequence as the bundle of its n-gram encodings.
+
+    ``vectors`` is (T, D) with T >= n; returns the bipolar bundle over the
+    T - n + 1 sliding n-grams.
+    """
+    vectors = np.asarray(vectors, dtype=np.int8)
+    if vectors.ndim != 2:
+        raise ValueError("encode_sequence expects (T, D)")
+    if n < 1 or n > vectors.shape[0]:
+        raise ValueError("n must be in [1, T]")
+    grams = np.stack(
+        [encode_ngram(vectors[t : t + n]) for t in range(vectors.shape[0] - n + 1)]
+    )
+    return sign_bipolar(grams.astype(np.int64).sum(axis=0))
+
+
+def ngram_statistics_vector(
+    symbols: np.ndarray, item_memory: np.ndarray, n: int = 3
+) -> np.ndarray:
+    """Sequence vector for a discrete symbol stream via an item memory.
+
+    ``symbols`` is (T,) integer ids into ``item_memory`` (V, D).
+    """
+    symbols = np.asarray(symbols)
+    if symbols.ndim != 1:
+        raise ValueError("symbols must be 1-D")
+    return encode_sequence(item_memory[symbols], n=n)

@@ -1,0 +1,52 @@
+"""Similarity measures between bipolar hypervectors (Eq. 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bitops import dot_from_matches, pack_bipolar, xnor_popcount
+
+__all__ = ["dot_similarity", "hamming_distance", "cosine_similarity", "classify"]
+
+
+def dot_similarity(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Bipolar dot product; supports (..., D) x (..., D) broadcasting."""
+    return (np.asarray(a, dtype=np.int64) * np.asarray(b, dtype=np.int64)).sum(axis=-1)
+
+
+def hamming_distance(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Number of disagreeing positions."""
+    return (np.asarray(a) != np.asarray(b)).sum(axis=-1)
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Cosine similarity; for bipolar vectors this is dot / D."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    num = (a * b).sum(axis=-1)
+    den = np.linalg.norm(a, axis=-1) * np.linalg.norm(b, axis=-1)
+    return num / np.where(den == 0.0, 1.0, den)
+
+
+def classify(
+    samples: np.ndarray, class_vectors: np.ndarray, metric: str = "dot"
+) -> np.ndarray:
+    """Predict labels: argmax similarity of samples (B, D) vs classes (C, D).
+
+    ``metric`` is "dot" or "hamming"; by the equivalence dot = D - 2*hamming
+    both must yield identical predictions (tested property).
+    The "dot" path uses the packed XNOR/popcount kernel — the same
+    computation the hardware similarity module performs.
+    """
+    samples = np.atleast_2d(np.asarray(samples))
+    class_vectors = np.atleast_2d(np.asarray(class_vectors))
+    if metric == "dot":
+        packed_s, dim = pack_bipolar(samples)
+        packed_c, _ = pack_bipolar(class_vectors)
+        matches = xnor_popcount(packed_s[:, None, :], packed_c[None, :, :], dim)
+        scores = dot_from_matches(matches, dim)
+        return scores.argmax(axis=-1)
+    if metric == "hamming":
+        distances = hamming_distance(samples[:, None, :], class_vectors[None, :, :])
+        return distances.argmin(axis=-1)
+    raise ValueError(f"unknown metric {metric!r}")

@@ -1,0 +1,209 @@
+"""Tests for LDA, KNN, and the from-scratch SMO SVM."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BinarySVM,
+    KNNClassifier,
+    LDAClassifier,
+    SVMClassifier,
+    bits_to_kb,
+    format_kb,
+    rbf_kernel,
+)
+
+RNG = np.random.default_rng(30)
+
+
+def _blobs(n_per_class=60, n_features=6, n_classes=2, spread=3.0, seed=0):
+    gen = np.random.default_rng(seed)
+    centers = gen.standard_normal((n_classes, n_features)) * spread
+    x = np.concatenate(
+        [centers[c] + gen.standard_normal((n_per_class, n_features)) for c in range(n_classes)]
+    )
+    y = np.repeat(np.arange(n_classes), n_per_class)
+    return x, y
+
+
+def _xor_data(n=200, seed=0):
+    gen = np.random.default_rng(seed)
+    x = gen.uniform(-1, 1, size=(n, 2))
+    y = ((x[:, 0] > 0) ^ (x[:, 1] > 0)).astype(np.int64)
+    return x, y
+
+
+class TestLDA:
+    def test_separable_blobs(self):
+        x, y = _blobs()
+        clf = LDAClassifier().fit(x, y)
+        assert clf.score(x, y) > 0.95
+
+    def test_three_classes(self):
+        x, y = _blobs(n_classes=3, seed=1)
+        clf = LDAClassifier().fit(x, y)
+        assert clf.score(x, y) > 0.9
+
+    def test_fails_on_xor(self):
+        # LDA is linear: XOR should be near chance.
+        x, y = _xor_data()
+        clf = LDAClassifier().fit(x, y)
+        assert clf.score(x, y) < 0.7
+
+    def test_memory_footprint(self):
+        x, y = _blobs(n_features=10, n_classes=3, seed=2)
+        clf = LDAClassifier().fit(x, y)
+        assert clf.memory_footprint_bits() == 32 * (3 * 10 + 3)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LDAClassifier().predict(np.zeros((1, 2)))
+        with pytest.raises(RuntimeError):
+            LDAClassifier().memory_footprint_bits()
+
+    def test_shrinkage_validation(self):
+        with pytest.raises(ValueError):
+            LDAClassifier(shrinkage=2.0)
+
+    def test_decision_function_shape(self):
+        x, y = _blobs()
+        clf = LDAClassifier().fit(x, y)
+        assert clf.decision_function(x[:7]).shape == (7, 2)
+
+
+class TestKNN:
+    def test_separable_blobs(self):
+        x, y = _blobs(seed=3)
+        clf = KNNClassifier(k=5).fit(x, y)
+        assert clf.score(x, y) > 0.95
+
+    def test_solves_xor(self):
+        x, y = _xor_data(seed=4)
+        clf = KNNClassifier(k=5).fit(x, y)
+        assert clf.score(x, y) > 0.85
+
+    def test_k1_memorizes(self):
+        x, y = _blobs(seed=5)
+        clf = KNNClassifier(k=1).fit(x, y)
+        assert clf.score(x, y) == 1.0
+
+    def test_batched_prediction_consistent(self):
+        x, y = _blobs(n_per_class=100, seed=6)
+        clf = KNNClassifier(k=3).fit(x, y)
+        np.testing.assert_array_equal(
+            clf.predict(x, batch_size=7), clf.predict(x, batch_size=1000)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KNNClassifier(k=0)
+        with pytest.raises(ValueError):
+            KNNClassifier(k=10).fit(np.zeros((3, 2)), np.zeros(3))
+        with pytest.raises(RuntimeError):
+            KNNClassifier().predict(np.zeros((1, 2)))
+
+    def test_memory_counts_training_set(self):
+        x, y = _blobs(n_per_class=10, n_features=4, seed=7)
+        clf = KNNClassifier(k=1).fit(x, y)
+        assert clf.memory_footprint_bits() == 32 * 20 * 4 + 8 * 20
+
+
+class TestRBFKernel:
+    def test_diagonal_is_one(self):
+        x = RNG.standard_normal((5, 3))
+        k = rbf_kernel(x, x, gamma=0.5)
+        np.testing.assert_allclose(np.diag(k), 1.0)
+
+    def test_symmetry(self):
+        x = RNG.standard_normal((6, 3))
+        k = rbf_kernel(x, x, gamma=0.2)
+        np.testing.assert_allclose(k, k.T, atol=1e-12)
+
+    def test_decays_with_distance(self):
+        a = np.array([[0.0, 0.0]])
+        near = np.array([[0.1, 0.0]])
+        far = np.array([[3.0, 0.0]])
+        assert rbf_kernel(a, near, 1.0)[0, 0] > rbf_kernel(a, far, 1.0)[0, 0]
+
+    def test_positive_semidefinite(self):
+        x = RNG.standard_normal((20, 4))
+        k = rbf_kernel(x, x, gamma=0.3)
+        eigenvalues = np.linalg.eigvalsh(k)
+        assert eigenvalues.min() > -1e-8
+
+
+class TestBinarySVM:
+    def test_separable(self):
+        x, y = _blobs(seed=8)
+        labels = np.where(y == 0, -1.0, 1.0)
+        svm = BinarySVM(c=1.0, gamma=0.3).fit(x, labels)
+        acc = (svm.predict(x) == labels).mean()
+        assert acc > 0.95
+
+    def test_solves_xor(self):
+        x, y = _xor_data(seed=9)
+        labels = np.where(y == 0, -1.0, 1.0)
+        svm = BinarySVM(c=5.0, gamma=2.0, max_passes=10).fit(x, labels)
+        assert (svm.predict(x) == labels).mean() > 0.9
+
+    def test_rejects_bad_labels(self):
+        with pytest.raises(ValueError):
+            BinarySVM().fit(np.zeros((4, 2)), np.array([0, 1, 0, 1]))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            BinarySVM().decision_function(np.zeros((1, 2)))
+
+    def test_support_vectors_subset_of_training(self):
+        x, y = _blobs(seed=10)
+        labels = np.where(y == 0, -1.0, 1.0)
+        svm = BinarySVM(c=1.0, gamma=0.3).fit(x, labels)
+        assert 0 < len(svm.support_vectors) <= len(x)
+
+    def test_dual_constraint_holds(self):
+        # sum alpha_i y_i = 0 at the SMO solution.
+        x, y = _blobs(seed=11)
+        labels = np.where(y == 0, -1.0, 1.0)
+        svm = BinarySVM(c=1.0, gamma=0.3).fit(x, labels)
+        assert abs(svm.dual_coef.sum()) < 1e-6
+
+
+class TestSVMClassifier:
+    def test_multiclass_blobs(self):
+        x, y = _blobs(n_classes=3, seed=12)
+        clf = SVMClassifier(c=1.0).fit(x, y)
+        assert clf.score(x, y) > 0.9
+
+    def test_solves_xor(self):
+        x, y = _xor_data(seed=13)
+        clf = SVMClassifier(c=5.0, gamma=2.0).fit(x, y)
+        assert clf.score(x, y) > 0.9
+
+    def test_gamma_scale_default(self):
+        x, y = _blobs(seed=14)
+        clf = SVMClassifier().fit(x, y)
+        assert clf._gamma_value > 0
+
+    def test_memory_footprint_positive(self):
+        x, y = _blobs(seed=15)
+        clf = SVMClassifier().fit(x, y)
+        bits = clf.memory_footprint_bits()
+        assert bits >= 16 * clf.n_support_vectors() * x.shape[1]
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            SVMClassifier().predict(np.zeros((1, 2)))
+        with pytest.raises(RuntimeError):
+            SVMClassifier().memory_footprint_bits()
+
+
+class TestMemoryFormatting:
+    def test_bits_to_kb_decimal_convention(self):
+        # The paper reports decimal kilobytes: 1 KB = 1000 bytes = 8000 bits.
+        assert bits_to_kb(8000) == 1.0
+
+    def test_format_kb_dash(self):
+        assert format_kb(None) == "-"
+
+    def test_format_kb_mb(self):
+        assert format_kb(8000 * 1024 * 4).endswith("MB")

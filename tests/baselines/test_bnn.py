@@ -1,0 +1,84 @@
+"""Tests for the binary CNN baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BinaryConvNet, BNNClassifier
+from repro.nn import Tensor
+from repro.utils.trainloop import TrainConfig
+
+SHAPE = (8, 12)
+LEVELS = 16
+
+
+def _task(n=120, seed=0):
+    gen = np.random.default_rng(seed)
+    y = gen.integers(0, 2, size=n)
+    centers = np.where(y == 0, LEVELS // 4, 3 * LEVELS // 4)
+    x = np.clip(
+        centers[:, None, None] + gen.integers(-2, 3, size=(n,) + SHAPE), 0, LEVELS - 1
+    )
+    return x.astype(np.int64), y.astype(np.int64)
+
+
+class TestBinaryConvNet:
+    def test_forward_shape(self):
+        net = BinaryConvNet(SHAPE, 3, channels=(4, 8), seed=0)
+        x = Tensor(np.random.default_rng(0).uniform(-1, 1, (5,) + SHAPE).astype(np.float32))
+        assert net(x).shape == (5, 3)
+
+    def test_binary_weights_everywhere(self):
+        net = BinaryConvNet(SHAPE, 2, channels=(4, 8), seed=0)
+        for layer in (net.conv1, net.conv2, net.head):
+            assert set(np.unique(layer.binary_weight())).issubset({-1, 1})
+
+    def test_deployed_bits_counts(self):
+        net = BinaryConvNet(SHAPE, 2, channels=(4, 8), seed=0)
+        expected_binary = (
+            net.conv1.weight.size + net.conv2.weight.size + net.head.weight.size
+        )
+        assert net.deployed_bits() == expected_binary + 16 * (4 + 8 + 2)
+
+    def test_gradients_flow(self):
+        net = BinaryConvNet(SHAPE, 2, channels=(4, 8), seed=0)
+        net.train()
+        x = Tensor(np.random.default_rng(1).uniform(-1, 1, (4,) + SHAPE).astype(np.float32))
+        net(x).sum().backward()
+        assert net.conv1.weight.grad is not None
+        assert net.head.weight.grad is not None
+
+
+class TestBNNClassifier:
+    def test_learns_separable_task(self):
+        x, y = _task()
+        clf = BNNClassifier(
+            SHAPE, 2, channels=(4, 8), levels=LEVELS, seed=0,
+            train_config=TrainConfig(epochs=10, lr=0.02, seed=0),
+        ).fit(x, y)
+        assert clf.score(x, y) > 0.85
+
+    def test_unfitted_raises(self):
+        clf = BNNClassifier(SHAPE, 2)
+        with pytest.raises(RuntimeError):
+            clf.predict(np.zeros((1,) + SHAPE, dtype=int))
+        with pytest.raises(RuntimeError):
+            clf.memory_footprint_bits()
+
+    def test_memory_footprint_kb_scale(self):
+        x, y = _task(n=40)
+        clf = BNNClassifier(
+            SHAPE, 2, channels=(4, 8), levels=LEVELS, seed=0,
+            train_config=TrainConfig(epochs=1, seed=0),
+        ).fit(x, y)
+        bits = clf.memory_footprint_bits()
+        assert 0 < bits < 8000 * 100  # well under 100 KB at this size
+
+    def test_batched_prediction_consistent(self):
+        x, y = _task(n=60)
+        clf = BNNClassifier(
+            SHAPE, 2, channels=(4, 8), levels=LEVELS, seed=0,
+            train_config=TrainConfig(epochs=1, seed=0),
+        ).fit(x, y)
+        np.testing.assert_array_equal(
+            clf.predict(x, batch_size=7), clf.predict(x, batch_size=512)
+        )

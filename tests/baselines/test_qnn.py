@@ -1,0 +1,69 @@
+"""Tests for the quantized CNN baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import QNNClassifier, QuantConvNet
+from repro.nn import Tensor
+from repro.utils.trainloop import TrainConfig
+
+SHAPE = (8, 12)
+LEVELS = 16
+
+
+def _task(n=120, seed=0):
+    gen = np.random.default_rng(seed)
+    y = gen.integers(0, 2, size=n)
+    centers = np.where(y == 0, LEVELS // 4, 3 * LEVELS // 4)
+    x = np.clip(
+        centers[:, None, None] + gen.integers(-2, 3, size=(n,) + SHAPE), 0, LEVELS - 1
+    )
+    return x.astype(np.int64), y.astype(np.int64)
+
+
+class TestQuantConvNet:
+    def test_forward_shape(self):
+        net = QuantConvNet(SHAPE, 3, bits=4, channels=(4, 8), seed=0)
+        x = Tensor(np.random.default_rng(0).uniform(-1, 1, (5,) + SHAPE).astype(np.float32))
+        assert net(x).shape == (5, 3)
+
+    def test_deployed_bits_scale_with_bits(self):
+        net2 = QuantConvNet(SHAPE, 2, bits=2, channels=(4, 8), seed=0)
+        net8 = QuantConvNet(SHAPE, 2, bits=8, channels=(4, 8), seed=0)
+        assert net8.deployed_bits() > net2.deployed_bits()
+
+    def test_gradients_flow(self):
+        net = QuantConvNet(SHAPE, 2, bits=4, channels=(4, 8), seed=0)
+        net.train()
+        x = Tensor(np.random.default_rng(1).uniform(-1, 1, (4,) + SHAPE).astype(np.float32))
+        net(x).sum().backward()
+        assert net.conv1.weight.grad is not None
+        assert net.head.weight.grad is not None
+
+
+class TestQNNClassifier:
+    def test_learns_separable_task(self):
+        x, y = _task()
+        clf = QNNClassifier(
+            SHAPE, 2, bits=4, channels=(4, 8), levels=LEVELS, seed=0,
+            train_config=TrainConfig(epochs=10, lr=0.02, seed=0),
+        ).fit(x, y)
+        assert clf.score(x, y) > 0.85
+
+    def test_unfitted_raises(self):
+        clf = QNNClassifier(SHAPE, 2)
+        with pytest.raises(RuntimeError):
+            clf.predict(np.zeros((1,) + SHAPE, dtype=int))
+        with pytest.raises(RuntimeError):
+            clf.memory_footprint_bits()
+
+    def test_memory_bigger_than_bnn(self):
+        from repro.baselines import BNNClassifier
+
+        x, y = _task(n=40)
+        budget = TrainConfig(epochs=1, seed=0)
+        qnn = QNNClassifier(SHAPE, 2, bits=4, channels=(4, 8), levels=LEVELS,
+                            train_config=budget).fit(x, y)
+        bnn = BNNClassifier(SHAPE, 2, channels=(4, 8), levels=LEVELS,
+                            train_config=budget).fit(x, y)
+        assert qnn.memory_footprint_bits() > bnn.memory_footprint_bits()

@@ -1,0 +1,93 @@
+"""Tests for on-device class-vector adaptation."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    UniVSAConfig,
+    UniVSAModel,
+    adapt_class_vectors,
+    extract_artifacts,
+)
+
+SHAPE = (6, 10)
+LEVELS = 16
+CONFIG = UniVSAConfig(
+    d_high=4, d_low=2, kernel_size=3, out_channels=8, voters=2, levels=LEVELS
+)
+
+
+def _task(n=80, seed=0):
+    gen = np.random.default_rng(seed)
+    y = gen.integers(0, 2, size=n)
+    centers = np.where(y == 0, LEVELS // 4, 3 * LEVELS // 4)
+    x = np.clip(
+        centers[:, None, None] + gen.integers(-2, 3, size=(n,) + SHAPE), 0, LEVELS - 1
+    )
+    return x.astype(np.int64), y.astype(np.int64)
+
+
+@pytest.fixture()
+def untrained_artifacts():
+    # A model with *degenerate* class vectors (all classes identical):
+    # every sample ties, so adaptation must do all the work — the encoding
+    # path still separates the two level bands.
+    model = UniVSAModel(SHAPE, 2, CONFIG, seed=3)
+    artifacts = extract_artifacts(model)
+    artifacts.class_vectors = np.ones_like(artifacts.class_vectors)
+    return artifacts
+
+
+class TestAdaptation:
+    def test_improves_untrained_model(self, untrained_artifacts):
+        x, y = _task()
+        report = adapt_class_vectors(untrained_artifacts, x, y, epochs=10)
+        assert report.accuracy_after > report.accuracy_before
+        assert report.accuracy_after > 0.8
+        assert untrained_artifacts.score(x, y) == pytest.approx(report.accuracy_after)
+
+    def test_updates_counted(self, untrained_artifacts):
+        x, y = _task(seed=1)
+        report = adapt_class_vectors(untrained_artifacts, x, y, epochs=3)
+        assert report.updates > 0
+        assert 1 <= report.epochs_run <= 3
+
+    def test_converged_model_stops_early(self, untrained_artifacts):
+        x, y = _task(seed=2)
+        adapt_class_vectors(untrained_artifacts, x, y, epochs=20)
+        report = adapt_class_vectors(untrained_artifacts, x, y, epochs=20)
+        # Second pass on an already-fit model should terminate quickly.
+        assert report.epochs_run < 20
+
+    def test_class_vectors_stay_bipolar(self, untrained_artifacts):
+        x, y = _task(seed=3)
+        adapt_class_vectors(untrained_artifacts, x, y, epochs=2)
+        assert set(np.unique(untrained_artifacts.class_vectors)).issubset({-1, 1})
+        assert untrained_artifacts.class_vectors.dtype == np.int8
+
+    def test_encoding_path_untouched(self, untrained_artifacts):
+        x, y = _task(seed=4)
+        before_f = untrained_artifacts.feature_vectors.copy()
+        before_v = untrained_artifacts.value_high.copy()
+        adapt_class_vectors(untrained_artifacts, x, y, epochs=2)
+        np.testing.assert_array_equal(untrained_artifacts.feature_vectors, before_f)
+        np.testing.assert_array_equal(untrained_artifacts.value_high, before_v)
+
+    def test_validation(self, untrained_artifacts):
+        x, y = _task()
+        with pytest.raises(ValueError):
+            adapt_class_vectors(untrained_artifacts, x, y[:-1])
+        with pytest.raises(ValueError):
+            adapt_class_vectors(untrained_artifacts, x, y, epochs=0)
+
+    def test_margin_drives_extra_updates(self):
+        x, y = _task(seed=5)
+
+        def degenerate():
+            artifacts = extract_artifacts(UniVSAModel(SHAPE, 2, CONFIG, seed=3))
+            artifacts.class_vectors = np.ones_like(artifacts.class_vectors)
+            return artifacts
+
+        plain = adapt_class_vectors(degenerate(), x, y, epochs=1, seed=0)
+        with_margin = adapt_class_vectors(degenerate(), x, y, epochs=1, margin=5, seed=0)
+        assert with_margin.updates >= plain.updates

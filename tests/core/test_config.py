@@ -1,0 +1,61 @@
+"""Tests for UniVSAConfig validation and ablation variants."""
+
+import pytest
+
+from repro.core import UniVSAConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        config = UniVSAConfig()
+        assert config.d_high == 8 and config.voters == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"d_high": 0},
+            {"d_low": 0},
+            {"d_high": 2, "d_low": 4},
+            {"kernel_size": 2},
+            {"kernel_size": -1},
+            {"out_channels": 0},
+            {"voters": 0},
+            {"levels": 1},
+            {"high_fraction": 0.0},
+            {"high_fraction": 1.5},
+        ],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            UniVSAConfig(**kwargs)
+
+
+class TestPaperTuples:
+    @pytest.mark.parametrize(
+        "tup",
+        [(8, 2, 3, 95, 1), (8, 1, 3, 151, 3), (4, 1, 5, 16, 1), (4, 4, 3, 22, 3)],
+    )
+    def test_round_trip(self, tup):
+        assert UniVSAConfig.from_paper_tuple(tup).as_paper_tuple() == tup
+
+    def test_overrides(self):
+        config = UniVSAConfig.from_paper_tuple((8, 2, 3, 95, 1), levels=128)
+        assert config.levels == 128
+
+
+class TestAblation:
+    def test_encoding_channels_with_conv(self):
+        assert UniVSAConfig(out_channels=22).encoding_channels() == 22
+
+    def test_encoding_channels_without_conv(self):
+        config = UniVSAConfig(d_high=8, use_biconv=False)
+        assert config.encoding_channels() == 8
+
+    def test_with_ablation(self):
+        base = UniVSAConfig(voters=3)
+        variant = base.with_ablation(use_dvp=False, use_biconv=True, voters=1)
+        assert not variant.use_dvp
+        assert variant.use_biconv
+        assert variant.voters == 1
+        # Original untouched (frozen dataclass).
+        assert base.voters == 3 and base.use_dvp

@@ -1,0 +1,263 @@
+"""Bit-exactness chain: trained graph == integer artifacts == packed engine.
+
+This is the repository's central quality gate (DESIGN.md Sec. 6).
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BitPackedUniVSA,
+    UniVSAConfig,
+    UniVSAModel,
+    extract_artifacts,
+    train_univsa,
+)
+from repro.nn import Tensor, no_grad
+from repro.utils.trainloop import TrainConfig
+
+RNG = np.random.default_rng(60)
+
+SHAPE = (6, 10)
+LEVELS = 16
+SMALL = UniVSAConfig(
+    d_high=4, d_low=2, kernel_size=3, out_channels=8, voters=2, levels=LEVELS
+)
+
+
+def _levels_batch(n=12, shape=SHAPE, seed=0):
+    return np.random.default_rng(seed).integers(0, LEVELS, size=(n,) + shape)
+
+
+def _mask():
+    mask = np.zeros(SHAPE, dtype=np.int8)
+    mask[::2] = 1
+    return mask
+
+
+@pytest.fixture(scope="module")
+def exported():
+    model = UniVSAModel(SHAPE, 3, SMALL, mask=_mask(), seed=0)
+    return model, extract_artifacts(model)
+
+
+class TestArtifactShapes:
+    def test_value_tables(self, exported):
+        _, artifacts = exported
+        assert artifacts.value_high.shape == (LEVELS, SMALL.d_high)
+        assert artifacts.value_low.shape == (LEVELS, SMALL.d_low)
+
+    def test_kernel(self, exported):
+        _, artifacts = exported
+        assert artifacts.kernel.shape == (
+            SMALL.out_channels,
+            SMALL.d_high,
+            SMALL.kernel_size,
+            SMALL.kernel_size,
+        )
+
+    def test_vectors(self, exported):
+        _, artifacts = exported
+        positions = SHAPE[0] * SHAPE[1]
+        assert artifacts.feature_vectors.shape == (SMALL.out_channels, positions)
+        assert artifacts.class_vectors.shape == (SMALL.voters, 3, positions)
+
+    def test_everything_bipolar(self, exported):
+        _, artifacts = exported
+        for arr in (
+            artifacts.value_high,
+            artifacts.value_low,
+            artifacts.kernel,
+            artifacts.feature_vectors,
+            artifacts.class_vectors,
+        ):
+            assert set(np.unique(arr)).issubset({-1, 1})
+
+    def test_default_thresholds_zero(self, exported):
+        _, artifacts = exported
+        np.testing.assert_array_equal(artifacts.conv_thresholds, 0.0)
+        assert not artifacts.conv_flips.any()
+
+
+class TestBitExactness:
+    def test_graph_vs_artifacts_encoding(self, exported):
+        model, artifacts = exported
+        levels = _levels_batch()
+        np.testing.assert_array_equal(model.encode(levels), artifacts.encode(levels))
+
+    def test_graph_vs_artifacts_predictions(self, exported):
+        model, artifacts = exported
+        levels = _levels_batch(seed=1)
+        with no_grad():
+            logits = model(Tensor(model.preprocess(levels)))
+        np.testing.assert_array_equal(
+            logits.data.argmax(axis=1), artifacts.predict(levels)
+        )
+
+    def test_artifacts_vs_packed_encoding(self, exported):
+        _, artifacts = exported
+        packed = BitPackedUniVSA(artifacts)
+        levels = _levels_batch(seed=2)
+        np.testing.assert_array_equal(artifacts.encode(levels), packed.encode(levels))
+
+    def test_artifacts_vs_packed_scores(self, exported):
+        _, artifacts = exported
+        packed = BitPackedUniVSA(artifacts)
+        levels = _levels_batch(seed=3)
+        np.testing.assert_array_equal(artifacts.scores(levels), packed.scores(levels))
+
+    def test_packed_predictions(self, exported):
+        _, artifacts = exported
+        packed = BitPackedUniVSA(artifacts)
+        levels = _levels_batch(seed=4)
+        np.testing.assert_array_equal(artifacts.predict(levels), packed.predict(levels))
+
+    @pytest.mark.parametrize("use_dvp,use_biconv", [(False, True), (True, False), (False, False)])
+    def test_ablated_variants_bit_exact(self, use_dvp, use_biconv):
+        config = SMALL.with_ablation(use_dvp, use_biconv, 2)
+        model = UniVSAModel(SHAPE, 2, config, mask=_mask() if use_dvp else None, seed=5)
+        artifacts = extract_artifacts(model)
+        packed = BitPackedUniVSA(artifacts)
+        levels = _levels_batch(seed=5)
+        np.testing.assert_array_equal(model.encode(levels), artifacts.encode(levels))
+        np.testing.assert_array_equal(artifacts.predict(levels), packed.predict(levels))
+
+    def test_batchnorm_folding_bit_exact(self):
+        config = replace(SMALL, use_batchnorm=True)
+        model = UniVSAModel(SHAPE, 2, config, mask=_mask(), seed=6)
+        # Run some training-mode batches so BN accumulates non-trivial stats.
+        model.train()
+        for seed in range(3):
+            x = Tensor(model.preprocess(_levels_batch(seed=seed)))
+            model(x)
+        model.eval()
+        artifacts = extract_artifacts(model)
+        levels = _levels_batch(seed=7)
+        np.testing.assert_array_equal(model.encode(levels), artifacts.encode(levels))
+        packed = BitPackedUniVSA(artifacts)
+        np.testing.assert_array_equal(artifacts.encode(levels), packed.encode(levels))
+
+
+class TestMemoryFootprint:
+    def test_eq5_structure(self, exported):
+        _, artifacts = exported
+        positions = SHAPE[0] * SHAPE[1]
+        expected = (
+            LEVELS * (SMALL.d_high + SMALL.d_low)
+            + SMALL.out_channels * SMALL.d_high * SMALL.kernel_size**2
+            + positions * SMALL.out_channels
+            + positions * SMALL.voters * 3
+        )
+        assert artifacts.memory_footprint_bits() == expected
+
+    def test_mask_inclusion_optional(self, exported):
+        _, artifacts = exported
+        delta = artifacts.memory_footprint_bits(include_mask=True) - (
+            artifacts.memory_footprint_bits()
+        )
+        assert delta == SHAPE[0] * SHAPE[1]
+
+
+class TestSaveLoad:
+    def test_round_trip(self, exported, tmp_path):
+        _, artifacts = exported
+        path = tmp_path / "artifacts.npz"
+        artifacts.save(path)
+        from repro.core import UniVSAArtifacts
+
+        loaded = UniVSAArtifacts.load(path)
+        levels = _levels_batch(seed=8)
+        np.testing.assert_array_equal(artifacts.predict(levels), loaded.predict(levels))
+        assert loaded.config == artifacts.config
+
+    def test_round_trip_without_optional_parts(self, tmp_path):
+        config = SMALL.with_ablation(False, False, 1)
+        model = UniVSAModel(SHAPE, 2, config, seed=9)
+        artifacts = extract_artifacts(model)
+        path = tmp_path / "plain.npz"
+        artifacts.save(path)
+        from repro.core import UniVSAArtifacts
+
+        loaded = UniVSAArtifacts.load(path)
+        assert loaded.value_low is None and loaded.kernel is None
+        levels = _levels_batch(seed=9)
+        np.testing.assert_array_equal(artifacts.predict(levels), loaded.predict(levels))
+
+
+class TestTraining:
+    def _task(self, n=100, seed=0):
+        gen = np.random.default_rng(seed)
+        y = gen.integers(0, 2, size=n)
+        centers = np.where(y == 0, LEVELS // 4, 3 * LEVELS // 4)
+        x = np.clip(
+            centers[:, None, None] + gen.integers(-2, 3, size=(n,) + SHAPE),
+            0,
+            LEVELS - 1,
+        )
+        return x.astype(np.int64), y.astype(np.int64)
+
+    def test_training_learns(self):
+        x, y = self._task()
+        result = train_univsa(
+            x, y, n_classes=2, config=SMALL,
+            train_config=TrainConfig(epochs=8, lr=0.02, seed=0),
+        )
+        assert result.artifacts.score(x, y) > 0.9
+
+    def test_trained_bit_exactness(self):
+        x, y = self._task(seed=1)
+        result = train_univsa(
+            x, y, n_classes=2, config=SMALL,
+            train_config=TrainConfig(epochs=3, lr=0.02, seed=0),
+        )
+        packed = BitPackedUniVSA(result.artifacts)
+        np.testing.assert_array_equal(
+            result.model.encode(x[:20]), result.artifacts.encode(x[:20])
+        )
+        np.testing.assert_array_equal(
+            result.artifacts.predict(x[:20]), packed.predict(x[:20])
+        )
+
+    def test_mask_built_automatically(self):
+        x, y = self._task(seed=2)
+        result = train_univsa(
+            x, y, n_classes=2, config=SMALL,
+            train_config=TrainConfig(epochs=1, seed=0),
+        )
+        assert result.mask.shape == SHAPE
+        high_rows = result.mask[:, 0].sum()
+        assert high_rows == max(1, round(SMALL.high_fraction * SHAPE[0]))
+
+    def test_rejects_flat_input(self):
+        x, y = self._task()
+        with pytest.raises(ValueError):
+            train_univsa(x.reshape(len(x), -1), y, n_classes=2, config=SMALL)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_bit_exact_chain_property(seed):
+    """For random untrained models and random inputs, all three inference
+    paths agree exactly."""
+    gen = np.random.default_rng(seed)
+    config = UniVSAConfig(
+        d_high=int(gen.integers(2, 6)),
+        d_low=1,
+        kernel_size=3,
+        out_channels=int(gen.integers(2, 10)),
+        voters=int(gen.integers(1, 3)),
+        levels=8,
+    )
+    shape = (int(gen.integers(3, 6)), int(gen.integers(3, 8)))
+    mask = gen.integers(0, 2, size=shape).astype(np.int8)
+    model = UniVSAModel(shape, 2, config, mask=mask, seed=seed % 1000)
+    artifacts = extract_artifacts(model)
+    packed = BitPackedUniVSA(artifacts)
+    levels = gen.integers(0, 8, size=(4,) + shape)
+    np.testing.assert_array_equal(model.encode(levels), artifacts.encode(levels))
+    np.testing.assert_array_equal(artifacts.encode(levels), packed.encode(levels))
+    np.testing.assert_array_equal(artifacts.scores(levels), packed.scores(levels))

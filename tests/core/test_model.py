@@ -1,0 +1,121 @@
+"""Tests for the trainable UniVSA graph."""
+
+import numpy as np
+import pytest
+
+from repro.core import UniVSAConfig, UniVSAModel
+from repro.nn import Tensor
+
+RNG = np.random.default_rng(50)
+
+SHAPE = (6, 10)
+LEVELS = 16
+SMALL = UniVSAConfig(
+    d_high=4, d_low=2, kernel_size=3, out_channels=8, voters=2, levels=LEVELS
+)
+
+
+def _levels_batch(n=5, shape=SHAPE):
+    return RNG.integers(0, LEVELS, size=(n,) + shape)
+
+
+class TestConstruction:
+    def test_mask_defaults_to_ones(self):
+        model = UniVSAModel(SHAPE, 2, SMALL)
+        assert model._buffers["mask"].all()
+
+    def test_mask_shape_validated(self):
+        with pytest.raises(ValueError):
+            UniVSAModel(SHAPE, 2, SMALL, mask=np.ones((3, 3), dtype=np.int8))
+
+    def test_no_dvp_drops_low_box(self):
+        model = UniVSAModel(SHAPE, 2, SMALL.with_ablation(False, True, 1))
+        assert model.vb_low is None
+
+    def test_no_biconv_drops_conv(self):
+        model = UniVSAModel(SHAPE, 2, SMALL.with_ablation(True, False, 1))
+        assert model.conv is None
+
+    def test_batchnorm_flag(self):
+        from dataclasses import replace
+
+        model = UniVSAModel(SHAPE, 2, replace(SMALL, use_batchnorm=True))
+        assert model.conv_bn is not None
+
+
+class TestForward:
+    def test_logit_shape(self):
+        model = UniVSAModel(SHAPE, 3, SMALL, seed=1)
+        x = Tensor(model.preprocess(_levels_batch()))
+        assert model(x).shape == (5, 3)
+
+    def test_value_volume_bipolar(self):
+        model = UniVSAModel(SHAPE, 2, SMALL, seed=2)
+        x = Tensor(model.preprocess(_levels_batch()))
+        volume = model.value_volume(x)
+        assert volume.shape == (5, SMALL.d_high) + SHAPE
+        assert set(np.unique(volume.data)).issubset({-1.0, 1.0})
+
+    def test_low_importance_channels_padded_with_ones(self):
+        mask = np.zeros(SHAPE, dtype=np.int8)  # everything low-importance
+        model = UniVSAModel(SHAPE, 2, SMALL, mask=mask, seed=3)
+        x = Tensor(model.preprocess(_levels_batch()))
+        volume = model.value_volume(x).data
+        # Channels beyond D_L must be the +1 constant everywhere.
+        assert (volume[:, SMALL.d_low :, :, :] == 1.0).all()
+
+    def test_feature_map_shape_and_bipolar(self):
+        model = UniVSAModel(SHAPE, 2, SMALL, seed=4)
+        x = Tensor(model.preprocess(_levels_batch()))
+        feature = model.feature_map(model.value_volume(x))
+        assert feature.shape == (5, SMALL.out_channels) + SHAPE
+        assert set(np.unique(feature.data)).issubset({-1.0, 1.0})
+
+    def test_encode_returns_int8_bipolar(self):
+        model = UniVSAModel(SHAPE, 2, SMALL, seed=5)
+        s = model.encode(_levels_batch())
+        assert s.shape == (5, SHAPE[0] * SHAPE[1])
+        assert s.dtype == np.int8
+        assert set(np.unique(s)).issubset({-1, 1})
+
+    def test_gradients_reach_every_stage(self):
+        model = UniVSAModel(SHAPE, 2, SMALL, seed=6)
+        model.train()
+        x = Tensor(model.preprocess(_levels_batch()))
+        out = model(x).sum()
+        out.backward()
+        assert model.conv.weight.grad is not None
+        assert model.encoder.weight.grad is not None
+        assert model.voting.heads[0].weight.grad is not None
+        assert model.vb_high.fc1.weight.grad is not None
+        assert model.vb_low.fc1.weight.grad is not None
+
+    def test_mask_routes_gradient_to_low_box(self):
+        # With an all-low mask, VB_H gets no gradient through the volume.
+        mask = np.zeros(SHAPE, dtype=np.int8)
+        model = UniVSAModel(SHAPE, 2, SMALL, mask=mask, seed=7)
+        model.train()
+        x = Tensor(model.preprocess(_levels_batch()))
+        model(x).sum().backward()
+        low_grad = np.abs(model.vb_low.fc2.weight.grad).sum()
+        assert low_grad > 0
+
+    def test_ablated_forward_shapes(self):
+        for use_dvp in (True, False):
+            for use_biconv in (True, False):
+                config = SMALL.with_ablation(use_dvp, use_biconv, 1)
+                model = UniVSAModel(SHAPE, 2, config, seed=8)
+                x = Tensor(model.preprocess(_levels_batch()))
+                assert model(x).shape == (5, 2)
+
+    def test_predict_labels_in_range(self):
+        model = UniVSAModel(SHAPE, 3, SMALL, seed=9)
+        preds = model.predict(_levels_batch(8))
+        assert preds.shape == (8,)
+        assert set(preds).issubset({0, 1, 2})
+
+    def test_voting_single_vs_multi_shapes(self):
+        single = UniVSAModel(SHAPE, 2, SMALL.with_ablation(True, True, 1), seed=10)
+        multi = UniVSAModel(SHAPE, 2, SMALL.with_ablation(True, True, 4), seed=10)
+        x = Tensor(single.preprocess(_levels_batch()))
+        assert single(x).shape == multi(x).shape == (5, 2)

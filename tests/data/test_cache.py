@@ -1,0 +1,56 @@
+"""Tests for dataset caching."""
+
+import numpy as np
+
+from repro.data import load, load_benchmark_data, load_cached, save_benchmark_data
+
+
+class TestSaveLoad:
+    def test_round_trip(self, tmp_path):
+        data = load("bci-iii-v", n_train=40, n_test=20, seed=3)
+        path = tmp_path / "bci.npz"
+        save_benchmark_data(data, path)
+        loaded = load_benchmark_data(path)
+        np.testing.assert_array_equal(loaded.x_train, data.x_train)
+        np.testing.assert_array_equal(loaded.y_test, data.y_test)
+        assert loaded.benchmark.name == "bci-iii-v"
+        assert loaded.quantizer.levels == data.quantizer.levels
+        assert loaded.quantizer.low == data.quantizer.low
+
+    def test_quantizer_usable_after_reload(self, tmp_path):
+        data = load("har", n_train=30, n_test=10, seed=0)
+        path = tmp_path / "har.npz"
+        save_benchmark_data(data, path)
+        loaded = load_benchmark_data(path)
+        fresh = loaded.quantizer.transform(np.array([0.0, 1.0]))
+        assert fresh.shape == (2,)
+
+    def test_informative_windows_preserved(self, tmp_path):
+        data = load("eegmmi", n_train=20, n_test=10, seed=1)
+        path = tmp_path / "eeg.npz"
+        save_benchmark_data(data, path)
+        loaded = load_benchmark_data(path)
+        np.testing.assert_array_equal(
+            loaded.informative_windows, data.informative_windows
+        )
+
+
+class TestLoadCached:
+    def test_creates_then_hits_cache(self, tmp_path):
+        first = load_cached("bci-iii-v", tmp_path, n_train=30, n_test=15, seed=0)
+        files = list(tmp_path.glob("*.npz"))
+        assert len(files) == 1
+        mtime = files[0].stat().st_mtime_ns
+        second = load_cached("bci-iii-v", tmp_path, n_train=30, n_test=15, seed=0)
+        assert files[0].stat().st_mtime_ns == mtime  # not regenerated
+        np.testing.assert_array_equal(first.x_train, second.x_train)
+
+    def test_different_seeds_different_files(self, tmp_path):
+        load_cached("bci-iii-v", tmp_path, n_train=20, n_test=10, seed=0)
+        load_cached("bci-iii-v", tmp_path, n_train=20, n_test=10, seed=1)
+        assert len(list(tmp_path.glob("*.npz"))) == 2
+
+    def test_matches_direct_load(self, tmp_path):
+        cached = load_cached("har", tmp_path, n_train=25, n_test=10, seed=4)
+        direct = load("har", n_train=25, n_test=10, seed=4)
+        np.testing.assert_array_equal(cached.x_test, direct.x_test)

@@ -1,0 +1,166 @@
+"""Tests for synthetic generators and the benchmark registry."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    Benchmark,
+    SignalTaskSpec,
+    benchmark_names,
+    generate_signal_task,
+    get_benchmark,
+    kfold_indices,
+    load,
+    register,
+    stratified_subsample,
+)
+
+PAPER_SHAPES = {
+    "eegmmi": (2, (16, 64)),
+    "bci-iii-v": (3, (16, 6)),
+    "chb-b": (2, (23, 64)),
+    "chb-ib": (2, (23, 64)),
+    "isolet": (26, (16, 40)),
+    "har": (6, (16, 36)),
+}
+
+PAPER_CONFIGS = {
+    "eegmmi": (8, 2, 3, 95, 1),
+    "bci-iii-v": (8, 1, 3, 151, 3),
+    "chb-b": (8, 2, 3, 16, 3),
+    "chb-ib": (4, 1, 5, 16, 1),
+    "isolet": (4, 4, 3, 22, 3),
+    "har": (8, 4, 3, 18, 3),
+}
+
+
+class TestSpecValidation:
+    def test_rejects_single_class(self):
+        with pytest.raises(ValueError):
+            SignalTaskSpec("x", 1, 4, 8)
+
+    def test_rejects_bad_domain(self):
+        with pytest.raises(ValueError):
+            SignalTaskSpec("x", 2, 4, 8, domain="wavelet")
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            SignalTaskSpec("x", 2, 4, 8, informative_fraction=0.0)
+
+    def test_rejects_balance_length(self):
+        with pytest.raises(ValueError):
+            SignalTaskSpec("x", 2, 4, 8, class_balance=(0.5, 0.3, 0.2))
+
+
+class TestGenerator:
+    def test_shapes_and_determinism(self):
+        spec = SignalTaskSpec("t", 2, 6, 16, noise=0.5)
+        a = generate_signal_task(spec, 30, 10, seed=5)
+        b = generate_signal_task(spec, 30, 10, seed=5)
+        assert a.x_train.shape == (30, 6, 16)
+        assert a.x_test.shape == (10, 6, 16)
+        np.testing.assert_array_equal(a.x_train, b.x_train)
+        np.testing.assert_array_equal(a.y_test, b.y_test)
+
+    def test_seed_changes_data(self):
+        spec = SignalTaskSpec("t", 2, 6, 16)
+        a = generate_signal_task(spec, 20, 5, seed=1)
+        b = generate_signal_task(spec, 20, 5, seed=2)
+        assert not np.allclose(a.x_train, b.x_train)
+
+    def test_frequency_domain_deterministic(self):
+        spec = SignalTaskSpec("f", 2, 6, 8, domain="frequency")
+        a = generate_signal_task(spec, 20, 5, seed=0)
+        b = generate_signal_task(spec, 20, 5, seed=0)
+        np.testing.assert_array_equal(a.x_train, b.x_train)
+
+    def test_class_balance_respected(self):
+        spec = SignalTaskSpec("ib", 2, 4, 8, class_balance=(0.9, 0.1))
+        data = generate_signal_task(spec, 500, 10, seed=0)
+        minority = (data.y_train == 1).mean()
+        assert 0.03 < minority < 0.2
+
+    def test_informative_windows_flagged(self):
+        spec = SignalTaskSpec("t", 2, 10, 8, informative_fraction=0.5)
+        data = generate_signal_task(spec, 5, 2, seed=0)
+        assert data.informative_windows.sum() == 5
+
+    def test_classes_are_separable(self):
+        # Nearest-centroid on raw signals should beat chance comfortably.
+        spec = SignalTaskSpec("t", 2, 8, 32, noise=0.5, coupling_strength=0.0)
+        data = generate_signal_task(spec, 200, 100, seed=3)
+        flat_train = data.x_train.reshape(200, -1)
+        flat_test = data.x_test.reshape(100, -1)
+        centroids = np.stack(
+            [flat_train[data.y_train == c].mean(axis=0) for c in range(2)]
+        )
+        dists = ((flat_test[:, None, :] - centroids[None]) ** 2).sum(axis=-1)
+        acc = (dists.argmin(axis=1) == data.y_test).mean()
+        assert acc > 0.7
+
+
+class TestRegistry:
+    def test_all_six_benchmarks_registered(self):
+        names = benchmark_names()
+        for name in PAPER_SHAPES:
+            assert name in names
+
+    @pytest.mark.parametrize("name", sorted(PAPER_SHAPES))
+    def test_paper_shapes(self, name):
+        bench = get_benchmark(name)
+        n_classes, shape = PAPER_SHAPES[name]
+        assert bench.n_classes == n_classes
+        assert bench.input_shape == shape
+        assert bench.levels == 256
+
+    @pytest.mark.parametrize("name", sorted(PAPER_CONFIGS))
+    def test_paper_configs(self, name):
+        assert get_benchmark(name).paper_config == PAPER_CONFIGS[name]
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            get_benchmark("mnist")
+
+    def test_duplicate_registration_rejected(self):
+        bench = get_benchmark("eegmmi")
+        with pytest.raises(ValueError):
+            register(bench)
+
+    def test_load_quantized(self):
+        data = load("bci-iii-v", n_train=60, n_test=30, seed=1)
+        assert data.x_train.shape == (60, 16, 6)
+        assert data.x_train.min() >= 0 and data.x_train.max() < 256
+        assert data.n_features == 96
+        assert data.flat_train().shape == (60, 96)
+        assert data.flat_test().shape == (30, 96)
+
+    def test_load_deterministic(self):
+        a = load("har", n_train=40, n_test=20, seed=9)
+        b = load("har", n_train=40, n_test=20, seed=9)
+        np.testing.assert_array_equal(a.x_train, b.x_train)
+
+
+class TestSplits:
+    def test_stratified_preserves_ratio(self):
+        y = np.array([0] * 80 + [1] * 20)
+        idx = stratified_subsample(y, 50, rng=0)
+        assert len(idx) == 50
+        assert 5 <= (y[idx] == 1).sum() <= 15
+
+    def test_stratified_too_many(self):
+        with pytest.raises(ValueError):
+            stratified_subsample(np.zeros(5), 10)
+
+    def test_kfold_partitions(self):
+        folds = list(kfold_indices(20, 4, rng=0))
+        assert len(folds) == 4
+        all_val = np.concatenate([v for _, v in folds])
+        assert sorted(all_val.tolist()) == list(range(20))
+        for train, val in folds:
+            assert set(train) & set(val) == set()
+
+    def test_kfold_validates(self):
+        with pytest.raises(ValueError):
+            list(kfold_indices(5, 1))
+        with pytest.raises(ValueError):
+            list(kfold_indices(3, 10))

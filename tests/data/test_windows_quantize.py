@@ -1,0 +1,102 @@
+"""Tests for windowing and quantization preprocessing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Quantizer, quantize_dataset, sliding_windows, window_layout
+
+RNG = np.random.default_rng(20)
+
+
+class TestWindowLayout:
+    def test_covers_signal(self):
+        starts, overlap = window_layout(100, 10, 20)
+        assert starts[0] == 0
+        assert starts[-1] + 20 == 100
+        assert overlap >= 0
+
+    def test_overlap_computation(self):
+        # 5 windows of length 30 over 90 samples: stride 15, overlap 15.
+        starts, overlap = window_layout(90, 5, 30)
+        assert overlap == 15
+
+    def test_single_window(self):
+        starts, overlap = window_layout(50, 1, 50)
+        assert list(starts) == [0] and overlap == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            window_layout(10, 0, 5)
+        with pytest.raises(ValueError):
+            window_layout(10, 2, 20)
+
+    def test_sliding_windows_shape(self):
+        signal = RNG.standard_normal(1024)
+        out = sliding_windows(signal, 16, 64)
+        assert out.shape == (16, 64)
+
+    def test_sliding_windows_content(self):
+        signal = np.arange(100, dtype=float)
+        out = sliding_windows(signal, 2, 50)
+        np.testing.assert_array_equal(out[0], np.arange(50))
+        np.testing.assert_array_equal(out[1], np.arange(50, 100))
+
+    def test_sliding_windows_rejects_2d(self):
+        with pytest.raises(ValueError):
+            sliding_windows(np.zeros((2, 10)), 2, 5)
+
+
+class TestQuantizer:
+    def test_range_and_dtype(self):
+        x = RNG.standard_normal((100, 8))
+        q = Quantizer(levels=256).fit(x)
+        levels = q.transform(x)
+        assert levels.dtype == np.int64
+        assert levels.min() >= 0 and levels.max() <= 255
+
+    def test_monotone(self):
+        q = Quantizer(levels=16).fit(np.linspace(0, 1, 100))
+        levels = q.transform(np.array([0.1, 0.5, 0.9]))
+        assert levels[0] < levels[1] < levels[2]
+
+    def test_clips_out_of_range(self):
+        q = Quantizer(levels=8).fit(np.linspace(0, 1, 100))
+        assert q.transform(np.array([-10.0]))[0] == 0
+        assert q.transform(np.array([10.0]))[0] == 7
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            Quantizer().transform(np.zeros(3))
+        with pytest.raises(RuntimeError):
+            Quantizer().inverse(np.zeros(3, dtype=int))
+
+    def test_too_few_levels(self):
+        with pytest.raises(ValueError):
+            Quantizer(levels=1).fit(np.zeros(4))
+
+    def test_constant_input_does_not_crash(self):
+        q = Quantizer(levels=4).fit(np.full(50, 3.0))
+        levels = q.transform(np.full(5, 3.0))
+        assert (levels >= 0).all() and (levels <= 3).all()
+
+    def test_inverse_is_bin_center(self):
+        q = Quantizer(levels=4)
+        q.low, q.high = 0.0, 4.0
+        np.testing.assert_allclose(q.inverse(np.array([0, 3])), [0.5, 3.5])
+
+    def test_quantize_dataset_shares_quantizer(self):
+        x_train = RNG.standard_normal((50, 4))
+        x_test = x_train[:10] * 1.0
+        qt, qe, q = quantize_dataset(x_train, x_test, levels=32)
+        np.testing.assert_array_equal(qt[:10], qe)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(2, 64), st.integers(0, 2**31 - 1))
+def test_quantizer_levels_bounded_property(levels, seed):
+    gen = np.random.default_rng(seed)
+    x = gen.standard_normal(200) * gen.uniform(0.1, 10)
+    out = Quantizer(levels=levels).fit(x).transform(x)
+    assert out.min() >= 0 and out.max() < levels

@@ -1,0 +1,107 @@
+"""Tests for feature-importance scoring and DVP mask construction."""
+
+import numpy as np
+import pytest
+
+from repro.features import (
+    greedy_wrapper_selection,
+    importance_mask,
+    mutual_information_scores,
+)
+
+
+def _task_with_informative_windows(n=200, w=8, length=6, informative=(1, 4, 6), seed=0):
+    """Only the listed windows carry class signal."""
+    gen = np.random.default_rng(seed)
+    y = gen.integers(0, 2, size=n)
+    x = gen.standard_normal((n, w, length))
+    for wi in informative:
+        x[:, wi] += (2.0 * y - 1.0)[:, None] * 1.5
+    return x, y
+
+
+class TestMutualInformation:
+    def test_informative_feature_scores_higher(self):
+        gen = np.random.default_rng(1)
+        y = gen.integers(0, 2, size=500)
+        x = gen.standard_normal((500, 3))
+        x[:, 1] += (2 * y - 1) * 2.0
+        scores = mutual_information_scores(x, y)
+        assert scores[1] > scores[0]
+        assert scores[1] > scores[2]
+
+    def test_independent_feature_near_zero(self):
+        gen = np.random.default_rng(2)
+        y = gen.integers(0, 2, size=2000)
+        x = gen.standard_normal((2000, 1))
+        scores = mutual_information_scores(x, y)
+        assert scores[0] < 0.05
+
+    def test_nonnegative(self):
+        gen = np.random.default_rng(3)
+        y = gen.integers(0, 3, size=300)
+        x = gen.standard_normal((300, 5))
+        assert (mutual_information_scores(x, y) >= -1e-9).all()
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            mutual_information_scores(np.zeros((4, 2, 2)), np.zeros(4, dtype=int))
+
+
+class TestGreedyWrapper:
+    def test_finds_informative_windows(self):
+        x, y = _task_with_informative_windows()
+        chosen = greedy_wrapper_selection(x, y, n_select=3, seed=0)
+        assert set(chosen) == {1, 4, 6}
+
+    def test_selection_size(self):
+        x, y = _task_with_informative_windows()
+        assert len(greedy_wrapper_selection(x, y, n_select=5, seed=0)) == 5
+
+    def test_validates_inputs(self):
+        x, y = _task_with_informative_windows()
+        with pytest.raises(ValueError):
+            greedy_wrapper_selection(x.reshape(200, -1), y, 2)
+        with pytest.raises(ValueError):
+            greedy_wrapper_selection(x, y, 0)
+        with pytest.raises(ValueError):
+            greedy_wrapper_selection(x, y, 100)
+
+
+class TestImportanceMask:
+    def test_mi_mask_marks_informative(self):
+        x, y = _task_with_informative_windows()
+        mask = importance_mask(x, y, high_fraction=3 / 8, method="mi")
+        assert mask.shape == (8, 6)
+        marked = set(np.flatnonzero(mask[:, 0]))
+        assert marked == {1, 4, 6}
+
+    def test_wrapper_mask_marks_informative(self):
+        x, y = _task_with_informative_windows(seed=5)
+        mask = importance_mask(x, y, high_fraction=3 / 8, method="wrapper")
+        assert set(np.flatnonzero(mask[:, 0])) == {1, 4, 6}
+
+    def test_mask_is_row_constant(self):
+        x, y = _task_with_informative_windows()
+        mask = importance_mask(x, y, high_fraction=0.5)
+        for row in mask:
+            assert len(np.unique(row)) == 1
+
+    def test_high_fraction_count(self):
+        x, y = _task_with_informative_windows()
+        mask = importance_mask(x, y, high_fraction=0.25)
+        assert mask[:, 0].sum() == 2
+
+    def test_validates(self):
+        x, y = _task_with_informative_windows()
+        with pytest.raises(ValueError):
+            importance_mask(x.reshape(200, -1), y)
+        with pytest.raises(ValueError):
+            importance_mask(x, y, high_fraction=0.0)
+        with pytest.raises(ValueError):
+            importance_mask(x, y, method="anova")
+
+    def test_full_fraction_marks_everything(self):
+        x, y = _task_with_informative_windows()
+        mask = importance_mask(x, y, high_fraction=1.0)
+        assert mask.all()

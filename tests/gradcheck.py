@@ -1,0 +1,39 @@
+"""Numerical gradient checking helper shared by the nn test modules."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.nn import Tensor
+
+
+def numeric_grad(
+    fn: Callable[[], Tensor], param: Tensor, eps: float = 1e-3
+) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn()`` w.r.t. ``param``."""
+    grad = np.zeros_like(param.data, dtype=np.float64)
+    flat = param.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        high = float(fn().data)
+        flat[i] = original - eps
+        low = float(fn().data)
+        flat[i] = original
+        grad_flat[i] = (high - low) / (2.0 * eps)
+    return grad
+
+
+def assert_grad_close(
+    fn: Callable[[], Tensor], param: Tensor, atol: float = 1e-2, rtol: float = 1e-2
+) -> None:
+    """Assert analytic gradient of ``fn`` w.r.t. ``param`` matches numeric."""
+    param.zero_grad()
+    out = fn()
+    out.backward()
+    analytic = param.grad.astype(np.float64)
+    numeric = numeric_grad(fn, param)
+    np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=rtol)

@@ -1,0 +1,70 @@
+"""Tests for the structural hardware description (HardwareSpec)."""
+
+import math
+
+import pytest
+
+from repro.core import UniVSAConfig
+from repro.hw import HardwareSpec
+
+
+def _spec(d_high=8, d_low=2, d_k=3, o=16, voters=1, shape=(16, 64), classes=2):
+    config = UniVSAConfig(
+        d_high=d_high, d_low=d_low, kernel_size=d_k, out_channels=o, voters=voters
+    )
+    return HardwareSpec(config, shape, classes)
+
+
+class TestDerivedQuantities:
+    def test_feature_and_position_counts(self):
+        spec = _spec(shape=(16, 64))
+        assert spec.n_features == 1024
+        assert spec.positions == 1024  # 'same' convolution
+
+    @pytest.mark.parametrize(
+        "d_k,d_high,expected",
+        [
+            (3, 8, 3),   # max(3, log2 8 = 3)
+            (3, 4, 3),   # max(3, 2)
+            (5, 4, 5),   # max(5, 2)
+            (3, 16, 4),  # max(3, 4)
+            (5, 16, 5),  # max(5, 4)
+        ],
+    )
+    def test_alpha_cases(self, d_k, d_high, expected):
+        assert _spec(d_high=d_high, d_k=d_k).alpha == expected
+
+    def test_conv_iterations(self):
+        assert _spec(d_k=5, shape=(23, 64)).conv_iterations == 23 * 64 * 5
+
+    def test_conv_datapath_units_eq6(self):
+        assert _spec(d_high=8, d_k=3, o=95).conv_datapath_units == 3 * 95 * 8
+
+    def test_encoder_tree_depth(self):
+        assert _spec(o=16).encoder_tree_depth == 4
+        assert _spec(o=22).encoder_tree_depth == 5
+
+    def test_encoder_tree_depth_without_conv(self):
+        config = UniVSAConfig(d_high=8, use_biconv=False)
+        spec = HardwareSpec(config, (4, 4), 2)
+        assert spec.encoder_tree_depth == 3  # log2(D_H)
+
+    def test_similarity_units(self):
+        assert _spec(voters=3, classes=26).similarity_units == 78
+
+    def test_accumulator_width(self):
+        spec = _spec(shape=(16, 64))  # 1024 positions
+        assert spec.accumulator_width == math.ceil(math.log2(1024)) + 1
+
+    def test_line_buffer_bits(self):
+        assert _spec(d_high=8, d_k=3, shape=(16, 64)).line_buffer_bits == 8 * 64 * 3
+
+    def test_clock_period(self):
+        assert _spec().clock_period_ns() == pytest.approx(4.0)
+        slow = HardwareSpec(UniVSAConfig(), (4, 4), 2, frequency_mhz=100.0)
+        assert slow.clock_period_ns() == pytest.approx(10.0)
+
+    def test_frozen(self):
+        spec = _spec()
+        with pytest.raises(Exception):
+            spec.frequency_mhz = 100

@@ -1,0 +1,71 @@
+"""Consistency checks on the calibration constants and paper tables."""
+
+import math
+
+import pytest
+
+from repro.core import UniVSAConfig
+from repro.hw import (
+    CYCLE_CONSTANTS,
+    LUT_MODEL,
+    PAPER_CONFIGS,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    POWER_MODEL,
+    HardwareSpec,
+)
+
+
+class TestPaperTables:
+    def test_table4_covers_all_tasks(self):
+        assert set(PAPER_TABLE4) == set(PAPER_CONFIGS)
+
+    def test_table4_row_shapes(self):
+        for name, row in PAPER_TABLE4.items():
+            assert len(row) == 6, name
+            latency, power, luts, brams, dsps, throughput = row
+            assert latency > 0 and power > 0 and luts > 0
+            assert brams >= 1 and dsps == 0 and throughput > 0
+
+    def test_table3_has_expected_competitors(self):
+        labels = set(PAPER_TABLE3)
+        for expected in ("SVM [31]", "KNN [16]", "BNN [14]", "QNN [13]", "LookHD [9]", "LDC [11]"):
+            assert expected in labels
+
+    def test_paper_configs_match_table1(self):
+        assert PAPER_CONFIGS["eegmmi"][2] == (8, 2, 3, 95, 1)
+        assert PAPER_CONFIGS["chb-ib"][2] == (4, 1, 5, 16, 1)
+
+    def test_throughput_consistent_with_latency(self):
+        # Streaming throughput is always >= 1/latency (pipeline overlap).
+        for name, row in PAPER_TABLE4.items():
+            latency_s = row[0] / 1000.0
+            assert row[5] >= 1.0 / latency_s * 0.9, name
+
+
+class TestModels:
+    def test_lut_model_positive(self):
+        assert LUT_MODEL["k"] > 0
+        assert 0 < LUT_MODEL["a"] < 1  # sub-linear (managed parallelism)
+        assert 0 < LUT_MODEL["b"] < 1
+
+    def test_power_model_nonnegative(self):
+        assert all(v >= 0 for v in POWER_MODEL.values())
+
+    def test_cycle_constants(self):
+        assert CYCLE_CONSTANTS.dvp_cycles_per_feature >= 1
+        assert CYCLE_CONSTANTS.conv_iteration_overhead > 0
+
+    def test_alpha_definition_against_table(self):
+        # The calibrated overhead reproduces the per-iteration cost the
+        # paper's throughput column implies: interval/iterations ~ alpha+c.
+        for name, ((w, length), classes, tup) in PAPER_CONFIGS.items():
+            spec = HardwareSpec(UniVSAConfig.from_paper_tuple(tup), (w, length), classes)
+            implied = 250e6 / PAPER_TABLE4[name][5] / spec.conv_iterations
+            modeled = spec.alpha + CYCLE_CONSTANTS.conv_iteration_overhead
+            assert modeled == pytest.approx(implied, rel=0.07), name
+
+    def test_accumulator_width_formula(self):
+        shape, classes, tup = PAPER_CONFIGS["eegmmi"]
+        spec = HardwareSpec(UniVSAConfig.from_paper_tuple(tup), shape, classes)
+        assert spec.accumulator_width == math.ceil(math.log2(1024)) + 1

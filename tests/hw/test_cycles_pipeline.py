@@ -1,0 +1,113 @@
+"""Tests for the cycle model, pipeline schedule, and paper Table IV fidelity."""
+
+import numpy as np
+import pytest
+
+from repro.core import UniVSAConfig
+from repro.hw import (
+    PAPER_CONFIGS,
+    PAPER_TABLE4,
+    HardwareSpec,
+    latency_ms,
+    pipeline_schedule,
+    stage_cycles,
+    throughput_per_s,
+    total_latency_cycles,
+)
+
+
+def _spec(name):
+    shape, classes, tup = PAPER_CONFIGS[name]
+    return HardwareSpec(UniVSAConfig.from_paper_tuple(tup), shape, classes)
+
+
+class TestAlpha:
+    def test_alpha_formula_dk_dominant(self):
+        # ISOLET: D_K=3, D_H=4 -> log2=2 -> alpha=3.
+        assert _spec("isolet").alpha == 3
+
+    def test_alpha_formula_logdh_equal(self):
+        # EEGMMI: D_K=3, D_H=8 -> log2=3 -> alpha=3.
+        assert _spec("eegmmi").alpha == 3
+
+    def test_alpha_large_kernel(self):
+        # CHB-IB: D_K=5 dominates log2(4)=2.
+        assert _spec("chb-ib").alpha == 5
+
+    def test_conv_iterations(self):
+        # W' x L' x D_K (Sec. IV-A).
+        spec = _spec("eegmmi")
+        assert spec.conv_iterations == 16 * 64 * 3
+
+
+class TestStageCycles:
+    def test_conv_dominates_all_paper_tasks(self):
+        for name in PAPER_CONFIGS:
+            cycles = stage_cycles(_spec(name))
+            assert cycles.conv > cycles.dvp
+            assert cycles.conv > cycles.encode
+            assert cycles.conv > cycles.similarity
+
+    def test_total_is_sum(self):
+        cycles = stage_cycles(_spec("har"))
+        assert cycles.total == (
+            cycles.dvp + cycles.conv + cycles.encode + cycles.similarity + cycles.control
+        )
+
+    def test_as_dict_keys(self):
+        d = stage_cycles(_spec("har")).as_dict()
+        assert set(d) == {"dvp", "biconv", "encode", "similarity", "control"}
+
+
+class TestPaperFidelity:
+    """Shape-level reproduction of Table IV (tolerances per DESIGN.md)."""
+
+    @pytest.mark.parametrize("name", sorted(PAPER_CONFIGS))
+    def test_latency_within_10_percent(self, name):
+        model = latency_ms(_spec(name))
+        paper = PAPER_TABLE4[name][0]
+        assert model == pytest.approx(paper, rel=0.10)
+
+    @pytest.mark.parametrize("name", sorted(PAPER_CONFIGS))
+    def test_throughput_within_10_percent(self, name):
+        model = throughput_per_s(_spec(name))
+        paper = PAPER_TABLE4[name][5]
+        assert model == pytest.approx(paper, rel=0.10)
+
+    def test_latency_ordering_matches_paper(self):
+        names = sorted(PAPER_CONFIGS)
+        model = [latency_ms(_spec(n)) for n in names]
+        paper = [PAPER_TABLE4[n][0] for n in names]
+        assert np.argsort(model).tolist() == np.argsort(paper).tolist()
+
+
+class TestPipelineSchedule:
+    def test_bottleneck_is_biconv(self):
+        for name in PAPER_CONFIGS:
+            assert pipeline_schedule(_spec(name)).bottleneck == "biconv"
+
+    def test_initiation_interval_equals_conv(self):
+        spec = _spec("isolet")
+        schedule = pipeline_schedule(spec)
+        assert schedule.initiation_interval == stage_cycles(spec).conv
+
+    def test_completion_cycles_monotone(self):
+        schedule = pipeline_schedule(_spec("har"))
+        completions = [schedule.completion_cycle(k) for k in range(5)]
+        diffs = np.diff(completions)
+        assert (diffs == schedule.initiation_interval).all()
+
+    def test_throughput_definition(self):
+        spec = _spec("bci-iii-v")
+        schedule = pipeline_schedule(spec)
+        expected = 250e6 / schedule.initiation_interval
+        assert schedule.throughput(250.0) == pytest.approx(expected)
+
+    def test_single_sample_latency_exceeds_interval(self):
+        spec = _spec("eegmmi")
+        schedule = pipeline_schedule(spec)
+        assert schedule.latency_cycles() > schedule.initiation_interval
+
+    def test_total_latency_function(self):
+        spec = _spec("chb-b")
+        assert total_latency_cycles(spec) == stage_cycles(spec).total

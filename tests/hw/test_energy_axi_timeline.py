@@ -1,0 +1,137 @@
+"""Tests for the energy, AXI I/O, and timeline-rendering extensions."""
+
+import numpy as np
+import pytest
+
+from repro.core import UniVSAConfig, UniVSAModel, extract_artifacts
+from repro.hw import (
+    PAPER_CONFIGS,
+    AxiLinkConfig,
+    HardwareSimulator,
+    HardwareSpec,
+    energy_report,
+    io_analysis,
+    pipeline_schedule,
+    render_timeline,
+    stage_cycles,
+)
+
+
+def _spec(name="isolet"):
+    shape, classes, tup = PAPER_CONFIGS[name]
+    return HardwareSpec(UniVSAConfig.from_paper_tuple(tup), shape, classes)
+
+
+class TestEnergy:
+    def test_streaming_energy_definition(self):
+        spec = _spec()
+        report = energy_report(spec)
+        schedule = pipeline_schedule(spec)
+        expected = report.power_w * schedule.initiation_interval * 4e-9 * 1e6
+        assert report.energy_per_inference_uj == pytest.approx(expected)
+
+    def test_burst_energy_exceeds_streaming(self):
+        report = energy_report(_spec())
+        assert report.energy_per_inference_burst_uj > report.energy_per_inference_uj
+
+    def test_microjoule_scale(self):
+        # The paper's whole point: inference energy in the uJ range.
+        for name in PAPER_CONFIGS:
+            report = energy_report(_spec(name))
+            assert report.energy_per_inference_uj < 100, name
+
+    def test_battery_life_hours(self):
+        report = energy_report(_spec())
+        # 200 mWh cell at 100 inferences/s must last for days, not minutes.
+        hours = report.battery_hours(capacity_mwh=200, inferences_per_s=100)
+        assert hours > 24
+
+    def test_battery_life_validation(self):
+        report = energy_report(_spec())
+        with pytest.raises(ValueError):
+            report.battery_hours(200, 0)
+        with pytest.raises(ValueError):
+            report.battery_hours(200, report.max_inference_rate * 2)
+
+    def test_higher_rate_shorter_life(self):
+        report = energy_report(_spec())
+        assert report.battery_hours(200, 1000) < report.battery_hours(200, 10)
+
+
+class TestAxi:
+    def test_byte_counts(self):
+        spec = _spec()
+        analysis = io_analysis(spec)
+        assert analysis.input_bytes == 16 * 40
+        assert analysis.output_bytes == 26 * 4
+
+    def test_paper_configs_are_compute_bound(self):
+        # Sec. IV: DVP/transfer hides under BiConv for every paper config.
+        for name in PAPER_CONFIGS:
+            analysis = io_analysis(_spec(name))
+            assert not analysis.io_bound, name
+            assert analysis.effective_interval == analysis.compute_interval
+
+    def test_narrow_link_becomes_io_bound(self):
+        spec = _spec("bci-iii-v")  # smallest compute interval
+        slow_link = AxiLinkConfig(data_width_bits=8, bus_frequency_mhz=10)
+        analysis = io_analysis(spec, slow_link)
+        assert analysis.io_bound
+        assert analysis.effective_interval == analysis.transfer_cycles
+
+    def test_io_utilization_bounded(self):
+        analysis = io_analysis(_spec())
+        assert 0.0 < analysis.io_utilization <= 1.0
+
+    def test_link_validation(self):
+        with pytest.raises(ValueError):
+            AxiLinkConfig(data_width_bits=12)
+        with pytest.raises(ValueError):
+            AxiLinkConfig(burst_length=0)
+
+
+class TestTimeline:
+    @pytest.fixture(scope="class")
+    def simulation(self):
+        config = UniVSAConfig(d_high=4, d_low=2, out_channels=4, voters=1, levels=16)
+        model = UniVSAModel((4, 6), 2, config, seed=0)
+        artifacts = extract_artifacts(model)
+        spec = HardwareSpec(config, (4, 6), 2)
+        levels = np.random.default_rng(0).integers(0, 16, size=(4, 4, 6))
+        return HardwareSimulator(artifacts, spec).run(levels)
+
+    def test_renders_all_stages(self, simulation):
+        art = render_timeline(simulation, width=60)
+        for stage in ("dvp", "biconv", "encode", "similarity"):
+            assert stage in art
+
+    def test_rows_share_width(self, simulation):
+        art = render_timeline(simulation, width=40)
+        lines = [l for l in art.split("\n") if "|" in l or "+" in l]
+        assert len({len(l) for l in lines}) == 1
+
+    def test_sample_glyphs_present(self, simulation):
+        art = render_timeline(simulation, width=60)
+        body = art.split("\n")[1:5]
+        glyphs = set("".join(body))
+        assert {"0", "1"} <= glyphs
+
+    def test_max_samples_filter(self, simulation):
+        art = render_timeline(simulation, width=60, max_samples=1)
+        body = "\n".join(art.split("\n")[1:5])
+        assert "1" not in body.replace("similarity", "").replace("1", "1")
+        # Only sample 0's glyph appears in the occupancy cells.
+        occupancy = [line.split("|")[1] for line in art.split("\n")[1:5]]
+        assert set("".join(occupancy)) <= {"0", " "}
+
+    def test_width_validation(self, simulation):
+        with pytest.raises(ValueError):
+            render_timeline(simulation, width=4)
+
+    def test_empty_simulation(self):
+        from repro.hw import SimulationResult
+
+        empty = SimulationResult(
+            predictions=np.array([]), scores=np.zeros((0, 2)), events=[], total_cycles=0
+        )
+        assert "empty" in render_timeline(empty)

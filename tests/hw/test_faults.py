@@ -1,0 +1,92 @@
+"""Tests for memory-corruption fault injection."""
+
+import numpy as np
+import pytest
+
+from repro.core import UniVSAConfig, UniVSAModel, adapt_class_vectors, extract_artifacts
+from repro.hw import FaultReport, fault_sweep, inject_bit_flips
+
+SHAPE = (6, 10)
+LEVELS = 16
+CONFIG = UniVSAConfig(
+    d_high=4, d_low=2, kernel_size=3, out_channels=8, voters=2, levels=LEVELS
+)
+
+
+def _task(n=80, seed=0):
+    gen = np.random.default_rng(seed)
+    y = gen.integers(0, 2, size=n)
+    centers = np.where(y == 0, LEVELS // 4, 3 * LEVELS // 4)
+    x = np.clip(
+        centers[:, None, None] + gen.integers(-2, 3, size=(n,) + SHAPE), 0, LEVELS - 1
+    )
+    return x.astype(np.int64), y.astype(np.int64)
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    model = UniVSAModel(SHAPE, 2, CONFIG, seed=0)
+    artifacts = extract_artifacts(model)
+    x, y = _task()
+    adapt_class_vectors(artifacts, x, y, epochs=10)
+    return artifacts, x, y
+
+
+class TestInjection:
+    def test_flip_count(self, fitted):
+        artifacts, _, _ = fitted
+        corrupted = inject_bit_flips(artifacts, 0.1, groups=("class_vectors",), seed=0)
+        flips = (corrupted.class_vectors != artifacts.class_vectors).sum()
+        assert flips == round(0.1 * artifacts.class_vectors.size)
+
+    def test_original_untouched(self, fitted):
+        artifacts, _, _ = fitted
+        snapshot = artifacts.class_vectors.copy()
+        inject_bit_flips(artifacts, 0.5, seed=1)
+        np.testing.assert_array_equal(artifacts.class_vectors, snapshot)
+
+    def test_zero_fraction_identical(self, fitted):
+        artifacts, x, _ = fitted
+        corrupted = inject_bit_flips(artifacts, 0.0)
+        np.testing.assert_array_equal(
+            corrupted.predict(x), artifacts.predict(x)
+        )
+
+    def test_validation(self, fitted):
+        artifacts, _, _ = fitted
+        with pytest.raises(ValueError):
+            inject_bit_flips(artifacts, 1.5)
+        with pytest.raises(ValueError):
+            inject_bit_flips(artifacts, 0.1, groups=("class_vectors", "dram"))
+
+    def test_missing_groups_skipped(self):
+        config = CONFIG.with_ablation(False, False, 1)
+        artifacts = extract_artifacts(UniVSAModel(SHAPE, 2, config, seed=0))
+        corrupted = inject_bit_flips(artifacts, 0.1, groups=("kernel", "value_low"))
+        assert corrupted.kernel is None and corrupted.value_low is None
+
+    def test_all_bits_flipped_inverts(self, fitted):
+        artifacts, _, _ = fitted
+        corrupted = inject_bit_flips(artifacts, 1.0, groups=("class_vectors",))
+        np.testing.assert_array_equal(
+            corrupted.class_vectors, -artifacts.class_vectors
+        )
+
+
+class TestSweep:
+    def test_graceful_degradation(self, fitted):
+        artifacts, x, y = fitted
+        report = fault_sweep(
+            artifacts, x, y, flip_fractions=(0.001, 0.02, 0.3), seed=0
+        )
+        assert isinstance(report, FaultReport)
+        # Tiny corruption barely moves accuracy; heavy corruption hurts more.
+        assert report.accuracies[0] >= report.baseline_accuracy - 0.1
+        assert report.accuracies[0] >= report.accuracies[-1] - 1e-9
+
+    def test_degradation_vector(self, fitted):
+        artifacts, x, y = fitted
+        report = fault_sweep(artifacts, x, y, flip_fractions=(0.0, 0.5), seed=0)
+        degradation = report.degradation()
+        assert degradation[0] == pytest.approx(0.0)
+        assert len(degradation) == 2

@@ -1,0 +1,43 @@
+"""Remaining hardware-report and simulation-result edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.core import UniVSAConfig
+from repro.hw import HardwareReport, SimulationResult, hardware_report
+
+
+class TestHardwareReportRow:
+    def test_row_matches_table4_column_order(self):
+        report = hardware_report(
+            UniVSAConfig.from_paper_tuple((4, 4, 3, 22, 3)), (16, 40), 26, name="isolet"
+        )
+        row = report.as_row()
+        assert row[0] == "isolet"
+        assert row[1] == pytest.approx(report.latency_ms, abs=0.001)
+        assert row[2] == pytest.approx(report.power_w, abs=0.01)
+        assert row[3] == pytest.approx(report.luts / 1000, abs=0.01)
+        assert row[4] == report.brams
+        assert row[5] == report.dsps
+        assert row[6] == pytest.approx(report.throughput_per_s / 1000, abs=0.01)
+
+    def test_report_is_frozen(self):
+        report = hardware_report(UniVSAConfig(), (4, 4), 2)
+        with pytest.raises(Exception):
+            report.luts = 0
+
+    def test_custom_frequency_scales_latency(self):
+        config = UniVSAConfig.from_paper_tuple((8, 2, 3, 16, 1))
+        fast = hardware_report(config, (8, 8), 2, frequency_mhz=250.0)
+        slow = hardware_report(config, (8, 8), 2, frequency_mhz=125.0)
+        assert slow.latency_ms == pytest.approx(2 * fast.latency_ms, rel=1e-6)
+        assert slow.throughput_per_s == pytest.approx(fast.throughput_per_s / 2, rel=1e-6)
+
+
+class TestSimulationResultEdges:
+    def test_zero_cycle_utilization(self):
+        empty = SimulationResult(
+            predictions=np.array([]), scores=np.zeros((0, 2)), events=[], total_cycles=0
+        )
+        assert empty.utilization("biconv") == 0.0
+        assert empty.initiation_intervals() == []

@@ -1,0 +1,194 @@
+"""Tests for resource, power, memory (Eq. 5), and cost (Eq. 6/7) models."""
+
+import numpy as np
+import pytest
+
+from repro.core import UniVSAConfig
+from repro.hw import (
+    BASIS_CONFIG,
+    PAPER_CONFIGS,
+    PAPER_TABLE4,
+    HardwareSpec,
+    codesign_objective,
+    estimate_power_w,
+    estimate_resources,
+    fit_lut_model,
+    fit_power_model,
+    hardware_penalty,
+    hardware_report,
+    memory_bits,
+    memory_breakdown,
+    memory_kb,
+    resource_units,
+    stage_lut_shares,
+)
+
+# Table II UniVSA memory column (KB) — Eq. 5 must reproduce these exactly.
+PAPER_TABLE2_MEMORY_KB = {
+    "eegmmi": 13.59,
+    "bci-iii-v": 3.57,
+    "chb-b": 4.51,
+    "chb-ib": 3.67,
+    "isolet": 8.36,
+    "har": 3.14,
+}
+
+
+def _spec(name):
+    shape, classes, tup = PAPER_CONFIGS[name]
+    return HardwareSpec(UniVSAConfig.from_paper_tuple(tup), shape, classes)
+
+
+class TestMemoryEq5:
+    @pytest.mark.parametrize("name", sorted(PAPER_CONFIGS))
+    def test_reproduces_table2_memory_exactly(self, name):
+        """The headline check: Eq. 5 == Table II to the printed precision."""
+        shape, classes, tup = PAPER_CONFIGS[name]
+        config = UniVSAConfig.from_paper_tuple(tup)
+        assert memory_kb(config, shape, classes) == pytest.approx(
+            PAPER_TABLE2_MEMORY_KB[name], abs=0.005
+        )
+
+    def test_breakdown_sums(self):
+        shape, classes, tup = PAPER_CONFIGS["eegmmi"]
+        config = UniVSAConfig.from_paper_tuple(tup)
+        breakdown = memory_breakdown(config, shape, classes)
+        assert breakdown.total_bits == sum(breakdown.as_dict().values())
+        assert breakdown.total_bits == memory_bits(config, shape, classes)
+
+    def test_eegmmi_terms(self):
+        shape, classes, tup = PAPER_CONFIGS["eegmmi"]
+        config = UniVSAConfig.from_paper_tuple(tup)
+        b = memory_breakdown(config, shape, classes)
+        assert b.value_bits == 256 * 10
+        assert b.kernel_bits == 95 * 8 * 9
+        assert b.feature_bits == 1024 * 95
+        assert b.class_bits == 1024 * 1 * 2
+
+    def test_f_dominates_when_input_large(self):
+        # Sec. V-C: F or C dominates when input size / classes are large.
+        shape, classes, tup = PAPER_CONFIGS["eegmmi"]
+        config = UniVSAConfig.from_paper_tuple(tup)
+        b = memory_breakdown(config, shape, classes)
+        assert b.feature_bits > b.value_bits + b.kernel_bits + b.class_bits
+
+    def test_ablation_variants(self):
+        config = UniVSAConfig(d_high=4, d_low=2, out_channels=8, voters=2)
+        no_dvp = config.with_ablation(False, True, 2)
+        assert memory_bits(no_dvp, (4, 4), 2) < memory_bits(config, (4, 4), 2)
+        no_conv = config.with_ablation(True, False, 2)
+        b = memory_breakdown(no_conv, (4, 4), 2)
+        assert b.kernel_bits == 0
+        assert b.feature_bits == 16 * 4  # D_H channels
+
+
+class TestResources:
+    @pytest.mark.parametrize("name", sorted(PAPER_CONFIGS))
+    def test_bram_column_exact(self, name):
+        assert estimate_resources(_spec(name)).brams == PAPER_TABLE4[name][3]
+
+    @pytest.mark.parametrize("name", sorted(PAPER_CONFIGS))
+    def test_dsp_always_zero(self, name):
+        assert estimate_resources(_spec(name)).dsps == 0
+
+    @pytest.mark.parametrize("name", sorted(PAPER_CONFIGS))
+    def test_luts_within_30_percent(self, name):
+        model = estimate_resources(_spec(name)).luts
+        paper = PAPER_TABLE4[name][2]
+        assert model == pytest.approx(paper, rel=0.30)
+
+    def test_stage_shares_sum_to_one(self):
+        shares = stage_lut_shares(_spec("isolet"))
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_biconv_dominates_stage_shares(self):
+        # Fig. 6: BiConv consumes the most resources in every task.
+        for name in PAPER_CONFIGS:
+            shares = stage_lut_shares(_spec(name))
+            biggest = max(shares, key=shares.get)
+            assert biggest == "biconv", f"{name}: {shares}"
+
+    def test_stage_luts_roughly_total(self):
+        report = estimate_resources(_spec("har"))
+        assert sum(report.stage_luts.values()) == pytest.approx(report.luts, rel=0.01)
+
+
+class TestPower:
+    @pytest.mark.parametrize("name", sorted(PAPER_CONFIGS))
+    def test_below_bci_limit(self, name):
+        # Sec. V-C: every task under 0.5 W, below the 1.5 W SVM line.
+        assert estimate_power_w(_spec(name)) < 0.5
+
+    @pytest.mark.parametrize("name", sorted(PAPER_CONFIGS))
+    def test_power_within_factor_2(self, name):
+        model = estimate_power_w(_spec(name))
+        paper = PAPER_TABLE4[name][1]
+        assert 0.5 * paper < model < 2.0 * paper
+
+    def test_reuses_provided_luts(self):
+        spec = _spec("isolet")
+        a = estimate_power_w(spec)
+        b = estimate_power_w(spec, luts=estimate_resources(spec).luts)
+        assert a == pytest.approx(b)
+
+
+class TestCalibrationRefit:
+    def test_lut_fit_reproducible(self):
+        from repro.hw import LUT_MODEL
+
+        fit = fit_lut_model()
+        for key in ("k", "a", "b", "c"):
+            assert fit[key] == pytest.approx(LUT_MODEL[key], rel=1e-5)
+
+    def test_power_fit_reproducible(self):
+        from repro.hw import POWER_MODEL
+
+        fit = fit_power_model()
+        for key in ("static", "per_lut", "per_gbps"):
+            assert fit[key] == pytest.approx(POWER_MODEL[key], abs=1e-7)
+
+
+class TestCost:
+    def test_resource_units_eq6(self):
+        config = UniVSAConfig(d_high=8, d_low=2, kernel_size=3, out_channels=95)
+        assert resource_units(config) == 3 * 95 * 8
+
+    def test_resource_units_no_conv(self):
+        config = UniVSAConfig(d_high=8, use_biconv=False)
+        assert resource_units(config) == 8
+
+    def test_basis_penalty(self):
+        # L_HW at the basis config is exactly lambda1 + lambda2.
+        penalty = hardware_penalty(BASIS_CONFIG, (16, 40), 26)
+        assert penalty == pytest.approx(0.01)
+
+    def test_penalty_increases_with_channels(self):
+        small = UniVSAConfig(out_channels=16)
+        big = UniVSAConfig(out_channels=128)
+        assert hardware_penalty(big, (16, 40), 26) > hardware_penalty(small, (16, 40), 26)
+
+    def test_objective_subtracts_penalty(self):
+        config = UniVSAConfig()
+        obj = codesign_objective(0.9, config, (16, 40), 26)
+        assert obj == pytest.approx(0.9 - hardware_penalty(config, (16, 40), 26))
+
+
+class TestHardwareReport:
+    def test_report_fields(self):
+        shape, classes, tup = PAPER_CONFIGS["isolet"]
+        report = hardware_report(UniVSAConfig.from_paper_tuple(tup), shape, classes, name="isolet")
+        assert report.name == "isolet"
+        assert report.bottleneck == "biconv"
+        assert report.memory_kb == pytest.approx(8.36, abs=0.005)
+        row = report.as_row()
+        assert row[0] == "isolet" and len(row) == 7
+
+    def test_report_consistency_with_parts(self):
+        shape, classes, tup = PAPER_CONFIGS["har"]
+        config = UniVSAConfig.from_paper_tuple(tup)
+        spec = HardwareSpec(config, shape, classes)
+        report = hardware_report(config, shape, classes)
+        assert report.luts == estimate_resources(spec).luts
+        assert report.throughput_per_s == pytest.approx(
+            250e6 / report.stage_cycles["biconv"]
+        )

@@ -1,0 +1,173 @@
+"""Structural tests for the Verilog generator."""
+
+import re
+
+import numpy as np
+import pytest
+
+from repro.core import UniVSAConfig, UniVSAModel, extract_artifacts
+from repro.hw.rtl import RtlBundle, bits_to_hex_words, decode_mem_file, generate_rtl
+
+SHAPE = (5, 8)
+LEVELS = 16
+CONFIG = UniVSAConfig(
+    d_high=4, d_low=2, kernel_size=3, out_channels=6, voters=2, levels=LEVELS
+)
+
+
+@pytest.fixture(scope="module")
+def artifacts():
+    mask = np.zeros(SHAPE, dtype=np.int8)
+    mask[::2] = 1
+    return extract_artifacts(UniVSAModel(SHAPE, 3, CONFIG, mask=mask, seed=0))
+
+
+@pytest.fixture(scope="module")
+def bundle(artifacts):
+    levels = np.random.default_rng(0).integers(0, LEVELS, size=(3,) + SHAPE)
+    return generate_rtl(artifacts, stimulus_levels=levels)
+
+
+class TestHexPacking:
+    def test_round_trip(self):
+        bits = np.array([1, 0, 1, 1, 0, 0, 0, 1], dtype=np.uint8)
+        word = bits_to_hex_words(bits)
+        assert word == "b1"
+        decoded = decode_mem_file(word, 8)
+        np.testing.assert_array_equal(decoded[0], bits)
+
+    def test_non_nibble_width(self):
+        bits = np.array([1, 0, 1], dtype=np.uint8)
+        decoded = decode_mem_file(bits_to_hex_words(bits), 3)
+        np.testing.assert_array_equal(decoded[0], bits)
+
+
+class TestBundleStructure:
+    def test_all_expected_files(self, bundle):
+        names = set(bundle.files)
+        for expected in (
+            "univsa_top.v",
+            "window_marshaller.v",
+            "dvp_unit.v",
+            "biconv_engine.v",
+            "encode_unit.v",
+            "similarity_unit.v",
+            "univsa_tb.v",
+            "v_high.mem",
+            "v_low.mem",
+            "mask.mem",
+            "kernel.mem",
+            "conv_threshold.mem",
+            "feature.mem",
+            "class.mem",
+            "stimulus.mem",
+            "expected.mem",
+        ):
+            assert expected in names, expected
+
+    def test_modules_balanced(self, bundle):
+        for name in bundle.verilog_files():
+            text = bundle.files[name]
+            assert text.count("module") >= 1
+            opens = len(re.findall(r"^\s*module\s", text, re.M))
+            closes = len(re.findall(r"^\s*endmodule", text, re.M))
+            assert opens == closes, name
+
+    def test_parameters_match_config(self, bundle):
+        top = bundle.files["univsa_top.v"]
+        assert "parameter DH = 4" in top
+        assert "parameter DK = 3" in top
+        assert "parameter O = 6" in top
+        assert "parameter VOTERS = 2" in top
+        assert "parameter CLASSES = 3" in top
+        assert f"parameter N = {SHAPE[0] * SHAPE[1]}" in top
+
+    def test_rom_loads_reference_existing_mems(self, bundle):
+        mems = set(bundle.mem_files())
+        for name in bundle.verilog_files():
+            for ref in re.findall(r'\$readmemh\("([^"]+)"', bundle.files[name]):
+                assert ref in mems, f"{name} references missing {ref}"
+
+    def test_deterministic(self, artifacts):
+        levels = np.random.default_rng(1).integers(0, LEVELS, size=(2,) + SHAPE)
+        a = generate_rtl(artifacts, stimulus_levels=levels)
+        b = generate_rtl(artifacts, stimulus_levels=levels)
+        assert a.files == b.files
+
+    def test_requires_biconv(self):
+        config = CONFIG.with_ablation(True, False, 1)
+        plain = extract_artifacts(UniVSAModel(SHAPE, 2, config, seed=0))
+        with pytest.raises(ValueError):
+            generate_rtl(plain)
+
+    def test_write_to_disk(self, bundle, tmp_path):
+        out = bundle.write_to(tmp_path / "rtl")
+        assert (out / "univsa_top.v").exists()
+        assert (out / "v_high.mem").exists()
+
+
+class TestMemoryImages:
+    def test_v_high_decodes_to_artifact(self, bundle, artifacts):
+        decoded = decode_mem_file(bundle.files["v_high.mem"], CONFIG.d_high)
+        expected = (artifacts.value_high > 0).astype(np.uint8)
+        np.testing.assert_array_equal(decoded, expected)
+
+    def test_v_low_decodes_to_artifact(self, bundle, artifacts):
+        decoded = decode_mem_file(bundle.files["v_low.mem"], CONFIG.d_low)
+        expected = (artifacts.value_low > 0).astype(np.uint8)
+        np.testing.assert_array_equal(decoded, expected)
+
+    def test_kernel_decodes_to_artifact(self, bundle, artifacts):
+        reduction = CONFIG.d_high * CONFIG.kernel_size**2
+        decoded = decode_mem_file(bundle.files["kernel.mem"], reduction)
+        expected = (artifacts.kernel.reshape(CONFIG.out_channels, -1) > 0).astype(np.uint8)
+        np.testing.assert_array_equal(decoded, expected)
+
+    def test_feature_rows_are_per_position(self, bundle, artifacts):
+        decoded = decode_mem_file(bundle.files["feature.mem"], CONFIG.out_channels)
+        expected = (artifacts.feature_vectors.T > 0).astype(np.uint8)
+        np.testing.assert_array_equal(decoded, expected)
+
+    def test_mask_image(self, bundle, artifacts):
+        decoded = decode_mem_file(bundle.files["mask.mem"], 1)
+        np.testing.assert_array_equal(
+            decoded.reshape(-1), artifacts.mask.reshape(-1).astype(np.uint8)
+        )
+
+    def test_class_rows_lsb_is_position_zero(self, bundle, artifacts):
+        positions = artifacts.positions
+        decoded = decode_mem_file(bundle.files["class.mem"], positions)
+        # Row r, bit index b (MSB first in file) -> position (positions-1-b)
+        # after generation-time reversal, i.e. decoded[:, ::-1] is
+        # position-ordered.
+        expected = (
+            artifacts.class_vectors.reshape(-1, positions) > 0
+        ).astype(np.uint8)
+        np.testing.assert_array_equal(decoded[:, ::-1], expected)
+
+    def test_threshold_words_default_zero(self, bundle):
+        lines = bundle.files["conv_threshold.mem"].strip().splitlines()
+        assert all(int(line, 16) == 0 for line in lines)
+
+
+class TestTestbenchVectors:
+    def test_expected_scores_match_golden_model(self, bundle, artifacts):
+        rows = artifacts.config.voters * artifacts.n_classes
+        positions = artifacts.positions
+        acc_bits = int(np.ceil(np.log2(positions + 1))) + 2
+        words = bundle.files["expected.mem"].strip().splitlines()
+        values = np.array([int(w, 16) for w in words], dtype=np.int64)
+        # Two's-complement decode.
+        values = np.where(values >= 1 << (acc_bits - 1), values - (1 << acc_bits), values)
+        per_voter = values.reshape(3, artifacts.config.voters, artifacts.n_classes)
+        stim_words = bundle.files["stimulus.mem"].strip().splitlines()
+        stim = np.array([int(w, 16) for w in stim_words]).reshape((3,) + SHAPE)
+        np.testing.assert_array_equal(per_voter.sum(axis=1), artifacts.scores(stim))
+
+    def test_stimulus_levels_in_range(self, bundle):
+        words = bundle.files["stimulus.mem"].strip().splitlines()
+        values = [int(w, 16) for w in words]
+        assert max(values) < LEVELS and min(values) >= 0
+
+    def test_testbench_declares_sample_count(self, bundle):
+        assert "localparam N_SAMPLES = 3" in bundle.files["univsa_tb.v"]

@@ -1,0 +1,107 @@
+"""Tests for the analysis package (sweeps + robustness)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    input_noise_sweep,
+    level_subsample_accuracy,
+    pareto_front,
+    sweep_axis,
+)
+from repro.core import UniVSAConfig, adapt_class_vectors, extract_artifacts
+from repro.core.model import UniVSAModel
+from repro.utils.trainloop import TrainConfig
+
+SHAPE = (5, 8)
+LEVELS = 16
+
+
+def _task(n=100, seed=0):
+    gen = np.random.default_rng(seed)
+    y = gen.integers(0, 2, size=n)
+    centers = np.where(y == 0, LEVELS // 4, 3 * LEVELS // 4)
+    x = np.clip(
+        centers[:, None, None] + gen.integers(-2, 3, size=(n,) + SHAPE), 0, LEVELS - 1
+    )
+    return x.astype(np.int64), y.astype(np.int64)
+
+
+@pytest.fixture(scope="module")
+def fitted_artifacts():
+    config = UniVSAConfig(d_high=4, d_low=2, out_channels=6, voters=1, levels=LEVELS)
+    artifacts = extract_artifacts(UniVSAModel(SHAPE, 2, config, seed=0))
+    x, y = _task()
+    adapt_class_vectors(artifacts, x, y, epochs=10)
+    return artifacts, x, y
+
+
+class TestSweep:
+    def test_axis_sweep_produces_points(self):
+        x, y = _task(n=80, seed=1)
+        result = sweep_axis(
+            "out_channels",
+            (4, 8),
+            x[:60], y[:60], x[60:], y[60:],
+            n_classes=2,
+            base_config=UniVSAConfig(d_high=4, d_low=2, voters=1, levels=LEVELS),
+            train_config=TrainConfig(epochs=2, lr=0.02, seed=0),
+        )
+        assert result.axis == "out_channels"
+        assert [p.value for p in result.points] == [4, 8]
+        assert result.memories_kb()[1] > result.memories_kb()[0]
+        assert len(result.accuracies()) == 2
+        assert result.best() in result.points
+
+    def test_unknown_axis_rejected(self):
+        x, y = _task(n=20)
+        with pytest.raises(ValueError):
+            sweep_axis("banana", (1,), x, y, x, y, n_classes=2)
+
+    def test_pareto_front_filters_dominated(self):
+        x, y = _task(n=60, seed=2)
+        result = sweep_axis(
+            "out_channels",
+            (4, 8, 12),
+            x[:40], y[:40], x[40:], y[40:],
+            n_classes=2,
+            base_config=UniVSAConfig(d_high=4, d_low=2, voters=1, levels=LEVELS),
+            train_config=TrainConfig(epochs=2, lr=0.02, seed=0),
+        )
+        front = pareto_front(result.points)
+        assert 1 <= len(front) <= 3
+        # Front is sorted by memory and strictly improving in accuracy.
+        for a, b in zip(front, front[1:]):
+            assert b.memory_kb >= a.memory_kb
+            assert b.accuracy > a.accuracy
+
+
+class TestRobustness:
+    def test_noise_sweep_monotone_tendency(self, fitted_artifacts):
+        artifacts, x, y = fitted_artifacts
+        report = input_noise_sweep(
+            artifacts, x, y, noise_stds=(0.5, 8.0), seed=0
+        )
+        assert report.baseline_accuracy >= report.accuracies[1] - 0.05
+        assert report.accuracies[0] >= report.accuracies[1] - 0.05
+
+    def test_small_noise_harmless(self, fitted_artifacts):
+        artifacts, x, y = fitted_artifacts
+        report = input_noise_sweep(artifacts, x, y, noise_stds=(0.1,), seed=0)
+        assert report.accuracies[0] >= report.baseline_accuracy - 0.1
+
+    def test_level_subsample_factor1_identity(self, fitted_artifacts):
+        artifacts, x, y = fitted_artifacts
+        exact = float((artifacts.predict(x) == y).mean())
+        assert level_subsample_accuracy(artifacts, x, y, 1) == pytest.approx(exact)
+
+    def test_level_subsample_validates(self, fitted_artifacts):
+        artifacts, x, y = fitted_artifacts
+        with pytest.raises(ValueError):
+            level_subsample_accuracy(artifacts, x, y, 0)
+
+    def test_extreme_coarsening_hurts(self, fitted_artifacts):
+        artifacts, x, y = fitted_artifacts
+        fine = level_subsample_accuracy(artifacts, x, y, 2)
+        coarse = level_subsample_accuracy(artifacts, x, y, LEVELS)
+        assert coarse <= fine + 0.05

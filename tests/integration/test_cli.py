@@ -1,0 +1,99 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        for command in ("info", "train", "evaluate", "hw", "search"):
+            args = parser.parse_args(
+                [command] + (["x", "y"] if command == "evaluate" else ["eegmmi"] if command != "info" else [])
+            )
+            assert args.command == command
+
+
+class TestInfo:
+    def test_lists_benchmarks(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        for name in ("eegmmi", "bci-iii-v", "chb-b", "chb-ib", "isolet", "har"):
+            assert name in out
+        assert "(8, 2, 3, 95, 1)" in out
+
+
+class TestHw:
+    def test_paper_config_report(self, capsys):
+        assert main(["hw", "isolet"]) == 0
+        out = capsys.readouterr().out
+        assert "8.36 KB" in out
+        assert "biconv" in out
+
+    def test_custom_config(self, capsys):
+        assert main(["hw", "isolet", "--config", "4,2,3,16,1"]) == 0
+        out = capsys.readouterr().out
+        assert "(4, 2, 3, 16, 1)" in out
+
+    def test_bad_config_string(self):
+        with pytest.raises(SystemExit):
+            main(["hw", "isolet", "--config", "4,2,3"])
+
+
+class TestTrainEvaluate:
+    def test_train_and_evaluate_round_trip(self, capsys, tmp_path, monkeypatch):
+        # Shrink the dataset for CLI-speed: patch default sizes.
+        from repro.data import get_benchmark
+
+        benchmark = get_benchmark("bci-iii-v")
+        monkeypatch.setattr(
+            type(benchmark), "default_train", property(lambda self: 90), raising=False
+        )
+        monkeypatch.setattr(
+            type(benchmark), "default_test", property(lambda self: 45), raising=False
+        )
+        model_path = str(tmp_path / "model.npz")
+        code = main(
+            ["train", "bci-iii-v", "--epochs", "2", "--config", "4,2,3,8,1", "--out", model_path]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "test accuracy" in out
+        assert "artifacts written" in out
+
+        code = main(["evaluate", model_path, "bci-iii-v"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "accuracy" in out and "KB" in out
+
+
+class TestSearch:
+    def test_search_runs(self, capsys, monkeypatch):
+        from repro.data import get_benchmark
+
+        benchmark = get_benchmark("bci-iii-v")
+        monkeypatch.setattr(
+            type(benchmark), "default_train", property(lambda self: 80), raising=False
+        )
+        monkeypatch.setattr(
+            type(benchmark), "default_test", property(lambda self: 40), raising=False
+        )
+        code = main(
+            [
+                "search",
+                "bci-iii-v",
+                "--population", "3",
+                "--generations", "2",
+                "--proxy-epochs", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best config" in out
+        assert "configs evaluated" in out

@@ -1,0 +1,123 @@
+"""End-to-end integration: data -> train -> export -> hardware, cross-checked.
+
+These tests run the real pipeline on reduced budgets; the full-budget
+reproduction (paper-scale numbers) lives in benchmarks/.
+"""
+
+import numpy as np
+import pytest
+
+from repro import BitPackedUniVSA, UniVSAConfig, run_benchmark
+from repro.data import load
+from repro.hw import HardwareSpec, HardwareSimulator, verify_bit_exactness
+from repro.utils.trainloop import TrainConfig
+
+FAST = TrainConfig(epochs=4, lr=0.01, seed=0)
+
+
+@pytest.fixture(scope="module")
+def bci_run():
+    return run_benchmark("bci-iii-v", train_config=FAST, n_train=150, n_test=90)
+
+
+class TestRunBenchmark:
+    def test_produces_all_pieces(self, bci_run):
+        assert bci_run.name == "bci-iii-v"
+        assert 0.0 <= bci_run.accuracy <= 1.0
+        assert bci_run.hardware.luts > 0
+        assert bci_run.artifacts.n_classes == 3
+
+    def test_learns_above_chance(self, bci_run):
+        assert bci_run.accuracy > 0.45  # chance = 1/3
+
+    def test_memory_matches_eq5(self, bci_run):
+        assert bci_run.memory_kb == pytest.approx(
+            bci_run.artifacts.memory_footprint_bits() / 8000.0
+        )
+
+    def test_default_config_is_paper_config(self, bci_run):
+        assert bci_run.config.as_paper_tuple() == (8, 1, 3, 151, 3)
+
+    def test_mask_respects_high_fraction(self, bci_run):
+        mask = bci_run.training.mask
+        marked_rows = int(mask[:, 0].sum())
+        expected = round(bci_run.config.high_fraction * mask.shape[0])
+        assert abs(marked_rows - expected) <= 1
+
+
+class TestThreePathEquivalence:
+    """Trained-on-real-data model: graph == artifacts == packed == simulator."""
+
+    def test_full_chain(self, bci_run):
+        data = bci_run.data
+        levels = data.x_test[:16]
+        artifacts = bci_run.artifacts
+        model = bci_run.training.model
+
+        np.testing.assert_array_equal(model.encode(levels), artifacts.encode(levels))
+        packed = BitPackedUniVSA(artifacts)
+        np.testing.assert_array_equal(artifacts.predict(levels), packed.predict(levels))
+        assert verify_bit_exactness(artifacts, levels)
+
+    def test_simulator_accuracy_equals_artifact_accuracy(self, bci_run):
+        data = bci_run.data
+        spec = HardwareSpec(
+            bci_run.config, data.benchmark.input_shape, data.benchmark.n_classes
+        )
+        simulator = HardwareSimulator(bci_run.artifacts, spec)
+        result = simulator.run(data.x_test[:40])
+        sim_acc = float((result.predictions == data.y_test[:40]).mean())
+        art_acc = float(
+            (bci_run.artifacts.predict(data.x_test[:40]) == data.y_test[:40]).mean()
+        )
+        assert sim_acc == art_acc
+
+
+class TestAblationDirection:
+    """BiConv must add accuracy on a coupling-heavy task (Fig. 4 direction)."""
+
+    def test_biconv_beats_plain_on_interaction_task(self):
+        data = load("eegmmi", n_train=400, n_test=200, seed=0)
+        from repro.core import train_univsa
+
+        base_config = UniVSAConfig(
+            d_high=8, d_low=2, out_channels=16, voters=1, use_dvp=False, use_biconv=False
+        )
+        conv_config = base_config.with_ablation(False, True, 1)
+        budget = TrainConfig(epochs=8, lr=0.01, seed=0)
+        base = train_univsa(
+            data.x_train, data.y_train, n_classes=2, config=base_config, train_config=budget
+        ).artifacts.score(data.x_test, data.y_test)
+        conv = train_univsa(
+            data.x_train, data.y_train, n_classes=2, config=conv_config, train_config=budget
+        ).artifacts.score(data.x_test, data.y_test)
+        assert conv > base + 0.03
+
+
+class TestSearchIntegration:
+    def test_search_improves_over_random(self):
+        from repro.search import (
+            AccuracyProxy,
+            CodesignObjective,
+            EvolutionConfig,
+            SearchSpace,
+            evolutionary_search,
+        )
+
+        data = load("bci-iii-v", n_train=160, n_test=80, seed=1)
+        proxy = AccuracyProxy(
+            data.x_train,
+            data.y_train,
+            data.x_test,
+            data.y_test,
+            n_classes=3,
+            epochs=2,
+            max_train_samples=120,
+        )
+        objective = CodesignObjective(proxy, (16, 6), 3)
+        space = SearchSpace(out_channel_choices=(8, 16, 32))
+        result = evolutionary_search(
+            objective, space, EvolutionConfig(population=4, generations=3, seed=0)
+        )
+        assert result.best_fitness >= result.history[0]
+        assert result.best_config.d_low <= result.best_config.d_high

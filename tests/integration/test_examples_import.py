@@ -1,0 +1,44 @@
+"""Import-time checks for every example script.
+
+Full example runs take minutes (they are exercised manually / in docs);
+importing them catches broken imports, renamed APIs, and syntax errors —
+the failure mode that actually bites example code.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parents[2] / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+def test_example_imports_cleanly(path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(spec.name, None)
+    assert hasattr(module, "main"), f"{path.name} must define main()"
+
+
+def test_expected_example_set():
+    names = {p.stem for p in EXAMPLE_FILES}
+    for expected in (
+        "quickstart",
+        "seizure_detection",
+        "codesign_search",
+        "hardware_walkthrough",
+        "ablation_study",
+        "deployment_lifecycle",
+        "streaming_bci",
+        "rtl_export",
+    ):
+        assert expected in names
+
+    assert len(EXAMPLE_FILES) >= 8

@@ -1,0 +1,80 @@
+"""Miscellaneous coverage: small paths not exercised elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ldc_memory_bits, lehdc_memory_bits
+from repro.hw import resource_units
+from repro.core import UniVSAConfig
+from repro.utils.tables import render_table
+from repro.vsa import classify, random_bipolar
+
+
+class TestMemoryHelpers:
+    def test_ldc_formula(self):
+        # (M + N + C) * D bits.
+        assert ldc_memory_bits(128, 1024, 2, 256) == (256 + 1024 + 2) * 128
+
+    def test_lehdc_formula_matches_ldc_structure(self):
+        assert lehdc_memory_bits(10_000, 617, 26, 256) == (256 + 617 + 26) * 10_000
+
+    def test_paper_ldc_eegmmi_scale(self):
+        # LDC D=128 on EEGMMI-sized input lands in the tens of KB, the
+        # Table II ballpark.
+        kb = ldc_memory_bits(128, 1024, 2, 256) / 8000
+        assert 10 < kb < 30
+
+
+class TestResourceUnitsBeta:
+    def test_beta_scales_linearly(self):
+        config = UniVSAConfig(d_high=8, kernel_size=3, out_channels=16)
+        assert resource_units(config, beta=2.0) == 2 * resource_units(config, beta=1.0)
+
+
+class TestClassifyEdges:
+    def test_single_sample_1d(self):
+        classes = random_bipolar((3, 64), rng=0)
+        pred = classify(classes[1], classes)
+        assert pred.shape == (1,) and pred[0] == 1
+
+    def test_single_class(self):
+        samples = random_bipolar((4, 32), rng=1)
+        classes = random_bipolar((1, 32), rng=2)
+        np.testing.assert_array_equal(classify(samples, classes), 0)
+
+
+class TestTableFormatting:
+    def test_large_float_thousands(self):
+        out = render_table(["v"], [[123456.789]])
+        assert "123,456.79" in out
+
+    def test_small_float_four_decimals(self):
+        out = render_table(["v"], [[0.12345]])
+        assert "0.1235" in out
+
+    def test_mixed_types(self):
+        out = render_table(["a", "b", "c"], [[1, "x", 2.5]])
+        assert "2.5000" in out
+
+
+class TestMutualInformationBins:
+    def test_more_bins_more_resolution(self):
+        from repro.features import mutual_information_scores
+
+        gen = np.random.default_rng(0)
+        y = gen.integers(0, 2, size=400)
+        x = ((2 * y - 1) * 0.8 + gen.standard_normal(400)).reshape(-1, 1)
+        coarse = mutual_information_scores(x, y, n_bins=2)[0]
+        fine = mutual_information_scores(x, y, n_bins=32)[0]
+        assert fine > 0 and coarse > 0
+
+
+class TestConfigReprHash:
+    def test_frozen_configs_hashable(self):
+        a = UniVSAConfig()
+        b = UniVSAConfig()
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_distinct_configs_unequal(self):
+        assert UniVSAConfig(voters=1) != UniVSAConfig(voters=3)

@@ -1,0 +1,155 @@
+"""Cross-cutting property tests over randomized models and inputs.
+
+These go beyond the per-module hypothesis tests: each property couples
+two independently-implemented paths (float graph vs integer artifacts vs
+packed words vs RTL memory images) and asserts exact agreement on
+randomized instances.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BitPackedUniVSA, UniVSAConfig, UniVSAModel, extract_artifacts
+from repro.core.export import _int_conv2d_same
+from repro.hw.rtl import decode_mem_file, generate_rtl
+from repro.nn import Tensor
+from repro.nn import functional as F
+from repro.vsa import pack_bipolar, unpack_bipolar
+
+
+def _random_model(gen, n_classes=2, batchnorm=False):
+    config = UniVSAConfig(
+        d_high=int(gen.integers(2, 9)),
+        d_low=int(gen.integers(1, 3)),
+        kernel_size=int(gen.choice([3, 5])),
+        out_channels=int(gen.integers(2, 12)),
+        voters=int(gen.integers(1, 4)),
+        levels=8,
+        use_batchnorm=batchnorm,
+    )
+    shape = (int(gen.integers(3, 7)), int(gen.integers(4, 9)))
+    mask = gen.integers(0, 2, size=shape).astype(np.int8)
+    model = UniVSAModel(shape, n_classes, config, mask=mask, seed=int(gen.integers(1e6)))
+    return model, shape
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_int_conv_equals_float_conv_property(seed):
+    """The artifacts' integer conv == the training graph's float conv."""
+    gen = np.random.default_rng(seed)
+    b, c, h, w = 2, int(gen.integers(1, 5)), int(gen.integers(3, 7)), int(gen.integers(3, 7))
+    o, k = int(gen.integers(1, 6)), int(gen.choice([3, 5]))
+    volume = gen.choice(np.array([-1, 1], dtype=np.int8), size=(b, c, h, w))
+    kernel = gen.choice(np.array([-1, 1], dtype=np.int8), size=(o, c, k, k))
+    integer = _int_conv2d_same(volume, kernel)
+    padded = F.pad2d(Tensor(volume.astype(np.float32)), k // 2, value=-1.0)
+    floating = F.conv2d(padded, Tensor(kernel.astype(np.float32))).data
+    np.testing.assert_array_equal(integer, floating.astype(np.int64))
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_three_path_equivalence_property(seed):
+    """graph == integer artifacts == packed engine, randomized configs."""
+    gen = np.random.default_rng(seed)
+    model, shape = _random_model(gen)
+    artifacts = extract_artifacts(model)
+    packed = BitPackedUniVSA(artifacts)
+    levels = gen.integers(0, 8, size=(3,) + shape)
+    np.testing.assert_array_equal(model.encode(levels), artifacts.encode(levels))
+    np.testing.assert_array_equal(artifacts.scores(levels), packed.scores(levels))
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_batchnorm_fold_property(seed):
+    """With BN, folded integer thresholds stay bit-exact vs the graph."""
+    gen = np.random.default_rng(seed)
+    model, shape = _random_model(gen, batchnorm=True)
+    model.train()
+    for _ in range(2):
+        levels = gen.integers(0, 8, size=(6,) + shape)
+        model(Tensor(model.preprocess(levels)))
+    model.eval()
+    artifacts = extract_artifacts(model)
+    levels = gen.integers(0, 8, size=(4,) + shape)
+    np.testing.assert_array_equal(model.encode(levels), artifacts.encode(levels))
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_artifact_save_load_property(tmp_path_factory, seed):
+    """Persisted artifacts predict identically after reload."""
+    from repro.core import UniVSAArtifacts
+
+    gen = np.random.default_rng(seed)
+    model, shape = _random_model(gen, n_classes=int(gen.integers(2, 5)))
+    artifacts = extract_artifacts(model)
+    path = tmp_path_factory.mktemp("artifacts") / f"model-{seed % 1000}.npz"
+    artifacts.save(path)
+    loaded = UniVSAArtifacts.load(path)
+    levels = gen.integers(0, 8, size=(4,) + shape)
+    np.testing.assert_array_equal(artifacts.scores(levels), loaded.scores(levels))
+    assert loaded.config == artifacts.config
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_rtl_memory_images_property(seed):
+    """Every generated .mem decodes bit-exactly back to its artifact."""
+    gen = np.random.default_rng(seed)
+    model, shape = _random_model(gen)
+    artifacts = extract_artifacts(model)
+    bundle = generate_rtl(artifacts)
+    config = artifacts.config
+    v_high = decode_mem_file(bundle.files["v_high.mem"], config.d_high)
+    np.testing.assert_array_equal(v_high, (artifacts.value_high > 0).astype(np.uint8))
+    reduction = config.d_high * config.kernel_size**2
+    kernel = decode_mem_file(bundle.files["kernel.mem"], reduction)
+    np.testing.assert_array_equal(
+        kernel, (artifacts.kernel.reshape(config.out_channels, -1) > 0).astype(np.uint8)
+    )
+    feature = decode_mem_file(bundle.files["feature.mem"], config.out_channels)
+    np.testing.assert_array_equal(
+        feature, (artifacts.feature_vectors.T > 0).astype(np.uint8)
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(1, 4),
+    st.integers(1, 200),
+    st.integers(0, 2**31 - 1),
+)
+def test_pack_round_trip_nd_property(lead, dim, seed):
+    """pack/unpack round-trips on arbitrary leading shapes."""
+    gen = np.random.default_rng(seed)
+    v = gen.choice(np.array([-1, 1], dtype=np.int8), size=(lead, dim))
+    packed, d = pack_bipolar(v)
+    np.testing.assert_array_equal(unpack_bipolar(packed, d), v)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_adaptation_never_corrupts_encoding_property(seed):
+    """adapt_class_vectors only ever touches C."""
+    from repro.core import adapt_class_vectors
+
+    gen = np.random.default_rng(seed)
+    model, shape = _random_model(gen)
+    artifacts = extract_artifacts(model)
+    frozen = {
+        "value_high": artifacts.value_high.copy(),
+        "feature_vectors": artifacts.feature_vectors.copy(),
+        "kernel": artifacts.kernel.copy(),
+        "mask": artifacts.mask.copy(),
+    }
+    levels = gen.integers(0, 8, size=(20,) + shape)
+    labels = gen.integers(0, 2, size=20)
+    adapt_class_vectors(artifacts, levels, labels, epochs=2, seed=seed % 100)
+    for name, snapshot in frozen.items():
+        np.testing.assert_array_equal(getattr(artifacts, name), snapshot)
+    assert set(np.unique(artifacts.class_vectors)).issubset({-1, 1})

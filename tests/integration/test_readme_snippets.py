@@ -1,0 +1,67 @@
+"""Guard the README's code snippets against API drift.
+
+Each snippet from README.md is executed (with budgets shrunk via the same
+public knobs a user would use) so the documented API surface cannot rot.
+"""
+
+import numpy as np
+import pytest
+
+
+class TestQuickstartSnippet:
+    def test_run_benchmark_surface(self):
+        from repro import run_benchmark
+        from repro.utils.trainloop import TrainConfig
+
+        run = run_benchmark(
+            "bci-iii-v",
+            train_config=TrainConfig(epochs=1, seed=0),
+            n_train=45,
+            n_test=24,
+        )
+        # The three attributes the README reads.
+        assert isinstance(run.accuracy, float)
+        assert run.memory_kb == pytest.approx(3.57, abs=0.01)
+        assert run.hardware.latency_ms > 0
+
+
+class TestLowLevelSnippet:
+    def test_train_export_pack_save(self, tmp_path):
+        from repro.core import BitPackedUniVSA, UniVSAConfig, train_univsa
+        from repro.data import load
+        from repro.utils.trainloop import TrainConfig
+
+        data = load("eegmmi", n_train=40, n_test=20)
+        config = UniVSAConfig.from_paper_tuple((8, 2, 3, 95, 1))
+        result = train_univsa(
+            data.x_train,
+            data.y_train,
+            n_classes=2,
+            config=config,
+            train_config=TrainConfig(epochs=1, seed=0),
+        )
+        engine = BitPackedUniVSA(result.artifacts)
+        labels = engine.predict(data.x_test)
+        assert labels.shape == (20,)
+        np.testing.assert_array_equal(labels, result.artifacts.predict(data.x_test))
+        result.artifacts.save(tmp_path / "eegmmi_model.npz")
+        assert (tmp_path / "eegmmi_model.npz").exists()
+
+
+class TestReproducingCommands:
+    def test_fast_env_knobs_documented_names(self, monkeypatch):
+        # The env names in the README must be the ones conftest reads.
+        import importlib
+
+        monkeypatch.setenv("REPRO_BENCH_FAST", "1")
+        monkeypatch.setenv("REPRO_BENCH_EPOCHS", "2")
+        monkeypatch.setenv("REPRO_BENCH_SEEDS", "1")
+        import benchmarks.conftest as bc
+
+        module = importlib.reload(bc)
+        assert module.FAST is True
+        assert module.BENCH_EPOCHS == 2
+        assert module.BENCH_SEEDS == 1
+        # Restore the module for any later importers in this session.
+        monkeypatch.undo()
+        importlib.reload(module)

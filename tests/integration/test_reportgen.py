@@ -1,0 +1,59 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.analysis.reportgen import SECTION_ORDER, generate_report
+
+
+class TestGenerateReport:
+    def test_assembles_available_sections(self, tmp_path):
+        (tmp_path / "table2_accuracy.txt").write_text("ACCURACY TABLE")
+        (tmp_path / "fig4_ablation.txt").write_text("ABLATION TABLE")
+        report = generate_report(tmp_path)
+        assert "# UniVSA reproduction" in report
+        assert "ACCURACY TABLE" in report
+        assert "ABLATION TABLE" in report
+        assert "Table II" in report
+
+    def test_missing_sections_noted(self, tmp_path):
+        (tmp_path / "table2_accuracy.txt").write_text("X")
+        report = generate_report(tmp_path)
+        assert "not generated" in report
+
+    def test_writes_output_file(self, tmp_path):
+        (tmp_path / "table2_accuracy.txt").write_text("X")
+        out = tmp_path / "report.md"
+        generate_report(tmp_path, output_path=out)
+        assert out.read_text().startswith("# UniVSA reproduction")
+
+    def test_empty_dir_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            generate_report(tmp_path)
+
+    def test_missing_dir_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            generate_report(tmp_path / "nope")
+
+    def test_section_order_covers_all_benches(self):
+        stems = {stem for stem, _ in SECTION_ORDER}
+        for expected in (
+            "table1_search",
+            "table2_accuracy",
+            "table3_hw_comparison",
+            "table4_hw_all_tasks",
+            "fig1_overview",
+            "fig4_ablation",
+            "fig6_stage_breakdown",
+        ):
+            assert expected in stems
+
+    def test_real_results_dir_if_present(self):
+        """When the repo's results exist (after a bench run), the report
+        builds from them."""
+        from pathlib import Path
+
+        results = Path(__file__).parents[2] / "benchmarks" / "results"
+        if not results.is_dir() or not any(results.glob("*.txt")):
+            pytest.skip("no generated results yet")
+        report = generate_report(results)
+        assert "Table IV" in report

@@ -1,0 +1,109 @@
+"""Tests for the streaming inference runtime."""
+
+import numpy as np
+import pytest
+
+from repro.core import UniVSAConfig, UniVSAModel, adapt_class_vectors, extract_artifacts
+from repro.data.quantize import Quantizer
+from repro.runtime import StreamingClassifier, StreamingDecision
+
+SHAPE = (4, 16)
+LEVELS = 32
+
+
+@pytest.fixture(scope="module")
+def deployed():
+    """A deployed model trained (by adaptation) on low-vs-high signals."""
+    config = UniVSAConfig(d_high=4, d_low=2, out_channels=6, voters=1, levels=LEVELS)
+    artifacts = extract_artifacts(UniVSAModel(SHAPE, 2, config, seed=0))
+    quantizer = Quantizer(levels=LEVELS)
+    quantizer.low, quantizer.high = -3.0, 3.0
+    gen = np.random.default_rng(0)
+    y = gen.integers(0, 2, size=120)
+    raw = np.where(y == 0, -1.5, 1.5)[:, None, None] + gen.normal(0, 0.4, (120,) + SHAPE)
+    levels = quantizer.transform(raw)
+    adapt_class_vectors(artifacts, levels, y, epochs=10)
+    assert artifacts.score(levels, y) > 0.9
+    return artifacts, quantizer
+
+
+class TestConstruction:
+    def test_validation(self, deployed):
+        artifacts, quantizer = deployed
+        with pytest.raises(ValueError):
+            StreamingClassifier(artifacts, quantizer, hop=0)
+        with pytest.raises(ValueError):
+            StreamingClassifier(artifacts, quantizer, smoothing=0)
+
+    def test_window_span_positive(self, deployed):
+        artifacts, quantizer = deployed
+        stream = StreamingClassifier(artifacts, quantizer, hop=16)
+        assert stream.window_span >= SHAPE[1]
+
+
+class TestStreaming:
+    def test_no_decision_before_buffer_fills(self, deployed):
+        artifacts, quantizer = deployed
+        stream = StreamingClassifier(artifacts, quantizer, hop=8)
+        out = stream.push(np.zeros(stream.window_span - 1))
+        assert out == []
+
+    def test_decisions_emitted_at_hop_rate(self, deployed):
+        artifacts, quantizer = deployed
+        stream = StreamingClassifier(artifacts, quantizer, hop=8)
+        total = stream.window_span + 64
+        decisions = stream.push(np.zeros(total))
+        # After fill, one decision per 8 frames (at frames divisible by 8).
+        assert len(decisions) >= 64 // 8
+
+    def test_classifies_constant_signals(self, deployed):
+        artifacts, quantizer = deployed
+        stream = StreamingClassifier(artifacts, quantizer, hop=16)
+        low = stream.push(np.full(stream.window_span + 32, -1.5))
+        stream.reset()
+        high = stream.push(np.full(stream.window_span + 32, 1.5))
+        assert low and high
+        assert low[-1].label != high[-1].label
+
+    def test_decision_fields(self, deployed):
+        artifacts, quantizer = deployed
+        stream = StreamingClassifier(artifacts, quantizer, hop=8)
+        decisions = stream.push(np.full(stream.window_span + 8, 1.5))
+        d = decisions[-1]
+        assert isinstance(d, StreamingDecision)
+        assert d.scores.shape == (2,)
+        assert d.latency_us > 0
+        assert d.frame_index < stream.window_span + 8
+
+    def test_smoothing_debounces(self, deployed):
+        artifacts, quantizer = deployed
+        smooth = StreamingClassifier(artifacts, quantizer, hop=8, smoothing=5)
+        signal = np.concatenate([
+            np.full(smooth.window_span + 40, 1.5),
+            np.full(16, -1.5),  # short glitch
+            np.full(40, 1.5),
+        ])
+        decisions = smooth.push(signal)
+        labels = [d.smoothed_label for d in decisions[-3:]]
+        # The brief excursion must not flip the smoothed decision stream.
+        assert len(set(labels)) == 1
+
+    def test_reset_clears_state(self, deployed):
+        artifacts, quantizer = deployed
+        stream = StreamingClassifier(artifacts, quantizer, hop=8)
+        stream.push(np.zeros(stream.window_span + 8))
+        stream.reset()
+        assert stream.push(np.zeros(stream.window_span - 1)) == []
+
+    def test_rejects_2d_frames(self, deployed):
+        artifacts, quantizer = deployed
+        stream = StreamingClassifier(artifacts, quantizer)
+        with pytest.raises(ValueError):
+            stream.push(np.zeros((2, 2)))
+
+    def test_scalar_push(self, deployed):
+        artifacts, quantizer = deployed
+        stream = StreamingClassifier(artifacts, quantizer, hop=1)
+        for _ in range(stream.window_span):
+            out = stream.push(1.5)
+        assert out  # last push lands exactly at buffer-full + hop boundary

@@ -1,0 +1,67 @@
+"""Training-stability checks: results must not hinge on one lucky seed."""
+
+import numpy as np
+import pytest
+
+from repro.core import UniVSAConfig, train_univsa
+from repro.data import load
+from repro.utils.trainloop import TrainConfig
+
+CONFIG = UniVSAConfig(d_high=4, d_low=2, out_channels=8, voters=1)
+
+
+def _banded_task(n=200, shape=(6, 10), levels=256, seed=0):
+    """Controlled two-band task: every competent seed must solve it."""
+    gen = np.random.default_rng(seed)
+    y = gen.integers(0, 2, size=n)
+    centers = np.where(y == 0, levels // 4, 3 * levels // 4)
+    x = np.clip(
+        centers[:, None, None] + gen.integers(-30, 31, size=(n,) + shape),
+        0,
+        levels - 1,
+    )
+    return x.astype(np.int64), y.astype(np.int64)
+
+
+class TestSeedStability:
+    def test_accuracy_stable_across_training_seeds(self):
+        x, y = _banded_task()
+        accuracies = []
+        for seed in range(3):
+            result = train_univsa(
+                x[:150],
+                y[:150],
+                n_classes=2,
+                config=CONFIG,
+                train_config=TrainConfig(epochs=6, lr=0.01, seed=seed),
+            )
+            accuracies.append(result.artifacts.score(x[150:], y[150:]))
+        assert min(accuracies) > 0.85  # every seed learns the easy task
+        assert max(accuracies) - min(accuracies) < 0.15  # no seed lottery
+
+    def test_same_seed_reproduces_exactly(self):
+        x, y = _banded_task(seed=1)
+        runs = []
+        for _ in range(2):
+            result = train_univsa(
+                x,
+                y,
+                n_classes=2,
+                config=CONFIG,
+                train_config=TrainConfig(epochs=3, lr=0.01, seed=5),
+            )
+            runs.append(result)
+        np.testing.assert_array_equal(
+            runs[0].artifacts.class_vectors, runs[1].artifacts.class_vectors
+        )
+        np.testing.assert_array_equal(
+            runs[0].artifacts.feature_vectors, runs[1].artifacts.feature_vectors
+        )
+        assert runs[0].history.losses == runs[1].history.losses
+
+    def test_data_seed_changes_task_but_not_contract(self):
+        a = load("bci-iii-v", n_train=50, n_test=25, seed=1)
+        b = load("bci-iii-v", n_train=50, n_test=25, seed=2)
+        assert a.x_train.shape == b.x_train.shape
+        assert not np.array_equal(a.x_train, b.x_train)
+        assert a.x_train.max() < 256 and b.x_train.max() < 256

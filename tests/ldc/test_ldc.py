@@ -1,0 +1,160 @@
+"""Tests for LDC training, export, and bit-exact deployment."""
+
+import numpy as np
+import pytest
+
+from repro.ldc import (
+    BinaryEncodingLayer,
+    LDCModel,
+    ValueBox,
+    extract_artifacts,
+    normalize_levels,
+    train_ldc,
+)
+from repro.nn import Tensor, no_grad
+from repro.utils.trainloop import TrainConfig
+
+RNG = np.random.default_rng(40)
+
+
+def _level_task(n=120, n_features=32, levels=16, seed=0):
+    """Class 0: low levels; class 1: high levels (easily separable)."""
+    gen = np.random.default_rng(seed)
+    y = gen.integers(0, 2, size=n)
+    centers = np.where(y == 0, levels // 4, 3 * levels // 4)
+    x = np.clip(
+        centers[:, None] + gen.integers(-3, 4, size=(n, n_features)), 0, levels - 1
+    )
+    return x.astype(np.int64), y.astype(np.int64)
+
+
+class TestNormalizeLevels:
+    def test_range(self):
+        out = normalize_levels(np.array([0, 127, 255]), 256)
+        assert out[0] == pytest.approx(-1.0)
+        assert out[2] == pytest.approx(1.0)
+        assert abs(out[1]) < 0.01
+
+    def test_dtype(self):
+        assert normalize_levels(np.arange(4), 4).dtype == np.float32
+
+
+class TestValueBox:
+    def test_output_bipolar(self):
+        vb = ValueBox(dim=32, rng=RNG)
+        out = vb(Tensor(RNG.uniform(-1, 1, (10, 1)).astype(np.float32)))
+        assert set(np.unique(out.data)).issubset({-1.0, 1.0})
+
+    def test_lookup_table_shape_and_consistency(self):
+        vb = ValueBox(dim=16, rng=RNG)
+        table = vb.lookup_table(8)
+        assert table.shape == (8, 16)
+        # Re-evaluating a level through forward matches the table.
+        value = normalize_levels(np.array([3]), 8).reshape(1, 1)
+        with no_grad():
+            direct = vb(Tensor(value)).data[0]
+        np.testing.assert_array_equal(table[3], direct.astype(np.int8))
+
+    def test_gradient_reaches_mlp(self):
+        vb = ValueBox(dim=8, rng=RNG)
+        out = vb(Tensor(np.zeros((4, 1), dtype=np.float32))).sum()
+        out.backward()
+        assert vb.fc1.weight.grad is not None
+
+
+class TestEncodingLayer:
+    def test_output_bipolar_and_shape(self):
+        enc = BinaryEncodingLayer(10, 16, rng=RNG)
+        v = Tensor(np.sign(RNG.standard_normal((4, 10, 16))).astype(np.float32))
+        out = enc(v)
+        assert out.shape == (4, 16)
+        assert set(np.unique(out.data)).issubset({-1.0, 1.0})
+
+    def test_forward_matches_eq1(self):
+        enc = BinaryEncodingLayer(5, 8, rng=RNG)
+        v = np.sign(RNG.standard_normal((2, 5, 8))).astype(np.float32)
+        v[v == 0] = 1.0
+        out = enc(Tensor(v))
+        f = enc.binary_weight().astype(np.float64)
+        manual = np.where((v * f[None]).sum(axis=1) >= 0, 1.0, -1.0)
+        np.testing.assert_array_equal(out.data, manual)
+
+    def test_binary_weight_bipolar(self):
+        enc = BinaryEncodingLayer(4, 4, rng=RNG)
+        assert set(np.unique(enc.binary_weight())).issubset({-1, 1})
+
+
+class TestLDCTraining:
+    def test_learns_separable_task(self):
+        x, y = _level_task()
+        result = train_ldc(
+            x, y, n_classes=2, dim=32, levels=16,
+            config=TrainConfig(epochs=15, lr=0.02, seed=0),
+        )
+        assert result.artifacts.score(x, y) > 0.9
+
+    def test_history_recorded(self):
+        x, y = _level_task(n=60)
+        result = train_ldc(
+            x, y, n_classes=2, dim=16, levels=16, config=TrainConfig(epochs=5, seed=0)
+        )
+        assert len(result.history.losses) == 5
+        assert len(result.history.accuracies) == 5
+
+    def test_accepts_3d_input(self):
+        x, y = _level_task(n=40, n_features=24)
+        x3 = x.reshape(40, 4, 6)
+        result = train_ldc(
+            x3, y, n_classes=2, dim=16, levels=16, config=TrainConfig(epochs=2, seed=0)
+        )
+        assert result.model.n_features == 24
+
+
+class TestArtifactExport:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        x, y = _level_task(n=80)
+        result = train_ldc(
+            x, y, n_classes=2, dim=24, levels=16,
+            config=TrainConfig(epochs=6, seed=1),
+        )
+        return result, x, y
+
+    def test_artifact_shapes(self, trained):
+        result, x, _ = trained
+        artifacts = result.artifacts
+        assert artifacts.value_vectors.shape == (16, 24)
+        assert artifacts.feature_vectors.shape == (x.shape[1], 24)
+        assert artifacts.class_vectors.shape == (2, 24)
+        assert artifacts.dim == 24 and artifacts.levels == 16
+        assert artifacts.n_features == x.shape[1] and artifacts.n_classes == 2
+
+    def test_bit_exact_encoding(self, trained):
+        """Deployed binary encoding == trained-graph encoding, per sample."""
+        result, x, _ = trained
+        graph_encodings = result.model.encode(x[:20])
+        artifact_encodings = result.artifacts.encode(x[:20])
+        np.testing.assert_array_equal(graph_encodings, artifact_encodings)
+
+    def test_bit_exact_predictions(self, trained):
+        """Deployed argmax == trained-graph argmax on every sample."""
+        result, x, _ = trained
+        with no_grad():
+            logits = result.model(Tensor(result.model.preprocess(x)))
+        np.testing.assert_array_equal(
+            logits.data.argmax(axis=1), result.artifacts.predict(x)
+        )
+
+    def test_memory_footprint_formula(self, trained):
+        result, x, _ = trained
+        expected = (16 + x.shape[1] + 2) * 24
+        assert result.artifacts.memory_footprint_bits() == expected
+
+    def test_artifacts_are_bipolar(self, trained):
+        result, _, _ = trained
+        for arr in (
+            result.artifacts.value_vectors,
+            result.artifacts.feature_vectors,
+            result.artifacts.class_vectors,
+        ):
+            assert set(np.unique(arr)).issubset({-1, 1})

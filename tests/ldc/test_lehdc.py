@@ -1,0 +1,60 @@
+"""Tests for the LeHDC high-dimensional baseline."""
+
+import numpy as np
+import pytest
+
+from repro.lehdc import LeHDCClassifier
+from repro.utils.trainloop import TrainConfig
+
+from .test_ldc import _level_task
+
+
+class TestLeHDC:
+    def test_learns_separable_task(self):
+        x, y = _level_task(n=100, n_features=24)
+        clf = LeHDCClassifier(
+            dim=1024, levels=16, seed=0,
+            train_config=TrainConfig(epochs=8, lr=0.02, seed=0),
+        ).fit(x, y)
+        assert clf.score(x, y) > 0.9
+
+    def test_beats_or_matches_classic_bundling(self):
+        from repro.vsa import ClassicVSAClassifier
+
+        x, y = _level_task(n=100, n_features=24, seed=2)
+        lehdc = LeHDCClassifier(
+            dim=512, levels=16, seed=0,
+            train_config=TrainConfig(epochs=10, lr=0.02, seed=0),
+        ).fit(x, y)
+        classic = ClassicVSAClassifier(dim=512, levels=16, seed=0).fit(x, y)
+        assert lehdc.score(x, y) >= classic.score(x, y) - 0.05
+
+    def test_memory_footprint_formula(self):
+        x, y = _level_task(n=60, n_features=10)
+        clf = LeHDCClassifier(
+            dim=256, levels=16, seed=0, train_config=TrainConfig(epochs=2, seed=0)
+        ).fit(x, y)
+        assert clf.memory_footprint_bits() == (16 + 10 + 2) * 256
+
+    def test_unfitted_raises(self):
+        clf = LeHDCClassifier(dim=64)
+        with pytest.raises(RuntimeError):
+            clf.predict(np.zeros((1, 4), dtype=int))
+        with pytest.raises(RuntimeError):
+            clf.encode(np.zeros((1, 4), dtype=int))
+        with pytest.raises(RuntimeError):
+            clf.memory_footprint_bits()
+
+    def test_class_vectors_bipolar(self):
+        x, y = _level_task(n=60, n_features=10)
+        clf = LeHDCClassifier(
+            dim=128, levels=16, seed=0, train_config=TrainConfig(epochs=2, seed=0)
+        ).fit(x, y)
+        assert set(np.unique(clf.class_vectors)).issubset({-1, 1})
+
+    def test_accepts_3d_input(self):
+        x, y = _level_task(n=40, n_features=24)
+        clf = LeHDCClassifier(
+            dim=128, levels=16, seed=0, train_config=TrainConfig(epochs=2, seed=0)
+        ).fit(x.reshape(40, 4, 6), y)
+        assert clf.predict(x.reshape(40, 4, 6)).shape == (40,)

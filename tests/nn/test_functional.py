@@ -1,0 +1,132 @@
+"""Tests for conv2d / im2col / softmax functional ops."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+from tests.gradcheck import assert_grad_close
+
+RNG = np.random.default_rng(1)
+
+
+def _reference_conv2d(x, w, stride=1, padding=0):
+    """Naive direct convolution for cross-checking."""
+    b, c, h, wd = x.shape
+    o, _, kh, kw = w.shape
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out_h = (h + 2 * padding - kh) // stride + 1
+    out_w = (wd + 2 * padding - kw) // stride + 1
+    out = np.zeros((b, o, out_h, out_w), dtype=np.float64)
+    for bi in range(b):
+        for oi in range(o):
+            for i in range(out_h):
+                for j in range(out_w):
+                    patch = x[bi, :, i * stride : i * stride + kh, j * stride : j * stride + kw]
+                    out[bi, oi, i, j] = float((patch * w[oi]).sum())
+    return out
+
+
+class TestIm2col:
+    def test_shape(self):
+        x = RNG.standard_normal((2, 3, 5, 7)).astype(np.float32)
+        cols = F.im2col(x, (3, 3), stride=1, padding=1)
+        assert cols.shape == (2, 5 * 7, 3 * 9)
+
+    def test_round_trip_counts(self):
+        # col2im(ones) counts how many windows cover each input pixel.
+        x_shape = (1, 1, 4, 4)
+        cols = np.ones((1, 4, 4), dtype=np.float32).reshape(1, 4, 4)
+        cols = np.ones((1, 9, 4), dtype=np.float32)
+        counts = F.col2im(cols, x_shape, (2, 2), stride=1, padding=0)
+        # Interior pixels of a 4x4 image are covered by 4 overlapping 2x2 windows.
+        assert counts[0, 0, 1, 1] == 4
+        assert counts[0, 0, 0, 0] == 1
+
+    def test_values_match_manual_window(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        cols = F.im2col(x, (2, 2))
+        np.testing.assert_allclose(cols[0, 0], [0, 1, 4, 5])
+        np.testing.assert_allclose(cols[0, -1], [10, 11, 14, 15])
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 0), (2, 1)])
+    def test_matches_reference(self, stride, padding):
+        x = RNG.standard_normal((2, 3, 6, 5)).astype(np.float32)
+        w = RNG.standard_normal((4, 3, 3, 3)).astype(np.float32)
+        out = F.conv2d(Tensor(x), Tensor(w), stride=stride, padding=padding)
+        ref = _reference_conv2d(x, w, stride, padding)
+        np.testing.assert_allclose(out.data, ref, rtol=1e-4, atol=1e-4)
+
+    def test_channel_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            F.conv2d(Tensor(np.zeros((1, 2, 4, 4))), Tensor(np.zeros((1, 3, 3, 3))))
+
+    def test_weight_grad(self):
+        x = Tensor(RNG.standard_normal((2, 2, 4, 4)).astype(np.float32))
+        w = Tensor(RNG.standard_normal((3, 2, 3, 3)).astype(np.float32), requires_grad=True)
+        assert_grad_close(lambda: F.conv2d(x, w, padding=1).sum(), w, atol=3e-2, rtol=3e-2)
+
+    def test_input_grad(self):
+        x = Tensor(RNG.standard_normal((1, 2, 4, 4)).astype(np.float32), requires_grad=True)
+        w = Tensor(RNG.standard_normal((3, 2, 3, 3)).astype(np.float32))
+        assert_grad_close(lambda: F.conv2d(x, w, padding=1).sum(), x, atol=3e-2, rtol=3e-2)
+
+    def test_same_padding_preserves_spatial(self):
+        x = Tensor(RNG.standard_normal((1, 4, 16, 40)).astype(np.float32))
+        w = Tensor(RNG.standard_normal((22, 4, 3, 3)).astype(np.float32))
+        out = F.conv2d(x, w, padding=1)
+        assert out.shape == (1, 22, 16, 40)
+
+
+class TestPad2d:
+    def test_values_and_grad(self):
+        x = Tensor(RNG.standard_normal((1, 1, 2, 2)).astype(np.float32), requires_grad=True)
+        out = F.pad2d(x, 1)
+        assert out.shape == (1, 1, 4, 4)
+        assert out.data[0, 0, 0, 0] == 0.0
+        assert_grad_close(lambda: (F.pad2d(x, 1) * 2.0).sum(), x)
+
+    def test_zero_padding_is_identity(self):
+        x = Tensor(np.ones((1, 1, 2, 2)))
+        assert F.pad2d(x, 0) is x
+
+
+class TestSoftmax:
+    def test_log_softmax_normalizes(self):
+        x = Tensor(RNG.standard_normal((4, 7)).astype(np.float32))
+        lp = F.log_softmax(x)
+        np.testing.assert_allclose(np.exp(lp.data).sum(axis=-1), np.ones(4), rtol=1e-5)
+
+    def test_softmax_stability_large_values(self):
+        x = Tensor(np.array([[1000.0, 1000.0, 999.0]]))
+        probs = F.softmax(x).data
+        assert np.isfinite(probs).all()
+        np.testing.assert_allclose(probs.sum(), 1.0, rtol=1e-5)
+
+    def test_log_softmax_grad(self):
+        x = Tensor(RNG.standard_normal((3, 5)).astype(np.float32), requires_grad=True)
+        assert_grad_close(lambda: (F.log_softmax(x) * Tensor(np.eye(3, 5))).sum(), x)
+
+    def test_softmax_shift_invariance(self):
+        x = RNG.standard_normal((2, 6)).astype(np.float32)
+        a = F.softmax(Tensor(x)).data
+        b = F.softmax(Tensor(x + 5.0)).data
+        np.testing.assert_allclose(a, b, rtol=1e-4, atol=1e-6)
+
+
+class TestLinear:
+    def test_matches_numpy(self):
+        x = RNG.standard_normal((5, 3)).astype(np.float32)
+        w = RNG.standard_normal((4, 3)).astype(np.float32)
+        b = RNG.standard_normal(4).astype(np.float32)
+        out = F.linear(Tensor(x), Tensor(w), Tensor(b))
+        np.testing.assert_allclose(out.data, x @ w.T + b, rtol=1e-5)
+
+    def test_no_bias(self):
+        x = RNG.standard_normal((5, 3)).astype(np.float32)
+        w = RNG.standard_normal((4, 3)).astype(np.float32)
+        out = F.linear(Tensor(x), Tensor(w))
+        np.testing.assert_allclose(out.data, x @ w.T, rtol=1e-5)

@@ -1,0 +1,72 @@
+"""Tests for initializers and remaining nn edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.nn import BatchNorm1d, Linear, Sequential, Tensor
+from repro.nn.init import default_rng, kaiming_uniform, uniform_symmetric
+
+
+class TestInitializers:
+    def test_kaiming_bound(self):
+        w = kaiming_uniform((64, 100), rng=0)
+        bound = np.sqrt(6.0 / 100)
+        assert np.abs(w).max() <= bound + 1e-6
+        assert w.dtype == np.float32
+
+    def test_kaiming_1d_fan(self):
+        w = kaiming_uniform((10,), rng=0)
+        assert w.shape == (10,)
+
+    def test_uniform_symmetric_scale(self):
+        w = uniform_symmetric((50, 50), scale=0.2, rng=1)
+        assert np.abs(w).max() <= 0.2
+
+    def test_deterministic_given_seed(self):
+        np.testing.assert_array_equal(
+            kaiming_uniform((4, 4), rng=7), kaiming_uniform((4, 4), rng=7)
+        )
+
+    def test_default_rng_passthrough(self):
+        gen = np.random.default_rng(3)
+        assert default_rng(gen) is gen
+        assert isinstance(default_rng(5), np.random.Generator)
+        assert isinstance(default_rng(None), np.random.Generator)
+
+
+class TestSequentialStateDicts:
+    def test_nested_with_batchnorm_buffers(self):
+        model = Sequential(Linear(3, 4), BatchNorm1d(4), Linear(4, 2))
+        # Accumulate BN statistics.
+        model(Tensor(np.random.default_rng(0).standard_normal((32, 3)).astype(np.float32)))
+        state = model.state_dict()
+        assert any("running_mean" in k for k in state)
+        clone = Sequential(Linear(3, 4), BatchNorm1d(4), Linear(4, 2))
+        clone.load_state_dict(state)
+        clone.eval()
+        model.eval()
+        x = Tensor(np.ones((2, 3), dtype=np.float32))
+        np.testing.assert_allclose(model(x).data, clone(x).data, rtol=1e-6)
+
+
+class TestBroadcastingEdges:
+    def test_col_times_row(self):
+        a = Tensor(np.ones((3, 1), dtype=np.float32), requires_grad=True)
+        b = Tensor(np.ones((1, 4), dtype=np.float32), requires_grad=True)
+        out = (a * b).sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, np.full((3, 1), 4.0))
+        np.testing.assert_allclose(b.grad, np.full((1, 4), 3.0))
+
+    def test_scalar_tensor_broadcast_grad(self):
+        a = Tensor(np.float32(2.0), requires_grad=True)
+        b = Tensor(np.ones((2, 3), dtype=np.float32))
+        (a * b).sum().backward()
+        assert a.grad == pytest.approx(6.0)
+
+    def test_batchnorm1d_3d_path(self):
+        bn = BatchNorm1d(4)
+        x = Tensor(np.random.default_rng(1).standard_normal((8, 4, 5)).astype(np.float32))
+        out = bn(x)
+        assert out.shape == (8, 4, 5)
+        np.testing.assert_allclose(out.data.mean(axis=(0, 2)), 0.0, atol=1e-4)

@@ -1,0 +1,219 @@
+"""Tests for the module system and binary layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BatchNorm1d,
+    BatchNorm2d,
+    BinaryConv2d,
+    BinaryLinear,
+    Linear,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    SignActivation,
+    Tanh,
+    Tensor,
+)
+
+RNG = np.random.default_rng(2)
+
+
+class TestModuleSystem:
+    def test_parameter_registration(self):
+        layer = Linear(3, 2)
+        names = dict(layer.named_parameters())
+        assert set(names) == {"weight", "bias"}
+
+    def test_nested_parameters(self):
+        model = Sequential(Linear(4, 8), ReLU(), Linear(8, 2))
+        assert len(list(model.parameters())) == 4
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Linear(2, 2), BatchNorm1d(2))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_num_parameters(self):
+        layer = Linear(3, 2)
+        assert layer.num_parameters() == 3 * 2 + 2
+
+    def test_state_dict_round_trip(self):
+        model = Sequential(Linear(3, 4), Linear(4, 2))
+        state = model.state_dict()
+        clone = Sequential(Linear(3, 4), Linear(4, 2))
+        clone.load_state_dict(state)
+        x = Tensor(RNG.standard_normal((5, 3)).astype(np.float32))
+        np.testing.assert_allclose(model(x).data, clone(x).data)
+
+    def test_load_state_dict_missing_key_raises(self):
+        layer = Linear(2, 2)
+        with pytest.raises(KeyError):
+            layer.load_state_dict({})
+
+    def test_load_state_dict_shape_mismatch_raises(self):
+        layer = Linear(2, 2)
+        bad = layer.state_dict()
+        bad["weight"] = np.zeros((3, 3), dtype=np.float32)
+        with pytest.raises(ValueError):
+            layer.load_state_dict(bad)
+
+    def test_zero_grad(self):
+        layer = Linear(2, 1)
+        out = layer(Tensor(np.ones((1, 2)))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+
+class TestBinaryLinear:
+    def test_effective_weights_are_bipolar(self):
+        layer = BinaryLinear(8, 4, rng=RNG)
+        x = Tensor(np.sign(RNG.standard_normal((3, 8))).astype(np.float32))
+        out = layer(x)
+        # Output of bipolar x bipolar dot products must be integers of the
+        # same parity as the input dimension.
+        assert np.all(np.mod(out.data - 8, 2) == 0)
+
+    def test_binary_weight_export(self):
+        layer = BinaryLinear(5, 2, rng=RNG)
+        bw = layer.binary_weight()
+        assert bw.dtype == np.int8
+        assert set(np.unique(bw)).issubset({-1, 1})
+        np.testing.assert_array_equal(bw, np.where(layer.weight.data >= 0, 1, -1))
+
+    def test_gradient_flows_to_latent(self):
+        layer = BinaryLinear(4, 3, rng=RNG)
+        out = layer(Tensor(RNG.standard_normal((2, 4)).astype(np.float32))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        assert np.abs(layer.weight.grad).sum() > 0
+
+
+class TestBinaryConv2d:
+    def test_output_is_integer_valued(self):
+        conv = BinaryConv2d(4, 8, 3, padding=1, rng=RNG)
+        x = Tensor(np.sign(RNG.standard_normal((2, 4, 6, 6))).astype(np.float32))
+        out = conv(x)
+        assert out.shape == (2, 8, 6, 6)
+        # With zero padding inputs are in {-1,0,1}: outputs stay integral.
+        np.testing.assert_allclose(out.data, np.round(out.data), atol=1e-4)
+
+    def test_kernel_export_shape(self):
+        conv = BinaryConv2d(4, 8, 3, rng=RNG)
+        k = conv.binary_weight()
+        assert k.shape == (8, 4, 3, 3)
+        assert set(np.unique(k)).issubset({-1, 1})
+
+    def test_attributes(self):
+        conv = BinaryConv2d(2, 5, 3, stride=2, padding=1)
+        assert (conv.in_channels, conv.out_channels) == (2, 5)
+        assert (conv.stride, conv.padding, conv.kernel_size) == (2, 1, 3)
+
+
+class TestBatchNorm:
+    def test_normalizes_in_training(self):
+        bn = BatchNorm1d(4)
+        x = Tensor(RNG.standard_normal((128, 4)).astype(np.float32) * 3 + 5)
+        out = bn(x)
+        np.testing.assert_allclose(out.data.mean(axis=0), 0.0, atol=1e-4)
+        np.testing.assert_allclose(out.data.std(axis=0), 1.0, atol=1e-2)
+
+    def test_running_stats_update(self):
+        bn = BatchNorm1d(2, momentum=1.0)
+        x = Tensor(np.array([[0.0, 10.0], [2.0, 14.0]], dtype=np.float32))
+        bn(x)
+        np.testing.assert_allclose(bn._buffers["running_mean"], [1.0, 12.0], atol=1e-5)
+
+    def test_eval_uses_running_stats(self):
+        bn = BatchNorm1d(2, momentum=1.0)
+        bn(Tensor(RNG.standard_normal((64, 2)).astype(np.float32) * 2 + 3))
+        bn.eval()
+        x = Tensor(np.zeros((4, 2), dtype=np.float32))
+        out1 = bn(x)
+        out2 = bn(x)
+        np.testing.assert_allclose(out1.data, out2.data)
+
+    def test_batchnorm2d_shape(self):
+        bn = BatchNorm2d(3)
+        x = Tensor(RNG.standard_normal((2, 3, 4, 5)).astype(np.float32))
+        assert bn(x).shape == (2, 3, 4, 5)
+
+    def test_gradients_flow(self):
+        bn = BatchNorm1d(3)
+        x = Tensor(RNG.standard_normal((16, 3)).astype(np.float32), requires_grad=True)
+        bn(x).sum().backward()
+        assert bn.gamma.grad is not None
+        assert bn.beta.grad is not None
+
+
+class TestBatchNormFolding:
+    def test_threshold_semantics_positive_gamma(self):
+        bn = BatchNorm1d(1, momentum=1.0)
+        # Feed integer-like accumulations to set running stats.
+        data = np.array([[0.0], [2.0], [4.0], [6.0]], dtype=np.float32)
+        bn(Tensor(data))
+        bn.gamma.data[:] = 2.0
+        bn.beta.data[:] = 1.0
+        bn.eval()
+        thresholds, flip = bn.fold_thresholds()
+        ys = np.linspace(-10, 10, 201)
+        bn_out = bn(Tensor(ys.reshape(-1, 1).astype(np.float32))).data.reshape(-1)
+        direct = np.where(bn_out >= 0, 1, -1)
+        folded = np.where(ys >= thresholds[0], 1, -1)
+        assert not flip[0]
+        np.testing.assert_array_equal(direct, folded)
+
+    def test_threshold_semantics_negative_gamma(self):
+        bn = BatchNorm1d(1, momentum=1.0)
+        bn(Tensor(np.array([[1.0], [3.0]], dtype=np.float32)))
+        bn.gamma.data[:] = -1.5
+        bn.beta.data[:] = 0.5
+        bn.eval()
+        thresholds, flip = bn.fold_thresholds()
+        assert flip[0]
+        ys = np.linspace(-5, 5, 101)
+        bn_out = bn(Tensor(ys.reshape(-1, 1).astype(np.float32))).data.reshape(-1)
+        direct = np.where(bn_out >= 0, 1, -1)
+        folded = np.where(ys < thresholds[0], 1, -1)
+        # Allow boundary-point discrepancy only where BN output is exactly 0.
+        mismatch = direct != folded
+        assert np.all(np.abs(bn_out[mismatch]) < 1e-6)
+
+    def test_zero_gamma_constant_output(self):
+        bn = BatchNorm1d(2, momentum=1.0)
+        bn(Tensor(np.array([[1.0, 1.0], [3.0, 3.0]], dtype=np.float32)))
+        bn.gamma.data[:] = 0.0
+        bn.beta.data[:] = np.array([0.5, -0.5], dtype=np.float32)
+        thresholds, _ = bn.fold_thresholds()
+        assert thresholds[0] == -np.inf  # always fires +1
+        assert thresholds[1] == np.inf  # never fires +1
+
+
+class TestActivationModules:
+    def test_relu_module(self):
+        out = ReLU()(Tensor(np.array([-1.0, 2.0])))
+        np.testing.assert_allclose(out.data, [0.0, 2.0])
+
+    def test_tanh_module(self):
+        out = Tanh()(Tensor(np.array([0.0])))
+        np.testing.assert_allclose(out.data, [0.0])
+
+    def test_sign_activation(self):
+        out = SignActivation()(Tensor(np.array([-0.2, 0.0, 0.2])))
+        np.testing.assert_allclose(out.data, [-1.0, 1.0, 1.0])
+
+    def test_parameter_is_trainable_tensor(self):
+        p = Parameter(np.ones(3, dtype=np.float32))
+        assert p.requires_grad
+        assert not p.binary
+        assert Parameter(np.ones(1), binary=True).binary

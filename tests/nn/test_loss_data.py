@@ -1,0 +1,103 @@
+"""Tests for losses, batching, and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Linear,
+    Sequential,
+    Tensor,
+    accuracy,
+    batch_iterator,
+    cross_entropy,
+    load_state,
+    save_state,
+    train_val_split,
+)
+
+RNG = np.random.default_rng(4)
+
+
+class TestCrossEntropy:
+    def test_matches_manual(self):
+        logits = Tensor(np.array([[2.0, 1.0, 0.1]], dtype=np.float32))
+        y = np.array([0])
+        loss = cross_entropy(logits, y)
+        manual = -np.log(np.exp(2.0) / np.exp([2.0, 1.0, 0.1]).sum())
+        assert loss.item() == pytest.approx(manual, rel=1e-5)
+
+    def test_perfect_prediction_low_loss(self):
+        logits = Tensor(np.array([[100.0, 0.0], [0.0, 100.0]], dtype=np.float32))
+        loss = cross_entropy(logits, np.array([0, 1]))
+        assert loss.item() < 1e-3
+
+    def test_gradient_direction(self):
+        logits = Tensor(np.zeros((1, 3), dtype=np.float32), requires_grad=True)
+        cross_entropy(logits, np.array([1])).backward()
+        # Gradient should be negative only at the target class.
+        assert logits.grad[0, 1] < 0
+        assert logits.grad[0, 0] > 0 and logits.grad[0, 2] > 0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((2, 3, 1))), np.array([0, 1]))
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((2, 3))), np.array([0]))
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        scores = np.array([[0.9, 0.1], [0.2, 0.8]])
+        assert accuracy(scores, np.array([0, 1])) == 1.0
+
+    def test_tensor_input(self):
+        scores = Tensor(np.array([[0.9, 0.1], [0.9, 0.1]]))
+        assert accuracy(scores, np.array([0, 1])) == 0.5
+
+
+class TestBatching:
+    def test_covers_all_samples(self):
+        x = np.arange(10).reshape(10, 1)
+        y = np.arange(10)
+        seen = []
+        for xb, yb in batch_iterator(x, y, batch_size=3, shuffle=False):
+            seen.extend(yb.tolist())
+        assert sorted(seen) == list(range(10))
+
+    def test_drop_last(self):
+        x, y = np.zeros((10, 1)), np.zeros(10)
+        batches = list(batch_iterator(x, y, batch_size=3, shuffle=False, drop_last=True))
+        assert len(batches) == 3
+
+    def test_shuffle_is_seeded(self):
+        x = np.arange(20).reshape(20, 1)
+        y = np.arange(20)
+        run1 = [yb.tolist() for _, yb in batch_iterator(x, y, 5, rng=7)]
+        run2 = [yb.tolist() for _, yb in batch_iterator(x, y, 5, rng=7)]
+        assert run1 == run2
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            list(batch_iterator(np.zeros((3, 1)), np.zeros(4), 2))
+
+    def test_split_fractions(self):
+        x = np.arange(100).reshape(100, 1)
+        y = np.arange(100)
+        xt, yt, xv, yv = train_val_split(x, y, val_fraction=0.25, rng=0)
+        assert len(xv) == 25 and len(xt) == 75
+        assert sorted(np.concatenate([yt, yv]).tolist()) == list(range(100))
+
+    def test_split_bad_fraction(self):
+        with pytest.raises(ValueError):
+            train_val_split(np.zeros((4, 1)), np.zeros(4), val_fraction=1.5)
+
+
+class TestSerialization:
+    def test_round_trip(self, tmp_path):
+        model = Sequential(Linear(3, 4), Linear(4, 2))
+        path = tmp_path / "model.npz"
+        save_state(model, path)
+        clone = Sequential(Linear(3, 4), Linear(4, 2))
+        load_state(clone, path)
+        x = Tensor(RNG.standard_normal((2, 3)).astype(np.float32))
+        np.testing.assert_allclose(model(x).data, clone(x).data)

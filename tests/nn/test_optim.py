@@ -1,0 +1,92 @@
+"""Optimizer tests: convergence and binary latent clipping."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, BinaryLinear, Linear, Parameter, Tensor, cross_entropy
+
+RNG = np.random.default_rng(3)
+
+
+def _quadratic_param():
+    return Parameter(np.array([5.0, -3.0], dtype=np.float32))
+
+
+class TestSGD:
+    def test_minimizes_quadratic(self):
+        p = _quadratic_param()
+        opt = SGD([p], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            loss = (Tensor(p.data) * 0.0).sum()  # rebuilt graph below
+            loss = (p * p).sum()
+            loss.backward()
+            opt.step()
+        assert np.abs(p.data).max() < 1e-2
+
+    def test_momentum_accelerates(self):
+        losses = {}
+        for momentum in (0.0, 0.9):
+            p = _quadratic_param()
+            opt = SGD([p], lr=0.02, momentum=momentum)
+            for _ in range(50):
+                opt.zero_grad()
+                (p * p).sum().backward()
+                opt.step()
+            losses[momentum] = float((p.data**2).sum())
+        assert losses[0.9] < losses[0.0]
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.array([1.0], dtype=np.float32))
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        (p * 0.0).sum().backward()
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_skips_params_without_grad(self):
+        p = _quadratic_param()
+        opt = SGD([p], lr=0.1)
+        opt.step()  # no backward called; must not crash
+        np.testing.assert_allclose(p.data, [5.0, -3.0])
+
+
+class TestAdam:
+    def test_minimizes_quadratic(self):
+        p = _quadratic_param()
+        opt = Adam([p], lr=0.2)
+        for _ in range(300):
+            opt.zero_grad()
+            (p * p).sum().backward()
+            opt.step()
+        assert np.abs(p.data).max() < 1e-2
+
+    def test_binary_latents_clipped(self):
+        layer = BinaryLinear(4, 2)
+        layer.weight.data[:] = 0.99
+        opt = Adam(layer.parameters(), lr=1.0)
+        opt.zero_grad()
+        out = layer(Tensor(np.ones((1, 4), dtype=np.float32))).sum()
+        out.backward()
+        opt.step()
+        assert np.abs(layer.weight.data).max() <= 1.0 + 1e-6
+
+    def test_trains_small_classifier(self):
+        # Linearly separable 2-class problem must reach high train accuracy.
+        n = 200
+        x = RNG.standard_normal((n, 4)).astype(np.float32)
+        w_true = np.array([2.0, -1.0, 0.5, 1.0], dtype=np.float32)
+        y = (x @ w_true > 0).astype(np.int64)
+        model = Linear(4, 2)
+        opt = Adam(model.parameters(), lr=0.05)
+        for _ in range(150):
+            opt.zero_grad()
+            loss = cross_entropy(model(Tensor(x)), y)
+            loss.backward()
+            opt.step()
+        preds = model(Tensor(x)).data.argmax(axis=1)
+        assert (preds == y).mean() > 0.95

@@ -1,0 +1,140 @@
+"""Tests for pooling, dropout, and LR schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    AvgPool2d,
+    CosineAnnealingLR,
+    Dropout,
+    MaxPool2d,
+    Parameter,
+    StepLR,
+    Tensor,
+    avg_pool2d,
+    max_pool2d,
+)
+from tests.gradcheck import assert_grad_close
+
+RNG = np.random.default_rng(80)
+
+
+class TestMaxPool:
+    def test_values(self):
+        x = Tensor(np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4))
+        out = max_pool2d(x, 2)
+        np.testing.assert_allclose(out.data[0, 0], [[5, 7], [13, 15]])
+
+    def test_shape_with_stride(self):
+        x = Tensor(RNG.standard_normal((2, 3, 6, 8)).astype(np.float32))
+        assert max_pool2d(x, 2).shape == (2, 3, 3, 4)
+        assert max_pool2d(x, 3, stride=1).shape == (2, 3, 4, 6)
+
+    def test_gradient_routes_to_max(self):
+        x = Tensor(
+            np.array([[[[1.0, 2.0], [3.0, 4.0]]]], dtype=np.float32),
+            requires_grad=True,
+        )
+        max_pool2d(x, 2).sum().backward()
+        np.testing.assert_allclose(x.grad[0, 0], [[0, 0], [0, 1]])
+
+    def test_gradcheck(self):
+        # Distinct values avoid subgradient ambiguity at ties.
+        data = np.arange(32, dtype=np.float32).reshape(1, 2, 4, 4)
+        RNG.shuffle(data.reshape(-1))
+        x = Tensor(data, requires_grad=True)
+        assert_grad_close(lambda: (max_pool2d(x, 2) * 2.0).sum(), x)
+
+    def test_module_wrapper(self):
+        pool = MaxPool2d(2)
+        x = Tensor(RNG.standard_normal((1, 1, 4, 4)).astype(np.float32))
+        np.testing.assert_allclose(pool(x).data, max_pool2d(x, 2).data)
+
+
+class TestAvgPool:
+    def test_values(self):
+        x = Tensor(np.ones((1, 1, 4, 4), dtype=np.float32) * 3.0)
+        np.testing.assert_allclose(avg_pool2d(x, 2).data, 3.0)
+
+    def test_gradcheck(self):
+        x = Tensor(RNG.standard_normal((1, 2, 4, 4)).astype(np.float32), requires_grad=True)
+        assert_grad_close(lambda: avg_pool2d(x, 2).sum(), x)
+
+    def test_module_wrapper(self):
+        pool = AvgPool2d(2)
+        x = Tensor(RNG.standard_normal((1, 1, 4, 4)).astype(np.float32))
+        np.testing.assert_allclose(pool(x).data, avg_pool2d(x, 2).data)
+
+
+class TestDropout:
+    def test_eval_mode_identity(self):
+        drop = Dropout(0.5)
+        drop.eval()
+        x = Tensor(np.ones((4, 4), dtype=np.float32))
+        assert drop(x) is x
+
+    def test_train_mode_zeroes_and_scales(self):
+        drop = Dropout(0.5, seed=0)
+        drop.train()
+        x = Tensor(np.ones((1000,), dtype=np.float32))
+        out = drop(x).data
+        zero_fraction = (out == 0).mean()
+        assert 0.4 < zero_fraction < 0.6
+        survivors = out[out != 0]
+        np.testing.assert_allclose(survivors, 2.0)
+
+    def test_expectation_preserved(self):
+        drop = Dropout(0.3, seed=1)
+        drop.train()
+        x = Tensor(np.ones((20000,), dtype=np.float32))
+        assert drop(x).data.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_p_zero_identity(self):
+        drop = Dropout(0.0)
+        x = Tensor(np.ones((4,), dtype=np.float32))
+        assert drop(x) is x
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)
+
+
+class TestSchedulers:
+    def _optimizer(self, lr=0.1):
+        return Adam([Parameter(np.zeros(1, dtype=np.float32))], lr=lr)
+
+    def test_step_lr(self):
+        opt = self._optimizer()
+        sched = StepLR(opt, step_size=2, gamma=0.5)
+        lrs = [sched.step() for _ in range(4)]
+        np.testing.assert_allclose(lrs, [0.1, 0.05, 0.05, 0.025])
+
+    def test_step_lr_validation(self):
+        with pytest.raises(ValueError):
+            StepLR(self._optimizer(), step_size=0)
+
+    def test_cosine_endpoints(self):
+        opt = self._optimizer()
+        sched = CosineAnnealingLR(opt, total_epochs=10, min_lr=0.01)
+        lrs = [sched.step() for _ in range(10)]
+        assert lrs[-1] == pytest.approx(0.01)
+        assert all(b <= a + 1e-12 for a, b in zip(lrs, lrs[1:]))
+
+    def test_cosine_clamps_past_end(self):
+        opt = self._optimizer()
+        sched = CosineAnnealingLR(opt, total_epochs=2)
+        for _ in range(5):
+            lr = sched.step()
+        assert lr == pytest.approx(0.0)
+
+    def test_cosine_validation(self):
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(self._optimizer(), total_epochs=0)
+
+    def test_scheduler_updates_optimizer(self):
+        opt = self._optimizer()
+        StepLR(opt, step_size=1, gamma=0.1).step()
+        assert opt.lr == pytest.approx(0.01)

@@ -1,0 +1,93 @@
+"""Tests for k-bit fake quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor
+from repro.nn.quantize import QuantConv2d, QuantLinear, quantize_ste
+
+RNG = np.random.default_rng(90)
+
+
+class TestQuantizeSte:
+    def test_k1_signed_is_ternary_grid(self):
+        x = Tensor(np.array([-0.9, -0.2, 0.2, 0.9], dtype=np.float32))
+        out = quantize_ste(x, 1).data
+        assert set(np.unique(out)).issubset({-1.0, 0.0, 1.0})
+
+    def test_values_on_grid(self):
+        x = Tensor(RNG.uniform(-1, 1, 100).astype(np.float32))
+        bits = 3
+        out = quantize_ste(x, bits).data
+        levels = 2 ** (bits - 1) - 1
+        np.testing.assert_allclose(out * levels, np.round(out * levels), atol=1e-6)
+
+    def test_unsigned_range(self):
+        x = Tensor(np.array([-0.5, 0.3, 1.2], dtype=np.float32))
+        out = quantize_ste(x, 4, signed=False).data
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_clips_out_of_range(self):
+        x = Tensor(np.array([-3.0, 3.0], dtype=np.float32))
+        out = quantize_ste(x, 4).data
+        np.testing.assert_allclose(out, [-1.0, 1.0])
+
+    def test_gradient_is_ste(self):
+        x = Tensor(np.array([-2.0, -0.5, 0.5, 2.0], dtype=np.float32), requires_grad=True)
+        quantize_ste(x, 4).sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 1.0, 0.0])
+
+    def test_high_bits_near_identity(self):
+        x = Tensor(RNG.uniform(-1, 1, 50).astype(np.float32))
+        out = quantize_ste(x, 16).data
+        np.testing.assert_allclose(out, x.data, atol=1e-4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            quantize_ste(Tensor([0.0]), 0)
+
+
+class TestQuantLayers:
+    def test_linear_forward_shape(self):
+        layer = QuantLinear(8, 3, bits=4, rng=RNG)
+        x = Tensor(RNG.uniform(-1, 1, (5, 8)).astype(np.float32))
+        assert layer(x).shape == (5, 3)
+
+    def test_linear_quantized_weight_integers(self):
+        layer = QuantLinear(8, 3, bits=4, rng=RNG)
+        qw = layer.quantized_weight()
+        assert qw.dtype == np.int32
+        assert np.abs(qw).max() <= 7  # 2^(4-1) - 1
+
+    def test_conv_forward_shape(self):
+        conv = QuantConv2d(2, 5, 3, bits=4, padding=1, rng=RNG)
+        x = Tensor(RNG.uniform(-1, 1, (2, 2, 6, 6)).astype(np.float32))
+        assert conv(x).shape == (2, 5, 6, 6)
+
+    def test_conv_quantized_weight_range(self):
+        conv = QuantConv2d(2, 4, 3, bits=2, rng=RNG)
+        assert np.abs(conv.quantized_weight()).max() <= 1
+
+    def test_gradients_flow(self):
+        layer = QuantLinear(4, 2, bits=4, rng=RNG)
+        out = layer(Tensor(RNG.uniform(-1, 1, (3, 4)).astype(np.float32))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuantLinear(4, 2, bits=0)
+        with pytest.raises(ValueError):
+            QuantConv2d(2, 2, 3, bits=0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(1, 8), st.integers(0, 2**31 - 1))
+def test_quantization_idempotent_property(bits, seed):
+    gen = np.random.default_rng(seed)
+    x = Tensor(gen.uniform(-1, 1, 32).astype(np.float32))
+    once = quantize_ste(x, bits).data
+    twice = quantize_ste(Tensor(once), bits).data
+    np.testing.assert_allclose(once, twice, atol=1e-6)

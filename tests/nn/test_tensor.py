@@ -1,0 +1,234 @@
+"""Autograd engine tests: op correctness and gradient checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor, as_tensor, concat, no_grad, stack
+from tests.gradcheck import assert_grad_close
+
+RNG = np.random.default_rng(0)
+
+
+def _param(shape):
+    return Tensor(RNG.standard_normal(shape).astype(np.float32), requires_grad=True)
+
+
+class TestBasics:
+    def test_construction_casts_to_float32(self):
+        t = Tensor([1, 2, 3])
+        assert t.data.dtype == np.float32
+        assert t.shape == (3,)
+
+    def test_repr_mentions_requires_grad(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+
+    def test_item_and_len(self):
+        assert Tensor([3.5]).item() == pytest.approx(3.5)
+        assert len(Tensor([1.0, 2.0])) == 2
+
+    def test_detach_cuts_graph(self):
+        a = _param((3,))
+        b = (a * 2.0).detach()
+        assert not b.requires_grad
+
+    def test_as_tensor_passthrough(self):
+        t = Tensor([1.0])
+        assert as_tensor(t) is t
+        assert isinstance(as_tensor([1.0, 2.0]), Tensor)
+
+    def test_backward_requires_scalar(self):
+        a = _param((3,))
+        with pytest.raises(RuntimeError):
+            (a * 2.0).backward()
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+
+class TestNoGrad:
+    def test_no_grad_blocks_graph(self):
+        a = _param((4,))
+        with no_grad():
+            out = (a * 3.0).sum()
+        assert not out.requires_grad
+
+    def test_no_grad_restores_state(self):
+        from repro.nn import is_grad_enabled
+
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+
+class TestArithmeticGradients:
+    def test_add(self):
+        a, b = _param((3, 4)), _param((3, 4))
+        assert_grad_close(lambda: (a + b).sum(), a)
+        assert_grad_close(lambda: (a + b).sum(), b)
+
+    def test_add_broadcast(self):
+        a, b = _param((3, 4)), _param((4,))
+        assert_grad_close(lambda: (a + b).sum(), b)
+
+    def test_mul(self):
+        a, b = _param((2, 5)), _param((2, 5))
+        assert_grad_close(lambda: (a * b).sum(), a)
+
+    def test_mul_broadcast_scalar_tensor(self):
+        a, b = _param((2, 5)), _param(())
+        assert_grad_close(lambda: (a * b).sum(), b)
+
+    def test_sub_and_neg(self):
+        a, b = _param((3,)), _param((3,))
+        assert_grad_close(lambda: (a - b).sum(), b)
+        assert_grad_close(lambda: (-a).sum(), a)
+
+    def test_div(self):
+        a = _param((4,))
+        b = Tensor(RNG.uniform(0.5, 2.0, (4,)).astype(np.float32), requires_grad=True)
+        assert_grad_close(lambda: (a / b).sum(), a)
+        assert_grad_close(lambda: (a / b).sum(), b)
+
+    def test_rsub_rdiv_radd_values(self):
+        a = Tensor([2.0])
+        np.testing.assert_allclose((3.0 - a).data, [1.0])
+        np.testing.assert_allclose((3.0 + a).data, [5.0])
+        np.testing.assert_allclose((4.0 / a).data, [2.0])
+
+    def test_pow(self):
+        a = Tensor(RNG.uniform(0.5, 2.0, (5,)).astype(np.float32), requires_grad=True)
+        assert_grad_close(lambda: (a**3.0).sum(), a)
+
+    def test_matmul_2d(self):
+        a, b = _param((3, 4)), _param((4, 2))
+        assert_grad_close(lambda: (a @ b).sum(), a)
+        assert_grad_close(lambda: (a @ b).sum(), b)
+
+    def test_matmul_batched(self):
+        a, b = _param((2, 3, 4)), _param((2, 4, 5))
+        assert_grad_close(lambda: (a @ b).sum(), a, atol=2e-2)
+        assert_grad_close(lambda: (a @ b).sum(), b, atol=2e-2)
+
+    def test_gradient_accumulates_over_reuse(self):
+        a = _param((3,))
+        out = (a * a).sum()  # d/da = 2a
+        out.backward()
+        np.testing.assert_allclose(a.grad, 2 * a.data, rtol=1e-5)
+
+
+class TestShapeOps:
+    def test_reshape_grad(self):
+        a = _param((2, 6))
+        assert_grad_close(lambda: (a.reshape(3, 4) * 2.0).sum(), a)
+
+    def test_reshape_accepts_tuple(self):
+        a = _param((2, 6))
+        assert a.reshape((4, 3)).shape == (4, 3)
+
+    def test_transpose_grad(self):
+        a = _param((2, 3, 4))
+        assert_grad_close(lambda: a.transpose(2, 0, 1).sum(), a)
+
+    def test_transpose_default_reverses(self):
+        a = _param((2, 3))
+        assert a.transpose().shape == (3, 2)
+
+    def test_getitem_grad(self):
+        a = _param((5, 4))
+        assert_grad_close(lambda: a[1:3].sum(), a)
+
+    def test_getitem_fancy_index_accumulates(self):
+        a = _param((4,))
+        idx = np.array([0, 0, 2])
+        out = a[idx].sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, [2.0, 0.0, 1.0, 0.0])
+
+    def test_concat_grad(self):
+        a, b = _param((2, 3)), _param((2, 2))
+        assert_grad_close(lambda: concat([a, b], axis=1).sum(), a)
+        assert_grad_close(lambda: concat([a, b], axis=1).sum(), b)
+
+    def test_stack_grad(self):
+        a, b = _param((3,)), _param((3,))
+        assert_grad_close(lambda: stack([a, b], axis=0).sum(), a)
+
+
+class TestReductions:
+    def test_sum_axis_grad(self):
+        a = _param((3, 4, 2))
+        assert_grad_close(lambda: a.sum(axis=1).sum(), a)
+        assert_grad_close(lambda: a.sum(axis=(0, 2)).sum(), a)
+
+    def test_sum_keepdims(self):
+        a = _param((3, 4))
+        out = a.sum(axis=0, keepdims=True)
+        assert out.shape == (1, 4)
+        assert_grad_close(lambda: a.sum(axis=0, keepdims=True).sum(), a)
+
+    def test_mean_grad(self):
+        a = _param((4, 5))
+        assert_grad_close(lambda: a.mean(), a)
+        assert_grad_close(lambda: a.mean(axis=1).sum(), a)
+
+    def test_max_grad_unique(self):
+        a = Tensor(np.arange(12, dtype=np.float32).reshape(3, 4), requires_grad=True)
+        out = a.max(axis=1).sum()
+        out.backward()
+        expected = np.zeros((3, 4))
+        expected[:, 3] = 1.0
+        np.testing.assert_allclose(a.grad, expected)
+
+    def test_max_grad_ties_split(self):
+        a = Tensor(np.ones((1, 4), dtype=np.float32), requires_grad=True)
+        a.max(axis=1).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full((1, 4), 0.25))
+
+
+class TestNonlinearities:
+    @pytest.mark.parametrize("name", ["relu", "tanh", "sigmoid", "exp", "abs"])
+    def test_elementwise_grads(self, name):
+        a = Tensor(
+            RNG.uniform(-2.0, 2.0, (6,)).astype(np.float32) + 0.1, requires_grad=True
+        )
+        assert_grad_close(lambda: getattr(a, name)().sum(), a)
+
+    def test_log_grad(self):
+        a = Tensor(RNG.uniform(0.5, 3.0, (5,)).astype(np.float32), requires_grad=True)
+        assert_grad_close(lambda: a.log().sum(), a)
+
+    def test_clip_grad_zero_outside(self):
+        a = Tensor(np.array([-2.0, 0.0, 2.0], dtype=np.float32), requires_grad=True)
+        a.clip(-1.0, 1.0).sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0, 0.0])
+
+    def test_sign_ste_forward_tiebreak(self):
+        a = Tensor(np.array([-0.5, 0.0, 0.5], dtype=np.float32))
+        np.testing.assert_allclose(a.sign_ste().data, [-1.0, 1.0, 1.0])
+
+    def test_sign_ste_backward_window(self):
+        a = Tensor(np.array([-2.0, -0.5, 0.5, 2.0], dtype=np.float32), requires_grad=True)
+        a.sign_ste().sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0, 1.0, 0.0])
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(st.floats(-5, 5, allow_nan=False, width=32), min_size=1, max_size=8),
+    st.lists(st.floats(-5, 5, allow_nan=False, width=32), min_size=1, max_size=8),
+)
+def test_add_commutes_property(xs, ys):
+    n = min(len(xs), len(ys))
+    a, b = Tensor(xs[:n]), Tensor(ys[:n])
+    np.testing.assert_allclose((a + b).data, (b + a).data)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.floats(-5, 5, allow_nan=False, width=32), min_size=1, max_size=16))
+def test_sign_ste_is_bipolar_property(xs):
+    out = Tensor(xs).sign_ste().data
+    assert set(np.unique(out)).issubset({-1.0, 1.0})

@@ -1,0 +1,127 @@
+"""Tests for the multi-objective (NSGA-II-style) search."""
+
+import numpy as np
+import pytest
+
+from repro.core import UniVSAConfig
+from repro.search import (
+    ParetoPoint,
+    SearchSpace,
+    crowding_distance,
+    non_dominated_sort,
+    nsga2_search,
+)
+
+
+def _point(acc, pen):
+    return ParetoPoint(config=UniVSAConfig(), accuracy=acc, penalty=pen)
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        assert _point(0.9, 0.1).dominates(_point(0.8, 0.2))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not _point(0.9, 0.1).dominates(_point(0.9, 0.1))
+
+    def test_trade_off_points_incomparable(self):
+        a, b = _point(0.9, 0.3), _point(0.8, 0.1)
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_single_objective_improvement_dominates(self):
+        assert _point(0.9, 0.1).dominates(_point(0.9, 0.2))
+
+
+class TestSorting:
+    def test_fronts_ordering(self):
+        points = [
+            _point(0.9, 0.1),  # front 0
+            _point(0.8, 0.05),  # front 0 (trade-off)
+            _point(0.7, 0.2),  # dominated by both
+            _point(0.85, 0.15),  # dominated by the first
+        ]
+        fronts = non_dominated_sort(points)
+        assert set(fronts[0]) == {0, 1}
+        assert 2 in fronts[1] or 2 in fronts[2]
+
+    def test_all_identical_single_front(self):
+        points = [_point(0.5, 0.5) for _ in range(4)]
+        fronts = non_dominated_sort(points)
+        assert len(fronts) == 1 and len(fronts[0]) == 4
+
+    def test_chain_gives_singleton_fronts(self):
+        points = [_point(0.9 - 0.1 * i, 0.1 + 0.1 * i) for i in range(4)]
+        fronts = non_dominated_sort(points)
+        assert [len(f) for f in fronts] == [1, 1, 1, 1]
+
+
+class TestCrowding:
+    def test_boundary_points_infinite(self):
+        points = [_point(0.7, 0.3), _point(0.8, 0.2), _point(0.9, 0.1)]
+        distance = crowding_distance(points, [0, 1, 2])
+        assert distance[0] == float("inf")
+        assert distance[2] == float("inf")
+        assert np.isfinite(distance[1])
+
+    def test_small_front_all_infinite(self):
+        points = [_point(0.7, 0.3), _point(0.9, 0.1)]
+        distance = crowding_distance(points, [0, 1])
+        assert all(v == float("inf") for v in distance.values())
+
+
+class TestNsga2:
+    @staticmethod
+    def _accuracy(config: UniVSAConfig) -> float:
+        # Bigger configs more accurate (diminishing): a known landscape.
+        return 1.0 - 1.0 / (1.0 + 0.02 * config.out_channels * config.d_high)
+
+    @staticmethod
+    def _penalty(config: UniVSAConfig) -> float:
+        return config.kernel_size * config.out_channels * config.d_high / 1000.0
+
+    def test_returns_frontier(self):
+        result = nsga2_search(
+            self._accuracy, self._penalty,
+            SearchSpace(), population=8, generations=4, seed=0,
+        )
+        assert len(result.frontier) >= 1
+        # Frontier is mutually non-dominated.
+        for a in result.frontier:
+            for b in result.frontier:
+                assert not a.dominates(b) or a == b
+
+    def test_frontier_sorted_by_penalty(self):
+        result = nsga2_search(
+            self._accuracy, self._penalty,
+            SearchSpace(), population=8, generations=3, seed=1,
+        )
+        penalties = [p.penalty for p in result.frontier]
+        assert penalties == sorted(penalties)
+
+    def test_extremes_accessible(self):
+        result = nsga2_search(
+            self._accuracy, self._penalty,
+            SearchSpace(), population=10, generations=5, seed=2,
+        )
+        assert result.best_accuracy().accuracy >= result.cheapest().accuracy
+        assert result.cheapest().penalty <= result.best_accuracy().penalty
+
+    def test_deterministic(self):
+        a = nsga2_search(self._accuracy, self._penalty, population=6, generations=2, seed=7)
+        b = nsga2_search(self._accuracy, self._penalty, population=6, generations=2, seed=7)
+        assert [p.config for p in a.frontier] == [p.config for p in b.frontier]
+
+    def test_population_validation(self):
+        with pytest.raises(ValueError):
+            nsga2_search(self._accuracy, self._penalty, population=2)
+
+    def test_memoization(self):
+        calls = []
+
+        def accuracy(config):
+            calls.append(config.as_paper_tuple())
+            return 0.5
+
+        nsga2_search(accuracy, self._penalty, population=6, generations=3, seed=0)
+        assert len(calls) == len(set(calls))

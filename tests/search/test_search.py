@@ -1,0 +1,168 @@
+"""Tests for the evolutionary co-design search."""
+
+import numpy as np
+import pytest
+
+from repro.core import UniVSAConfig
+from repro.search import (
+    AccuracyProxy,
+    CodesignObjective,
+    EvolutionConfig,
+    SearchSpace,
+    evolutionary_search,
+)
+
+RNG = np.random.default_rng(70)
+
+
+class TestSearchSpace:
+    def test_random_valid(self):
+        space = SearchSpace()
+        for _ in range(20):
+            config = space.random(RNG)
+            assert config.d_low <= config.d_high
+            assert config.kernel_size in (3, 5)
+
+    def test_decode_repairs_dlow(self):
+        space = SearchSpace()
+        config = space.decode((2, 4, 3, 16, 1))
+        assert config.d_low <= config.d_high
+
+    def test_encode_decode_round_trip(self):
+        space = SearchSpace()
+        config = space.decode((8, 2, 3, 64, 3))
+        assert space.decode(space.encode(config)) == config
+
+    def test_mutation_changes_one_gene_at_most(self):
+        space = SearchSpace()
+        base = space.decode((8, 2, 3, 64, 3))
+        for seed in range(10):
+            mutant = space.mutate(base, np.random.default_rng(seed))
+            diffs = sum(
+                a != b for a, b in zip(space.encode(base), space.encode(mutant))
+            )
+            assert diffs <= 2  # one gene + possible d_low repair
+
+    def test_crossover_mixes_parents(self):
+        space = SearchSpace()
+        a = space.decode((8, 2, 3, 64, 3))
+        b = space.decode((4, 1, 5, 16, 1))
+        child = space.crossover(a, b, np.random.default_rng(0))
+        for gene, ga, gb in zip(space.encode(child), space.encode(a), space.encode(b)):
+            assert gene in (ga, gb) or gene <= max(ga, gb)  # repair allowed
+
+    def test_extra_overrides(self):
+        space = SearchSpace(extra={"use_batchnorm": True})
+        assert space.random(RNG).use_batchnorm
+
+
+class TestEvolutionConfigValidation:
+    def test_rejects_bad_population(self):
+        with pytest.raises(ValueError):
+            EvolutionConfig(population=1)
+
+    def test_rejects_bad_elite(self):
+        with pytest.raises(ValueError):
+            EvolutionConfig(population=4, elite=4)
+
+    def test_rejects_bad_tournament(self):
+        with pytest.raises(ValueError):
+            EvolutionConfig(tournament=0)
+
+
+class TestEvolutionarySearch:
+    def test_finds_analytic_optimum(self):
+        # Objective rewards small O and D_H: optimum is the smallest genome.
+        def objective(config: UniVSAConfig) -> float:
+            return -config.out_channels - config.d_high
+
+        result = evolutionary_search(
+            objective,
+            config=EvolutionConfig(population=10, generations=10, seed=0),
+        )
+        assert result.best_config.out_channels == 8
+        assert result.best_config.d_high == 2
+
+    def test_elitism_makes_best_monotone(self):
+        def objective(config: UniVSAConfig) -> float:
+            return -abs(config.out_channels - 64) - config.voters
+
+        result = evolutionary_search(
+            objective, config=EvolutionConfig(population=8, generations=8, seed=1)
+        )
+        assert all(b >= a for a, b in zip(result.history, result.history[1:]))
+
+    def test_deterministic_given_seed(self):
+        def objective(config: UniVSAConfig) -> float:
+            return -config.out_channels
+
+        a = evolutionary_search(objective, config=EvolutionConfig(seed=5))
+        b = evolutionary_search(objective, config=EvolutionConfig(seed=5))
+        assert a.best_config == b.best_config
+        assert a.history == b.history
+
+    def test_memoizes_objective(self):
+        calls = []
+
+        def objective(config: UniVSAConfig) -> float:
+            calls.append(config.as_paper_tuple())
+            return 0.0
+
+        result = evolutionary_search(
+            objective, config=EvolutionConfig(population=6, generations=4, seed=2)
+        )
+        assert len(calls) == len(set(calls))
+        assert len(result.evaluated) == len(calls)
+
+
+class TestProxyAndObjective:
+    def _data(self, n=80, shape=(4, 6), levels=16, seed=0):
+        gen = np.random.default_rng(seed)
+        y = gen.integers(0, 2, size=n)
+        centers = np.where(y == 0, 4, 12)
+        x = np.clip(
+            centers[:, None, None] + gen.integers(-2, 3, size=(n,) + shape),
+            0,
+            levels - 1,
+        )
+        return x.astype(np.int64), y.astype(np.int64)
+
+    def test_proxy_caches(self):
+        x, y = self._data()
+        proxy = AccuracyProxy(x[:60], y[:60], x[60:], y[60:], n_classes=2, epochs=2)
+        config = UniVSAConfig(d_high=4, d_low=2, out_channels=4, levels=16)
+        first = proxy(config)
+        second = proxy(config)
+        assert first == second
+        assert proxy.evaluations == 1
+
+    def test_proxy_learns_easy_task(self):
+        x, y = self._data(n=150, seed=1)
+        proxy = AccuracyProxy(x[:100], y[:100], x[100:], y[100:], n_classes=2, epochs=5)
+        config = UniVSAConfig(d_high=4, d_low=2, out_channels=8, levels=16)
+        assert proxy(config) > 0.8
+
+    def test_proxy_subsamples(self):
+        x, y = self._data(n=80)
+        proxy = AccuracyProxy(
+            x[:60], y[:60], x[60:], y[60:], n_classes=2, max_train_samples=20
+        )
+        assert len(proxy.x_train) == 20
+
+    def test_objective_breakdown(self):
+        def accuracy_fn(config):
+            return 0.9
+
+        objective = CodesignObjective(accuracy_fn, (16, 40), 26)
+        config = UniVSAConfig()
+        parts = objective.breakdown(config)
+        assert parts["objective"] == pytest.approx(
+            parts["accuracy"] - parts["penalty"]
+        )
+        assert objective(config) == pytest.approx(parts["objective"])
+
+    def test_objective_prefers_cheap_config_at_equal_accuracy(self):
+        objective = CodesignObjective(lambda c: 0.9, (16, 40), 26)
+        cheap = UniVSAConfig(out_channels=16)
+        expensive = UniVSAConfig(out_channels=160)
+        assert objective(cheap) > objective(expensive)

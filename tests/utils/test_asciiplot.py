@@ -1,0 +1,82 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.analysis.asciiplot import bar_chart, line_chart, scatter
+
+
+class TestScatter:
+    def test_contains_points(self):
+        out = scatter([1, 2, 3], [1.0, 4.0, 9.0])
+        assert out.count("o") == 3
+
+    def test_custom_labels(self):
+        out = scatter([1, 2], [1, 2], labels=["A1", "B2"])
+        assert "A" in out and "B" in out
+
+    def test_axis_extremes_printed(self):
+        out = scatter([0, 10], [5, 50])
+        assert "50" in out and "5" in out and "10" in out
+
+    def test_title(self):
+        assert scatter([1, 2], [1, 2], title="pareto").startswith("pareto")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scatter([], [])
+        with pytest.raises(ValueError):
+            scatter([1], [1, 2])
+        with pytest.raises(ValueError):
+            scatter([1, 2], [1, 2], width=2)
+
+    def test_constant_values_no_crash(self):
+        out = scatter([1, 1, 1], [2, 2, 2])
+        assert "o" in out
+
+
+class TestLineChart:
+    def test_two_series_glyphs(self):
+        out = line_chart({"a": [1, 2, 3], "b": [3, 2, 1]})
+        assert "o" in out and "x" in out
+        assert "o a" in out and "x b" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+        with pytest.raises(ValueError):
+            line_chart({"a": [1, 2], "b": [1]})
+        with pytest.raises(ValueError):
+            line_chart({"a": []})
+
+    def test_single_point_series(self):
+        out = line_chart({"a": [5.0]})
+        assert "o" in out
+
+    def test_rows_consistent_width(self):
+        out = line_chart({"a": [1, 5, 3], "b": [2, 2, 2]}, width=40)
+        body = [l for l in out.splitlines() if "|" in l]
+        assert len({len(l) for l in body}) == 1
+
+
+class TestBarChart:
+    def test_scaling(self):
+        out = bar_chart({"big": 10.0, "small": 5.0}, width=20)
+        lines = out.splitlines()
+        big = next(l for l in lines if l.startswith("big"))
+        small = next(l for l in lines if l.startswith("small"))
+        assert big.count("#") == 20
+        assert small.count("#") == 10
+
+    def test_labels_aligned(self):
+        out = bar_chart({"a": 1.0, "longer": 2.0})
+        lines = out.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+        with pytest.raises(ValueError):
+            bar_chart({"a": 0.0})
+
+    def test_title(self):
+        assert bar_chart({"a": 1.0}, title="stages").startswith("stages")

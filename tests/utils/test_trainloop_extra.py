@@ -1,0 +1,83 @@
+"""Additional training-loop behaviors: balancing, verbosity, batching."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Module, Sequential, Tensor, cross_entropy
+from repro.utils import TrainConfig, evaluate_classifier, fit_classifier
+
+
+class _Tiny(Module):
+    def __init__(self):
+        super().__init__()
+        self.net = Sequential(Linear(2, 8), Linear(8, 2))
+
+    def forward(self, x):
+        return self.net(x)
+
+
+def _imbalanced_task(n=300, minority=0.1, seed=0):
+    gen = np.random.default_rng(seed)
+    y = (gen.random(n) < minority).astype(np.int64)
+    x = np.where(y == 1, 1.0, -1.0)[:, None] * np.array([1.0, 0.5]) + gen.normal(
+        0, 1.2, (n, 2)
+    )
+    return x.astype(np.float32), y
+
+
+class TestClassBalancing:
+    def test_balanced_training_raises_minority_recall(self):
+        x, y = _imbalanced_task()
+        recalls = {}
+        for balanced in (False, True):
+            model = _Tiny()
+            fit_classifier(
+                model, x, y,
+                TrainConfig(epochs=20, lr=0.02, seed=0, balance_classes=balanced),
+            )
+            from repro.nn import no_grad
+
+            with no_grad():
+                preds = model(Tensor(x)).data.argmax(axis=1)
+            minority_mask = y == 1
+            recalls[balanced] = (preds[minority_mask] == 1).mean()
+        assert recalls[True] >= recalls[False]
+
+    def test_weighted_loss_shifts_gradient(self):
+        logits = Tensor(np.zeros((2, 2), dtype=np.float32), requires_grad=True)
+        targets = np.array([0, 1])
+        weights = np.array([10.0, 1.0])
+        cross_entropy(logits, targets, class_weights=weights).backward()
+        # Sample 0 (class 0, weight 10) dominates the gradient magnitude.
+        assert abs(logits.grad[0]).sum() > abs(logits.grad[1]).sum()
+
+    def test_uniform_weights_match_unweighted(self):
+        gen = np.random.default_rng(0)
+        raw = gen.standard_normal((6, 3)).astype(np.float32)
+        targets = gen.integers(0, 3, size=6)
+        plain = cross_entropy(Tensor(raw), targets).item()
+        weighted = cross_entropy(
+            Tensor(raw), targets, class_weights=np.ones(3)
+        ).item()
+        assert plain == pytest.approx(weighted, rel=1e-5)
+
+
+class TestLoopMechanics:
+    def test_verbose_prints_progress(self, capsys):
+        x, y = _imbalanced_task(n=60)
+        fit_classifier(_Tiny(), x, y, TrainConfig(epochs=2, seed=0, verbose=True))
+        out = capsys.readouterr().out
+        assert "epoch   1/2" in out and "loss=" in out
+
+    def test_evaluate_batching_consistent(self):
+        x, y = _imbalanced_task(n=130, seed=1)
+        model = _Tiny()
+        fit_classifier(model, x, y, TrainConfig(epochs=3, seed=0))
+        a = evaluate_classifier(model, x, y, batch_size=7)
+        b = evaluate_classifier(model, x, y, batch_size=1000)
+        assert a == pytest.approx(b)
+
+    def test_history_lengths_match_epochs(self):
+        x, y = _imbalanced_task(n=40)
+        history = fit_classifier(_Tiny(), x, y, TrainConfig(epochs=4, seed=0))
+        assert len(history.losses) == len(history.accuracies) == 4

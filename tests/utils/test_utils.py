@@ -1,0 +1,114 @@
+"""Tests for metrics, tables, and the shared training loop."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Module, Sequential, Tensor
+from repro.utils import (
+    TrainConfig,
+    accuracy_score,
+    balanced_accuracy,
+    confusion_matrix,
+    evaluate_classifier,
+    f1_macro,
+    fit_classifier,
+    render_kv,
+    render_table,
+)
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy_score(np.array([0, 1, 1]), np.array([0, 1, 0])) == pytest.approx(2 / 3)
+
+    def test_accuracy_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy_score(np.zeros(3), np.zeros(4))
+
+    def test_confusion_matrix(self):
+        m = confusion_matrix(np.array([0, 0, 1, 1]), np.array([0, 1, 1, 1]))
+        np.testing.assert_array_equal(m, [[1, 1], [0, 2]])
+
+    def test_confusion_matrix_explicit_classes(self):
+        m = confusion_matrix(np.array([0]), np.array([0]), n_classes=3)
+        assert m.shape == (3, 3)
+
+    def test_balanced_accuracy_on_imbalance(self):
+        # Majority-class guessing: plain accuracy 0.9, balanced 0.5.
+        y_true = np.array([0] * 90 + [1] * 10)
+        y_pred = np.zeros(100, dtype=int)
+        assert accuracy_score(y_true, y_pred) == pytest.approx(0.9)
+        assert balanced_accuracy(y_true, y_pred) == pytest.approx(0.5)
+
+    def test_f1_macro_perfect(self):
+        y = np.array([0, 1, 2, 0, 1, 2])
+        assert f1_macro(y, y) == pytest.approx(1.0)
+
+    def test_f1_macro_partial(self):
+        y_true = np.array([0, 0, 1, 1])
+        y_pred = np.array([0, 1, 1, 1])
+        assert 0 < f1_macro(y_true, y_pred) < 1
+
+
+class TestTables:
+    def test_render_table_alignment(self):
+        out = render_table(["name", "val"], [["a", 1.5], ["bbbb", 22]])
+        lines = out.split("\n")
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_render_table_title(self):
+        out = render_table(["x"], [[1]], title="Table I")
+        assert out.startswith("Table I")
+
+    def test_render_table_row_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_render_kv(self):
+        out = render_kv({"alpha": 1, "b": 2.0})
+        assert "alpha : 1" in out
+
+
+class _TwoLayer(Module):
+    def __init__(self):
+        super().__init__()
+        self.net = Sequential(Linear(4, 16), Linear(16, 2))
+
+    def forward(self, x):
+        return self.net(x)
+
+
+class TestTrainLoop:
+    def _task(self, seed=0):
+        gen = np.random.default_rng(seed)
+        x = gen.standard_normal((200, 4)).astype(np.float32)
+        y = (x[:, 0] + x[:, 1] > 0).astype(np.int64)
+        return x, y
+
+    def test_fit_reduces_loss(self):
+        x, y = self._task()
+        model = _TwoLayer()
+        history = fit_classifier(model, x, y, TrainConfig(epochs=10, lr=0.01, seed=0))
+        assert history.losses[-1] < history.losses[0]
+        assert len(history.losses) == 10
+
+    def test_evaluate_matches_history_tail(self):
+        x, y = self._task(seed=1)
+        model = _TwoLayer()
+        fit_classifier(model, x, y, TrainConfig(epochs=15, lr=0.02, seed=0))
+        acc = evaluate_classifier(model, x, y)
+        assert acc > 0.85
+
+    def test_preprocess_applied(self):
+        x, y = self._task(seed=2)
+        model = _TwoLayer()
+        # Identity-preprocess must behave like no preprocess.
+        h1 = fit_classifier(model, x, y, TrainConfig(epochs=2, seed=3), preprocess=lambda a: a)
+        assert len(h1.losses) == 2
+
+    def test_model_left_in_eval_mode(self):
+        x, y = self._task()
+        model = _TwoLayer()
+        fit_classifier(model, x, y, TrainConfig(epochs=1, seed=0))
+        assert not model.training

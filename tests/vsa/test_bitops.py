@@ -1,0 +1,129 @@
+"""Tests for bit-packed hypervector primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vsa import (
+    dot_from_matches,
+    hamming_distance_packed,
+    pack_bipolar,
+    popcount,
+    unpack_bipolar,
+    xnor_popcount,
+)
+
+RNG = np.random.default_rng(10)
+
+
+def _random_bipolar(shape):
+    return RNG.choice(np.array([-1, 1], dtype=np.int8), size=shape)
+
+
+class TestPacking:
+    @pytest.mark.parametrize("dim", [1, 7, 64, 65, 100, 128, 1000])
+    def test_round_trip(self, dim):
+        v = _random_bipolar((3, dim))
+        packed, d = pack_bipolar(v)
+        assert d == dim
+        np.testing.assert_array_equal(unpack_bipolar(packed, dim), v)
+
+    def test_word_count(self):
+        packed, _ = pack_bipolar(_random_bipolar((2, 100)))
+        assert packed.shape == (2, 2)  # ceil(100/64)
+
+    def test_rejects_non_bipolar(self):
+        with pytest.raises(ValueError):
+            pack_bipolar(np.array([0, 1, -1]))
+
+    def test_single_vector(self):
+        v = _random_bipolar(70)
+        packed, dim = pack_bipolar(v)
+        assert packed.shape == (2,)
+        np.testing.assert_array_equal(unpack_bipolar(packed, dim), v)
+
+
+class TestPopcount:
+    def test_known_values(self):
+        words = np.array([0, 1, 3, 0xFFFFFFFFFFFFFFFF], dtype=np.uint64)
+        np.testing.assert_array_equal(popcount(words), [0, 1, 2, 64])
+
+    def test_matches_python_bin(self):
+        words = RNG.integers(0, 2**63, size=50, dtype=np.uint64)
+        expected = [bin(int(w)).count("1") for w in words]
+        np.testing.assert_array_equal(popcount(words), expected)
+
+
+class TestXnorPopcount:
+    def test_identical_vectors_full_match(self):
+        v = _random_bipolar(100)
+        packed, dim = pack_bipolar(v)
+        assert xnor_popcount(packed, packed, dim) == 100
+
+    def test_opposite_vectors_zero_match(self):
+        v = _random_bipolar(100)
+        a, dim = pack_bipolar(v)
+        b, _ = pack_bipolar(-v)
+        assert xnor_popcount(a, b, dim) == 0
+
+    def test_matches_dense_computation(self):
+        a = _random_bipolar((4, 130))
+        b = _random_bipolar((4, 130))
+        pa, dim = pack_bipolar(a)
+        pb, _ = pack_bipolar(b)
+        dense = (a == b).sum(axis=-1)
+        np.testing.assert_array_equal(xnor_popcount(pa, pb, dim), dense)
+
+    def test_broadcasting(self):
+        a = _random_bipolar((3, 96))
+        b = _random_bipolar((5, 96))
+        pa, dim = pack_bipolar(a)
+        pb, _ = pack_bipolar(b)
+        matches = xnor_popcount(pa[:, None, :], pb[None, :, :], dim)
+        assert matches.shape == (3, 5)
+        dense = (a[:, None, :] == b[None, :, :]).sum(axis=-1)
+        np.testing.assert_array_equal(matches, dense)
+
+
+class TestDistanceIdentities:
+    def test_hamming_from_packed(self):
+        a = _random_bipolar(200)
+        b = _random_bipolar(200)
+        pa, dim = pack_bipolar(a)
+        pb, _ = pack_bipolar(b)
+        np.testing.assert_array_equal(
+            hamming_distance_packed(pa, pb, dim), (a != b).sum()
+        )
+
+    def test_dot_from_matches_identity(self):
+        a = _random_bipolar(150)
+        b = _random_bipolar(150)
+        pa, dim = pack_bipolar(a)
+        pb, _ = pack_bipolar(b)
+        matches = xnor_popcount(pa, pb, dim)
+        dense_dot = (a.astype(int) * b.astype(int)).sum()
+        assert dot_from_matches(matches, dim) == dense_dot
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(1, 300), st.integers(0, 2**31 - 1))
+def test_pack_unpack_property(dim, seed):
+    gen = np.random.default_rng(seed)
+    v = gen.choice(np.array([-1, 1], dtype=np.int8), size=dim)
+    packed, d = pack_bipolar(v)
+    np.testing.assert_array_equal(unpack_bipolar(packed, d), v)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(2, 200), st.integers(0, 2**31 - 1))
+def test_hamming_dot_equivalence_property(dim, seed):
+    """LDC Sec. II-C: dot = D - 2*hamming for bipolar vectors."""
+    gen = np.random.default_rng(seed)
+    a = gen.choice(np.array([-1, 1], dtype=np.int8), size=dim)
+    b = gen.choice(np.array([-1, 1], dtype=np.int8), size=dim)
+    pa, d = pack_bipolar(a)
+    pb, _ = pack_bipolar(b)
+    hamming = hamming_distance_packed(pa, pb, d)
+    dot = dot_from_matches(xnor_popcount(pa, pb, d), d)
+    assert dot == dim - 2 * hamming

@@ -1,0 +1,70 @@
+"""Tests for bundling-capacity analysis."""
+
+import numpy as np
+import pytest
+
+from repro.vsa.capacity import (
+    CapacityReport,
+    expected_member_similarity,
+    measure_capacity,
+)
+
+
+class TestAnalytic:
+    def test_single_vector_full_similarity(self):
+        # k=1: the bundle IS the member; sqrt(2/pi) is the asymptotic
+        # formula's value, but the exact similarity is 1 — the formula is
+        # documented as asymptotic, so only check monotonicity from k>=3.
+        assert expected_member_similarity(1) == pytest.approx(np.sqrt(2 / np.pi))
+
+    def test_monotone_decreasing(self):
+        values = [expected_member_similarity(k) for k in (3, 7, 15, 31, 63)]
+        assert all(b < a for a, b in zip(values, values[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_member_similarity(0)
+
+    def test_matches_empirical_at_moderate_k(self):
+        report = measure_capacity(2048, set_sizes=(7,), trials=10, seed=0)
+        assert report.member_similarities[0] == pytest.approx(
+            expected_member_similarity(7), rel=0.15
+        )
+
+
+class TestEmpirical:
+    def test_report_shape(self):
+        report = measure_capacity(256, set_sizes=(1, 3, 7), trials=5, seed=0)
+        assert isinstance(report, CapacityReport)
+        assert report.set_sizes == [1, 3, 7]
+        assert len(report.member_similarities) == 3
+        assert len(report.retrieval_accuracies) == 3
+
+    def test_similarity_decreases_with_set_size(self):
+        report = measure_capacity(512, set_sizes=(1, 7, 31), trials=8, seed=1)
+        sims = report.member_similarities
+        assert sims[0] > sims[1] > sims[2]
+
+    def test_small_sets_fully_retrievable(self):
+        report = measure_capacity(1024, set_sizes=(1, 3), trials=10, seed=2)
+        assert report.retrieval_accuracies[0] == 1.0
+        assert report.retrieval_accuracies[1] > 0.95
+
+    def test_higher_dim_higher_capacity(self):
+        low = measure_capacity(64, set_sizes=(3, 15, 31), trials=10, seed=3)
+        high = measure_capacity(2048, set_sizes=(3, 15, 31), trials=10, seed=3)
+        assert high.capacity_at(0.99) >= low.capacity_at(0.99)
+
+    def test_capacity_at_threshold(self):
+        report = CapacityReport(
+            dim=64,
+            set_sizes=[1, 3, 7],
+            member_similarities=[1.0, 0.5, 0.3],
+            retrieval_accuracies=[1.0, 0.995, 0.7],
+        )
+        assert report.capacity_at(0.99) == 3
+        assert report.capacity_at(0.5) == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            measure_capacity(1)

@@ -1,0 +1,130 @@
+"""Tests for the classic VSA classifier and similarity-based prediction."""
+
+import numpy as np
+import pytest
+
+from repro.vsa import (
+    ClassicVSAClassifier,
+    classify,
+    cosine_similarity,
+    dot_similarity,
+    encode_record,
+    hamming_distance,
+    level_item_memory,
+    random_bipolar,
+    random_item_memory,
+)
+
+RNG = np.random.default_rng(12)
+
+
+def _toy_task(n_per_class=40, n_features=24, levels=16, seed=0):
+    """Two classes separated by mean level of their features."""
+    gen = np.random.default_rng(seed)
+    low = gen.integers(0, levels // 2, size=(n_per_class, n_features))
+    high = gen.integers(levels // 2, levels, size=(n_per_class, n_features))
+    x = np.concatenate([low, high]).astype(np.int64)
+    y = np.concatenate([np.zeros(n_per_class), np.ones(n_per_class)]).astype(np.int64)
+    return x, y
+
+
+class TestSimilarityFunctions:
+    def test_dot_vs_hamming_equivalence(self):
+        a = random_bipolar((6, 100), rng=0)
+        b = random_bipolar((6, 100), rng=1)
+        dot = dot_similarity(a, b)
+        ham = hamming_distance(a, b)
+        np.testing.assert_array_equal(dot, 100 - 2 * ham)
+
+    def test_cosine_of_identical(self):
+        v = random_bipolar(64, rng=2)
+        assert cosine_similarity(v, v) == pytest.approx(1.0)
+
+    def test_classify_metrics_agree(self):
+        samples = random_bipolar((10, 128), rng=3)
+        classes = random_bipolar((4, 128), rng=4)
+        np.testing.assert_array_equal(
+            classify(samples, classes, metric="dot"),
+            classify(samples, classes, metric="hamming"),
+        )
+
+    def test_classify_unknown_metric(self):
+        with pytest.raises(ValueError):
+            classify(random_bipolar((1, 8), rng=0), random_bipolar((2, 8), rng=1), "l2")
+
+    def test_classify_picks_exact_match(self):
+        classes = random_bipolar((3, 256), rng=5)
+        preds = classify(classes, classes)
+        np.testing.assert_array_equal(preds, [0, 1, 2])
+
+
+class TestEncodeRecord:
+    def test_output_is_bipolar(self):
+        fm = random_item_memory(8, 64, rng=0)
+        vm = level_item_memory(4, 64, rng=1)
+        x = RNG.integers(0, 4, size=(5, 8))
+        s = encode_record(x, fm, vm)
+        assert s.shape == (5, 64)
+        assert set(np.unique(s)).issubset({-1, 1})
+
+    def test_identical_inputs_identical_encodings(self):
+        fm = random_item_memory(8, 64, rng=0)
+        vm = level_item_memory(4, 64, rng=1)
+        x = np.array([[0, 1, 2, 3, 0, 1, 2, 3]])
+        np.testing.assert_array_equal(
+            encode_record(x, fm, vm), encode_record(x.copy(), fm, vm)
+        )
+
+    def test_similar_inputs_similar_encodings(self):
+        fm = random_item_memory(16, 2048, rng=2)
+        vm = level_item_memory(16, 2048, rng=3)
+        base = RNG.integers(0, 16, size=16)
+        near = base.copy()
+        near[0] = min(15, near[0] + 1)
+        far = (15 - base) % 16
+        s_base = encode_record(base[None], fm, vm)[0].astype(int)
+        s_near = encode_record(near[None], fm, vm)[0].astype(int)
+        s_far = encode_record(far[None], fm, vm)[0].astype(int)
+        assert (s_base * s_near).sum() > (s_base * s_far).sum()
+
+
+class TestClassicClassifier:
+    def test_learns_separable_task(self):
+        x, y = _toy_task()
+        clf = ClassicVSAClassifier(dim=2048, levels=16, seed=0).fit(x, y)
+        assert clf.score(x, y) > 0.9
+
+    def test_retraining_improves_or_maintains(self):
+        x, y = _toy_task(seed=1)
+        base = ClassicVSAClassifier(dim=512, levels=16, seed=0).fit(x, y)
+        retrained = ClassicVSAClassifier(
+            dim=512, levels=16, retrain_epochs=10, seed=0
+        ).fit(x, y)
+        assert retrained.score(x, y) >= base.score(x, y) - 0.05
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            ClassicVSAClassifier().predict(np.zeros((1, 4), dtype=int))
+
+    def test_memory_footprint_formula(self):
+        x, y = _toy_task()
+        clf = ClassicVSAClassifier(dim=256, levels=16, seed=0).fit(x, y)
+        expected = (16 + x.shape[1] + 2) * 256
+        assert clf.memory_footprint_bits() == expected
+
+    def test_memory_footprint_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            ClassicVSAClassifier().memory_footprint_bits()
+
+    def test_similarity_scores_shape(self):
+        x, y = _toy_task()
+        clf = ClassicVSAClassifier(dim=256, levels=16, seed=0).fit(x, y)
+        scores = clf.similarity_scores(x[:5])
+        assert scores.shape == (5, 2)
+
+    def test_deterministic_given_seed(self):
+        x, y = _toy_task()
+        a = ClassicVSAClassifier(dim=256, levels=16, seed=7).fit(x, y)
+        b = ClassicVSAClassifier(dim=256, levels=16, seed=7).fit(x, y)
+        np.testing.assert_array_equal(a.class_vectors, b.class_vectors)
+        np.testing.assert_array_equal(a.predict(x), b.predict(x))

@@ -1,0 +1,140 @@
+"""Tests for dense hypervector algebra and item memories."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vsa import (
+    ItemMemory,
+    bind,
+    bundle,
+    flip_fraction,
+    is_bipolar,
+    level_item_memory,
+    permute,
+    random_bipolar,
+    random_item_memory,
+    sign_bipolar,
+)
+
+RNG = np.random.default_rng(11)
+
+
+class TestHypervectorOps:
+    def test_random_bipolar_values(self):
+        v = random_bipolar((10, 50), rng=0)
+        assert is_bipolar(v)
+        assert v.dtype == np.int8
+
+    def test_random_bipolar_is_balanced(self):
+        v = random_bipolar(100_000, rng=1)
+        assert abs(float(v.mean())) < 0.02
+
+    def test_bind_self_inverse(self):
+        a, b = random_bipolar(64, rng=2), random_bipolar(64, rng=3)
+        np.testing.assert_array_equal(bind(bind(a, b), b), a)
+
+    def test_bind_preserves_bipolarity(self):
+        a, b = random_bipolar(64, rng=4), random_bipolar(64, rng=5)
+        assert is_bipolar(bind(a, b))
+
+    def test_bind_is_dissimilar_to_operands(self):
+        dim = 10_000
+        a, b = random_bipolar(dim, rng=6), random_bipolar(dim, rng=7)
+        sim = abs(int((bind(a, b).astype(int) * a.astype(int)).sum()))
+        assert sim < 0.05 * dim  # quasi-orthogonal
+
+    def test_bundle_majority(self):
+        stack = np.array([[1, 1, -1], [1, -1, -1], [1, -1, 1]], dtype=np.int8)
+        np.testing.assert_array_equal(bundle(stack), [1, -1, -1])
+
+    def test_bundle_tiebreak_positive(self):
+        stack = np.array([[1, -1], [-1, 1]], dtype=np.int8)
+        np.testing.assert_array_equal(bundle(stack), [1, 1])
+
+    def test_bundle_preserves_members(self):
+        # A bundle stays closer to its members than to random vectors.
+        dim = 2000
+        members = random_bipolar((5, dim), rng=8)
+        s = bundle(members)
+        outsider = random_bipolar(dim, rng=9)
+        member_sim = (s.astype(int) * members[0].astype(int)).sum()
+        outsider_sim = (s.astype(int) * outsider.astype(int)).sum()
+        assert member_sim > outsider_sim + 0.1 * dim
+
+    def test_sign_bipolar_tiebreak(self):
+        np.testing.assert_array_equal(sign_bipolar(np.array([-2, 0, 3])), [-1, 1, 1])
+
+    def test_permute_round_trip(self):
+        v = random_bipolar(32, rng=10)
+        np.testing.assert_array_equal(permute(permute(v, 5), -5), v)
+
+    def test_flip_fraction_exact_count(self):
+        v = random_bipolar(100, rng=11)
+        flipped = flip_fraction(v, 0.25, rng=12)
+        assert (flipped != v).sum() == 25
+
+    def test_flip_fraction_validates(self):
+        with pytest.raises(ValueError):
+            flip_fraction(random_bipolar(8, rng=0), 1.5)
+
+
+class TestItemMemories:
+    def test_random_item_memory_shape(self):
+        mem = random_item_memory(10, 64, rng=0)
+        assert mem.shape == (10, 64)
+        assert is_bipolar(mem)
+
+    def test_level_memory_adjacent_similarity(self):
+        mem = level_item_memory(256, 1024, rng=0)
+        adjacent = (mem[0] != mem[1]).sum()
+        distant = (mem[0] != mem[255]).sum()
+        assert adjacent < 10
+        assert distant > 400  # far levels near-orthogonal
+
+    def test_level_memory_monotone_distance(self):
+        mem = level_item_memory(16, 512, rng=1)
+        distances = [(mem[0] != mem[k]).sum() for k in range(16)]
+        assert all(d2 >= d1 for d1, d2 in zip(distances, distances[1:]))
+
+    def test_level_memory_single_level(self):
+        mem = level_item_memory(1, 32, rng=2)
+        assert mem.shape == (1, 32)
+
+    def test_level_memory_validates(self):
+        with pytest.raises(ValueError):
+            level_item_memory(0, 8)
+
+    def test_item_memory_lookup_and_cleanup(self):
+        vectors = random_item_memory(20, 256, rng=3)
+        memory = ItemMemory(vectors)
+        assert memory.count == 20 and memory.dim == 256
+        noisy = flip_fraction(vectors[7], 0.2, rng=4)
+        assert memory.cleanup(noisy) == 7
+
+    def test_item_memory_validates_rank(self):
+        with pytest.raises(ValueError):
+            ItemMemory(np.ones(8, dtype=np.int8))
+
+    def test_item_memory_batch_lookup(self):
+        memory = ItemMemory(random_item_memory(5, 16, rng=5))
+        batch = memory[np.array([0, 2, 4])]
+        assert batch.shape == (3, 16)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(4, 128), st.integers(0, 2**31 - 1))
+def test_bind_commutes_property(dim, seed):
+    gen = np.random.default_rng(seed)
+    a = gen.choice(np.array([-1, 1], dtype=np.int8), size=dim)
+    b = gen.choice(np.array([-1, 1], dtype=np.int8), size=dim)
+    np.testing.assert_array_equal(bind(a, b), bind(b, a))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(2, 50), st.integers(1, 8), st.integers(0, 2**31 - 1))
+def test_bundle_bipolar_property(dim, count, seed):
+    gen = np.random.default_rng(seed)
+    stack = gen.choice(np.array([-1, 1], dtype=np.int8), size=(count, dim))
+    assert is_bipolar(bundle(stack))

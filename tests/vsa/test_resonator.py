@@ -1,0 +1,73 @@
+"""Tests for resonator-network factorization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vsa import bind, random_bipolar, resonator_factorize
+
+
+def _composite(codebooks, indices):
+    out = codebooks[0][indices[0]]
+    for cb, i in zip(codebooks[1:], indices[1:]):
+        out = bind(out, cb[i])
+    return out
+
+
+class TestResonator:
+    def test_two_factor_recovery(self):
+        cbs = [random_bipolar((6, 512), rng=i) for i in range(2)]
+        s = _composite(cbs, [2, 4])
+        result = resonator_factorize(s, cbs)
+        assert result.indices == [2, 4]
+        assert result.converged
+
+    def test_three_factor_recovery(self):
+        cbs = [random_bipolar((8, 1024), rng=10 + i) for i in range(3)]
+        s = _composite(cbs, [7, 0, 5])
+        result = resonator_factorize(s, cbs)
+        assert result.indices == [7, 0, 5]
+        assert result.converged
+
+    def test_factors_method(self):
+        cbs = [random_bipolar((4, 256), rng=20 + i) for i in range(2)]
+        s = _composite(cbs, [1, 3])
+        result = resonator_factorize(s, cbs)
+        factors = result.factors(cbs)
+        np.testing.assert_array_equal(factors[0], cbs[0][1])
+        np.testing.assert_array_equal(factors[1], cbs[1][3])
+
+    def test_iterations_bounded(self):
+        cbs = [random_bipolar((4, 128), rng=30 + i) for i in range(2)]
+        s = _composite(cbs, [0, 0])
+        result = resonator_factorize(s, cbs, max_iterations=5)
+        assert result.iterations <= 5
+
+    def test_unfactorable_reports_not_converged(self):
+        cbs = [random_bipolar((4, 256), rng=40 + i) for i in range(2)]
+        noise = random_bipolar(256, rng=99)  # not a product of codebook items
+        result = resonator_factorize(noise, cbs, max_iterations=10)
+        assert not result.converged
+
+    def test_validation(self):
+        cbs = [random_bipolar((4, 64), rng=0)]
+        with pytest.raises(ValueError):
+            resonator_factorize(random_bipolar(64, rng=1), cbs)
+        with pytest.raises(ValueError):
+            resonator_factorize(random_bipolar((2, 64), rng=1), cbs * 2)
+        bad = [random_bipolar((4, 32), rng=2), random_bipolar((4, 64), rng=3)]
+        with pytest.raises(ValueError):
+            resonator_factorize(random_bipolar(64, rng=4), bad)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_two_factor_recovery_property(seed):
+    gen = np.random.default_rng(seed)
+    cbs = [random_bipolar((5, 768), rng=int(gen.integers(1e9))) for _ in range(2)]
+    indices = [int(gen.integers(0, 5)) for _ in range(2)]
+    s = _composite(cbs, indices)
+    result = resonator_factorize(s, cbs, seed=seed % 100)
+    assert result.indices == indices
+    assert result.converged

@@ -1,0 +1,75 @@
+"""Tests for permutation-based sequence encoding."""
+
+import numpy as np
+import pytest
+
+from repro.vsa import random_bipolar
+from repro.vsa.sequence import encode_ngram, encode_sequence, ngram_statistics_vector
+
+
+class TestNgram:
+    def test_output_bipolar(self):
+        v = random_bipolar((3, 128), rng=0)
+        out = encode_ngram(v)
+        assert out.shape == (128,)
+        assert set(np.unique(out)).issubset({-1, 1})
+
+    def test_order_sensitivity(self):
+        # "ab" and "ba" must encode differently (permutation breaks
+        # bind's commutativity across positions).
+        dim = 2048
+        a, b = random_bipolar(dim, rng=1), random_bipolar(dim, rng=2)
+        ab = encode_ngram(np.stack([a, b]))
+        ba = encode_ngram(np.stack([b, a]))
+        similarity = abs(int((ab.astype(int) * ba.astype(int)).sum()))
+        assert similarity < 0.1 * dim
+
+    def test_single_element(self):
+        v = random_bipolar((1, 64), rng=3)
+        np.testing.assert_array_equal(encode_ngram(v), v[0])
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            encode_ngram(random_bipolar(16, rng=0))
+
+
+class TestSequence:
+    def test_similar_sequences_are_similar(self):
+        dim = 2048
+        memory = random_bipolar((10, dim), rng=4)
+        base = np.array([0, 1, 2, 3, 4, 5, 6, 7])
+        near = base.copy()
+        near[-1] = 8  # one symbol changed
+        far = np.array([9, 8, 7, 6, 5, 4, 3, 2])
+        s_base = ngram_statistics_vector(base, memory).astype(int)
+        s_near = ngram_statistics_vector(near, memory).astype(int)
+        s_far = ngram_statistics_vector(far, memory).astype(int)
+        assert (s_base * s_near).sum() > (s_base * s_far).sum()
+
+    def test_validates_n(self):
+        v = random_bipolar((4, 32), rng=5)
+        with pytest.raises(ValueError):
+            encode_sequence(v, n=0)
+        with pytest.raises(ValueError):
+            encode_sequence(v, n=5)
+
+    def test_n1_is_plain_bundle(self):
+        from repro.vsa import bundle
+
+        v = random_bipolar((5, 64), rng=6)
+        np.testing.assert_array_equal(encode_sequence(v, n=1), bundle(v))
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            encode_sequence(random_bipolar(16, rng=0))
+        with pytest.raises(ValueError):
+            ngram_statistics_vector(
+                np.zeros((2, 2), dtype=int), random_bipolar((4, 16), rng=0)
+            )
+
+    def test_deterministic(self):
+        memory = random_bipolar((5, 128), rng=7)
+        symbols = np.array([0, 1, 2, 3, 4])
+        a = ngram_statistics_vector(symbols, memory)
+        b = ngram_statistics_vector(symbols, memory)
+        np.testing.assert_array_equal(a, b)
