@@ -53,11 +53,36 @@ def results_dir() -> Path:
     return RESULTS_DIR
 
 
+@pytest.fixture(scope="session", autouse=True)
+def obs_registry():
+    """Collect stage metrics for the whole bench session.
+
+    Every instrumented hot path (packed engine, integer reference,
+    streaming runtime, trainer, hw simulator) records into this registry;
+    ``write_result`` snapshots it next to each rendered table.
+    """
+    from repro.obs import disable, enable
+
+    registry = enable()
+    yield registry
+    disable()
+
+
 def write_result(results_dir: Path, name: str, content: str) -> None:
-    """Persist a rendered table and echo it for terminal runs with -s."""
+    """Persist a rendered table and echo it for terminal runs with -s.
+
+    When the observability registry is active (it is for bench sessions,
+    via the ``obs_registry`` fixture) a machine-readable stage breakdown
+    is written next to the text table as ``<name>.profile.json``.
+    """
     path = results_dir / name
     path.write_text(content + "\n")
     print(f"\n{content}\n[written to {path}]")
+    from repro.obs import get_registry, write_json
+
+    registry = get_registry()
+    if registry.enabled:
+        write_json(registry, path.with_name(path.stem + ".profile.json"))
 
 
 @pytest.fixture(scope="session")

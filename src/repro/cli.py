@@ -1,10 +1,11 @@
-"""Command-line interface: train / evaluate / hw / search / info.
+"""Command-line interface: train / evaluate / hw / search / profile / info.
 
     python -m repro info
     python -m repro train isolet --epochs 12 --out isolet.npz
     python -m repro evaluate isolet.npz isolet
     python -m repro hw har
     python -m repro search bci-iii-v --generations 3
+    python -m repro profile bci-iii-v --json bci.profile.json
 """
 
 from __future__ import annotations
@@ -165,6 +166,29 @@ def _cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import profile_benchmark
+
+    report = profile_benchmark(
+        args.benchmark,
+        n_train=args.n_train,
+        n_test=args.n_test,
+        epochs=args.epochs,
+        seed=args.seed,
+        batch_size=args.batch_size,
+        hop=args.hop,
+    )
+    print(report.render())
+    json_path = args.json or f"{args.benchmark}-profile.json"
+    with open(json_path, "w", encoding="utf-8") as handle:
+        json.dump(report.as_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nstage breakdown JSON written to {json_path}")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.reportgen import generate_report
 
@@ -209,6 +233,19 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--proxy-epochs", type=int, default=3)
     search.add_argument("--seed", type=int, default=0)
     search.set_defaults(func=_cmd_search)
+
+    profile = sub.add_parser(
+        "profile", help="per-stage latency profile of the serving datapath"
+    )
+    profile.add_argument("benchmark")
+    profile.add_argument("--n-train", type=int, default=120)
+    profile.add_argument("--n-test", type=int, default=60)
+    profile.add_argument("--epochs", type=int, default=2)
+    profile.add_argument("--batch-size", type=int, default=16)
+    profile.add_argument("--hop", type=int, default=None, help="streaming hop (frames)")
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--json", help="stage-breakdown JSON path (default <benchmark>-profile.json)")
+    profile.set_defaults(func=_cmd_profile)
 
     report = sub.add_parser(
         "report", help="assemble benchmarks/results into one markdown report"

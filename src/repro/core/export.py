@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import get_registry, stage_timer
 from repro.vsa.hypervector import sign_bipolar
 
 from .config import UniVSAConfig
@@ -84,6 +85,7 @@ class UniVSAArtifacts:
     # ------------------------------------------------------------------
     # inference stages (integer arithmetic only)
     # ------------------------------------------------------------------
+    @stage_timer("artifacts.dvp")
     def value_volume(self, levels: np.ndarray) -> np.ndarray:
         """DVP lookup: levels (B, W, L) -> bipolar volume (B, D_H, W, L)."""
         levels = np.asarray(levels).reshape((-1,) + self.input_shape)
@@ -99,6 +101,7 @@ class UniVSAArtifacts:
             volume = np.where(select, high, low)
         return volume.transpose(0, 3, 1, 2)
 
+    @stage_timer("artifacts.biconv")
     def feature_map(self, volume: np.ndarray) -> np.ndarray:
         """BiConv + threshold binarization: -> (B, channels, W, L) int8."""
         if self.kernel is None:
@@ -112,17 +115,24 @@ class UniVSAArtifacts:
     def encode(self, levels: np.ndarray) -> np.ndarray:
         """Full encoding: levels -> bipolar sample vectors (B, W*L)."""
         feature = self.feature_map(self.value_volume(levels))
-        batch = feature.shape[0]
-        flat = feature.reshape(batch, feature.shape[1], self.positions).astype(np.int64)
-        accumulated = (flat * self.feature_vectors[None].astype(np.int64)).sum(axis=1)
-        return sign_bipolar(accumulated)
+        get_registry().counter("artifacts.samples").add(feature.shape[0])
+        with stage_timer("artifacts.encode"):
+            batch = feature.shape[0]
+            flat = feature.reshape(
+                batch, feature.shape[1], self.positions
+            ).astype(np.int64)
+            accumulated = (
+                flat * self.feature_vectors[None].astype(np.int64)
+            ).sum(axis=1)
+            return sign_bipolar(accumulated)
 
     def scores(self, levels: np.ndarray) -> np.ndarray:
         """Soft-voting similarity scores (B, n_classes), Eq. 4 numerator."""
         s = self.encode(levels).astype(np.int64)
-        # sum_theta C^theta s  ==  (sum_theta C^theta) s
-        stacked = self.class_vectors.astype(np.int64).sum(axis=0)  # (C, P)
-        return s @ stacked.T
+        with stage_timer("artifacts.similarity"):
+            # sum_theta C^theta s  ==  (sum_theta C^theta) s
+            stacked = self.class_vectors.astype(np.int64).sum(axis=0)  # (C, P)
+            return s @ stacked.T
 
     def predict(self, levels: np.ndarray) -> np.ndarray:
         """Predicted labels (Eq. 4 argmax)."""

@@ -14,12 +14,20 @@ popcount adder trees do.
 Bit-exact equivalence with the integer path (`UniVSAArtifacts`) and the
 trained graph is enforced by tests — this engine doubles as the golden
 model for the cycle simulator in :mod:`repro.hw.simulator`.
+
+Every stage runs under a :func:`repro.obs.stage_timer` (``packed.dvp``,
+``packed.biconv``, ``packed.encode``, ``packed.similarity``) plus a
+``packed.samples`` counter; with the default null registry the
+instrumentation is a no-op branch.  The internal stages pack with
+``validate=False`` — their inputs are bipolar by construction, and the
+domain scan would otherwise dominate small-batch latency.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.obs import get_registry, stage_timer
 from repro.vsa.bitops import pack_bipolar, xnor_popcount
 
 from .export import UniVSAArtifacts
@@ -56,6 +64,7 @@ class BitPackedUniVSA:
         self._channels = channels
 
     # ------------------------------------------------------------------
+    @stage_timer("packed.biconv")
     def _conv_stage(self, volume: np.ndarray) -> np.ndarray:
         """Packed BiConv: volume (B, D_H, W, L) int8 -> bipolar (B, O, W, L)."""
         kernel = self.artifacts.kernel
@@ -80,7 +89,7 @@ class BitPackedUniVSA:
             writeable=False,
         )
         blocks = windows.transpose(0, 2, 3, 1, 4, 5).reshape(b, h * w, c * k * k)
-        packed, dim = pack_bipolar(blocks)
+        packed, dim = pack_bipolar(blocks, validate=False)
         matches = xnor_popcount(
             packed[:, :, None, :], self._kernel_packed[None, None, :, :], dim
         )  # (B, P, O)
@@ -91,18 +100,20 @@ class BitPackedUniVSA:
         bipolar = np.where(fires, 1, -1).astype(np.int8)
         return bipolar.transpose(0, 2, 1).reshape(b, -1, h, w)
 
+    @stage_timer("packed.encode")
     def _encode_stage(self, feature: np.ndarray) -> np.ndarray:
         """Packed encoding: (B, channels, W, L) -> bipolar s (B, P)."""
         b = feature.shape[0]
         flat = feature.reshape(b, self._channels, self.positions)
-        packed, dim = pack_bipolar(flat.transpose(0, 2, 1))  # (B, P, words)
+        packed, dim = pack_bipolar(flat.transpose(0, 2, 1), validate=False)  # (B, P, words)
         matches = xnor_popcount(packed, self._feature_packed[None], dim)
         accumulated = 2 * matches - dim
         return np.where(accumulated >= 0, 1, -1).astype(np.int8)
 
+    @stage_timer("packed.similarity")
     def _similarity_stage(self, s: np.ndarray) -> np.ndarray:
         """Packed soft voting: s (B, P) -> scores (B, n_classes)."""
-        packed, dim = pack_bipolar(s)
+        packed, dim = pack_bipolar(s, validate=False)
         matches = xnor_popcount(
             packed[:, None, None, :], self._class_packed[None], dim
         )  # (B, Theta, C)
@@ -112,7 +123,9 @@ class BitPackedUniVSA:
     # ------------------------------------------------------------------
     def encode(self, levels: np.ndarray) -> np.ndarray:
         """Levels (B, W, L) -> bipolar sample vectors (B, W*L)."""
-        volume = self.artifacts.value_volume(levels)
+        with stage_timer("packed.dvp"):
+            volume = self.artifacts.value_volume(levels)
+        get_registry().counter("packed.samples").add(volume.shape[0])
         if self._kernel_packed is not None:
             feature = self._conv_stage(volume)
         else:

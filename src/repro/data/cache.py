@@ -66,9 +66,12 @@ def load_cached(
     cache_dir = Path(cache_dir)
     cache_dir.mkdir(parents=True, exist_ok=True)
     benchmark = get_benchmark(name)
-    key_train = n_train or benchmark.default_train
-    key_test = n_test or benchmark.default_test
-    path = cache_dir / f"{name}-{key_train}-{key_test}-s{seed}.npz"
+    # `is None` (not truthiness): an explicit n_train=0 / n_test=0 is a
+    # real request, not "use the default".  The quantizer level count is
+    # part of the key so runs with different M never share an archive.
+    key_train = benchmark.default_train if n_train is None else n_train
+    key_test = benchmark.default_test if n_test is None else n_test
+    path = cache_dir / f"{name}-{key_train}-{key_test}-m{benchmark.levels}-s{seed}.npz"
     if path.exists():
         return load_benchmark_data(path)
     data = load(name, n_train=n_train, n_test=n_test, seed=seed)

@@ -106,8 +106,8 @@ def load(
     benchmark = get_benchmark(name)
     raw = generate_signal_task(
         benchmark.spec,
-        n_train=n_train or benchmark.default_train,
-        n_test=n_test or benchmark.default_test,
+        n_train=benchmark.default_train if n_train is None else n_train,
+        n_test=benchmark.default_test if n_test is None else n_test,
         seed=seed,
     )
     x_train, x_test, quantizer = quantize_dataset(

@@ -43,12 +43,14 @@ def inject_bit_flips(
         array = getattr(corrupted, group)
         if array is None:
             continue
-        flat = array.reshape(-1)
-        n_flips = int(round(flip_fraction * flat.size))
+        n_flips = int(round(flip_fraction * array.size))
         if n_flips == 0:
             continue
-        idx = rng.choice(flat.size, size=n_flips, replace=False)
-        flat[idx] = -flat[idx]
+        idx = rng.choice(array.size, size=n_flips, replace=False)
+        # array.flat writes through for any memory layout; reshape(-1)
+        # silently returns a copy for non-contiguous arrays and the
+        # flips would be lost.
+        array.flat[idx] = -array.flat[idx]
     return corrupted
 
 

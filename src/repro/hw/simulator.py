@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.export import UniVSAArtifacts
+from repro.obs import get_registry, stage_timer
 
 from .arch import HardwareSpec
 from .cycles import stage_cycles
@@ -123,6 +124,7 @@ class HardwareSimulator:
         unit_free = {stage: 0 for stage in _STAGE_ORDER}
         events: list[StageEvent] = []
         scores = np.zeros((n_samples, self.spec.n_classes), dtype=np.int64)
+        registry = get_registry()
         for k in range(n_samples):
             buffers: dict = {}
             ready = 0  # input sample available immediately
@@ -132,8 +134,14 @@ class HardwareSimulator:
                 events.append(StageEvent(stage, k, start, end))
                 unit_free[stage] = end
                 ready = end
-                self._stage_output(stage, levels[k], buffers)
+                with stage_timer(f"hwsim.{stage}"):
+                    self._stage_output(stage, levels[k], buffers)
             scores[k] = buffers["scores"][0]
+        registry.counter("hwsim.samples").add(n_samples)
+        # Modeled cycle counts next to the measured wall times, so an
+        # exporter can compare the cycle model against this host run.
+        for stage in _STAGE_ORDER:
+            registry.gauge(f"hwsim.modeled_cycles.{stage}").set(durations[stage])
         total = max(e.end_cycle for e in events) + durations["control"] if events else 0
         return SimulationResult(
             predictions=scores.argmax(axis=1),

@@ -1,0 +1,57 @@
+"""repro.obs — stage-level observability for the packed datapath.
+
+A dependency-free metrics registry (counters, gauges, latency histograms
+with p50/p95/p99), a ``stage_timer`` context manager / decorator, and
+exporters that turn registry state into JSON or text tables.
+
+The active registry defaults to :data:`NULL_REGISTRY`, whose instruments
+are shared no-ops — instrumented hot paths are zero-overhead until
+:func:`enable` (or :func:`using_registry`) installs a real
+:class:`MetricsRegistry`.  ``python -m repro profile <benchmark>`` and
+the benchmark harness are the two built-in consumers.
+"""
+
+from .export import (
+    render_stage_table,
+    snapshot,
+    stage_breakdown,
+    to_json,
+    write_json,
+)
+from .profile import ProfileReport, profile_benchmark
+from .registry import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    LatencyHistogram,
+    MetricsRegistry,
+    NullRegistry,
+    disable,
+    enable,
+    get_registry,
+    set_registry,
+    using_registry,
+)
+from .timers import stage_timer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "get_registry",
+    "set_registry",
+    "enable",
+    "disable",
+    "using_registry",
+    "stage_timer",
+    "snapshot",
+    "stage_breakdown",
+    "to_json",
+    "write_json",
+    "render_stage_table",
+    "ProfileReport",
+    "profile_benchmark",
+]

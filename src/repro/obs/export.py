@@ -1,0 +1,92 @@
+"""Exporters: registry state as plain dicts, JSON files, and text tables.
+
+The stage-share computation is the contract the profiler CLI and the
+benchmark harness rely on: for a histogram name prefix (``"packed."``,
+``"artifacts."``, ``"hwsim."``) the per-stage shares of total recorded
+wall time sum to 1.0.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Mapping
+
+from .registry import MetricsRegistry, NullRegistry
+
+__all__ = ["snapshot", "stage_breakdown", "to_json", "write_json", "render_stage_table"]
+
+
+def snapshot(registry: MetricsRegistry | NullRegistry) -> dict:
+    """Full registry state as a JSON-serializable dict."""
+    return {
+        "counters": {name: c.value for name, c in sorted(registry.counters().items())},
+        "gauges": {name: g.value for name, g in sorted(registry.gauges().items())},
+        "stages": {
+            name: h.summary() for name, h in sorted(registry.histograms().items())
+        },
+    }
+
+
+def stage_breakdown(
+    registry: MetricsRegistry | NullRegistry, prefix: str = ""
+) -> dict[str, dict[str, float]]:
+    """Per-stage timing summary for histograms under ``prefix``.
+
+    Each entry carries the histogram ``summary()`` plus ``share``, the
+    stage's fraction of the group's total recorded time; shares sum to
+    1.0 whenever any time was recorded.
+    """
+    groups = {
+        name: h.summary()
+        for name, h in sorted(registry.histograms().items())
+        if name.startswith(prefix)
+    }
+    total = sum(entry["total_s"] for entry in groups.values())
+    for entry in groups.values():
+        entry["share"] = entry["total_s"] / total if total > 0 else 0.0
+    return groups
+
+
+def to_json(registry: MetricsRegistry | NullRegistry, indent: int = 2) -> str:
+    """Registry snapshot rendered as a JSON string."""
+    return json.dumps(snapshot(registry), indent=indent, sort_keys=True)
+
+
+def write_json(
+    registry: MetricsRegistry | NullRegistry, path: str | os.PathLike
+) -> None:
+    """Write the registry snapshot to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_json(registry) + "\n")
+
+
+def render_stage_table(
+    breakdown: Mapping[str, Mapping[str, float]],
+    title: str = "stage latency",
+    strip_prefix: str = "",
+) -> str:
+    """Text table (stage / calls / total / share / p50 / p95 / p99)."""
+    from repro.utils.tables import render_table
+
+    rows = []
+    for name, entry in sorted(
+        breakdown.items(), key=lambda item: -item[1]["total_s"]
+    ):
+        label = name[len(strip_prefix):] if name.startswith(strip_prefix) else name
+        rows.append(
+            [
+                label,
+                str(int(entry["count"])),
+                f"{entry['total_s'] * 1e3:.3f}",
+                f"{entry.get('share', 0.0) * 100:.1f}%",
+                f"{entry['p50_s'] * 1e6:.1f}",
+                f"{entry['p95_s'] * 1e6:.1f}",
+                f"{entry['p99_s'] * 1e6:.1f}",
+            ]
+        )
+    return render_table(
+        ["stage", "calls", "total_ms", "share", "p50_us", "p95_us", "p99_us"],
+        rows,
+        title=title,
+    )

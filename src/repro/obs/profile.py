@@ -1,0 +1,257 @@
+"""Profiling driver: measure where wall time goes in the datapath.
+
+``profile_benchmark`` trains a small model on a registered benchmark,
+then drives every serving surface under an enabled metrics registry:
+
+* the packed XNOR/popcount engine (:class:`repro.core.BitPackedUniVSA`),
+  batch by batch, so the per-stage timers (DVP lookup, BiConv, encoding,
+  soft-voting similarity) accumulate real distributions;
+* the integer reference path (:class:`repro.core.UniVSAArtifacts`);
+* the streaming runtime (decision latency, decisions/sec);
+* the hardware cycle simulator, whose measured wall-time shares are
+  compared against the analytic cycle model of :mod:`repro.hw.cycles`
+  (the software analogue of the paper's Fig. 6 stage breakdown);
+* the ``pack_bipolar`` input-validation scan, measured on/off so the
+  saved time of the opt-out is recorded rather than asserted.
+
+This module is the engine behind ``python -m repro profile``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+
+import numpy as np
+
+from .export import render_stage_table, snapshot, stage_breakdown
+from .registry import MetricsRegistry, using_registry
+
+__all__ = ["ProfileReport", "profile_benchmark"]
+
+
+@dataclass
+class ProfileReport:
+    """Everything one profiling run measured."""
+
+    benchmark: str
+    n_train: int
+    n_test: int
+    accuracy: float
+    registry: MetricsRegistry = field(repr=False)
+    packed: dict = field(repr=False, default_factory=dict)
+    reference: dict = field(repr=False, default_factory=dict)
+    streaming: dict = field(default_factory=dict)
+    model_vs_measured: dict = field(default_factory=dict)
+    validation: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """JSON-serializable view (consumed by the CLI and the benches)."""
+        return {
+            "benchmark": self.benchmark,
+            "n_train": self.n_train,
+            "n_test": self.n_test,
+            "accuracy": self.accuracy,
+            "packed_stages": self.packed,
+            "reference_stages": self.reference,
+            "streaming": self.streaming,
+            "model_vs_measured": self.model_vs_measured,
+            "validation": self.validation,
+            "metrics": snapshot(self.registry),
+        }
+
+    def render(self) -> str:
+        """Human-readable multi-table report."""
+        from repro.utils.tables import render_kv, render_table
+
+        sections = [
+            render_kv(
+                {
+                    "benchmark": self.benchmark,
+                    "train / test samples": f"{self.n_train} / {self.n_test}",
+                    "packed accuracy": f"{self.accuracy:.4f}",
+                },
+                title="profile",
+            ),
+            render_stage_table(
+                self.packed,
+                title="packed datapath — stage latency (BitPackedUniVSA)",
+                strip_prefix="packed.",
+            ),
+            render_stage_table(
+                self.reference,
+                title="integer reference — stage latency (UniVSAArtifacts)",
+                strip_prefix="artifacts.",
+            ),
+            render_kv(
+                {
+                    "decisions": str(int(self.streaming.get("count", 0))),
+                    "decision p50": f"{self.streaming.get('p50_s', 0.0) * 1e3:.3f} ms",
+                    "decision p95": f"{self.streaming.get('p95_s', 0.0) * 1e3:.3f} ms",
+                    "decision p99": f"{self.streaming.get('p99_s', 0.0) * 1e3:.3f} ms",
+                    "decisions/sec": f"{self.streaming.get('decisions_per_s', 0.0):.1f}",
+                    "buffer occupancy": f"{self.streaming.get('buffer_occupancy', 0.0):.0f} frames",
+                },
+                title="streaming runtime — decision latency",
+            ),
+        ]
+        if self.model_vs_measured:
+            rows = [
+                [
+                    stage,
+                    str(entry["modeled_cycles"]),
+                    f"{entry['modeled_share'] * 100:.1f}%",
+                    f"{entry['measured_share'] * 100:.1f}%",
+                ]
+                for stage, entry in self.model_vs_measured.items()
+            ]
+            sections.append(
+                render_table(
+                    ["stage", "modeled_cycles", "modeled_share", "measured_share"],
+                    rows,
+                    title="cycle model vs measured wall time (hw simulator)",
+                )
+            )
+        if self.validation:
+            sections.append(
+                render_kv(
+                    {
+                        "pack with validation": f"{self.validation['validate_on_s'] * 1e3:.3f} ms",
+                        "pack without": f"{self.validation['validate_off_s'] * 1e3:.3f} ms",
+                        "saved per call": f"{self.validation['saved_s'] * 1e3:.3f} ms",
+                    },
+                    title="pack_bipolar validation scan (opt-out saving)",
+                )
+            )
+        return "\n\n".join(sections)
+
+
+def _measure_validation_saving(
+    registry: MetricsRegistry, volume: np.ndarray, repeats: int = 3
+) -> dict[str, float]:
+    """Time the pack_bipolar {-1,+1} scan on a representative block."""
+    from repro.vsa.bitops import pack_bipolar
+
+    blocks = volume.reshape(volume.shape[0], -1)
+    timings = {True: [], False: []}
+    for _ in range(repeats):
+        for validate in (True, False):
+            start = perf_counter()
+            pack_bipolar(blocks, validate=validate)
+            timings[validate].append(perf_counter() - start)
+    on = min(timings[True])
+    off = min(timings[False])
+    saved = max(on - off, 0.0)
+    registry.gauge("bitops.pack.validate_on_s").set(on)
+    registry.gauge("bitops.pack.validate_off_s").set(off)
+    registry.gauge("bitops.pack.validation_saved_s").set(saved)
+    return {"validate_on_s": on, "validate_off_s": off, "saved_s": saved}
+
+
+def profile_benchmark(
+    name: str,
+    n_train: int = 120,
+    n_test: int = 60,
+    epochs: int = 2,
+    seed: int = 0,
+    batch_size: int = 16,
+    hop: int | None = None,
+    sim_samples: int = 4,
+    registry: MetricsRegistry | None = None,
+) -> ProfileReport:
+    """Train a small model on ``name`` and profile every serving surface."""
+    from repro.core.inference import BitPackedUniVSA
+    from repro.core.pipeline import run_benchmark
+    from repro.data.registry import get_benchmark
+    from repro.hw.arch import HardwareSpec
+    from repro.hw.cycles import stage_cycles
+    from repro.hw.simulator import HardwareSimulator
+    from repro.runtime.stream import StreamingClassifier
+    from repro.utils.trainloop import TrainConfig
+
+    benchmark = get_benchmark(name)
+    registry = registry if registry is not None else MetricsRegistry()
+    with using_registry(registry):
+        run = run_benchmark(
+            name,
+            train_config=TrainConfig(
+                epochs=epochs,
+                lr=0.008,
+                seed=seed,
+                balance_classes=benchmark.spec.class_balance is not None,
+            ),
+            n_train=n_train,
+            n_test=n_test,
+            seed=seed,
+        )
+        data = run.data
+        engine = BitPackedUniVSA(run.artifacts)
+        predictions = []
+        for start in range(0, len(data.x_test), batch_size):
+            scores = engine.scores(data.x_test[start : start + batch_size])
+            predictions.append(scores.argmax(axis=1))
+        accuracy = float(
+            (np.concatenate(predictions) == data.y_test).mean()
+        ) if len(data.x_test) else 0.0
+
+        # Streaming runtime: replay a synthetic signal long enough to emit
+        # a handful of decisions past the fill point.
+        kwargs = {"hop": hop} if hop is not None else {}
+        stream = StreamingClassifier(run.artifacts, data.quantizer, **kwargs)
+        stream_hop = stream.hop
+        rng = np.random.default_rng(seed)
+        span = stream.window_span
+        signal = rng.uniform(
+            data.quantizer.low, data.quantizer.high, size=span + 8 * stream_hop
+        )
+        wall_start = perf_counter()
+        decisions = stream.push(signal)
+        wall = perf_counter() - wall_start
+        decision_summary = registry.histogram("stream.decision").summary()
+        streaming = dict(decision_summary)
+        streaming["decisions_per_s"] = len(decisions) / wall if wall > 0 else 0.0
+        streaming["buffer_occupancy"] = registry.gauge(
+            "stream.buffer_occupancy"
+        ).value
+
+        # Hardware simulator: measured wall shares vs the cycle model.
+        spec = HardwareSpec(
+            config=run.artifacts.config,
+            input_shape=run.artifacts.input_shape,
+            n_classes=run.artifacts.n_classes,
+        )
+        simulator = HardwareSimulator(run.artifacts, spec)
+        simulator.run(data.x_test[: max(sim_samples, 1)])
+        modeled = stage_cycles(spec).as_dict()
+        measured = stage_breakdown(registry, prefix="hwsim.")
+        compute_stages = ("dvp", "biconv", "encode", "similarity")
+        modeled_total = sum(modeled[s] for s in compute_stages)
+        measured_total = sum(
+            measured.get(f"hwsim.{s}", {}).get("total_s", 0.0)
+            for s in compute_stages
+        )
+        comparison = {}
+        for stage in compute_stages:
+            measured_s = measured.get(f"hwsim.{stage}", {}).get("total_s", 0.0)
+            comparison[stage] = {
+                "modeled_cycles": int(modeled[stage]),
+                "modeled_share": modeled[stage] / modeled_total if modeled_total else 0.0,
+                "measured_share": measured_s / measured_total if measured_total else 0.0,
+            }
+
+        validation = _measure_validation_saving(
+            registry, run.artifacts.value_volume(data.x_test[:batch_size])
+        )
+
+    return ProfileReport(
+        benchmark=name,
+        n_train=len(data.x_train),
+        n_test=len(data.x_test),
+        accuracy=accuracy,
+        registry=registry,
+        packed=stage_breakdown(registry, prefix="packed."),
+        reference=stage_breakdown(registry, prefix="artifacts."),
+        streaming=streaming,
+        model_vs_measured=comparison,
+        validation=validation,
+    )

@@ -1,0 +1,354 @@
+"""Dependency-free metrics registry: counters, gauges, latency histograms.
+
+The registry is the measurement substrate for the whole datapath: hot
+paths record into whatever registry is currently *active*.  By default
+the active registry is a :class:`NullRegistry` whose instruments are
+shared no-op singletons, so instrumented code pays only an attribute
+read and a branch when observability is off.  ``enable()`` swaps in a
+real :class:`MetricsRegistry`; the profiler and the benchmark harness do
+this around the code they measure.
+
+Everything here is pure stdlib (``threading`` + ``bisect``) — the
+registry must be importable from the innermost hot loops without
+dragging in anything heavier than what :mod:`repro.vsa.bitops` already
+needs.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import insort
+from contextlib import contextmanager
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "get_registry",
+    "set_registry",
+    "enable",
+    "disable",
+    "using_registry",
+]
+
+
+class Counter:
+    """Monotonic event counter (thread-safe)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def add(self, amount: int = 1) -> None:
+        """Increment by ``amount``."""
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        """Current count."""
+        return self._value
+
+
+class Gauge:
+    """Last-write-wins instantaneous value (thread-safe)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        """Most recently set value."""
+        return self._value
+
+
+class LatencyHistogram:
+    """Collection of duration observations with percentile queries.
+
+    Observations are kept in a sorted list (insertion via ``bisect``), so
+    percentiles are exact and O(1) to read.  A reservoir cap bounds
+    memory for very long runs; once full, new observations replace the
+    sample at their insertion rank, which keeps the tail percentiles
+    honest for the profiling durations this repo cares about.
+    """
+
+    __slots__ = ("name", "_sorted", "_count", "_total", "_lock", "_max_samples")
+
+    def __init__(self, name: str, max_samples: int = 65536) -> None:
+        self.name = name
+        self._sorted: list[float] = []
+        self._count = 0
+        self._total = 0.0
+        self._lock = threading.Lock()
+        self._max_samples = max_samples
+
+    def observe(self, seconds: float) -> None:
+        """Record one duration (in seconds)."""
+        value = float(seconds)
+        with self._lock:
+            self._count += 1
+            self._total += value
+            if len(self._sorted) < self._max_samples:
+                insort(self._sorted, value)
+            else:
+                # Replace the sample nearest the new value's rank.
+                index = min(
+                    self._rank_locked(value), len(self._sorted) - 1
+                )
+                self._sorted[index] = value
+
+    def _rank_locked(self, value: float) -> int:
+        low, high = 0, len(self._sorted)
+        while low < high:
+            mid = (low + high) // 2
+            if self._sorted[mid] < value:
+                low = mid + 1
+            else:
+                high = mid
+        return low
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return self._count
+
+    @property
+    def total_seconds(self) -> float:
+        """Sum of all observed durations."""
+        return self._total
+
+    @property
+    def mean_seconds(self) -> float:
+        """Mean observed duration (0.0 when empty)."""
+        return self._total / self._count if self._count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Exact q-th percentile (q in [0, 100]) with linear interpolation."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile expects q in [0, 100]")
+        with self._lock:
+            samples = list(self._sorted)
+        if not samples:
+            return 0.0
+        if len(samples) == 1:
+            return samples[0]
+        position = q / 100.0 * (len(samples) - 1)
+        lower = int(position)
+        upper = min(lower + 1, len(samples) - 1)
+        fraction = position - lower
+        return samples[lower] * (1.0 - fraction) + samples[upper] * fraction
+
+    def summary(self) -> dict[str, float]:
+        """Count / total / mean / p50 / p95 / p99 / max in one dict."""
+        with self._lock:
+            samples = list(self._sorted)
+            count = self._count
+            total = self._total
+        if not samples:
+            return {
+                "count": 0, "total_s": 0.0, "mean_s": 0.0,
+                "p50_s": 0.0, "p95_s": 0.0, "p99_s": 0.0, "max_s": 0.0,
+            }
+
+        def pct(q: float) -> float:
+            position = q / 100.0 * (len(samples) - 1)
+            lower = int(position)
+            upper = min(lower + 1, len(samples) - 1)
+            fraction = position - lower
+            return samples[lower] * (1.0 - fraction) + samples[upper] * fraction
+
+        return {
+            "count": count,
+            "total_s": total,
+            "mean_s": total / count,
+            "p50_s": pct(50),
+            "p95_s": pct(95),
+            "p99_s": pct(99),
+            "max_s": samples[-1],
+        }
+
+
+class MetricsRegistry:
+    """Named instrument store; instruments are created on first use."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, LatencyHistogram] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str) -> Counter:
+        """The counter named ``name`` (created on first use)."""
+        try:
+            return self._counters[name]
+        except KeyError:
+            with self._lock:
+                return self._counters.setdefault(name, Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named ``name`` (created on first use)."""
+        try:
+            return self._gauges[name]
+        except KeyError:
+            with self._lock:
+                return self._gauges.setdefault(name, Gauge(name))
+
+    def histogram(self, name: str) -> LatencyHistogram:
+        """The latency histogram named ``name`` (created on first use)."""
+        try:
+            return self._histograms[name]
+        except KeyError:
+            with self._lock:
+                return self._histograms.setdefault(name, LatencyHistogram(name))
+
+    # ------------------------------------------------------------------
+    def counters(self) -> dict[str, Counter]:
+        """Snapshot of the counter table."""
+        return dict(self._counters)
+
+    def gauges(self) -> dict[str, Gauge]:
+        """Snapshot of the gauge table."""
+        return dict(self._gauges)
+
+    def histograms(self) -> dict[str, LatencyHistogram]:
+        """Snapshot of the histogram table."""
+        return dict(self._histograms)
+
+    def reset(self) -> None:
+        """Drop every instrument (names included)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+class _NullCounter:
+    __slots__ = ()
+    name = "null"
+    value = 0
+
+    def add(self, amount: int = 1) -> None:  # noqa: D102 - no-op
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+    name = "null"
+    value = 0.0
+
+    def set(self, value: float) -> None:  # noqa: D102 - no-op
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+    name = "null"
+    count = 0
+    total_seconds = 0.0
+    mean_seconds = 0.0
+
+    def observe(self, seconds: float) -> None:  # noqa: D102 - no-op
+        pass
+
+    def percentile(self, q: float) -> float:  # noqa: D102 - no-op
+        return 0.0
+
+    def summary(self) -> dict[str, float]:  # noqa: D102 - no-op
+        return {
+            "count": 0, "total_s": 0.0, "mean_s": 0.0,
+            "p50_s": 0.0, "p95_s": 0.0, "p99_s": 0.0, "max_s": 0.0,
+        }
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullRegistry:
+    """Zero-overhead stand-in: every instrument is a shared no-op."""
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullCounter:
+        """The shared no-op counter."""
+        return _NULL_COUNTER
+
+    def gauge(self, name: str) -> _NullGauge:
+        """The shared no-op gauge."""
+        return _NULL_GAUGE
+
+    def histogram(self, name: str) -> _NullHistogram:
+        """The shared no-op histogram."""
+        return _NULL_HISTOGRAM
+
+    def counters(self) -> dict[str, Counter]:
+        """Always empty."""
+        return {}
+
+    def gauges(self) -> dict[str, Gauge]:
+        """Always empty."""
+        return {}
+
+    def histograms(self) -> dict[str, LatencyHistogram]:
+        """Always empty."""
+        return {}
+
+    def reset(self) -> None:
+        """No state to drop."""
+
+
+NULL_REGISTRY = NullRegistry()
+
+_active: MetricsRegistry | NullRegistry = NULL_REGISTRY
+
+
+def get_registry() -> MetricsRegistry | NullRegistry:
+    """The currently active registry (the null registry by default)."""
+    return _active
+
+
+def set_registry(registry: MetricsRegistry | NullRegistry) -> None:
+    """Install ``registry`` as the active one."""
+    global _active
+    _active = registry
+
+
+def enable(registry: MetricsRegistry | None = None) -> MetricsRegistry:
+    """Activate metrics collection; returns the now-active registry."""
+    active = registry if registry is not None else MetricsRegistry()
+    set_registry(active)
+    return active
+
+
+def disable() -> None:
+    """Restore the zero-overhead null registry."""
+    set_registry(NULL_REGISTRY)
+
+
+@contextmanager
+def using_registry(registry: MetricsRegistry | NullRegistry):
+    """Temporarily make ``registry`` the active one."""
+    previous = get_registry()
+    set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)

@@ -26,6 +26,7 @@ from repro.data.quantize import Quantizer
 from repro.data.windows import window_layout
 from repro.hw.arch import HardwareSpec
 from repro.hw.pipeline import pipeline_schedule
+from repro.obs import get_registry, stage_timer
 
 __all__ = ["StreamingDecision", "StreamingClassifier"]
 
@@ -47,8 +48,8 @@ class StreamingClassifier:
 
     ``artifacts`` is the deployed model; ``quantizer`` must be the one
     fitted on the training split.  The signal is consumed frame by frame
-    via :meth:`push`; decisions are emitted every ``hop`` frames once the
-    buffer holds a full window span.
+    via :meth:`push`; the first decision is emitted on the frame the
+    buffer first holds a full window span, then every ``hop`` frames.
     """
 
     artifacts: UniVSAArtifacts
@@ -60,8 +61,9 @@ class StreamingClassifier:
     _recent: deque = field(default_factory=deque, repr=False)
     _frames_seen: int = 0
     _span: int = field(default=0, repr=False)
-    _starts: np.ndarray = field(default=None, repr=False)
+    _starts: np.ndarray | None = field(default=None, repr=False)
     _latency_us: float = field(default=0.0, repr=False)
+    _filled_at: int | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.hop < 1:
@@ -98,11 +100,23 @@ class StreamingClassifier:
         for value in frames:
             self._buffer.append(float(value))
             self._frames_seen += 1
-            ready = len(self._buffer) == self._span
-            if ready and self._frames_seen % self.hop == 0:
+            if len(self._buffer) < self._span:
+                continue
+            # Anchor the emission grid at the frame the buffer first
+            # fills: decide immediately, then every ``hop`` frames.  A
+            # grid anchored at frame 0 would stay silent for up to
+            # hop-1 extra frames whenever span % hop != 0.
+            if self._filled_at is None:
+                self._filled_at = self._frames_seen
+            if (self._frames_seen - self._filled_at) % self.hop == 0:
                 decisions.append(self._classify())
+        registry = get_registry()
+        registry.counter("stream.frames").add(len(frames))
+        registry.counter("stream.decisions").add(len(decisions))
+        registry.gauge("stream.buffer_occupancy").set(len(self._buffer))
         return decisions
 
+    @stage_timer("stream.decision")
     def _classify(self) -> StreamingDecision:
         w, length = self.artifacts.input_shape
         signal = np.asarray(self._buffer)
@@ -127,3 +141,4 @@ class StreamingClassifier:
         self._buffer.clear()
         self._recent.clear()
         self._frames_seen = 0
+        self._filled_at = None

@@ -8,6 +8,7 @@ from typing import Callable
 import numpy as np
 
 from repro.nn import Adam, Module, Tensor, batch_iterator, cross_entropy, no_grad
+from repro.obs import get_registry, stage_timer
 
 __all__ = ["TrainConfig", "TrainHistory", "fit_classifier", "evaluate_classifier"]
 
@@ -68,22 +69,26 @@ def fit_classifier(
         counts = np.bincount(np.asarray(y_train))
         class_weights = counts.sum() / np.maximum(counts, 1) / len(counts)
     model.train()
+    registry = get_registry()
     for epoch in range(config.epochs):
         epoch_loss = 0.0
         epoch_correct = 0
         count = 0
-        for xb, yb in batch_iterator(
-            x_train, y_train, config.batch_size, shuffle=True, rng=rng
-        ):
-            inputs = preprocess(xb) if preprocess else xb
-            optimizer.zero_grad()
-            logits = model(Tensor(inputs))
-            loss = cross_entropy(logits, yb, class_weights=class_weights)
-            loss.backward()
-            optimizer.step()
-            epoch_loss += loss.item() * len(xb)
-            epoch_correct += int((logits.data.argmax(axis=1) == yb).sum())
-            count += len(xb)
+        with stage_timer("train.epoch"):
+            for xb, yb in batch_iterator(
+                x_train, y_train, config.batch_size, shuffle=True, rng=rng
+            ):
+                inputs = preprocess(xb) if preprocess else xb
+                optimizer.zero_grad()
+                logits = model(Tensor(inputs))
+                loss = cross_entropy(logits, yb, class_weights=class_weights)
+                loss.backward()
+                optimizer.step()
+                epoch_loss += loss.item() * len(xb)
+                epoch_correct += int((logits.data.argmax(axis=1) == yb).sum())
+                count += len(xb)
+        registry.counter("train.epochs").add(1)
+        registry.counter("train.samples").add(count)
         history.losses.append(epoch_loss / count)
         history.accuracies.append(epoch_correct / count)
         if config.verbose:

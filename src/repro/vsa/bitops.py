@@ -23,15 +23,20 @@ _WORD_BITS = 64
 _POP16 = np.array([bin(i).count("1") for i in range(1 << 16)], dtype=np.uint8)
 
 
-def pack_bipolar(vectors: np.ndarray) -> tuple[np.ndarray, int]:
+def pack_bipolar(vectors: np.ndarray, validate: bool = True) -> tuple[np.ndarray, int]:
     """Pack bipolar {-1,+1} vectors (..., D) into uint64 words (..., W).
 
     Returns (packed, D).  Bit order: element ``d`` of a vector lives in word
     ``d // 64`` at bit position ``d % 64``.  Padding bits are 0 and are
     excluded from distances via the returned dimension.
+
+    ``validate`` guards the O(N) {-1,+1} domain scan.  It defaults on for
+    the public API, but callers that produce provably bipolar inputs (the
+    packed inference stages) pass ``validate=False`` — the scan would
+    otherwise run on every conv/encode/similarity call in the hot path.
     """
     vectors = np.asarray(vectors)
-    if vectors.size and not np.isin(vectors, (-1, 1)).all():
+    if validate and vectors.size and not np.isin(vectors, (-1, 1)).all():
         raise ValueError("pack_bipolar expects entries in {-1, +1}")
     dim = vectors.shape[-1]
     n_words = (dim + _WORD_BITS - 1) // _WORD_BITS

@@ -54,3 +54,19 @@ class TestLoadCached:
         cached = load_cached("har", tmp_path, n_train=25, n_test=10, seed=4)
         direct = load("har", n_train=25, n_test=10, seed=4)
         np.testing.assert_array_equal(cached.x_test, direct.x_test)
+
+    def test_explicit_zero_n_test_is_not_the_default(self, tmp_path):
+        """Regression: ``n_test or default`` treated an explicit 0 as
+        "use default" — both in the cache key and the generated data."""
+        data = load_cached("bci-iii-v", tmp_path, n_train=20, n_test=0, seed=0)
+        assert len(data.x_test) == 0
+        assert len(data.x_train) == 20
+        (path,) = tmp_path.glob("*.npz")
+        assert "-20-0-" in path.name
+
+    def test_cache_key_includes_quantizer_levels(self, tmp_path):
+        """Regression: two benchmarks differing only in level count must
+        not collide on one archive, so M is part of the filename."""
+        data = load_cached("bci-iii-v", tmp_path, n_train=20, n_test=10, seed=0)
+        (path,) = tmp_path.glob("*.npz")
+        assert f"-m{data.benchmark.levels}-" in path.name

@@ -72,6 +72,22 @@ class TestInjection:
             corrupted.class_vectors, -artifacts.class_vectors
         )
 
+    def test_non_contiguous_memory_still_flipped(self, fitted):
+        """Regression: ``reshape(-1)`` returns a *copy* for non-contiguous
+        arrays, so flips written to it were silently lost."""
+        artifacts, _, _ = fitted
+        import copy as copy_module
+
+        transposed = copy_module.deepcopy(artifacts)
+        # Rebuild C from a transposed (F-ordered) buffer: same values,
+        # non-C-contiguous memory — exactly what a sliced/permuted
+        # artifact hands to the injector.
+        transposed.class_vectors = np.asfortranarray(artifacts.class_vectors)
+        assert not transposed.class_vectors.flags["C_CONTIGUOUS"]
+        corrupted = inject_bit_flips(transposed, 0.25, groups=("class_vectors",), seed=0)
+        flips = (corrupted.class_vectors != artifacts.class_vectors).sum()
+        assert flips == round(0.25 * artifacts.class_vectors.size)
+
 
 class TestSweep:
     def test_graceful_degradation(self, fitted):

@@ -13,7 +13,7 @@ class TestParser:
 
     def test_all_subcommands_registered(self):
         parser = build_parser()
-        for command in ("info", "train", "evaluate", "hw", "search"):
+        for command in ("info", "train", "evaluate", "hw", "search", "profile"):
             args = parser.parse_args(
                 [command] + (["x", "y"] if command == "evaluate" else ["eegmmi"] if command != "info" else [])
             )

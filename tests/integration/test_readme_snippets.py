@@ -48,6 +48,25 @@ class TestLowLevelSnippet:
         assert (tmp_path / "eegmmi_model.npz").exists()
 
 
+class TestObservabilitySnippet:
+    def test_using_registry_stage_breakdown_surface(self):
+        from repro.core import BitPackedUniVSA, UniVSAConfig, UniVSAModel
+        from repro.core.export import extract_artifacts
+        from repro.obs import MetricsRegistry, stage_breakdown, using_registry
+
+        config = UniVSAConfig(
+            d_high=4, d_low=2, kernel_size=3, out_channels=6, voters=1, levels=16
+        )
+        artifacts = extract_artifacts(UniVSAModel((4, 8), 2, config, seed=0))
+        engine = BitPackedUniVSA(artifacts)
+        x = np.random.default_rng(0).integers(0, 16, size=(6, 4, 8))
+        with using_registry(MetricsRegistry()) as registry:
+            engine.predict(x)
+        breakdown = stage_breakdown(registry, prefix="packed.")
+        assert breakdown
+        assert sum(e["share"] for e in breakdown.values()) == pytest.approx(1.0)
+
+
 class TestReproducingCommands:
     def test_fast_env_knobs_documented_names(self, monkeypatch):
         # The env names in the README must be the ones conftest reads.

@@ -107,3 +107,30 @@ class TestStreaming:
         for _ in range(stream.window_span):
             out = stream.push(1.5)
         assert out  # last push lands exactly at buffer-full + hop boundary
+
+    def test_first_decision_on_fill_when_span_not_hop_aligned(self, deployed):
+        """Regression: with window_span % hop != 0 the frame-0-anchored
+        emit gate stayed silent for up to hop-1 frames after the buffer
+        filled; the first decision must land on the fill frame."""
+        artifacts, quantizer = deployed
+        stream = StreamingClassifier(artifacts, quantizer, hop=7)
+        assert stream.window_span % 7 != 0  # the regression's precondition
+        decisions = stream.push(np.zeros(stream.window_span))
+        assert len(decisions) == 1
+        assert decisions[0].frame_index == stream.window_span - 1
+
+    def test_hop_cadence_anchored_at_fill(self, deployed):
+        artifacts, quantizer = deployed
+        stream = StreamingClassifier(artifacts, quantizer, hop=7)
+        decisions = stream.push(np.zeros(stream.window_span + 21))
+        frames = [d.frame_index for d in decisions]
+        span = stream.window_span
+        assert frames == [span - 1, span + 6, span + 13, span + 20]
+
+    def test_fill_anchor_cleared_by_reset(self, deployed):
+        artifacts, quantizer = deployed
+        stream = StreamingClassifier(artifacts, quantizer, hop=7)
+        stream.push(np.zeros(stream.window_span + 3))
+        stream.reset()
+        decisions = stream.push(np.zeros(stream.window_span))
+        assert len(decisions) == 1

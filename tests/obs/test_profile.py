@@ -1,0 +1,109 @@
+"""Tests for the profiling driver and the ``repro profile`` CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import NULL_REGISTRY, get_registry, profile_benchmark
+
+N_TRAIN, N_TEST = 40, 20
+
+
+@pytest.fixture(scope="module")
+def report():
+    return profile_benchmark(
+        "bci-iii-v", n_train=N_TRAIN, n_test=N_TEST, epochs=1, batch_size=8
+    )
+
+
+class TestProfileBenchmark:
+    def test_packed_stage_shares_sum_to_one(self, report):
+        shares = [entry["share"] for entry in report.packed.values()]
+        assert sum(shares) == pytest.approx(1.0, abs=1e-9)
+        assert set(report.packed) >= {
+            "packed.dvp", "packed.biconv", "packed.encode", "packed.similarity"
+        }
+
+    def test_reference_stage_shares_sum_to_one(self, report):
+        shares = [entry["share"] for entry in report.reference.values()]
+        assert sum(shares) == pytest.approx(1.0, abs=1e-9)
+
+    def test_streaming_decisions_recorded(self, report):
+        assert report.streaming["count"] >= 1
+        assert report.streaming["p50_s"] > 0
+        assert report.streaming["p99_s"] >= report.streaming["p50_s"]
+        assert report.streaming["decisions_per_s"] > 0
+
+    def test_model_vs_measured_shares(self, report):
+        comparison = report.model_vs_measured
+        assert set(comparison) == {"dvp", "biconv", "encode", "similarity"}
+        assert sum(e["modeled_share"] for e in comparison.values()) == pytest.approx(1.0)
+        assert sum(e["measured_share"] for e in comparison.values()) == pytest.approx(1.0)
+        # The paper's Fig. 6 headline holds in the cycle model.
+        assert max(comparison, key=lambda s: comparison[s]["modeled_share"]) == "biconv"
+
+    def test_validation_saving_measured(self, report):
+        assert report.validation["validate_on_s"] >= report.validation["validate_off_s"]
+        assert report.validation["saved_s"] >= 0.0
+
+    def test_sample_counters(self, report):
+        assert report.registry.counter("packed.samples").value == N_TEST
+        assert report.registry.counter("train.epochs").value == 1
+        assert report.registry.histogram("train.epoch").count == 1
+
+    def test_registry_restored_to_null(self, report):
+        assert get_registry() is NULL_REGISTRY
+
+    def test_render_mentions_every_surface(self, report):
+        text = report.render()
+        for token in ("biconv", "encode", "similarity", "decision p95", "modeled_share"):
+            assert token in text
+
+    def test_as_dict_is_json_serializable(self, report):
+        state = json.loads(json.dumps(report.as_dict()))
+        assert state["benchmark"] == "bci-iii-v"
+        assert state["packed_stages"]
+        assert state["metrics"]["stages"]
+
+
+class TestProfileCli:
+    def test_cli_prints_table_and_writes_json(self, tmp_path, capsys):
+        from repro.cli import main
+
+        json_path = tmp_path / "profile.json"
+        code = main(
+            [
+                "profile", "bci-iii-v",
+                "--n-train", "30", "--n-test", "16",
+                "--epochs", "1", "--batch-size", "8",
+                "--json", str(json_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for token in ("biconv", "encode", "similarity", "decision p50", "share"):
+            assert token in out
+        state = json.loads(json_path.read_text())
+        shares = [e["share"] for e in state["packed_stages"].values()]
+        assert sum(shares) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestZeroOverheadEquivalence:
+    def test_packed_results_identical_with_and_without_registry(self):
+        from repro.core import UniVSAConfig, UniVSAModel, extract_artifacts
+        from repro.core.inference import BitPackedUniVSA
+        from repro.obs import MetricsRegistry, using_registry
+
+        config = UniVSAConfig(
+            d_high=4, d_low=2, kernel_size=3, out_channels=6, voters=2, levels=16
+        )
+        artifacts = extract_artifacts(UniVSAModel((6, 8), 3, config, seed=0))
+        engine = BitPackedUniVSA(artifacts)
+        x = np.random.default_rng(0).integers(0, 16, size=(10, 6, 8))
+        disabled_scores = engine.scores(x)  # null registry active
+        with using_registry(MetricsRegistry()) as registry:
+            enabled_scores = engine.scores(x)
+        np.testing.assert_array_equal(disabled_scores, enabled_scores)
+        assert registry.histogram("packed.biconv").count == 1
+        assert registry.counter("packed.samples").value == 10

@@ -1,0 +1,257 @@
+"""Tests for the observability registry, timers, and exporters."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    NULL_REGISTRY,
+    LatencyHistogram,
+    MetricsRegistry,
+    NullRegistry,
+    disable,
+    enable,
+    get_registry,
+    render_stage_table,
+    snapshot,
+    stage_breakdown,
+    stage_timer,
+    to_json,
+    using_registry,
+)
+
+
+class TestCounter:
+    def test_add_and_value(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("a")
+        counter.add()
+        counter.add(4)
+        assert counter.value == 5
+
+    def test_same_name_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.counter("a") is not registry.counter("b")
+
+    def test_thread_safety(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("contended")
+        n_threads, per_thread = 8, 2000
+
+        def work():
+            for _ in range(per_thread):
+                counter.add()
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == n_threads * per_thread
+
+    def test_concurrent_instrument_creation(self):
+        registry = MetricsRegistry()
+        seen = []
+
+        def work(i):
+            seen.append(registry.counter(f"c{i % 4}"))
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(32)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(registry.counters()) == 4
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(3)
+        gauge.set(7.5)
+        assert gauge.value == 7.5
+
+
+class TestHistogram:
+    def test_percentiles_exact(self):
+        h = LatencyHistogram("t")
+        for value in range(1, 101):  # 1..100
+            h.observe(float(value))
+        assert h.count == 100
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 100.0
+        assert h.percentile(50) == pytest.approx(50.5)
+        assert h.percentile(95) == pytest.approx(95.05)
+        assert h.percentile(99) == pytest.approx(99.01)
+
+    def test_summary_fields(self):
+        h = LatencyHistogram("t")
+        for value in (0.1, 0.2, 0.3):
+            h.observe(value)
+        summary = h.summary()
+        assert summary["count"] == 3
+        assert summary["total_s"] == pytest.approx(0.6)
+        assert summary["mean_s"] == pytest.approx(0.2)
+        assert summary["p50_s"] == pytest.approx(0.2)
+        assert summary["max_s"] == pytest.approx(0.3)
+
+    def test_empty_histogram(self):
+        h = LatencyHistogram("t")
+        assert h.percentile(50) == 0.0
+        assert h.summary()["count"] == 0
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram("t").percentile(101)
+
+    def test_reservoir_cap_keeps_order(self):
+        h = LatencyHistogram("t", max_samples=8)
+        for value in range(100):
+            h.observe(float(value))
+        assert h.count == 100
+        assert h.total_seconds == pytest.approx(sum(range(100)))
+        assert h._sorted == sorted(h._sorted)
+
+    def test_observe_thread_safety(self):
+        h = LatencyHistogram("t")
+
+        def work():
+            for i in range(500):
+                h.observe(i * 1e-6)
+
+        threads = [threading.Thread(target=work) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert h.count == 3000
+        assert h._sorted == sorted(h._sorted)
+
+
+class TestActiveRegistry:
+    def test_default_is_null(self):
+        assert get_registry() is NULL_REGISTRY
+        assert not get_registry().enabled
+
+    def test_enable_disable(self):
+        registry = enable()
+        try:
+            assert get_registry() is registry
+            assert registry.enabled
+        finally:
+            disable()
+        assert get_registry() is NULL_REGISTRY
+
+    def test_using_registry_restores(self):
+        registry = MetricsRegistry()
+        with using_registry(registry):
+            assert get_registry() is registry
+        assert get_registry() is NULL_REGISTRY
+
+    def test_using_registry_restores_on_error(self):
+        registry = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with using_registry(registry):
+                raise RuntimeError("boom")
+        assert get_registry() is NULL_REGISTRY
+
+
+class TestNullRegistry:
+    def test_instruments_are_shared_noops(self):
+        null = NullRegistry()
+        assert null.counter("a") is null.counter("b")
+        null.counter("a").add(5)
+        assert null.counter("a").value == 0
+        null.gauge("g").set(3)
+        assert null.gauge("g").value == 0.0
+        null.histogram("h").observe(1.0)
+        assert null.histogram("h").count == 0
+        assert null.counters() == {} and null.histograms() == {}
+
+    def test_timer_takes_no_clock_reading_when_disabled(self, monkeypatch):
+        """The zero-overhead path: no perf_counter call under the null
+        registry — and therefore no histogram state anywhere."""
+
+        def boom():
+            raise AssertionError("perf_counter read on the disabled path")
+
+        monkeypatch.setattr("repro.obs.timers.perf_counter", boom)
+        with stage_timer("stage.x"):
+            pass  # must not raise
+
+    def test_timer_records_when_enabled(self):
+        with using_registry(MetricsRegistry()) as registry:
+            with stage_timer("stage.x"):
+                pass
+        assert registry.histogram("stage.x").count == 1
+        assert registry.histogram("stage.x").total_seconds >= 0.0
+
+
+class TestStageTimer:
+    def test_decorator_form(self):
+        @stage_timer("stage.decorated")
+        def add(a, b):
+            return a + b
+
+        with using_registry(MetricsRegistry()) as registry:
+            assert add(2, 3) == 5
+            assert add(1, 1) == 2
+        assert registry.histogram("stage.decorated").count == 2
+
+    def test_decorator_respects_registry_at_call_time(self):
+        @stage_timer("stage.late")
+        def noop():
+            return None
+
+        noop()  # null registry active: nothing recorded anywhere
+        with using_registry(MetricsRegistry()) as registry:
+            noop()
+        assert registry.histogram("stage.late").count == 1
+
+    def test_exception_still_recorded(self):
+        with using_registry(MetricsRegistry()) as registry:
+            with pytest.raises(ValueError):
+                with stage_timer("stage.err"):
+                    raise ValueError("boom")
+        assert registry.histogram("stage.err").count == 1
+
+
+class TestExport:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.counter("samples").add(12)
+        registry.gauge("depth").set(4.0)
+        registry.histogram("packed.conv").observe(0.3)
+        registry.histogram("packed.encode").observe(0.1)
+        registry.histogram("other.stage").observe(9.0)
+        return registry
+
+    def test_snapshot_structure(self):
+        state = snapshot(self._registry())
+        assert state["counters"] == {"samples": 12}
+        assert state["gauges"] == {"depth": 4.0}
+        assert state["stages"]["packed.conv"]["count"] == 1
+
+    def test_stage_breakdown_shares_sum_to_one(self):
+        breakdown = stage_breakdown(self._registry(), prefix="packed.")
+        assert set(breakdown) == {"packed.conv", "packed.encode"}
+        assert sum(e["share"] for e in breakdown.values()) == pytest.approx(1.0)
+        assert breakdown["packed.conv"]["share"] == pytest.approx(0.75)
+
+    def test_to_json_round_trips(self):
+        state = json.loads(to_json(self._registry()))
+        assert state["counters"]["samples"] == 12
+
+    def test_render_stage_table(self):
+        table = render_stage_table(
+            stage_breakdown(self._registry(), prefix="packed."),
+            title="stages",
+            strip_prefix="packed.",
+        )
+        assert "conv" in table and "share" in table and "p95_us" in table
+
+    def test_empty_breakdown(self):
+        assert stage_breakdown(MetricsRegistry(), prefix="nope.") == {}

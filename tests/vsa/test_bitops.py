@@ -37,6 +37,21 @@ class TestPacking:
         with pytest.raises(ValueError):
             pack_bipolar(np.array([0, 1, -1]))
 
+    def test_validation_opt_out(self):
+        """The public API validates by default; internal hot-path callers
+        opt out and the O(N) domain scan must actually be skipped."""
+        v = _random_bipolar((4, 100))
+        on, d_on = pack_bipolar(v, validate=True)
+        off, d_off = pack_bipolar(v, validate=False)
+        np.testing.assert_array_equal(on, off)
+        assert d_on == d_off == 100
+        # Skipped scan: non-bipolar entries no longer raise (they pack as
+        # sign bits), proving the scan is gone from the validate=False path.
+        packed, _ = pack_bipolar(np.array([0, 2, -3]), validate=False)
+        np.testing.assert_array_equal(
+            packed, pack_bipolar(np.array([-1, 1, -1]))[0]
+        )
+
     def test_single_vector(self):
         v = _random_bipolar(70)
         packed, dim = pack_bipolar(v)
