@@ -2,7 +2,11 @@
 
 Every bench writes its paper-style table to ``benchmarks/results/`` (the
 artifacts EXPERIMENTS.md records) and also times a representative kernel
-through pytest-benchmark.
+through pytest-benchmark.  Each ``write_result`` call additionally
+appends one run record to ``benchmarks/results/ledger.jsonl`` (config
+hash, git rev, budget env, metrics, per-bench stage breakdown), and the
+session teardown folds the ledger into ``BENCH_<task>.json`` trajectory
+files — the inputs of ``python -m repro obs compare``.
 
 Budget knobs (environment variables):
 
@@ -55,34 +59,55 @@ def results_dir() -> Path:
 
 @pytest.fixture(scope="session", autouse=True)
 def obs_registry():
-    """Collect stage metrics for the whole bench session.
+    """Collect stage metrics for the bench session, one bench at a time.
 
     Every instrumented hot path (packed engine, integer reference,
-    streaming runtime, trainer, hw simulator) records into this registry;
-    ``write_result`` snapshots it next to each rendered table.
+    streaming runtime, trainer, hw simulator) records into this registry.
+    ``write_result`` snapshots it next to each rendered table and then
+    *resets* it, so consecutive sidecars hold disjoint per-bench stage
+    totals instead of a session-cumulative smear (timings of the shared
+    session fixtures land in whichever bench triggers their creation).
+    At session end the run ledger is folded into ``BENCH_<task>.json``
+    trajectory files.
     """
-    from repro.obs import disable, enable
+    from repro.obs import Ledger, disable, enable, write_trajectories
 
     registry = enable()
     yield registry
     disable()
+    ledger = Ledger(RESULTS_DIR / "ledger.jsonl")
+    if ledger.path.exists():
+        write_trajectories(ledger, RESULTS_DIR)
 
 
-def write_result(results_dir: Path, name: str, content: str) -> None:
+def write_result(
+    results_dir: Path, name: str, content: str, metrics: dict | None = None
+) -> None:
     """Persist a rendered table and echo it for terminal runs with -s.
 
     When the observability registry is active (it is for bench sessions,
     via the ``obs_registry`` fixture) a machine-readable stage breakdown
-    is written next to the text table as ``<name>.profile.json``.
+    is written next to the text table as ``<name>.profile.json``, one run
+    record (kind ``bench``, task = the result stem, plus any ``metrics``
+    the bench hands over) is appended to the session ledger, and the
+    registry is reset so the next bench starts from zero.
     """
     path = results_dir / name
     path.write_text(content + "\n")
     print(f"\n{content}\n[written to {path}]")
-    from repro.obs import get_registry, write_json
+    from repro.obs import get_registry, record_run, write_json
 
     registry = get_registry()
     if registry.enabled:
         write_json(registry, path.with_name(path.stem + ".profile.json"))
+        record_run(
+            "bench",
+            path.stem,
+            metrics=metrics,
+            registry=registry,
+            ledger_path=results_dir / "ledger.jsonl",
+        )
+        registry.reset()
 
 
 @pytest.fixture(scope="session")

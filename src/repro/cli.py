@@ -1,4 +1,5 @@
-"""Command-line interface: train / evaluate / hw / search / profile / info.
+"""Command-line interface: train / evaluate / hw / search / profile /
+trace / obs / info.
 
     python -m repro info
     python -m repro train isolet --epochs 12 --out isolet.npz
@@ -6,11 +7,19 @@
     python -m repro hw har
     python -m repro search bci-iii-v --generations 3
     python -m repro profile bci-iii-v --json bci.profile.json
+    python -m repro trace bci-iii-v --samples 4 --jsonl bci.traces.jsonl
+    python -m repro obs compare --task bci-iii-v --baseline prev
+
+Training, search, and profile runs append one record to the run ledger
+(``benchmarks/results/ledger.jsonl`` by default; ``--ledger PATH`` or
+``REPRO_LEDGER`` overrides, ``--no-ledger`` opts out), which is what
+``repro obs compare`` gates on.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -23,6 +32,34 @@ from repro.utils.tables import render_kv, render_table
 from repro.utils.trainloop import TrainConfig
 
 __all__ = ["main", "build_parser"]
+
+
+def _ledger_path(args: argparse.Namespace):
+    """Resolve the run-ledger path (None = ledger disabled)."""
+    if getattr(args, "no_ledger", False):
+        return None
+    explicit = getattr(args, "ledger", None)
+    return explicit or os.environ.get("REPRO_LEDGER") or None
+
+
+def _append_ledger(args: argparse.Namespace, kind: str, task: str, **kwargs) -> None:
+    """Append one run record unless --no-ledger was passed."""
+    if getattr(args, "no_ledger", False):
+        return
+    from repro.obs import record_run
+
+    record = record_run(kind, task, ledger_path=_ledger_path(args), **kwargs)
+    print(f"ledger: appended {record.run_id} (config {record.config_hash})")
+
+
+def _add_ledger_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--ledger",
+        help="run-ledger JSONL path (default benchmarks/results/ledger.jsonl)",
+    )
+    parser.add_argument(
+        "--no-ledger", action="store_true", help="skip the run-ledger append"
+    )
 
 
 def _parse_config(text: str | None, benchmark) -> UniVSAConfig | None:
@@ -56,14 +93,17 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.obs import MetricsRegistry, using_registry
+
     benchmark = get_benchmark(args.benchmark)
     config = _parse_config(args.config, benchmark)
-    run = run_benchmark(
-        args.benchmark,
-        config=config,
-        train_config=TrainConfig(epochs=args.epochs, lr=args.lr, seed=args.seed),
-        seed=args.seed,
-    )
+    with using_registry(MetricsRegistry()) as registry:
+        run = run_benchmark(
+            args.benchmark,
+            config=config,
+            train_config=TrainConfig(epochs=args.epochs, lr=args.lr, seed=args.seed),
+            seed=args.seed,
+        )
     print(render_kv(
         {
             "benchmark": run.name,
@@ -77,6 +117,18 @@ def _cmd_train(args: argparse.Namespace) -> int:
     if args.out:
         run.artifacts.save(args.out)
         print(f"artifacts written to {args.out}")
+    _append_ledger(
+        args,
+        "train",
+        run.name,
+        config=run.config,
+        metrics={
+            "accuracy": run.accuracy,
+            "train_accuracy": run.train_accuracy,
+            "memory_kb": run.memory_kb,
+        },
+        registry=registry,
+    )
     return 0
 
 
@@ -132,6 +184,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
         evolutionary_search,
     )
 
+    from repro.obs import MetricsRegistry, using_registry
+
     benchmark = get_benchmark(args.benchmark)
     data = load(args.benchmark, seed=args.seed)
     split = int(0.75 * len(data.x_train))
@@ -144,13 +198,14 @@ def _cmd_search(args: argparse.Namespace) -> int:
         epochs=args.proxy_epochs,
     )
     objective = CodesignObjective(proxy, benchmark.input_shape, benchmark.n_classes)
-    result = evolutionary_search(
-        objective,
-        SearchSpace(),
-        EvolutionConfig(
-            population=args.population, generations=args.generations, seed=args.seed
-        ),
-    )
+    with using_registry(MetricsRegistry()) as registry:
+        result = evolutionary_search(
+            objective,
+            SearchSpace(),
+            EvolutionConfig(
+                population=args.population, generations=args.generations, seed=args.seed
+            ),
+        )
     parts = objective.breakdown(result.best_config)
     print(render_kv(
         {
@@ -163,6 +218,19 @@ def _cmd_search(args: argparse.Namespace) -> int:
         },
         title=f"co-design search — {args.benchmark}",
     ))
+    _append_ledger(
+        args,
+        "search",
+        args.benchmark,
+        config=result.best_config,
+        metrics={
+            "proxy_accuracy": parts["accuracy"],
+            "penalty": parts["penalty"],
+            "objective": parts["objective"],
+            "configs_evaluated": float(len(result.evaluated)),
+        },
+        registry=registry,
+    )
     return 0
 
 
@@ -186,6 +254,145 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         json.dump(report.as_dict(), handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"\nstage breakdown JSON written to {json_path}")
+    _append_ledger(
+        args,
+        "profile",
+        args.benchmark,
+        config=report.config,
+        metrics={"accuracy": report.accuracy},
+        registry=report.registry,
+    )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Trace end-to-end classifications and render the span trees."""
+    import numpy as np
+
+    from repro.core.inference import BitPackedUniVSA
+    from repro.hw.arch import HardwareSpec
+    from repro.hw.simulator import HardwareSimulator
+    from repro.obs import (
+        MetricsRegistry,
+        Tracer,
+        render_trace_tree,
+        using_registry,
+        using_tracer,
+        write_traces_jsonl,
+    )
+    from repro.runtime.stream import StreamingClassifier
+
+    benchmark = get_benchmark(args.benchmark)
+    train_config = TrainConfig(
+        epochs=args.epochs,
+        lr=0.008,
+        seed=args.seed,
+        balance_classes=benchmark.spec.class_balance is not None,
+    )
+    run = run_benchmark(
+        args.benchmark,
+        train_config=train_config,
+        n_train=args.n_train,
+        n_test=args.n_test,
+        seed=args.seed,
+    )
+    engine = BitPackedUniVSA(run.artifacts)
+    n = max(1, min(args.samples, len(run.data.x_test)))
+    tracer = Tracer(sample_rate=args.sample_rate)
+    with using_tracer(tracer), using_registry(MetricsRegistry()):
+        # Packed datapath: one trace per classified sample.
+        for i in range(n):
+            engine.scores(run.data.x_test[i : i + 1])
+        # Hardware simulator: same samples, spans annotated with the
+        # cycle model's predictions (modeled vs measured side by side).
+        spec = HardwareSpec(
+            config=run.artifacts.config,
+            input_shape=run.artifacts.input_shape,
+            n_classes=run.artifacts.n_classes,
+        )
+        HardwareSimulator(run.artifacts, spec).run(run.data.x_test[:n])
+        # Streaming runtime: push enough signal for one decision.
+        stream = StreamingClassifier(run.artifacts, run.data.quantizer)
+        rng = np.random.default_rng(args.seed)
+        stream.push(
+            rng.uniform(
+                run.data.quantizer.low,
+                run.data.quantizer.high,
+                size=stream.window_span,
+            )
+        )
+    traces = tracer.to_dicts()
+    if not traces:
+        print("no traces captured (sampling rate too low?)")
+        return 1
+    # Render the slowest trace of each root kind.
+    by_root: dict[str, dict] = {}
+    for trace in traces:
+        best = by_root.get(trace["root"])
+        if best is None or trace["duration_s"] > best["duration_s"]:
+            by_root[trace["root"]] = trace
+    for root in sorted(by_root):
+        print(render_trace_tree(by_root[root]))
+        print()
+    print(
+        f"{len(traces)} trace(s) captured "
+        f"({tracer.dropped_roots} dropped by sampling)"
+    )
+    if args.jsonl:
+        count = write_traces_jsonl(traces, args.jsonl)
+        print(f"{count} trace(s) written to {args.jsonl}")
+    return 0
+
+
+def _cmd_obs_compare(args: argparse.Namespace) -> int:
+    """Diff the latest ledger run against a baseline; nonzero on regression."""
+    import json
+    from pathlib import Path
+
+    from repro.obs import (
+        DEFAULT_LEDGER_PATH,
+        Ledger,
+        RunRecord,
+        compare_records,
+        write_trajectories,
+    )
+
+    ledger = Ledger(args.ledger or os.environ.get("REPRO_LEDGER") or DEFAULT_LEDGER_PATH)
+    current = ledger.latest(task=args.task, kind=args.kind)
+    if current is None:
+        print(f"no ledger records match (ledger={ledger.path}, task={args.task})")
+        return 2
+    out_dir = Path(args.trajectories) if args.trajectories else ledger.path.parent
+    written = write_trajectories(ledger, out_dir)
+    for path in written:
+        print(f"trajectory written to {path}")
+    if args.baseline == "prev":
+        baseline = ledger.latest(task=current.task, kind=args.kind, offset=1)
+        if baseline is None:
+            print(
+                f"no previous run for task {current.task!r} — "
+                "recorded baseline only, nothing to compare"
+            )
+            return 0
+    else:
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            baseline = RunRecord.from_dict(json.load(handle))
+    report = compare_records(
+        current,
+        baseline,
+        max_accuracy_drop=args.max_accuracy_drop,
+        max_p95_regression=args.max_p95_regression,
+    )
+    print(report.render())
+    if report.regressed:
+        for check in report.failures():
+            print(
+                f"REGRESSION: {check.name} ({check.kind}) "
+                f"current={check.current:.6g} limit={check.limit:.6g} "
+                f"baseline={check.baseline:.6g}"
+            )
+        return 1
+    print("no regressions")
     return 0
 
 
@@ -213,6 +420,7 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--lr", type=float, default=0.008)
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--out", help="write artifacts (.npz)")
+    _add_ledger_flags(train)
     train.set_defaults(func=_cmd_train)
 
     evaluate = sub.add_parser("evaluate", help="evaluate saved artifacts")
@@ -232,6 +440,7 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--generations", type=int, default=4)
     search.add_argument("--proxy-epochs", type=int, default=3)
     search.add_argument("--seed", type=int, default=0)
+    _add_ledger_flags(search)
     search.set_defaults(func=_cmd_search)
 
     profile = sub.add_parser(
@@ -245,7 +454,65 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--hop", type=int, default=None, help="streaming hop (frames)")
     profile.add_argument("--seed", type=int, default=0)
     profile.add_argument("--json", help="stage-breakdown JSON path (default <benchmark>-profile.json)")
+    _add_ledger_flags(profile)
     profile.set_defaults(func=_cmd_profile)
+
+    trace = sub.add_parser(
+        "trace",
+        help="span-tree traces of end-to-end classifications "
+        "(packed engine, hw simulator with modeled cycles, streaming)",
+    )
+    trace.add_argument("benchmark")
+    trace.add_argument("--samples", type=int, default=4, help="samples to trace")
+    trace.add_argument(
+        "--sample-rate",
+        type=float,
+        default=1.0,
+        help="fraction of requests traced (deterministic, default 1.0)",
+    )
+    trace.add_argument("--n-train", type=int, default=120)
+    trace.add_argument("--n-test", type=int, default=60)
+    trace.add_argument("--epochs", type=int, default=2)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--jsonl", help="write captured traces as JSONL")
+    trace.set_defaults(func=_cmd_trace)
+
+    obs = sub.add_parser(
+        "obs", help="run-ledger maintenance (compare runs, emit trajectories)"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    compare = obs_sub.add_parser(
+        "compare",
+        help="diff the latest ledger run against a baseline; "
+        "exit 1 on accuracy or p95 latency regression",
+    )
+    compare.add_argument(
+        "--ledger", help="ledger JSONL path (default benchmarks/results/ledger.jsonl)"
+    )
+    compare.add_argument("--task", help="task to compare (default: any latest)")
+    compare.add_argument("--kind", help="restrict to a run kind (bench/profile/...)")
+    compare.add_argument(
+        "--baseline",
+        default="prev",
+        help="'prev' (previous ledger entry for the task) or a record JSON path",
+    )
+    compare.add_argument(
+        "--max-accuracy-drop",
+        type=float,
+        default=0.02,
+        help="largest tolerated absolute accuracy drop (default 0.02)",
+    )
+    compare.add_argument(
+        "--max-p95-regression",
+        type=float,
+        default=0.5,
+        help="largest tolerated relative p95 latency increase (0.5 = +50%%)",
+    )
+    compare.add_argument(
+        "--trajectories",
+        help="directory for BENCH_<task>.json files (default: ledger directory)",
+    )
+    compare.set_defaults(func=_cmd_obs_compare)
 
     report = sub.add_parser(
         "report", help="assemble benchmarks/results into one markdown report"

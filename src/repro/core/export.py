@@ -14,13 +14,31 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.obs import get_registry, stage_timer
+from repro.obs import MARGIN_HISTOGRAM, annotate_span, get_registry, stage_timer, trace_span
 from repro.vsa.hypervector import sign_bipolar
 
 from .config import UniVSAConfig
 from .model import UniVSAModel
 
-__all__ = ["UniVSAArtifacts", "extract_artifacts"]
+__all__ = ["UniVSAArtifacts", "extract_artifacts", "record_soft_vote_margins"]
+
+
+def record_soft_vote_margins(scores: np.ndarray) -> None:
+    """Record per-sample top1−top2 soft-vote score gaps.
+
+    The gap is the decision's confidence margin; its distribution is what
+    the run ledger summarizes.  Lands in the ``quality.soft_vote_margin``
+    histogram — outside the stage namespaces, so stage shares stay pure
+    wall time.  No-op (beyond one branch) under the null registry.
+    """
+    registry = get_registry()
+    if not registry.enabled or scores.shape[-1] < 2:
+        return
+    part = np.partition(scores, scores.shape[-1] - 2, axis=-1)
+    margins = part[..., -1] - part[..., -2]
+    histogram = registry.histogram(MARGIN_HISTOGRAM)
+    for value in np.ravel(margins):
+        histogram.observe(float(value))
 
 
 def _int_conv2d_same(
@@ -128,11 +146,15 @@ class UniVSAArtifacts:
 
     def scores(self, levels: np.ndarray) -> np.ndarray:
         """Soft-voting similarity scores (B, n_classes), Eq. 4 numerator."""
-        s = self.encode(levels).astype(np.int64)
-        with stage_timer("artifacts.similarity"):
-            # sum_theta C^theta s  ==  (sum_theta C^theta) s
-            stacked = self.class_vectors.astype(np.int64).sum(axis=0)  # (C, P)
-            return s @ stacked.T
+        with trace_span("artifacts.classify"):
+            s = self.encode(levels).astype(np.int64)
+            with stage_timer("artifacts.similarity"):
+                # sum_theta C^theta s  ==  (sum_theta C^theta) s
+                stacked = self.class_vectors.astype(np.int64).sum(axis=0)  # (C, P)
+                scores = s @ stacked.T
+            record_soft_vote_margins(scores)
+            annotate_span(batch=scores.shape[0])
+            return scores
 
     def predict(self, levels: np.ndarray) -> np.ndarray:
         """Predicted labels (Eq. 4 argmax)."""

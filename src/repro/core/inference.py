@@ -18,7 +18,10 @@ model for the cycle simulator in :mod:`repro.hw.simulator`.
 Every stage runs under a :func:`repro.obs.stage_timer` (``packed.dvp``,
 ``packed.biconv``, ``packed.encode``, ``packed.similarity``) plus a
 ``packed.samples`` counter; with the default null registry the
-instrumentation is a no-op branch.  The internal stages pack with
+instrumentation is a no-op branch.  ``scores()`` opens a
+``packed.classify`` trace root, so with a tracer active one call becomes
+a full span tree and the soft-vote margins land in the
+``quality.soft_vote_margin`` histogram.  The internal stages pack with
 ``validate=False`` — their inputs are bipolar by construction, and the
 domain scan would otherwise dominate small-batch latency.
 """
@@ -27,10 +30,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.obs import get_registry, stage_timer
+from repro.obs import annotate_span, get_registry, stage_timer, trace_span
 from repro.vsa.bitops import pack_bipolar, xnor_popcount
 
-from .export import UniVSAArtifacts
+from .export import UniVSAArtifacts, record_soft_vote_margins
 
 __all__ = ["BitPackedUniVSA"]
 
@@ -134,7 +137,11 @@ class BitPackedUniVSA:
 
     def scores(self, levels: np.ndarray) -> np.ndarray:
         """Soft-voting class scores (B, n_classes)."""
-        return self._similarity_stage(self.encode(levels))
+        with trace_span("packed.classify"):
+            scores = self._similarity_stage(self.encode(levels))
+            record_soft_vote_margins(scores)
+            annotate_span(batch=scores.shape[0])
+            return scores
 
     def predict(self, levels: np.ndarray) -> np.ndarray:
         """Predicted labels via the packed datapath."""

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.export import UniVSAArtifacts
-from repro.obs import get_registry, stage_timer
+from repro.obs import annotate_span, get_registry, stage_timer, trace_span
 
 from .arch import HardwareSpec
 from .cycles import stage_cycles
@@ -128,14 +128,23 @@ class HardwareSimulator:
         for k in range(n_samples):
             buffers: dict = {}
             ready = 0  # input sample available immediately
-            for stage in _STAGE_ORDER:
-                start = max(ready, unit_free[stage])
-                end = start + durations[stage]
-                events.append(StageEvent(stage, k, start, end))
-                unit_free[stage] = end
-                ready = end
-                with stage_timer(f"hwsim.{stage}"):
-                    self._stage_output(stage, levels[k], buffers)
+            with trace_span("hwsim.sample", sample=k):
+                for stage in _STAGE_ORDER:
+                    start = max(ready, unit_free[stage])
+                    end = start + durations[stage]
+                    events.append(StageEvent(stage, k, start, end))
+                    unit_free[stage] = end
+                    ready = end
+                    with stage_timer(f"hwsim.{stage}"):
+                        # Annotate the open span with the cycle model's
+                        # prediction for this very stage execution, so a
+                        # rendered trace shows modeled next to measured.
+                        annotate_span(
+                            modeled_cycles=durations[stage],
+                            start_cycle=start,
+                            end_cycle=end,
+                        )
+                        self._stage_output(stage, levels[k], buffers)
             scores[k] = buffers["scores"][0]
         registry.counter("hwsim.samples").add(n_samples)
         # Modeled cycle counts next to the measured wall times, so an

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import stage_timer
 from repro.utils.trainloop import TrainConfig, TrainHistory, fit_classifier
 
 from .model import LDCArtifacts, LDCModel, extract_artifacts
@@ -44,7 +45,8 @@ def train_ldc(
         hidden=hidden,
         seed=config.seed,
     )
-    history = fit_classifier(
-        model, x_flat, np.asarray(y_train), config, preprocess=model.preprocess
-    )
+    with stage_timer("ldc.train"):
+        history = fit_classifier(
+            model, x_flat, np.asarray(y_train), config, preprocess=model.preprocess
+        )
     return LDCResult(model=model, artifacts=extract_artifacts(model), history=history)

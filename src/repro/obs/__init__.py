@@ -1,14 +1,30 @@
-"""repro.obs — stage-level observability for the packed datapath.
+"""repro.obs — observability for the packed datapath, end to end.
 
-A dependency-free metrics registry (counters, gauges, latency histograms
-with p50/p95/p99), a ``stage_timer`` context manager / decorator, and
-exporters that turn registry state into JSON or text tables.
+Three layers, all dependency-free and all zero-overhead until enabled:
 
-The active registry defaults to :data:`NULL_REGISTRY`, whose instruments
-are shared no-ops — instrumented hot paths are zero-overhead until
-:func:`enable` (or :func:`using_registry`) installs a real
-:class:`MetricsRegistry`.  ``python -m repro profile <benchmark>`` and
-the benchmark harness are the two built-in consumers.
+* **Metrics** (:mod:`.registry`, :mod:`.timers`, :mod:`.export`): a
+  registry of counters, gauges, and latency histograms with p50/p95/p99,
+  recorded by ``stage_timer`` sites throughout the datapath, exported as
+  JSON or text tables.
+* **Traces** (:mod:`.trace`): span trees covering one classification
+  end-to-end — every ``stage_timer`` site doubles as a child span, with
+  explicit roots around packed ``scores()``, streaming decisions, and
+  simulated hardware samples (the latter annotated with modeled cycles
+  so a trace shows the cycle model next to measured wall time).
+  Deterministic sampling, JSONL export, rendered span trees flagging the
+  slowest path (``python -m repro trace``).
+* **Ledger** (:mod:`.ledger`): every benchmark/profile/train/search run
+  appends one record (config + hash, git rev, budget env, accuracy,
+  stage breakdown, soft-vote margins) to
+  ``benchmarks/results/ledger.jsonl``; ``python -m repro obs compare``
+  diffs the latest run against a baseline with per-metric thresholds and
+  folds the ledger into ``BENCH_<task>.json`` trajectory files.
+
+The active registry and tracer default to :data:`NULL_REGISTRY` /
+:data:`NULL_TRACER`, whose instruments are shared no-ops — instrumented
+hot paths take no clock readings and make no allocations until
+:func:`enable` / :func:`enable_tracing` (or the ``using_*`` context
+managers) install real collectors.
 """
 
 from .export import (
@@ -17,6 +33,20 @@ from .export import (
     stage_breakdown,
     to_json,
     write_json,
+)
+from .ledger import (
+    DEFAULT_LEDGER_PATH,
+    MARGIN_HISTOGRAM,
+    ComparisonReport,
+    Ledger,
+    MetricCheck,
+    RunRecord,
+    budget_env,
+    compare_records,
+    config_hash,
+    git_rev,
+    record_run,
+    write_trajectories,
 )
 from .profile import ProfileReport, profile_benchmark
 from .registry import (
@@ -33,6 +63,24 @@ from .registry import (
     using_registry,
 )
 from .timers import stage_timer
+from .trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    annotate_span,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    read_traces_jsonl,
+    render_trace_tree,
+    set_tracer,
+    slowest_path,
+    trace_span,
+    trace_to_dict,
+    using_tracer,
+    write_traces_jsonl,
+)
 
 __all__ = [
     "Counter",
@@ -54,4 +102,34 @@ __all__ = [
     "render_stage_table",
     "ProfileReport",
     "profile_benchmark",
+    # tracing
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "enable_tracing",
+    "disable_tracing",
+    "using_tracer",
+    "trace_span",
+    "annotate_span",
+    "trace_to_dict",
+    "write_traces_jsonl",
+    "read_traces_jsonl",
+    "render_trace_tree",
+    "slowest_path",
+    # ledger
+    "DEFAULT_LEDGER_PATH",
+    "MARGIN_HISTOGRAM",
+    "RunRecord",
+    "Ledger",
+    "config_hash",
+    "git_rev",
+    "budget_env",
+    "record_run",
+    "MetricCheck",
+    "ComparisonReport",
+    "compare_records",
+    "write_trajectories",
 ]

@@ -28,19 +28,32 @@ def snapshot(registry: MetricsRegistry | NullRegistry) -> dict:
     }
 
 
+def _in_namespace(name: str, prefix: str) -> bool:
+    """Dotted-namespace membership: ``"packed"`` (or ``"packed."``)
+    matches ``packed.x`` and ``packed`` itself but never ``packed_ref.x``
+    — a raw ``startswith`` would capture sibling namespaces whenever the
+    trailing dot is omitted."""
+    if not prefix:
+        return True
+    namespace = prefix.rstrip(".")
+    return name == namespace or name.startswith(namespace + ".")
+
+
 def stage_breakdown(
     registry: MetricsRegistry | NullRegistry, prefix: str = ""
 ) -> dict[str, dict[str, float]]:
-    """Per-stage timing summary for histograms under ``prefix``.
+    """Per-stage timing summary for histograms in the ``prefix`` namespace.
 
-    Each entry carries the histogram ``summary()`` plus ``share``, the
-    stage's fraction of the group's total recorded time; shares sum to
-    1.0 whenever any time was recorded.
+    ``prefix`` is a dotted namespace (``"packed."`` and ``"packed"`` are
+    equivalent), not a raw string prefix.  Each entry carries the
+    histogram ``summary()`` plus ``share``, the stage's fraction of the
+    group's total recorded time; shares sum to 1.0 whenever any time was
+    recorded.
     """
     groups = {
         name: h.summary()
         for name, h in sorted(registry.histograms().items())
-        if name.startswith(prefix)
+        if _in_namespace(name, prefix)
     }
     total = sum(entry["total_s"] for entry in groups.values())
     for entry in groups.values():

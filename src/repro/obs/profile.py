@@ -44,6 +44,7 @@ class ProfileReport:
     streaming: dict = field(default_factory=dict)
     model_vs_measured: dict = field(default_factory=dict)
     validation: dict = field(default_factory=dict)
+    config: object = None  # the run's UniVSAConfig (ledger provenance)
 
     def as_dict(self) -> dict:
         """JSON-serializable view (consumed by the CLI and the benches)."""
@@ -254,4 +255,5 @@ def profile_benchmark(
         streaming=streaming,
         model_vs_measured=comparison,
         validation=validation,
+        config=run.config,
     )

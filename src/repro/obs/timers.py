@@ -2,8 +2,11 @@
 
 ``stage_timer("packed.biconv")`` wraps a datapath stage; the elapsed wall
 time lands in the active registry's latency histogram of that name.  When
-the null registry is active the timer takes neither a clock reading nor a
-histogram lookup — the hot path pays one attribute read and a branch.
+a tracer is active (``repro.obs.trace``) the same block also becomes a
+child span of whatever span is currently open, so the stage timers double
+as the skeleton of request-level traces.  When both the null registry and
+the null tracer are active the timer takes neither a clock reading nor a
+histogram lookup — the hot path pays two attribute reads and branches.
 """
 
 from __future__ import annotations
@@ -13,12 +16,13 @@ from time import perf_counter
 from typing import Callable
 
 from .registry import get_registry
+from .trace import get_tracer
 
 __all__ = ["stage_timer"]
 
 
 class stage_timer:
-    """Time a named stage into the active registry.
+    """Time a named stage into the active registry (and active trace).
 
     Usable both ways::
 
@@ -28,29 +32,43 @@ class stage_timer:
         @stage_timer("train.epoch")
         def run_epoch(...): ...
 
-    The registry is looked up at ``__enter__`` (not construction), so a
-    timer object or decorated function respects whatever registry is
-    active at call time.
+    The registry and tracer are looked up at ``__enter__`` (not
+    construction), so a timer object or decorated function respects
+    whatever registry/tracer is active at call time.
     """
 
-    __slots__ = ("name", "_registry", "_start")
+    __slots__ = ("name", "_registry", "_tracer", "_span", "_start")
 
     def __init__(self, name: str) -> None:
         self.name = name
 
     def __enter__(self) -> "stage_timer":
         registry = get_registry()
-        if registry.enabled:
-            self._registry = registry
-            self._start = perf_counter()
+        tracer = get_tracer()
+        self._registry = registry if registry.enabled else None
+        if tracer.enabled:
+            self._tracer = tracer
+            self._span = tracer.open_span(self.name)
         else:
-            self._registry = None
+            self._tracer = None
+            self._span = None
+        if self._registry is not None or self._span is not None:
+            self._start = perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         registry = self._registry
-        if registry is not None:
-            registry.histogram(self.name).observe(perf_counter() - self._start)
+        span = self._span
+        if registry is not None or span is not None:
+            end = perf_counter()
+            if registry is not None:
+                registry.histogram(self.name).observe(end - self._start)
+            if span is not None:
+                self._tracer.close_span(span, self._start, end)
+                return False
+        if self._tracer is not None:
+            # Tracer active but this subtree unsampled: balance the stack.
+            self._tracer.close_span(None, 0.0, 0.0)
         return False
 
     def __call__(self, func: Callable) -> Callable:

@@ -1,0 +1,442 @@
+"""Request-level tracing: span trees over one classification end-to-end.
+
+A *trace* is the tree of timed spans one request produced — a packed
+``scores()`` call, one streaming decision, or one simulated hardware
+sample.  Spans nest by runtime call structure: every
+:class:`repro.obs.timers.stage_timer` site becomes a child span of
+whatever span is open on the current thread, so the existing stage
+instrumentation (``packed.*``, ``artifacts.*``, ``hwsim.*``,
+``stream.decision``) doubles as the trace skeleton; explicit
+:class:`trace_span` blocks add roots and request-level attributes
+(batch size, soft-vote margin, modeled cycles).
+
+The discipline matches the metrics registry exactly: the active tracer
+defaults to :data:`NULL_TRACER`, and while it is active an instrumented
+path pays one attribute read and a branch — no clock readings, no
+allocations.  ``enable_tracing()`` / ``using_tracer(...)`` install a
+real :class:`Tracer`, whose ``sample_rate`` decides deterministically
+(a rate accumulator, no RNG) which *root* spans are recorded; children
+always follow their root's decision, so a trace is either complete or
+absent.
+
+Traces export to JSONL (one trace per line) and render as an indented
+tree in which the slowest child chain from the root — the critical
+path — is flagged.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import deque
+from contextlib import contextmanager
+from time import perf_counter
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "enable_tracing",
+    "disable_tracing",
+    "using_tracer",
+    "trace_span",
+    "annotate_span",
+    "trace_to_dict",
+    "write_traces_jsonl",
+    "read_traces_jsonl",
+    "render_trace_tree",
+    "slowest_path",
+]
+
+
+class Span:
+    """One timed operation inside a trace."""
+
+    __slots__ = ("name", "trace_id", "span_id", "parent_id", "start_s", "end_s", "attrs")
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: int,
+        span_id: int,
+        parent_id: int | None,
+    ) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_s = 0.0
+        self.end_s = 0.0
+        self.attrs: dict | None = None
+
+    @property
+    def duration_s(self) -> float:
+        """Elapsed wall time of the span."""
+        return self.end_s - self.start_s
+
+    def as_dict(self) -> dict:
+        """JSON-serializable view."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "duration_s": self.duration_s,
+            "attrs": dict(self.attrs) if self.attrs else {},
+        }
+
+
+class Tracer:
+    """Collects span trees; thread-safe, bounded, deterministically sampled.
+
+    ``sample_rate`` is the fraction of root spans recorded (1.0 = every
+    request).  The decision is made per root with a rate accumulator, so
+    a rate of 0.25 records exactly every 4th root — reproducible runs
+    stay reproducible.  ``max_traces`` bounds memory: the oldest finished
+    traces are dropped first.
+    """
+
+    enabled = True
+
+    def __init__(self, sample_rate: float = 1.0, max_traces: int = 512) -> None:
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError("sample_rate must be in [0, 1]")
+        self.sample_rate = sample_rate
+        self._finished: deque[list[Span]] = deque(maxlen=max_traces)
+        self._open: dict[int, list[Span]] = {}
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._next_trace = 0
+        self._next_span = 0
+        self._sample_acc = 0.0
+        self._dropped_roots = 0
+
+    # -- span lifecycle (drives come from stage_timer / trace_span) ----
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def open_span(self, name: str, attrs: dict | None = None) -> Span | None:
+        """Start a span under the current one; ``None`` when unsampled.
+
+        The caller owns the clock: pass start/end to :meth:`close_span`.
+        A ``None`` entry is still pushed for unsampled roots (and their
+        descendants) so enter/exit pairs stay balanced.
+        """
+        stack = self._stack()
+        if stack:
+            parent = stack[-1]
+            if parent is None:
+                stack.append(None)
+                return None
+            with self._lock:
+                span_id = self._next_span
+                self._next_span += 1
+            span = Span(name, parent.trace_id, span_id, parent.span_id)
+            with self._lock:
+                self._open[span.trace_id].append(span)
+        else:
+            with self._lock:
+                self._sample_acc += self.sample_rate
+                sampled = self._sample_acc >= 1.0 - 1e-12
+                if sampled:
+                    self._sample_acc -= 1.0
+                else:
+                    self._dropped_roots += 1
+                    stack.append(None)
+                    return None
+                trace_id = self._next_trace
+                self._next_trace += 1
+                span_id = self._next_span
+                self._next_span += 1
+                span = Span(name, trace_id, span_id, None)
+                self._open[trace_id] = [span]
+        if attrs:
+            span.attrs = dict(attrs)
+        stack.append(span)
+        return span
+
+    def close_span(self, span: Span | None, start_s: float, end_s: float) -> None:
+        """Finish ``span`` (or pop an unsampled placeholder)."""
+        stack = self._stack()
+        if stack:
+            stack.pop()
+        if span is None:
+            return
+        span.start_s = start_s
+        span.end_s = end_s
+        if span.parent_id is None:  # root closed: the trace is complete
+            with self._lock:
+                spans = self._open.pop(span.trace_id, None)
+                if spans is not None:
+                    self._finished.append(spans)
+
+    def annotate(self, **attrs) -> None:
+        """Attach attributes to the innermost open span (no-op outside one)."""
+        stack = self._stack()
+        if not stack or stack[-1] is None:
+            return
+        span = stack[-1]
+        if span.attrs is None:
+            span.attrs = {}
+        span.attrs.update(attrs)
+
+    def current_span(self) -> Span | None:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # -- queries -------------------------------------------------------
+    def traces(self) -> list[list[Span]]:
+        """Finished traces, oldest first (each a list of spans, root first)."""
+        with self._lock:
+            return [list(spans) for spans in self._finished]
+
+    @property
+    def dropped_roots(self) -> int:
+        """Root spans skipped by sampling."""
+        return self._dropped_roots
+
+    def to_dicts(self) -> list[dict]:
+        """Finished traces as JSON-serializable dicts."""
+        return [trace_to_dict(spans) for spans in self.traces()]
+
+    def reset(self) -> None:
+        """Drop all finished traces and the sampling state."""
+        with self._lock:
+            self._finished.clear()
+            self._open.clear()
+            self._sample_acc = 0.0
+            self._dropped_roots = 0
+
+
+class NullTracer:
+    """Zero-overhead stand-in active by default."""
+
+    enabled = False
+    sample_rate = 0.0
+    dropped_roots = 0
+
+    def open_span(self, name: str, attrs: dict | None = None) -> None:
+        """Never samples."""
+        return None
+
+    def close_span(self, span, start_s: float, end_s: float) -> None:
+        """No state to finish."""
+
+    def annotate(self, **attrs) -> None:
+        """No span to annotate."""
+
+    def current_span(self) -> None:
+        """No open span."""
+        return None
+
+    def traces(self) -> list:
+        """Always empty."""
+        return []
+
+    def to_dicts(self) -> list:
+        """Always empty."""
+        return []
+
+    def reset(self) -> None:
+        """No state to drop."""
+
+
+NULL_TRACER = NullTracer()
+
+_active: Tracer | NullTracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer | NullTracer:
+    """The currently active tracer (the null tracer by default)."""
+    return _active
+
+
+def set_tracer(tracer: Tracer | NullTracer) -> None:
+    """Install ``tracer`` as the active one."""
+    global _active
+    _active = tracer
+
+
+def enable_tracing(tracer: Tracer | None = None) -> Tracer:
+    """Activate tracing; returns the now-active tracer."""
+    active = tracer if tracer is not None else Tracer()
+    set_tracer(active)
+    return active
+
+
+def disable_tracing() -> None:
+    """Restore the zero-overhead null tracer."""
+    set_tracer(NULL_TRACER)
+
+
+@contextmanager
+def using_tracer(tracer: Tracer | NullTracer):
+    """Temporarily make ``tracer`` the active one."""
+    previous = get_tracer()
+    set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+
+
+class trace_span:
+    """Open a span for the ``with`` body (usually a trace root).
+
+    Mirrors ``stage_timer``'s discipline: the tracer is looked up at
+    ``__enter__``, and with the null tracer active (or the root
+    unsampled) no clock is read.
+    """
+
+    __slots__ = ("name", "_attrs", "_tracer", "_span", "_start")
+
+    def __init__(self, name: str, **attrs) -> None:
+        self.name = name
+        self._attrs = attrs or None
+
+    def __enter__(self) -> "trace_span":
+        tracer = get_tracer()
+        if tracer.enabled:
+            self._tracer = tracer
+            self._span = tracer.open_span(self.name, self._attrs)
+            if self._span is not None:
+                self._start = perf_counter()
+        else:
+            self._tracer = None
+            self._span = None
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        tracer = self._tracer
+        if tracer is not None:
+            span = self._span
+            if span is not None:
+                tracer.close_span(span, self._start, perf_counter())
+            else:
+                tracer.close_span(None, 0.0, 0.0)
+        return False
+
+
+def annotate_span(**attrs) -> None:
+    """Attach attributes to the innermost open span of the active tracer."""
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.annotate(**attrs)
+
+
+# ---------------------------------------------------------------------------
+# export / import / rendering
+# ---------------------------------------------------------------------------
+def trace_to_dict(spans: list[Span]) -> dict:
+    """One finished trace as a JSON-serializable dict (root first)."""
+    root = spans[0]
+    return {
+        "trace_id": root.trace_id,
+        "root": root.name,
+        "duration_s": root.duration_s,
+        "spans": [span.as_dict() for span in spans],
+    }
+
+
+def write_traces_jsonl(
+    traces: Tracer | list[dict], path: str | os.PathLike
+) -> int:
+    """Write traces (a tracer or pre-built dicts) as JSONL; returns count."""
+    payload = traces.to_dicts() if isinstance(traces, (Tracer, NullTracer)) else traces
+    with open(path, "w", encoding="utf-8") as handle:
+        for trace in payload:
+            handle.write(json.dumps(trace, sort_keys=True) + "\n")
+    return len(payload)
+
+
+def read_traces_jsonl(path: str | os.PathLike) -> list[dict]:
+    """Read traces written by :func:`write_traces_jsonl`."""
+    traces = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                traces.append(json.loads(line))
+    return traces
+
+
+def _children_index(trace: dict) -> dict:
+    children: dict = {}
+    for span in trace["spans"]:
+        children.setdefault(span["parent_id"], []).append(span)
+    for siblings in children.values():
+        siblings.sort(key=lambda s: s["start_s"])
+    return children
+
+
+def slowest_path(trace: dict) -> list[int]:
+    """Span ids on the critical chain: from the root, always descend into
+    the slowest child."""
+    children = _children_index(trace)
+    root = children.get(None, [None])[0]
+    if root is None:
+        return []
+    path = [root["span_id"]]
+    node = root
+    while True:
+        below = children.get(node["span_id"])
+        if not below:
+            return path
+        node = max(below, key=lambda s: s["duration_s"])
+        path.append(node["span_id"])
+
+
+def _format_attrs(attrs: dict) -> str:
+    if not attrs:
+        return ""
+    parts = []
+    if "modeled_cycles" in attrs:
+        parts.append(f"modeled={int(attrs['modeled_cycles'])} cyc")
+    for key in sorted(attrs):
+        if key == "modeled_cycles":
+            continue
+        value = attrs[key]
+        if isinstance(value, float):
+            parts.append(f"{key}={value:.4g}")
+        else:
+            parts.append(f"{key}={value}")
+    return "  [" + ", ".join(parts) + "]"
+
+
+def render_trace_tree(trace: dict) -> str:
+    """Indented text tree of one trace; ``*`` flags the slowest path.
+
+    ``hwsim.*`` spans carry ``modeled_cycles`` attributes, so the tree
+    shows the cycle model's prediction next to the measured wall time of
+    the very same stage execution.
+    """
+    children = _children_index(trace)
+    critical = set(slowest_path(trace))
+    lines = [
+        f"trace {trace['trace_id']} — {trace['root']}  "
+        f"{trace['duration_s'] * 1e3:.3f} ms  (* = slowest path)"
+    ]
+
+    def walk(span: dict, depth: int) -> None:
+        marker = " *" if span["span_id"] in critical else ""
+        lines.append(
+            f"{'  ' * depth}- {span['name']}  "
+            f"{span['duration_s'] * 1e3:.3f} ms"
+            f"{_format_attrs(span.get('attrs') or {})}{marker}"
+        )
+        for child in children.get(span["span_id"], []):
+            walk(child, depth + 1)
+
+    root = children.get(None, [None])[0]
+    if root is not None:
+        walk(root, 0)
+    return "\n".join(lines)

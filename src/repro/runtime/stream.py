@@ -26,7 +26,7 @@ from repro.data.quantize import Quantizer
 from repro.data.windows import window_layout
 from repro.hw.arch import HardwareSpec
 from repro.hw.pipeline import pipeline_schedule
-from repro.obs import get_registry, stage_timer
+from repro.obs import get_registry, get_tracer, stage_timer
 
 __all__ = ["StreamingDecision", "StreamingClassifier"]
 
@@ -128,6 +128,21 @@ class StreamingClassifier:
         label = int(scores.argmax())
         self._recent.append(label)
         smoothed = Counter(self._recent).most_common(1)[0][0]
+        # The stage_timer span ("stream.decision") is open here: carry the
+        # decision context and the hardware model's latency on the trace,
+        # so a span tree shows modeled vs measured side by side.
+        tracer = get_tracer()
+        if tracer.enabled:
+            margin = 0.0
+            if len(scores) >= 2:
+                top2 = np.partition(scores, len(scores) - 2)
+                margin = float(top2[-1] - top2[-2])
+            tracer.annotate(
+                frame_index=self._frames_seen - 1,
+                label=label,
+                margin=margin,
+                modeled_latency_us=self._latency_us,
+            )
         return StreamingDecision(
             frame_index=self._frames_seen - 1,
             label=label,

@@ -14,6 +14,7 @@ from typing import Callable
 import numpy as np
 
 from repro.core.config import UniVSAConfig
+from repro.obs import get_registry, stage_timer
 
 from .space import SearchSpace
 
@@ -73,22 +74,27 @@ def evolutionary_search(
 
     population = [space.random(rng) for _ in range(config.population)]
     history: list[float] = []
+    registry = get_registry()
     for _generation in range(config.generations):
-        scored = sorted(population, key=fitness, reverse=True)
-        history.append(fitness(scored[0]))
-        # Elitist preservation: the best individuals survive unchanged.
-        next_population = scored[: config.elite]
-        while len(next_population) < config.population:
-            parent_a = _tournament(scored, fitness, config.tournament, rng)
-            if rng.random() < config.crossover_rate:
-                parent_b = _tournament(scored, fitness, config.tournament, rng)
-                child = space.crossover(parent_a, parent_b, rng)
-            else:
-                child = parent_a
-            if rng.random() < config.mutation_rate:
-                child = space.mutate(child, rng)
-            next_population.append(child)
-        population = next_population
+        with stage_timer("search.generation"):
+            scored = sorted(population, key=fitness, reverse=True)
+            history.append(fitness(scored[0]))
+            # Elitist preservation: the best individuals survive unchanged.
+            next_population = scored[: config.elite]
+            while len(next_population) < config.population:
+                parent_a = _tournament(scored, fitness, config.tournament, rng)
+                if rng.random() < config.crossover_rate:
+                    parent_b = _tournament(scored, fitness, config.tournament, rng)
+                    child = space.crossover(parent_a, parent_b, rng)
+                else:
+                    child = parent_a
+                if rng.random() < config.mutation_rate:
+                    child = space.mutate(child, rng)
+                next_population.append(child)
+            population = next_population
+        registry.counter("search.generations").add(1)
+        registry.gauge("search.best_fitness").set(history[-1])
+        registry.gauge("search.configs_evaluated").set(len(evaluated))
     best_genome = max(evaluated, key=evaluated.get)
     return SearchResult(
         best_config=space.decode(best_genome),

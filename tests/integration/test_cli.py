@@ -13,11 +13,21 @@ class TestParser:
 
     def test_all_subcommands_registered(self):
         parser = build_parser()
-        for command in ("info", "train", "evaluate", "hw", "search", "profile"):
+        for command in ("info", "train", "evaluate", "hw", "search", "profile", "trace"):
             args = parser.parse_args(
                 [command] + (["x", "y"] if command == "evaluate" else ["eegmmi"] if command != "info" else [])
             )
             assert args.command == command
+
+    def test_obs_compare_registered(self):
+        args = build_parser().parse_args(["obs", "compare", "--task", "t"])
+        assert args.command == "obs"
+        assert args.baseline == "prev"
+        assert args.max_accuracy_drop == pytest.approx(0.02)
+
+    def test_obs_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs"])
 
 
 class TestInfo:
@@ -71,6 +81,118 @@ class TestTrainEvaluate:
         assert code == 0
         out = capsys.readouterr().out
         assert "accuracy" in out and "KB" in out
+
+
+class TestTrace:
+    def test_trace_renders_span_trees(self, capsys, tmp_path):
+        jsonl = tmp_path / "traces.jsonl"
+        code = main(
+            [
+                "trace",
+                "bci-iii-v",
+                "--n-train", "80",
+                "--n-test", "40",
+                "--epochs", "1",
+                "--samples", "2",
+                "--jsonl", str(jsonl),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # One tree per root kind: packed engine, hw simulator, streaming.
+        assert "(* = slowest path)" in out
+        assert "packed.classify" in out
+        assert "hwsim.sample" in out and "modeled=" in out
+        assert "stream.decision" in out
+        assert "trace(s) captured" in out
+
+        from repro.obs import read_traces_jsonl
+
+        traces = read_traces_jsonl(jsonl)
+        assert traces and all(t["spans"] for t in traces)
+
+    def test_zero_sample_rate_captures_nothing(self, capsys, tmp_path):
+        code = main(
+            [
+                "trace",
+                "bci-iii-v",
+                "--n-train", "80",
+                "--n-test", "40",
+                "--epochs", "1",
+                "--samples", "1",
+                "--sample-rate", "0.0",
+            ]
+        )
+        assert code == 1
+        assert "no traces captured" in capsys.readouterr().out
+
+
+class TestObsCompare:
+    def _seed_ledger(self, path, accuracy, p95=0.1):
+        import json
+
+        from repro.obs import Ledger, RunRecord
+
+        record = RunRecord(
+            kind="profile",
+            task="bci-iii-v",
+            timestamp=1.0,
+            run_id=f"profile-bci-iii-v-{int(accuracy * 1e6)}",
+            git_rev="test",
+            metrics={"accuracy": accuracy},
+            stages={"packed.encode": {"p95_s": p95}},
+        )
+        Ledger(path).append(record)
+        return json.loads(json.dumps(record.as_dict()))
+
+    def test_no_records_exits_2(self, capsys, tmp_path):
+        code = main(["obs", "compare", "--ledger", str(tmp_path / "none.jsonl")])
+        assert code == 2
+        assert "no ledger records" in capsys.readouterr().out
+
+    def test_single_record_has_no_previous(self, capsys, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        self._seed_ledger(ledger, accuracy=0.9)
+        code = main(["obs", "compare", "--ledger", str(ledger)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "nothing to compare" in out
+        assert (tmp_path / "BENCH_bci-iii-v.json").exists()
+
+    def test_prev_baseline_ok(self, capsys, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        self._seed_ledger(ledger, accuracy=0.90)
+        self._seed_ledger(ledger, accuracy=0.91)
+        code = main(["obs", "compare", "--ledger", str(ledger)])
+        assert code == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_accuracy_regression_exits_1(self, capsys, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        self._seed_ledger(ledger, accuracy=0.95)
+        self._seed_ledger(ledger, accuracy=0.80)
+        code = main(["obs", "compare", "--ledger", str(ledger)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION: accuracy" in out
+
+    def test_file_baseline_and_thresholds(self, capsys, tmp_path):
+        import json
+
+        ledger = tmp_path / "ledger.jsonl"
+        baseline = self._seed_ledger(tmp_path / "other.jsonl", accuracy=0.95, p95=0.01)
+        self._seed_ledger(ledger, accuracy=0.90, p95=0.10)
+        baseline_path = tmp_path / "baseline.json"
+        baseline_path.write_text(json.dumps(baseline))
+        argv = ["obs", "compare", "--ledger", str(ledger), "--baseline", str(baseline_path)]
+        assert main(argv) == 1  # 10x p95 and -0.05 accuracy both fail
+        capsys.readouterr()
+        # Loosened thresholds wave the same run through.
+        assert (
+            main(argv + ["--max-accuracy-drop", "0.1", "--max-p95-regression", "20"])
+            == 0
+        )
+        assert "no regressions" in capsys.readouterr().out
 
 
 class TestSearch:

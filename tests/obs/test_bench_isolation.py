@@ -1,0 +1,64 @@
+"""Regression tests for per-bench isolation of the profile sidecars.
+
+The bench harness keeps one session-scoped registry; historically every
+``write_result`` snapshot was cumulative, so each ``.profile.json`` after
+the first silently included the previous benches' timings.  The harness
+now resets the registry after each snapshot — consecutive sidecars (and
+ledger records) must therefore hold *disjoint* stage totals.
+"""
+
+import json
+
+from benchmarks.conftest import write_result
+from repro.obs import Ledger, MetricsRegistry, using_registry
+
+
+def _stages(results_dir, stem):
+    payload = json.loads((results_dir / f"{stem}.profile.json").read_text())
+    return payload["stages"]
+
+
+class TestWriteResultIsolation:
+    def test_consecutive_sidecars_have_disjoint_stage_totals(self, tmp_path):
+        with using_registry(MetricsRegistry()) as registry:
+            registry.histogram("packed.encode").observe(0.3)
+            write_result(tmp_path, "first.txt", "table one")
+            registry.histogram("packed.similarity").observe(0.5)
+            write_result(tmp_path, "second.txt", "table two")
+        first = _stages(tmp_path, "first")
+        second = _stages(tmp_path, "second")
+        assert set(first) == {"packed.encode"}
+        assert set(second) == {"packed.similarity"}  # not cumulative
+        assert not set(first) & set(second)
+
+    def test_ledger_records_mirror_the_isolation(self, tmp_path):
+        with using_registry(MetricsRegistry()) as registry:
+            registry.histogram("packed.encode").observe(0.3)
+            write_result(tmp_path, "first.txt", "x", metrics={"accuracy": 0.9})
+            registry.histogram("packed.similarity").observe(0.5)
+            write_result(tmp_path, "second.txt", "y")
+        records = Ledger(tmp_path / "ledger.jsonl").read()
+        assert [r.task for r in records] == ["first", "second"]
+        assert set(records[0].stages) == {"packed.encode"}
+        assert set(records[1].stages) == {"packed.similarity"}
+        assert records[0].metrics == {"accuracy": 0.9}
+
+    def test_registry_stays_active_after_reset(self, tmp_path):
+        """The reset clears state but keeps the same enabled registry, so
+        later benches keep recording into it."""
+        with using_registry(MetricsRegistry()) as registry:
+            registry.histogram("packed.encode").observe(0.1)
+            write_result(tmp_path, "first.txt", "x")
+            assert registry.enabled
+            assert registry.histograms() == {}
+            registry.histogram("packed.encode").observe(0.2)
+            write_result(tmp_path, "second.txt", "y")
+        second = _stages(tmp_path, "second")
+        assert second["packed.encode"]["count"] == 1
+        assert second["packed.encode"]["total_s"] == 0.2
+
+    def test_disabled_registry_writes_no_sidecar(self, tmp_path):
+        write_result(tmp_path, "plain.txt", "just a table")
+        assert (tmp_path / "plain.txt").exists()
+        assert not (tmp_path / "plain.profile.json").exists()
+        assert not (tmp_path / "ledger.jsonl").exists()

@@ -255,3 +255,27 @@ class TestExport:
 
     def test_empty_breakdown(self):
         assert stage_breakdown(MetricsRegistry(), prefix="nope.") == {}
+
+    def test_prefix_is_a_dotted_namespace_not_startswith(self):
+        """Regression: ``"packed."`` must not capture sibling namespaces
+        like ``packed_ref.*`` (and neither may the dotless spelling)."""
+        registry = MetricsRegistry()
+        registry.histogram("packed.encode").observe(0.3)
+        registry.histogram("packed_ref.encode").observe(0.7)
+        for prefix in ("packed.", "packed"):
+            breakdown = stage_breakdown(registry, prefix=prefix)
+            assert set(breakdown) == {"packed.encode"}
+            assert sum(e["share"] for e in breakdown.values()) == pytest.approx(1.0)
+
+    def test_bare_namespace_histogram_matches_itself(self):
+        registry = MetricsRegistry()
+        registry.histogram("packed").observe(0.1)
+        registry.histogram("packed.encode").observe(0.3)
+        breakdown = stage_breakdown(registry, prefix="packed.")
+        assert set(breakdown) == {"packed", "packed.encode"}
+        assert sum(e["share"] for e in breakdown.values()) == pytest.approx(1.0)
+
+    def test_empty_prefix_matches_everything(self):
+        breakdown = stage_breakdown(self._registry(), prefix="")
+        assert set(breakdown) == {"packed.conv", "packed.encode", "other.stage"}
+        assert sum(e["share"] for e in breakdown.values()) == pytest.approx(1.0)

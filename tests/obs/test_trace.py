@@ -1,0 +1,392 @@
+"""Tests for request-level tracing: span trees, sampling, zero overhead."""
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    MetricsRegistry,
+    NullTracer,
+    Tracer,
+    annotate_span,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    read_traces_jsonl,
+    render_trace_tree,
+    slowest_path,
+    stage_timer,
+    trace_span,
+    trace_to_dict,
+    using_registry,
+    using_tracer,
+    write_traces_jsonl,
+)
+
+
+def _make_trace(tracer: Tracer, names=("root", "child")) -> None:
+    """Open/close a simple nested trace through the public span API."""
+    spans = []
+    for name in names:
+        spans.append(tracer.open_span(name))
+    t = float(len(names))
+    for span in reversed(spans):
+        tracer.close_span(span, 0.0, t)
+        t -= 1.0
+
+
+class TestSpanLifecycle:
+    def test_root_and_child_nest(self):
+        tracer = Tracer()
+        root = tracer.open_span("root")
+        child = tracer.open_span("child")
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        assert root.parent_id is None
+        tracer.close_span(child, 1.0, 2.0)
+        tracer.close_span(root, 0.0, 3.0)
+        traces = tracer.traces()
+        assert len(traces) == 1
+        assert [s.name for s in traces[0]] == ["root", "child"]
+        assert traces[0][0].duration_s == pytest.approx(3.0)
+
+    def test_trace_finishes_only_on_root_close(self):
+        tracer = Tracer()
+        root = tracer.open_span("root")
+        child = tracer.open_span("child")
+        tracer.close_span(child, 0.0, 1.0)
+        assert tracer.traces() == []  # root still open
+        tracer.close_span(root, 0.0, 2.0)
+        assert len(tracer.traces()) == 1
+
+    def test_sibling_roots_get_distinct_traces(self):
+        tracer = Tracer()
+        _make_trace(tracer, ("a",))
+        _make_trace(tracer, ("b",))
+        traces = tracer.traces()
+        assert [t[0].name for t in traces] == ["a", "b"]
+        assert traces[0][0].trace_id != traces[1][0].trace_id
+
+    def test_annotate_innermost_open_span(self):
+        tracer = Tracer()
+        root = tracer.open_span("root")
+        child = tracer.open_span("child")
+        tracer.annotate(batch=4)
+        tracer.annotate(margin=0.5)
+        tracer.close_span(child, 0.0, 1.0)
+        tracer.annotate(on_root=True)
+        tracer.close_span(root, 0.0, 2.0)
+        (spans,) = tracer.traces()
+        assert spans[1].attrs == {"batch": 4, "margin": 0.5}
+        assert spans[0].attrs == {"on_root": True}
+
+    def test_annotate_outside_any_span_is_noop(self):
+        tracer = Tracer()
+        tracer.annotate(ignored=1)  # must not raise
+        assert tracer.traces() == []
+
+    def test_max_traces_drops_oldest(self):
+        tracer = Tracer(max_traces=2)
+        for name in ("a", "b", "c"):
+            _make_trace(tracer, (name,))
+        assert [t[0].name for t in tracer.traces()] == ["b", "c"]
+
+    def test_reset_clears_everything(self):
+        tracer = Tracer(sample_rate=0.5)
+        for _ in range(4):
+            _make_trace(tracer)
+        tracer.reset()
+        assert tracer.traces() == []
+        assert tracer.dropped_roots == 0
+
+
+class TestSampling:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            Tracer(sample_rate=1.5)
+        with pytest.raises(ValueError):
+            Tracer(sample_rate=-0.1)
+
+    def test_half_rate_records_every_second_root(self):
+        tracer = Tracer(sample_rate=0.5)
+        for i in range(6):
+            span = tracer.open_span(f"root{i}")
+            tracer.close_span(span, 0.0, 1.0)
+        # Rate accumulator: roots 1, 3, 5 (0-based) cross the threshold.
+        assert [t[0].name for t in tracer.traces()] == ["root1", "root3", "root5"]
+        assert tracer.dropped_roots == 3
+
+    def test_sampling_is_deterministic(self):
+        def run():
+            tracer = Tracer(sample_rate=0.3)
+            for i in range(10):
+                span = tracer.open_span(f"r{i}")
+                tracer.close_span(span, 0.0, 1.0)
+            return [t[0].name for t in tracer.traces()]
+
+        assert run() == run()
+
+    def test_children_follow_unsampled_root(self):
+        tracer = Tracer(sample_rate=0.0)
+        root = tracer.open_span("root")
+        assert root is None
+        child = tracer.open_span("child")  # placeholder keeps stack balanced
+        assert child is None
+        tracer.close_span(child, 0.0, 0.0)
+        tracer.close_span(root, 0.0, 0.0)
+        assert tracer.traces() == []
+        assert tracer.current_span() is None
+
+    def test_stack_balanced_after_unsampled_root(self):
+        tracer = Tracer(sample_rate=0.5)
+        with using_tracer(tracer):
+            with trace_span("first"):  # dropped (accumulator at 0.5)
+                pass
+            with trace_span("second"):  # recorded
+                pass
+        traces = tracer.traces()
+        assert [t[0].name for t in traces] == ["second"]
+        assert traces[0][0].parent_id is None
+
+
+class TestActiveTracer:
+    def test_default_is_null(self):
+        assert get_tracer() is NULL_TRACER
+        assert not get_tracer().enabled
+
+    def test_enable_disable(self):
+        tracer = enable_tracing()
+        try:
+            assert get_tracer() is tracer
+            assert tracer.enabled
+        finally:
+            disable_tracing()
+        assert get_tracer() is NULL_TRACER
+
+    def test_using_tracer_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with using_tracer(Tracer()):
+                raise RuntimeError("boom")
+        assert get_tracer() is NULL_TRACER
+
+    def test_null_tracer_is_inert(self):
+        null = NullTracer()
+        assert null.open_span("x") is None
+        null.close_span(None, 0.0, 0.0)
+        null.annotate(a=1)
+        assert null.current_span() is None
+        assert null.traces() == [] and null.to_dicts() == []
+
+
+class TestZeroOverhead:
+    def _forbid_clocks(self, monkeypatch):
+        def boom():
+            raise AssertionError("perf_counter read on the disabled path")
+
+        monkeypatch.setattr("repro.obs.trace.perf_counter", boom)
+        monkeypatch.setattr("repro.obs.timers.perf_counter", boom)
+
+    def test_no_clock_reads_with_null_tracer(self, monkeypatch):
+        """Default state: null registry + null tracer — no clock, ever."""
+        self._forbid_clocks(monkeypatch)
+        with trace_span("root"):
+            with stage_timer("stage.x"):
+                pass
+        annotate_span(ignored=1)
+
+    def test_no_clock_reads_for_unsampled_roots(self, monkeypatch):
+        """An enabled tracer that drops the root must stay clock-free."""
+        self._forbid_clocks(monkeypatch)
+        tracer = Tracer(sample_rate=0.0)
+        with using_tracer(tracer):
+            with trace_span("root"):
+                with stage_timer("stage.x"):
+                    pass
+        assert tracer.traces() == []
+        assert tracer.current_span() is None
+
+
+class TestStageTimerIntegration:
+    def test_stage_timer_emits_child_span(self):
+        tracer = Tracer()
+        with using_tracer(tracer):
+            with trace_span("request"):
+                with stage_timer("stage.a"):
+                    pass
+        (spans,) = tracer.traces()
+        assert [s.name for s in spans] == ["request", "stage.a"]
+        assert spans[1].parent_id == spans[0].span_id
+
+    def test_one_clock_pair_feeds_histogram_and_span(self):
+        """The span duration and histogram observation come from the same
+        perf_counter pair, so they agree exactly."""
+        tracer = Tracer()
+        with using_tracer(tracer), using_registry(MetricsRegistry()) as registry:
+            with trace_span("request"):
+                with stage_timer("stage.a"):
+                    pass
+        (spans,) = tracer.traces()
+        assert registry.histogram("stage.a").total_seconds == spans[1].duration_s
+
+    def test_stage_timer_without_registry_still_traces(self):
+        tracer = Tracer()
+        with using_tracer(tracer):
+            with trace_span("request"):
+                with stage_timer("stage.a"):
+                    pass
+        (spans,) = tracer.traces()
+        assert spans[1].name == "stage.a"
+        assert spans[1].end_s >= spans[1].start_s
+
+    def test_exception_closes_span(self):
+        tracer = Tracer()
+        with using_tracer(tracer):
+            with pytest.raises(ValueError):
+                with trace_span("request"):
+                    raise ValueError("boom")
+        assert len(tracer.traces()) == 1
+        assert tracer.current_span() is None
+
+    def test_annotate_span_helper(self):
+        tracer = Tracer()
+        with using_tracer(tracer):
+            with trace_span("request", batch=2):
+                annotate_span(modeled_cycles=42)
+        (spans,) = tracer.traces()
+        assert spans[0].attrs == {"batch": 2, "modeled_cycles": 42}
+
+
+class TestExportAndRender:
+    def _traced(self) -> Tracer:
+        tracer = Tracer()
+        with using_tracer(tracer):
+            with trace_span("request", batch=1):
+                with stage_timer("stage.fast"):
+                    pass
+                with stage_timer("stage.slow"):
+                    for _ in range(2000):
+                        pass
+                annotate_span(modeled_cycles=42)
+        return tracer
+
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer = self._traced()
+        path = tmp_path / "traces.jsonl"
+        assert write_traces_jsonl(tracer, path) == 1
+        loaded = read_traces_jsonl(path)
+        assert loaded == tracer.to_dicts()
+        assert loaded[0]["root"] == "request"
+        assert len(loaded[0]["spans"]) == 3
+
+    def test_trace_to_dict_shape(self):
+        (spans,) = self._traced().traces()
+        trace = trace_to_dict(spans)
+        assert trace["root"] == "request"
+        assert trace["duration_s"] == pytest.approx(spans[0].duration_s)
+        assert trace["spans"][0]["parent_id"] is None
+
+    def test_slowest_path_descends_into_slowest_child(self):
+        trace = {
+            "trace_id": 0,
+            "root": "r",
+            "duration_s": 10.0,
+            "spans": [
+                {"name": "r", "span_id": 0, "parent_id": None, "start_s": 0.0, "end_s": 10.0, "duration_s": 10.0, "attrs": {}},
+                {"name": "fast", "span_id": 1, "parent_id": 0, "start_s": 0.0, "end_s": 1.0, "duration_s": 1.0, "attrs": {}},
+                {"name": "slow", "span_id": 2, "parent_id": 0, "start_s": 1.0, "end_s": 9.0, "duration_s": 8.0, "attrs": {}},
+                {"name": "leaf", "span_id": 3, "parent_id": 2, "start_s": 2.0, "end_s": 5.0, "duration_s": 3.0, "attrs": {}},
+            ],
+        }
+        assert slowest_path(trace) == [0, 2, 3]
+
+    def test_render_flags_slowest_path_and_modeled_cycles(self):
+        (trace,) = self._traced().to_dicts()
+        text = render_trace_tree(trace)
+        assert "(* = slowest path)" in text
+        assert "- request" in text and "- stage.slow" in text
+        assert "modeled=42 cyc" in text
+        starred = [line for line in text.splitlines() if line.endswith("*")]
+        assert any("request" in line for line in starred)
+
+    def test_empty_trace_renders_header_only(self):
+        text = render_trace_tree(
+            {"trace_id": 7, "root": "x", "duration_s": 0.0, "spans": []}
+        )
+        assert text.startswith("trace 7")
+        assert slowest_path({"spans": []}) == []
+
+
+class TestStreamingTraces:
+    """Span trees over real streaming decisions (end-to-end nesting)."""
+
+    @pytest.fixture(scope="class")
+    def deployed(self):
+        from repro.core import (
+            UniVSAConfig,
+            UniVSAModel,
+            adapt_class_vectors,
+            extract_artifacts,
+        )
+        from repro.data.quantize import Quantizer
+
+        shape, levels = (4, 16), 32
+        config = UniVSAConfig(d_high=4, d_low=2, out_channels=6, voters=1, levels=levels)
+        artifacts = extract_artifacts(UniVSAModel(shape, 2, config, seed=0))
+        quantizer = Quantizer(levels=levels)
+        quantizer.low, quantizer.high = -3.0, 3.0
+        gen = np.random.default_rng(0)
+        y = gen.integers(0, 2, size=60)
+        raw = np.where(y == 0, -1.5, 1.5)[:, None, None] + gen.normal(
+            0, 0.4, (60,) + shape
+        )
+        adapt_class_vectors(artifacts, quantizer.transform(raw), y, epochs=4)
+        return artifacts, quantizer
+
+    def test_each_decision_is_one_trace(self, deployed):
+        from repro.runtime import StreamingClassifier
+
+        artifacts, quantizer = deployed
+        stream = StreamingClassifier(artifacts, quantizer, hop=8)
+        tracer = Tracer()
+        with using_tracer(tracer):
+            decisions = stream.push(np.full(stream.window_span + 16, 1.5))
+        traces = tracer.to_dicts()
+        assert len(decisions) >= 2
+        assert len(traces) == len(decisions)
+        assert all(t["root"] == "stream.decision" for t in traces)
+
+    def test_decision_span_nests_classify_stages(self, deployed):
+        from repro.runtime import StreamingClassifier
+
+        artifacts, quantizer = deployed
+        stream = StreamingClassifier(artifacts, quantizer, hop=8)
+        tracer = Tracer()
+        with using_tracer(tracer):
+            stream.push(np.full(stream.window_span, 1.5))
+        (trace,) = tracer.to_dicts()
+        names = [s["name"] for s in trace["spans"]]
+        root_id = trace["spans"][0]["span_id"]
+        assert names[0] == "stream.decision"
+        # The artifacts classify root nests under the decision span, and
+        # the per-stage timers nest under *it*.
+        classify = next(s for s in trace["spans"] if s["name"] == "artifacts.classify")
+        assert classify["parent_id"] == root_id
+        stage_parents = {
+            s["parent_id"] for s in trace["spans"] if s["name"].startswith("artifacts.")
+            and s["name"] != "artifacts.classify"
+        }
+        assert stage_parents == {classify["span_id"]}
+
+    def test_decision_span_carries_modeled_latency(self, deployed):
+        from repro.runtime import StreamingClassifier
+
+        artifacts, quantizer = deployed
+        stream = StreamingClassifier(artifacts, quantizer, hop=8)
+        tracer = Tracer()
+        with using_tracer(tracer):
+            stream.push(np.full(stream.window_span, 1.5))
+        (trace,) = tracer.to_dicts()
+        attrs = trace["spans"][0]["attrs"]
+        assert attrs["modeled_latency_us"] > 0
+        assert attrs["frame_index"] == stream.window_span - 1
+        assert "margin" in attrs and "label" in attrs
