@@ -1,5 +1,5 @@
 """Command-line interface: train / evaluate / hw / search / profile /
-trace / obs / info.
+trace / bench-throughput / obs / info.
 
     python -m repro info
     python -m repro train isolet --epochs 12 --out isolet.npz
@@ -8,6 +8,7 @@ trace / obs / info.
     python -m repro search bci-iii-v --generations 3
     python -m repro profile bci-iii-v --json bci.profile.json
     python -m repro trace bci-iii-v --samples 4 --jsonl bci.traces.jsonl
+    python -m repro bench-throughput bci-iii-v --batch 256
     python -m repro obs compare --task bci-iii-v --baseline prev
 
 Training, search, and profile runs append one record to the run ledger
@@ -265,6 +266,50 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_throughput(args: argparse.Namespace) -> int:
+    """Measure packed.classify samples/sec (seed vs fast vs parallel)."""
+    import json
+    from pathlib import Path
+
+    from repro.obs import DEFAULT_LEDGER_PATH, Ledger, write_trajectories
+    from repro.runtime import bench_throughput
+
+    report = bench_throughput(
+        args.benchmark,
+        batch=args.batch,
+        repeats=args.repeats,
+        warmup=args.warmup,
+        workers=args.workers,
+        shard_size=args.shard_size,
+        executor=args.executor,
+        n_train=args.n_train,
+        n_test=args.n_test,
+        epochs=args.epochs,
+        seed=args.seed,
+    )
+    print(report.render())
+    json_path = args.json or f"{args.benchmark}-throughput.json"
+    with open(json_path, "w", encoding="utf-8") as handle:
+        json.dump(report.as_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nthroughput JSON written to {json_path}")
+    _append_ledger(
+        args,
+        "bench",
+        "throughput",
+        config=report.config,
+        metrics=report.ledger_metrics(),
+        registry=report.registry,
+    )
+    if not getattr(args, "no_ledger", False):
+        ledger = Ledger(_ledger_path(args) or DEFAULT_LEDGER_PATH)
+        for path in write_trajectories(
+            ledger, Path(ledger.path).parent, task="throughput"
+        ):
+            print(f"trajectory written to {path}")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     """Trace end-to-end classifications and render the span trees."""
     import numpy as np
@@ -334,6 +379,15 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     for root in sorted(by_root):
         print(render_trace_tree(by_root[root]))
         print()
+    from repro.runtime.batch import resolve_workers
+    from repro.vsa.kernels import kernel_info
+
+    info = kernel_info()
+    print(
+        f"kernels: {info['set']} (pack={info['pack']}, "
+        f"popcount={info['popcount']}, numpy {info['numpy']}) · "
+        f"workers: {resolve_workers()}"
+    )
     print(
         f"{len(traces)} trace(s) captured "
         f"({tracer.dropped_roots} dropped by sampling)"
@@ -382,6 +436,7 @@ def _cmd_obs_compare(args: argparse.Namespace) -> int:
         baseline,
         max_accuracy_drop=args.max_accuracy_drop,
         max_p95_regression=args.max_p95_regression,
+        max_throughput_drop=args.max_throughput_drop,
     )
     print(report.render())
     if report.regressed:
@@ -457,6 +512,28 @@ def build_parser() -> argparse.ArgumentParser:
     _add_ledger_flags(profile)
     profile.set_defaults(func=_cmd_profile)
 
+    bench = sub.add_parser(
+        "bench-throughput",
+        help="samples/sec of packed.classify: seed vs fast kernels vs worker pool",
+    )
+    bench.add_argument("benchmark")
+    bench.add_argument("--batch", type=int, default=256, help="workload batch size")
+    bench.add_argument("--repeats", type=int, default=3, help="timed runs per engine")
+    bench.add_argument("--warmup", type=int, default=1, help="untimed warmup runs")
+    bench.add_argument("--workers", type=int, default=None, help="pool size (default: cpu count)")
+    bench.add_argument("--shard-size", type=int, default=None, help="samples per shard")
+    bench.add_argument(
+        "--executor", choices=("thread", "process"), default="thread",
+        help="worker pool kind (default thread)",
+    )
+    bench.add_argument("--n-train", type=int, default=120)
+    bench.add_argument("--n-test", type=int, default=60)
+    bench.add_argument("--epochs", type=int, default=2)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--json", help="report JSON path (default <benchmark>-throughput.json)")
+    _add_ledger_flags(bench)
+    bench.set_defaults(func=_cmd_bench_throughput)
+
     trace = sub.add_parser(
         "trace",
         help="span-tree traces of end-to-end classifications "
@@ -507,6 +584,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.5,
         help="largest tolerated relative p95 latency increase (0.5 = +50%%)",
+    )
+    compare.add_argument(
+        "--max-throughput-drop",
+        type=float,
+        default=0.5,
+        help="largest tolerated relative samples/sec drop (0.5 = -50%%)",
     )
     compare.add_argument(
         "--trajectories",

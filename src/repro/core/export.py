@@ -56,13 +56,9 @@ def _int_conv2d_same(
     padded = np.pad(
         volume, ((0, 0), (0, 0), (pad, pad), (pad, pad)), constant_values=pad_value
     ).astype(np.int64)
-    strides = padded.strides
-    windows = np.lib.stride_tricks.as_strided(
-        padded,
-        shape=(b, c, h, w, k, k),
-        strides=(strides[0], strides[1], strides[2], strides[3], strides[2], strides[3]),
-        writeable=False,
-    )
+    windows = np.lib.stride_tricks.sliding_window_view(
+        padded, (k, k), axis=(2, 3)
+    )  # (B, C, H, W, k, k), read-only — no writeable-aliasing foot-gun
     cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(b, h * w, c * k * k)
     out = cols @ kernel.reshape(o, -1).astype(np.int64).T  # (B, P, O)
     return out.transpose(0, 2, 1).reshape(b, o, h, w)

@@ -5,15 +5,30 @@ uint64-packed bipolar words exactly as the hardware's XNOR arrays and
 popcount adder trees do.
 
 * **BiConv**: each output pixel's operand block (D_H x D_K x D_K bipolar
-  values, borders padded with -1) is packed along the reduction axis; the
-  accumulation is ``2 * popcount(~(x ^ k)) - n_bits``, compared against the
-  per-channel threshold.
+  values, borders padded with -1) is matched against the packed kernel;
+  the accumulation is ``2 * popcount(~(x ^ k)) - n_bits``, compared
+  against the per-channel threshold.
 * **Encoding**: reduction over the O channel axis per position.
 * **Similarity**: reduction over the W*L position axis per class and voter.
 
-Bit-exact equivalence with the integer path (`UniVSAArtifacts`) and the
-trained graph is enforced by tests — this engine doubles as the golden
-model for the cycle simulator in :mod:`repro.hw.simulator`.
+The engine has two modes:
+
+* ``mode="fast"`` (default) never materializes the (B, P, C*K*K) int8
+  operand block.  The per-level ValueBox rows are packed **once** at
+  construction (channel-major, byte granular), so the DVP stage is a
+  packed gather; conv operand words are then assembled from those bytes
+  with a sliding window view — a byte shuffle, not a 64-lane
+  multiply-accumulate — and the conv match loop runs over bounded batch
+  tiles so peak memory is O(tile), not O(batch).  The feature map stays
+  a packed bit tensor end to end.
+* ``mode="legacy"`` preserves the seed engine's per-call block packing;
+  it exists as the baseline for ``python -m repro bench-throughput`` and
+  as a second implementation the property tests cross-check.
+
+Bit-exact equivalence between both modes, the integer path
+(`UniVSAArtifacts`), and the trained graph is enforced by tests — this
+engine doubles as the golden model for the cycle simulator in
+:mod:`repro.hw.simulator`.
 
 Every stage runs under a :func:`repro.obs.stage_timer` (``packed.dvp``,
 ``packed.biconv``, ``packed.encode``, ``packed.similarity``) plus a
@@ -28,20 +43,78 @@ domain scan would otherwise dominate small-batch latency.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.obs import annotate_span, get_registry, stage_timer, trace_span
 from repro.vsa.bitops import pack_bipolar, xnor_popcount
+from repro.vsa.kernels import WORD_BITS, get_kernels
 
 from .export import UniVSAArtifacts, record_soft_vote_margins
 
 __all__ = ["BitPackedUniVSA"]
 
+#: Default budget for the conv match intermediates of one batch tile.
+_DEFAULT_CONV_TILE_MB = 64.0
+
+
+def _pack_bytes(vectors: np.ndarray) -> np.ndarray:
+    """Bipolar/boolean (..., D) -> bytes (..., ceil(D/8)), little bit order."""
+    return np.packbits(np.asarray(vectors) > 0, axis=-1, bitorder="little")
+
+
+def _bytes_to_words(data: np.ndarray) -> np.ndarray:
+    """Bytes (..., n) -> uint64 words (..., ceil(n/8)), little-endian."""
+    n_bytes = data.shape[-1]
+    n_words = -(-n_bytes // 8)
+    if n_bytes != n_words * 8:
+        padded = np.zeros(data.shape[:-1] + (n_words * 8,), dtype=np.uint8)
+        padded[..., :n_bytes] = data
+        data = padded
+    words = np.ascontiguousarray(data).view(np.dtype("<u8"))
+    return words.astype(np.uint64, copy=False)
+
+
+def _matches_against_inverted(words: np.ndarray, inverted: np.ndarray, dim: int) -> np.ndarray:
+    """XNOR match count against a pre-inverted operand.
+
+    ``popcount(~(a ^ b)) == popcount(a ^ ~b)``; pre-inverting the static
+    side (kernel / feature / class words) once at construction saves an
+    invert pass over the large broadcast intermediate on every call.
+    Padding bits (0 in ``words``, 1 in ``inverted``) XOR to 1 and are
+    subtracted, exactly as in :func:`repro.vsa.bitops.xnor_popcount`.
+    """
+    counts = get_kernels().popcount8(words ^ inverted)
+    pad_bits = inverted.shape[-1] * WORD_BITS - dim
+    return counts.sum(axis=-1, dtype=np.int64) - pad_bits
+
 
 class BitPackedUniVSA:
-    """Packed-word inference over exported UniVSA artifacts."""
+    """Packed-word inference over exported UniVSA artifacts.
 
-    def __init__(self, artifacts: UniVSAArtifacts) -> None:
+    ``mode`` selects the stage pipeline (``"fast"`` or ``"legacy"``, env
+    default ``REPRO_ENGINE``); ``conv_tile_mb`` bounds the conv stage's
+    match intermediates per batch tile (env ``REPRO_CONV_TILE_MB``).
+    """
+
+    def __init__(
+        self,
+        artifacts: UniVSAArtifacts,
+        mode: str | None = None,
+        conv_tile_mb: float | None = None,
+    ) -> None:
+        if mode is None:
+            mode = os.environ.get("REPRO_ENGINE", "fast").strip().lower()
+        if mode not in ("fast", "legacy"):
+            raise ValueError(f"unknown engine mode {mode!r}; expected 'fast' or 'legacy'")
+        if conv_tile_mb is None:
+            conv_tile_mb = float(
+                os.environ.get("REPRO_CONV_TILE_MB", _DEFAULT_CONV_TILE_MB)
+            )
+        self.mode = mode
+        self.conv_tile_mb = conv_tile_mb
         self.artifacts = artifacts
         self.input_shape = artifacts.input_shape
         self.positions = artifacts.positions
@@ -66,6 +139,146 @@ class BitPackedUniVSA:
         self._class_packed, self._sim_bits = pack_bipolar(artifacts.class_vectors)
         self._channels = channels
 
+        if mode == "fast":
+            self._init_fast()
+
+    # ------------------------------------------------------------------
+    # fast-mode precomputation: packed ValueBox rows + operand-order kernel
+    # ------------------------------------------------------------------
+    def _init_fast(self) -> None:
+        artifacts = self.artifacts
+        # Per-level ValueBox rows packed channel-major at byte granularity
+        # (memoized here so every DVP lookup is a packed gather).
+        self._value_bytes_high = _pack_bytes(artifacts.value_high)
+        if artifacts.value_low is not None:
+            d_high = artifacts.value_high.shape[1]
+            d_low = artifacts.value_low.shape[1]
+            low = np.ones((artifacts.value_low.shape[0], d_high), dtype=np.int8)
+            low[:, :d_low] = artifacts.value_low
+            self._value_bytes_low = _pack_bytes(low)
+            self._mask_bool = artifacts.mask.astype(bool)
+        else:
+            self._value_bytes_low = None
+        self._volume_channels = artifacts.value_high.shape[1]
+
+        # Pre-inverted static operands (see _matches_against_inverted).
+        self._feature_inv = ~self._feature_packed
+        self._class_inv = ~self._class_packed
+
+        if artifacts.kernel is not None:
+            # Kernel words in conv *operand order*: for each tap (kh, kw)
+            # the channel bits padded to whole bytes, concatenated —
+            # exactly the layout the window byte-assembly produces.  The
+            # match count over all C*K*K true bits is order-independent,
+            # so the accumulation is bit-exact vs the legacy block order.
+            kernel = artifacts.kernel  # (O, C, k, k)
+            o, c, k, _ = kernel.shape
+            operand = kernel.transpose(0, 2, 3, 1)  # (O, kh, kw, C)
+            taps = _pack_bytes(operand)  # (O, k, k, nb)
+            self._kernel_operand_inv = ~_bytes_to_words(taps.reshape(o, -1))
+            # Thresholds rewritten in raw-match space: with m the match
+            # count over the n = C*K*K true bits and p the padding bits
+            # (which always match), the accumulation 2m - n crosses a
+            # float threshold t exactly when the integer raw count m + p
+            # crosses ceil/floor((t + n)/2) + p — so the threshold
+            # compare runs directly on the uint16 match accumulator.
+            n_bits = c * k * k
+            pad_bits = self._kernel_operand_inv.shape[-1] * WORD_BITS - n_bits
+            half = (np.asarray(self._thresholds, dtype=np.float64) + n_bits) / 2.0
+            self._conv_match_hi = np.ceil(half).astype(np.int64) + pad_bits
+            self._conv_match_lo = np.floor(half).astype(np.int64) + pad_bits
+
+    # ------------------------------------------------------------------
+    # fast-mode stages
+    # ------------------------------------------------------------------
+    def _dvp_bytes(self, levels: np.ndarray) -> np.ndarray:
+        """Packed DVP gather: levels (B, W, L) -> channel bytes (B, W, L, nb)."""
+        levels = np.asarray(levels).reshape((-1,) + self.input_shape)
+        volume = self._value_bytes_high[levels]
+        if self._value_bytes_low is not None:
+            volume = np.where(
+                self._mask_bool[None, :, :, None],
+                volume,
+                self._value_bytes_low[levels],
+            )
+        return volume
+
+    def _conv_tile(self, n_positions: int, out_channels: int) -> int:
+        """Batch-tile size keeping the conv match intermediates bounded."""
+        # Per sample the match loop holds an XOR word plane (8 B), its
+        # uint8 counts, and the uint16 accumulator per (position, channel).
+        per_sample = n_positions * out_channels * 11
+        budget = max(0.0, self.conv_tile_mb) * (1 << 20)
+        return max(1, int(budget // max(per_sample, 1)))
+
+    @stage_timer("packed.biconv")
+    def _conv_stage_fast(self, volume_bytes: np.ndarray) -> np.ndarray:
+        """Packed BiConv: channel bytes (B, W, L, nb) -> fires (B, P, O) bool."""
+        kernel = self.artifacts.kernel
+        o, _, k, _ = kernel.shape
+        b, h, w, nb = volume_bytes.shape
+        pad = k // 2
+        # Zero bytes are the all -1 channel vector — the border padding.
+        padded = np.pad(volume_bytes, ((0, 0), (pad, pad), (pad, pad), (0, 0)))
+        windows = sliding_window_view(padded, (k, k), axis=(1, 2))  # (B,H,W,nb,k,k)
+        operand = windows.transpose(0, 1, 2, 4, 5, 3).reshape(b, h * w, k * k * nb)
+        words = _bytes_to_words(operand)  # (B, P, Wc)
+        kernel_inv = self._kernel_operand_inv  # (O, Wc)
+        n_words = kernel_inv.shape[-1]
+        popcount8 = get_kernels().popcount8
+        flips = self._flips[None, None, :]
+        fires = np.empty((b, h * w, o), dtype=bool)
+        tile = self._conv_tile(h * w, o)
+        for start in range(0, b, tile):
+            stop = min(start + tile, b)
+            # Accumulate raw XNOR matches word by word with the output
+            # channel axis innermost — large contiguous ufunc inner loops
+            # instead of a length-W_c broadcast reduction.
+            acc = np.zeros((stop - start, h * w, o), dtype=np.uint16)
+            for wi in range(n_words):
+                acc += popcount8(
+                    words[start:stop, :, wi, None] ^ kernel_inv[None, None, :, wi]
+                )
+            fires[start:stop] = np.where(
+                flips, acc <= self._conv_match_lo, acc >= self._conv_match_hi
+            )
+        return fires
+
+    @stage_timer("packed.encode")
+    def _encode_stage_fast(self, feature_words: np.ndarray) -> np.ndarray:
+        """Packed encoding: feature words (B, P, Wf) -> bipolar s (B, P)."""
+        matches = _matches_against_inverted(
+            feature_words, self._feature_inv[None], self._enc_bits
+        )
+        accumulated = 2 * matches - self._enc_bits
+        return np.where(accumulated >= 0, 1, -1).astype(np.int8)
+
+    @stage_timer("packed.similarity")
+    def _similarity_stage_fast(self, s: np.ndarray) -> np.ndarray:
+        """Packed soft voting: s (B, P) -> scores (B, n_classes)."""
+        packed = _bytes_to_words(_pack_bytes(s))
+        matches = _matches_against_inverted(
+            packed[:, None, None, :], self._class_inv[None], self._sim_bits
+        )  # (B, Theta, C)
+        dots = 2 * matches - self._sim_bits
+        return dots.sum(axis=1)
+
+    def _encode_fast(self, levels: np.ndarray) -> np.ndarray:
+        with stage_timer("packed.dvp"):
+            volume_bytes = self._dvp_bytes(levels)
+        get_registry().counter("packed.samples").add(volume_bytes.shape[0])
+        if self._kernel_packed is not None:
+            fires = self._conv_stage_fast(volume_bytes)
+            feature_words = _bytes_to_words(_pack_bytes(fires))
+        else:
+            b = volume_bytes.shape[0]
+            feature_words = _bytes_to_words(
+                volume_bytes.reshape(b, self.positions, -1)
+            )
+        return self._encode_stage_fast(feature_words)
+
+    # ------------------------------------------------------------------
+    # legacy stages (the seed engine, kept as baseline and cross-check)
     # ------------------------------------------------------------------
     @stage_timer("packed.biconv")
     def _conv_stage(self, volume: np.ndarray) -> np.ndarray:
@@ -77,20 +290,7 @@ class BitPackedUniVSA:
         padded = np.pad(
             volume, ((0, 0), (0, 0), (pad, pad), (pad, pad)), constant_values=-1
         )
-        strides = padded.strides
-        windows = np.lib.stride_tricks.as_strided(
-            padded,
-            shape=(b, c, h, w, k, k),
-            strides=(
-                strides[0],
-                strides[1],
-                strides[2],
-                strides[3],
-                strides[2],
-                strides[3],
-            ),
-            writeable=False,
-        )
+        windows = sliding_window_view(padded, (k, k), axis=(2, 3))  # (B,C,H,W,k,k)
         blocks = windows.transpose(0, 2, 3, 1, 4, 5).reshape(b, h * w, c * k * k)
         packed, dim = pack_bipolar(blocks, validate=False)
         matches = xnor_popcount(
@@ -123,9 +323,7 @@ class BitPackedUniVSA:
         dots = 2 * matches - dim
         return dots.sum(axis=1)
 
-    # ------------------------------------------------------------------
-    def encode(self, levels: np.ndarray) -> np.ndarray:
-        """Levels (B, W, L) -> bipolar sample vectors (B, W*L)."""
+    def _encode_legacy(self, levels: np.ndarray) -> np.ndarray:
         with stage_timer("packed.dvp"):
             volume = self.artifacts.value_volume(levels)
         get_registry().counter("packed.samples").add(volume.shape[0])
@@ -135,10 +333,21 @@ class BitPackedUniVSA:
             feature = volume
         return self._encode_stage(feature)
 
+    # ------------------------------------------------------------------
+    def encode(self, levels: np.ndarray) -> np.ndarray:
+        """Levels (B, W, L) -> bipolar sample vectors (B, W*L)."""
+        if self.mode == "fast":
+            return self._encode_fast(levels)
+        return self._encode_legacy(levels)
+
     def scores(self, levels: np.ndarray) -> np.ndarray:
         """Soft-voting class scores (B, n_classes)."""
         with trace_span("packed.classify"):
-            scores = self._similarity_stage(self.encode(levels))
+            s = self.encode(levels)
+            if self.mode == "fast":
+                scores = self._similarity_stage_fast(s)
+            else:
+                scores = self._similarity_stage(s)
             record_soft_vote_margins(scores)
             annotate_span(batch=scores.shape[0])
             return scores

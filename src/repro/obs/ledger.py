@@ -52,7 +52,16 @@ MARGIN_HISTOGRAM = "quality.soft_vote_margin"
 
 #: Histogram namespaces whose entries are stage *latencies* (and may
 #: therefore be gated on p95 by the comparator).
-STAGE_NAMESPACES = ("packed", "artifacts", "stream", "hwsim", "train", "search", "ldc")
+STAGE_NAMESPACES = (
+    "packed",
+    "artifacts",
+    "stream",
+    "hwsim",
+    "train",
+    "search",
+    "ldc",
+    "batch",
+)
 
 
 def config_hash(config) -> str:
@@ -298,14 +307,18 @@ def compare_records(
     baseline: RunRecord,
     max_accuracy_drop: float = 0.02,
     max_p95_regression: float = 0.5,
+    max_throughput_drop: float = 0.5,
 ) -> ComparisonReport:
     """Threshold-diff ``current`` against ``baseline``.
 
     Accuracy-style metrics (names containing ``accuracy``) fail when they
-    drop more than ``max_accuracy_drop`` below the baseline.  Stage p95
-    latencies fail when ``current > baseline * (1 + max_p95_regression)``.
-    Metrics present on only one side are skipped — a baseline can gate
-    accuracy alone by omitting ``stages``.
+    drop more than ``max_accuracy_drop`` below the baseline.  Rate-style
+    metrics (names containing ``per_s`` or ``throughput``; higher is
+    better) fail when ``current < baseline * (1 - max_throughput_drop)``.
+    Stage p95 latencies fail when
+    ``current > baseline * (1 + max_p95_regression)``.  Metrics present
+    on only one side are skipped — a baseline can gate accuracy alone by
+    omitting ``stages``.
     """
     report = ComparisonReport(
         current_id=current.run_id or "current",
@@ -319,6 +332,19 @@ def compare_records(
         limit = base - max_accuracy_drop
         report.checks.append(
             MetricCheck(name, "accuracy", cur, base, limit, cur >= limit - 1e-12)
+        )
+    for name in sorted(baseline.metrics):
+        if ("per_s" not in name and "throughput" not in name) or (
+            name not in current.metrics
+        ):
+            continue
+        base = float(baseline.metrics[name])
+        if base <= 0.0:
+            continue
+        cur = float(current.metrics[name])
+        limit = base * (1.0 - max_throughput_drop)
+        report.checks.append(
+            MetricCheck(name, "throughput", cur, base, limit, cur >= limit - 1e-12)
         )
     for stage in sorted(baseline.stages):
         if stage not in current.stages:

@@ -44,6 +44,8 @@ class ProfileReport:
     streaming: dict = field(default_factory=dict)
     model_vs_measured: dict = field(default_factory=dict)
     validation: dict = field(default_factory=dict)
+    kernels: dict = field(default_factory=dict)
+    workers: int = 1
     config: object = None  # the run's UniVSAConfig (ledger provenance)
 
     def as_dict(self) -> dict:
@@ -58,6 +60,8 @@ class ProfileReport:
             "streaming": self.streaming,
             "model_vs_measured": self.model_vs_measured,
             "validation": self.validation,
+            "kernels": self.kernels,
+            "workers": self.workers,
             "metrics": snapshot(self.registry),
         }
 
@@ -71,6 +75,10 @@ class ProfileReport:
                     "benchmark": self.benchmark,
                     "train / test samples": f"{self.n_train} / {self.n_test}",
                     "packed accuracy": f"{self.accuracy:.4f}",
+                    "kernels": f"{self.kernels.get('set', '?')} "
+                    f"(pack={self.kernels.get('pack', '?')}, "
+                    f"popcount={self.kernels.get('popcount', '?')})",
+                    "batch workers": str(self.workers),
                 },
                 title="profile",
             ),
@@ -167,11 +175,14 @@ def profile_benchmark(
     from repro.hw.arch import HardwareSpec
     from repro.hw.cycles import stage_cycles
     from repro.hw.simulator import HardwareSimulator
+    from repro.runtime.batch import resolve_workers
     from repro.runtime.stream import StreamingClassifier
     from repro.utils.trainloop import TrainConfig
+    from repro.vsa.kernels import kernel_info, publish_kernel_metrics
 
     benchmark = get_benchmark(name)
     registry = registry if registry is not None else MetricsRegistry()
+    publish_kernel_metrics(registry)
     with using_registry(registry):
         run = run_benchmark(
             name,
@@ -255,5 +266,7 @@ def profile_benchmark(
         streaming=streaming,
         model_vs_measured=comparison,
         validation=validation,
+        kernels=kernel_info(),
+        workers=resolve_workers(),
         config=run.config,
     )

@@ -1,5 +1,15 @@
-"""Streaming deployment runtime for deployed UniVSA models."""
+"""Deployment runtimes for deployed UniVSA models: streaming + batch."""
 
+from .batch import BatchRunner, resolve_workers
 from .stream import StreamingClassifier, StreamingDecision
+from .throughput import EngineSample, ThroughputReport, bench_throughput
 
-__all__ = ["StreamingClassifier", "StreamingDecision"]
+__all__ = [
+    "StreamingClassifier",
+    "StreamingDecision",
+    "BatchRunner",
+    "resolve_workers",
+    "EngineSample",
+    "ThroughputReport",
+    "bench_throughput",
+]

@@ -1,0 +1,219 @@
+"""Parallel batch execution over the packed inference engine.
+
+:class:`BatchRunner` shards a large batch of quantized level frames
+across a worker pool and runs :class:`repro.core.BitPackedUniVSA` on
+each shard, preserving input order in the assembled output.  Threads are
+the default — the bit kernels are NumPy ufunc loops that release the GIL,
+so shards genuinely overlap — with a process-pool option for workloads
+that want memory isolation: each worker process rebuilds the engine
+**once** from the pickled artifacts in its initializer (zero-copy via
+fork where available), not per task.
+
+Observability rides on the existing substrate:
+
+* every shard runs under ``stage_timer("batch.shard")``, so with a
+  tracer active each shard becomes a span tree rooted at ``batch.shard``
+  with the usual ``packed.classify`` subtree below it (thread mode; a
+  process worker's spans live in its own process, so process mode
+  observes shard wall time from the parent instead);
+* ``batch.samples`` / ``batch.shards`` counters and a ``batch.workers``
+  gauge record what the pool actually did;
+* a ``batch.run`` trace root around the whole call is annotated with
+  batch size, shard count, and worker count.
+
+``python -m repro bench-throughput`` builds on this runner to measure
+samples/sec (see :mod:`repro.runtime.throughput`).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from time import perf_counter
+
+import numpy as np
+
+from repro.obs import annotate_span, get_registry, stage_timer, trace_span
+
+__all__ = ["BatchRunner", "resolve_workers"]
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Worker count: explicit > ``REPRO_WORKERS`` > ``os.cpu_count()``."""
+    if workers is not None:
+        return max(1, int(workers))
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return max(1, os.cpu_count() or 1)
+
+
+# ---------------------------------------------------------------------------
+# process-pool plumbing (module level so spawn contexts can pickle it)
+# ---------------------------------------------------------------------------
+_WORKER_ENGINE = None
+
+
+def _process_worker_init(artifacts, mode: str, conv_tile_mb: float) -> None:
+    global _WORKER_ENGINE
+    from repro.core.inference import BitPackedUniVSA
+
+    _WORKER_ENGINE = BitPackedUniVSA(artifacts, mode=mode, conv_tile_mb=conv_tile_mb)
+
+
+def _process_worker_scores(levels: np.ndarray) -> tuple[np.ndarray, float]:
+    start = perf_counter()
+    scores = _WORKER_ENGINE.scores(levels)
+    return scores, perf_counter() - start
+
+
+class BatchRunner:
+    """Order-preserving sharded execution of packed inference.
+
+    Parameters
+    ----------
+    engine:
+        A :class:`repro.core.BitPackedUniVSA` (any mode).
+    shard_size:
+        Samples per shard; ``None`` splits the batch into about
+        ``2 x workers`` shards (load balancing without tiny shards).
+    workers:
+        Pool size; ``None`` resolves via :func:`resolve_workers`.
+    executor:
+        ``"thread"`` (default) or ``"process"``.  Process mode ships the
+        engine's artifacts to each worker once via the pool initializer;
+        with a fork start method the packed tables are shared
+        copy-on-write rather than pickled.
+    mp_context:
+        Optional ``multiprocessing`` context for process mode.
+    """
+
+    def __init__(
+        self,
+        engine,
+        shard_size: int | None = None,
+        workers: int | None = None,
+        executor: str = "thread",
+        mp_context=None,
+    ) -> None:
+        if executor not in ("thread", "process"):
+            raise ValueError(
+                f"unknown executor {executor!r}; expected 'thread' or 'process'"
+            )
+        self.engine = engine
+        self.workers = resolve_workers(workers)
+        self.shard_size = shard_size
+        self.executor_kind = executor
+        self._mp_context = mp_context
+        self._pool: Executor | None = None
+
+    # ------------------------------------------------------------------
+    def _shards(self, n: int) -> list[tuple[int, int]]:
+        """(start, stop) spans covering ``range(n)`` in order."""
+        if n <= 0:
+            return []
+        size = self.shard_size
+        if size is None:
+            size = -(-n // max(1, self.workers * 2))
+        size = max(1, int(size))
+        return [(start, min(start + size, n)) for start in range(0, n, size)]
+
+    def _ensure_pool(self) -> Executor:
+        if self._pool is None:
+            if self.executor_kind == "thread":
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="repro-batch"
+                )
+            else:
+                import multiprocessing as mp
+
+                context = self._mp_context
+                if context is None:
+                    method = "fork" if "fork" in mp.get_all_start_methods() else None
+                    context = mp.get_context(method)
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=context,
+                    initializer=_process_worker_init,
+                    initargs=(
+                        self.engine.artifacts,
+                        self.engine.mode,
+                        self.engine.conv_tile_mb,
+                    ),
+                )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "BatchRunner":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _run_shard(self, index: int, levels: np.ndarray) -> np.ndarray:
+        """One shard in a worker thread: timed span + packed scores."""
+        with stage_timer("batch.shard"):
+            annotate_span(shard=index, samples=len(levels))
+            return self.engine.scores(levels)
+
+    def scores(self, levels: np.ndarray) -> np.ndarray:
+        """Soft-voting class scores (B, n_classes), order preserved."""
+        levels = np.asarray(levels)
+        n = levels.shape[0]
+        spans = self._shards(n)
+        registry = get_registry()
+        with trace_span("batch.run"):
+            annotate_span(
+                batch=n,
+                shards=len(spans),
+                workers=self.workers,
+                executor=self.executor_kind,
+            )
+            registry.gauge("batch.workers").set(self.workers)
+            registry.counter("batch.samples").add(n)
+            registry.counter("batch.shards").add(len(spans))
+            if not spans:
+                return self.engine.scores(levels)
+            if len(spans) == 1 or (
+                self.workers == 1 and self.executor_kind == "thread"
+            ):
+                parts = [
+                    self._run_shard(i, levels[a:b]) for i, (a, b) in enumerate(spans)
+                ]
+                return np.concatenate(parts, axis=0)
+            pool = self._ensure_pool()
+            if self.executor_kind == "thread":
+                futures = [
+                    pool.submit(self._run_shard, i, levels[a:b])
+                    for i, (a, b) in enumerate(spans)
+                ]
+                parts = [f.result() for f in futures]
+            else:
+                futures = [
+                    pool.submit(_process_worker_scores, levels[a:b])
+                    for a, b in spans
+                ]
+                parts = []
+                shard_hist = registry.histogram("batch.shard")
+                for future in futures:
+                    scores, duration = future.result()
+                    shard_hist.observe(duration)
+                    parts.append(scores)
+            return np.concatenate(parts, axis=0)
+
+    def predict(self, levels: np.ndarray) -> np.ndarray:
+        """Predicted labels, order preserved."""
+        return self.scores(levels).argmax(axis=1)
+
+    def score(self, levels: np.ndarray, y: np.ndarray) -> float:
+        """Mean accuracy over the sharded batch."""
+        return float((self.predict(levels) == np.asarray(y)).mean())

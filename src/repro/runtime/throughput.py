@@ -1,0 +1,267 @@
+"""Throughput benchmarking of the packed serving engines.
+
+``bench_throughput`` trains a small model on a registered benchmark and
+measures samples/sec of a fixed-size ``packed.classify`` workload on
+three engine configurations:
+
+* ``seed`` — the legacy stage pipeline on the legacy bit kernels
+  (multiply-accumulate pack + LUT popcount), single-threaded: the seed
+  engine's exact arithmetic, so speedups are measured against a live
+  baseline on the same machine rather than asserted;
+* ``fast`` — the overhauled packed pipeline on the fast kernels,
+  single-threaded (kernel + pipeline win in isolation);
+* ``parallel`` — the fast engine under a :class:`~repro.runtime.batch.BatchRunner`
+  worker pool (what a deployment would run).
+
+Every engine classifies the same batch; the bench asserts their
+predictions are identical before it reports a single number — a
+throughput result from a non-bit-exact engine would be meaningless.
+Per-engine stage breakdowns are captured in separate registries so seed
+and fast p95s are directly comparable in the JSON sidecar, and the CLI
+(``python -m repro bench-throughput``) appends one ``task="throughput"``
+record to the run ledger, which ``write_trajectories`` folds into
+``BENCH_throughput.json`` and ``python -m repro obs compare`` gates on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+
+import numpy as np
+
+from repro.obs import MetricsRegistry, stage_breakdown, using_registry
+from repro.vsa.kernels import kernel_info, publish_kernel_metrics, using_kernels
+
+from .batch import BatchRunner, resolve_workers
+
+__all__ = ["EngineSample", "ThroughputReport", "bench_throughput"]
+
+
+@dataclass
+class EngineSample:
+    """Measured throughput of one engine configuration."""
+
+    name: str
+    samples_per_s: float
+    best_wall_s: float
+    mean_wall_s: float
+    runs: int
+    stages: dict = field(default_factory=dict, repr=False)
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "samples_per_s": self.samples_per_s,
+            "best_wall_s": self.best_wall_s,
+            "mean_wall_s": self.mean_wall_s,
+            "runs": self.runs,
+            "stages": self.stages,
+        }
+
+
+@dataclass
+class ThroughputReport:
+    """Everything one throughput bench measured."""
+
+    benchmark: str
+    batch: int
+    repeats: int
+    workers: int
+    shard_size: int | None
+    executor: str
+    accuracy: float
+    kernels: dict
+    engines: dict[str, EngineSample]
+    config: object = None  # the run's UniVSAConfig (ledger provenance)
+    registry: MetricsRegistry | None = field(default=None, repr=False)
+
+    @property
+    def speedup_vs_seed(self) -> float:
+        seed = self.engines.get("seed")
+        best = self.engines.get("parallel") or self.engines.get("fast")
+        if seed is None or best is None or seed.samples_per_s <= 0:
+            return 0.0
+        return best.samples_per_s / seed.samples_per_s
+
+    def ledger_metrics(self) -> dict[str, float]:
+        """The flat metric dict one ledger record carries."""
+        metrics: dict[str, float] = {
+            "batch": float(self.batch),
+            "workers": float(self.workers),
+            "accuracy": self.accuracy,
+            "speedup_vs_seed": self.speedup_vs_seed,
+        }
+        for name, engine in self.engines.items():
+            suffix = "" if name == "parallel" else f"_{name}"
+            metrics[f"samples_per_s{suffix}"] = engine.samples_per_s
+        return metrics
+
+    def as_dict(self) -> dict:
+        return {
+            "benchmark": self.benchmark,
+            "batch": self.batch,
+            "repeats": self.repeats,
+            "workers": self.workers,
+            "shard_size": self.shard_size,
+            "executor": self.executor,
+            "accuracy": self.accuracy,
+            "kernels": self.kernels,
+            "speedup_vs_seed": self.speedup_vs_seed,
+            "engines": {name: e.as_dict() for name, e in self.engines.items()},
+        }
+
+    def render(self) -> str:
+        from repro.utils.tables import render_kv, render_table
+
+        seed = self.engines.get("seed")
+        rows = []
+        for name in ("seed", "fast", "parallel"):
+            engine = self.engines.get(name)
+            if engine is None:
+                continue
+            relative = (
+                engine.samples_per_s / seed.samples_per_s
+                if seed is not None and seed.samples_per_s > 0
+                else 0.0
+            )
+            rows.append(
+                [
+                    name,
+                    f"{engine.samples_per_s:.1f}",
+                    f"{engine.best_wall_s * 1e3:.2f} ms",
+                    f"{relative:.2f}x",
+                ]
+            )
+        header = render_kv(
+            {
+                "benchmark": self.benchmark,
+                "batch / repeats": f"{self.batch} / {self.repeats}",
+                "workers (executor)": f"{self.workers} ({self.executor})",
+                "kernels": f"{self.kernels['set']} "
+                f"(pack={self.kernels['pack']}, popcount={self.kernels['popcount']})",
+                "accuracy": f"{self.accuracy:.4f}",
+                "speedup vs seed": f"{self.speedup_vs_seed:.2f}x",
+            },
+            title="throughput bench — packed.classify",
+        )
+        table = render_table(
+            ["engine", "samples/s", "best batch wall", "vs seed"],
+            rows,
+            title="engines",
+        )
+        return header + "\n\n" + table
+
+
+def _time_engine(run_scores, batch: np.ndarray, repeats: int, warmup: int):
+    """(best_wall, mean_wall, last_scores) over ``repeats`` timed runs."""
+    for _ in range(max(0, warmup)):
+        scores = run_scores(batch)
+    walls = []
+    for _ in range(max(1, repeats)):
+        start = perf_counter()
+        scores = run_scores(batch)
+        walls.append(perf_counter() - start)
+    return min(walls), float(np.mean(walls)), scores
+
+
+def bench_throughput(
+    benchmark: str,
+    batch: int = 256,
+    repeats: int = 3,
+    warmup: int = 1,
+    workers: int | None = None,
+    shard_size: int | None = None,
+    executor: str = "thread",
+    n_train: int = 120,
+    n_test: int = 60,
+    epochs: int = 2,
+    seed: int = 0,
+) -> ThroughputReport:
+    """Train a small model on ``benchmark`` and measure samples/sec."""
+    from repro.core.inference import BitPackedUniVSA
+    from repro.core.pipeline import run_benchmark
+    from repro.data.registry import get_benchmark
+    from repro.utils.trainloop import TrainConfig
+
+    spec = get_benchmark(benchmark)
+    run = run_benchmark(
+        benchmark,
+        train_config=TrainConfig(
+            epochs=epochs,
+            lr=0.008,
+            seed=seed,
+            balance_classes=spec.spec.class_balance is not None,
+        ),
+        n_train=n_train,
+        n_test=n_test,
+        seed=seed,
+    )
+    x_test, y_test = run.data.x_test, run.data.y_test
+    reps = -(-batch // max(1, len(x_test)))
+    levels = np.concatenate([x_test] * reps)[:batch]
+    labels = np.concatenate([y_test] * reps)[:batch]
+    workers = resolve_workers(workers)
+
+    engines: dict[str, EngineSample] = {}
+    predictions: dict[str, np.ndarray] = {}
+
+    # seed: legacy pipeline on legacy kernels, single thread.
+    seed_engine = BitPackedUniVSA(run.artifacts, mode="legacy")
+    seed_registry = MetricsRegistry()
+    with using_kernels("legacy"), using_registry(seed_registry):
+        best, mean, scores = _time_engine(seed_engine.scores, levels, repeats, warmup)
+    engines["seed"] = EngineSample(
+        "seed", batch / best, best, mean, repeats,
+        stages=stage_breakdown(seed_registry, prefix="packed."),
+    )
+    predictions["seed"] = scores.argmax(axis=1)
+
+    # fast: overhauled pipeline, fast kernels, single thread.
+    fast_engine = BitPackedUniVSA(run.artifacts, mode="fast")
+    fast_registry = MetricsRegistry()
+    with using_kernels("fast"), using_registry(fast_registry):
+        best, mean, scores = _time_engine(fast_engine.scores, levels, repeats, warmup)
+    engines["fast"] = EngineSample(
+        "fast", batch / best, best, mean, repeats,
+        stages=stage_breakdown(fast_registry, prefix="packed."),
+    )
+    predictions["fast"] = scores.argmax(axis=1)
+
+    # parallel: fast engine under the worker pool.
+    parallel_registry = MetricsRegistry()
+    with using_kernels("fast"), using_registry(parallel_registry), BatchRunner(
+        fast_engine, shard_size=shard_size, workers=workers, executor=executor
+    ) as runner:
+        publish_kernel_metrics(parallel_registry)
+        best, mean, scores = _time_engine(runner.scores, levels, repeats, warmup)
+    stages = stage_breakdown(parallel_registry, prefix="packed.")
+    stages.update(stage_breakdown(parallel_registry, prefix="batch."))
+    engines["parallel"] = EngineSample(
+        "parallel", batch / best, best, mean, repeats, stages=stages
+    )
+    predictions["parallel"] = scores.argmax(axis=1)
+
+    # A throughput number from a non-bit-exact engine would be garbage:
+    # every engine must classify the workload identically.
+    for name in ("fast", "parallel"):
+        np.testing.assert_array_equal(
+            predictions[name],
+            predictions["seed"],
+            err_msg=f"engine {name!r} diverged from the seed engine",
+        )
+    accuracy = float((predictions["parallel"] == labels).mean())
+
+    return ThroughputReport(
+        benchmark=benchmark,
+        batch=batch,
+        repeats=repeats,
+        workers=workers,
+        shard_size=shard_size,
+        executor=executor,
+        accuracy=accuracy,
+        kernels=kernel_info(),
+        engines=engines,
+        config=run.config,
+        registry=parallel_registry,
+    )

@@ -3,11 +3,20 @@
 These functions are the software model of the hardware datapath: XNOR +
 popcount on packed words is exactly what the FPGA similarity/encoding units
 compute.  Convention: bipolar +1 maps to bit 1, bipolar -1 maps to bit 0.
+
+The arithmetic itself lives in :mod:`repro.vsa.kernels`, which selects
+between a legacy portable implementation (multiply-accumulate pack,
+16-bit-LUT popcount) and NumPy fast paths (``np.packbits`` pack,
+``np.bitwise_count`` popcount) once at import.  Both sets share the bit
+order, so everything here is bit-exact regardless of the selection.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from .kernels import WORD_BITS as _WORD_BITS
+from .kernels import get_kernels
 
 __all__ = [
     "pack_bipolar",
@@ -17,10 +26,6 @@ __all__ = [
     "hamming_distance_packed",
     "dot_from_matches",
 ]
-
-_WORD_BITS = 64
-# 16-bit popcount lookup table; uint64 popcount = 4 table lookups.
-_POP16 = np.array([bin(i).count("1") for i in range(1 << 16)], dtype=np.uint8)
 
 
 def pack_bipolar(vectors: np.ndarray, validate: bool = True) -> tuple[np.ndarray, int]:
@@ -38,35 +43,17 @@ def pack_bipolar(vectors: np.ndarray, validate: bool = True) -> tuple[np.ndarray
     vectors = np.asarray(vectors)
     if validate and vectors.size and not np.isin(vectors, (-1, 1)).all():
         raise ValueError("pack_bipolar expects entries in {-1, +1}")
-    dim = vectors.shape[-1]
-    n_words = (dim + _WORD_BITS - 1) // _WORD_BITS
-    bits = (vectors > 0).astype(np.uint8)
-    padded = np.zeros(vectors.shape[:-1] + (n_words * _WORD_BITS,), dtype=np.uint8)
-    padded[..., :dim] = bits
-    shaped = padded.reshape(vectors.shape[:-1] + (n_words, _WORD_BITS))
-    weights = (np.uint64(1) << np.arange(_WORD_BITS, dtype=np.uint64)).astype(np.uint64)
-    packed = (shaped.astype(np.uint64) * weights).sum(axis=-1, dtype=np.uint64)
-    return packed, dim
+    return get_kernels().pack(vectors)
 
 
 def unpack_bipolar(packed: np.ndarray, dim: int) -> np.ndarray:
     """Inverse of :func:`pack_bipolar`: words (..., W) -> bipolar (..., D)."""
-    packed = np.asarray(packed, dtype=np.uint64)
-    n_words = packed.shape[-1]
-    shifts = np.arange(_WORD_BITS, dtype=np.uint64)
-    bits = (packed[..., :, None] >> shifts) & np.uint64(1)
-    flat = bits.reshape(packed.shape[:-1] + (n_words * _WORD_BITS,))[..., :dim]
-    return np.where(flat == 1, 1, -1).astype(np.int8)
+    return get_kernels().unpack(packed, dim)
 
 
 def popcount(words: np.ndarray) -> np.ndarray:
-    """Per-element popcount of uint64 words (vectorized table lookup)."""
-    words = np.asarray(words, dtype=np.uint64)
-    mask = np.uint64(0xFFFF)
-    total = _POP16[(words & mask).astype(np.intp)].astype(np.int64)
-    for shift in (16, 32, 48):
-        total += _POP16[((words >> np.uint64(shift)) & mask).astype(np.intp)]
-    return total
+    """Per-element popcount of uint64 words (int64 result)."""
+    return get_kernels().popcount8(words).astype(np.int64)
 
 
 def xnor_popcount(a: np.ndarray, b: np.ndarray, dim: int) -> np.ndarray:
@@ -79,7 +66,8 @@ def xnor_popcount(a: np.ndarray, b: np.ndarray, dim: int) -> np.ndarray:
     b = np.asarray(b, dtype=np.uint64)
     n_words = a.shape[-1]
     pad_bits = n_words * _WORD_BITS - dim
-    matches = popcount(~(a ^ b)).sum(axis=-1)
+    counts = get_kernels().popcount8(~(a ^ b))
+    matches = counts.sum(axis=-1, dtype=np.int64)
     return matches - pad_bits
 
 

@@ -24,6 +24,13 @@ class TestParser:
         assert args.command == "obs"
         assert args.baseline == "prev"
         assert args.max_accuracy_drop == pytest.approx(0.02)
+        assert args.max_throughput_drop == pytest.approx(0.5)
+
+    def test_bench_throughput_registered(self):
+        args = build_parser().parse_args(["bench-throughput", "bci-iii-v"])
+        assert args.command == "bench-throughput"
+        assert args.batch == 256
+        assert args.executor == "thread"
 
     def test_obs_requires_subcommand(self):
         with pytest.raises(SystemExit):
@@ -125,6 +132,43 @@ class TestTrace:
         )
         assert code == 1
         assert "no traces captured" in capsys.readouterr().out
+
+
+class TestBenchThroughput:
+    def test_smoke_writes_json_ledger_and_trajectory(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        ledger = tmp_path / "results" / "ledger.jsonl"
+        code = main(
+            [
+                "bench-throughput",
+                "bci-iii-v",
+                "--batch", "16",
+                "--repeats", "1",
+                "--warmup", "0",
+                "--n-train", "24",
+                "--n-test", "12",
+                "--epochs", "1",
+                "--json", str(tmp_path / "tp.json"),
+                "--ledger", str(ledger),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput bench" in out
+        assert "speedup vs seed" in out
+        for engine in ("seed", "fast", "parallel"):
+            assert engine in out
+
+        import json
+
+        payload = json.loads((tmp_path / "tp.json").read_text())
+        assert set(payload["engines"]) == {"seed", "fast", "parallel"}
+        assert ledger.exists()
+        trajectory = json.loads(
+            (ledger.parent / "BENCH_throughput.json").read_text()
+        )
+        assert trajectory["latest"]["metrics"]["samples_per_s"] > 0
+        assert "speedup_vs_seed" in trajectory["latest"]["metrics"]
 
 
 class TestObsCompare:

@@ -216,6 +216,54 @@ class TestCompareRecords:
         )
         assert report.checks == []
 
+    def test_throughput_drop_fails(self):
+        report = compare_records(
+            *self._pair(
+                {"samples_per_s": 400.0}, {"samples_per_s": 1000.0}
+            )
+        )
+        assert report.regressed
+        (failure,) = report.failures()
+        assert failure.kind == "throughput"
+        assert failure.limit == pytest.approx(500.0)
+
+    def test_throughput_within_tolerance_passes(self):
+        report = compare_records(
+            *self._pair(
+                {"samples_per_s": 600.0}, {"samples_per_s": 1000.0}
+            )
+        )
+        assert not report.regressed
+        assert {c.kind for c in report.checks} == {"throughput"}
+
+    def test_throughput_tolerance_is_tunable(self):
+        current, baseline = self._pair(
+            {"samples_per_s": 400.0}, {"samples_per_s": 1000.0}
+        )
+        assert not compare_records(
+            current, baseline, max_throughput_drop=0.7
+        ).regressed
+        assert compare_records(
+            current, baseline, max_throughput_drop=0.5
+        ).regressed
+
+    def test_zero_baseline_throughput_is_skipped(self):
+        report = compare_records(
+            *self._pair({"samples_per_s": 100.0}, {"samples_per_s": 0.0})
+        )
+        assert report.checks == []
+
+    def test_all_per_s_metrics_are_gated(self):
+        report = compare_records(
+            *self._pair(
+                {"samples_per_s": 900.0, "samples_per_s_fast": 100.0},
+                {"samples_per_s": 1000.0, "samples_per_s_fast": 1000.0},
+            )
+        )
+        assert report.regressed
+        (failure,) = report.failures()
+        assert failure.name == "samples_per_s_fast"
+
     def test_render_mentions_verdict(self):
         report = compare_records(*self._pair({"accuracy": 0.5}, {"accuracy": 0.9}))
         text = report.render()

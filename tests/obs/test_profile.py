@@ -66,6 +66,15 @@ class TestProfileBenchmark:
         assert state["packed_stages"]
         assert state["metrics"]["stages"]
 
+    def test_kernel_dispatch_recorded(self, report):
+        assert report.kernels["set"] in ("fast", "legacy")
+        assert report.workers >= 1
+        assert "kernels" in report.render()
+        assert report.registry.gauge("kernels.pack_packbits").value in (0.0, 1.0)
+        state = report.as_dict()
+        assert state["kernels"]["pack"] in ("packbits", "mac64")
+        assert state["workers"] == report.workers
+
 
 class TestProfileCli:
     def test_cli_prints_table_and_writes_json(self, tmp_path, capsys):

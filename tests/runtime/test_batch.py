@@ -1,0 +1,132 @@
+"""BatchRunner: order preservation, executor modes, observability."""
+
+import numpy as np
+import pytest
+
+from repro.core import BitPackedUniVSA, UniVSAConfig, UniVSAModel, extract_artifacts
+from repro.obs import MetricsRegistry, Tracer, using_registry, using_tracer
+from repro.runtime import BatchRunner, resolve_workers
+
+LEVELS = 10
+SHAPE = (5, 8)
+CONFIG = UniVSAConfig(
+    d_high=4, d_low=2, kernel_size=3, out_channels=6, voters=2, levels=LEVELS
+)
+
+
+def _mask():
+    mask = np.zeros(SHAPE, dtype=np.int8)
+    mask[::2] = 1
+    return mask
+
+
+@pytest.fixture(scope="module")
+def engine():
+    model = UniVSAModel(SHAPE, 3, CONFIG, mask=_mask(), seed=0)
+    return BitPackedUniVSA(extract_artifacts(model))
+
+
+def _levels_batch(n, seed=0):
+    return np.random.default_rng(seed).integers(0, LEVELS, size=(n,) + SHAPE)
+
+
+class TestResolveWorkers:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "7")
+        assert resolve_workers(3) == 3
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "5")
+        assert resolve_workers() == 5
+
+    def test_garbage_env_falls_through(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "lots")
+        assert resolve_workers() >= 1
+
+    def test_floor_of_one(self):
+        assert resolve_workers(0) == 1
+        assert resolve_workers(-4) == 1
+
+
+class TestSharding:
+    def test_default_shards_are_order_covering(self, engine):
+        runner = BatchRunner(engine, workers=2)
+        spans = runner._shards(11)
+        assert spans[0][0] == 0 and spans[-1][1] == 11
+        rebuilt = [i for a, b in spans for i in range(a, b)]
+        assert rebuilt == list(range(11))
+
+    def test_explicit_shard_size(self, engine):
+        runner = BatchRunner(engine, shard_size=4)
+        assert runner._shards(10) == [(0, 4), (4, 8), (8, 10)]
+
+    def test_shard_size_larger_than_batch(self, engine):
+        runner = BatchRunner(engine, shard_size=100)
+        assert runner._shards(3) == [(0, 3)]
+
+    def test_rejects_unknown_executor(self, engine):
+        with pytest.raises(ValueError, match="unknown executor"):
+            BatchRunner(engine, executor="fiber")
+
+
+class TestThreadedScores:
+    def test_matches_direct_engine_and_preserves_order(self, engine):
+        levels = _levels_batch(23, seed=1)
+        expected = engine.scores(levels)
+        with BatchRunner(engine, shard_size=5, workers=3) as runner:
+            np.testing.assert_array_equal(runner.scores(levels), expected)
+            np.testing.assert_array_equal(
+                runner.predict(levels), expected.argmax(axis=1)
+            )
+
+    def test_single_worker_runs_inline(self, engine):
+        levels = _levels_batch(8, seed=2)
+        with BatchRunner(engine, shard_size=3, workers=1) as runner:
+            np.testing.assert_array_equal(
+                runner.scores(levels), engine.scores(levels)
+            )
+            assert runner._pool is None  # never spun up a pool
+
+    def test_empty_batch(self, engine):
+        with BatchRunner(engine, workers=2) as runner:
+            scores = runner.scores(_levels_batch(0))
+        assert scores.shape[0] == 0
+
+    def test_score_accuracy(self, engine):
+        levels = _levels_batch(12, seed=3)
+        y = engine.predict(levels)
+        with BatchRunner(engine, shard_size=4, workers=2) as runner:
+            assert runner.score(levels, y) == 1.0
+
+
+class TestObservability:
+    def test_metrics_and_spans(self, engine):
+        levels = _levels_batch(10, seed=4)
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        with using_registry(registry), using_tracer(tracer):
+            with BatchRunner(engine, shard_size=4, workers=2) as runner:
+                runner.scores(levels)
+        assert registry.counter("batch.samples").value == 10
+        assert registry.counter("batch.shards").value == 3
+        assert registry.gauge("batch.workers").value == 2
+        assert registry.histogram("batch.shard").count == 3
+        roots = [trace[0].name for trace in tracer.traces()]
+        assert "batch.run" in roots
+        run_root = next(t[0] for t in tracer.traces() if t[0].name == "batch.run")
+        assert run_root.attrs["batch"] == 10
+        assert run_root.attrs["shards"] == 3
+
+
+class TestProcessExecutor:
+    def test_matches_direct_engine(self, engine):
+        levels = _levels_batch(9, seed=5)
+        expected = engine.scores(levels)
+        registry = MetricsRegistry()
+        with using_registry(registry):
+            with BatchRunner(
+                engine, shard_size=3, workers=2, executor="process"
+            ) as runner:
+                np.testing.assert_array_equal(runner.scores(levels), expected)
+        # parent-side shard timings observed from worker-reported durations
+        assert registry.histogram("batch.shard").count == 3
