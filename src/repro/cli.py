@@ -1,5 +1,5 @@
 """Command-line interface: train / evaluate / hw / search / profile /
-trace / bench-throughput / obs / info.
+trace / bench-throughput / chaos / fault-sweep / obs / info.
 
     python -m repro info
     python -m repro train isolet --epochs 12 --out isolet.npz
@@ -9,6 +9,8 @@ trace / bench-throughput / obs / info.
     python -m repro profile bci-iii-v --json bci.profile.json
     python -m repro trace bci-iii-v --samples 4 --jsonl bci.traces.jsonl
     python -m repro bench-throughput bci-iii-v --batch 256
+    python -m repro chaos bci-iii-v --spec raise:0.1,delay:5ms
+    python -m repro fault-sweep bci-iii-v --fractions 0.001,0.01,0.1
     python -m repro obs compare --task bci-iii-v --baseline prev
 
 Training, search, and profile runs append one record to the run ledger
@@ -310,6 +312,191 @@ def _cmd_bench_throughput(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Run one resilient batch under an injected-fault spec and report."""
+    from repro.obs import MetricsRegistry, using_registry
+    from repro.runtime import (
+        ChaosSpec,
+        CircuitOpenError,
+        ResilientBatchRunner,
+        RetryPolicy,
+    )
+    from repro.core.inference import BitPackedUniVSA
+
+    benchmark = get_benchmark(args.benchmark)
+    run = run_benchmark(
+        args.benchmark,
+        train_config=TrainConfig(
+            epochs=args.epochs,
+            lr=0.008,
+            seed=args.seed,
+            balance_classes=benchmark.spec.class_balance is not None,
+        ),
+        n_train=args.n_train,
+        n_test=args.n_test,
+        seed=args.seed,
+    )
+    reps = -(-args.batch // max(1, len(run.data.x_test)))
+    levels = np.concatenate([run.data.x_test] * reps)[: args.batch]
+    labels = np.concatenate([run.data.y_test] * reps)[: args.batch]
+
+    chaos = (
+        ChaosSpec.parse(args.spec, seed=args.chaos_seed)
+        if args.spec
+        else ChaosSpec.from_env()
+    )
+    policy = RetryPolicy.from_env()
+    if args.retries is not None:
+        import dataclasses
+
+        policy = dataclasses.replace(policy, max_retries=max(0, args.retries))
+    engine = BitPackedUniVSA(run.artifacts, mode="fast")
+    breaker_open = False
+    with using_registry(MetricsRegistry()) as registry:
+        with ResilientBatchRunner(
+            engine,
+            shard_size=args.shard_size,
+            workers=args.workers,
+            executor=args.executor,
+            policy=policy,
+            chaos=chaos,
+        ) as runner:
+            try:
+                result = runner.run(levels)
+                report = result.report
+                predictions = result.predictions
+            except CircuitOpenError as exc:
+                report = exc.report
+                predictions = None
+                breaker_open = True
+    print(report.render())
+    metrics = {
+        "batch": float(args.batch),
+        "retries": float(report.retries),
+        "fallbacks": float(report.fallbacks),
+        "quarantined": float(len(report.quarantined)),
+        "failed_samples": float(len(report.failed_samples)),
+        "breaker_open": float(report.breaker_open),
+    }
+    if predictions is not None:
+        # Accuracy and seed-engine agreement over the samples that were
+        # actually served (quarantined/failed rows carry the sentinel).
+        included = np.ones(args.batch, dtype=bool)
+        included[report.excluded] = False
+        if included.any():
+            reference = engine.sibling("legacy").scores(levels).argmax(axis=1)
+            metrics["accuracy"] = float(
+                (predictions[included] == labels[included]).mean()
+            )
+            metrics["seed_mismatches"] = float(
+                (predictions[included] != reference[included]).sum()
+            )
+            print(
+                f"\nserved {int(included.sum())}/{args.batch} samples · "
+                f"accuracy {metrics['accuracy']:.4f} · "
+                f"seed mismatches {int(metrics['seed_mismatches'])}"
+            )
+    _append_ledger(
+        args,
+        "chaos",
+        "chaos",
+        config=run.config,
+        metrics=metrics,
+        registry=registry,
+    )
+    return 1 if breaker_open else 0
+
+
+def _cmd_fault_sweep(args: argparse.Namespace) -> int:
+    """Accuracy vs memory flip rate, served through the resilient runtime."""
+    import json
+    from pathlib import Path
+
+    from repro.hw.faults import fault_sweep
+    from repro.obs import MetricsRegistry, using_registry
+    from repro.runtime import serving_predict_fn
+
+    benchmark = get_benchmark(args.benchmark)
+    run = run_benchmark(
+        args.benchmark,
+        train_config=TrainConfig(
+            epochs=args.epochs,
+            lr=0.008,
+            seed=args.seed,
+            balance_classes=benchmark.spec.class_balance is not None,
+        ),
+        n_train=args.n_train,
+        n_test=args.n_test,
+        seed=args.seed,
+    )
+    fractions = tuple(float(f) for f in args.fractions.split(","))
+    groups = tuple(args.groups.split(",")) if args.groups else None
+    kwargs = {"groups": groups} if groups else {}
+    if args.reference:
+        predict_fn = None  # artifact-level integer reference path
+    else:
+        predict_fn = serving_predict_fn(
+            executor=args.executor,
+            workers=args.workers,
+            shard_size=args.shard_size,
+        )
+    with using_registry(MetricsRegistry()) as registry:
+        report = fault_sweep(
+            run.artifacts,
+            run.data.x_test,
+            run.data.y_test,
+            flip_fractions=fractions,
+            seed=args.seed,
+            predict_fn=predict_fn,
+            **kwargs,
+        )
+    rows = [
+        [f"{f:g}", f"{a:.4f}", f"{d:+.4f}"]
+        for f, a, d in zip(
+            report.flip_fractions, report.accuracies, report.degradation()
+        )
+    ]
+    print(render_kv(
+        {
+            "benchmark": args.benchmark,
+            "path": "reference" if args.reference else "resilient serving",
+            "groups": args.groups or "all",
+            "baseline accuracy": f"{report.baseline_accuracy:.4f}",
+        },
+        title="fault sweep — bit flips in stored memories",
+    ))
+    print()
+    print(render_table(["flip fraction", "accuracy", "drop"], rows, title="sweep"))
+    payload = report.as_dict()
+    payload.update(
+        benchmark=args.benchmark,
+        groups=list(groups) if groups else "all",
+        serving_path="reference" if args.reference else "resilient",
+        seed=args.seed,
+    )
+    json_path = Path(
+        args.json or f"benchmarks/results/{args.benchmark}-fault-sweep.json"
+    )
+    json_path.parent.mkdir(parents=True, exist_ok=True)
+    with open(json_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nfault-sweep JSON written to {json_path}")
+    metrics = {"accuracy": report.baseline_accuracy}
+    for fraction, accuracy in zip(report.flip_fractions, report.accuracies):
+        metrics[f"accuracy_flip_{fraction:g}"] = accuracy
+    metrics["max_degradation"] = max(report.degradation(), default=0.0)
+    _append_ledger(
+        args,
+        "bench",
+        "fault-sweep",
+        config=run.config,
+        metrics=metrics,
+        registry=registry,
+    )
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     """Trace end-to-end classifications and render the span trees."""
     import numpy as np
@@ -533,6 +720,73 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--json", help="report JSON path (default <benchmark>-throughput.json)")
     _add_ledger_flags(bench)
     bench.set_defaults(func=_cmd_bench_throughput)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run one resilient batch under an injected-fault spec "
+        "(raise:P,delay:DUR,bitflip:RATE,crash:P) and print the shard report",
+    )
+    chaos.add_argument("benchmark")
+    chaos.add_argument(
+        "--spec",
+        help="chaos spec, e.g. 'raise:0.1,delay:5ms,bitflip:1e-4' "
+        "(default: REPRO_CHAOS)",
+    )
+    chaos.add_argument(
+        "--chaos-seed", type=int, default=0, help="fault-injection RNG seed"
+    )
+    chaos.add_argument("--batch", type=int, default=256, help="workload batch size")
+    chaos.add_argument("--retries", type=int, default=None, help="max retries per shard")
+    chaos.add_argument("--workers", type=int, default=None, help="pool size")
+    chaos.add_argument("--shard-size", type=int, default=None, help="samples per shard")
+    chaos.add_argument(
+        "--executor", choices=("thread", "process"), default="thread",
+        help="worker pool kind (default thread)",
+    )
+    chaos.add_argument("--n-train", type=int, default=120)
+    chaos.add_argument("--n-test", type=int, default=60)
+    chaos.add_argument("--epochs", type=int, default=2)
+    chaos.add_argument("--seed", type=int, default=0)
+    _add_ledger_flags(chaos)
+    chaos.set_defaults(func=_cmd_chaos)
+
+    sweep = sub.add_parser(
+        "fault-sweep",
+        help="accuracy vs stored-memory bit-flip rate, served through the "
+        "resilient packed runtime",
+    )
+    sweep.add_argument("benchmark")
+    sweep.add_argument(
+        "--fractions",
+        default="0.001,0.01,0.05,0.1",
+        help="comma-separated flip fractions (default 0.001,0.01,0.05,0.1)",
+    )
+    sweep.add_argument(
+        "--groups",
+        help="comma-separated memory groups to corrupt (default: all)",
+    )
+    sweep.add_argument(
+        "--reference",
+        action="store_true",
+        help="use the artifact-level integer reference path instead of the "
+        "resilient serving path",
+    )
+    sweep.add_argument("--workers", type=int, default=None, help="pool size")
+    sweep.add_argument("--shard-size", type=int, default=None, help="samples per shard")
+    sweep.add_argument(
+        "--executor", choices=("thread", "process"), default="thread",
+        help="worker pool kind (default thread)",
+    )
+    sweep.add_argument("--n-train", type=int, default=120)
+    sweep.add_argument("--n-test", type=int, default=60)
+    sweep.add_argument("--epochs", type=int, default=2)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument(
+        "--json",
+        help="sweep JSON path (default benchmarks/results/<benchmark>-fault-sweep.json)",
+    )
+    _add_ledger_flags(sweep)
+    sweep.set_defaults(func=_cmd_fault_sweep)
 
     trace = sub.add_parser(
         "trace",

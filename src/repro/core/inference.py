@@ -334,6 +334,25 @@ class BitPackedUniVSA:
         return self._encode_stage(feature)
 
     # ------------------------------------------------------------------
+    @property
+    def n_levels(self) -> int:
+        """Quantizer levels the ValueBox covers — valid inputs are [0, n)."""
+        return self.artifacts.value_high.shape[0]
+
+    def sibling(self, mode: str, conv_tile_mb: float | None = None) -> "BitPackedUniVSA":
+        """An engine over the *same* artifacts in a different mode.
+
+        The resilience layer's degradation ladder uses this to build the
+        seed-exact ``legacy`` fallback engine without re-extracting or
+        copying artifacts; ``REPRO_ENGINE`` parity tests guarantee the
+        sibling is bit-exact with this engine.
+        """
+        return BitPackedUniVSA(
+            self.artifacts,
+            mode=mode,
+            conv_tile_mb=self.conv_tile_mb if conv_tile_mb is None else conv_tile_mb,
+        )
+
     def encode(self, levels: np.ndarray) -> np.ndarray:
         """Levels (B, W, L) -> bipolar sample vectors (B, W*L)."""
         if self.mode == "fast":

@@ -5,6 +5,13 @@ robustness to memory corruption — single-event upsets in the BRAM holding
 F or the LUTRAM holding V/K/C.  Binary VSA's holographic representations
 degrade gracefully under such flips; this module quantifies that for a
 deployed UniVSA model.
+
+``fault_sweep`` accepts a ``predict_fn`` so the sweep can run through any
+serving configuration — the default is the artifact-level integer
+reference path; :func:`repro.runtime.resilience.serving_predict_fn`
+routes it through the packed engines under a
+:class:`~repro.runtime.resilience.ResilientBatchRunner` (what
+``python -m repro fault-sweep`` measures).
 """
 
 from __future__ import annotations
@@ -25,32 +32,39 @@ def inject_bit_flips(
     artifacts: UniVSAArtifacts,
     flip_fraction: float,
     groups: tuple[str, ...] = _GROUPS,
-    seed: int = 0,
+    seed: int | np.random.Generator = 0,
 ) -> UniVSAArtifacts:
     """Return a copy with ``flip_fraction`` of the selected bits flipped.
 
     ``groups`` selects which stored memories are corrupted; groups not
-    present in the artifact (e.g. ``kernel`` with BiConv off) are skipped.
+    present in the artifact (e.g. ``kernel`` with BiConv off) are
+    skipped.  Only the selected memories are copied — everything else
+    (including the config, mask, and unselected groups) is *shared* with
+    the input, so sweeping one group of a large model never deep-copies
+    the rest.  ``seed`` may be an int (a fresh generator per call, so the
+    same seed reproduces the same flip positions) or an
+    ``np.random.Generator`` to thread one stream through many injections.
     """
     if not 0.0 <= flip_fraction <= 1.0:
         raise ValueError("flip_fraction must be in [0, 1]")
     unknown = set(groups) - set(_GROUPS)
     if unknown:
         raise ValueError(f"unknown memory groups: {sorted(unknown)}")
-    corrupted = copy.deepcopy(artifacts)
-    rng = np.random.default_rng(seed)
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    corrupted = copy.copy(artifacts)
     for group in groups:
-        array = getattr(corrupted, group)
+        array = getattr(artifacts, group)
         if array is None:
             continue
+        array = array.copy()
         n_flips = int(round(flip_fraction * array.size))
-        if n_flips == 0:
-            continue
-        idx = rng.choice(array.size, size=n_flips, replace=False)
-        # array.flat writes through for any memory layout; reshape(-1)
-        # silently returns a copy for non-contiguous arrays and the
-        # flips would be lost.
-        array.flat[idx] = -array.flat[idx]
+        if n_flips:
+            idx = rng.choice(array.size, size=n_flips, replace=False)
+            # array.flat writes through for any memory layout; reshape(-1)
+            # silently returns a copy for non-contiguous arrays and the
+            # flips would be lost.
+            array.flat[idx] = -array.flat[idx]
+        setattr(corrupted, group, array)
     return corrupted
 
 
@@ -66,6 +80,15 @@ class FaultReport:
         """Accuracy drop vs the fault-free model, per flip rate."""
         return [self.baseline_accuracy - a for a in self.accuracies]
 
+    def as_dict(self) -> dict:
+        """JSON-friendly view (the fault-sweep sidecar payload)."""
+        return {
+            "flip_fractions": list(self.flip_fractions),
+            "accuracies": list(self.accuracies),
+            "baseline_accuracy": self.baseline_accuracy,
+            "degradation": self.degradation(),
+        }
+
 
 def fault_sweep(
     artifacts: UniVSAArtifacts,
@@ -74,14 +97,24 @@ def fault_sweep(
     flip_fractions: tuple[float, ...] = (0.001, 0.01, 0.05, 0.1),
     groups: tuple[str, ...] = _GROUPS,
     seed: int = 0,
+    predict_fn=None,
 ) -> FaultReport:
-    """Measure accuracy under increasing memory-corruption rates."""
+    """Measure accuracy under increasing memory-corruption rates.
+
+    ``predict_fn(artifacts, levels) -> predictions`` selects the serving
+    path; the default is the integer reference (``artifacts.predict``).
+    An int ``seed`` reproduces the same flip positions at every fraction,
+    so sweep points differ only in corruption *rate*, not location luck.
+    """
     labels = np.asarray(labels)
-    baseline = float((artifacts.predict(levels) == labels).mean())
+    if predict_fn is None:
+        predict_fn = lambda model, x: model.predict(x)  # noqa: E731
+    baseline = float((np.asarray(predict_fn(artifacts, levels)) == labels).mean())
     accuracies = []
     for fraction in flip_fractions:
         corrupted = inject_bit_flips(artifacts, fraction, groups=groups, seed=seed)
-        accuracies.append(float((corrupted.predict(levels) == labels).mean()))
+        predictions = np.asarray(predict_fn(corrupted, levels))
+        accuracies.append(float((predictions == labels).mean()))
     return FaultReport(
         flip_fractions=list(flip_fractions),
         accuracies=accuracies,

@@ -31,6 +31,7 @@ from .registry import MetricsRegistry, NullRegistry
 __all__ = [
     "DEFAULT_LEDGER_PATH",
     "MARGIN_HISTOGRAM",
+    "RESILIENCE_NAMESPACE",
     "RunRecord",
     "Ledger",
     "config_hash",
@@ -62,6 +63,13 @@ STAGE_NAMESPACES = (
     "ldc",
     "batch",
 )
+
+#: Counter/gauge namespace the resilience layer records failure handling
+#: into.  Harvested verbatim into every record's metrics, so a degraded
+#: run (retries, engine fallbacks, quarantined samples, an open breaker)
+#: is marked in the ledger without the caller threading the counts
+#: through by hand.
+RESILIENCE_NAMESPACE = "resilience."
 
 
 def config_hash(config) -> str:
@@ -218,11 +226,16 @@ def record_run(
         config_payload = dict(config) if config else {}
     stages: dict = {}
     margin: dict = {}
+    all_metrics = dict(metrics or {})
     if registry is not None and registry.enabled:
         stages = _stage_summaries(registry)
         margin_hist = registry.histograms().get(MARGIN_HISTOGRAM)
         if margin_hist is not None:
             margin = margin_hist.summary()
+        resilience = dict(registry.counter_values(RESILIENCE_NAMESPACE))
+        resilience.update(registry.gauge_values(RESILIENCE_NAMESPACE))
+        for name, value in resilience.items():
+            all_metrics.setdefault(name, value)
     record = RunRecord(
         kind=kind,
         task=task,
@@ -232,7 +245,7 @@ def record_run(
         config=config_payload,
         config_hash=config_hash(config_payload),
         env=budget_env(),
-        metrics=dict(metrics or {}),
+        metrics=all_metrics,
         stages=stages,
         margin=margin,
     )

@@ -227,6 +227,26 @@ class MetricsRegistry:
         """Snapshot of the gauge table."""
         return dict(self._gauges)
 
+    def counter_values(self, prefix: str = "") -> dict[str, float]:
+        """Name -> value for counters whose name starts with ``prefix``.
+
+        The run ledger uses this to harvest whole metric namespaces
+        (e.g. ``resilience.``) into a record without enumerating names.
+        """
+        return {
+            name: float(counter.value)
+            for name, counter in self._counters.items()
+            if name.startswith(prefix)
+        }
+
+    def gauge_values(self, prefix: str = "") -> dict[str, float]:
+        """Name -> value for gauges whose name starts with ``prefix``."""
+        return {
+            name: float(gauge.value)
+            for name, gauge in self._gauges.items()
+            if name.startswith(prefix)
+        }
+
     def histograms(self) -> dict[str, LatencyHistogram]:
         """Snapshot of the histogram table."""
         return dict(self._histograms)
@@ -304,6 +324,14 @@ class NullRegistry:
         return {}
 
     def gauges(self) -> dict[str, Gauge]:
+        """Always empty."""
+        return {}
+
+    def counter_values(self, prefix: str = "") -> dict[str, float]:
+        """Always empty."""
+        return {}
+
+    def gauge_values(self, prefix: str = "") -> dict[str, float]:
         """Always empty."""
         return {}
 

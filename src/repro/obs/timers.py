@@ -64,6 +64,12 @@ class stage_timer:
             if registry is not None:
                 registry.histogram(self.name).observe(end - self._start)
             if span is not None:
+                if exc_type is not None:
+                    # Same discipline as trace_span: a stage that raised
+                    # is marked so retries are attributable in the tree.
+                    attrs = span.attrs if span.attrs is not None else {}
+                    attrs.setdefault("error", exc_type.__name__)
+                    span.attrs = attrs
                 self._tracer.close_span(span, self._start, end)
                 return False
         if self._tracer is not None:

@@ -320,6 +320,13 @@ class trace_span:
         if tracer is not None:
             span = self._span
             if span is not None:
+                if exc_type is not None:
+                    # A span that ends by exception carries the error
+                    # class, so failed/retried work is visible in the
+                    # rendered tree and the JSONL export.
+                    attrs = span.attrs if span.attrs is not None else {}
+                    attrs.setdefault("error", exc_type.__name__)
+                    span.attrs = attrs
                 tracer.close_span(span, self._start, perf_counter())
             else:
                 tracer.close_span(None, 0.0, 0.0)

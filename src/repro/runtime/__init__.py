@@ -1,6 +1,18 @@
-"""Deployment runtimes for deployed UniVSA models: streaming + batch."""
+"""Deployment runtimes for deployed UniVSA models: streaming + batch +
+fault-tolerant serving (retry/fallback/quarantine/breaker + chaos)."""
 
 from .batch import BatchRunner, resolve_workers
+from .chaos import ChaosError, ChaosSpec, chaos_context, chaos_kernels, parse_chaos
+from .resilience import (
+    BatchReport,
+    BatchResult,
+    CircuitOpenError,
+    ResilientBatchRunner,
+    RetryPolicy,
+    ShardStatus,
+    serving_predict_fn,
+    validate_levels,
+)
 from .stream import StreamingClassifier, StreamingDecision
 from .throughput import EngineSample, ThroughputReport, bench_throughput
 
@@ -12,4 +24,19 @@ __all__ = [
     "EngineSample",
     "ThroughputReport",
     "bench_throughput",
+    # resilience
+    "RetryPolicy",
+    "ShardStatus",
+    "BatchReport",
+    "BatchResult",
+    "CircuitOpenError",
+    "ResilientBatchRunner",
+    "validate_levels",
+    "serving_predict_fn",
+    # chaos
+    "ChaosSpec",
+    "ChaosError",
+    "chaos_context",
+    "chaos_kernels",
+    "parse_chaos",
 ]

@@ -121,30 +121,51 @@ class BatchRunner:
         size = max(1, int(size))
         return [(start, min(start + size, n)) for start in range(0, n, size)]
 
+    def _pool_initializer(self):
+        """(initializer, initargs) for process pools; overridable seam."""
+        return _process_worker_init, (
+            self.engine.artifacts,
+            self.engine.mode,
+            self.engine.conv_tile_mb,
+        )
+
+    def _make_pool(self) -> Executor:
+        """Build a fresh worker pool (also the rebuild path after a crash)."""
+        if self.executor_kind == "thread":
+            return ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-batch"
+            )
+        import multiprocessing as mp
+
+        context = self._mp_context
+        if context is None:
+            method = "fork" if "fork" in mp.get_all_start_methods() else None
+            context = mp.get_context(method)
+        initializer, initargs = self._pool_initializer()
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=context,
+            initializer=initializer,
+            initargs=initargs,
+        )
+
     def _ensure_pool(self) -> Executor:
         if self._pool is None:
-            if self.executor_kind == "thread":
-                self._pool = ThreadPoolExecutor(
-                    max_workers=self.workers, thread_name_prefix="repro-batch"
-                )
-            else:
-                import multiprocessing as mp
-
-                context = self._mp_context
-                if context is None:
-                    method = "fork" if "fork" in mp.get_all_start_methods() else None
-                    context = mp.get_context(method)
-                self._pool = ProcessPoolExecutor(
-                    max_workers=self.workers,
-                    mp_context=context,
-                    initializer=_process_worker_init,
-                    initargs=(
-                        self.engine.artifacts,
-                        self.engine.mode,
-                        self.engine.conv_tile_mb,
-                    ),
-                )
+            self._pool = self._make_pool()
         return self._pool
+
+    def _replace_pool(self) -> Executor:
+        """Discard the (possibly broken) pool and spin up a fresh one.
+
+        A crashed process worker poisons the whole ``ProcessPoolExecutor``
+        — every pending future raises ``BrokenProcessPool`` — so recovery
+        is a pool replacement, not a worker restart.  ``shutdown`` on a
+        broken pool only reaps what is left; it never blocks on lost work.
+        """
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        return self._ensure_pool()
 
     def close(self) -> None:
         """Shut the worker pool down (idempotent)."""

@@ -10,8 +10,11 @@ three engine configurations:
   baseline on the same machine rather than asserted;
 * ``fast`` — the overhauled packed pipeline on the fast kernels,
   single-threaded (kernel + pipeline win in isolation);
-* ``parallel`` — the fast engine under a :class:`~repro.runtime.batch.BatchRunner`
-  worker pool (what a deployment would run).
+* ``parallel`` — the fast engine under a
+  :class:`~repro.runtime.resilience.ResilientBatchRunner` worker pool
+  (what a deployment would run).  ``REPRO_CHAOS`` turns the same bench
+  into a chaos smoke test: faults are injected at the shard seam and the
+  report must still account for every sample.
 
 Every engine classifies the same batch; the bench asserts their
 predictions are identical before it reports a single number — a
@@ -33,7 +36,9 @@ import numpy as np
 from repro.obs import MetricsRegistry, stage_breakdown, using_registry
 from repro.vsa.kernels import kernel_info, publish_kernel_metrics, using_kernels
 
-from .batch import BatchRunner, resolve_workers
+from .batch import resolve_workers
+from .chaos import ChaosSpec
+from .resilience import ResilientBatchRunner, RetryPolicy
 
 __all__ = ["EngineSample", "ThroughputReport", "bench_throughput"]
 
@@ -75,6 +80,9 @@ class ThroughputReport:
     engines: dict[str, EngineSample]
     config: object = None  # the run's UniVSAConfig (ledger provenance)
     registry: MetricsRegistry | None = field(default=None, repr=False)
+    resilience: dict = field(default_factory=dict)  # BatchReport of the last run
+    chaos: dict = field(default_factory=dict)  # active ChaosSpec (empty = off)
+    prediction_mismatches: int = 0  # non-excluded divergences (bitflip chaos only)
 
     @property
     def speedup_vs_seed(self) -> float:
@@ -95,6 +103,19 @@ class ThroughputReport:
         for name, engine in self.engines.items():
             suffix = "" if name == "parallel" else f"_{name}"
             metrics[f"samples_per_s{suffix}"] = engine.samples_per_s
+        if self.resilience:
+            metrics["resilience_retries"] = float(
+                self.resilience.get("retries", 0)
+            )
+            metrics["resilience_fallbacks"] = float(
+                self.resilience.get("fallbacks", 0)
+            )
+            metrics["resilience_quarantined"] = float(
+                len(self.resilience.get("quarantined", {}))
+            )
+            metrics["resilience_degraded"] = float(
+                bool(self.resilience.get("degraded", False))
+            )
         return metrics
 
     def as_dict(self) -> dict:
@@ -109,6 +130,9 @@ class ThroughputReport:
             "kernels": self.kernels,
             "speedup_vs_seed": self.speedup_vs_seed,
             "engines": {name: e.as_dict() for name, e in self.engines.items()},
+            "resilience": self.resilience,
+            "chaos": self.chaos,
+            "prediction_mismatches": self.prediction_mismatches,
         }
 
     def render(self) -> str:
@@ -133,18 +157,27 @@ class ThroughputReport:
                     f"{relative:.2f}x",
                 ]
             )
-        header = render_kv(
-            {
-                "benchmark": self.benchmark,
-                "batch / repeats": f"{self.batch} / {self.repeats}",
-                "workers (executor)": f"{self.workers} ({self.executor})",
-                "kernels": f"{self.kernels['set']} "
-                f"(pack={self.kernels['pack']}, popcount={self.kernels['popcount']})",
-                "accuracy": f"{self.accuracy:.4f}",
-                "speedup vs seed": f"{self.speedup_vs_seed:.2f}x",
-            },
-            title="throughput bench — packed.classify",
-        )
+        fields = {
+            "benchmark": self.benchmark,
+            "batch / repeats": f"{self.batch} / {self.repeats}",
+            "workers (executor)": f"{self.workers} ({self.executor})",
+            "kernels": f"{self.kernels['set']} "
+            f"(pack={self.kernels['pack']}, popcount={self.kernels['popcount']})",
+            "accuracy": f"{self.accuracy:.4f}",
+            "speedup vs seed": f"{self.speedup_vs_seed:.2f}x",
+        }
+        if self.chaos:
+            fields["chaos"] = ", ".join(
+                f"{k}={v}" for k, v in self.chaos.items() if v
+            )
+        if self.resilience:
+            fields["resilience"] = (
+                f"retries={self.resilience.get('retries', 0)} "
+                f"fallbacks={self.resilience.get('fallbacks', 0)} "
+                f"quarantined={len(self.resilience.get('quarantined', {}))} "
+                f"mismatches={self.prediction_mismatches}"
+            )
+        header = render_kv(fields, title="throughput bench — packed.classify")
         table = render_table(
             ["engine", "samples/s", "best batch wall", "vs seed"],
             rows,
@@ -228,29 +261,57 @@ def bench_throughput(
     )
     predictions["fast"] = scores.argmax(axis=1)
 
-    # parallel: fast engine under the worker pool.
+    # parallel: fast engine under the fault-tolerant worker pool.  Chaos
+    # comes from the environment (REPRO_CHAOS) so the same bench doubles
+    # as the chaos-smoke entrypoint: under injected faults the runner must
+    # still return an order-preserving batch with a populated report.
+    chaos = ChaosSpec.from_env()
     parallel_registry = MetricsRegistry()
-    with using_kernels("fast"), using_registry(parallel_registry), BatchRunner(
-        fast_engine, shard_size=shard_size, workers=workers, executor=executor
+    with using_kernels("fast"), using_registry(
+        parallel_registry
+    ), ResilientBatchRunner(
+        fast_engine,
+        shard_size=shard_size,
+        workers=workers,
+        executor=executor,
+        policy=RetryPolicy.from_env(),
+        chaos=chaos,
     ) as runner:
         publish_kernel_metrics(parallel_registry)
-        best, mean, scores = _time_engine(runner.scores, levels, repeats, warmup)
+        best, mean, result = _time_engine(runner.run, levels, repeats, warmup)
     stages = stage_breakdown(parallel_registry, prefix="packed.")
     stages.update(stage_breakdown(parallel_registry, prefix="batch."))
     engines["parallel"] = EngineSample(
         "parallel", batch / best, best, mean, repeats, stages=stages
     )
-    predictions["parallel"] = scores.argmax(axis=1)
+    report = result.report
+    predictions["parallel"] = result.predictions
 
     # A throughput number from a non-bit-exact engine would be garbage:
-    # every engine must classify the workload identically.
+    # every engine must classify the workload identically.  Samples the
+    # resilient runner excluded (quarantined or failed shards) carry the
+    # sentinel label and are compared against nothing; under bitflip chaos
+    # divergence is the injected corruption itself, so it is counted and
+    # reported instead of asserted.
+    included = np.ones(batch, dtype=bool)
+    included[report.excluded] = False
+    mismatches = 0
     for name in ("fast", "parallel"):
-        np.testing.assert_array_equal(
-            predictions[name],
-            predictions["seed"],
-            err_msg=f"engine {name!r} diverged from the seed engine",
+        diverged = int(
+            (predictions[name][included] != predictions["seed"][included]).sum()
         )
-    accuracy = float((predictions["parallel"] == labels).mean())
+        if chaos.bitflip_rate > 0:
+            mismatches = max(mismatches, diverged)
+        elif diverged:
+            raise AssertionError(
+                f"engine {name!r} diverged from the seed engine on "
+                f"{diverged} non-excluded samples"
+            )
+    accuracy = (
+        float((predictions["parallel"][included] == labels[included]).mean())
+        if included.any()
+        else 0.0
+    )
 
     return ThroughputReport(
         benchmark=benchmark,
@@ -264,4 +325,7 @@ def bench_throughput(
         engines=engines,
         config=run.config,
         registry=parallel_registry,
+        resilience=report.as_dict(),
+        chaos=chaos.as_dict() if chaos.enabled else {},
+        prediction_mismatches=mismatches,
     )

@@ -39,6 +39,7 @@ __all__ = [
     "get_kernels",
     "set_kernels",
     "using_kernels",
+    "wrap_kernels",
     "kernel_info",
     "publish_kernel_metrics",
     "HAVE_BITWISE_COUNT",
@@ -208,6 +209,31 @@ def set_kernels(kernels: KernelSet | str) -> KernelSet:
             ) from None
     _active = kernels
     return _active
+
+
+def wrap_kernels(
+    base: KernelSet,
+    pack: Callable[[np.ndarray], tuple[np.ndarray, int]] | None = None,
+    unpack: Callable[[np.ndarray, int], np.ndarray] | None = None,
+    popcount8: Callable[[np.ndarray], np.ndarray] | None = None,
+    suffix: str = "+wrapped",
+) -> KernelSet:
+    """A derived :class:`KernelSet` with some primitives interposed.
+
+    The seam fault-injection harnesses hook into: a wrapper observes or
+    perturbs the packed words flowing through ``pack``/``popcount8``
+    without the engines knowing (see :func:`repro.runtime.chaos.chaos_kernels`).
+    ``kernel_info`` keeps the base implementation names, tagged with
+    ``suffix``, so ledger records stay attributable.
+    """
+    return KernelSet(
+        name=base.name + suffix,
+        pack=pack if pack is not None else base.pack,
+        unpack=unpack if unpack is not None else base.unpack,
+        popcount8=popcount8 if popcount8 is not None else base.popcount8,
+        pack_impl=base.pack_impl,
+        popcount_impl=base.popcount_impl,
+    )
 
 
 @contextmanager

@@ -89,6 +89,47 @@ class TestInjection:
         assert flips == round(0.25 * artifacts.class_vectors.size)
 
 
+class TestSeedSemantics:
+    def test_int_seed_reproduces_flip_positions(self, fitted):
+        artifacts, _, _ = fitted
+        a = inject_bit_flips(artifacts, 0.2, groups=("class_vectors",), seed=5)
+        b = inject_bit_flips(artifacts, 0.2, groups=("class_vectors",), seed=5)
+        np.testing.assert_array_equal(a.class_vectors, b.class_vectors)
+
+    def test_generator_seed_threads_one_stream(self, fitted):
+        """Passing a Generator consumes it: two injections from one
+        stream corrupt different positions."""
+        artifacts, _, _ = fitted
+        rng = np.random.default_rng(5)
+        first = inject_bit_flips(artifacts, 0.2, groups=("class_vectors",), seed=rng)
+        second = inject_bit_flips(artifacts, 0.2, groups=("class_vectors",), seed=rng)
+        assert (first.class_vectors != second.class_vectors).any()
+        # A fresh generator with the same seed replays the first draw.
+        replay = inject_bit_flips(
+            artifacts, 0.2, groups=("class_vectors",), seed=np.random.default_rng(5)
+        )
+        np.testing.assert_array_equal(first.class_vectors, replay.class_vectors)
+
+
+class TestSharing:
+    def test_unselected_groups_share_memory(self, fitted):
+        """Only corrupted groups are copied; the rest alias the input."""
+        artifacts, _, _ = fitted
+        corrupted = inject_bit_flips(artifacts, 0.1, groups=("class_vectors",), seed=0)
+        assert not np.shares_memory(corrupted.class_vectors, artifacts.class_vectors)
+        assert np.shares_memory(corrupted.feature_vectors, artifacts.feature_vectors)
+        assert np.shares_memory(corrupted.value_high, artifacts.value_high)
+        assert corrupted.config is artifacts.config
+
+    def test_zero_fraction_is_bit_identical(self, fitted):
+        artifacts, _, _ = fitted
+        corrupted = inject_bit_flips(artifacts, 0.0)
+        for group in ("value_high", "value_low", "feature_vectors", "class_vectors"):
+            np.testing.assert_array_equal(
+                getattr(corrupted, group), getattr(artifacts, group)
+            )
+
+
 class TestSweep:
     def test_graceful_degradation(self, fitted):
         artifacts, x, y = fitted
@@ -106,3 +147,30 @@ class TestSweep:
         degradation = report.degradation()
         assert degradation[0] == pytest.approx(0.0)
         assert len(degradation) == 2
+
+    def test_as_dict_payload(self, fitted):
+        artifacts, x, y = fitted
+        report = fault_sweep(artifacts, x, y, flip_fractions=(0.0,), seed=0)
+        state = report.as_dict()
+        assert state["flip_fractions"] == [0.0]
+        assert state["degradation"] == [pytest.approx(0.0)]
+        assert state["baseline_accuracy"] == report.baseline_accuracy
+
+    def test_predict_fn_selects_the_serving_path(self, fitted):
+        """The sweep hands predict_fn the corrupted artifacts, once per
+        sweep point plus once for the baseline."""
+        artifacts, x, y = fitted
+        seen = []
+
+        def spy(model, levels):
+            seen.append(model)
+            return model.predict(levels)
+
+        reference = fault_sweep(artifacts, x, y, flip_fractions=(0.0, 0.3), seed=0)
+        spied = fault_sweep(
+            artifacts, x, y, flip_fractions=(0.0, 0.3), seed=0, predict_fn=spy
+        )
+        assert len(seen) == 3
+        assert seen[0] is artifacts  # baseline runs on the clean model
+        assert seen[1] is not artifacts and seen[2] is not artifacts
+        assert spied.accuracies == reference.accuracies

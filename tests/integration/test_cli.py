@@ -36,6 +36,21 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["obs"])
 
+    def test_chaos_registered(self):
+        args = build_parser().parse_args(
+            ["chaos", "bci-iii-v", "--spec", "raise:0.1,delay:5ms"]
+        )
+        assert args.command == "chaos"
+        assert args.spec == "raise:0.1,delay:5ms"
+        assert args.batch == 256
+        assert args.executor == "thread"
+
+    def test_fault_sweep_registered(self):
+        args = build_parser().parse_args(["fault-sweep", "bci-iii-v"])
+        assert args.command == "fault-sweep"
+        assert args.fractions == "0.001,0.01,0.05,0.1"
+        assert not args.reference
+
 
 class TestInfo:
     def test_lists_benchmarks(self, capsys):
@@ -169,6 +184,91 @@ class TestBenchThroughput:
         )
         assert trajectory["latest"]["metrics"]["samples_per_s"] > 0
         assert "speedup_vs_seed" in trajectory["latest"]["metrics"]
+
+
+class TestChaosCommand:
+    def test_smoke_prints_report_and_appends_ledger(self, capsys, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        code = main(
+            [
+                "chaos",
+                "bci-iii-v",
+                "--spec", "raise:0.4",
+                "--chaos-seed", "3",
+                "--batch", "32",
+                "--shard-size", "8",
+                "--workers", "2",
+                "--n-train", "24",
+                "--n-test", "12",
+                "--epochs", "1",
+                "--ledger", str(ledger),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "resilient batch report" in out
+        assert "breaker" in out
+        assert "seed mismatches 0" in out
+        from repro.obs import Ledger
+
+        record = Ledger(ledger).latest(task="chaos")
+        assert record is not None
+        assert record.metrics["batch"] == 32.0
+        assert "resilience.errors" in record.metrics  # registry harvest
+
+
+class TestFaultSweepCommand:
+    def test_smoke_writes_sidecar_and_ledger(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        ledger = tmp_path / "ledger.jsonl"
+        sidecar = tmp_path / "sweep.json"
+        code = main(
+            [
+                "fault-sweep",
+                "bci-iii-v",
+                "--fractions", "0.0,0.05",
+                "--n-train", "24",
+                "--n-test", "12",
+                "--epochs", "1",
+                "--json", str(sidecar),
+                "--ledger", str(ledger),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault sweep" in out
+        assert "resilient serving" in out
+
+        import json
+
+        payload = json.loads(sidecar.read_text())
+        assert payload["flip_fractions"] == [0.0, 0.05]
+        assert payload["serving_path"] == "resilient"
+        assert payload["degradation"][0] == pytest.approx(0.0)
+        from repro.obs import Ledger
+
+        record = Ledger(ledger).latest(task="fault-sweep")
+        assert record is not None
+        assert record.metrics["accuracy_flip_0.05"] == payload["accuracies"][1]
+
+    def test_default_sidecar_lands_under_benchmarks_results(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        code = main(
+            [
+                "fault-sweep",
+                "bci-iii-v",
+                "--fractions", "0.0",
+                "--reference",
+                "--n-train", "24",
+                "--n-test", "12",
+                "--epochs", "1",
+                "--no-ledger",
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "benchmarks/results/bci-iii-v-fault-sweep.json").exists()
 
 
 class TestObsCompare:

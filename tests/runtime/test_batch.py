@@ -118,6 +118,50 @@ class TestObservability:
         assert run_root.attrs["shards"] == 3
 
 
+class TestChaosRegression:
+    """Order-preservation pins for the resilient subclass, exercised
+    through the plain-runner API it must stay drop-in compatible with."""
+
+    def test_middle_shard_crash_retry_preserves_order(self, engine):
+        """A worker crash on the middle shard's first attempt must not
+        reorder results: the retried shard lands back in its span."""
+        from repro.runtime import ChaosSpec, ResilientBatchRunner, RetryPolicy
+
+        levels = _levels_batch(24, seed=6)
+        expected = engine.scores(levels)
+        with ResilientBatchRunner(
+            engine,
+            shard_size=8,
+            workers=2,
+            executor="process",
+            policy=RetryPolicy(max_retries=2, backoff_base_s=0.001),
+            chaos=ChaosSpec(crash_on=frozenset({(1, 0)})),
+        ) as runner:
+            scores = runner.scores(levels)
+        np.testing.assert_array_equal(scores, expected)
+        middle = runner.last_report.shards[1]
+        assert middle.status == "ok" and middle.retries >= 1
+
+    def test_thread_executor_equals_serial_under_delay_chaos(self, engine):
+        """Injected latency skews shard completion order; results must
+        still equal the serial engine exactly."""
+        from repro.runtime import ChaosSpec, ResilientBatchRunner, RetryPolicy
+
+        levels = _levels_batch(21, seed=7)
+        with ResilientBatchRunner(
+            engine,
+            shard_size=3,
+            workers=4,
+            executor="thread",
+            policy=RetryPolicy(backoff_base_s=0.0, backoff_max_s=0.0),
+            chaos=ChaosSpec(delay_s=0.002),
+        ) as runner:
+            np.testing.assert_array_equal(
+                runner.scores(levels), engine.scores(levels)
+            )
+        assert runner.last_report.ok
+
+
 class TestProcessExecutor:
     def test_matches_direct_engine(self, engine):
         levels = _levels_batch(9, seed=5)
