@@ -323,6 +323,20 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     )
     from repro.core.inference import BitPackedUniVSA
 
+    chaos = (
+        ChaosSpec.parse(args.spec, seed=args.chaos_seed)
+        if args.spec
+        else ChaosSpec.from_env()
+    )
+    if chaos.has_crash and args.executor != "process":
+        # Fail before the (expensive) training run: the runner would
+        # reject this spec/executor combination anyway.
+        print(
+            "error: chaos 'crash' hard-kills pool workers and requires "
+            "--executor process",
+            file=sys.stderr,
+        )
+        return 2
     benchmark = get_benchmark(args.benchmark)
     run = run_benchmark(
         args.benchmark,
@@ -339,12 +353,6 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     reps = -(-args.batch // max(1, len(run.data.x_test)))
     levels = np.concatenate([run.data.x_test] * reps)[: args.batch]
     labels = np.concatenate([run.data.y_test] * reps)[: args.batch]
-
-    chaos = (
-        ChaosSpec.parse(args.spec, seed=args.chaos_seed)
-        if args.spec
-        else ChaosSpec.from_env()
-    )
     policy = RetryPolicy.from_env()
     if args.retries is not None:
         import dataclasses

@@ -9,8 +9,13 @@ opens a :func:`chaos_context` around every shard attempt, which
 
 * raises :class:`ChaosError` with probability ``raise``,
 * sleeps ``delay`` before the shard computes,
-* hard-kills the worker process with probability ``crash`` (process
-  executors only — the parent sees ``BrokenProcessPool``), and
+* hard-kills the worker process with probability ``crash`` — but only
+  inside a process-pool worker (marked by :func:`mark_process_worker`;
+  the parent sees ``BrokenProcessPool``).  In the serving process
+  itself — thread executors, single-shard inline runs, fallback
+  attempts — the crash draw is still consumed, so decision sequences
+  stay aligned across executor kinds, but the kill is skipped: chaos
+  must never take down the orchestrator it is testing.  And
 * flips packed words at the kernel seam at per-bit rate ``bitflip``
   while the shard computes (single-event-upset semantics, the transient
   sibling of :func:`repro.hw.faults.inject_bit_flips`'s stored-memory
@@ -46,8 +51,29 @@ __all__ = [
     "chaos_context",
     "chaos_kernels",
     "flip_words",
+    "in_process_worker",
+    "mark_process_worker",
     "parse_chaos",
 ]
+
+_process_worker = False
+
+
+def mark_process_worker(flag: bool = True) -> None:
+    """Mark this process as a pool worker, arming the ``crash`` fault.
+
+    Called from the process-pool initializer
+    (:func:`repro.runtime.resilience._resilient_worker_init`); nothing
+    ever sets it in the serving process, so a crash draw there can never
+    ``os._exit`` the orchestrator.
+    """
+    global _process_worker
+    _process_worker = flag
+
+
+def in_process_worker() -> bool:
+    """True when this process has been marked as a pool worker."""
+    return _process_worker
 
 
 class ChaosError(RuntimeError):
@@ -108,6 +134,16 @@ class ChaosSpec:
     def targeted(self) -> bool:
         """True when faults are pinned to explicit (shard, attempt) pairs."""
         return bool(self.raise_on or self.delay_on or self.crash_on)
+
+    @property
+    def has_crash(self) -> bool:
+        """True when any ``crash`` fault is configured.
+
+        Crash kills only process-pool workers, so runners reject a
+        crash-bearing spec on any other executor rather than let the
+        directive silently do nothing.
+        """
+        return bool(self.crash_rate or self.crash_on)
 
     def as_dict(self) -> dict:
         """JSON-friendly view (reports / ledger records)."""
@@ -202,9 +238,15 @@ class ShardChaos:
         """
         spec = self.spec
         key = (self.shard, self.attempt)
-        if key in spec.crash_on or (
+        # The crash draw is always consumed so the later raise/bitflip
+        # draws land identically whether or not this process is a pool
+        # worker, but the kill itself is gated: only a process marked by
+        # mark_process_worker() may die — an inline or fallback attempt
+        # in the serving process skips it.
+        crash = key in spec.crash_on or (
             spec.crash_rate and self.rng.random() < spec.crash_rate
-        ):
+        )
+        if crash and in_process_worker():
             # A simulated hard worker death: no exception, no cleanup —
             # exactly what a segfaulted or OOM-killed worker looks like.
             os._exit(1)
@@ -294,10 +336,15 @@ def chaos_kernels(base: KernelSet | None = None) -> KernelSet:
     — the XOR'd operand words of the conv/encode/similarity stages — is
     corrupted at the context's ``bitflip`` rate first.  Without an open
     context the wrapper forwards untouched, so installing it globally is
-    safe around concurrent non-chaos work.
+    safe around concurrent non-chaos work.  An already-wrapped set is
+    returned as-is: a fork-spawned pool worker inherits the parent's
+    installed chaos kernels, and wrapping twice would double the
+    effective flip rate.
     """
     if base is None:
         base = get_kernels()
+    if base.name.endswith("+chaos"):
+        return base
 
     inner = base.popcount8
 

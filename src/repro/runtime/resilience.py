@@ -54,7 +54,13 @@ from repro.obs import annotate_span, get_registry, stage_timer, trace_span
 from repro.vsa.kernels import get_kernels, using_kernels
 
 from .batch import BatchRunner
-from .chaos import ChaosError, ChaosSpec, chaos_context, chaos_kernels
+from .chaos import (
+    ChaosError,
+    ChaosSpec,
+    chaos_context,
+    chaos_kernels,
+    mark_process_worker,
+)
 
 __all__ = [
     "RetryPolicy",
@@ -77,10 +83,14 @@ class RetryPolicy:
 
     ``max_retries`` counts *extra* pool attempts per shard beyond the
     first; ``timeout_s`` is the per-attempt result deadline (``None``
-    disables it — a timed-out attempt is abandoned, not interrupted);
-    backoff before retry ``k`` is ``min(backoff_max_s, backoff_base_s *
-    2**(k-1))`` scaled by a deterministic jitter in [0.5, 1.5).
-    ``breaker_threshold`` consecutive shard failures trip the breaker.
+    disables it).  A timed-out attempt is abandoned, never interrupted —
+    a running attempt keeps occupying its worker until it finishes, so a
+    timed-out shard can transiently hold two workers; if the abandoned
+    attempt completes cleanly during the retry backoff its result is
+    collected instead of resubmitting.  Backoff before retry ``k`` is
+    ``min(backoff_max_s, backoff_base_s * 2**(k-1))`` scaled by a
+    deterministic jitter in [0.5, 1.5).  ``breaker_threshold``
+    consecutive shard failures trip the breaker.
     """
 
     max_retries: int = 2
@@ -345,9 +355,13 @@ def _resilient_worker_init(artifacts, mode, conv_tile_mb, chaos: ChaosSpec | Non
     from repro.core.inference import BitPackedUniVSA
     from repro.vsa.kernels import set_kernels
 
+    mark_process_worker()  # this process may be hard-killed by crash chaos
     _WORKER_ENGINE = BitPackedUniVSA(artifacts, mode=mode, conv_tile_mb=conv_tile_mb)
     _WORKER_CHAOS = chaos
     if chaos is not None and chaos.bitflip_rate > 0.0:
+        # chaos_kernels is a no-op on an already-wrapped set, so a fork
+        # worker that inherited the parent's chaos install stays
+        # single-wrapped.
         set_kernels(chaos_kernels(get_kernels()))
 
 
@@ -391,6 +405,15 @@ class ResilientBatchRunner(BatchRunner):
         )
         self.policy = policy if policy is not None else RetryPolicy.from_env()
         self.chaos = chaos if chaos is not None else ChaosSpec.from_env()
+        if self.chaos.has_crash and self.executor_kind != "process":
+            # A crash draw outside a pool worker is skipped (it must not
+            # kill the serving process), so on any other executor the
+            # directive could never fire — reject it loudly instead.
+            raise ValueError(
+                "chaos 'crash' simulates a hard process-worker death and "
+                f"requires executor='process' (got {self.executor_kind!r}); "
+                "use 'raise' to inject failures on thread executors"
+            )
         self.last_report: BatchReport | None = None
         self._fallback_engine = None
 
@@ -472,11 +495,15 @@ class ResilientBatchRunner(BatchRunner):
             )
             registry.gauge("batch.workers").set(self.workers)
             registry.counter("batch.samples").add(n)
-            if self.chaos.enabled and self.chaos.bitflip_rate > 0.0 and (
-                self.executor_kind == "thread"
-            ):
+            if self.chaos.enabled and self.chaos.bitflip_rate > 0.0:
                 # The chaos popcount wrapper is a passthrough outside an
-                # open chaos context, so a global install is safe.
+                # open chaos context, so a global install is safe.  It is
+                # installed for every executor kind: thread workers share
+                # this process's kernel registry, and under a process
+                # executor the single-shard inline path and the fallback
+                # attempts run here too (pool workers install their own
+                # copy in _resilient_worker_init; chaos_kernels never
+                # double-wraps a fork-inherited set).
                 with using_kernels(chaos_kernels(get_kernels())):
                     parts = self._execute_shards(clean, report)
             else:
@@ -499,10 +526,17 @@ class ResilientBatchRunner(BatchRunner):
         futures: dict[int, object] = {}
         if use_pool:
             pool = self._ensure_pool()
-            for status in statuses:
-                futures[status.index] = self._submit(
-                    pool, status.index, 0, clean[status.start : status.stop]
-                )
+            try:
+                for status in statuses:
+                    futures[status.index] = self._submit(
+                        pool, status.index, 0, clean[status.start : status.stop]
+                    )
+            except BrokenProcessPool:
+                # An already-submitted shard crashed its worker before the
+                # batch was even fully enqueued.  Shards left without a
+                # future are submitted lazily by the collector, whose
+                # ladder owns pool recovery.
+                pass
         consecutive_failures = 0
         shard_hist = registry.histogram("batch.shard")
         breaker_at: int | None = None
@@ -516,7 +550,17 @@ class ResilientBatchRunner(BatchRunner):
             while True:
                 try:
                     if use_pool:
-                        outcome = futures[i].result(timeout=self.policy.timeout_s)
+                        future = futures.get(i)
+                        if future is None:
+                            # Initial enqueue or retry resubmission.  The
+                            # submit happens inside the try so a pool that
+                            # broke meanwhile (another worker crashed
+                            # during the backoff) feeds the same ladder
+                            # instead of escaping it.
+                            future = futures[i] = self._submit(
+                                self._ensure_pool(), i, status.attempts, shard_levels
+                            )
+                        outcome = future.result(timeout=self.policy.timeout_s)
                         if self.executor_kind == "process":
                             scores, duration = outcome
                             shard_hist.observe(duration)
@@ -537,9 +581,17 @@ class ResilientBatchRunner(BatchRunner):
                         self._recover_pool(
                             statuses, futures, clean, parts, registry, current=i
                         )
+                    abandoned = None
                     if isinstance(exc, FuturesTimeoutError) and use_pool:
-                        # The attempt may still be running; abandon it.
-                        futures[i].cancel()
+                        # cancel() only stops an attempt that has not
+                        # started.  A running attempt cannot be
+                        # interrupted: it keeps its worker (and any open
+                        # chaos context) busy until it finishes, so a
+                        # timed-out shard transiently occupies two
+                        # workers and inflates batch.shard timings.
+                        future = futures.get(i)
+                        if future is not None and not future.cancel():
+                            abandoned = future
                     if status.attempts <= self.policy.max_retries:
                         status.retries += 1
                         registry.counter("resilience.retries").add(1)
@@ -550,10 +602,12 @@ class ResilientBatchRunner(BatchRunner):
                                 error=type(exc).__name__,
                             )
                             time.sleep(self.policy.backoff_s(i, status.attempts))
-                            if use_pool:
-                                futures[i] = self._submit(
-                                    self._ensure_pool(), i, status.attempts, shard_levels
-                                )
+                            if use_pool and not self._late_result(abandoned):
+                                # Cleared so the next pass resubmits
+                                # inside the try (a timed-out attempt
+                                # that finished cleanly during the
+                                # backoff is collected as-is instead).
+                                futures[i] = None
                         continue
                     if self.policy.fallback and status.engine == "fast":
                         status.engine = "seed"
@@ -588,6 +642,21 @@ class ResilientBatchRunner(BatchRunner):
             registry.gauge("resilience.breaker_open").set(0.0)
         return parts
 
+    @staticmethod
+    def _late_result(abandoned) -> bool:
+        """True when a timed-out attempt finished cleanly during backoff.
+
+        ``futures[i]`` still holds the abandoned future, so the collector
+        takes its result on the next loop — one worker-occupancy paid
+        instead of two, and no redundant resubmission.
+        """
+        return (
+            abandoned is not None
+            and abandoned.done()
+            and not abandoned.cancelled()
+            and abandoned.exception() is None
+        )
+
     def _count_error(self, registry, exc: Exception) -> None:
         if isinstance(exc, FuturesTimeoutError):
             registry.counter("resilience.timeouts").add(1)
@@ -602,13 +671,16 @@ class ResilientBatchRunner(BatchRunner):
     ) -> None:
         """Replace a broken process pool and resubmit lost shards.
 
-        Completed futures keep their results after the pool breaks, so
-        only shards whose in-flight execution was lost are resubmitted —
-        on fresh attempt indices (a retried chaos draw must not replay
-        the crash) and counted as retries, since their execution produced
-        no result.  Shard ``current`` (whose ``result()`` surfaced the
-        breakage) is excluded: the collector's own retry/fallback ladder
-        owns its accounting and resubmission.
+        Only execution genuinely lost to the breakage is resubmitted: a
+        future that already resolved — with a result *or* with a real
+        error (say a ``ChaosError`` raised just before the crash) — keeps
+        its outcome, and the collector's retry/fallback ladder surfaces
+        and accounts for it with proper backoff.  Lost shards go back on
+        fresh attempt indices (a retried chaos draw must not replay the
+        crash) and count as retries, since their execution produced no
+        result.  Shard ``current`` (whose ``result()`` surfaced the
+        breakage) is excluded: the collector owns its accounting and
+        resubmission.
         """
         pool = self._replace_pool()
         for status in statuses:
@@ -616,15 +688,28 @@ class ResilientBatchRunner(BatchRunner):
             if j == current or status.status != "pending" or parts[j] is not None:
                 continue
             future = futures.get(j)
-            if future is None or (future.done() and future.exception() is None):
-                continue  # never submitted, or its result survived the crash
+            if future is None:
+                continue  # never submitted
+            if (
+                future.done()
+                and not future.cancelled()
+                and not isinstance(future.exception(), BrokenProcessPool)
+            ):
+                continue  # a result or a real pre-break error survived
             status.attempts += 1
             status.retries += 1
             status.errors.append("BrokenProcessPool")
             registry.counter("resilience.retries").add(1)
-            futures[j] = self._submit(
-                pool, j, status.attempts, clean[status.start : status.stop]
-            )
+            try:
+                futures[j] = self._submit(
+                    pool, j, status.attempts, clean[status.start : status.stop]
+                )
+            except BrokenProcessPool:
+                # The replacement pool broke under us (a just-resubmitted
+                # shard crashed already).  Replace it again and leave the
+                # shard unsubmitted — the collector enqueues it lazily.
+                futures[j] = None
+                pool = self._replace_pool()
 
     # -- assembly -------------------------------------------------------
     def _assemble(self, good, parts, report: BatchReport) -> BatchResult:

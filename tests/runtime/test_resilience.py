@@ -1,5 +1,7 @@
 """Resilient serving: validation, retry/fallback ladder, breaker, reports."""
 
+from concurrent.futures.process import BrokenProcessPool
+
 import numpy as np
 import pytest
 
@@ -11,6 +13,7 @@ from repro.runtime import (
     CircuitOpenError,
     ResilientBatchRunner,
     RetryPolicy,
+    ShardStatus,
     serving_predict_fn,
     validate_levels,
 )
@@ -366,6 +369,197 @@ class TestProcessExecutor:
         crashed = report.shards[1]
         assert crashed.retries >= 1
         assert "BrokenProcessPool" in crashed.errors
+
+    def test_simultaneous_crashes_complete_batch(self, engine):
+        """Every first attempt crashes its worker, so pool breakage can
+        surface at submit time too (initial enqueue, retry resubmission,
+        recovery resubmission).  All of it must feed the retry ladder —
+        the batch completes instead of aborting on a BrokenProcessPool
+        raised outside a shard's result() call."""
+        levels = _levels_batch(32, seed=19)
+        chaos = ChaosSpec(crash_on=frozenset({(s, 0) for s in range(4)}))
+        with ResilientBatchRunner(
+            engine,
+            shard_size=8,
+            workers=2,
+            executor="process",
+            policy=RetryPolicy(max_retries=3, backoff_base_s=0.001),
+            chaos=chaos,
+        ) as runner:
+            result = runner.run(levels)
+        np.testing.assert_array_equal(result.scores, engine.scores(levels))
+        assert all(
+            s.status in ("ok", "fallback") for s in result.report.shards
+        )
+
+    def test_recover_pool_keeps_pre_break_errors(self, engine, monkeypatch):
+        """A future that resolved with a real error before the pool broke
+        keeps its outcome for the collector's ladder; only execution
+        genuinely lost to the breakage is resubmitted."""
+        runner = ResilientBatchRunner(
+            engine, executor="process", policy=FAST_POLICY, chaos=ChaosSpec()
+        )
+        statuses = [ShardStatus(i, i * 4, i * 4 + 4) for i in range(4)]
+        survived = _FakeFuture()  # completed with a result
+        real_error = _FakeFuture(exc=ChaosError("pre-break failure"))
+        lost = _FakeFuture(exc=BrokenProcessPool("lost in-flight"))
+        futures = {0: survived, 1: real_error, 2: lost}
+        parts = [np.zeros((4, 1)), None, None, None]
+        submitted = []
+        monkeypatch.setattr(runner, "_replace_pool", lambda: "fresh-pool")
+        monkeypatch.setattr(
+            runner,
+            "_submit",
+            lambda pool, shard, attempt, levels: submitted.append(
+                (shard, attempt)
+            )
+            or f"resubmitted-{shard}",
+        )
+        clean = np.zeros((16,) + SHAPE, dtype=np.intp)
+        runner._recover_pool(
+            statuses, futures, clean, parts, MetricsRegistry(), current=3
+        )
+        assert futures[1] is real_error
+        assert statuses[1].retries == 0 and statuses[1].errors == []
+        assert submitted == [(2, 1)]
+        assert futures[2] == "resubmitted-2"
+        assert statuses[2].retries == 1
+        assert statuses[2].errors == ["BrokenProcessPool"]
+
+
+class TestCrashGating:
+    def test_crash_spec_rejected_on_thread_executor(self, engine):
+        """`crash` can only kill process-pool workers; a thread-executor
+        runner rejects the spec instead of letting it either no-op or —
+        the seed bug — hard-kill the serving process itself."""
+        with pytest.raises(ValueError, match="executor='process'"):
+            ResilientBatchRunner(
+                engine, policy=FAST_POLICY, chaos=ChaosSpec(crash_rate=0.1)
+            )
+        with pytest.raises(ValueError, match="executor='process'"):
+            ResilientBatchRunner(
+                engine,
+                policy=FAST_POLICY,
+                chaos=ChaosSpec(crash_on=frozenset({(0, 0)})),
+            )
+
+    def test_single_shard_inline_run_survives_certain_crash(self, engine):
+        """With one shard the process executor computes inline in the
+        serving process; a crash_rate=1.0 draw there must be skipped,
+        not exit the orchestrator."""
+        levels = _levels_batch(8, seed=15)
+        with ResilientBatchRunner(
+            engine,
+            shard_size=64,
+            workers=2,
+            executor="process",
+            policy=FAST_POLICY,
+            chaos=ChaosSpec(crash_rate=1.0),
+        ) as runner:
+            result = runner.run(levels)
+            assert runner._pool is None  # inline path, no pool built
+        np.testing.assert_array_equal(result.scores, engine.scores(levels))
+        assert result.report.ok
+
+    def test_fallback_crash_draw_does_not_kill_parent(self, engine):
+        """A shard whose every pool attempt crashes falls back inline;
+        the fallback attempt's own targeted crash draw fires in the
+        parent and must be skipped there."""
+        levels = _levels_batch(16, seed=16)
+        chaos = ChaosSpec(crash_on=frozenset({(0, a) for a in range(8)}))
+        with ResilientBatchRunner(
+            engine,
+            shard_size=8,
+            workers=2,
+            executor="process",
+            policy=RetryPolicy(max_retries=1, backoff_base_s=0.001),
+            chaos=chaos,
+        ) as runner:
+            result = runner.run(levels)
+        np.testing.assert_array_equal(result.scores, engine.scores(levels))
+        status = result.report.shards[0]
+        assert status.status == "fallback" and status.engine == "seed"
+
+
+class TestInlineBitflip:
+    def test_single_shard_inline_bitflip_under_process_executor(self, engine):
+        """Bitflip chaos must reach the inline path of a process-executor
+        runner (the seed bug installed chaos kernels only for thread
+        executors and pool workers, so the configured fault silently did
+        nothing here)."""
+        levels = _levels_batch(8, seed=17)
+        chaos = ChaosSpec(bitflip_rate=0.05, seed=3)
+        with ResilientBatchRunner(
+            engine,
+            shard_size=64,
+            workers=2,
+            executor="process",
+            policy=FAST_POLICY,
+            chaos=chaos,
+        ) as runner:
+            result = runner.run(levels)
+            assert runner._pool is None  # inline path, no pool built
+        assert not np.array_equal(result.scores, engine.scores(levels))
+
+
+class _FakeFuture:
+    """Minimal concurrent.futures.Future stand-in for recovery tests."""
+
+    def __init__(self, exc=None, done=True):
+        self._exc = exc
+        self._done = done
+
+    def done(self):
+        return self._done
+
+    def cancelled(self):
+        return False
+
+    def exception(self):
+        return self._exc
+
+    def cancel(self):
+        return False
+
+
+class _CountingEngine:
+    """Forwarding engine proxy that counts ``scores`` calls."""
+
+    def __init__(self, engine):
+        self._engine = engine
+        self.calls = 0
+
+    def scores(self, levels):
+        self.calls += 1
+        return self._engine.scores(levels)
+
+    def __getattr__(self, name):
+        return getattr(self._engine, name)
+
+
+class TestTimeout:
+    def test_late_result_collected_instead_of_recomputing(self, engine):
+        """A timed-out thread attempt cannot be interrupted; when it
+        finishes during the retry backoff its result is collected rather
+        than paying for a redundant resubmission."""
+        counting = _CountingEngine(engine)
+        levels = _levels_batch(8, seed=18)
+        chaos = ChaosSpec(delay_on=frozenset({(0, 0)}))  # shard 0 sleeps 50ms
+        policy = RetryPolicy(
+            max_retries=2, timeout_s=0.01, backoff_base_s=0.5, backoff_max_s=0.5
+        )
+        with ResilientBatchRunner(
+            counting, shard_size=4, workers=2, policy=policy, chaos=chaos
+        ) as runner:
+            result = runner.run(levels)
+        np.testing.assert_array_equal(result.scores, engine.scores(levels))
+        status = result.report.shards[0]
+        assert status.status == "ok"
+        assert status.retries == 1
+        assert "TimeoutError" in status.errors
+        # One computation per shard: the abandoned attempt's late result
+        # was reused, shard 0 was never recomputed.
+        assert counting.calls == 2
 
 
 class TestServingPredictFn:
