@@ -4,20 +4,35 @@ The paper's Eq. 7 scalarization picks one trade-off point; the NSGA-II
 search exposes the whole frontier.  This bench runs it with the fast
 accuracy proxy on one benchmark and renders the frontier as an ASCII
 scatter (accuracy vs Eq. 5 memory).
+
+The sweep shares the Table I engine's persistent evaluation cache (the
+fingerprint covers dataset content + proxy budget, not the search loop),
+so any genome the evolutionary search already trained is served from
+disk instead of retrained.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
-from benchmarks.conftest import FAST, write_result
+from benchmarks.conftest import FAST, RESULTS_DIR, write_result
 from repro.analysis import scatter
 from repro.data import get_benchmark, load
-from repro.hw import hardware_penalty, memory_kb
-from repro.search import AccuracyProxy, SearchSpace, nsga2_search
+from repro.hw import memory_kb
+from repro.search import (
+    AccuracyProxy,
+    CodesignObjective,
+    SearchEngine,
+    SearchSpace,
+    nsga2_search,
+)
 from repro.utils.tables import render_table
 
 TASK = "bci-iii-v"
+SEARCH_WORKERS = int(os.environ.get("REPRO_SEARCH_WORKERS", "1"))
+CACHE_PATH = RESULTS_DIR / "search_cache.jsonl"
 
 
 @pytest.fixture(scope="module")
@@ -38,23 +53,30 @@ def frontier_result():
         epochs=2 if FAST else 4,
         max_train_samples=96 if FAST else 240,
     )
-
-    def penalty(config):
-        return hardware_penalty(config, benchmark.input_shape, benchmark.n_classes)
-
-    result = nsga2_search(
-        proxy,
-        penalty,
-        SearchSpace(out_channel_choices=tuple(range(8, 129, 24))),
-        population=4 if FAST else 10,
-        generations=2 if FAST else 5,
-        seed=0,
-    )
-    return result, benchmark
+    objective = CodesignObjective(proxy, benchmark.input_shape, benchmark.n_classes)
+    space = SearchSpace(out_channel_choices=tuple(range(8, 129, 24)))
+    with SearchEngine(
+        objective,
+        space,
+        workers=SEARCH_WORKERS,
+        executor="serial" if SEARCH_WORKERS == 1 else "process",
+        cache_path=CACHE_PATH,
+    ) as engine:
+        result = nsga2_search(
+            None,
+            None,
+            space,
+            population=4 if FAST else 10,
+            generations=2 if FAST else 5,
+            seed=0,
+            engine=engine,
+        )
+        stats = dict(engine.stats)
+    return result, benchmark, stats
 
 
 def test_pareto_report(frontier_result, results_dir, benchmark):
-    result, benchmark_def = frontier_result
+    result, benchmark_def, stats = frontier_result
     rows = []
     memories = []
     accuracies = []
@@ -73,7 +95,11 @@ def test_pareto_report(frontier_result, results_dir, benchmark):
     table = render_table(
         ["config (D_H,D_L,D_K,O,Th)", "accuracy", "L_HW", "memory_KB"],
         rows,
-        title=f"Pareto frontier — {TASK} ({len(result.evaluated)} configs trained)",
+        title=(
+            f"Pareto frontier — {TASK} "
+            f"({stats.get('evaluations', 0)} trained, "
+            f"{stats.get('cache_hits', 0)} cache hits)"
+        ),
     )
     chart = (
         scatter(
@@ -91,7 +117,7 @@ def test_pareto_report(frontier_result, results_dir, benchmark):
 
 
 def test_frontier_is_non_dominated(frontier_result, benchmark):
-    result, _ = frontier_result
+    result, _, _ = frontier_result
     for a in result.frontier:
         for b in result.frontier:
             assert not a.dominates(b) or a == b
@@ -99,7 +125,7 @@ def test_frontier_is_non_dominated(frontier_result, benchmark):
 
 
 def test_frontier_spans_tradeoff(frontier_result, benchmark):
-    result, _ = frontier_result
+    result, _, _ = frontier_result
     best = result.best_accuracy()
     cheapest = result.cheapest()
     assert best.accuracy >= cheapest.accuracy

@@ -5,7 +5,7 @@ trace / bench-throughput / chaos / fault-sweep / obs / info.
     python -m repro train isolet --epochs 12 --out isolet.npz
     python -m repro evaluate isolet.npz isolet
     python -m repro hw har
-    python -m repro search bci-iii-v --generations 3
+    python -m repro search bci-iii-v --generations 3 --workers 4
     python -m repro profile bci-iii-v --json bci.profile.json
     python -m repro trace bci-iii-v --samples 4 --jsonl bci.traces.jsonl
     python -m repro bench-throughput bci-iii-v --batch 256
@@ -179,15 +179,18 @@ def _cmd_hw(args: argparse.Namespace) -> int:
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
+    from time import perf_counter
+
+    from repro.obs import MetricsRegistry, using_registry
     from repro.search import (
         AccuracyProxy,
         CodesignObjective,
         EvolutionConfig,
+        SearchEngine,
         SearchSpace,
         evolutionary_search,
     )
-
-    from repro.obs import MetricsRegistry, using_registry
+    from repro.search.engine import DEFAULT_CACHE_PATH
 
     benchmark = get_benchmark(args.benchmark)
     data = load(args.benchmark, seed=args.seed)
@@ -201,15 +204,33 @@ def _cmd_search(args: argparse.Namespace) -> int:
         epochs=args.proxy_epochs,
     )
     objective = CodesignObjective(proxy, benchmark.input_shape, benchmark.n_classes)
+    space = SearchSpace()
+    cache_path = None if args.no_cache else (args.cache or DEFAULT_CACHE_PATH)
+    workers = args.workers if args.workers != 0 else None  # 0 = auto (cpu count)
+    executor = "serial" if args.workers == 1 else args.executor
+    start = perf_counter()
     with using_registry(MetricsRegistry()) as registry:
-        result = evolutionary_search(
+        with SearchEngine(
             objective,
-            SearchSpace(),
-            EvolutionConfig(
-                population=args.population, generations=args.generations, seed=args.seed
-            ),
-        )
+            space,
+            workers=workers,
+            executor=executor,
+            cache_path=cache_path,
+        ) as engine:
+            result = evolutionary_search(
+                objective,
+                space,
+                EvolutionConfig(
+                    population=args.population,
+                    generations=args.generations,
+                    seed=args.seed,
+                ),
+                engine=engine,
+            )
+            ledger_stats = engine.ledger_stats()
+    wall = perf_counter() - start
     parts = objective.breakdown(result.best_config)
+    stats = result.stats
     print(render_kv(
         {
             "best config": str(result.best_config.as_paper_tuple()),
@@ -218,20 +239,30 @@ def _cmd_search(args: argparse.Namespace) -> int:
             "L_HW penalty": f"{parts['penalty']:.4f}",
             "objective": f"{parts['objective']:.4f}",
             "configs evaluated": len(result.evaluated),
+            "fresh trains": stats.get("evaluations", 0),
+            "cache hits / misses": f"{stats.get('cache_hits', 0)} / {stats.get('cache_misses', 0)}",
+            "workers": f"{stats.get('workers', 1)} ({executor})",
+            "search wall": f"{wall:.2f} s",
+            "speedup (train/wall)": f"{stats.get('speedup', 0.0):.2f}x",
+            "cache": "disabled" if cache_path is None else str(cache_path),
         },
         title=f"co-design search — {args.benchmark}",
     ))
+    metrics = {
+        "proxy_accuracy": parts["accuracy"],
+        "penalty": parts["penalty"],
+        "objective": parts["objective"],
+        "configs_evaluated": float(len(result.evaluated)),
+        "search_wall_s": wall,
+        "workers": float(stats.get("workers", 1)),
+    }
+    metrics.update(ledger_stats)
     _append_ledger(
         args,
         "search",
         args.benchmark,
         config=result.best_config,
-        metrics={
-            "proxy_accuracy": parts["accuracy"],
-            "penalty": parts["penalty"],
-            "objective": parts["objective"],
-            "configs_evaluated": float(len(result.evaluated)),
-        },
+        metrics=metrics,
         registry=registry,
     )
     return 0
@@ -684,12 +715,34 @@ def build_parser() -> argparse.ArgumentParser:
     hw.add_argument("--config", help="D_H,D_L,D_K,O,Theta (default: paper)")
     hw.set_defaults(func=_cmd_hw)
 
-    search = sub.add_parser("search", help="evolutionary co-design search")
+    search = sub.add_parser(
+        "search",
+        help="evolutionary co-design search (batched parallel evaluation "
+        "with a persistent candidate cache)",
+    )
     search.add_argument("benchmark")
     search.add_argument("--population", type=int, default=8)
     search.add_argument("--generations", type=int, default=4)
     search.add_argument("--proxy-epochs", type=int, default=3)
     search.add_argument("--seed", type=int, default=0)
+    search.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="candidate evaluators per generation (1 = serial, 0 = cpu count)",
+    )
+    search.add_argument(
+        "--executor", choices=("process", "thread"), default="process",
+        help="worker pool kind for --workers > 1 (default process)",
+    )
+    search.add_argument(
+        "--cache",
+        help="candidate-evaluation cache JSONL "
+        "(default benchmarks/results/search_cache.jsonl)",
+    )
+    search.add_argument(
+        "--no-cache", action="store_true", help="disable the persistent cache"
+    )
     _add_ledger_flags(search)
     search.set_defaults(func=_cmd_search)
 

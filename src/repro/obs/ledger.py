@@ -32,6 +32,7 @@ __all__ = [
     "DEFAULT_LEDGER_PATH",
     "MARGIN_HISTOGRAM",
     "RESILIENCE_NAMESPACE",
+    "SEARCH_NAMESPACE",
     "RunRecord",
     "Ledger",
     "config_hash",
@@ -70,6 +71,12 @@ STAGE_NAMESPACES = (
 #: is marked in the ledger without the caller threading the counts
 #: through by hand.
 RESILIENCE_NAMESPACE = "resilience."
+
+#: Counter/gauge namespace the co-design search engine records into
+#: (``search.cache.{hit,miss}``, ``search.workers``, ``search.retries``,
+#: ...).  Harvested the same way, so every ``kind="search"`` ledger
+#: record carries its worker count and cache economics.
+SEARCH_NAMESPACE = "search."
 
 
 def config_hash(config) -> str:
@@ -232,9 +239,11 @@ def record_run(
         margin_hist = registry.histograms().get(MARGIN_HISTOGRAM)
         if margin_hist is not None:
             margin = margin_hist.summary()
-        resilience = dict(registry.counter_values(RESILIENCE_NAMESPACE))
-        resilience.update(registry.gauge_values(RESILIENCE_NAMESPACE))
-        for name, value in resilience.items():
+        harvested = dict(registry.counter_values(RESILIENCE_NAMESPACE))
+        harvested.update(registry.gauge_values(RESILIENCE_NAMESPACE))
+        harvested.update(registry.counter_values(SEARCH_NAMESPACE))
+        harvested.update(registry.gauge_values(SEARCH_NAMESPACE))
+        for name, value in harvested.items():
             all_metrics.setdefault(name, value)
     record = RunRecord(
         kind=kind,

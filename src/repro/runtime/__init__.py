@@ -1,7 +1,7 @@
 """Deployment runtimes for deployed UniVSA models: streaming + batch +
 fault-tolerant serving (retry/fallback/quarantine/breaker + chaos)."""
 
-from .batch import BatchRunner, resolve_workers
+from .batch import BatchRunner, WorkerPool, resolve_workers
 from .chaos import ChaosError, ChaosSpec, chaos_context, chaos_kernels, parse_chaos
 from .resilience import (
     BatchReport,
@@ -20,6 +20,7 @@ __all__ = [
     "StreamingClassifier",
     "StreamingDecision",
     "BatchRunner",
+    "WorkerPool",
     "resolve_workers",
     "EngineSample",
     "ThroughputReport",

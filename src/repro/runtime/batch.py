@@ -35,7 +35,7 @@ import numpy as np
 
 from repro.obs import annotate_span, get_registry, stage_timer, trace_span
 
-__all__ = ["BatchRunner", "resolve_workers"]
+__all__ = ["BatchRunner", "WorkerPool", "resolve_workers"]
 
 
 def resolve_workers(workers: int | None = None) -> int:
@@ -68,6 +68,58 @@ def _process_worker_scores(levels: np.ndarray) -> tuple[np.ndarray, float]:
     start = perf_counter()
     scores = _WORKER_ENGINE.scores(levels)
     return scores, perf_counter() - start
+
+
+class WorkerPool:
+    """Lazily-built executor with crash replacement.
+
+    Wraps a zero-argument ``factory`` returning a fresh
+    :class:`concurrent.futures.Executor`.  The executor is built on first
+    :meth:`ensure`, discarded wholesale by :meth:`replace` (the recovery
+    path after a crashed process worker poisons its pool — see
+    :meth:`BatchRunner._replace_pool`), and torn down by :meth:`close`.
+    Shared by :class:`BatchRunner` and the co-design search engine
+    (:mod:`repro.search.engine`), so both layers get the same pool
+    lifecycle and recovery semantics.
+    """
+
+    def __init__(self, factory) -> None:
+        self._factory = factory
+        self._executor: Executor | None = None
+
+    @property
+    def executor(self) -> Executor | None:
+        """The live executor, or ``None`` before first use / after close."""
+        return self._executor
+
+    def ensure(self) -> Executor:
+        """Build the executor on first use; return the live one after."""
+        if self._executor is None:
+            self._executor = self._factory()
+        return self._executor
+
+    def replace(self) -> Executor:
+        """Discard the (possibly broken) executor and build a fresh one.
+
+        ``shutdown`` on a broken pool only reaps what is left; it never
+        blocks on lost work, so replacement is safe mid-batch.
+        """
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+        return self.ensure()
+
+    def close(self) -> None:
+        """Shut the executor down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
 
 class BatchRunner:
@@ -108,7 +160,11 @@ class BatchRunner:
         self.shard_size = shard_size
         self.executor_kind = executor
         self._mp_context = mp_context
-        self._pool: Executor | None = None
+        self._workerpool = WorkerPool(self._make_pool)
+
+    @property
+    def _pool(self) -> Executor | None:
+        return self._workerpool.executor
 
     # ------------------------------------------------------------------
     def _shards(self, n: int) -> list[tuple[int, int]]:
@@ -150,28 +206,20 @@ class BatchRunner:
         )
 
     def _ensure_pool(self) -> Executor:
-        if self._pool is None:
-            self._pool = self._make_pool()
-        return self._pool
+        return self._workerpool.ensure()
 
     def _replace_pool(self) -> Executor:
         """Discard the (possibly broken) pool and spin up a fresh one.
 
         A crashed process worker poisons the whole ``ProcessPoolExecutor``
         — every pending future raises ``BrokenProcessPool`` — so recovery
-        is a pool replacement, not a worker restart.  ``shutdown`` on a
-        broken pool only reaps what is left; it never blocks on lost work.
+        is a pool replacement, not a worker restart.
         """
-        if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
-            self._pool = None
-        return self._ensure_pool()
+        return self._workerpool.replace()
 
     def close(self) -> None:
         """Shut the worker pool down (idempotent)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        self._workerpool.close()
 
     def __enter__(self) -> "BatchRunner":
         return self

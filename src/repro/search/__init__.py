@@ -1,8 +1,16 @@
 """Evolutionary algorithm/hardware co-design search (Sec. V-A)."""
 
+from .engine import CandidateOutcome, EvaluationCache, SearchEngine
 from .evolution import EvolutionConfig, SearchResult, evolutionary_search
 from .objective import CodesignObjective
-from .pareto import ParetoPoint, ParetoResult, crowding_distance, non_dominated_sort, nsga2_search
+from .pareto import (
+    ParetoPoint,
+    ParetoResult,
+    SplitObjective,
+    crowding_distance,
+    non_dominated_sort,
+    nsga2_search,
+)
 from .proxy import AccuracyProxy
 from .space import SearchSpace
 
@@ -10,8 +18,12 @@ __all__ = [
     "SearchSpace",
     "AccuracyProxy",
     "CodesignObjective",
+    "CandidateOutcome",
+    "EvaluationCache",
+    "SearchEngine",
     "ParetoPoint",
     "ParetoResult",
+    "SplitObjective",
     "non_dominated_sort",
     "crowding_distance",
     "nsga2_search",

@@ -1,0 +1,518 @@
+"""Generation-batched parallel candidate evaluation with a persistent cache.
+
+The co-design loops (Sec. V-A) spend essentially all their time in the
+fitness call — a full proxy train plus accuracy/L_HW evaluation per
+candidate — yet the seed search scored candidates lazily, one at a time,
+inside ``sorted(population, key=fitness)``.  :class:`SearchEngine` turns
+that into an explicit batch step: each generation the caller hands over
+the genomes that are not yet scored, the engine fans the *fresh* ones out
+over a process pool (the :class:`repro.runtime.batch.WorkerPool`
+lifecycle, with per-candidate retry, broken-pool recovery, and an inline
+serial fallback — the same degradation pattern as the resilient serving
+runtime), and every later fitness lookup is a dict hit.
+
+**Determinism contract.**  The engine never consumes random state and
+returns outcomes keyed by genome, collected in request order, so a search
+driven through it produces an identical :class:`~.evolution.SearchResult`
+— best config, history, and evaluated map — for *any* worker count,
+executor kind, or cache temperature.  Candidate evaluation itself is
+seeded (the proxy trains with a fixed :class:`TrainConfig` seed), so a
+worker process computes bit-identical floats to an inline evaluation.
+
+**Persistent cache.**  With ``cache_path`` set, every fresh evaluation is
+appended as one JSONL line ``(fingerprint, genome) -> (fitness,
+accuracy, L_HW, train wall)``.  The fingerprint hashes the *training
+identity* — task/dataset content, proxy train budget, and the active
+kernel set (see :meth:`SearchEngine.fingerprint`) — but **not** the
+objective's trade-off weights: on a hit the cached accuracy is re-scored
+through the live objective (``objective.rescore``), so overlapping
+Pareto sweeps and re-weighted searches reuse the expensive training and
+recompute only the closed-form hardware penalty.  Objectives that carry
+no :meth:`fingerprint` cannot be persisted and silently run cache-less.
+
+Everything lands in the observability stack: per-candidate wall times in
+the ``search.candidate`` histogram (a real span tree when a tracer is
+active on the inline path), ``search.cache.{hit,miss}`` counters, and
+``search.{workers,retries,fallbacks,broken_pools}`` — all harvested into
+the run ledger by :func:`repro.obs.ledger.record_run`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, replace
+from pathlib import Path
+from time import perf_counter
+from typing import Iterable
+
+from repro.obs import annotate_span, get_registry, stage_timer, trace_span
+from repro.runtime.batch import WorkerPool, resolve_workers
+from repro.vsa.kernels import kernel_info
+
+from .space import SearchSpace
+
+__all__ = [
+    "DEFAULT_CACHE_PATH",
+    "CandidateOutcome",
+    "EvaluationCache",
+    "SearchEngine",
+]
+
+DEFAULT_CACHE_PATH = Path("benchmarks") / "results" / "search_cache.jsonl"
+
+#: Bumping this invalidates every existing cache line (schema changes).
+CACHE_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CandidateOutcome:
+    """One scored genome: the fitness plus its objective decomposition.
+
+    ``accuracy``/``penalty`` are ``None`` for plain callables that expose
+    no ``breakdown``; ``wall_s`` is the candidate's own train/evaluate
+    wall time (as measured where it ran); ``cached`` marks outcomes
+    served from the persistent cache instead of a fresh train.
+    """
+
+    genome: tuple[int, ...]
+    fitness: float
+    accuracy: float | None
+    penalty: float | None
+    wall_s: float
+    cached: bool = False
+
+    def as_cache_line(self, fingerprint: str) -> dict:
+        """JSON payload for one cache line."""
+        return {
+            "v": CACHE_FORMAT_VERSION,
+            "fingerprint": fingerprint,
+            "genome": list(self.genome),
+            "fitness": self.fitness,
+            "accuracy": self.accuracy,
+            "penalty": self.penalty,
+            "wall_s": self.wall_s,
+        }
+
+    @classmethod
+    def from_cache_line(cls, payload: dict) -> "CandidateOutcome":
+        """Inverse of :meth:`as_cache_line` (the stored entry is a hit)."""
+        return cls(
+            genome=tuple(int(g) for g in payload["genome"]),
+            fitness=float(payload["fitness"]),
+            accuracy=None if payload.get("accuracy") is None else float(payload["accuracy"]),
+            penalty=None if payload.get("penalty") is None else float(payload["penalty"]),
+            wall_s=float(payload.get("wall_s", 0.0)),
+            cached=True,
+        )
+
+
+class EvaluationCache:
+    """Append-only JSONL store of evaluated candidates, one fingerprint.
+
+    Lines whose fingerprint (or format version) differs from the
+    engine's are skipped on load — a changed dataset, train budget, or
+    kernel set therefore *invalidates* rather than corrupts.  The file
+    is shared: concurrent searches over different fingerprints append to
+    the same path without interfering.
+    """
+
+    def __init__(self, path: str | os.PathLike, fingerprint: str) -> None:
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self._entries: dict[tuple[int, ...], CandidateOutcome] = {}
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn line (crashed writer); skip, don't abort
+                if (
+                    payload.get("v") != CACHE_FORMAT_VERSION
+                    or payload.get("fingerprint") != self.fingerprint
+                ):
+                    continue
+                outcome = CandidateOutcome.from_cache_line(payload)
+                self._entries[outcome.genome] = outcome
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, genome: tuple[int, ...]) -> CandidateOutcome | None:
+        """The stored outcome for ``genome``, or ``None``."""
+        return self._entries.get(genome)
+
+    def put_many(self, outcomes: Iterable[CandidateOutcome]) -> int:
+        """Append fresh outcomes (one flush per batch); returns the count."""
+        lines = [
+            json.dumps(o.as_cache_line(self.fingerprint), sort_keys=True)
+            for o in outcomes
+            if o.genome not in self._entries
+        ]
+        if not lines:
+            return 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+        for outcome in outcomes:
+            self._entries.setdefault(outcome.genome, replace(outcome, cached=True))
+        return len(lines)
+
+
+# ---------------------------------------------------------------------------
+# process-pool plumbing (module level so spawn contexts can pickle it)
+# ---------------------------------------------------------------------------
+_WORKER_STATE: tuple | None = None
+
+
+def _engine_worker_init(objective, space: SearchSpace) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = (objective, space)
+
+
+def _evaluate_parts(
+    objective, space: SearchSpace, genome: tuple[int, ...]
+) -> tuple[float, float | None, float | None]:
+    """(fitness, accuracy, penalty) for one genome, breakdown-aware."""
+    config = space.decode(genome)
+    breakdown = getattr(objective, "breakdown", None)
+    if breakdown is not None:
+        parts = breakdown(config)
+        return (
+            float(parts["objective"]),
+            float(parts["accuracy"]),
+            float(parts["penalty"]),
+        )
+    return float(objective(config)), None, None
+
+
+def _engine_worker_eval(genome: tuple[int, ...]) -> tuple:
+    objective, space = _WORKER_STATE
+    start = perf_counter()
+    fitness, accuracy, penalty = _evaluate_parts(objective, space, genome)
+    return genome, fitness, accuracy, penalty, perf_counter() - start
+
+
+class SearchEngine:
+    """Batched, memoized, optionally parallel candidate evaluator.
+
+    Parameters
+    ----------
+    objective:
+        ``config -> fitness`` callable.  Optional protocol extensions:
+        ``breakdown(config)`` (accuracy/penalty decomposition, required
+        for Pareto search and for accuracy-level cache reuse),
+        ``fingerprint()`` (training-identity payload, required for the
+        persistent cache), and ``rescore(config, accuracy)`` (re-derive
+        the breakdown from a cached accuracy without retraining).
+    space:
+        Genome codec; must match the space the search loop uses.
+    workers:
+        Pool size.  ``None`` resolves via
+        :func:`repro.runtime.batch.resolve_workers`; ``1`` evaluates
+        inline (no pool).
+    executor:
+        ``"process"`` (default — candidate training is Python-heavy, so
+        threads would serialize on the GIL), ``"thread"``, or
+        ``"serial"`` to force inline evaluation regardless of
+        ``workers``.
+    cache_path:
+        JSONL path for the persistent cache; ``None`` disables.  Ignored
+        (with a stat, not an error) when the objective carries no
+        ``fingerprint``.
+    max_retries:
+        Extra pool attempts per candidate before the inline fallback.
+    """
+
+    def __init__(
+        self,
+        objective,
+        space: SearchSpace = SearchSpace(),
+        *,
+        workers: int | None = None,
+        executor: str = "process",
+        cache_path: str | os.PathLike | None = None,
+        max_retries: int = 1,
+        mp_context=None,
+    ) -> None:
+        if executor not in ("process", "thread", "serial"):
+            raise ValueError(
+                f"unknown executor {executor!r}; expected 'process', 'thread', or 'serial'"
+            )
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self.objective = objective
+        self.space = space
+        self.workers = 1 if executor == "serial" else resolve_workers(workers)
+        self.executor_kind = executor
+        self.max_retries = max_retries
+        self._mp_context = mp_context
+        self._workerpool = WorkerPool(self._make_pool)
+        self.memo: dict[tuple[int, ...], CandidateOutcome] = {}
+        self.stats = {
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "evaluations": 0,
+            "retries": 0,
+            "fallbacks": 0,
+            "broken_pools": 0,
+            "train_wall_s": 0.0,
+            "saved_wall_s": 0.0,
+            "batch_wall_s": 0.0,
+            "batches": 0,
+        }
+        self.cache: EvaluationCache | None = None
+        self.cache_fingerprint: str | None = None
+        if cache_path is not None:
+            fingerprint = self.fingerprint()
+            if fingerprint is not None:
+                self.cache = EvaluationCache(cache_path, fingerprint)
+                self.cache_fingerprint = fingerprint
+
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str | None:
+        """Training-identity hash keying the persistent cache.
+
+        Combines the objective's own fingerprint payload (dataset
+        content, proxy train budget, model shape context) with the
+        active kernel set and the cache format version.  ``None`` when
+        the objective exposes no ``fingerprint`` — such objectives can
+        be memoized in-process but never persisted.
+        """
+        payload_fn = getattr(self.objective, "fingerprint", None)
+        if payload_fn is None:
+            return None
+        try:
+            objective_payload = payload_fn()
+        except TypeError:
+            # Fingerprintable objective over an unfingerprintable inner
+            # evaluator (e.g. a bare lambda): memoize in-process only.
+            return None
+        payload = {
+            "objective": objective_payload,
+            "kernels": kernel_info()["set"],
+            "space": {
+                "levels": self.space.levels,
+                "extra": {k: str(v) for k, v in sorted(self.space.extra.items())},
+            },
+            "v": CACHE_FORMAT_VERSION,
+        }
+        canonical = json.dumps(payload, sort_keys=True, default=str)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+    # ------------------------------------------------------------------
+    def _make_pool(self) -> Executor:
+        if self.executor_kind == "thread":
+            return ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-search"
+            )
+        import multiprocessing as mp
+
+        context = self._mp_context
+        if context is None:
+            method = "fork" if "fork" in mp.get_all_start_methods() else None
+            context = mp.get_context(method)
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=context,
+            initializer=_engine_worker_init,
+            initargs=(self.objective, self.space),
+        )
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        self._workerpool.close()
+
+    def __enter__(self) -> "SearchEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _rescored_hit(self, cached: CandidateOutcome) -> CandidateOutcome:
+        """Materialize a cache hit under the *live* objective.
+
+        The fingerprint deliberately excludes trade-off weights
+        (lambda1/lambda2), so the stored fitness/penalty may have been
+        computed under different weights.  When the objective can
+        re-derive them from the cached accuracy we do that (closed-form,
+        no training); otherwise the stored values are reused verbatim.
+        """
+        rescore = getattr(self.objective, "rescore", None)
+        if cached.accuracy is not None and rescore is not None:
+            parts = rescore(self.space.decode(cached.genome), cached.accuracy)
+            return replace(
+                cached,
+                fitness=float(parts["objective"]),
+                penalty=float(parts["penalty"]),
+                cached=True,
+            )
+        return replace(cached, cached=True)
+
+    def _evaluate_inline(self, genome: tuple[int, ...]) -> CandidateOutcome:
+        with stage_timer("search.candidate"):
+            annotate_span(genome=str(genome))
+            start = perf_counter()
+            fitness, accuracy, penalty = _evaluate_parts(
+                self.objective, self.space, genome
+            )
+            return CandidateOutcome(
+                genome, fitness, accuracy, penalty, perf_counter() - start
+            )
+
+    def _evaluate_pool(
+        self, pending: list[tuple[int, ...]]
+    ) -> dict[tuple[int, ...], CandidateOutcome]:
+        """Fan pending genomes out; collect in request order.
+
+        Ladder per candidate: pool attempt -> up to ``max_retries``
+        resubmissions (a ``BrokenProcessPool`` additionally replaces the
+        pool and resubmits every uncollected candidate) -> inline serial
+        fallback in the calling process.
+        """
+        registry = get_registry()
+        candidate_hist = registry.histogram("search.candidate")
+        pool = self._workerpool.ensure()
+        futures = {g: pool.submit(_engine_worker_eval, g) for g in pending}
+        attempts = {g: 1 for g in pending}
+        results: dict[tuple[int, ...], CandidateOutcome] = {}
+        for genome in pending:
+            while True:
+                try:
+                    _, fitness, accuracy, penalty, wall = futures[genome].result()
+                    results[genome] = CandidateOutcome(
+                        genome, fitness, accuracy, penalty, wall
+                    )
+                    candidate_hist.observe(wall)
+                    break
+                except BrokenProcessPool:
+                    self.stats["broken_pools"] += 1
+                    registry.counter("search.broken_pools").add(1)
+                    pool = self._workerpool.replace()
+                    # Every sibling future is poisoned too: resubmit all
+                    # uncollected candidates on the fresh pool, charging
+                    # an attempt only to the one that surfaced the break.
+                    attempts[genome] += 1
+                    for other in pending:
+                        if other not in results:
+                            futures[other] = pool.submit(_engine_worker_eval, other)
+                    if attempts[genome] > self.max_retries + 1:
+                        results[genome] = self._fallback(genome)
+                        break
+                    self.stats["retries"] += 1
+                    registry.counter("search.retries").add(1)
+                except Exception:
+                    attempts[genome] += 1
+                    if attempts[genome] > self.max_retries + 1:
+                        results[genome] = self._fallback(genome)
+                        break
+                    self.stats["retries"] += 1
+                    registry.counter("search.retries").add(1)
+                    futures[genome] = pool.submit(_engine_worker_eval, genome)
+        return results
+
+    def _fallback(self, genome: tuple[int, ...]) -> CandidateOutcome:
+        """Inline serial evaluation after the pool ladder is exhausted.
+
+        A deterministic objective error (one that also fails inline)
+        propagates — the search cannot proceed without a fitness, and
+        surfacing the real exception beats inventing a sentinel score.
+        """
+        self.stats["fallbacks"] += 1
+        get_registry().counter("search.fallbacks").add(1)
+        return self._evaluate_inline(genome)
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self, genomes: Iterable[tuple[int, ...]]
+    ) -> dict[tuple[int, ...], CandidateOutcome]:
+        """Score a batch of genomes; returns ``{genome: outcome}``.
+
+        Request order is preserved in the returned dict (duplicates
+        collapse onto their first occurrence), already-scored genomes
+        come from the in-process memo, cache hits skip training, and
+        only the remainder is evaluated — in parallel when a pool is
+        configured.
+        """
+        ordered: list[tuple[int, ...]] = []
+        seen: set[tuple[int, ...]] = set()
+        for genome in genomes:
+            genome = tuple(int(g) for g in genome)
+            if genome not in seen:
+                seen.add(genome)
+                ordered.append(genome)
+        registry = get_registry()
+        pending: list[tuple[int, ...]] = []
+        start = perf_counter()
+        with trace_span("search.batch"):
+            for genome in ordered:
+                if genome in self.memo:
+                    continue
+                cached = self.cache.get(genome) if self.cache is not None else None
+                if cached is not None:
+                    self.memo[genome] = self._rescored_hit(cached)
+                    self.stats["cache_hits"] += 1
+                    self.stats["saved_wall_s"] += cached.wall_s
+                    registry.counter("search.cache.hit").add(1)
+                else:
+                    pending.append(genome)
+                    self.stats["cache_misses"] += 1
+                    registry.counter("search.cache.miss").add(1)
+            annotate_span(
+                batch=len(ordered),
+                pending=len(pending),
+                workers=self.workers,
+                executor=self.executor_kind,
+            )
+            registry.gauge("search.workers").set(self.workers)
+            if pending:
+                if self.workers == 1 or self.executor_kind == "serial":
+                    fresh = {g: self._evaluate_inline(g) for g in pending}
+                else:
+                    fresh = self._evaluate_pool(pending)
+                # Insert in request order no matter which worker finished
+                # first — the memo/evaluated-map ordering is part of the
+                # determinism contract.
+                for genome in pending:
+                    outcome = fresh[genome]
+                    self.memo[genome] = outcome
+                    self.stats["evaluations"] += 1
+                    self.stats["train_wall_s"] += outcome.wall_s
+                if self.cache is not None:
+                    self.cache.put_many(fresh[g] for g in pending)
+        self.stats["batch_wall_s"] += perf_counter() - start
+        self.stats["batches"] += 1
+        return {genome: self.memo[genome] for genome in ordered}
+
+    # ------------------------------------------------------------------
+    def speedup(self) -> float:
+        """(candidate wall + avoided wall) / engine wall.
+
+        ~1.0 for serial cold runs, ~``workers`` for a perfectly parallel
+        pool, and far above that on warm caches — cache hits count the
+        train time their stored entry *avoided*.  0.0 before any batch.
+        """
+        if self.stats["batch_wall_s"] <= 0.0:
+            return 0.0
+        return (
+            self.stats["train_wall_s"] + self.stats["saved_wall_s"]
+        ) / self.stats["batch_wall_s"]
+
+    def ledger_stats(self) -> dict[str, float]:
+        """Engine counters in run-ledger metric form."""
+        out = {f"search_{k}": float(v) for k, v in self.stats.items()}
+        out["search_speedup"] = self.speedup()
+        out["search_workers"] = float(self.workers)
+        return out

@@ -4,6 +4,14 @@ Generational GA over the (D_H, D_L, D_K, O, Theta) genome: tournament
 selection, uniform crossover, single-gene neighbourhood mutation, and
 elitist preservation (the top ``elite`` individuals survive unchanged,
 guaranteeing monotone best-so-far fitness).
+
+Candidate scoring is batched through :class:`~.engine.SearchEngine`: at
+the top of each generation every not-yet-scored genome in the population
+is evaluated in one engine batch (process-parallel and/or cache-served),
+after which sorting and tournament selection are pure dict lookups.
+Because evaluation consumes no random state, the GA's rng stream — and
+therefore the produced :class:`SearchResult` — is identical to the seed
+serial implementation for any worker count.
 """
 
 from __future__ import annotations
@@ -14,8 +22,10 @@ from typing import Callable
 import numpy as np
 
 from repro.core.config import UniVSAConfig
+from repro.hw.cost import resource_units
 from repro.obs import get_registry, stage_timer
 
+from .engine import CandidateOutcome, SearchEngine
 from .space import SearchSpace
 
 __all__ = ["EvolutionConfig", "SearchResult", "evolutionary_search"]
@@ -40,6 +50,10 @@ class EvolutionConfig:
             raise ValueError("elite must be in (0, population)")
         if self.tournament < 1:
             raise ValueError("tournament must be >= 1")
+        if not 0.0 <= self.crossover_rate <= 1.0:
+            raise ValueError("crossover_rate must be in [0, 1]")
+        if not 0.0 <= self.mutation_rate <= 1.0:
+            raise ValueError("mutation_rate must be in [0, 1]")
 
 
 @dataclass
@@ -50,6 +64,7 @@ class SearchResult:
     best_fitness: float
     history: list[float] = field(default_factory=list)  # best per generation
     evaluated: dict = field(default_factory=dict)  # genome -> fitness
+    stats: dict = field(default_factory=dict)  # engine counters (cache, workers, walls)
 
     @property
     def generations_run(self) -> int:
@@ -57,50 +72,88 @@ class SearchResult:
         return len(self.history)
 
 
+def _hardware_key(
+    outcome: CandidateOutcome, space: SearchSpace
+) -> tuple[float, tuple[int, ...]]:
+    """Deterministic cheapness ordering for fitness ties.
+
+    Prefers the true L_HW when the objective decomposes (CodesignObjective);
+    plain callables fall back to the Eq. 6 resource units of the decoded
+    config, with the genome tuple as the final total-order tie-break.
+    """
+    if outcome.penalty is not None:
+        return (outcome.penalty, outcome.genome)
+    return (resource_units(space.decode(outcome.genome)), outcome.genome)
+
+
 def evolutionary_search(
     objective: Callable[[UniVSAConfig], float],
     space: SearchSpace = SearchSpace(),
     config: EvolutionConfig = EvolutionConfig(),
+    engine: SearchEngine | None = None,
 ) -> SearchResult:
-    """Maximize ``objective`` over the search space."""
+    """Maximize ``objective`` over the search space.
+
+    Pass an ``engine`` to control parallelism and persistent caching
+    (its ``space`` must be the search's ``space``); by default a serial,
+    cache-less engine is built around ``objective``.  The result is
+    engine-invariant: workers and cache temperature change wall time,
+    never the returned configs, history, or evaluated map.
+    """
     rng = np.random.default_rng(config.seed)
-    evaluated: dict[tuple, float] = {}
+    owns_engine = engine is None
+    if engine is None:
+        engine = SearchEngine(objective, space, executor="serial")
+    outcomes: dict[tuple, CandidateOutcome] = {}
+
+    def ensure_scored(candidates: list[UniVSAConfig]) -> None:
+        genomes = [space.encode(c) for c in candidates]
+        for genome, outcome in engine.evaluate(genomes).items():
+            outcomes.setdefault(genome, outcome)
 
     def fitness(candidate: UniVSAConfig) -> float:
-        key = space.encode(candidate)
-        if key not in evaluated:
-            evaluated[key] = float(objective(candidate))
-        return evaluated[key]
+        return outcomes[space.encode(candidate)].fitness
 
-    population = [space.random(rng) for _ in range(config.population)]
-    history: list[float] = []
-    registry = get_registry()
-    for _generation in range(config.generations):
-        with stage_timer("search.generation"):
-            scored = sorted(population, key=fitness, reverse=True)
-            history.append(fitness(scored[0]))
-            # Elitist preservation: the best individuals survive unchanged.
-            next_population = scored[: config.elite]
-            while len(next_population) < config.population:
-                parent_a = _tournament(scored, fitness, config.tournament, rng)
-                if rng.random() < config.crossover_rate:
-                    parent_b = _tournament(scored, fitness, config.tournament, rng)
-                    child = space.crossover(parent_a, parent_b, rng)
-                else:
-                    child = parent_a
-                if rng.random() < config.mutation_rate:
-                    child = space.mutate(child, rng)
-                next_population.append(child)
-            population = next_population
-        registry.counter("search.generations").add(1)
-        registry.gauge("search.best_fitness").set(history[-1])
-        registry.gauge("search.configs_evaluated").set(len(evaluated))
-    best_genome = max(evaluated, key=evaluated.get)
+    try:
+        population = [space.random(rng) for _ in range(config.population)]
+        history: list[float] = []
+        registry = get_registry()
+        for _generation in range(config.generations):
+            with stage_timer("search.generation"):
+                ensure_scored(population)
+                scored = sorted(population, key=fitness, reverse=True)
+                history.append(fitness(scored[0]))
+                # Elitist preservation: the best individuals survive unchanged.
+                next_population = scored[: config.elite]
+                while len(next_population) < config.population:
+                    parent_a = _tournament(scored, fitness, config.tournament, rng)
+                    if rng.random() < config.crossover_rate:
+                        parent_b = _tournament(scored, fitness, config.tournament, rng)
+                        child = space.crossover(parent_a, parent_b, rng)
+                    else:
+                        child = parent_a
+                    if rng.random() < config.mutation_rate:
+                        child = space.mutate(child, rng)
+                    next_population.append(child)
+                population = next_population
+            registry.counter("search.generations").add(1)
+            registry.gauge("search.best_fitness").set(history[-1])
+            registry.gauge("search.configs_evaluated").set(len(outcomes))
+    finally:
+        if owns_engine:
+            engine.close()
+    # Fitness ties break toward the cheaper hardware (then the smaller
+    # genome), never dict insertion order.
+    best_genome = min(
+        outcomes,
+        key=lambda g: (-outcomes[g].fitness,) + _hardware_key(outcomes[g], space),
+    )
     return SearchResult(
         best_config=space.decode(best_genome),
-        best_fitness=evaluated[best_genome],
+        best_fitness=outcomes[best_genome].fitness,
         history=history,
-        evaluated=evaluated,
+        evaluated={genome: outcome.fitness for genome, outcome in outcomes.items()},
+        stats=dict(engine.stats, workers=engine.workers, speedup=engine.speedup()),
     )
 
 

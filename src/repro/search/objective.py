@@ -31,7 +31,39 @@ class CodesignObjective:
     def breakdown(self, config: UniVSAConfig) -> dict[str, float]:
         """Objective decomposition for reporting."""
         accuracy = self.accuracy_fn(config)
+        return self.rescore(config, accuracy)
+
+    def rescore(self, config: UniVSAConfig, accuracy: float) -> dict[str, float]:
+        """Breakdown from an already-known accuracy — no training.
+
+        This is the cache-hit path of :class:`repro.search.engine
+        .SearchEngine`: the fingerprint excludes lambda1/lambda2, so a
+        cached accuracy is re-weighted through the *live* penalty here.
+        """
         penalty = hardware_penalty(
             config, self.input_shape, self.n_classes, self.lambda1, self.lambda2
         )
         return {"accuracy": accuracy, "penalty": penalty, "objective": accuracy - penalty}
+
+    def fingerprint(self) -> dict:
+        """Training-identity payload for the persistent evaluation cache.
+
+        Deliberately excludes ``lambda1``/``lambda2``: the expensive part
+        of an evaluation is the accuracy (a proxy train), and that is
+        invariant under re-weighting — :meth:`rescore` re-derives the
+        penalty and fitness on every hit.  Requires the accuracy
+        evaluator to identify its own data/budget; plain callables make
+        the objective unfingerprintable (no persistent cache).
+        """
+        inner = getattr(self.accuracy_fn, "fingerprint", None)
+        if inner is None:
+            raise TypeError(
+                "accuracy_fn exposes no fingerprint(); persistent caching "
+                "needs a training-identity (e.g. AccuracyProxy)"
+            )
+        return {
+            "kind": "CodesignObjective",
+            "input_shape": list(self.input_shape),
+            "n_classes": int(self.n_classes),
+            "accuracy_fn": inner(),
+        }

@@ -4,6 +4,15 @@ The scalarized objective of Eq. 7 picks one point on the
 accuracy/hardware trade-off; this extension exposes the whole frontier:
 non-dominated sorting + crowding-distance selection over
 (maximize accuracy, minimize hardware penalty).
+
+Evaluation runs through the shared :class:`~.engine.SearchEngine`: the
+initial population and each generation's offspring are scored as one
+batch (parallel workers, persistent cache), so a sweep re-visiting
+genomes an earlier evolutionary run already trained — the common case,
+since both loops share the accuracy proxy — reuses them instead of
+retraining.  Offspring are *generated* (all rng draws) before any of
+them is evaluated; evaluation consumes no random state, so the frontier
+is identical to the seed serial implementation for any worker count.
 """
 
 from __future__ import annotations
@@ -15,9 +24,55 @@ import numpy as np
 
 from repro.core.config import UniVSAConfig
 
+from .engine import SearchEngine
 from .space import SearchSpace
 
-__all__ = ["ParetoPoint", "ParetoResult", "non_dominated_sort", "crowding_distance", "nsga2_search"]
+__all__ = [
+    "ParetoPoint",
+    "ParetoResult",
+    "SplitObjective",
+    "non_dominated_sort",
+    "crowding_distance",
+    "nsga2_search",
+]
+
+
+@dataclass
+class SplitObjective:
+    """Engine-protocol adapter over separate accuracy/penalty callables.
+
+    Scalarizes as ``accuracy - penalty`` (the Eq. 7 form with the
+    weights folded into ``penalty_fn``) so the two-objective search can
+    share one :class:`SearchEngine` — and one evaluation cache — with
+    the scalarized evolutionary search.
+    """
+
+    accuracy_fn: Callable[[UniVSAConfig], float]
+    penalty_fn: Callable[[UniVSAConfig], float]
+
+    def __call__(self, config: UniVSAConfig) -> float:
+        parts = self.breakdown(config)
+        return parts["objective"]
+
+    def breakdown(self, config: UniVSAConfig) -> dict[str, float]:
+        accuracy = float(self.accuracy_fn(config))
+        penalty = float(self.penalty_fn(config))
+        return {"accuracy": accuracy, "penalty": penalty, "objective": accuracy - penalty}
+
+    def rescore(self, config: UniVSAConfig, accuracy: float) -> dict[str, float]:
+        """Cache-hit path: reuse the accuracy, recompute the cheap penalty."""
+        penalty = float(self.penalty_fn(config))
+        return {"accuracy": accuracy, "penalty": penalty, "objective": accuracy - penalty}
+
+    def fingerprint(self) -> dict:
+        """Training identity, delegated to the accuracy evaluator."""
+        inner = getattr(self.accuracy_fn, "fingerprint", None)
+        if inner is None:
+            raise TypeError(
+                "accuracy_fn exposes no fingerprint(); persistent caching "
+                "needs a training-identity (e.g. AccuracyProxy)"
+            )
+        return {"kind": "SplitObjective", "accuracy_fn": inner()}
 
 
 @dataclass(frozen=True)
@@ -100,68 +155,103 @@ def crowding_distance(points: list[ParetoPoint], front: list[int]) -> dict[int, 
 
 
 def nsga2_search(
-    accuracy_fn: Callable[[UniVSAConfig], float],
-    penalty_fn: Callable[[UniVSAConfig], float],
+    accuracy_fn: Callable[[UniVSAConfig], float] | None,
+    penalty_fn: Callable[[UniVSAConfig], float] | None = None,
     space: SearchSpace = SearchSpace(),
     population: int = 12,
     generations: int = 6,
     seed: int = 0,
+    engine: SearchEngine | None = None,
 ) -> ParetoResult:
-    """Two-objective evolutionary search; returns the final frontier."""
+    """Two-objective evolutionary search; returns the final frontier.
+
+    Either pass ``accuracy_fn``/``penalty_fn`` (wrapped in a serial
+    :class:`SplitObjective` engine), or an ``engine`` whose objective
+    exposes a ``breakdown`` — e.g. the same ``CodesignObjective`` engine
+    an evolutionary run used, in which case every genome that run
+    already trained comes out of the shared memo/cache for free.
+    """
     if population < 4:
         raise ValueError("population must be >= 4")
     rng = np.random.default_rng(seed)
+    owns_engine = engine is None
+    if engine is None:
+        if accuracy_fn is None or penalty_fn is None:
+            raise ValueError("pass accuracy_fn and penalty_fn, or an engine")
+        engine = SearchEngine(
+            SplitObjective(accuracy_fn, penalty_fn), space, executor="serial"
+        )
+    if getattr(engine.objective, "breakdown", None) is None:
+        raise ValueError(
+            "Pareto search needs an engine objective with a breakdown() "
+            "(accuracy/penalty decomposition)"
+        )
     evaluated: dict[tuple, ParetoPoint] = {}
 
-    def evaluate(config: UniVSAConfig) -> ParetoPoint:
-        key = space.encode(config)
-        if key not in evaluated:
-            evaluated[key] = ParetoPoint(
-                config=config,
-                accuracy=float(accuracy_fn(config)),
-                penalty=float(penalty_fn(config)),
+    def evaluate_batch(configs: list[UniVSAConfig]) -> None:
+        outcomes = engine.evaluate([space.encode(c) for c in configs])
+        for genome, outcome in outcomes.items():
+            evaluated.setdefault(
+                genome,
+                ParetoPoint(
+                    config=space.decode(genome),
+                    accuracy=float(outcome.accuracy),
+                    penalty=float(outcome.penalty),
+                ),
             )
-        return evaluated[key]
 
-    pool = [evaluate(space.random(rng)) for _ in range(population)]
-    for _ in range(generations):
-        # Variation: binary-tournament parents by (front rank, crowding).
-        fronts = non_dominated_sort(pool)
-        rank = {}
-        for level, front in enumerate(fronts):
-            for i in front:
-                rank[i] = level
-        crowd: dict[int, float] = {}
-        for front in fronts:
-            crowd.update(crowding_distance(pool, front))
+    def point(config: UniVSAConfig) -> ParetoPoint:
+        return evaluated[space.encode(config)]
 
-        def tournament() -> ParetoPoint:
-            a, b = rng.integers(0, len(pool), size=2)
-            if (rank[a], -crowd[a]) <= (rank[b], -crowd[b]):
-                return pool[a]
-            return pool[b]
+    try:
+        seeds = [space.random(rng) for _ in range(population)]
+        evaluate_batch(seeds)
+        pool = [point(c) for c in seeds]
+        for _ in range(generations):
+            # Variation: binary-tournament parents by (front rank, crowding).
+            fronts = non_dominated_sort(pool)
+            rank = {}
+            for level, front in enumerate(fronts):
+                for i in front:
+                    rank[i] = level
+            crowd: dict[int, float] = {}
+            for front in fronts:
+                crowd.update(crowding_distance(pool, front))
 
-        offspring = []
-        while len(offspring) < population:
-            parent_a, parent_b = tournament(), tournament()
-            child = space.crossover(parent_a.config, parent_b.config, rng)
-            child = space.mutate(child, rng)
-            offspring.append(evaluate(child))
-        # Environmental selection over parents + offspring.
-        merged = pool + offspring
-        fronts = non_dominated_sort(merged)
-        survivors: list[ParetoPoint] = []
-        for front in fronts:
-            if len(survivors) + len(front) <= population:
-                survivors.extend(merged[i] for i in front)
-            else:
-                crowd = crowding_distance(merged, front)
-                ordered = sorted(front, key=lambda i: -crowd[i])
-                survivors.extend(
-                    merged[i] for i in ordered[: population - len(survivors)]
-                )
-                break
-        pool = survivors
+            def tournament() -> ParetoPoint:
+                a, b = rng.integers(0, len(pool), size=2)
+                if (rank[a], -crowd[a]) <= (rank[b], -crowd[b]):
+                    return pool[a]
+                return pool[b]
+
+            # Generate every child first (all the rng draws), then score
+            # them as one engine batch.
+            children: list[UniVSAConfig] = []
+            while len(children) < population:
+                parent_a, parent_b = tournament(), tournament()
+                child = space.crossover(parent_a.config, parent_b.config, rng)
+                child = space.mutate(child, rng)
+                children.append(child)
+            evaluate_batch(children)
+            offspring = [point(c) for c in children]
+            # Environmental selection over parents + offspring.
+            merged = pool + offspring
+            fronts = non_dominated_sort(merged)
+            survivors: list[ParetoPoint] = []
+            for front in fronts:
+                if len(survivors) + len(front) <= population:
+                    survivors.extend(merged[i] for i in front)
+                else:
+                    crowd = crowding_distance(merged, front)
+                    ordered = sorted(front, key=lambda i: -crowd[i])
+                    survivors.extend(
+                        merged[i] for i in ordered[: population - len(survivors)]
+                    )
+                    break
+            pool = survivors
+    finally:
+        if owns_engine:
+            engine.close()
     frontier_idx = non_dominated_sort(pool)[0]
     frontier = sorted(
         {pool[i] for i in frontier_idx}, key=lambda p: p.penalty

@@ -8,6 +8,7 @@ trick of NAS-style co-exploration [27].  Results are memoized per config.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -61,3 +62,30 @@ class AccuracyProxy:
     def evaluations(self) -> int:
         """Number of distinct configs actually trained."""
         return len(self._cache)
+
+    def fingerprint(self) -> dict:
+        """Training-identity payload: dataset content + train budget.
+
+        Hashing the (post-subsample) arrays makes the dataset id robust
+        — a different task, split, size, or seed changes the digest, so
+        persistent cache entries can never leak across datasets.  The
+        proxy's fixed internal learning rate is covered by the cache
+        format version, not repeated here.
+        """
+        digest = hashlib.sha256()
+        for array in (self.x_train, self.y_train, self.x_val, self.y_val):
+            array = np.ascontiguousarray(array)
+            digest.update(str(array.dtype).encode())
+            digest.update(str(array.shape).encode())
+            digest.update(array.tobytes())
+        if self.mask is not None:
+            mask = np.ascontiguousarray(self.mask)
+            digest.update(mask.tobytes())
+        return {
+            "kind": "AccuracyProxy",
+            "data": digest.hexdigest()[:16],
+            "n_classes": int(self.n_classes),
+            "epochs": int(self.epochs),
+            "max_train_samples": int(self.max_train_samples),
+            "seed": int(self.seed),
+        }

@@ -340,7 +340,7 @@ class TestObsCompare:
 
 
 class TestSearch:
-    def test_search_runs(self, capsys, monkeypatch):
+    def _shrink_benchmark(self, monkeypatch):
         from repro.data import get_benchmark
 
         benchmark = get_benchmark("bci-iii-v")
@@ -350,16 +350,72 @@ class TestSearch:
         monkeypatch.setattr(
             type(benchmark), "default_test", property(lambda self: 40), raising=False
         )
-        code = main(
-            [
-                "search",
-                "bci-iii-v",
-                "--population", "3",
-                "--generations", "2",
-                "--proxy-epochs", "1",
-            ]
-        )
+
+    def _argv(self, *extra):
+        return [
+            "search",
+            "bci-iii-v",
+            "--population", "3",
+            "--generations", "2",
+            "--proxy-epochs", "1",
+            *extra,
+        ]
+
+    def test_search_runs(self, capsys, monkeypatch):
+        self._shrink_benchmark(monkeypatch)
+        code = main(self._argv("--no-cache"))
         assert code == 0
         out = capsys.readouterr().out
         assert "best config" in out
         assert "configs evaluated" in out
+        cache_line = next(
+            l for l in out.splitlines() if l.split(":")[0].strip() == "cache"
+        )
+        assert "disabled" in cache_line
+
+    def test_search_warm_cache_rerun_skips_training(self, capsys, monkeypatch, tmp_path):
+        self._shrink_benchmark(monkeypatch)
+        cache = tmp_path / "cache.jsonl"
+        ledger = tmp_path / "ledger.jsonl"
+        argv = self._argv("--cache", str(cache), "--ledger", str(ledger))
+
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "fresh trains" in cold and cache.exists()
+
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        fresh_line = next(l for l in warm.splitlines() if "fresh trains" in l)
+        assert fresh_line.rstrip().endswith("0")
+
+        def best_line(out):
+            return next(l for l in out.splitlines() if "best config" in l)
+
+        assert best_line(cold) == best_line(warm)
+
+        from repro.obs import Ledger
+
+        records = Ledger(ledger).read()
+        assert len(records) == 2
+        assert records[1].metrics["search_cache_hits"] >= 1
+        assert records[1].metrics["search_evaluations"] == 0
+        assert records[1].metrics["workers"] == 1
+        assert "search.cache.hit" in records[1].metrics
+
+    def test_search_workers_flag_matches_serial(self, capsys, monkeypatch, tmp_path):
+        self._shrink_benchmark(monkeypatch)
+        serial = self._argv("--no-cache", "--no-ledger")
+        parallel = self._argv(
+            "--no-cache", "--no-ledger", "--workers", "2", "--executor", "thread"
+        )
+
+        assert main(serial) == 0
+        serial_out = capsys.readouterr().out
+        assert main(parallel) == 0
+        parallel_out = capsys.readouterr().out
+
+        def best_line(out):
+            return next(l for l in out.splitlines() if "best config" in l)
+
+        assert best_line(serial_out) == best_line(parallel_out)
+        assert "2 (thread)" in parallel_out

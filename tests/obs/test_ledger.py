@@ -132,6 +132,32 @@ class TestRecordRun:
         second = record_run("train", "t", config=config, ledger_path=tmp_path / "l.jsonl")
         assert first.config_hash == second.config_hash
 
+    def test_harvests_search_namespace(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("search.cache.hit").add(5)
+        registry.counter("search.cache.miss").add(2)
+        registry.gauge("search.workers").set(4)
+        registry.counter("other.counter").add(9)
+        record = record_run(
+            "search", "t", registry=registry, ledger_path=tmp_path / "l.jsonl"
+        )
+        assert record.metrics["search.cache.hit"] == 5
+        assert record.metrics["search.cache.miss"] == 2
+        assert record.metrics["search.workers"] == 4
+        assert "other.counter" not in record.metrics
+
+    def test_explicit_metrics_win_over_harvested(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("search.cache.hit").add(5)
+        record = record_run(
+            "search",
+            "t",
+            metrics={"search.cache.hit": 1.0},
+            registry=registry,
+            ledger_path=tmp_path / "l.jsonl",
+        )
+        assert record.metrics["search.cache.hit"] == 1.0
+
 
 class TestCompareRecords:
     def _pair(self, cur_metrics, base_metrics, cur_stages=None, base_stages=None):

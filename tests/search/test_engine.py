@@ -1,0 +1,326 @@
+"""Tests for the batched/parallel search engine and its persistent cache."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import UniVSAConfig
+from repro.search import (
+    AccuracyProxy,
+    CandidateOutcome,
+    CodesignObjective,
+    EvaluationCache,
+    EvolutionConfig,
+    SearchEngine,
+    SearchSpace,
+    evolutionary_search,
+)
+from repro.search.engine import CACHE_FORMAT_VERSION
+from repro.vsa.kernels import using_kernels
+
+SPACE = SearchSpace()
+PARENT_PID = os.getpid()
+
+
+# Module-level objectives so process pools can pickle them. -----------------
+def analytic_objective(config: UniVSAConfig) -> float:
+    return -float(config.out_channels) - float(config.d_high)
+
+
+def worker_only_failure(config: UniVSAConfig) -> float:
+    """Deterministic inline, raises only inside a pool worker."""
+    if os.getpid() != PARENT_PID:
+        raise RuntimeError("transient worker failure")
+    return float(config.out_channels)
+
+
+def worker_only_crash(config: UniVSAConfig) -> float:
+    """Hard-kills pool workers; succeeds inline (BrokenProcessPool path)."""
+    if os.getpid() != PARENT_PID:
+        os._exit(13)
+    return float(config.out_channels)
+
+
+class CountingObjective:
+    def __init__(self):
+        self.calls = 0
+
+    def __call__(self, config: UniVSAConfig) -> float:
+        self.calls += 1
+        return -float(config.out_channels)
+
+
+def _proxy(epochs=2, seed=0, n=24):
+    gen = np.random.default_rng(seed)
+    x = gen.integers(0, 16, size=(n, 3, 4)).astype(np.int64)
+    y = gen.integers(0, 2, size=n).astype(np.int64)
+    split = (2 * n) // 3
+    return AccuracyProxy(
+        x[:split], y[:split], x[split:], y[split:], n_classes=2, epochs=epochs
+    )
+
+
+def _objective(epochs=2, seed=0, **kwargs):
+    return CodesignObjective(_proxy(epochs=epochs, seed=seed), (3, 4), 2, **kwargs)
+
+
+GENOMES = [(4, 2, 3, 16, 1), (8, 2, 3, 32, 3), (2, 1, 5, 8, 1)]
+
+
+class TestSerialEngine:
+    def test_memoizes_across_batches(self):
+        objective = CountingObjective()
+        with SearchEngine(objective, SPACE, executor="serial") as engine:
+            first = engine.evaluate(GENOMES)
+            second = engine.evaluate(GENOMES)
+        assert objective.calls == len(GENOMES)
+        assert first == second
+        assert engine.stats["evaluations"] == len(GENOMES)
+
+    def test_duplicates_collapse_and_order_is_request_order(self):
+        with SearchEngine(CountingObjective(), SPACE, executor="serial") as engine:
+            out = engine.evaluate([GENOMES[1], GENOMES[0], GENOMES[1]])
+        assert list(out) == [GENOMES[1], GENOMES[0]]
+
+    def test_breakdown_populates_accuracy_and_penalty(self):
+        with SearchEngine(_objective(), SPACE, executor="serial") as engine:
+            (outcome,) = engine.evaluate([GENOMES[0]]).values()
+        assert outcome.accuracy is not None and outcome.penalty is not None
+        assert outcome.fitness == pytest.approx(outcome.accuracy - outcome.penalty)
+
+    def test_plain_callable_has_no_breakdown(self):
+        with SearchEngine(analytic_objective, SPACE, executor="serial") as engine:
+            (outcome,) = engine.evaluate([GENOMES[0]]).values()
+        assert outcome.accuracy is None and outcome.penalty is None
+
+    def test_rejects_unknown_executor_and_negative_retries(self):
+        with pytest.raises(ValueError):
+            SearchEngine(analytic_objective, SPACE, executor="rocket")
+        with pytest.raises(ValueError):
+            SearchEngine(analytic_objective, SPACE, max_retries=-1)
+
+    def test_close_is_idempotent(self):
+        engine = SearchEngine(analytic_objective, SPACE, executor="serial")
+        engine.evaluate([GENOMES[0]])
+        engine.close()
+        engine.close()
+
+
+class TestWorkerInvariance:
+    """The ISSUE determinism contract: identical SearchResult for any workers."""
+
+    GA = EvolutionConfig(population=6, generations=3, seed=11)
+
+    def _run(self, engine=None):
+        return evolutionary_search(analytic_objective, SPACE, self.GA, engine=engine)
+
+    def _assert_identical(self, a, b):
+        assert a.best_config == b.best_config
+        assert a.best_fitness == b.best_fitness
+        assert a.history == b.history
+        assert a.evaluated == b.evaluated
+        # Insertion order of the evaluated map is part of the contract.
+        assert list(a.evaluated) == list(b.evaluated)
+
+    def test_process_pool_matches_serial(self):
+        serial = self._run()
+        with SearchEngine(
+            analytic_objective, SPACE, workers=4, executor="process"
+        ) as engine:
+            parallel = self._run(engine)
+        self._assert_identical(serial, parallel)
+        assert parallel.stats["workers"] == 4
+
+    def test_thread_pool_matches_serial(self):
+        serial = self._run()
+        with SearchEngine(
+            analytic_objective, SPACE, workers=3, executor="thread"
+        ) as engine:
+            threaded = self._run(engine)
+        self._assert_identical(serial, threaded)
+
+    def test_warm_cache_matches_cold(self, tmp_path):
+        cache = tmp_path / "cache.jsonl"
+        with SearchEngine(_objective(), SPACE, cache_path=cache, executor="serial") as e:
+            cold = evolutionary_search(_objective(), SPACE, self.GA, engine=e)
+        with SearchEngine(_objective(), SPACE, cache_path=cache, executor="serial") as e:
+            warm = evolutionary_search(_objective(), SPACE, self.GA, engine=e)
+            assert e.stats["evaluations"] == 0
+            assert e.stats["cache_hits"] == len(cold.evaluated)
+        self._assert_identical(cold, warm)
+
+
+class TestEvaluationCache:
+    def test_round_trip_serves_hits_without_training(self, tmp_path):
+        cache = tmp_path / "cache.jsonl"
+        with SearchEngine(_objective(), SPACE, cache_path=cache, executor="serial") as e:
+            first = e.evaluate(GENOMES)
+        assert len(cache.read_text().strip().splitlines()) == len(GENOMES)
+
+        counting = _objective()
+        counting.accuracy_fn = _CountingProxy(counting.accuracy_fn)
+        with SearchEngine(counting, SPACE, cache_path=cache, executor="serial") as e:
+            second = e.evaluate(GENOMES)
+            assert e.stats["cache_hits"] == len(GENOMES)
+            assert e.stats["evaluations"] == 0
+        assert counting.accuracy_fn.calls == 0  # zero retraining
+        for genome in GENOMES:
+            assert second[genome].fitness == pytest.approx(first[genome].fitness)
+            assert second[genome].cached
+
+    def test_hit_rescores_under_live_lambda_weights(self, tmp_path):
+        cache = tmp_path / "cache.jsonl"
+        with SearchEngine(_objective(), SPACE, cache_path=cache, executor="serial") as e:
+            (base,) = e.evaluate([GENOMES[1]]).values()
+        # Same training identity, 10x penalty weights: same fingerprint,
+        # cache hit, but the fitness reflects the *live* objective.
+        reweighted = _objective(lambda1=0.05, lambda2=0.05)
+        with SearchEngine(reweighted, SPACE, cache_path=cache, executor="serial") as e:
+            (hit,) = e.evaluate([GENOMES[1]]).values()
+            assert e.stats["cache_hits"] == 1
+        assert hit.accuracy == pytest.approx(base.accuracy)
+        assert hit.penalty == pytest.approx(base.penalty * 10.0)
+        assert hit.fitness == pytest.approx(hit.accuracy - hit.penalty)
+
+    def test_tolerates_torn_and_foreign_lines(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        good = CandidateOutcome(GENOMES[0], 0.5, 0.6, 0.1, 1.0)
+        lines = [
+            json.dumps(good.as_cache_line("fp")),
+            '{"v": ' + str(CACHE_FORMAT_VERSION) + ', "fingerprint": "other"',  # torn
+            json.dumps(dict(good.as_cache_line("other-fp"), genome=[9, 9, 9, 9, 9])),
+            json.dumps(dict(good.as_cache_line("fp"), v=CACHE_FORMAT_VERSION + 1)),
+            "",
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        cache = EvaluationCache(path, "fp")
+        assert len(cache) == 1
+        assert cache.get(GENOMES[0]).fitness == pytest.approx(0.5)
+        assert cache.get(GENOMES[0]).cached
+
+    def test_put_many_skips_known_entries(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        cache = EvaluationCache(path, "fp")
+        outcome = CandidateOutcome(GENOMES[0], 0.5, None, None, 0.1)
+        assert cache.put_many([outcome]) == 1
+        assert cache.put_many([outcome]) == 0
+        assert len(path.read_text().strip().splitlines()) == 1
+
+    def test_unfingerprintable_objective_disables_persistence(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        with SearchEngine(
+            analytic_objective, SPACE, cache_path=path, executor="serial"
+        ) as engine:
+            engine.evaluate(GENOMES)
+            assert engine.fingerprint() is None
+            assert engine.cache is None
+        assert not path.exists()
+
+    def test_codesign_over_bare_lambda_is_unfingerprintable(self):
+        objective = CodesignObjective(lambda c: 0.5, (3, 4), 2)
+        engine = SearchEngine(objective, SPACE, executor="serial")
+        assert engine.fingerprint() is None
+
+
+class _CountingProxy:
+    """Wraps an AccuracyProxy, counting calls but keeping its fingerprint."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.calls = 0
+
+    def __call__(self, config):
+        self.calls += 1
+        return self.inner(config)
+
+    def fingerprint(self):
+        return self.inner.fingerprint()
+
+
+class TestFingerprintInvalidation:
+    def test_train_config_change_invalidates(self, tmp_path):
+        cache = tmp_path / "cache.jsonl"
+        with SearchEngine(
+            _objective(epochs=2), SPACE, cache_path=cache, executor="serial"
+        ) as engine:
+            engine.evaluate(GENOMES)
+        with SearchEngine(
+            _objective(epochs=3), SPACE, cache_path=cache, executor="serial"
+        ) as engine:
+            engine.evaluate(GENOMES)
+            assert engine.stats["cache_hits"] == 0
+            assert engine.stats["evaluations"] == len(GENOMES)
+
+    def test_dataset_change_invalidates(self):
+        a = SearchEngine(_objective(seed=0), SPACE, executor="serial")
+        b = SearchEngine(_objective(seed=1), SPACE, executor="serial")
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_kernel_set_change_invalidates(self):
+        engine = SearchEngine(_objective(), SPACE, executor="serial")
+        with using_kernels("legacy"):
+            legacy = engine.fingerprint()
+        with using_kernels("fast"):
+            fast = engine.fingerprint()
+        assert legacy != fast
+
+    def test_space_levels_change_invalidates(self):
+        a = SearchEngine(_objective(), SearchSpace(levels=256), executor="serial")
+        b = SearchEngine(_objective(), SearchSpace(levels=64), executor="serial")
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_fingerprint_is_stable(self):
+        a = SearchEngine(_objective(), SPACE, executor="serial")
+        b = SearchEngine(_objective(), SPACE, executor="serial")
+        assert a.fingerprint() == b.fingerprint()
+
+
+class TestDegradation:
+    def test_worker_exception_falls_back_inline(self):
+        with SearchEngine(
+            worker_only_failure, SPACE, workers=2, executor="process", max_retries=1
+        ) as engine:
+            out = engine.evaluate(GENOMES)
+            assert engine.stats["retries"] >= 1
+            assert engine.stats["fallbacks"] == len(GENOMES)
+        for genome in GENOMES:
+            assert out[genome].fitness == float(SPACE.decode(genome).out_channels)
+
+    def test_broken_pool_is_replaced_then_falls_back(self):
+        with SearchEngine(
+            worker_only_crash, SPACE, workers=2, executor="process", max_retries=1
+        ) as engine:
+            out = engine.evaluate(GENOMES[:2])
+            assert engine.stats["broken_pools"] >= 1
+            assert engine.stats["fallbacks"] >= 1
+        for genome in GENOMES[:2]:
+            assert out[genome].fitness == float(SPACE.decode(genome).out_channels)
+
+    def test_deterministic_error_propagates(self):
+        def always_broken(config):
+            raise ValueError("bad objective")
+
+        with SearchEngine(always_broken, SPACE, executor="serial") as engine:
+            with pytest.raises(ValueError, match="bad objective"):
+                engine.evaluate([GENOMES[0]])
+
+
+class TestStats:
+    def test_speedup_counts_saved_wall_on_warm_cache(self, tmp_path):
+        cache = tmp_path / "cache.jsonl"
+        with SearchEngine(_objective(), SPACE, cache_path=cache, executor="serial") as e:
+            e.evaluate(GENOMES)
+        with SearchEngine(_objective(), SPACE, cache_path=cache, executor="serial") as e:
+            e.evaluate(GENOMES)
+            assert e.stats["saved_wall_s"] > 0.0
+            assert e.speedup() > 1.0
+
+    def test_ledger_stats_are_prefixed(self):
+        engine = SearchEngine(analytic_objective, SPACE, executor="serial")
+        engine.evaluate([GENOMES[0]])
+        stats = engine.ledger_stats()
+        assert stats["search_evaluations"] == 1.0
+        assert "search_speedup" in stats
+        assert all(k.startswith("search_") for k in stats)

@@ -1,13 +1,21 @@
 """Tests for the multi-objective (NSGA-II-style) search."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.core import UniVSAConfig
 from repro.search import (
+    AccuracyProxy,
+    CodesignObjective,
+    EvolutionConfig,
     ParetoPoint,
+    SearchEngine,
     SearchSpace,
+    SplitObjective,
     crowding_distance,
+    evolutionary_search,
     non_dominated_sort,
     nsga2_search,
 )
@@ -125,3 +133,82 @@ class TestNsga2:
 
         nsga2_search(accuracy, self._penalty, population=6, generations=3, seed=0)
         assert len(calls) == len(set(calls))
+
+    def test_requires_fns_or_engine(self):
+        with pytest.raises(ValueError, match="accuracy_fn"):
+            nsga2_search(None, None, population=6)
+
+    def test_engine_objective_must_decompose(self):
+        engine = SearchEngine(lambda c: 0.5, SearchSpace(), executor="serial")
+        with pytest.raises(ValueError, match="breakdown"):
+            nsga2_search(None, None, population=6, engine=engine)
+
+
+def _proxy_objective(epochs=2):
+    gen = np.random.default_rng(0)
+    x = gen.integers(0, 16, size=(24, 3, 4)).astype(np.int64)
+    y = gen.integers(0, 2, size=24).astype(np.int64)
+    proxy = AccuracyProxy(x[:16], y[:16], x[16:], y[16:], n_classes=2, epochs=epochs)
+    return CodesignObjective(proxy, (3, 4), 2)
+
+
+class TestEngineIntegration:
+    def test_explicit_engine_matches_owned_engine(self):
+        space = SearchSpace()
+        objective = SplitObjective(TestNsga2._accuracy, TestNsga2._penalty)
+        baseline = nsga2_search(
+            TestNsga2._accuracy, TestNsga2._penalty,
+            space, population=6, generations=2, seed=7,
+        )
+        with SearchEngine(objective, space, workers=2, executor="thread") as engine:
+            pooled = nsga2_search(
+                None, None, space, population=6, generations=2, seed=7, engine=engine
+            )
+        assert [(p.config, p.accuracy, p.penalty) for p in baseline.frontier] == [
+            (p.config, p.accuracy, p.penalty) for p in pooled.frontier
+        ]
+
+    def test_warm_cache_rerun_retrains_nothing(self, tmp_path):
+        space = SearchSpace()
+        cache = tmp_path / "cache.jsonl"
+        kwargs = dict(population=4, generations=2, seed=0)
+        with SearchEngine(
+            _proxy_objective(), space, cache_path=cache, executor="serial"
+        ) as engine:
+            cold = nsga2_search(None, None, space, engine=engine, **kwargs)
+            trained = engine.stats["evaluations"]
+        assert trained > 0
+        with SearchEngine(
+            _proxy_objective(), space, cache_path=cache, executor="serial"
+        ) as engine:
+            warm = nsga2_search(None, None, space, engine=engine, **kwargs)
+            assert engine.stats["evaluations"] == 0
+            assert engine.stats["cache_hits"] == trained
+        assert [(p.config, p.accuracy) for p in cold.frontier] == [
+            (p.config, p.accuracy) for p in warm.frontier
+        ]
+
+    def test_pareto_reuses_evolutionary_run_evaluations(self, tmp_path):
+        """The ISSUE satellite: points a prior evolutionary run trained
+        come out of the shared cache, not a retrain."""
+        space = SearchSpace()
+        cache = tmp_path / "cache.jsonl"
+        with SearchEngine(
+            _proxy_objective(), space, cache_path=cache, executor="serial"
+        ) as engine:
+            evolutionary_search(
+                _proxy_objective(), space,
+                EvolutionConfig(population=4, generations=2, seed=0),
+                engine=engine,
+            )
+        seeded = {tuple(json.loads(l)["genome"]) for l in cache.read_text().splitlines()}
+        assert seeded
+
+        with SearchEngine(
+            _proxy_objective(), space, cache_path=cache, executor="serial"
+        ) as engine:
+            # Re-evaluating exactly the evolutionary run's genomes through
+            # the Pareto path costs zero fresh trains.
+            engine.evaluate(sorted(seeded))
+            assert engine.stats["cache_hits"] == len(seeded)
+            assert engine.stats["evaluations"] == 0

@@ -4,6 +4,8 @@ import numpy as np
 import pytest
 
 from repro.core import UniVSAConfig
+from repro.hw import hardware_penalty
+from repro.hw.cost import resource_units
 from repro.search import (
     AccuracyProxy,
     CodesignObjective,
@@ -13,6 +15,11 @@ from repro.search import (
 )
 
 RNG = np.random.default_rng(70)
+
+
+def _tied_fitness(config: UniVSAConfig) -> float:
+    """Module-level constant objective (picklable for pool engines)."""
+    return 0.0
 
 
 class TestSearchSpace:
@@ -69,6 +76,22 @@ class TestEvolutionConfigValidation:
         with pytest.raises(ValueError):
             EvolutionConfig(tournament=0)
 
+    def test_rejects_out_of_range_crossover_rate(self):
+        with pytest.raises(ValueError, match="crossover_rate"):
+            EvolutionConfig(crossover_rate=1.5)
+        with pytest.raises(ValueError, match="crossover_rate"):
+            EvolutionConfig(crossover_rate=-0.1)
+
+    def test_rejects_out_of_range_mutation_rate(self):
+        with pytest.raises(ValueError, match="mutation_rate"):
+            EvolutionConfig(mutation_rate=2.0)
+        with pytest.raises(ValueError, match="mutation_rate"):
+            EvolutionConfig(mutation_rate=-1e-9)
+
+    def test_accepts_boundary_rates(self):
+        config = EvolutionConfig(crossover_rate=0.0, mutation_rate=1.0)
+        assert config.crossover_rate == 0.0 and config.mutation_rate == 1.0
+
 
 class TestEvolutionarySearch:
     def test_finds_analytic_optimum(self):
@@ -113,6 +136,58 @@ class TestEvolutionarySearch:
         )
         assert len(calls) == len(set(calls))
         assert len(result.evaluated) == len(calls)
+
+    def test_result_carries_engine_stats(self):
+        result = evolutionary_search(
+            lambda c: -c.out_channels,
+            config=EvolutionConfig(population=6, generations=2, seed=4),
+        )
+        assert result.stats["evaluations"] == len(result.evaluated)
+        assert result.stats["workers"] == 1
+        assert result.stats["cache_hits"] == 0
+
+
+class _ConstantFitnessBreakdown:
+    """Constant fitness with a varying L_HW: isolates the tie-break rule."""
+
+    def __call__(self, config: UniVSAConfig) -> float:
+        return 0.0
+
+    def breakdown(self, config: UniVSAConfig) -> dict:
+        penalty = hardware_penalty(config, (3, 4), 2)
+        return {"accuracy": penalty, "penalty": penalty, "objective": 0.0}
+
+
+class TestBestGenomeTieBreak:
+    """All-tied fitness must resolve to the cheapest hardware, never to
+    dict insertion order (which varies with evaluation scheduling)."""
+
+    GA = EvolutionConfig(population=8, generations=3, seed=3)
+
+    def test_tie_prefers_lowest_hardware_penalty(self):
+        space = SearchSpace()
+        result = evolutionary_search(_ConstantFitnessBreakdown(), space, self.GA)
+        best_penalty = hardware_penalty(result.best_config, (3, 4), 2)
+        for genome in result.evaluated:
+            assert best_penalty <= hardware_penalty(space.decode(genome), (3, 4), 2)
+
+    def test_plain_callable_tie_uses_resource_units(self):
+        space = SearchSpace()
+        result = evolutionary_search(lambda c: 0.0, space, self.GA)
+        expected = min(
+            result.evaluated,
+            key=lambda g: (resource_units(space.decode(g)), g),
+        )
+        assert space.encode(result.best_config) == expected
+
+    def test_tie_break_is_engine_invariant(self):
+        from repro.search import SearchEngine
+
+        space = SearchSpace()
+        serial = evolutionary_search(lambda c: 0.0, space, self.GA)
+        with SearchEngine(_tied_fitness, space, workers=2, executor="thread") as engine:
+            pooled = evolutionary_search(_tied_fitness, space, self.GA, engine=engine)
+        assert serial.best_config == pooled.best_config
 
 
 class TestProxyAndObjective:
