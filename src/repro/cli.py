@@ -1,5 +1,6 @@
 """Command-line interface: train / evaluate / hw / search / profile /
-trace / bench-throughput / chaos / fault-sweep / obs / info.
+trace / bench-throughput / serve / serve-bench / chaos / fault-sweep /
+obs / info.
 
     python -m repro info
     python -m repro train isolet --epochs 12 --out isolet.npz
@@ -9,9 +10,11 @@ trace / bench-throughput / chaos / fault-sweep / obs / info.
     python -m repro profile bci-iii-v --json bci.profile.json
     python -m repro trace bci-iii-v --samples 4 --jsonl bci.traces.jsonl
     python -m repro bench-throughput bci-iii-v --batch 256
+    python -m repro serve bci-iii-v --port 8765
+    python -m repro serve-bench bci-iii-v --rates 1,5,15 --trace poisson
     python -m repro chaos bci-iii-v --spec raise:0.1,delay:5ms
     python -m repro fault-sweep bci-iii-v --fractions 0.001,0.01,0.1
-    python -m repro obs compare --task bci-iii-v --baseline prev
+    python -m repro obs compare --task serve --baseline benchmarks/baselines/serve.json
 
 Training, search, and profile runs append one record to the run ledger
 (``benchmarks/results/ledger.jsonl`` by default; ``--ledger PATH`` or
@@ -340,6 +343,140 @@ def _cmd_bench_throughput(args: argparse.Namespace) -> int:
             ledger, Path(ledger.path).parent, task="throughput"
         ):
             print(f"trajectory written to {path}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the micro-batching TCP serving daemon until interrupted."""
+    import asyncio
+
+    from repro.core.inference import BitPackedUniVSA
+    from repro.obs import MetricsRegistry, using_registry
+    from repro.runtime import (
+        MicroBatchServer,
+        ResilientBatchRunner,
+        ServePolicy,
+        serve_tcp,
+    )
+
+    if args.model:
+        artifacts = UniVSAArtifacts.load(args.model)
+        name = args.model
+    else:
+        benchmark = get_benchmark(args.benchmark)
+        run = run_benchmark(
+            args.benchmark,
+            config=_parse_config(args.config, benchmark),
+            train_config=TrainConfig(
+                epochs=args.epochs,
+                lr=0.008,
+                seed=args.seed,
+                balance_classes=benchmark.spec.class_balance is not None,
+            ),
+            n_train=args.n_train,
+            n_test=args.n_test,
+            seed=args.seed,
+        )
+        artifacts = run.artifacts
+        name = args.benchmark
+    engine = BitPackedUniVSA(artifacts, mode="fast")
+    policy = ServePolicy(
+        max_batch=args.max_batch,
+        deadline_ms=args.deadline_ms,
+        flush_margin_ms=args.flush_margin_ms,
+        max_queue=args.max_queue,
+    )
+
+    async def daemon() -> None:
+        with ResilientBatchRunner(
+            engine,
+            shard_size=args.shard_size,
+            workers=args.workers,
+            executor=args.executor,
+        ) as runner:
+            async with MicroBatchServer(runner, policy) as server:
+                tcp = await serve_tcp(server, args.host, args.port)
+                host, port = tcp.sockets[0].getsockname()[:2]
+                print(
+                    f"serving {name} on {host}:{port} "
+                    f"(batch<={policy.max_batch}, deadline {policy.deadline_ms:g} ms, "
+                    f"queue<={policy.max_queue}) — Ctrl-C drains and exits"
+                )
+                sys.stdout.flush()
+                try:
+                    await asyncio.Event().wait()
+                finally:
+                    tcp.close()
+                    await tcp.wait_closed()
+
+    with using_registry(MetricsRegistry()):
+        try:
+            asyncio.run(daemon())
+        except KeyboardInterrupt:
+            print("\ninterrupted — queue drained, daemon stopped")
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    """Open-loop latency/goodput curve of the micro-batching serve path."""
+    import json
+    from pathlib import Path
+
+    from repro.obs import DEFAULT_LEDGER_PATH, Ledger, write_trajectories
+    from repro.runtime import ServePolicy, bench_serve
+
+    policy = ServePolicy(
+        max_batch=args.max_batch,
+        deadline_ms=args.deadline_ms,
+        flush_margin_ms=args.flush_margin_ms,
+        max_queue=args.max_queue,
+    )
+    rates = tuple(float(r) for r in args.rates.split(","))
+    absolute = (
+        tuple(float(r) for r in args.rate.split(",")) if args.rate else None
+    )
+    report = bench_serve(
+        args.benchmark,
+        rates=rates,
+        absolute_rates=absolute,
+        duration_s=args.duration,
+        trace=args.trace,
+        clients=args.clients,
+        policy=policy,
+        workers=args.workers,
+        shard_size=args.shard_size,
+        executor=args.executor,
+        config=_parse_config(args.config, get_benchmark(args.benchmark)),
+        n_train=args.n_train,
+        n_test=args.n_test,
+        epochs=args.epochs,
+        seed=args.seed,
+    )
+    print(report.render())
+    json_path = args.json or f"{args.benchmark}-serve.json"
+    with open(json_path, "w", encoding="utf-8") as handle:
+        json.dump(report.as_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nserve-bench JSON written to {json_path}")
+    _append_ledger(
+        args,
+        "bench",
+        "serve",
+        config=report.config,
+        metrics=report.ledger_metrics(),
+        registry=report.registry,
+    )
+    if not getattr(args, "no_ledger", False):
+        ledger = Ledger(_ledger_path(args) or DEFAULT_LEDGER_PATH)
+        for path in write_trajectories(ledger, Path(ledger.path).parent, task="serve"):
+            print(f"trajectory written to {path}")
+    if report.mismatches:
+        print(
+            f"ERROR: {report.mismatches} served answers diverged from "
+            "inline inference",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -781,6 +918,82 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--json", help="report JSON path (default <benchmark>-throughput.json)")
     _add_ledger_flags(bench)
     bench.set_defaults(func=_cmd_bench_throughput)
+
+    def _add_serve_policy_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--max-batch", type=int, default=64, help="samples per micro-batch"
+        )
+        p.add_argument(
+            "--deadline-ms", type=float, default=50.0,
+            help="per-request latency budget (default 50 ms)",
+        )
+        p.add_argument(
+            "--flush-margin-ms", type=float, default=5.0,
+            help="budget headroom reserved for batch execution (default 5 ms)",
+        )
+        p.add_argument(
+            "--max-queue", type=int, default=1024,
+            help="queued samples before load shedding (default 1024)",
+        )
+        p.add_argument("--workers", type=int, default=None, help="runner pool size")
+        p.add_argument(
+            "--shard-size", type=int, default=None, help="samples per runner shard"
+        )
+        p.add_argument(
+            "--executor", choices=("thread", "process"), default="thread",
+            help="runner pool kind (default thread)",
+        )
+        p.add_argument(
+            "--config", help="D_H,D_L,D_K,O,Theta model override (default: paper)"
+        )
+        p.add_argument("--n-train", type=int, default=120)
+        p.add_argument("--n-test", type=int, default=60)
+        p.add_argument("--epochs", type=int, default=2)
+        p.add_argument("--seed", type=int, default=0)
+
+    serve = sub.add_parser(
+        "serve",
+        help="micro-batching TCP serving daemon (newline-delimited JSON; "
+        "Ctrl-C drains the queue before exiting)",
+    )
+    serve.add_argument("benchmark", nargs="?", default="bci-iii-v")
+    serve.add_argument("--model", help="serve saved artifacts (.npz) instead of training")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765, help="0 picks a free port")
+    _add_serve_policy_flags(serve)
+    serve.set_defaults(func=_cmd_serve)
+
+    serve_bench = sub.add_parser(
+        "serve-bench",
+        help="open-loop load generator against the micro-batching server: "
+        "p50/p99/p99.9 latency and goodput vs offered load, verified "
+        "bit-identical to inline inference",
+    )
+    serve_bench.add_argument("benchmark")
+    serve_bench.add_argument(
+        "--rates", default="1,5,15",
+        help="offered loads as multiples of inline single-sample throughput "
+        "(default 1,5,15)",
+    )
+    serve_bench.add_argument(
+        "--rate", help="absolute offered loads in requests/s (overrides --rates)"
+    )
+    serve_bench.add_argument(
+        "--duration", type=float, default=1.5, help="seconds per load point"
+    )
+    serve_bench.add_argument(
+        "--trace", choices=("poisson", "bursty"), default="poisson",
+        help="arrival process (default poisson)",
+    )
+    serve_bench.add_argument(
+        "--clients", type=int, default=8, help="concurrent client streams"
+    )
+    serve_bench.add_argument(
+        "--json", help="report JSON path (default <benchmark>-serve.json)"
+    )
+    _add_serve_policy_flags(serve_bench)
+    _add_ledger_flags(serve_bench)
+    serve_bench.set_defaults(func=_cmd_serve_bench)
 
     chaos = sub.add_parser(
         "chaos",

@@ -33,6 +33,7 @@ __all__ = [
     "MARGIN_HISTOGRAM",
     "RESILIENCE_NAMESPACE",
     "SEARCH_NAMESPACE",
+    "SERVE_NAMESPACE",
     "RunRecord",
     "Ledger",
     "config_hash",
@@ -63,6 +64,7 @@ STAGE_NAMESPACES = (
     "search",
     "ldc",
     "batch",
+    "serve",
 )
 
 #: Counter/gauge namespace the resilience layer records failure handling
@@ -77,6 +79,14 @@ RESILIENCE_NAMESPACE = "resilience."
 #: ...).  Harvested the same way, so every ``kind="search"`` ledger
 #: record carries its worker count and cache economics.
 SEARCH_NAMESPACE = "search."
+
+#: Counter/gauge namespace the micro-batching serve front end records
+#: into (``serve.{requests,accepted,rejected,answered,failed,
+#: quarantined}``, ``serve.flush.*``, ``serve.queue_depth``, ...).
+#: Harvested the same way, so a ``task="serve"`` ledger record carries
+#: its admission-control accounting — shed requests included — without
+#: the bench threading the counts through by hand.
+SERVE_NAMESPACE = "serve."
 
 
 def config_hash(config) -> str:
@@ -243,6 +253,8 @@ def record_run(
         harvested.update(registry.gauge_values(RESILIENCE_NAMESPACE))
         harvested.update(registry.counter_values(SEARCH_NAMESPACE))
         harvested.update(registry.gauge_values(SEARCH_NAMESPACE))
+        harvested.update(registry.counter_values(SERVE_NAMESPACE))
+        harvested.update(registry.gauge_values(SERVE_NAMESPACE))
         for name, value in harvested.items():
             all_metrics.setdefault(name, value)
     record = RunRecord(

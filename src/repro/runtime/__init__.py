@@ -1,8 +1,18 @@
 """Deployment runtimes for deployed UniVSA models: streaming + batch +
-fault-tolerant serving (retry/fallback/quarantine/breaker + chaos)."""
+fault-tolerant serving (retry/fallback/quarantine/breaker + chaos) + the
+micro-batching online front end and its open-loop load harness."""
 
 from .batch import BatchRunner, WorkerPool, resolve_workers
 from .chaos import ChaosError, ChaosSpec, chaos_context, chaos_kernels, parse_chaos
+from .loadgen import (
+    LoadPoint,
+    ServeBenchReport,
+    bench_serve,
+    bursty_arrivals,
+    client_arrivals,
+    poisson_arrivals,
+    run_open_loop,
+)
 from .resilience import (
     BatchReport,
     BatchResult,
@@ -13,6 +23,7 @@ from .resilience import (
     serving_predict_fn,
     validate_levels,
 )
+from .serve import MicroBatchServer, ServePolicy, ServeResponse, serve_tcp
 from .stream import StreamingClassifier, StreamingDecision
 from .throughput import EngineSample, ThroughputReport, bench_throughput
 
@@ -40,4 +51,17 @@ __all__ = [
     "chaos_context",
     "chaos_kernels",
     "parse_chaos",
+    # serving front end
+    "ServePolicy",
+    "ServeResponse",
+    "MicroBatchServer",
+    "serve_tcp",
+    # load generation
+    "LoadPoint",
+    "ServeBenchReport",
+    "bench_serve",
+    "poisson_arrivals",
+    "bursty_arrivals",
+    "client_arrivals",
+    "run_open_loop",
 ]

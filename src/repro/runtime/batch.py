@@ -260,23 +260,33 @@ class BatchRunner:
                 ]
                 return np.concatenate(parts, axis=0)
             pool = self._ensure_pool()
-            if self.executor_kind == "thread":
-                futures = [
-                    pool.submit(self._run_shard, i, levels[a:b])
-                    for i, (a, b) in enumerate(spans)
-                ]
-                parts = [f.result() for f in futures]
-            else:
-                futures = [
-                    pool.submit(_process_worker_scores, levels[a:b])
-                    for a, b in spans
-                ]
-                parts = []
-                shard_hist = registry.histogram("batch.shard")
+            futures: list = []
+            try:
+                if self.executor_kind == "thread":
+                    futures = [
+                        pool.submit(self._run_shard, i, levels[a:b])
+                        for i, (a, b) in enumerate(spans)
+                    ]
+                    parts = [f.result() for f in futures]
+                else:
+                    futures = [
+                        pool.submit(_process_worker_scores, levels[a:b])
+                        for a, b in spans
+                    ]
+                    parts = []
+                    shard_hist = registry.histogram("batch.shard")
+                    for future in futures:
+                        scores, duration = future.result()
+                        shard_hist.observe(duration)
+                        parts.append(scores)
+            except BaseException:
+                # A shard failed while its siblings keep running (or sit
+                # queued).  Cancel whatever has not started so the pool
+                # drains now instead of grinding through doomed shards —
+                # under serve load that idle time is the next batch's.
                 for future in futures:
-                    scores, duration = future.result()
-                    shard_hist.observe(duration)
-                    parts.append(scores)
+                    future.cancel()
+                raise
             return np.concatenate(parts, axis=0)
 
     def predict(self, levels: np.ndarray) -> np.ndarray:

@@ -113,8 +113,9 @@ class RetryPolicy:
     @classmethod
     def from_env(cls, environ=None) -> "RetryPolicy":
         """Policy from ``REPRO_RETRIES`` / ``REPRO_SHARD_TIMEOUT_S`` /
-        ``REPRO_BACKOFF_S`` / ``REPRO_FALLBACK`` / ``REPRO_BREAKER`` /
-        ``REPRO_VALIDATE`` (unset keys keep the defaults)."""
+        ``REPRO_BACKOFF_S`` / ``REPRO_BACKOFF_MAX_S`` / ``REPRO_FALLBACK``
+        / ``REPRO_BREAKER`` / ``REPRO_VALIDATE`` / ``REPRO_RETRY_SEED``
+        (unset keys keep the defaults)."""
         env = os.environ if environ is None else environ
 
         def _get(key, cast, default):
@@ -126,13 +127,18 @@ class RetryPolicy:
             except (TypeError, ValueError):
                 return default
 
+        # No ``or None`` truthiness here: an explicit "0" deadline is a
+        # misconfiguration that must raise in __post_init__, not silently
+        # read as "no deadline".
         return cls(
             max_retries=max(0, _get("REPRO_RETRIES", int, cls.max_retries)),
-            timeout_s=_get("REPRO_SHARD_TIMEOUT_S", float, None) or None,
+            timeout_s=_get("REPRO_SHARD_TIMEOUT_S", float, None),
             backoff_base_s=_get("REPRO_BACKOFF_S", float, cls.backoff_base_s),
+            backoff_max_s=_get("REPRO_BACKOFF_MAX_S", float, cls.backoff_max_s),
             fallback=str(env.get("REPRO_FALLBACK", "1")).strip() not in ("0", "false", "no"),
             breaker_threshold=max(1, _get("REPRO_BREAKER", int, cls.breaker_threshold)),
             validate=str(env.get("REPRO_VALIDATE", "1")).strip() not in ("0", "false", "no"),
+            seed=_get("REPRO_RETRY_SEED", int, cls.seed),
         )
 
     def backoff_s(self, shard: int, attempt: int) -> float:

@@ -1,0 +1,420 @@
+"""Online serving front-end: dynamic micro-batching under a latency budget.
+
+The packed datapath earns its 19.2x speedup on *batches*, but production
+BCI traffic arrives one sample at a time.  :class:`MicroBatchServer`
+closes that gap with the classic Clipper-style adaptive batching shape
+(Crankshaw et al., NSDI'17): concurrent clients ``await submit(sample)``
+into a request queue, and a single flusher coroutine coalesces arrivals
+into micro-batches that are flushed when either
+
+* the batch reaches ``ServePolicy.max_batch`` samples (``flush.full``), or
+* the *oldest* queued request is about to run out of latency budget —
+  ``deadline_ms`` minus a ``flush_margin_ms`` headroom reserved for batch
+  execution (``flush.deadline``).
+
+Each micro-batch executes on a
+:class:`~repro.runtime.resilience.ResilientBatchRunner` in a dedicated
+worker thread (one batch in flight at a time; the runner parallelizes
+*within* the batch across its own pool), and per-sample scores/labels —
+including quarantine sentinels — are fanned back to the right futures in
+arrival order.
+
+Overload is handled by admission control, not collapse: past
+``max_queue`` queued samples a request is immediately answered with
+``status="rejected"`` (load shedding — the SLO-aware choice of Clockwork,
+OSDI'20: an answer that would blow the deadline is worth less than a fast
+no), and a draining server likewise rejects new arrivals while flushing
+what it already accepted.  Every event lands in ``serve.*`` instruments
+(requests / accepted / rejected / answered / failed / quarantined
+counters, queue-depth gauge, ``serve.latency`` and ``serve.batch``
+histograms), which the run ledger harvests into every record.
+
+:func:`serve_tcp` puts a newline-delimited-JSON TCP front end over the
+server for the ``python -m repro serve`` daemon;
+:mod:`repro.runtime.loadgen` drives the same server in-process for the
+``serve-bench`` latency-vs-load harness.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.obs import get_registry, stage_timer
+
+from .resilience import QUARANTINED_LABEL, CircuitOpenError
+
+__all__ = [
+    "ServePolicy",
+    "ServeResponse",
+    "MicroBatchServer",
+    "serve_tcp",
+]
+
+
+@dataclass(frozen=True)
+class ServePolicy:
+    """Knobs of the micro-batching front end.
+
+    ``deadline_ms`` is each request's end-to-end latency budget; the
+    flusher releases a partial batch once the oldest queued request has
+    only ``flush_margin_ms`` of that budget left (headroom reserved for
+    batch execution).  ``max_batch`` caps samples per micro-batch and
+    ``max_queue`` caps queued samples — arrivals beyond it are shed with
+    an explicit ``rejected`` response instead of growing an unbounded
+    backlog.
+    """
+
+    max_batch: int = 64
+    deadline_ms: float = 50.0
+    flush_margin_ms: float = 5.0
+    max_queue: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.deadline_ms <= 0:
+            raise ValueError("deadline_ms must be positive")
+        if self.flush_margin_ms < 0:
+            raise ValueError("flush_margin_ms must be >= 0")
+        if self.max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+
+    @classmethod
+    def from_env(cls, environ=None) -> "ServePolicy":
+        """Policy from ``REPRO_SERVE_BATCH`` / ``REPRO_SERVE_DEADLINE_MS``
+        / ``REPRO_SERVE_MARGIN_MS`` / ``REPRO_SERVE_QUEUE`` (unset keys
+        keep the defaults)."""
+        env = os.environ if environ is None else environ
+
+        def _get(key, cast, default):
+            raw = env.get(key)
+            if raw is None or not str(raw).strip():
+                return default
+            try:
+                return cast(raw)
+            except (TypeError, ValueError):
+                return default
+
+        return cls(
+            max_batch=_get("REPRO_SERVE_BATCH", int, cls.max_batch),
+            deadline_ms=_get("REPRO_SERVE_DEADLINE_MS", float, cls.deadline_ms),
+            flush_margin_ms=_get("REPRO_SERVE_MARGIN_MS", float, cls.flush_margin_ms),
+            max_queue=_get("REPRO_SERVE_QUEUE", int, cls.max_queue),
+        )
+
+    @property
+    def flush_after_s(self) -> float:
+        """Queue-time budget before a partial batch must flush."""
+        return max(0.0, (self.deadline_ms - self.flush_margin_ms) / 1000.0)
+
+
+@dataclass(frozen=True)
+class ServeResponse:
+    """One answered request.
+
+    ``status`` is ``"ok"`` (served), ``"quarantined"`` (invalid input,
+    sentinel label), ``"failed"`` (the serving ladder exhausted itself),
+    or ``"rejected"`` (shed by admission control before queuing).
+    ``latency_s`` is queue + execution time (0 for rejected requests) and
+    ``batch_size`` the micro-batch the sample rode in.
+    """
+
+    status: str
+    label: int
+    scores: np.ndarray | None
+    latency_s: float
+    batch_size: int = 0
+    reason: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass
+class _Request:
+    """One queued sample awaiting its micro-batch."""
+
+    levels: np.ndarray
+    arrival: float
+    future: asyncio.Future = field(repr=False)
+
+
+class MicroBatchServer:
+    """Coalesces concurrent single-sample submissions into micro-batches.
+
+    Built over a :class:`~repro.runtime.resilience.ResilientBatchRunner`
+    (whose retry/fallback/quarantine ladder and chaos seam the serve path
+    inherits wholesale).  Use as an async context manager::
+
+        with ResilientBatchRunner(engine) as runner:
+            async with MicroBatchServer(runner, policy) as server:
+                response = await server.submit(sample)
+
+    ``submit`` must be called from the event loop that ``start``-ed the
+    server.  The runner's lifecycle belongs to the caller.
+    """
+
+    def __init__(self, runner, policy: ServePolicy | None = None) -> None:
+        self.runner = runner
+        self.policy = policy if policy is not None else ServePolicy.from_env()
+        self._pending: list[_Request] = []
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._wake: asyncio.Event | None = None
+        self._flusher: asyncio.Task | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._closing = False
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(self) -> "MicroBatchServer":
+        """Spawn the flusher; idempotent ``drain`` is the counterpart."""
+        if self._flusher is not None:
+            raise RuntimeError("server already started")
+        self._loop = asyncio.get_running_loop()
+        self._wake = asyncio.Event()
+        self._closing = False
+        # One executor thread: micro-batches serialize here and fan out
+        # across the runner's own worker pool inside run().
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve"
+        )
+        self._flusher = self._loop.create_task(self._flush_loop())
+        return self
+
+    async def drain(self) -> None:
+        """Graceful shutdown: reject new arrivals, answer everything
+        already accepted, then stop the flusher (idempotent)."""
+        if self._flusher is None:
+            return
+        self._closing = True
+        self._wake.set()
+        flusher, self._flusher = self._flusher, None
+        await flusher
+        executor, self._executor = self._executor, None
+        executor.shutdown(wait=True)
+        get_registry().gauge("serve.queue_depth").set(0.0)
+
+    async def __aenter__(self) -> "MicroBatchServer":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.drain()
+
+    # -- request intake -------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Samples currently queued (not yet flushed into a batch)."""
+        return len(self._pending)
+
+    async def submit(self, levels: np.ndarray) -> ServeResponse:
+        """Serve one sample; resolves when its micro-batch answers.
+
+        Accepts one sample shaped ``input_shape`` (or ``(1,) + shape``).
+        An over-loaded or draining server answers immediately with
+        ``status="rejected"`` — shedding is an explicit response, never an
+        exception.
+        """
+        if self._flusher is None:
+            raise RuntimeError("server is not started")
+        levels = np.asarray(levels)
+        expected = tuple(self.runner.engine.input_shape)
+        if levels.shape == (1,) + expected:
+            levels = levels[0]
+        elif levels.shape != expected:
+            raise ValueError(
+                f"submit expects one sample shaped {expected} "
+                f"(got {levels.shape}); use submit_many for bursts"
+            )
+        registry = get_registry()
+        registry.counter("serve.requests").add(1)
+        if self._closing or len(self._pending) >= self.policy.max_queue:
+            registry.counter("serve.rejected").add(1)
+            return ServeResponse(
+                status="rejected",
+                label=QUARANTINED_LABEL,
+                scores=None,
+                latency_s=0.0,
+                reason="draining" if self._closing else "queue-full",
+            )
+        registry.counter("serve.accepted").add(1)
+        request = _Request(
+            levels=levels,
+            arrival=self._loop.time(),
+            future=self._loop.create_future(),
+        )
+        self._pending.append(request)
+        registry.gauge("serve.queue_depth").set(len(self._pending))
+        self._wake.set()
+        return await request.future
+
+    async def submit_many(self, levels: np.ndarray) -> list[ServeResponse]:
+        """Serve a small burst ``(k,) + input_shape``; per-sample admission."""
+        levels = np.asarray(levels)
+        expected = tuple(self.runner.engine.input_shape)
+        if levels.ndim != len(expected) + 1 or levels.shape[1:] != expected:
+            raise ValueError(
+                f"submit_many expects (k,) + {expected} (got {levels.shape})"
+            )
+        return list(
+            await asyncio.gather(*(self.submit(sample) for sample in levels))
+        )
+
+    # -- the flusher ----------------------------------------------------
+    async def _flush_loop(self) -> None:
+        policy = self.policy
+        while True:
+            if not self._pending:
+                if self._closing:
+                    break
+                await self._wake.wait()
+                self._wake.clear()
+                continue
+            now = self._loop.time()
+            flush_at = self._pending[0].arrival + policy.flush_after_s
+            if (
+                len(self._pending) < policy.max_batch
+                and now < flush_at
+                and not self._closing
+            ):
+                # Wait for more arrivals, but never past the oldest
+                # request's remaining budget.
+                try:
+                    await asyncio.wait_for(self._wake.wait(), flush_at - now)
+                except asyncio.TimeoutError:
+                    pass
+                self._wake.clear()
+                continue
+            if len(self._pending) >= policy.max_batch:
+                trigger = "full"
+            elif now >= flush_at:
+                trigger = "deadline"
+            else:
+                trigger = "drain"
+            batch = self._pending[: policy.max_batch]
+            del self._pending[: policy.max_batch]
+            registry = get_registry()
+            registry.counter(f"serve.flush.{trigger}").add(1)
+            registry.gauge("serve.queue_depth").set(len(self._pending))
+            await self._execute(batch)
+
+    async def _execute(self, batch: list[_Request]) -> None:
+        registry = get_registry()
+        registry.counter("serve.batches").add(1)
+        registry.counter("serve.batched_samples").add(len(batch))
+        levels = np.stack([request.levels for request in batch])
+        try:
+            result = await self._loop.run_in_executor(
+                self._executor, self._run_batch, levels
+            )
+        except CircuitOpenError:
+            registry.counter("serve.breaker_trips").add(1)
+            self._fail_batch(batch, "circuit-open")
+            return
+        except Exception as exc:  # noqa: BLE001 — a batch must not kill the daemon
+            self._fail_batch(batch, type(exc).__name__)
+            return
+        report = result.report
+        failed_rows = set(report.failed_samples)
+        now = self._loop.time()
+        latency_hist = registry.histogram("serve.latency")
+        for row, request in enumerate(batch):
+            latency = now - request.arrival
+            if row in report.quarantined:
+                status, reason = "quarantined", report.quarantined[row]
+                registry.counter("serve.quarantined").add(1)
+            elif row in failed_rows:
+                status, reason = "failed", "shard-failed"
+                registry.counter("serve.failed").add(1)
+            else:
+                status, reason = "ok", ""
+                registry.counter("serve.answered").add(1)
+            latency_hist.observe(latency)
+            self._resolve(
+                request,
+                ServeResponse(
+                    status=status,
+                    label=int(result.predictions[row]),
+                    scores=result.scores[row],
+                    latency_s=latency,
+                    batch_size=len(batch),
+                    reason=reason,
+                ),
+            )
+
+    def _run_batch(self, levels: np.ndarray):
+        """Executor-thread body: one resilient batch under a serve span."""
+        with stage_timer("serve.batch"):
+            return self.runner.run(levels)
+
+    def _fail_batch(self, batch: list[_Request], reason: str) -> None:
+        registry = get_registry()
+        now = self._loop.time()
+        for request in batch:
+            registry.counter("serve.failed").add(1)
+            self._resolve(
+                request,
+                ServeResponse(
+                    status="failed",
+                    label=QUARANTINED_LABEL,
+                    scores=None,
+                    latency_s=now - request.arrival,
+                    batch_size=len(batch),
+                    reason=reason,
+                ),
+            )
+
+    @staticmethod
+    def _resolve(request: _Request, response: ServeResponse) -> None:
+        if not request.future.done():  # a cancelled client still drains
+            request.future.set_result(response)
+
+
+# ---------------------------------------------------------------------------
+# TCP front end (newline-delimited JSON)
+# ---------------------------------------------------------------------------
+async def serve_tcp(
+    server: MicroBatchServer, host: str = "127.0.0.1", port: int = 8765
+):
+    """Put a newline-delimited-JSON TCP front end over ``server``.
+
+    Protocol: one request object per line, ``{"levels": [[...]]}`` (a
+    single quantized sample shaped like the engine's input; add
+    ``"scores": true`` for the per-class score vector), answered with one
+    response line carrying ``status`` / ``label`` / ``latency_ms`` /
+    ``batch_size``.  Malformed lines get ``status="error"`` instead of a
+    dropped connection.  Returns the listening :class:`asyncio.Server`;
+    the caller owns its lifecycle.
+    """
+
+    async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            try:
+                payload = json.loads(line)
+                response = await server.submit(np.asarray(payload["levels"]))
+                out = {
+                    "status": response.status,
+                    "label": response.label,
+                    "latency_ms": response.latency_s * 1e3,
+                    "batch_size": response.batch_size,
+                }
+                if response.reason:
+                    out["reason"] = response.reason
+                if payload.get("scores") and response.scores is not None:
+                    out["scores"] = np.asarray(response.scores).tolist()
+            except Exception as exc:  # noqa: BLE001 — answer, don't hang up
+                out = {"status": "error", "reason": str(exc)}
+            writer.write((json.dumps(out) + "\n").encode("utf-8"))
+            await writer.drain()
+        writer.close()
+        await writer.wait_closed()
+
+    return await asyncio.start_server(handle, host, port)

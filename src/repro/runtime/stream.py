@@ -157,3 +157,6 @@ class StreamingClassifier:
         self._recent.clear()
         self._frames_seen = 0
         self._filled_at = None
+        # An idle session must report an empty buffer now, not whenever
+        # the next push happens to refresh the gauge.
+        get_registry().gauge("stream.buffer_occupancy").set(0.0)

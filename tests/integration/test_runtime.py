@@ -134,3 +134,18 @@ class TestStreaming:
         stream.reset()
         decisions = stream.push(np.zeros(stream.window_span))
         assert len(decisions) == 1
+
+    def test_reset_zeroes_buffer_occupancy_gauge(self, deployed):
+        """Regression: reset() cleared the ring buffer but left the
+        stream.buffer_occupancy gauge at its pre-reset value, so an idle
+        session reported a full buffer until the next push."""
+        from repro.obs import MetricsRegistry, using_registry
+
+        artifacts, quantizer = deployed
+        registry = MetricsRegistry()
+        with using_registry(registry):
+            stream = StreamingClassifier(artifacts, quantizer, hop=8)
+            stream.push(np.zeros(stream.window_span + 8))
+            assert registry.gauge("stream.buffer_occupancy").value > 0.0
+            stream.reset()
+            assert registry.gauge("stream.buffer_occupancy").value == 0.0

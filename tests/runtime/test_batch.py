@@ -162,6 +162,36 @@ class TestChaosRegression:
         assert runner.last_report.ok
 
 
+class TestFailureCancelsSiblings:
+    def test_failed_shard_cancels_queued_siblings(self):
+        """Regression: when one shard raised, its queued siblings kept
+        grinding through the pool; scores() must cancel what has not
+        started before re-raising.  Markers 1/2 block both workers while
+        marker 0 fails, so the marker-3 shard is still queued when the
+        exception reaches the caller — it must never execute."""
+        import threading
+
+        release = threading.Event()
+        executed = []
+
+        class _Engine:
+            def scores(self, levels):
+                marker = int(levels[0, 0])
+                if marker == 0:
+                    raise RuntimeError("shard zero exploded")
+                release.wait(timeout=10.0)
+                executed.append(marker)
+                return np.zeros((len(levels), 3))
+
+        levels = np.arange(4, dtype=np.int64)[:, None]
+        with BatchRunner(_Engine(), shard_size=1, workers=2) as runner:
+            with pytest.raises(RuntimeError, match="shard zero exploded"):
+                runner.scores(levels)
+            # cancellation already happened; unblock the in-flight shards
+            release.set()
+        assert 3 not in executed
+
+
 class TestProcessExecutor:
     def test_matches_direct_engine(self, engine):
         levels = _levels_batch(9, seed=5)

@@ -62,6 +62,29 @@ class TestRetryPolicy:
         policy = RetryPolicy.from_env({})
         assert policy == RetryPolicy()
 
+    def test_from_env_reads_backoff_max_and_seed(self):
+        # Regression: these keys were documented but never read, so env
+        # tuning silently kept the defaults.
+        policy = RetryPolicy.from_env(
+            {
+                "REPRO_BACKOFF_S": "0.5",
+                "REPRO_BACKOFF_MAX_S": "7.5",
+                "REPRO_RETRY_SEED": "42",
+            }
+        )
+        assert policy.backoff_base_s == pytest.approx(0.5)
+        assert policy.backoff_max_s == pytest.approx(7.5)
+        assert policy.seed == 42
+        # The seed must actually steer the jitter stream.
+        assert policy.backoff_s(0, 1) != RetryPolicy.from_env({}).backoff_s(0, 1)
+
+    def test_from_env_zero_timeout_is_loud(self):
+        # Regression: ``timeout_s=... or None`` read an explicit "0" as
+        # "no deadline"; a zero deadline is a misconfiguration and must
+        # raise instead of silently disabling the timeout.
+        with pytest.raises(ValueError, match="timeout_s"):
+            RetryPolicy.from_env({"REPRO_SHARD_TIMEOUT_S": "0"})
+
     def test_garbage_env_falls_through(self):
         policy = RetryPolicy.from_env({"REPRO_RETRIES": "lots"})
         assert policy.max_retries == RetryPolicy.max_retries
@@ -130,6 +153,51 @@ class TestValidateLevels:
             _levels_batch(1)[0], SHAPE, LEVELS
         )
         assert clean.shape[0] == 1 and good.size == 1 and not quarantined
+
+    def test_bool_batch_is_valid_binary_levels(self):
+        # bool is a legitimate 2-level encoding: it must pass untouched,
+        # not be rejected as non-numeric or flagged out-of-range.
+        levels = np.random.default_rng(0).integers(0, 2, size=(4,) + SHAPE).astype(bool)
+        clean, good, quarantined = validate_levels(levels, SHAPE, LEVELS)
+        assert quarantined == {}
+        np.testing.assert_array_equal(good, np.arange(4))
+        np.testing.assert_array_equal(clean, levels.astype(np.intp))
+
+    def test_bool_batch_out_of_range_when_binary_exceeds_levels(self):
+        # With a single-level codebook even True is out of range.
+        levels = np.ones((2,) + SHAPE, dtype=bool)
+        _, good, quarantined = validate_levels(levels, SHAPE, n_levels=1)
+        assert good.size == 0
+        assert quarantined == {0: "out-of-range", 1: "out-of-range"}
+
+    def test_empty_batch_passes_with_empty_clean(self):
+        clean, good, quarantined = validate_levels(
+            np.zeros((0,) + SHAPE, dtype=np.int64), SHAPE, LEVELS
+        )
+        assert clean.shape == (0,) + SHAPE
+        assert good.size == 0 and quarantined == {}
+
+    def test_single_sample_promotion_validates_content(self):
+        # Promotion via levels[None] must still run the full checks.
+        sample = np.full(SHAPE, np.nan)
+        _, good, quarantined = validate_levels(sample, SHAPE, LEVELS)
+        assert good.size == 0 and quarantined == {0: "non-finite"}
+
+    def test_mixed_reasons_keep_first_reason_precedence(self):
+        # A row that is both non-finite and out-of-range reports the
+        # reason detected first; distinct bad rows keep their own reasons.
+        levels = _levels_batch(5).astype(np.float64)
+        levels[1, 0, 0] = np.nan
+        levels[1, 0, 1] = LEVELS + 3  # also out of range
+        levels[2, 0, 0] = -4.0  # purely out of range
+        levels[4, 0, 0] = 2.5  # non-integral, and 2.5 is in range
+        _, good, quarantined = validate_levels(levels, SHAPE, LEVELS)
+        assert quarantined == {
+            1: "non-finite",
+            2: "out-of-range",
+            4: "non-integral",
+        }
+        np.testing.assert_array_equal(good, [0, 3])
 
 
 class TestHealthyPath:

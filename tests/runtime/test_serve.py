@@ -1,0 +1,404 @@
+"""MicroBatchServer: coalescing, deadline flush, shedding, fan-out, drain, TCP.
+
+No pytest-asyncio in the toolchain, so every scenario is an ``async def``
+driven by ``asyncio.run`` inside a plain sync test.
+"""
+
+import asyncio
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import BitPackedUniVSA, UniVSAConfig, UniVSAModel, extract_artifacts
+from repro.obs import MetricsRegistry, using_registry
+from repro.runtime import (
+    ChaosSpec,
+    CircuitOpenError,
+    MicroBatchServer,
+    ResilientBatchRunner,
+    RetryPolicy,
+    ServePolicy,
+    serve_tcp,
+)
+from repro.runtime.resilience import QUARANTINED_LABEL, BatchReport, BatchResult
+
+LEVELS = 10
+SHAPE = (5, 8)
+CONFIG = UniVSAConfig(
+    d_high=4, d_low=2, kernel_size=3, out_channels=6, voters=2, levels=LEVELS
+)
+FAST = RetryPolicy(max_retries=2, backoff_base_s=0.0, backoff_max_s=0.0)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return BitPackedUniVSA(extract_artifacts(UniVSAModel(SHAPE, 3, CONFIG, seed=0)))
+
+
+def _samples(n, seed=0):
+    return np.random.default_rng(seed).integers(0, LEVELS, size=(n,) + SHAPE)
+
+
+class _FakeEngine:
+    input_shape = SHAPE
+    n_levels = LEVELS
+
+
+class _ScriptedRunner:
+    """Stand-in runner whose run() follows a scripted behaviour, so the
+    failure/shedding paths are exercised without real timing or chaos."""
+
+    def __init__(self, behavior="ok", block=None):
+        self.engine = _FakeEngine()
+        self.behavior = behavior
+        self.block = block
+        self.batch_sizes = []
+
+    def run(self, levels):
+        self.batch_sizes.append(len(levels))
+        if self.block is not None:
+            self.block.wait(timeout=10.0)
+        n = len(levels)
+        report = BatchReport(batch=n)
+        if self.behavior == "circuit":
+            raise CircuitOpenError("breaker open", report)
+        if self.behavior == "boom":
+            raise OSError("disk on fire")
+        predictions = np.full(n, 2, dtype=np.int64)
+        if self.behavior == "partial" and n:
+            report.failed_samples.append(0)
+            predictions[0] = QUARANTINED_LABEL
+        return BatchResult(
+            scores=np.tile(np.arange(3.0), (n, 1)),
+            predictions=predictions,
+            report=report,
+        )
+
+
+class TestServePolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_batch"):
+            ServePolicy(max_batch=0)
+        with pytest.raises(ValueError, match="deadline_ms"):
+            ServePolicy(deadline_ms=0.0)
+        with pytest.raises(ValueError, match="flush_margin_ms"):
+            ServePolicy(flush_margin_ms=-1.0)
+        with pytest.raises(ValueError, match="max_queue"):
+            ServePolicy(max_queue=0)
+
+    def test_from_env_reads_all_knobs(self):
+        policy = ServePolicy.from_env(
+            {
+                "REPRO_SERVE_BATCH": "8",
+                "REPRO_SERVE_DEADLINE_MS": "20",
+                "REPRO_SERVE_MARGIN_MS": "2.5",
+                "REPRO_SERVE_QUEUE": "32",
+            }
+        )
+        assert policy == ServePolicy(
+            max_batch=8, deadline_ms=20.0, flush_margin_ms=2.5, max_queue=32
+        )
+
+    def test_from_env_garbage_keeps_defaults(self):
+        policy = ServePolicy.from_env(
+            {"REPRO_SERVE_BATCH": "lots", "REPRO_SERVE_DEADLINE_MS": ""}
+        )
+        assert policy == ServePolicy()
+
+    def test_flush_after_reserves_execution_margin(self):
+        assert ServePolicy(deadline_ms=50.0, flush_margin_ms=5.0).flush_after_s == (
+            pytest.approx(0.045)
+        )
+        # margin larger than the budget clamps to "flush immediately"
+        assert ServePolicy(deadline_ms=5.0, flush_margin_ms=10.0).flush_after_s == 0.0
+
+
+class TestCoalescing:
+    def test_concurrent_submissions_batch_and_match_engine(self, engine):
+        samples = _samples(16, seed=1)
+        expected = engine.predict(samples)
+        registry = MetricsRegistry()
+
+        async def scenario():
+            policy = ServePolicy(max_batch=8, deadline_ms=500.0, flush_margin_ms=0.0)
+            with ResilientBatchRunner(engine, policy=FAST, workers=1) as runner:
+                async with MicroBatchServer(runner, policy) as server:
+                    return await server.submit_many(samples)
+
+        with using_registry(registry):
+            responses = asyncio.run(scenario())
+        assert [r.status for r in responses] == ["ok"] * 16
+        assert [r.label for r in responses] == list(expected)
+        # 16 concurrent arrivals coalesce into full batches of 8
+        assert {r.batch_size for r in responses} == {8}
+        assert registry.counter("serve.requests").value == 16
+        assert registry.counter("serve.accepted").value == 16
+        assert registry.counter("serve.answered").value == 16
+        assert registry.counter("serve.flush.full").value == 2
+        assert registry.counter("serve.rejected").value == 0
+        assert registry.histogram("serve.latency").count == 16
+
+    def test_partial_batch_flushes_on_deadline(self, engine):
+        samples = _samples(3, seed=2)
+        registry = MetricsRegistry()
+
+        async def scenario():
+            policy = ServePolicy(max_batch=64, deadline_ms=30.0, flush_margin_ms=5.0)
+            with ResilientBatchRunner(engine, policy=FAST, workers=1) as runner:
+                async with MicroBatchServer(runner, policy) as server:
+                    return await server.submit_many(samples)
+
+        with using_registry(registry):
+            responses = asyncio.run(scenario())
+        assert all(r.ok for r in responses)
+        assert responses[0].batch_size == 3
+        assert registry.counter("serve.flush.deadline").value == 1
+        assert registry.counter("serve.flush.full").value == 0
+
+    def test_submit_shapes(self):
+        runner = _ScriptedRunner()
+
+        async def scenario():
+            policy = ServePolicy(max_batch=1, deadline_ms=50.0, flush_margin_ms=0.0)
+            async with MicroBatchServer(runner, policy) as server:
+                ok = await server.submit(np.zeros((1,) + SHAPE))  # squeezed
+                with pytest.raises(ValueError, match="one sample shaped"):
+                    await server.submit(np.zeros((2,) + SHAPE))
+                return ok
+
+        assert asyncio.run(scenario()).ok
+
+    def test_submit_outside_started_server_is_loud(self):
+        server = MicroBatchServer(_ScriptedRunner(), ServePolicy())
+
+        async def scenario():
+            with pytest.raises(RuntimeError, match="not started"):
+                await server.submit(np.zeros(SHAPE))
+
+        asyncio.run(scenario())
+
+
+class TestAdmissionControl:
+    def test_queue_overflow_sheds_with_explicit_rejection(self):
+        block = threading.Event()
+        runner = _ScriptedRunner(block=block)
+        registry = MetricsRegistry()
+
+        async def scenario():
+            policy = ServePolicy(
+                max_batch=1, deadline_ms=5000.0, flush_margin_ms=0.0, max_queue=2
+            )
+            async with MicroBatchServer(runner, policy) as server:
+                first = asyncio.ensure_future(server.submit(np.zeros(SHAPE)))
+                # let the flusher take the first request into the (blocked)
+                # executor, emptying the queue
+                for _ in range(50):
+                    await asyncio.sleep(0.002)
+                    if runner.batch_sizes:
+                        break
+                backlog = [
+                    asyncio.ensure_future(server.submit(np.zeros(SHAPE)))
+                    for _ in range(2)
+                ]
+                await asyncio.sleep(0)  # both enqueue, filling max_queue
+                assert server.queue_depth == 2
+                shed = await server.submit(np.zeros(SHAPE))
+                block.set()
+                answered = await asyncio.gather(first, *backlog)
+                return answered, shed
+
+        with using_registry(registry):
+            answered, shed = asyncio.run(scenario())
+        assert shed.status == "rejected"
+        assert shed.reason == "queue-full"
+        assert shed.label == QUARANTINED_LABEL and shed.scores is None
+        assert shed.latency_s == 0.0
+        assert [r.status for r in answered] == ["ok"] * 3
+        assert registry.counter("serve.requests").value == 4
+        assert registry.counter("serve.accepted").value == 3
+        assert registry.counter("serve.rejected").value == 1
+        assert registry.counter("serve.answered").value == 3
+
+    def test_draining_server_sheds_new_arrivals(self):
+        runner = _ScriptedRunner()
+
+        async def scenario():
+            async with MicroBatchServer(runner, ServePolicy()) as server:
+                server._closing = True
+                return await server.submit(np.zeros(SHAPE))
+
+        response = asyncio.run(scenario())
+        assert response.status == "rejected"
+        assert response.reason == "draining"
+
+
+class TestFanOut:
+    def test_quarantined_sample_gets_sentinel_and_siblings_answer(self, engine):
+        samples = _samples(4, seed=3).astype(float)
+        samples[2, 0, 0] = np.nan
+        registry = MetricsRegistry()
+
+        async def scenario():
+            policy = ServePolicy(max_batch=4, deadline_ms=500.0, flush_margin_ms=0.0)
+            with ResilientBatchRunner(engine, policy=FAST, workers=1) as runner:
+                async with MicroBatchServer(runner, policy) as server:
+                    return await server.submit_many(samples)
+
+        with using_registry(registry):
+            responses = asyncio.run(scenario())
+        clean = np.delete(samples, 2, axis=0).astype(np.int64)
+        assert [responses[i].label for i in (0, 1, 3)] == list(engine.predict(clean))
+        assert all(responses[i].ok for i in (0, 1, 3))
+        bad = responses[2]
+        assert bad.status == "quarantined"
+        assert bad.reason == "non-finite"
+        assert bad.label == QUARANTINED_LABEL
+        assert registry.counter("serve.quarantined").value == 1
+        assert registry.counter("serve.answered").value == 3
+
+    def test_shard_failure_rows_fan_out_as_failed(self):
+        runner = _ScriptedRunner(behavior="partial")
+
+        async def scenario():
+            policy = ServePolicy(max_batch=2, deadline_ms=500.0, flush_margin_ms=0.0)
+            async with MicroBatchServer(runner, policy) as server:
+                return await server.submit_many(np.zeros((2,) + SHAPE))
+
+        responses = asyncio.run(scenario())
+        assert responses[0].status == "failed"
+        assert responses[0].reason == "shard-failed"
+        assert responses[0].label == QUARANTINED_LABEL
+        assert responses[1].ok and responses[1].label == 2
+
+
+class TestFailurePaths:
+    def test_circuit_open_fails_batch_and_daemon_survives(self):
+        runner = _ScriptedRunner(behavior="circuit")
+        registry = MetricsRegistry()
+
+        async def scenario():
+            policy = ServePolicy(max_batch=2, deadline_ms=100.0, flush_margin_ms=0.0)
+            async with MicroBatchServer(runner, policy) as server:
+                failed = await asyncio.gather(
+                    server.submit(np.zeros(SHAPE)), server.submit(np.zeros(SHAPE))
+                )
+                runner.behavior = "ok"  # breaker recovery: next batch serves
+                recovered = await server.submit(np.zeros(SHAPE))
+                return failed, recovered
+
+        with using_registry(registry):
+            failed, recovered = asyncio.run(scenario())
+        assert all(r.status == "failed" and r.reason == "circuit-open" for r in failed)
+        assert all(r.label == QUARANTINED_LABEL and r.scores is None for r in failed)
+        assert recovered.ok and recovered.label == 2
+        assert registry.counter("serve.breaker_trips").value == 1
+        assert registry.counter("serve.failed").value == 2
+        assert registry.counter("serve.answered").value == 1
+
+    def test_unexpected_exception_answers_instead_of_killing_daemon(self):
+        runner = _ScriptedRunner(behavior="boom")
+
+        async def scenario():
+            policy = ServePolicy(max_batch=1, deadline_ms=100.0, flush_margin_ms=0.0)
+            async with MicroBatchServer(runner, policy) as server:
+                failed = await server.submit(np.zeros(SHAPE))
+                runner.behavior = "ok"
+                recovered = await server.submit(np.zeros(SHAPE))
+                return failed, recovered
+
+        failed, recovered = asyncio.run(scenario())
+        assert failed.status == "failed" and failed.reason == "OSError"
+        assert recovered.ok
+
+
+class TestDrain:
+    def test_drain_answers_pending_then_refuses(self):
+        runner = _ScriptedRunner()
+        registry = MetricsRegistry()
+
+        async def scenario():
+            policy = ServePolicy(max_batch=64, deadline_ms=10_000.0, flush_margin_ms=0.0)
+            server = await MicroBatchServer(runner, policy).start()
+            pending = [
+                asyncio.ensure_future(server.submit(np.zeros(SHAPE)))
+                for _ in range(3)
+            ]
+            await asyncio.sleep(0)  # enqueue all three, deadline far away
+            await server.drain()
+            answered = [f.result() for f in pending]
+            with pytest.raises(RuntimeError, match="not started"):
+                await server.submit(np.zeros(SHAPE))
+            await server.drain()  # idempotent
+            return answered
+
+        with using_registry(registry):
+            answered = asyncio.run(scenario())
+        assert [r.status for r in answered] == ["ok"] * 3
+        assert answered[0].batch_size == 3
+        assert registry.counter("serve.flush.drain").value == 1
+        assert registry.gauge("serve.queue_depth").value == 0.0
+
+
+class TestServeTCP:
+    def test_json_round_trip_and_malformed_line(self, engine):
+        samples = _samples(2, seed=4)
+        expected = engine.predict(samples)
+
+        async def scenario():
+            policy = ServePolicy(max_batch=4, deadline_ms=30.0, flush_margin_ms=0.0)
+            with ResilientBatchRunner(engine, policy=FAST, workers=1) as runner:
+                async with MicroBatchServer(runner, policy) as server:
+                    tcp = await serve_tcp(server, host="127.0.0.1", port=0)
+                    port = tcp.sockets[0].getsockname()[1]
+                    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                    out = []
+                    for sample in samples:
+                        request = {"levels": sample.tolist(), "scores": True}
+                        writer.write((json.dumps(request) + "\n").encode())
+                        await writer.drain()
+                        out.append(json.loads(await reader.readline()))
+                    writer.write(b"this is not json\n")
+                    await writer.drain()
+                    out.append(json.loads(await reader.readline()))
+                    writer.close()
+                    await writer.wait_closed()
+                    tcp.close()
+                    await tcp.wait_closed()
+                    return out
+
+        first, second, err = asyncio.run(scenario())
+        assert [first["status"], second["status"]] == ["ok", "ok"]
+        assert [first["label"], second["label"]] == list(expected)
+        assert len(first["scores"]) == 3
+        assert first["latency_ms"] >= 0.0 and first["batch_size"] >= 1
+        assert err["status"] == "error" and err["reason"]
+
+
+class TestChaosServing:
+    def test_injected_shard_raise_does_not_change_answers(self, engine):
+        """A first-attempt ChaosError on shard 0 of every micro-batch is
+        retried away; served labels stay bit-identical to the engine."""
+        samples = _samples(12, seed=5)
+        expected = engine.predict(samples)
+        registry = MetricsRegistry()
+
+        async def scenario():
+            policy = ServePolicy(max_batch=4, deadline_ms=500.0, flush_margin_ms=0.0)
+            with ResilientBatchRunner(
+                engine,
+                shard_size=2,
+                workers=2,
+                executor="thread",
+                policy=FAST,
+                chaos=ChaosSpec(raise_on=frozenset({(0, 0)})),
+            ) as runner:
+                async with MicroBatchServer(runner, policy) as server:
+                    return await server.submit_many(samples)
+
+        with using_registry(registry):
+            responses = asyncio.run(scenario())
+        assert [r.status for r in responses] == ["ok"] * 12
+        assert [r.label for r in responses] == list(expected)
+        assert registry.counter("resilience.retries").value >= 1
