@@ -1,6 +1,6 @@
 """Command-line interface: train / evaluate / hw / search / profile /
-trace / bench-throughput / serve / serve-bench / chaos / fault-sweep /
-obs / info.
+trace / bench-throughput / serve / serve-bench / top / chaos /
+fault-sweep / obs / info.
 
     python -m repro info
     python -m repro train isolet --epochs 12 --out isolet.npz
@@ -11,10 +11,12 @@ obs / info.
     python -m repro trace bci-iii-v --samples 4 --jsonl bci.traces.jsonl
     python -m repro bench-throughput bci-iii-v --batch 256
     python -m repro serve bci-iii-v --port 8765
+    python -m repro top --port 8765 --interval 2
     python -m repro serve-bench bci-iii-v --rates 1,5,15 --trace poisson
     python -m repro chaos bci-iii-v --spec raise:0.1,delay:5ms
     python -m repro fault-sweep bci-iii-v --fractions 0.001,0.01,0.1
     python -m repro obs compare --task serve --baseline benchmarks/baselines/serve.json
+    python -m repro obs export --task serve --format prom
 
 Training, search, and profile runs append one record to the run ledger
 (``benchmarks/results/ledger.jsonl`` by default; ``--ledger PATH`` or
@@ -352,6 +354,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.core.inference import BitPackedUniVSA
     from repro.obs import MetricsRegistry, using_registry
+    from repro.obs.slo import SLO
     from repro.runtime import (
         MicroBatchServer,
         ResilientBatchRunner,
@@ -386,6 +389,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         flush_margin_ms=args.flush_margin_ms,
         max_queue=args.max_queue,
     )
+    # REPRO_SLO_* provides the objective; explicit flags win over env.
+    slo = SLO.from_env()
+    import dataclasses
+
+    if args.slo_p99_ms is not None:
+        slo = dataclasses.replace(slo, p99_ms=args.slo_p99_ms)
+    if args.slo_availability is not None:
+        slo = dataclasses.replace(slo, availability=args.slo_availability)
 
     async def daemon() -> None:
         with ResilientBatchRunner(
@@ -394,13 +405,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             workers=args.workers,
             executor=args.executor,
         ) as runner:
-            async with MicroBatchServer(runner, policy) as server:
+            async with MicroBatchServer(runner, policy, slo=slo) as server:
                 tcp = await serve_tcp(server, args.host, args.port)
                 host, port = tcp.sockets[0].getsockname()[:2]
                 print(
                     f"serving {name} on {host}:{port} "
                     f"(batch<={policy.max_batch}, deadline {policy.deadline_ms:g} ms, "
-                    f"queue<={policy.max_queue}) — Ctrl-C drains and exits"
+                    f"queue<={policy.max_queue}, "
+                    f"slo p99<={slo.p99_ms:g} ms @ {slo.availability:g}) "
+                    "— Ctrl-C drains and exits"
                 )
                 sys.stdout.flush()
                 try:
@@ -477,6 +490,105 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    return 0
+
+
+def _admin_request(host: str, port: int, payload: dict, timeout: float = 5.0) -> dict:
+    """One NDJSON admin round-trip against a running serve daemon."""
+    import json
+    import socket
+
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall((json.dumps(payload) + "\n").encode("utf-8"))
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            if chunk.endswith(b"\n"):
+                break
+    return json.loads(b"".join(chunks))
+
+
+def _render_top(state: dict) -> str:
+    """One `repro top` frame from an admin ``metrics`` snapshot."""
+    from repro.obs.export import render_stage_table
+
+    counters = state.get("counters", {})
+    slo = state.get("slo", {})
+    objective = slo.get("objective", {})
+    header = render_kv(
+        {
+            "queue depth": state.get("queue_depth", 0),
+            "in flight": state.get("inflight", 0),
+            "draining": state.get("draining", False),
+            "requests": counters.get("serve.requests", 0),
+            "answered / failed": (
+                f"{counters.get('serve.answered', 0)} / "
+                f"{counters.get('serve.failed', 0)}"
+            ),
+            "rejected / quarantined": (
+                f"{counters.get('serve.rejected', 0)} / "
+                f"{counters.get('serve.quarantined', 0)}"
+            ),
+            "flush full/deadline/drain": (
+                f"{counters.get('serve.flush.full', 0)}/"
+                f"{counters.get('serve.flush.deadline', 0)}/"
+                f"{counters.get('serve.flush.drain', 0)}"
+            ),
+            "slo objective": (
+                f"p99<={objective.get('p99_ms', 0):g} ms @ "
+                f"{objective.get('availability', 0):g}"
+            ),
+            "budget remaining": f"{slo.get('budget_remaining', 1.0):.3f}",
+            "burn fast / slow": (
+                f"{slo.get('burn_rate_fast', 0.0):.2f} / "
+                f"{slo.get('burn_rate_slow', 0.0):.2f}"
+            ),
+        },
+        title="repro top — live serve daemon",
+    )
+    stages = state.get("stages", {})
+    shown = {
+        name: entry
+        for name, entry in stages.items()
+        if name.startswith(("serve.", "packed.", "resilience.", "batch."))
+        and entry.get("count", 0)
+    }
+    if not shown:
+        return header
+    return header + "\n\n" + render_stage_table(
+        shown, title="stage latency (worker-merged)"
+    )
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Refresh-loop terminal view over the serve daemon's admin endpoint."""
+    import time
+
+    try:
+        state = _admin_request(args.host, args.port, {"op": "metrics"})
+    except OSError as exc:
+        print(f"error: cannot reach {args.host}:{args.port} ({exc})", file=sys.stderr)
+        return 2
+    if args.once:
+        print(_render_top(state))
+        return 0
+    try:
+        while True:
+            # ANSI clear + home keeps the frame in place like top(1).
+            sys.stdout.write("\x1b[2J\x1b[H")
+            print(_render_top(state))
+            print(f"\nrefreshing every {args.interval:g} s — Ctrl-C exits")
+            sys.stdout.flush()
+            time.sleep(args.interval)
+            state = _admin_request(args.host, args.port, {"op": "metrics"})
+    except KeyboardInterrupt:
+        print()
+    except OSError as exc:
+        print(f"error: daemon went away ({exc})", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -800,6 +912,7 @@ def _cmd_obs_compare(args: argparse.Namespace) -> int:
         max_accuracy_drop=args.max_accuracy_drop,
         max_p95_regression=args.max_p95_regression,
         max_throughput_drop=args.max_throughput_drop,
+        max_budget_burn=args.max_budget_burn,
     )
     print(report.render())
     if report.regressed:
@@ -811,6 +924,39 @@ def _cmd_obs_compare(args: argparse.Namespace) -> int:
             )
         return 1
     print("no regressions")
+    return 0
+
+
+def _cmd_obs_export(args: argparse.Namespace) -> int:
+    """Dump the latest ledger record as JSON or Prometheus text."""
+    import json
+
+    from repro.obs import (
+        DEFAULT_LEDGER_PATH,
+        Ledger,
+        record_to_prometheus,
+    )
+
+    ledger = Ledger(
+        args.ledger or os.environ.get("REPRO_LEDGER") or DEFAULT_LEDGER_PATH
+    )
+    record = ledger.latest(task=args.task, kind=args.kind)
+    if record is None:
+        print(
+            f"no ledger records match (ledger={ledger.path}, task={args.task})",
+            file=sys.stderr,
+        )
+        return 2
+    if args.format == "prom":
+        text = record_to_prometheus(record)
+    else:
+        text = json.dumps(record.as_dict(), indent=2, sort_keys=True) + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"{args.format} export of {record.run_id} written to {args.out}")
+    else:
+        sys.stdout.write(text)
     return 0
 
 
@@ -960,8 +1106,32 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--model", help="serve saved artifacts (.npz) instead of training")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8765, help="0 picks a free port")
+    serve.add_argument(
+        "--slo-p99-ms", type=float, default=None,
+        help="SLO p99 latency target in ms (default: REPRO_SLO_P99_MS or 50)",
+    )
+    serve.add_argument(
+        "--slo-availability", type=float, default=None,
+        help="SLO availability objective, e.g. 0.999 "
+        "(default: REPRO_SLO_AVAILABILITY)",
+    )
     _add_serve_policy_flags(serve)
     serve.set_defaults(func=_cmd_serve)
+
+    top = sub.add_parser(
+        "top",
+        help="live terminal view over a serve daemon's admin endpoint "
+        "(queue depth, flush counters, merged stage p99s, SLO budget)",
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, default=8765)
+    top.add_argument(
+        "--interval", type=float, default=2.0, help="refresh period in seconds"
+    )
+    top.add_argument(
+        "--once", action="store_true", help="print one frame and exit"
+    )
+    top.set_defaults(func=_cmd_top)
 
     serve_bench = sub.add_parser(
         "serve-bench",
@@ -1083,7 +1253,9 @@ def build_parser() -> argparse.ArgumentParser:
     trace.set_defaults(func=_cmd_trace)
 
     obs = sub.add_parser(
-        "obs", help="run-ledger maintenance (compare runs, emit trajectories)"
+        "obs",
+        help="run-ledger maintenance (compare runs, export records, "
+        "emit trajectories)",
     )
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)
     compare = obs_sub.add_parser(
@@ -1120,10 +1292,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="largest tolerated relative samples/sec drop (0.5 = -50%%)",
     )
     compare.add_argument(
+        "--max-budget-burn",
+        type=float,
+        default=None,
+        help="largest tolerated slo.budget_consumed in the current run "
+        "(absolute fraction, e.g. 0.5; default: not checked)",
+    )
+    compare.add_argument(
         "--trajectories",
         help="directory for BENCH_<task>.json files (default: ledger directory)",
     )
     compare.set_defaults(func=_cmd_obs_compare)
+    export = obs_sub.add_parser(
+        "export",
+        help="dump the latest ledger record as JSON or Prometheus text",
+    )
+    export.add_argument(
+        "--ledger", help="ledger JSONL path (default benchmarks/results/ledger.jsonl)"
+    )
+    export.add_argument("--task", help="task to export (default: any latest)")
+    export.add_argument("--kind", help="restrict to a run kind (bench/profile/...)")
+    export.add_argument(
+        "--format", choices=("json", "prom"), default="json",
+        help="output format (default json)",
+    )
+    export.add_argument("--out", help="write to a file instead of stdout")
+    export.set_defaults(func=_cmd_obs_export)
 
     report = sub.add_parser(
         "report", help="assemble benchmarks/results into one markdown report"

@@ -1,6 +1,6 @@
 """repro.obs — observability for the packed datapath, end to end.
 
-Three layers, all dependency-free and all zero-overhead until enabled:
+Five layers, all dependency-free and all zero-overhead until enabled:
 
 * **Metrics** (:mod:`.registry`, :mod:`.timers`, :mod:`.export`): a
   registry of counters, gauges, and latency histograms with p50/p95/p99,
@@ -19,6 +19,19 @@ Three layers, all dependency-free and all zero-overhead until enabled:
   ``benchmarks/results/ledger.jsonl``; ``python -m repro obs compare``
   diffs the latest run against a baseline with per-metric thresholds and
   folds the ledger into ``BENCH_<task>.json`` trajectory files.
+* **Worker telemetry** (:mod:`.telemetry`): pool workers record into
+  private registries installed by the pool initializer, ship
+  reset-after-snapshot deltas back on each result, and the parent merges
+  them — counters sum, histograms merge exactly, gauges are tagged
+  per-worker (``name.w<pid>``) — so process-executor runs surface real
+  worker-side stage time with at-most-once accounting even across pool
+  crashes.
+* **SLO tracking** (:mod:`.slo`): a latency/availability objective
+  (``REPRO_SLO_*`` env) with rolling-window error-budget accounting and
+  fast/slow burn rates, published as ``slo.*`` gauges into the registry
+  — visible live on the serve admin endpoint (``repro top``), harvested
+  into ledger records, and gated by
+  ``repro obs compare --max-budget-burn``.
 
 The active registry and tracer default to :data:`NULL_REGISTRY` /
 :data:`NULL_TRACER`, whose instruments are shared no-ops — instrumented
@@ -28,15 +41,18 @@ managers) install real collectors.
 """
 
 from .export import (
+    record_to_prometheus,
     render_stage_table,
     snapshot,
     stage_breakdown,
     to_json,
+    to_prometheus,
     write_json,
 )
 from .ledger import (
     DEFAULT_LEDGER_PATH,
     MARGIN_HISTOGRAM,
+    SLO_NAMESPACE,
     ComparisonReport,
     Ledger,
     MetricCheck,
@@ -47,6 +63,16 @@ from .ledger import (
     git_rev,
     record_run,
     write_trajectories,
+)
+from .slo import SLO, SLOTracker
+from .telemetry import (
+    WORKER_GAUGE_SEP,
+    drain_pool,
+    drain_worker_delta,
+    install_worker_telemetry,
+    merge_delta,
+    recent_worker_traces,
+    registry_delta,
 )
 from .profile import ProfileReport, profile_benchmark
 from .registry import (
@@ -98,10 +124,24 @@ __all__ = [
     "snapshot",
     "stage_breakdown",
     "to_json",
+    "to_prometheus",
+    "record_to_prometheus",
     "write_json",
     "render_stage_table",
     "ProfileReport",
     "profile_benchmark",
+    # cross-process telemetry
+    "WORKER_GAUGE_SEP",
+    "install_worker_telemetry",
+    "registry_delta",
+    "drain_worker_delta",
+    "merge_delta",
+    "drain_pool",
+    "recent_worker_traces",
+    # SLO / error budgets
+    "SLO",
+    "SLOTracker",
+    "SLO_NAMESPACE",
     # tracing
     "Span",
     "Tracer",

@@ -10,11 +10,20 @@ from __future__ import annotations
 
 import json
 import os
+import re
 from typing import Mapping
 
 from .registry import MetricsRegistry, NullRegistry
 
-__all__ = ["snapshot", "stage_breakdown", "to_json", "write_json", "render_stage_table"]
+__all__ = [
+    "snapshot",
+    "stage_breakdown",
+    "to_json",
+    "write_json",
+    "render_stage_table",
+    "to_prometheus",
+    "record_to_prometheus",
+]
 
 
 def snapshot(registry: MetricsRegistry | NullRegistry) -> dict:
@@ -72,6 +81,87 @@ def write_json(
     """Write the registry snapshot to ``path`` as JSON."""
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(to_json(registry) + "\n")
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+_PROM_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    """Dotted instrument name -> a legal Prometheus metric name."""
+    return prefix + _PROM_INVALID.sub("_", name)
+
+
+def _prom_value(value: float) -> str:
+    value = float(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _prom_summary_lines(
+    metric: str, summary: Mapping[str, float]
+) -> list[str]:
+    """One histogram summary as a Prometheus summary-typed family."""
+    lines = [f"# TYPE {metric} summary"]
+    for quantile, key in (("0.5", "p50_s"), ("0.95", "p95_s"), ("0.99", "p99_s")):
+        lines.append(
+            f'{metric}{{quantile="{quantile}"}} '
+            f"{_prom_value(summary.get(key, 0.0))}"
+        )
+    lines.append(f"{metric}_sum {_prom_value(summary.get('total_s', 0.0))}")
+    lines.append(f"{metric}_count {_prom_value(summary.get('count', 0))}")
+    return lines
+
+
+def to_prometheus(
+    registry: MetricsRegistry | NullRegistry, prefix: str = "repro_"
+) -> str:
+    """Registry state in Prometheus text exposition format.
+
+    Counters become ``counter`` families, gauges ``gauge`` families, and
+    latency histograms ``summary`` families (``_sum``/``_count`` plus
+    p50/p95/p99 quantile samples, all in seconds).  Dots and other
+    illegal characters in instrument names map to underscores.
+    """
+    lines: list[str] = []
+    for name, counter in sorted(registry.counters().items()):
+        metric = _prom_name(name, prefix) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_prom_value(counter.value)}")
+    for name, gauge in sorted(registry.gauges().items()):
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_prom_value(gauge.value)}")
+    for name, hist in sorted(registry.histograms().items()):
+        metric = _prom_name(name, prefix) + "_seconds"
+        lines.extend(_prom_summary_lines(metric, hist.summary()))
+    return "\n".join(lines) + "\n"
+
+
+def record_to_prometheus(record, prefix: str = "repro_") -> str:
+    """A ledger :class:`~repro.obs.ledger.RunRecord` as Prometheus text.
+
+    Stored records no longer distinguish counters from gauges, so every
+    scalar in ``record.metrics`` is exposed as a gauge; ``record.stages``
+    summaries become summary families exactly like the live exposition.
+    This is what ``repro obs export --format prom`` emits when scraping
+    the ledger instead of a running daemon.
+    """
+    lines: list[str] = []
+    for name in sorted(record.metrics):
+        value = record.metrics[name]
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_prom_value(value)}")
+    for name in sorted(record.stages):
+        metric = _prom_name(name, prefix) + "_seconds"
+        lines.extend(_prom_summary_lines(metric, record.stages[name]))
+    return "\n".join(lines) + "\n"
 
 
 def render_stage_table(

@@ -34,6 +34,7 @@ __all__ = [
     "RESILIENCE_NAMESPACE",
     "SEARCH_NAMESPACE",
     "SERVE_NAMESPACE",
+    "SLO_NAMESPACE",
     "RunRecord",
     "Ledger",
     "config_hash",
@@ -87,6 +88,13 @@ SEARCH_NAMESPACE = "search."
 #: its admission-control accounting — shed requests included — without
 #: the bench threading the counts through by hand.
 SERVE_NAMESPACE = "serve."
+
+#: Gauge namespace :meth:`repro.obs.slo.SLOTracker.publish` mirrors the
+#: error-budget state into (``slo.budget_consumed``, ``slo.burn_rate_*``,
+#: ``slo.objective.*``, ...).  Harvested into every record, which is what
+#: lets ``repro obs compare --max-budget-burn`` gate a run on how much
+#: SLO budget it burned.
+SLO_NAMESPACE = "slo."
 
 
 def config_hash(config) -> str:
@@ -255,6 +263,8 @@ def record_run(
         harvested.update(registry.gauge_values(SEARCH_NAMESPACE))
         harvested.update(registry.counter_values(SERVE_NAMESPACE))
         harvested.update(registry.gauge_values(SERVE_NAMESPACE))
+        harvested.update(registry.counter_values(SLO_NAMESPACE))
+        harvested.update(registry.gauge_values(SLO_NAMESPACE))
         for name, value in harvested.items():
             all_metrics.setdefault(name, value)
     record = RunRecord(
@@ -342,6 +352,7 @@ def compare_records(
     max_accuracy_drop: float = 0.02,
     max_p95_regression: float = 0.5,
     max_throughput_drop: float = 0.5,
+    max_budget_burn: float | None = None,
 ) -> ComparisonReport:
     """Threshold-diff ``current`` against ``baseline``.
 
@@ -353,6 +364,11 @@ def compare_records(
     ``current > baseline * (1 + max_p95_regression)``.  Metrics present
     on only one side are skipped — a baseline can gate accuracy alone by
     omitting ``stages``.
+
+    With ``max_budget_burn`` set, the run's harvested SLO state
+    (``slo.budget_consumed``, see :data:`SLO_NAMESPACE`) is gated as an
+    *absolute* threshold on the current record alone — no baseline value
+    needed, because the budget objective is stated by the SLO itself.
     """
     report = ComparisonReport(
         current_id=current.run_id or "current",
@@ -390,6 +406,16 @@ def compare_records(
         limit = base * (1.0 + max_p95_regression)
         report.checks.append(
             MetricCheck(stage, "p95", cur, base, limit, cur <= limit + 1e-12)
+        )
+    if max_budget_burn is not None:
+        name = "slo.budget_consumed"
+        cur = float(current.metrics.get(name, 0.0))
+        base = float(baseline.metrics.get(name, 0.0))
+        report.checks.append(
+            MetricCheck(
+                name, "budget", cur, base, max_budget_burn,
+                cur <= max_budget_burn + 1e-12,
+            )
         )
     return report
 

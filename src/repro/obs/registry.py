@@ -16,7 +16,9 @@ needs.
 
 from __future__ import annotations
 
+import random
 import threading
+import zlib
 from bisect import insort
 from contextlib import contextmanager
 
@@ -82,18 +84,31 @@ class LatencyHistogram:
 
     Observations are kept in a sorted list (insertion via ``bisect``), so
     percentiles are exact and O(1) to read.  A reservoir cap bounds
-    memory for very long runs; once full, new observations replace the
-    sample at their insertion rank, which keeps the tail percentiles
-    honest for the profiling durations this repo cares about.
+    memory for very long runs: once full, each new observation is
+    admitted by deterministic reservoir sampling (Algorithm R with an
+    RNG seeded from the histogram name), so the retained samples stay a
+    uniform draw over *everything* observed — a multi-hour serve run's
+    p99 reflects the whole run, not just its first minutes.  ``count``
+    and ``total_seconds`` are always exact regardless of the cap.
     """
 
-    __slots__ = ("name", "_sorted", "_count", "_total", "_lock", "_max_samples")
+    __slots__ = (
+        "name", "_sorted", "_count", "_total", "_seen", "_rng",
+        "_lock", "_max_samples",
+    )
 
     def __init__(self, name: str, max_samples: int = 65536) -> None:
         self.name = name
         self._sorted: list[float] = []
         self._count = 0
         self._total = 0.0
+        # Offers made to the reservoir; differs from ``_count`` once
+        # merged deltas contribute counts without re-offering samples.
+        self._seen = 0
+        # str.__hash__ is salted per process, so seed from a stable
+        # digest of the name: same name -> same admission sequence in
+        # every process, which keeps merged runs reproducible.
+        self._rng = random.Random(zlib.crc32(name.encode("utf-8")))
         self._lock = threading.Lock()
         self._max_samples = max_samples
 
@@ -103,24 +118,41 @@ class LatencyHistogram:
         with self._lock:
             self._count += 1
             self._total += value
-            if len(self._sorted) < self._max_samples:
-                insort(self._sorted, value)
-            else:
-                # Replace the sample nearest the new value's rank.
-                index = min(
-                    self._rank_locked(value), len(self._sorted) - 1
-                )
-                self._sorted[index] = value
+            self._offer_locked(value)
 
-    def _rank_locked(self, value: float) -> int:
-        low, high = 0, len(self._sorted)
-        while low < high:
-            mid = (low + high) // 2
-            if self._sorted[mid] < value:
-                low = mid + 1
-            else:
-                high = mid
-        return low
+    def _offer_locked(self, value: float) -> None:
+        """Reservoir admission (Algorithm R) for one candidate sample."""
+        self._seen += 1
+        if len(self._sorted) < self._max_samples:
+            insort(self._sorted, value)
+            return
+        slot = self._rng.randrange(self._seen)
+        if slot < len(self._sorted):
+            # ``slot`` is uniform over the retained samples given it was
+            # admitted, so evicting at that index keeps the reservoir a
+            # uniform sample of all offers.
+            del self._sorted[slot]
+            insort(self._sorted, value)
+
+    def merge_samples(
+        self, samples: list[float], count: int, total: float
+    ) -> None:
+        """Fold another histogram's state into this one.
+
+        ``count``/``total`` add exactly; ``samples`` (the other side's
+        retained reservoir) are re-offered to this reservoir one by one.
+        This is how worker-side deltas land in the parent registry.
+        """
+        with self._lock:
+            self._count += int(count)
+            self._total += float(total)
+            for value in samples:
+                self._offer_locked(float(value))
+
+    def samples(self) -> list[float]:
+        """Copy of the retained reservoir (sorted ascending)."""
+        with self._lock:
+            return list(self._sorted)
 
     @property
     def count(self) -> int:
@@ -154,15 +186,22 @@ class LatencyHistogram:
         return samples[lower] * (1.0 - fraction) + samples[upper] * fraction
 
     def summary(self) -> dict[str, float]:
-        """Count / total / mean / p50 / p95 / p99 / max in one dict."""
+        """Count / total / mean / p50 / p95 / p99 / max in one dict.
+
+        ``observed`` is the exact number of observations (including any
+        merged in from worker deltas); ``retained`` is how many samples
+        the reservoir currently holds — equal until the cap is reached.
+        """
         with self._lock:
             samples = list(self._sorted)
             count = self._count
             total = self._total
         if not samples:
             return {
-                "count": 0, "total_s": 0.0, "mean_s": 0.0,
+                "count": count, "total_s": total,
+                "mean_s": total / count if count else 0.0,
                 "p50_s": 0.0, "p95_s": 0.0, "p99_s": 0.0, "max_s": 0.0,
+                "observed": count, "retained": 0,
             }
 
         def pct(q: float) -> float:
@@ -180,6 +219,8 @@ class LatencyHistogram:
             "p95_s": pct(95),
             "p99_s": pct(99),
             "max_s": samples[-1],
+            "observed": count,
+            "retained": len(samples),
         }
 
 
@@ -252,7 +293,17 @@ class MetricsRegistry:
         return dict(self._histograms)
 
     def reset(self) -> None:
-        """Drop every instrument (names included)."""
+        """Drop every instrument (names included).
+
+        The whole reset happens under the registry lock, so a concurrent
+        ``counter()``/``histogram()`` lookup observes either the full old
+        table or the full new (empty) one — never a half-cleared mix.
+        Threads holding an instrument object across the reset keep
+        recording into the orphaned instrument, which is then simply
+        unreachable from the registry; the next lookup by name returns a
+        fresh, zeroed instrument.  That makes reset safe to call between
+        benches while flusher threads are still live.
+        """
         with self._lock:
             self._counters.clear()
             self._gauges.clear()
@@ -287,6 +338,14 @@ class _NullHistogram:
     def observe(self, seconds: float) -> None:  # noqa: D102 - no-op
         pass
 
+    def merge_samples(
+        self, samples: list[float], count: int, total: float
+    ) -> None:  # noqa: D102 - no-op
+        pass
+
+    def samples(self) -> list[float]:  # noqa: D102 - no-op
+        return []
+
     def percentile(self, q: float) -> float:  # noqa: D102 - no-op
         return 0.0
 
@@ -294,6 +353,7 @@ class _NullHistogram:
         return {
             "count": 0, "total_s": 0.0, "mean_s": 0.0,
             "p50_s": 0.0, "p95_s": 0.0, "p99_s": 0.0, "max_s": 0.0,
+            "observed": 0, "retained": 0,
         }
 
 

@@ -34,6 +34,13 @@ from time import perf_counter
 import numpy as np
 
 from repro.obs import annotate_span, get_registry, stage_timer, trace_span
+from repro.obs.telemetry import (
+    drain_pool,
+    drain_worker_delta,
+    install_worker_telemetry,
+    merge_delta,
+    worker_telemetry_installed,
+)
 
 __all__ = ["BatchRunner", "WorkerPool", "resolve_workers"]
 
@@ -57,17 +64,27 @@ def resolve_workers(workers: int | None = None) -> int:
 _WORKER_ENGINE = None
 
 
-def _process_worker_init(artifacts, mode: str, conv_tile_mb: float) -> None:
+def _process_worker_init(
+    artifacts, mode: str, conv_tile_mb: float, telemetry: bool = False
+) -> None:
     global _WORKER_ENGINE
     from repro.core.inference import BitPackedUniVSA
 
     _WORKER_ENGINE = BitPackedUniVSA(artifacts, mode=mode, conv_tile_mb=conv_tile_mb)
+    # Telemetry installs *after* engine construction so one-time init
+    # work stays out of the harvested deltas — merged process-run totals
+    # must match what a serial run records.
+    install_worker_telemetry(telemetry)
+    if worker_telemetry_installed():
+        from repro.vsa.kernels import publish_kernel_metrics
+
+        publish_kernel_metrics(get_registry())
 
 
-def _process_worker_scores(levels: np.ndarray) -> tuple[np.ndarray, float]:
+def _process_worker_scores(levels: np.ndarray) -> tuple[np.ndarray, float, dict | None]:
     start = perf_counter()
     scores = _WORKER_ENGINE.scores(levels)
-    return scores, perf_counter() - start
+    return scores, perf_counter() - start, drain_worker_delta()
 
 
 class WorkerPool:
@@ -178,11 +195,19 @@ class BatchRunner:
         return [(start, min(start + size, n)) for start in range(0, n, size)]
 
     def _pool_initializer(self):
-        """(initializer, initargs) for process pools; overridable seam."""
+        """(initializer, initargs) for process pools; overridable seam.
+
+        The trailing initarg is the telemetry switch: workers install a
+        recording registry only when the parent registry is enabled at
+        pool-build time, so observability-off runs keep the
+        zero-overhead path end to end.  Re-evaluated whenever the pool
+        is (re)built, including crash replacement.
+        """
         return _process_worker_init, (
             self.engine.artifacts,
             self.engine.mode,
             self.engine.conv_tile_mb,
+            get_registry().enabled,
         )
 
     def _make_pool(self) -> Executor:
@@ -218,7 +243,16 @@ class BatchRunner:
         return self._workerpool.replace()
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the worker pool down (idempotent).
+
+        Process pools are drained first: workers hold metric residue
+        recorded since their last shipped delta (e.g. a final task whose
+        result the parent already collected), and close is the last
+        chance to merge it.
+        """
+        executor = self._workerpool.executor
+        if executor is not None and self.executor_kind == "process":
+            drain_pool(executor, get_registry(), self.workers)
         self._workerpool.close()
 
     def __enter__(self) -> "BatchRunner":
@@ -276,8 +310,9 @@ class BatchRunner:
                     parts = []
                     shard_hist = registry.histogram("batch.shard")
                     for future in futures:
-                        scores, duration = future.result()
+                        scores, duration, delta = future.result()
                         shard_hist.observe(duration)
+                        merge_delta(registry, delta)
                         parts.append(scores)
             except BaseException:
                 # A shard failed while its siblings keep running (or sit

@@ -531,6 +531,12 @@ def bench_serve(
     else:
         offered = [(f"x{mult:g}", float(mult) * inline_per_s) for mult in rates]
 
+    # One SLO tracker shared across every load point, so the slo.* gauges
+    # the ledger harvests (and the budget burn `repro obs compare` gates
+    # on) account for the whole sweep, not just the last point.
+    from repro.obs.slo import SLOTracker
+
+    slo_tracker = SLOTracker()
     registry = MetricsRegistry()
     points: list[LoadPoint] = []
     with using_registry(registry):
@@ -555,7 +561,9 @@ def bench_serve(
                     arrivals = client_arrivals(
                         rate, duration_s, clients=clients, trace=trace, seed=seed
                     )
-                    async with MicroBatchServer(runner, policy) as server:
+                    async with MicroBatchServer(
+                        runner, policy, slo=slo_tracker
+                    ) as server:
                         responses, wall = await run_open_loop(server, bank, arrivals)
                     points.append(
                         summarize_point(
@@ -570,6 +578,7 @@ def bench_serve(
                     )
 
             asyncio.run(sweep())
+            slo_tracker.publish(registry)
             actual_workers = runner.workers
 
     return ServeBenchReport(

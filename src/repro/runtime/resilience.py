@@ -51,6 +51,12 @@ from time import perf_counter
 import numpy as np
 
 from repro.obs import annotate_span, get_registry, stage_timer, trace_span
+from repro.obs.telemetry import (
+    drain_worker_delta,
+    install_worker_telemetry,
+    merge_delta,
+    worker_telemetry_installed,
+)
 from repro.vsa.kernels import get_kernels, using_kernels
 
 from .batch import BatchRunner
@@ -356,10 +362,12 @@ _WORKER_ENGINE = None
 _WORKER_CHAOS: ChaosSpec | None = None
 
 
-def _resilient_worker_init(artifacts, mode, conv_tile_mb, chaos: ChaosSpec | None):
+def _resilient_worker_init(
+    artifacts, mode, conv_tile_mb, chaos: ChaosSpec | None, telemetry: bool = False
+):
     global _WORKER_ENGINE, _WORKER_CHAOS
     from repro.core.inference import BitPackedUniVSA
-    from repro.vsa.kernels import set_kernels
+    from repro.vsa.kernels import publish_kernel_metrics, set_kernels
 
     mark_process_worker()  # this process may be hard-killed by crash chaos
     _WORKER_ENGINE = BitPackedUniVSA(artifacts, mode=mode, conv_tile_mb=conv_tile_mb)
@@ -369,13 +377,18 @@ def _resilient_worker_init(artifacts, mode, conv_tile_mb, chaos: ChaosSpec | Non
         # worker that inherited the parent's chaos install stays
         # single-wrapped.
         set_kernels(chaos_kernels(get_kernels()))
+    # After engine + kernel setup: init-time work must stay out of the
+    # harvested deltas for process totals to match serial runs.
+    install_worker_telemetry(telemetry)
+    if worker_telemetry_installed():
+        publish_kernel_metrics(get_registry())
 
 
 def _resilient_worker_scores(shard: int, attempt: int, levels: np.ndarray):
     start = perf_counter()
     with chaos_context(_WORKER_CHAOS, shard, attempt):
         scores = _WORKER_ENGINE.scores(levels)
-    return scores, perf_counter() - start
+    return scores, perf_counter() - start, drain_worker_delta()
 
 
 # ---------------------------------------------------------------------------
@@ -430,6 +443,7 @@ class ResilientBatchRunner(BatchRunner):
             self.engine.mode,
             self.engine.conv_tile_mb,
             self.chaos if self.chaos.enabled else None,
+            get_registry().enabled,
         )
 
     def _submit(self, pool, shard: int, attempt: int, levels: np.ndarray):
@@ -568,8 +582,15 @@ class ResilientBatchRunner(BatchRunner):
                             )
                         outcome = future.result(timeout=self.policy.timeout_s)
                         if self.executor_kind == "process":
-                            scores, duration = outcome
+                            scores, duration, delta = outcome
                             shard_hist.observe(duration)
+                            # Each delta ships exactly once per collected
+                            # result (workers reset after shipping), so
+                            # merging here cannot double-count even when
+                            # _recover_pool kept this future across a
+                            # pool replacement or _late_result collected
+                            # a timed-out attempt.
+                            merge_delta(registry, delta)
                         else:
                             scores = outcome
                     else:

@@ -45,7 +45,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.obs import get_registry, stage_timer
+from repro.obs import get_registry, snapshot, stage_timer
+from repro.obs.slo import SLO, SLOTracker
 
 from .resilience import QUARANTINED_LABEL, CircuitOpenError
 
@@ -161,15 +162,25 @@ class MicroBatchServer:
     server.  The runner's lifecycle belongs to the caller.
     """
 
-    def __init__(self, runner, policy: ServePolicy | None = None) -> None:
+    def __init__(
+        self,
+        runner,
+        policy: ServePolicy | None = None,
+        slo: SLO | SLOTracker | None = None,
+    ) -> None:
         self.runner = runner
         self.policy = policy if policy is not None else ServePolicy.from_env()
+        if isinstance(slo, SLOTracker):
+            self.slo = slo
+        else:
+            self.slo = SLOTracker(slo if slo is not None else SLO.from_env())
         self._pending: list[_Request] = []
         self._loop: asyncio.AbstractEventLoop | None = None
         self._wake: asyncio.Event | None = None
         self._flusher: asyncio.Task | None = None
         self._executor: ThreadPoolExecutor | None = None
         self._closing = False
+        self._inflight = 0
 
     # -- lifecycle ------------------------------------------------------
     async def start(self) -> "MicroBatchServer":
@@ -235,6 +246,9 @@ class MicroBatchServer:
         registry.counter("serve.requests").add(1)
         if self._closing or len(self._pending) >= self.policy.max_queue:
             registry.counter("serve.rejected").add(1)
+            # A shed request is a server-side SLO violation: the client
+            # asked for a valid prediction and did not get one.
+            self.slo.record(0.0, ok=False)
             return ServeResponse(
                 status="rejected",
                 label=QUARANTINED_LABEL,
@@ -307,6 +321,8 @@ class MicroBatchServer:
         registry = get_registry()
         registry.counter("serve.batches").add(1)
         registry.counter("serve.batched_samples").add(len(batch))
+        self._inflight = len(batch)
+        registry.gauge("serve.inflight").set(len(batch))
         levels = np.stack([request.levels for request in batch])
         try:
             result = await self._loop.run_in_executor(
@@ -319,6 +335,9 @@ class MicroBatchServer:
         except Exception as exc:  # noqa: BLE001 — a batch must not kill the daemon
             self._fail_batch(batch, type(exc).__name__)
             return
+        finally:
+            self._inflight = 0
+            registry.gauge("serve.inflight").set(0.0)
         report = result.report
         failed_rows = set(report.failed_samples)
         now = self._loop.time()
@@ -328,12 +347,17 @@ class MicroBatchServer:
             if row in report.quarantined:
                 status, reason = "quarantined", report.quarantined[row]
                 registry.counter("serve.quarantined").add(1)
+                # Invalid input is a *client* error — it must not burn
+                # the server's error budget.
+                self.slo.record_client_error()
             elif row in failed_rows:
                 status, reason = "failed", "shard-failed"
                 registry.counter("serve.failed").add(1)
+                self.slo.record(latency, ok=False)
             else:
                 status, reason = "ok", ""
                 registry.counter("serve.answered").add(1)
+                self.slo.record(latency, ok=True)
             latency_hist.observe(latency)
             self._resolve(
                 request,
@@ -346,6 +370,7 @@ class MicroBatchServer:
                     reason=reason,
                 ),
             )
+        self.slo.publish(registry)
 
     def _run_batch(self, levels: np.ndarray):
         """Executor-thread body: one resilient batch under a serve span."""
@@ -357,6 +382,7 @@ class MicroBatchServer:
         now = self._loop.time()
         for request in batch:
             registry.counter("serve.failed").add(1)
+            self.slo.record(now - request.arrival, ok=False)
             self._resolve(
                 request,
                 ServeResponse(
@@ -368,16 +394,84 @@ class MicroBatchServer:
                     reason=reason,
                 ),
             )
+        self.slo.publish(registry)
 
     @staticmethod
     def _resolve(request: _Request, response: ServeResponse) -> None:
         if not request.future.done():  # a cancelled client still drains
             request.future.set_result(response)
 
+    # -- admin plane ----------------------------------------------------
+    @property
+    def inflight(self) -> int:
+        """Samples in the micro-batch currently executing (0 when idle)."""
+        return self._inflight
+
+    def admin_snapshot(self) -> dict:
+        """Live operational state for the admin endpoint / ``repro top``.
+
+        Queue depth, in-flight batch size, the serving policy, the SLO
+        error-budget state, and the active registry's full counter /
+        gauge / stage-summary snapshot — which, thanks to the worker
+        harvest, includes worker-side ``packed.*`` stage time and
+        per-worker kernel gauges.
+        """
+        registry = get_registry()
+        state = snapshot(registry)
+        return {
+            "queue_depth": self.queue_depth,
+            "inflight": self._inflight,
+            "draining": self._closing,
+            "policy": {
+                "max_batch": self.policy.max_batch,
+                "deadline_ms": self.policy.deadline_ms,
+                "flush_margin_ms": self.policy.flush_margin_ms,
+                "max_queue": self.policy.max_queue,
+            },
+            "slo": self.slo.state(),
+            "counters": state["counters"],
+            "gauges": state["gauges"],
+            "stages": state["stages"],
+        }
+
 
 # ---------------------------------------------------------------------------
 # TCP front end (newline-delimited JSON)
 # ---------------------------------------------------------------------------
+def _admin_response(server: MicroBatchServer, payload: dict) -> dict:
+    """Answer one ``{"op": ...}`` admin request (no queueing, no batch)."""
+    op = payload.get("op")
+    if op == "metrics":
+        if payload.get("format") == "prom":
+            from repro.obs.export import to_prometheus
+
+            return {
+                "status": "ok",
+                "op": "metrics",
+                "format": "prom",
+                "prom": to_prometheus(get_registry()),
+            }
+        out = server.admin_snapshot()
+        out.update({"status": "ok", "op": "metrics"})
+        return out
+    if op == "health":
+        slo_state = server.slo.state()
+        draining = server._closing
+        healthy = not draining and slo_state["budget_remaining"] > 0.0
+        return {
+            "status": "ok",
+            "op": "health",
+            "healthy": healthy,
+            "draining": draining,
+            "queue_depth": server.queue_depth,
+            "inflight": server.inflight,
+            "budget_remaining": slo_state["budget_remaining"],
+            "burn_rate_fast": slo_state["burn_rate_fast"],
+            "burn_rate_slow": slo_state["burn_rate_slow"],
+        }
+    return {"status": "error", "reason": f"unknown admin op {op!r}"}
+
+
 async def serve_tcp(
     server: MicroBatchServer, host: str = "127.0.0.1", port: int = 8765
 ):
@@ -388,8 +482,20 @@ async def serve_tcp(
     ``"scores": true`` for the per-class score vector), answered with one
     response line carrying ``status`` / ``label`` / ``latency_ms`` /
     ``batch_size``.  Malformed lines get ``status="error"`` instead of a
-    dropped connection.  Returns the listening :class:`asyncio.Server`;
-    the caller owns its lifecycle.
+    dropped connection.
+
+    Lines carrying ``"op"`` instead of ``"levels"`` are *admin* requests
+    answered inline, without touching the request queue:
+
+    * ``{"op": "metrics"}`` — full operational snapshot (queue depth,
+      in-flight batch, flush counters, per-stage p50/p95/p99 including
+      worker-merged totals, SLO error-budget state); add
+      ``"format": "prom"`` for Prometheus text exposition in ``"prom"``.
+    * ``{"op": "health"}`` — cheap liveness probe with queue depth and
+      budget burn.
+
+    Returns the listening :class:`asyncio.Server`; the caller owns its
+    lifecycle.
     """
 
     async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
@@ -399,17 +505,20 @@ async def serve_tcp(
                 break
             try:
                 payload = json.loads(line)
-                response = await server.submit(np.asarray(payload["levels"]))
-                out = {
-                    "status": response.status,
-                    "label": response.label,
-                    "latency_ms": response.latency_s * 1e3,
-                    "batch_size": response.batch_size,
-                }
-                if response.reason:
-                    out["reason"] = response.reason
-                if payload.get("scores") and response.scores is not None:
-                    out["scores"] = np.asarray(response.scores).tolist()
+                if isinstance(payload, dict) and "op" in payload:
+                    out = _admin_response(server, payload)
+                else:
+                    response = await server.submit(np.asarray(payload["levels"]))
+                    out = {
+                        "status": response.status,
+                        "label": response.label,
+                        "latency_ms": response.latency_s * 1e3,
+                        "batch_size": response.batch_size,
+                    }
+                    if response.reason:
+                        out["reason"] = response.reason
+                    if payload.get("scores") and response.scores is not None:
+                        out["scores"] = np.asarray(response.scores).tolist()
             except Exception as exc:  # noqa: BLE001 — answer, don't hang up
                 out = {"status": "error", "reason": str(exc)}
             writer.write((json.dumps(out) + "\n").encode("utf-8"))

@@ -50,6 +50,12 @@ from time import perf_counter
 from typing import Iterable
 
 from repro.obs import annotate_span, get_registry, stage_timer, trace_span
+from repro.obs.telemetry import (
+    drain_pool,
+    drain_worker_delta,
+    install_worker_telemetry,
+    merge_delta,
+)
 from repro.runtime.batch import WorkerPool, resolve_workers
 from repro.vsa.kernels import kernel_info
 
@@ -176,9 +182,12 @@ class EvaluationCache:
 _WORKER_STATE: tuple | None = None
 
 
-def _engine_worker_init(objective, space: SearchSpace) -> None:
+def _engine_worker_init(
+    objective, space: SearchSpace, telemetry: bool = False
+) -> None:
     global _WORKER_STATE
     _WORKER_STATE = (objective, space)
+    install_worker_telemetry(telemetry)
 
 
 def _evaluate_parts(
@@ -201,7 +210,7 @@ def _engine_worker_eval(genome: tuple[int, ...]) -> tuple:
     objective, space = _WORKER_STATE
     start = perf_counter()
     fitness, accuracy, penalty = _evaluate_parts(objective, space, genome)
-    return genome, fitness, accuracy, penalty, perf_counter() - start
+    return genome, fitness, accuracy, penalty, perf_counter() - start, drain_worker_delta()
 
 
 class SearchEngine:
@@ -327,11 +336,15 @@ class SearchEngine:
             max_workers=self.workers,
             mp_context=context,
             initializer=_engine_worker_init,
-            initargs=(self.objective, self.space),
+            initargs=(self.objective, self.space, get_registry().enabled),
         )
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the worker pool down (idempotent), draining any metric
+        residue still sitting in process workers first."""
+        executor = self._workerpool.executor
+        if executor is not None and self.executor_kind == "process":
+            drain_pool(executor, get_registry(), self.workers)
         self._workerpool.close()
 
     def __enter__(self) -> "SearchEngine":
@@ -391,11 +404,14 @@ class SearchEngine:
         for genome in pending:
             while True:
                 try:
-                    _, fitness, accuracy, penalty, wall = futures[genome].result()
+                    _, fitness, accuracy, penalty, wall, delta = futures[
+                        genome
+                    ].result()
                     results[genome] = CandidateOutcome(
                         genome, fitness, accuracy, penalty, wall
                     )
                     candidate_hist.observe(wall)
+                    merge_delta(registry, delta)
                     break
                 except BrokenProcessPool:
                     self.stats["broken_pools"] += 1

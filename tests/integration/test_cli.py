@@ -51,6 +51,33 @@ class TestParser:
         assert args.fractions == "0.001,0.01,0.05,0.1"
         assert not args.reference
 
+    def test_top_registered(self):
+        args = build_parser().parse_args(["top", "--port", "9", "--once"])
+        assert args.command == "top"
+        assert args.once and args.port == 9
+        assert args.interval == pytest.approx(2.0)
+
+    def test_obs_export_registered(self):
+        args = build_parser().parse_args(["obs", "export", "--format", "prom"])
+        assert args.command == "obs"
+        assert args.format == "prom"
+        args = build_parser().parse_args(["obs", "export"])
+        assert args.format == "json"
+
+    def test_obs_compare_budget_burn_flag(self):
+        args = build_parser().parse_args(
+            ["obs", "compare", "--max-budget-burn", "0.5"]
+        )
+        assert args.max_budget_burn == pytest.approx(0.5)
+        assert build_parser().parse_args(["obs", "compare"]).max_budget_burn is None
+
+    def test_serve_slo_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--slo-p99-ms", "20", "--slo-availability", "0.99"]
+        )
+        assert args.slo_p99_ms == pytest.approx(20.0)
+        assert args.slo_availability == pytest.approx(0.99)
+
 
 class TestInfo:
     def test_lists_benchmarks(self, capsys):
@@ -337,6 +364,136 @@ class TestObsCompare:
             == 0
         )
         assert "no regressions" in capsys.readouterr().out
+
+
+class TestObsExport:
+    def _seed_ledger(self, path):
+        from repro.obs import Ledger, RunRecord
+
+        Ledger(path).append(
+            RunRecord(
+                kind="bench",
+                task="serve",
+                timestamp=1.0,
+                run_id="bench-serve-1",
+                git_rev="test",
+                metrics={"goodput": 123.0, "slo.budget_consumed": 0.25},
+                stages={
+                    "serve.latency": {
+                        "count": 5, "total_s": 0.5,
+                        "p50_s": 0.1, "p95_s": 0.2, "p99_s": 0.3,
+                    }
+                },
+            )
+        )
+
+    def test_no_records_exits_2(self, capsys, tmp_path):
+        code = main(["obs", "export", "--ledger", str(tmp_path / "none.jsonl")])
+        assert code == 2
+        assert "no ledger records" in capsys.readouterr().err
+
+    def test_json_export_round_trips(self, capsys, tmp_path):
+        import json
+
+        ledger = tmp_path / "ledger.jsonl"
+        self._seed_ledger(ledger)
+        assert main(["obs", "export", "--ledger", str(ledger)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["run_id"] == "bench-serve-1"
+        assert payload["metrics"]["slo.budget_consumed"] == 0.25
+
+    def test_prom_export_to_file(self, capsys, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        self._seed_ledger(ledger)
+        out = tmp_path / "metrics.prom"
+        code = main(
+            [
+                "obs", "export",
+                "--ledger", str(ledger),
+                "--format", "prom",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        text = out.read_text()
+        assert "repro_goodput 123" in text
+        assert "repro_slo_budget_consumed 0.25" in text
+        assert 'repro_serve_latency_seconds{quantile="0.99"} 0.3' in text
+        assert "written to" in capsys.readouterr().out
+
+
+class TestTop:
+    def test_unreachable_daemon_exits_2(self, capsys):
+        import socket
+
+        # Reserve-then-release a port so nothing is listening on it.
+        with socket.socket() as sock:
+            sock.bind(("127.0.0.1", 0))
+            port = sock.getsockname()[1]
+        code = main(["top", "--port", str(port), "--once"])
+        assert code == 2
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_render_frame_shows_queue_slo_and_stages(self):
+        from repro.cli import _render_top
+
+        frame = _render_top(
+            {
+                "queue_depth": 3,
+                "inflight": 8,
+                "draining": False,
+                "counters": {"serve.requests": 10, "serve.answered": 9},
+                "slo": {
+                    "objective": {"p99_ms": 50.0, "availability": 0.999},
+                    "budget_remaining": 0.8,
+                    "burn_rate_fast": 1.5,
+                    "burn_rate_slow": 0.4,
+                },
+                "stages": {
+                    "serve.latency": {
+                        "count": 9, "total_s": 0.1,
+                        "p50_s": 0.01, "p95_s": 0.02, "p99_s": 0.03,
+                    },
+                    "ignored.stage": {
+                        "count": 1, "total_s": 1.0,
+                        "p50_s": 1.0, "p95_s": 1.0, "p99_s": 1.0,
+                    },
+                },
+            }
+        )
+        assert "queue depth" in frame and "3" in frame
+        assert "p99<=50 ms @ 0.999" in frame
+        assert "0.800" in frame
+        assert "serve.latency" in frame
+        assert "ignored.stage" not in frame
+
+
+class TestObsCompareBudgetGate:
+    def _seed(self, path, consumed):
+        from repro.obs import Ledger, RunRecord
+
+        Ledger(path).append(
+            RunRecord(
+                kind="bench",
+                task="serve",
+                timestamp=1.0,
+                run_id=f"bench-serve-{consumed}",
+                git_rev="test",
+                metrics={"slo.budget_consumed": consumed},
+            )
+        )
+
+    def test_burn_over_threshold_exits_1(self, capsys, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        self._seed(ledger, 0.1)
+        self._seed(ledger, 0.9)
+        argv = ["obs", "compare", "--ledger", str(ledger)]
+        assert main(argv + ["--max-budget-burn", "0.5"]) == 1
+        assert "slo.budget_consumed" in capsys.readouterr().out
+        # Without the flag the same ledger passes (budget not gated).
+        assert main(argv) == 0
+        # And a generous threshold waves it through.
+        assert main(argv + ["--max-budget-burn", "0.95"]) == 0
 
 
 class TestSearch:

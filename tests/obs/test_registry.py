@@ -18,6 +18,7 @@ from repro.obs import (
     stage_breakdown,
     stage_timer,
     to_json,
+    to_prometheus,
     using_registry,
 )
 
@@ -279,3 +280,158 @@ class TestExport:
         breakdown = stage_breakdown(self._registry(), prefix="")
         assert set(breakdown) == {"packed.conv", "packed.encode", "other.stage"}
         assert sum(e["share"] for e in breakdown.values()) == pytest.approx(1.0)
+
+
+class TestReservoirSampling:
+    def test_summary_reports_observed_vs_retained(self):
+        h = LatencyHistogram("t", max_samples=8)
+        for value in range(20):
+            h.observe(float(value))
+        summary = h.summary()
+        assert summary["count"] == summary["observed"] == 20
+        assert summary["retained"] == 8
+        # Exact tallies are never affected by sampling.
+        assert summary["total_s"] == pytest.approx(sum(range(20)))
+
+    def test_admission_sequence_is_deterministic_per_name(self):
+        """Same name -> same RNG seed -> identical retained reservoir, in
+        any process (the cross-worker determinism the merge relies on)."""
+
+        def fill(name):
+            h = LatencyHistogram(name, max_samples=16)
+            for value in range(500):
+                h.observe(float(value))
+            return h.samples()
+
+        assert fill("stage.a") == fill("stage.a")
+        assert fill("stage.a") != fill("stage.b")
+
+    def test_reservoir_is_unbiased_over_the_whole_run(self):
+        """Regression for the old sliding-window behaviour: the retained
+        samples must be a uniform draw over *everything* observed, so the
+        reservoir mean tracks the population mean instead of the tail of
+        the stream.  Deterministic given the name-seeded RNG."""
+        n, cap = 20000, 512
+        h = LatencyHistogram("unbiased.check", max_samples=cap)
+        for value in range(n):
+            h.observe(float(value))
+        samples = h.samples()
+        assert len(samples) == cap
+        population_mean = (n - 1) / 2
+        sample_mean = sum(samples) / cap
+        # Uniform-draw std of the mean is ~ n/sqrt(12*cap) ~ 255; allow 4
+        # sigma.  A last-k window would sit at ~19744, off by ~38 sigma.
+        assert abs(sample_mean - population_mean) < 4 * n / (12 * cap) ** 0.5
+        # And both halves of the stream are represented.
+        assert min(samples) < n / 4
+        assert max(samples) > 3 * n / 4
+
+    def test_merge_counts_exact_samples_reoffered(self):
+        a = LatencyHistogram("m", max_samples=4)
+        for value in (1.0, 2.0, 3.0, 4.0):
+            a.observe(value)
+        b_samples = [10.0, 20.0]
+        a.merge_samples(b_samples, count=50, total=700.0)
+        assert a.count == 54
+        assert a.total_seconds == pytest.approx(710.0)
+        summary = a.summary()
+        assert summary["observed"] == 54
+        assert summary["retained"] <= 4
+
+
+class TestResetHammer:
+    def test_reset_under_concurrent_recording_never_corrupts(self):
+        """Hammer reset() while other threads record: no exceptions, and
+        every surviving instrument is internally consistent."""
+        registry = MetricsRegistry()
+        stop = threading.Event()
+        errors = []
+
+        def record():
+            try:
+                while not stop.is_set():
+                    registry.counter("hammer.count").add()
+                    registry.histogram("hammer.lat").observe(0.001)
+                    registry.gauge("hammer.depth").set(1.0)
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        workers = [threading.Thread(target=record) for _ in range(4)]
+        for t in workers:
+            t.start()
+        for _ in range(200):
+            registry.reset()
+        stop.set()
+        for t in workers:
+            t.join()
+        assert not errors
+        # Post-reset instruments are fresh and structurally sound.
+        registry.reset()
+        assert registry.counters() == {}
+        registry.histogram("hammer.lat").observe(0.002)
+        summary = registry.histogram("hammer.lat").summary()
+        assert summary["count"] == 1 and summary["retained"] == 1
+
+
+class TestPrometheus:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.requests").add(12)
+        registry.gauge("serve.queue_depth").set(4.0)
+        registry.histogram("packed.encode").observe(0.1)
+        registry.histogram("packed.encode").observe(0.3)
+        return registry
+
+    def test_families_and_values(self):
+        text = to_prometheus(self._registry())
+        assert "# TYPE repro_serve_requests_total counter" in text
+        assert "repro_serve_requests_total 12" in text
+        assert "# TYPE repro_serve_queue_depth gauge" in text
+        assert "repro_serve_queue_depth 4" in text
+        assert "# TYPE repro_packed_encode_seconds summary" in text
+        p50_line = next(
+            line for line in text.splitlines()
+            if line.startswith('repro_packed_encode_seconds{quantile="0.5"}')
+        )
+        assert float(p50_line.split()[-1]) == pytest.approx(0.2)
+        sum_line = next(
+            line for line in text.splitlines()
+            if line.startswith("repro_packed_encode_seconds_sum")
+        )
+        assert float(sum_line.split()[-1]) == pytest.approx(0.4)
+        assert "repro_packed_encode_seconds_count 2" in text
+        assert text.endswith("\n")
+
+    def test_names_are_sanitized(self):
+        registry = MetricsRegistry()
+        registry.gauge("kernels.pack_packbits.w123").set(1.0)
+        text = to_prometheus(registry)
+        assert "repro_kernels_pack_packbits_w123 1" in text
+
+    def test_record_export_exposes_metrics_as_gauges(self):
+        from repro.obs import RunRecord, record_to_prometheus
+
+        record = RunRecord(
+            kind="bench",
+            task="serve",
+            timestamp=1.0,
+            run_id="r1",
+            git_rev="test",
+            metrics={
+                "accuracy": 0.9,
+                "slo.budget_consumed": 0.25,
+                "note": "skip-me",
+            },
+            stages={
+                "serve.latency": {
+                    "count": 5, "total_s": 0.5,
+                    "p50_s": 0.1, "p95_s": 0.2, "p99_s": 0.3,
+                }
+            },
+        )
+        text = record_to_prometheus(record)
+        assert "repro_accuracy 0.9" in text
+        assert "repro_slo_budget_consumed 0.25" in text
+        assert "skip-me" not in text
+        assert 'repro_serve_latency_seconds{quantile="0.99"} 0.3' in text
+        assert "repro_serve_latency_seconds_count 5" in text

@@ -1,0 +1,196 @@
+"""SLO objectives and rolling-window error-budget accounting."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.slo import SLO, SLOTracker
+
+
+class FakeClock:
+    """Injectable monotonic clock so window math is deterministic."""
+
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+def _tracker(clock, **overrides):
+    defaults = dict(
+        p99_ms=10.0,
+        availability=0.9,
+        window_s=100.0,
+        fast_burn_s=10.0,
+        slow_burn_s=50.0,
+    )
+    defaults.update(overrides)
+    return SLOTracker(SLO(**defaults), clock=clock)
+
+
+class TestSLO:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="p99_ms"):
+            SLO(p99_ms=0.0)
+        with pytest.raises(ValueError, match="availability"):
+            SLO(availability=1.0)
+        with pytest.raises(ValueError, match="availability"):
+            SLO(availability=0.0)
+        with pytest.raises(ValueError, match="window_s"):
+            SLO(window_s=-1.0)
+        with pytest.raises(ValueError, match="fast_burn_s"):
+            SLO(fast_burn_s=0.0)
+        with pytest.raises(ValueError, match="slow_burn_s"):
+            SLO(window_s=100.0, slow_burn_s=200.0)
+
+    def test_budget_fraction(self):
+        assert SLO(availability=0.999).budget_fraction == pytest.approx(0.001)
+
+    def test_from_env_reads_all_knobs(self):
+        slo = SLO.from_env(
+            {
+                "REPRO_SLO_P99_MS": "20",
+                "REPRO_SLO_AVAILABILITY": "0.99",
+                "REPRO_SLO_WINDOW_S": "600",
+                "REPRO_SLO_FAST_S": "30",
+                "REPRO_SLO_SLOW_S": "300",
+            }
+        )
+        assert slo == SLO(
+            p99_ms=20.0,
+            availability=0.99,
+            window_s=600.0,
+            fast_burn_s=30.0,
+            slow_burn_s=300.0,
+        )
+
+    def test_from_env_garbage_keeps_defaults(self):
+        assert SLO.from_env(
+            {"REPRO_SLO_P99_MS": "lots", "REPRO_SLO_AVAILABILITY": ""}
+        ) == SLO()
+
+    def test_as_dict_round_trips(self):
+        payload = SLO().as_dict()
+        assert SLO(**payload) == SLO()
+
+
+class TestRecording:
+    def test_bad_event_taxonomy(self):
+        clock = FakeClock()
+        tracker = _tracker(clock)
+        assert not tracker.record(0.005)  # fast and ok
+        assert tracker.record(0.005, ok=False)  # failed/shed
+        assert tracker.record(0.050)  # ok but over the 10 ms p99 target
+        tracker.record_client_error()  # quarantined: never budget-relevant
+        state = tracker.state()
+        assert state["events"] == 3
+        assert state["bad_events"] == 2
+        assert state["failures"] == 1
+        assert state["latency_breaches"] == 1
+        assert state["client_errors"] == 1
+
+    def test_idle_service_burns_nothing(self):
+        tracker = _tracker(FakeClock())
+        assert tracker.budget_consumed() == 0.0
+        assert tracker.budget_remaining() == 1.0
+        assert tracker.burn_rate() == 0.0
+
+    def test_budget_consumed_math(self):
+        clock = FakeClock()
+        tracker = _tracker(clock)  # availability 0.9 -> 10% budget
+        for _ in range(18):
+            tracker.record(0.001)
+        tracker.record(0.001, ok=False)
+        tracker.record(0.001, ok=False)
+        # 2 bad / 20 total = 10% bad rate = exactly the whole budget.
+        assert tracker.budget_consumed() == pytest.approx(1.0)
+        assert tracker.budget_remaining() == pytest.approx(0.0)
+
+    def test_window_pruning_forgives_old_badness(self):
+        clock = FakeClock()
+        tracker = _tracker(clock)
+        tracker.record(0.001, ok=False)
+        for _ in range(9):
+            tracker.record(0.001)
+        assert tracker.budget_consumed() == pytest.approx(1.0)
+        # The bad event ages past the 100 s window; later good traffic stays.
+        clock.advance(60.0)
+        for _ in range(10):
+            tracker.record(0.001)
+        clock.advance(50.0)
+        state = tracker.state()
+        assert state["events"] == 10
+        assert state["bad_events"] == 0
+        assert state["budget_consumed"] == 0.0
+        # Lifetime tallies are never pruned.
+        assert state["failures"] == 1
+
+    def test_fast_and_slow_burn_horizons(self):
+        clock = FakeClock(t=1000.0)
+        tracker = _tracker(clock)  # fast 10 s, slow 50 s, budget 10%
+        # Old window segment: clean traffic 40 s ago.
+        clock.t = 1000.0
+        for _ in range(10):
+            tracker.record(0.001)
+        # Recent segment: half the traffic is bad.
+        clock.t = 1038.0
+        for _ in range(5):
+            tracker.record(0.001)
+            tracker.record(0.001, ok=False)
+        clock.t = 1040.0
+        # Fast horizon (last 10 s) sees only the bad segment: 50% bad
+        # rate over a 10% budget = burn 5; the slow horizon dilutes it.
+        assert tracker.burn_rate(10.0) == pytest.approx(5.0)
+        assert tracker.burn_rate(50.0) == pytest.approx((5 / 20) / 0.1)
+        state = tracker.state()
+        assert state["burn_rate_fast"] == pytest.approx(5.0)
+        assert state["burn_rate_slow"] == pytest.approx(2.5)
+
+    def test_reset_drops_everything(self):
+        tracker = _tracker(FakeClock())
+        tracker.record(0.001, ok=False)
+        tracker.record_client_error()
+        tracker.reset()
+        state = tracker.state()
+        assert state["events"] == 0
+        assert state["client_errors"] == 0
+        assert tracker.budget_consumed() == 0.0
+
+
+class TestPublish:
+    def test_publish_mirrors_state_into_slo_gauges(self):
+        registry = MetricsRegistry()
+        tracker = _tracker(FakeClock())
+        tracker.record(0.001)
+        tracker.record(0.001, ok=False)
+        state = tracker.publish(registry)
+        gauges = registry.gauges()
+        assert gauges["slo.events"].value == 2
+        assert gauges["slo.bad_events"].value == 1
+        assert gauges["slo.budget_consumed"].value == pytest.approx(
+            state["budget_consumed"]
+        )
+        assert gauges["slo.budget_remaining"].value == pytest.approx(
+            state["budget_remaining"]
+        )
+        assert gauges["slo.objective.p99_ms"].value == 10.0
+        assert gauges["slo.objective.availability"].value == 0.9
+
+    def test_published_gauges_reach_the_ledger_harvest(self, tmp_path):
+        from repro.obs import record_run
+
+        registry = MetricsRegistry()
+        tracker = _tracker(FakeClock())
+        tracker.record(0.001, ok=False)
+        tracker.publish(registry)
+        record = record_run(
+            "bench",
+            "serve",
+            registry=registry,
+            ledger_path=tmp_path / "ledger.jsonl",
+        )
+        assert record.metrics["slo.events"] == 1
+        assert record.metrics["slo.budget_consumed"] == pytest.approx(10.0)

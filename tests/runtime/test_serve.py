@@ -376,6 +376,147 @@ class TestServeTCP:
         assert err["status"] == "error" and err["reason"]
 
 
+class TestSLOAccounting:
+    def test_ok_failed_and_quarantined_requests_hit_the_right_buckets(self):
+        """Served rows are good, failed rows burn budget, quarantined
+        rows are client errors that never touch availability."""
+        runner = _ScriptedRunner(behavior="partial")
+        registry = MetricsRegistry()
+
+        async def scenario():
+            policy = ServePolicy(max_batch=4, deadline_ms=200.0, flush_margin_ms=0.0)
+            async with MicroBatchServer(runner, policy) as server:
+                responses = await server.submit_many(np.zeros((3,) + SHAPE))
+                return responses, server.slo.state()
+
+        with using_registry(registry):
+            responses, state = asyncio.run(scenario())
+        statuses = sorted(r.status for r in responses)
+        assert statuses == ["failed", "ok", "ok"]
+        assert state["events"] == 3  # quarantine would be excluded here
+        assert state["failures"] == 1
+        assert registry.gauge("slo.failures").value == 1
+
+    def test_shed_request_burns_budget_and_gauges_publish(self):
+        runner = _ScriptedRunner()
+        registry = MetricsRegistry()
+
+        async def scenario():
+            policy = ServePolicy(max_batch=4, deadline_ms=200.0, flush_margin_ms=0.0)
+            async with MicroBatchServer(runner, policy) as server:
+                await server.submit(np.zeros(SHAPE))
+                server._closing = True  # draining: next arrival is shed
+                shed = await server.submit(np.zeros(SHAPE))
+                server._closing = False
+                return server.slo.state(), shed
+
+        with using_registry(registry):
+            state, shed = asyncio.run(scenario())
+        assert shed.status == "rejected"
+        assert state["events"] == 2
+        assert state["failures"] == 1
+        assert state["bad_events"] >= 1
+        # publish() ran at batch completion: slo.* gauges are live.
+        assert registry.gauge("slo.events").value >= 1
+
+    def test_server_accepts_explicit_slo_and_tracker(self):
+        from repro.obs.slo import SLO, SLOTracker
+
+        runner = _ScriptedRunner()
+        slo = SLO(p99_ms=5.0, availability=0.95)
+        server = MicroBatchServer(runner, slo=slo)
+        assert server.slo.slo == slo
+        tracker = SLOTracker(slo)
+        assert MicroBatchServer(runner, slo=tracker).slo is tracker
+
+
+class TestAdminPlane:
+    def test_admin_snapshot_shape(self):
+        runner = _ScriptedRunner()
+        registry = MetricsRegistry()
+
+        async def scenario():
+            policy = ServePolicy(max_batch=2, deadline_ms=100.0, flush_margin_ms=0.0)
+            async with MicroBatchServer(runner, policy) as server:
+                await server.submit_many(np.zeros((2,) + SHAPE))
+                return server.admin_snapshot()
+
+        with using_registry(registry):
+            snap = asyncio.run(scenario())
+        assert snap["queue_depth"] == 0
+        assert snap["inflight"] == 0
+        assert snap["draining"] is False
+        assert snap["policy"]["max_batch"] == 2
+        assert snap["counters"]["serve.answered"] == 2
+        assert "serve.latency" in snap["stages"]
+        assert 0.0 <= snap["slo"]["budget_remaining"] <= 1.0
+
+    def test_metrics_and_health_ops_over_tcp(self, engine):
+        """The NDJSON front end answers admin ops inline — including the
+        Prometheus format and an unknown-op error — without queueing."""
+        from repro.obs.slo import SLO
+
+        sample = _samples(1, seed=6)[0]
+        # A generous p99 target keeps the assertion deterministic on a
+        # loaded machine: one fast request must leave the budget whole.
+        slo = SLO(p99_ms=60_000.0, availability=0.5)
+
+        async def scenario():
+            policy = ServePolicy(max_batch=4, deadline_ms=30.0, flush_margin_ms=0.0)
+            with ResilientBatchRunner(engine, policy=FAST, workers=1) as runner:
+                async with MicroBatchServer(runner, policy, slo=slo) as server:
+                    tcp = await serve_tcp(server, host="127.0.0.1", port=0)
+                    port = tcp.sockets[0].getsockname()[1]
+                    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+
+                    async def ask(payload):
+                        writer.write((json.dumps(payload) + "\n").encode())
+                        await writer.drain()
+                        return json.loads(await reader.readline())
+
+                    served = await ask({"levels": sample.tolist()})
+                    metrics = await ask({"op": "metrics"})
+                    prom = await ask({"op": "metrics", "format": "prom"})
+                    health = await ask({"op": "health"})
+                    unknown = await ask({"op": "selfdestruct"})
+                    writer.close()
+                    await writer.wait_closed()
+                    tcp.close()
+                    await tcp.wait_closed()
+                    return served, metrics, prom, health, unknown
+
+        with using_registry(MetricsRegistry()):
+            served, metrics, prom, health, unknown = asyncio.run(scenario())
+        assert served["status"] == "ok"
+        assert metrics["status"] == "ok" and metrics["op"] == "metrics"
+        assert metrics["counters"]["serve.answered"] == 1
+        assert "serve.latency" in metrics["stages"]
+        assert metrics["slo"]["events"] == 1
+        assert "queue_depth" in metrics
+        assert "repro_serve_answered_total 1" in prom["prom"]
+        assert health["status"] == "ok" and health["healthy"] is True
+        assert health["budget_remaining"] == pytest.approx(1.0)
+        assert unknown["status"] == "error"
+        assert "selfdestruct" in unknown["reason"]
+
+    def test_admin_requests_never_touch_the_queue(self):
+        """Admin ops on a draining (rejecting) server still answer."""
+        from repro.runtime.serve import _admin_response
+
+        runner = _ScriptedRunner()
+
+        async def scenario():
+            async with MicroBatchServer(runner) as server:
+                server._closing = True
+                out = _admin_response(server, {"op": "health"})
+                server._closing = False
+                return out
+
+        with using_registry(MetricsRegistry()):
+            out = asyncio.run(scenario())
+        assert out["healthy"] is False and out["draining"] is True
+
+
 class TestChaosServing:
     def test_injected_shard_raise_does_not_change_answers(self, engine):
         """A first-attempt ChaosError on shard 0 of every micro-batch is
