@@ -305,7 +305,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench_throughput(args: argparse.Namespace) -> int:
-    """Measure packed.classify samples/sec (seed vs fast vs parallel)."""
+    """Measure packed.classify samples/sec (seed/fast/fused/parallel/shm)."""
     import json
     from pathlib import Path
 
@@ -324,6 +324,7 @@ def _cmd_bench_throughput(args: argparse.Namespace) -> int:
         n_test=args.n_test,
         epochs=args.epochs,
         seed=args.seed,
+        shm=False if args.no_shm else None,
     )
     print(report.render())
     json_path = args.json or f"{args.benchmark}-throughput.json"
@@ -1045,7 +1046,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser(
         "bench-throughput",
-        help="samples/sec of packed.classify: seed vs fast kernels vs worker pool",
+        help="samples/sec of packed.classify: seed vs fast vs fused vs "
+        "worker pool vs zero-copy shm pool",
     )
     bench.add_argument("benchmark")
     bench.add_argument("--batch", type=int, default=256, help="workload batch size")
@@ -1056,6 +1058,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--executor", choices=("thread", "process"), default="thread",
         help="worker pool kind (default thread)",
+    )
+    bench.add_argument(
+        "--no-shm", action="store_true",
+        help="pickle shards to process workers instead of the zero-copy "
+        "shared-memory handoff (the shm engine stage still runs, degraded)",
     )
     bench.add_argument("--n-train", type=int, default=120)
     bench.add_argument("--n-test", type=int, default=60)

@@ -11,7 +11,7 @@ popcount adder trees do.
 * **Encoding**: reduction over the O channel axis per position.
 * **Similarity**: reduction over the W*L position axis per class and voter.
 
-The engine has two modes:
+The engine has three modes:
 
 * ``mode="fast"`` (default) never materializes the (B, P, C*K*K) int8
   operand block.  The per-level ValueBox rows are packed **once** at
@@ -21,9 +21,22 @@ The engine has two modes:
   multiply-accumulate — and the conv match loop runs over bounded batch
   tiles so peak memory is O(tile), not O(batch).  The feature map stays
   a packed bit tensor end to end.
+* ``mode="fused"`` runs the **whole** pipeline — DVP gather, biconv
+  match, encode, similarity — one batch tile at a time, so every
+  intermediate of a tile is still cache-resident when the next stage
+  consumes it (`conv_tile_mb` defaults down to a cache-sized budget).
+  The conv match itself goes through the active kernel set's
+  ``match_builder`` — per-tap 256-entry XOR-popcount byte LUTs on the
+  fast set — and the threshold compare collapses to a single integer
+  comparison in XOR-count space (see ``_init_fused``).  Bit-exact with
+  the other modes by construction and by the property suite.
 * ``mode="legacy"`` preserves the seed engine's per-call block packing;
   it exists as the baseline for ``python -m repro bench-throughput`` and
   as a second implementation the property tests cross-check.
+
+``traffic_model()`` exposes the analytic bytes-moved / popcount-ops per
+sample of the selected mode — the roofline numbers the throughput bench
+publishes as ``packed.traffic.*`` gauges.
 
 Bit-exact equivalence between both modes, the integer path
 (`UniVSAArtifacts`), and the trained graph is enforced by tests — this
@@ -43,6 +56,7 @@ domain scan would otherwise dominate small-batch latency.
 
 from __future__ import annotations
 
+import math
 import os
 
 import numpy as np
@@ -58,6 +72,40 @@ __all__ = ["BitPackedUniVSA"]
 
 #: Default budget for the conv match intermediates of one batch tile.
 _DEFAULT_CONV_TILE_MB = 64.0
+
+#: Fused-mode default: the whole point of fusion is cache-resident
+#: intermediates, so the tile budget defaults to L2-cache scale rather
+#: than the fast mode's working-set bound.
+_DEFAULT_FUSED_TILE_MB = 2.0
+
+_ENGINE_MODES = ("fast", "fused", "legacy")
+
+
+def _resolve_conv_tile_mb(value, mode: str) -> float:
+    """Validate the conv tile budget, loudly.
+
+    A zero, negative, non-finite, or non-numeric budget used to be
+    silently clamped into a degenerate tile size; now it is a
+    configuration error naming its source (argument or
+    ``REPRO_CONV_TILE_MB``).
+    """
+    if value is None:
+        raw = os.environ.get("REPRO_CONV_TILE_MB")
+        if raw is None or not raw.strip():
+            return _DEFAULT_FUSED_TILE_MB if mode == "fused" else _DEFAULT_CONV_TILE_MB
+        source = f"REPRO_CONV_TILE_MB={raw.strip()!r}"
+        value = raw
+    else:
+        source = f"conv_tile_mb={value!r}"
+    try:
+        budget = float(value)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{source} is not a number; expected a positive tile budget in MB"
+        ) from None
+    if not math.isfinite(budget) or budget <= 0.0:
+        raise ValueError(f"{source} must be a positive, finite number of MB")
+    return budget
 
 
 def _pack_bytes(vectors: np.ndarray) -> np.ndarray:
@@ -94,9 +142,10 @@ def _matches_against_inverted(words: np.ndarray, inverted: np.ndarray, dim: int)
 class BitPackedUniVSA:
     """Packed-word inference over exported UniVSA artifacts.
 
-    ``mode`` selects the stage pipeline (``"fast"`` or ``"legacy"``, env
-    default ``REPRO_ENGINE``); ``conv_tile_mb`` bounds the conv stage's
-    match intermediates per batch tile (env ``REPRO_CONV_TILE_MB``).
+    ``mode`` selects the stage pipeline (``"fast"``, ``"fused"`` or
+    ``"legacy"``, env default ``REPRO_ENGINE``); ``conv_tile_mb`` bounds
+    the per-tile intermediates (env ``REPRO_CONV_TILE_MB``; must be a
+    positive finite number — anything else raises at construction).
     """
 
     def __init__(
@@ -107,14 +156,12 @@ class BitPackedUniVSA:
     ) -> None:
         if mode is None:
             mode = os.environ.get("REPRO_ENGINE", "fast").strip().lower()
-        if mode not in ("fast", "legacy"):
-            raise ValueError(f"unknown engine mode {mode!r}; expected 'fast' or 'legacy'")
-        if conv_tile_mb is None:
-            conv_tile_mb = float(
-                os.environ.get("REPRO_CONV_TILE_MB", _DEFAULT_CONV_TILE_MB)
+        if mode not in _ENGINE_MODES:
+            raise ValueError(
+                f"unknown engine mode {mode!r}; expected one of {_ENGINE_MODES}"
             )
         self.mode = mode
-        self.conv_tile_mb = conv_tile_mb
+        self.conv_tile_mb = _resolve_conv_tile_mb(conv_tile_mb, mode)
         self.artifacts = artifacts
         self.input_shape = artifacts.input_shape
         self.positions = artifacts.positions
@@ -139,8 +186,10 @@ class BitPackedUniVSA:
         self._class_packed, self._sim_bits = pack_bipolar(artifacts.class_vectors)
         self._channels = channels
 
-        if mode == "fast":
+        if mode in ("fast", "fused"):
             self._init_fast()
+        if mode == "fused":
+            self._init_fused()
 
     # ------------------------------------------------------------------
     # fast-mode precomputation: packed ValueBox rows + operand-order kernel
@@ -187,6 +236,106 @@ class BitPackedUniVSA:
             half = (np.asarray(self._thresholds, dtype=np.float64) + n_bits) / 2.0
             self._conv_match_hi = np.ceil(half).astype(np.int64) + pad_bits
             self._conv_match_lo = np.floor(half).astype(np.int64) + pad_bits
+
+    # ------------------------------------------------------------------
+    # fused-mode precomputation: byte-level kernel taps + XOR-space bounds
+    # ------------------------------------------------------------------
+    def _init_fused(self) -> None:
+        """Build the fused conv matcher on top of the fast-mode state.
+
+        The matcher comes from the active kernel set's ``match_builder``
+        over the kernel tap bytes in operand order, returning XOR bit
+        counts ``x`` instead of raw matches.  With ``n`` true bits the
+        accumulation is ``n - 2x``, so the threshold compare becomes a
+        *single* integer comparison: ``acc >= t  <=>  x <= floor((n-t)/2)``
+        and (flipped channels) ``acc <= t  <=>  x >= ceil((n-t)/2)``.
+        Folding the flip into ``bound = xor_lo - 1`` and XOR-ing the
+        comparison result with the flip mask avoids materializing two
+        boolean planes per tile.  Byte padding bits are zero on both the
+        operand and the tap side, so they add no XOR counts.
+        """
+        artifacts = self.artifacts
+        if artifacts.kernel is None:
+            self._fused_matcher = None
+            return
+        kernel = artifacts.kernel  # (O, C, k, k)
+        o, c, k, _ = kernel.shape
+        taps = _pack_bytes(kernel.transpose(0, 2, 3, 1))  # (O, k, k, nb)
+        self._kernel_tap_bytes = np.ascontiguousarray(taps.reshape(o, -1))
+        n_bits = c * k * k
+        half = (n_bits - np.asarray(self._thresholds, dtype=np.float64)) / 2.0
+        xor_hi = np.floor(half).astype(np.int64)
+        xor_lo = np.ceil(half).astype(np.int64)
+        flips = np.asarray(self._flips).astype(bool)
+        self._fused_bound = np.where(flips, xor_lo - 1, xor_hi)
+        self._fused_flip = flips
+        self._fused_matcher = get_kernels().match_builder(self._kernel_tap_bytes)
+
+    def _fused_tile(self) -> int:
+        """Batch-tile size keeping one tile's *entire* pipeline in budget."""
+        kernel = self.artifacts.kernel
+        p = self.positions
+        if kernel is None:
+            per_sample = p * 16
+        else:
+            o, _, k, _ = kernel.shape
+            nb = self._kernel_tap_bytes.shape[-1] // (k * k)
+            # operand bytes + uint16 XOR counts + the match gather's uint8
+            # plane + the fires plane, per (position, out-channel).
+            per_sample = p * (o * 4 + k * k * nb + 16)
+        budget = self.conv_tile_mb * (1 << 20)
+        return max(1, int(budget // max(per_sample, 1)))
+
+    def _scores_fused(self, levels: np.ndarray) -> np.ndarray:
+        """The single-pass pipeline: every stage per tile, then the next tile."""
+        levels = np.asarray(levels).reshape((-1,) + self.input_shape)
+        b = levels.shape[0]
+        registry = get_registry()
+        registry.counter("packed.samples").add(b)
+        n_classes = self._class_inv.shape[1]
+        out = np.empty((b, n_classes), dtype=np.int64)
+        kernel = self.artifacts.kernel
+        if kernel is not None:
+            k = kernel.shape[2]
+            pad = k // 2
+        tile = self._fused_tile()
+        h, w = self.input_shape
+        n_tiles = 0
+        for start in range(0, b, tile):
+            stop = min(start + tile, b)
+            n_tiles += 1
+            with stage_timer("packed.dvp"):
+                volume_bytes = self._dvp_bytes(levels[start:stop])
+            if kernel is not None:
+                with stage_timer("packed.biconv"):
+                    padded = np.pad(
+                        volume_bytes, ((0, 0), (pad, pad), (pad, pad), (0, 0))
+                    )
+                    windows = sliding_window_view(padded, (k, k), axis=(1, 2))
+                    operand = windows.transpose(0, 1, 2, 4, 5, 3).reshape(
+                        stop - start, h * w, -1
+                    )
+                    counts = self._fused_matcher(operand)  # (T, P, O) XOR bits
+                    fires = (counts <= self._fused_bound) ^ self._fused_flip
+                feature_words = _bytes_to_words(_pack_bytes(fires))
+            else:
+                feature_words = _bytes_to_words(
+                    volume_bytes.reshape(stop - start, self.positions, -1)
+                )
+            with stage_timer("packed.encode"):
+                matches = _matches_against_inverted(
+                    feature_words, self._feature_inv[None], self._enc_bits
+                )
+                s = np.where(2 * matches - self._enc_bits >= 0, 1, -1).astype(np.int8)
+            with stage_timer("packed.similarity"):
+                packed = _bytes_to_words(_pack_bytes(s))
+                sims = _matches_against_inverted(
+                    packed[:, None, None, :], self._class_inv[None], self._sim_bits
+                )
+                out[start:stop] = (2 * sims - self._sim_bits).sum(axis=1)
+        registry.counter("packed.fused.tiles").add(n_tiles)
+        registry.gauge("packed.fused.tile_size").set(tile)
+        return out
 
     # ------------------------------------------------------------------
     # fast-mode stages
@@ -353,20 +502,114 @@ class BitPackedUniVSA:
             conv_tile_mb=self.conv_tile_mb if conv_tile_mb is None else conv_tile_mb,
         )
 
+    def traffic_model(self, batch: int = 256) -> dict:
+        """Analytic memory-traffic / op-count model of this mode (roofline).
+
+        Per-sample estimates of what the stage pipeline *touches* in
+        intermediate arrays (reads + writes at ufunc granularity, bytes),
+        how many 64-bit popcount ops and byte-LUT lookups it issues, and
+        the peak intermediate footprint one scheduling unit holds (a
+        conv/fused tile, or the whole ``batch`` in legacy mode).  The
+        footprint is the roofline's x-axis: a pipeline whose tile
+        footprint fits in cache pays DRAM only for its inputs, one that
+        does not pays DRAM for every intermediate pass.
+        """
+        p = self.positions
+        theta, n_classes = self._class_packed.shape[:2]
+        ws = self._class_packed.shape[-1]
+        wf = self._feature_packed.shape[-1]
+        kernel = self.artifacts.kernel
+        # Encode + similarity: XOR/popcount against the feature words,
+        # then pack + XOR/popcount against the class words (per sample).
+        tail_bytes = p * wf * 18 + p * 2 + theta * n_classes * ws * 18
+        tail_pops = p * wf + theta * n_classes * ws
+        if kernel is None:
+            model = {
+                "bytes_per_sample": float(tail_bytes),
+                "popcounts_per_sample": float(tail_pops),
+                "lut_lookups_per_sample": 0.0,
+                "tile_samples": int(batch),
+                "peak_intermediate_mb": batch * p * 18 / (1 << 20),
+            }
+        else:
+            o, c, k, _ = kernel.shape
+            nb = -(-c // 8)
+            block_bytes = k * k * nb  # packed conv operand bytes per position
+            wc = -(-block_bytes // 8)
+            if self.mode == "fused":
+                # Gather-accumulate: 1 operand byte read + O table-row
+                # gathers + O uint16 accumulator read-modify-writes per
+                # block byte; no XOR word plane exists at all.
+                conv_bytes = 2 * p * block_bytes + p * block_bytes * (1 + 5 * o)
+                conv_pops = 0
+                lut = p * o * block_bytes
+                tile = self._fused_tile()
+                peak = tile * p * (o * 4 + block_bytes + 16)
+            elif self.mode == "fast":
+                # Word loop: per (position, channel, word) an 8-byte XOR
+                # temp is written and re-read, popcounted to a uint8, and
+                # accumulated into a uint16.
+                conv_bytes = 2 * p * block_bytes + p * o * wc * 22
+                conv_pops = p * o * wc
+                lut = 0
+                tile = self._conv_tile(p, o)
+                peak = tile * p * o * 11
+            else:
+                # Legacy materializes the int8 operand block and packs it
+                # per call, then runs the same word-loop match broadcast.
+                conv_bytes = 2 * p * c * k * k + p * wc * 16 + p * o * wc * 24
+                conv_pops = p * o * wc
+                lut = 0
+                tile = int(batch)
+                peak = batch * p * (c * k * k + o * wc * 17)
+            model = {
+                "bytes_per_sample": float(conv_bytes + tail_bytes),
+                "popcounts_per_sample": float(conv_pops + tail_pops),
+                "lut_lookups_per_sample": float(lut),
+                "tile_samples": int(tile),
+                "peak_intermediate_mb": peak / (1 << 20),
+            }
+        model["mode"] = self.mode
+        return model
+
+    def publish_traffic_metrics(self, registry=None, batch: int = 256) -> None:
+        """Record the traffic model as ``packed.traffic.*`` gauges."""
+        if registry is None:
+            registry = get_registry()
+        model = self.traffic_model(batch=batch)
+        registry.gauge("packed.traffic.bytes_per_sample").set(
+            model["bytes_per_sample"]
+        )
+        registry.gauge("packed.traffic.popcounts_per_sample").set(
+            model["popcounts_per_sample"]
+        )
+        registry.gauge("packed.traffic.lut_lookups_per_sample").set(
+            model["lut_lookups_per_sample"]
+        )
+        registry.gauge("packed.traffic.peak_intermediate_mb").set(
+            model["peak_intermediate_mb"]
+        )
+
     def encode(self, levels: np.ndarray) -> np.ndarray:
-        """Levels (B, W, L) -> bipolar sample vectors (B, W*L)."""
-        if self.mode == "fast":
+        """Levels (B, W, L) -> bipolar sample vectors (B, W*L).
+
+        Fused mode reuses the fast encode path here: fusion is a
+        *schedule* over bit-identical stages, and a caller asking for
+        the intermediate representation wants the whole batch anyway.
+        """
+        if self.mode in ("fast", "fused"):
             return self._encode_fast(levels)
         return self._encode_legacy(levels)
 
     def scores(self, levels: np.ndarray) -> np.ndarray:
         """Soft-voting class scores (B, n_classes)."""
         with trace_span("packed.classify"):
-            s = self.encode(levels)
-            if self.mode == "fast":
-                scores = self._similarity_stage_fast(s)
+            if self.mode == "fused":
+                scores = self._scores_fused(levels)
+            elif self.mode == "fast":
+                scores = self._similarity_stage_fast(self.encode(levels))
             else:
-                scores = self._similarity_stage(s)
+                scores = self._similarity_stage(self.encode(levels))
             record_soft_vote_margins(scores)
             annotate_span(batch=scores.shape[0])
             return scores

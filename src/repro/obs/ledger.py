@@ -31,10 +31,13 @@ from .registry import MetricsRegistry, NullRegistry
 __all__ = [
     "DEFAULT_LEDGER_PATH",
     "MARGIN_HISTOGRAM",
+    "FUSED_NAMESPACE",
     "RESILIENCE_NAMESPACE",
     "SEARCH_NAMESPACE",
     "SERVE_NAMESPACE",
+    "SHM_NAMESPACE",
     "SLO_NAMESPACE",
+    "TRAFFIC_NAMESPACE",
     "RunRecord",
     "Ledger",
     "config_hash",
@@ -88,6 +91,20 @@ SEARCH_NAMESPACE = "search."
 #: its admission-control accounting — shed requests included — without
 #: the bench threading the counts through by hand.
 SERVE_NAMESPACE = "serve."
+
+#: Counter namespace the zero-copy shard handoff records into
+#: (``batch.shm.{segments,bytes_shared,attach}`` plus the non-shm path's
+#: ``batch.bytes_pickled``).  Harvested into every record, so a serve or
+#: chaos ledger entry shows whether batches moved by name or by pickle —
+#: and how many segments a crash-recovery run had to re-share.
+SHM_NAMESPACE = "batch.shm."
+
+#: Counter/gauge namespace the fused single-pass datapath records into
+#: (``packed.fused.{tiles,tile_size}`` and the published analytic
+#: roofline gauges ``packed.traffic.*``).  Harvested so data-movement
+#: regressions are gateable next to throughput.
+FUSED_NAMESPACE = "packed.fused."
+TRAFFIC_NAMESPACE = "packed.traffic."
 
 #: Gauge namespace :meth:`repro.obs.slo.SLOTracker.publish` mirrors the
 #: error-budget state into (``slo.budget_consumed``, ``slo.burn_rate_*``,
@@ -265,6 +282,10 @@ def record_run(
         harvested.update(registry.gauge_values(SERVE_NAMESPACE))
         harvested.update(registry.counter_values(SLO_NAMESPACE))
         harvested.update(registry.gauge_values(SLO_NAMESPACE))
+        harvested.update(registry.counter_values(SHM_NAMESPACE))
+        harvested.update(registry.counter_values(FUSED_NAMESPACE))
+        harvested.update(registry.gauge_values(FUSED_NAMESPACE))
+        harvested.update(registry.gauge_values(TRAFFIC_NAMESPACE))
         for name, value in harvested.items():
             all_metrics.setdefault(name, value)
     record = RunRecord(

@@ -24,6 +24,7 @@ from .resilience import (
     validate_levels,
 )
 from .serve import MicroBatchServer, ServePolicy, ServeResponse, serve_tcp
+from .shm import SharedArray, attach_view, leaked_segments, resolve_shm
 from .stream import StreamingClassifier, StreamingDecision
 from .throughput import EngineSample, ThroughputReport, bench_throughput
 
@@ -51,6 +52,11 @@ __all__ = [
     "chaos_context",
     "chaos_kernels",
     "parse_chaos",
+    # shared-memory handoff
+    "SharedArray",
+    "attach_view",
+    "leaked_segments",
+    "resolve_shm",
     # serving front end
     "ServePolicy",
     "ServeResponse",

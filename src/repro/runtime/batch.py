@@ -9,6 +9,17 @@ that want memory isolation: each worker process rebuilds the engine
 **once** from the pickled artifacts in its initializer (zero-copy via
 fork where available), not per task.
 
+Process pools hand shards off through :mod:`multiprocessing.shared_memory`
+by default (``shm=None`` → ``REPRO_SHM``, see
+:func:`repro.runtime.shm.resolve_shm`): the batch's level array is
+materialized in one parent-owned segment per call and workers attach
+zero-copy views by name + span, so the pool pipe carries descriptors
+instead of pickled sample arrays.  The segment is disposed in a
+``finally`` — its lifetime is exactly the batch's — and
+``batch.shm.{segments,bytes_shared}`` / worker-side ``batch.shm.attach``
+counters account for the handoff (vs ``batch.bytes_pickled`` on the
+non-shm path).
+
 Observability rides on the existing substrate:
 
 * every shard runs under ``stage_timer("batch.shard")``, so with a
@@ -41,6 +52,8 @@ from repro.obs.telemetry import (
     merge_delta,
     worker_telemetry_installed,
 )
+
+from .shm import SharedArray, attach_view, resolve_shm
 
 __all__ = ["BatchRunner", "WorkerPool", "resolve_workers"]
 
@@ -83,6 +96,17 @@ def _process_worker_init(
 
 def _process_worker_scores(levels: np.ndarray) -> tuple[np.ndarray, float, dict | None]:
     start = perf_counter()
+    scores = _WORKER_ENGINE.scores(levels)
+    return scores, perf_counter() - start, drain_worker_delta()
+
+
+def _process_worker_scores_shm(
+    descriptor: tuple, span_start: int, span_stop: int
+) -> tuple[np.ndarray, float, dict | None]:
+    """Shm variant: attach the parent's segment, score a zero-copy slice."""
+    start = perf_counter()
+    levels = attach_view(descriptor, span_start, span_stop)
+    get_registry().counter("batch.shm.attach").add(1)
     scores = _WORKER_ENGINE.scores(levels)
     return scores, perf_counter() - start, drain_worker_delta()
 
@@ -158,6 +182,10 @@ class BatchRunner:
         copy-on-write rather than pickled.
     mp_context:
         Optional ``multiprocessing`` context for process mode.
+    shm:
+        Zero-copy shard handoff through shared memory (process executors
+        only).  ``None`` defers to ``REPRO_SHM`` (default on); thread
+        executors ignore it entirely.
     """
 
     def __init__(
@@ -167,6 +195,7 @@ class BatchRunner:
         workers: int | None = None,
         executor: str = "thread",
         mp_context=None,
+        shm: bool | None = None,
     ) -> None:
         if executor not in ("thread", "process"):
             raise ValueError(
@@ -176,6 +205,7 @@ class BatchRunner:
         self.workers = resolve_workers(workers)
         self.shard_size = shard_size
         self.executor_kind = executor
+        self.use_shm = resolve_shm(shm, executor)
         self._mp_context = mp_context
         self._workerpool = WorkerPool(self._make_pool)
 
@@ -184,15 +214,34 @@ class BatchRunner:
         return self._workerpool.executor
 
     # ------------------------------------------------------------------
-    def _shards(self, n: int) -> list[tuple[int, int]]:
-        """(start, stop) spans covering ``range(n)`` in order."""
+    def effective_shard_size(self, n: int) -> int:
+        """The shard size a batch of ``n`` samples actually runs with.
+
+        Explicit ``shard_size`` wins; otherwise the batch splits into
+        about ``2 x workers`` shards.  The divisor is capped at ``n`` so
+        a degenerate batch (``n < workers``) yields ``n`` single-sample
+        shards instead of phantom empty ones.
+        """
         if n <= 0:
-            return []
+            return 0
         size = self.shard_size
         if size is None:
-            size = -(-n // max(1, self.workers * 2))
-        size = max(1, int(size))
+            size = -(-n // max(1, min(self.workers * 2, n)))
+        return max(1, int(size))
+
+    def _shards(self, n: int) -> list[tuple[int, int]]:
+        """(start, stop) spans covering ``range(n)`` in order."""
+        size = self.effective_shard_size(n)
+        if size <= 0:
+            return []
         return [(start, min(start + size, n)) for start in range(0, n, size)]
+
+    def _share_batch(self, levels: np.ndarray, registry) -> SharedArray:
+        """Materialize ``levels`` in a fresh parent-owned shm segment."""
+        shared = SharedArray(levels)
+        registry.counter("batch.shm.segments").add(1)
+        registry.counter("batch.shm.bytes_shared").add(shared.nbytes)
+        return shared
 
     def _pool_initializer(self):
         """(initializer, initargs) for process pools; overridable seam.
@@ -295,6 +344,7 @@ class BatchRunner:
                 return np.concatenate(parts, axis=0)
             pool = self._ensure_pool()
             futures: list = []
+            shared: SharedArray | None = None
             try:
                 if self.executor_kind == "thread":
                     futures = [
@@ -303,10 +353,21 @@ class BatchRunner:
                     ]
                     parts = [f.result() for f in futures]
                 else:
-                    futures = [
-                        pool.submit(_process_worker_scores, levels[a:b])
-                        for a, b in spans
-                    ]
+                    if self.use_shm:
+                        # One copy into the segment; every shard ships a
+                        # ~100-byte descriptor instead of its samples.
+                        shared = self._share_batch(levels, registry)
+                        descriptor = shared.descriptor()
+                        futures = [
+                            pool.submit(_process_worker_scores_shm, descriptor, a, b)
+                            for a, b in spans
+                        ]
+                    else:
+                        registry.counter("batch.bytes_pickled").add(levels.nbytes)
+                        futures = [
+                            pool.submit(_process_worker_scores, levels[a:b])
+                            for a, b in spans
+                        ]
                     parts = []
                     shard_hist = registry.histogram("batch.shard")
                     for future in futures:
@@ -322,6 +383,12 @@ class BatchRunner:
                 for future in futures:
                     future.cancel()
                 raise
+            finally:
+                if shared is not None:
+                    # The segment's lifetime is exactly the batch's; a
+                    # cancelled shard never ran, a failed one already
+                    # returned — nobody reads it after this point.
+                    shared.dispose()
             return np.concatenate(parts, axis=0)
 
     def predict(self, levels: np.ndarray) -> np.ndarray:

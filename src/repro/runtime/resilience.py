@@ -60,6 +60,7 @@ from repro.obs.telemetry import (
 from repro.vsa.kernels import get_kernels, using_kernels
 
 from .batch import BatchRunner
+from .shm import SharedArray, attach_view
 from .chaos import (
     ChaosError,
     ChaosSpec,
@@ -200,6 +201,13 @@ class BatchReport:
     failed_samples: list[int] = field(default_factory=list)
     breaker_open: bool = False
     chaos: dict = field(default_factory=dict)
+    shard_size: int | None = None  # effective samples per shard this run
+    shm_bytes: int = 0  # bytes handed off through shared memory
+
+    @property
+    def n_shards(self) -> int:
+        """Shards the batch actually split into."""
+        return len(self.shards)
 
     @property
     def retries(self) -> int:
@@ -242,6 +250,9 @@ class BatchReport:
             "quarantined": {str(k): v for k, v in sorted(self.quarantined.items())},
             "failed_samples": sorted(self.failed_samples),
             "chaos": dict(self.chaos),
+            "shard_size": self.shard_size,
+            "n_shards": self.n_shards,
+            "shm_bytes": self.shm_bytes,
             "shards": [s.as_dict() for s in self.shards],
         }
 
@@ -391,6 +402,23 @@ def _resilient_worker_scores(shard: int, attempt: int, levels: np.ndarray):
     return scores, perf_counter() - start, drain_worker_delta()
 
 
+def _resilient_worker_scores_shm(
+    descriptor: tuple, shard: int, attempt: int, span_start: int, span_stop: int
+):
+    """Shm variant: the shard is a zero-copy view into the parent's segment.
+
+    The attach happens *inside* the chaos context — a crash draw kills
+    the worker mid-handoff exactly like a real fault would, and the
+    parent's recovery must still unlink and re-share cleanly.
+    """
+    start = perf_counter()
+    with chaos_context(_WORKER_CHAOS, shard, attempt):
+        levels = attach_view(descriptor, span_start, span_stop)
+        get_registry().counter("batch.shm.attach").add(1)
+        scores = _WORKER_ENGINE.scores(levels)
+    return scores, perf_counter() - start, drain_worker_delta()
+
+
 # ---------------------------------------------------------------------------
 # the runner
 # ---------------------------------------------------------------------------
@@ -414,6 +442,7 @@ class ResilientBatchRunner(BatchRunner):
         mp_context=None,
         policy: RetryPolicy | None = None,
         chaos: ChaosSpec | None = None,
+        shm: bool | None = None,
     ) -> None:
         super().__init__(
             engine,
@@ -421,6 +450,7 @@ class ResilientBatchRunner(BatchRunner):
             workers=workers,
             executor=executor,
             mp_context=mp_context,
+            shm=shm,
         )
         self.policy = policy if policy is not None else RetryPolicy.from_env()
         self.chaos = chaos if chaos is not None else ChaosSpec.from_env()
@@ -435,6 +465,7 @@ class ResilientBatchRunner(BatchRunner):
             )
         self.last_report: BatchReport | None = None
         self._fallback_engine = None
+        self._shared: SharedArray | None = None  # live segment of the current batch
 
     # -- pool / worker seams -------------------------------------------
     def _pool_initializer(self):
@@ -446,9 +477,21 @@ class ResilientBatchRunner(BatchRunner):
             get_registry().enabled,
         )
 
-    def _submit(self, pool, shard: int, attempt: int, levels: np.ndarray):
+    def _submit(self, pool, shard: int, attempt: int, levels: np.ndarray, span=None):
         if self.executor_kind == "thread":
             return pool.submit(self._thread_shard, shard, attempt, levels)
+        if self._shared is not None and span is not None:
+            # The descriptor is read at submit time, so a segment
+            # re-shared by pool recovery is picked up by every
+            # subsequent (re)submission automatically.
+            return pool.submit(
+                _resilient_worker_scores_shm,
+                self._shared.descriptor(),
+                shard,
+                attempt,
+                span[0],
+                span[1],
+            )
         return pool.submit(_resilient_worker_scores, shard, attempt, levels)
 
     def _thread_shard(self, shard: int, attempt: int, levels: np.ndarray) -> np.ndarray:
@@ -537,19 +580,44 @@ class ResilientBatchRunner(BatchRunner):
         registry.counter("batch.shards").add(len(spans))
         statuses = [ShardStatus(i, a, b) for i, (a, b) in enumerate(spans)]
         report.shards = statuses
+        report.shard_size = self.effective_shard_size(clean.shape[0]) or None
         parts: list[np.ndarray | None] = [None] * len(spans)
         if not spans:
             return parts
         use_pool = len(spans) > 1 and not (
             self.workers == 1 and self.executor_kind == "thread"
         )
+        if use_pool and self.executor_kind == "process":
+            if self.use_shm:
+                # One parent-owned segment per batch; disposed in the
+                # finally below no matter how the ladder ends.
+                self._shared = self._share_batch(clean, registry)
+                report.shm_bytes = self._shared.nbytes
+            else:
+                registry.counter("batch.bytes_pickled").add(clean.nbytes)
+        try:
+            return self._collect_shards(
+                clean, report, statuses, parts, use_pool, registry
+            )
+        finally:
+            if self._shared is not None:
+                self._shared.dispose()
+                self._shared = None
+
+    def _collect_shards(
+        self, clean: np.ndarray, report: BatchReport, statuses, parts, use_pool, registry
+    ):
         futures: dict[int, object] = {}
         if use_pool:
             pool = self._ensure_pool()
             try:
                 for status in statuses:
                     futures[status.index] = self._submit(
-                        pool, status.index, 0, clean[status.start : status.stop]
+                        pool,
+                        status.index,
+                        0,
+                        clean[status.start : status.stop],
+                        span=(status.start, status.stop),
                     )
             except BrokenProcessPool:
                 # An already-submitted shard crashed its worker before the
@@ -578,7 +646,11 @@ class ResilientBatchRunner(BatchRunner):
                             # during the backoff) feeds the same ladder
                             # instead of escaping it.
                             future = futures[i] = self._submit(
-                                self._ensure_pool(), i, status.attempts, shard_levels
+                                self._ensure_pool(),
+                                i,
+                                status.attempts,
+                                shard_levels,
+                                span=(status.start, status.stop),
                             )
                         outcome = future.result(timeout=self.policy.timeout_s)
                         if self.executor_kind == "process":
@@ -708,8 +780,18 @@ class ResilientBatchRunner(BatchRunner):
         result.  Shard ``current`` (whose ``result()`` surfaced the
         breakage) is excluded: the collector owns its accounting and
         resubmission.
+
+        Under shm handoff the batch segment is disposed and **re-shared**
+        first: the dead pool's workers can no longer hold the old
+        mapping hostage, and a fresh name guarantees resubmitted shards
+        never attach to a segment a crashing worker might have been
+        mid-attach on.  Telemetry counts the re-share like any other
+        segment, so ``batch.shm.segments - 1`` is the recovery count.
         """
         pool = self._replace_pool()
+        if self._shared is not None:
+            self._shared.dispose()
+            self._shared = self._share_batch(clean, registry)
         for status in statuses:
             j = status.index
             if j == current or status.status != "pending" or parts[j] is not None:
@@ -729,7 +811,11 @@ class ResilientBatchRunner(BatchRunner):
             registry.counter("resilience.retries").add(1)
             try:
                 futures[j] = self._submit(
-                    pool, j, status.attempts, clean[status.start : status.stop]
+                    pool,
+                    j,
+                    status.attempts,
+                    clean[status.start : status.stop],
+                    span=(status.start, status.stop),
                 )
             except BrokenProcessPool:
                 # The replacement pool broke under us (a just-resubmitted

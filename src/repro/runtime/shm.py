@@ -1,0 +1,226 @@
+"""Zero-copy shard handoff over POSIX shared memory.
+
+Process executors previously pickled every shard's level array across
+the pool boundary — for a batch of B samples split into S shards that is
+B samples serialized, copied through a pipe, and deserialized, *per
+batch*.  :class:`SharedArray` replaces the payload with a name: the
+parent materializes the batch **once** in a
+:mod:`multiprocessing.shared_memory` segment and submits ``(descriptor,
+start, stop)`` tuples; workers attach by name and slice a zero-copy
+read-only view.  The pipe now carries ~100 bytes per shard regardless of
+batch size.
+
+Ownership is strictly parent-side:
+
+* the parent (the :class:`~repro.runtime.batch.BatchRunner` that built
+  the segment) is the only unlinker — :meth:`SharedArray.dispose` closes
+  *and* unlinks, and runners call it in a ``finally`` so no segment
+  outlives its batch, even when a shard raises;
+* workers only ever attach and close.  Attached handles are kept in a
+  small per-process LRU (:func:`attach_view`) because serving reuses one
+  segment for many shards.  On Linux the attach maps the ``/dev/shm``
+  file directly (read-only mmap), which keeps
+  :mod:`multiprocessing.resource_tracker` entirely out of the workers —
+  crucial under a fork start method, where workers *share* the parent's
+  tracker and an attach-side register/unregister would corrupt the
+  parent's own registration.  Elsewhere the fallback attaches through
+  :class:`~multiprocessing.shared_memory.SharedMemory` and unregisters
+  the borrowed handle (``track=False`` exists only on Python 3.13+; on a
+  spawn start method the worker's private tracker would otherwise unlink
+  the parent's live segment at worker exit);
+* a crashed worker cannot leak: the kernel frees the mapping with the
+  process, and the name is the parent's to unlink.  ``BrokenProcessPool``
+  recovery disposes the old segment and re-shares
+  (:meth:`ResilientBatchRunner._recover_pool`), so resubmitted shards
+  never attach to a name a dead pool might have corrupted mid-write.
+
+Segment names carry the :data:`SHM_PREFIX` prefix plus the owning PID,
+so :func:`leaked_segments` can enumerate ``/dev/shm`` and CI can assert
+the count is zero after a chaos bench — the lifecycle test, not a hope.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import secrets
+from collections import OrderedDict
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+__all__ = [
+    "SHM_PREFIX",
+    "SharedArray",
+    "attach_view",
+    "evict_attachments",
+    "leaked_segments",
+    "resolve_shm",
+]
+
+#: Every segment this module creates is named ``repro-shm-<pid>-<nonce>``.
+SHM_PREFIX = "repro-shm"
+
+#: Attached-segment handles cached per worker process (LRU).  Serving
+#: touches one segment per batch, and recovery introduces a second while
+#: shards of the old batch may still be in flight — two is enough.
+_ATTACH_CACHE_SIZE = 2
+
+_attached: "OrderedDict[str, _Attachment]" = OrderedDict()
+
+
+class _Attachment:
+    """A worker-side read-only handle on a parent-owned segment."""
+
+    def __init__(self, name: str) -> None:
+        path = f"/dev/shm/{name}"
+        self._shm: shared_memory.SharedMemory | None = None
+        self._mmap: mmap.mmap | None = None
+        if os.path.exists(path):
+            # Tracker-free attach: map the tmpfs file read-only.
+            fd = os.open(path, os.O_RDONLY)
+            try:
+                self._mmap = mmap.mmap(fd, 0, prot=mmap.PROT_READ)
+            finally:
+                os.close(fd)
+            self.buf: memoryview = memoryview(self._mmap)
+        else:  # pragma: no cover — non-Linux fallback
+            self._shm = shared_memory.SharedMemory(name=name)
+            # The tracker assumes whoever opens a segment owns it and
+            # unlinks leftovers at interpreter exit.  This handle is
+            # borrowed — unregister so a worker exiting mid-serve cannot
+            # destroy the parent's live segment (``track=False`` is the
+            # 3.13+ spelling of the same intent).
+            try:
+                resource_tracker.unregister(self._shm._name, "shared_memory")
+            except Exception:
+                pass
+            self.buf = self._shm.buf
+
+    def close(self) -> None:
+        if self._shm is not None:
+            self._shm.close()
+        elif self._mmap is not None:
+            try:
+                self.buf.release()
+                self._mmap.close()
+            except BufferError:  # a live ndarray still aliases the map
+                pass
+
+
+def resolve_shm(flag: bool | None, executor_kind: str) -> bool:
+    """Whether a runner should hand shards off via shared memory.
+
+    Thread executors share the parent's address space already, so shm
+    only ever applies to process pools.  ``None`` defers to the
+    ``REPRO_SHM`` environment switch (default on).
+    """
+    if executor_kind != "process":
+        return False
+    if flag is None:
+        env = os.environ.get("REPRO_SHM", "1").strip().lower()
+        return env not in ("0", "false", "no", "off")
+    return bool(flag)
+
+
+class SharedArray:
+    """A parent-owned ndarray materialized in a shared-memory segment.
+
+    ``SharedArray(array)`` copies ``array`` into a fresh segment (the one
+    copy the handoff pays, amortized over every shard and retry of the
+    batch).  :meth:`descriptor` is the picklable handle workers attach
+    with; :meth:`dispose` is idempotent and must be called exactly once
+    per batch lifetime by the owner.
+    """
+
+    def __init__(self, array: np.ndarray) -> None:
+        array = np.ascontiguousarray(array)
+        name = f"{SHM_PREFIX}-{os.getpid()}-{secrets.token_hex(4)}"
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=max(1, array.nbytes), name=name
+        )
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=self._shm.buf)
+        view[...] = array
+        self.name = self._shm.name
+        self.shape = array.shape
+        self.dtype = array.dtype
+        self.nbytes = int(array.nbytes)
+
+    def descriptor(self) -> tuple:
+        """Picklable ``(name, shape, dtype_str)`` handle for workers."""
+        return (self.name, self.shape, self.dtype.str)
+
+    def view(self) -> np.ndarray:
+        """The parent's own zero-copy view of the segment."""
+        return np.ndarray(self.shape, dtype=self.dtype, buffer=self._shm.buf)
+
+    def dispose(self) -> None:
+        """Close and unlink the segment (idempotent, owner-only)."""
+        if self._shm is None:
+            return
+        shm, self._shm = self._shm, None
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "SharedArray":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.dispose()
+
+    def __del__(self) -> None:  # last-resort leak guard, not the contract
+        try:
+            self.dispose()
+        except Exception:
+            pass
+
+
+def _attach(name: str) -> _Attachment:
+    """Attach to a segment by name, with a small per-process cache."""
+    cached = _attached.get(name)
+    if cached is not None:
+        _attached.move_to_end(name)
+        return cached
+    attachment = _Attachment(name)
+    _attached[name] = attachment
+    while len(_attached) > _ATTACH_CACHE_SIZE:
+        _, stale = _attached.popitem(last=False)
+        stale.close()
+    return attachment
+
+
+def attach_view(descriptor: tuple, start: int, stop: int) -> np.ndarray:
+    """A worker's read-only zero-copy view of rows ``[start, stop)``.
+
+    The returned array aliases the shared segment — marked non-writable
+    so an engine bug cannot corrupt shards other workers are reading.
+    """
+    name, shape, dtype_str = descriptor
+    shm = _attach(name)
+    full = np.ndarray(tuple(shape), dtype=np.dtype(dtype_str), buffer=shm.buf)
+    view = full[start:stop]
+    view.flags.writeable = False
+    return view
+
+
+def evict_attachments() -> None:
+    """Close every cached attachment (test isolation / worker teardown)."""
+    while _attached:
+        _, shm = _attached.popitem(last=False)
+        shm.close()
+
+
+def leaked_segments() -> list[str]:
+    """Names of ``/dev/shm`` entries this module's prefix ever created.
+
+    Empty on platforms without a ``/dev/shm`` filesystem — the leak
+    check is then vacuous rather than wrong.
+    """
+    try:
+        entries = os.listdir("/dev/shm")
+    except OSError:
+        return []
+    return sorted(e for e in entries if e.startswith(SHM_PREFIX))

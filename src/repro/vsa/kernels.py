@@ -1,23 +1,33 @@
 """Bit-kernel dispatch: one selected implementation set for pack/popcount.
 
-The packed datapath spends its time in exactly two primitives — packing
-bipolar vectors into uint64 words and popcounting XNOR'd words.  Both
-have a portable reference implementation (a 64-lane multiply-accumulate
-pack and a 16-bit LUT popcount) and a fast path built on NumPy ufuncs
+The packed datapath spends its time in three primitives — packing
+bipolar vectors into uint64 words, popcounting XNOR'd words, and
+XOR-match counting a batch of packed operands against a fixed key
+matrix (the conv kernel taps).  Each has a portable reference
+implementation (a 64-lane multiply-accumulate pack, a 16-bit LUT
+popcount, a word-loop match) and a fast path built on NumPy ufuncs
 (``np.packbits`` with little bit order viewed as little-endian words,
-and ``np.bitwise_count`` on NumPy >= 2).  This module owns the choice:
+``np.bitwise_count`` on NumPy >= 2, and a per-tap 256-entry byte-LUT
+gather for the match).  This module owns the choice:
 
-* the selection happens **once at import** (``REPRO_KERNELS=legacy|fast``
-  overrides it) and every call in :mod:`repro.vsa.bitops` dispatches
-  through the active :class:`KernelSet`;
+* the selection happens **once at import**
+  (``REPRO_KERNELS=legacy|fast|jit`` overrides it) and every call in
+  :mod:`repro.vsa.bitops` dispatches through the active
+  :class:`KernelSet`;
 * :func:`using_kernels` temporarily swaps the set — the property tests
-  prove fast and legacy produce identical words and counts, and the
+  prove all sets produce identical words and counts, and the
   throughput bench uses it to time the seed-equivalent configuration;
 * :func:`kernel_info` / :func:`publish_kernel_metrics` expose what is
   active, so every profile and ledger record is attributable to a
   specific kernel configuration.
 
-Both pack implementations use the same bit order (element ``d`` of a
+The ``jit`` set (:mod:`repro.vsa.kernels_jit`) is optional: it needs
+Numba, and when the import fails — the common case on minimal installs —
+selection **falls back to the fast set instead of erroring**, with the
+downgrade recorded in :func:`kernel_info` (``fallback_from``) so ledger
+records never misattribute a fast run to the jit backend.
+
+All pack implementations use the same bit order (element ``d`` of a
 vector lands at bit ``d % 64`` of word ``d // 64``), so packed artifacts
 are interchangeable between sets.
 """
@@ -35,6 +45,7 @@ __all__ = [
     "KernelSet",
     "FAST_KERNELS",
     "LEGACY_KERNELS",
+    "JIT_KERNELS",
     "available_kernel_sets",
     "get_kernels",
     "set_kernels",
@@ -43,6 +54,7 @@ __all__ = [
     "kernel_info",
     "publish_kernel_metrics",
     "HAVE_BITWISE_COUNT",
+    "HAVE_JIT",
 ]
 
 WORD_BITS = 64
@@ -144,6 +156,74 @@ def _popcount8_native(words: np.ndarray) -> np.ndarray:
 
 
 # ---------------------------------------------------------------------------
+# fused-match builders
+#
+# ``match_builder(key_bytes)`` precomputes against a fixed (O, n_bytes)
+# uint8 key matrix and returns ``matcher(op_bytes)`` mapping packed
+# operands (..., n_bytes) to XOR bit counts (..., O) — the inner loop of
+# the fused conv stage.  Padding bits are zero on both sides by the
+# shared pack layout, so they contribute no counts and every builder is
+# bit-exact against every other (enforced by the property suite).
+# ---------------------------------------------------------------------------
+def _words_from_bytes(data: np.ndarray) -> np.ndarray:
+    """Bytes (..., n) -> uint64 little-endian words (..., ceil(n/8))."""
+    n_bytes = data.shape[-1]
+    n_words = -(-n_bytes // 8)
+    if n_bytes != n_words * 8:
+        padded = np.zeros(data.shape[:-1] + (n_words * 8,), dtype=np.uint8)
+        padded[..., :n_bytes] = data
+        data = padded
+    return np.ascontiguousarray(data).view(_U64_LE).astype(np.uint64, copy=False)
+
+
+def _check_key(key_bytes: np.ndarray) -> np.ndarray:
+    key = np.ascontiguousarray(np.asarray(key_bytes, dtype=np.uint8))
+    if key.ndim != 2:
+        raise ValueError(f"key_bytes must be (O, n_bytes) uint8, got shape {key.shape}")
+    return key
+
+
+def _match_builder_words(key_bytes: np.ndarray):
+    """Reference match: bytes regrouped to words, XOR + LUT16 popcount."""
+    key_words = _words_from_bytes(_check_key(key_bytes))  # (O, Wc)
+
+    def matcher(op_bytes: np.ndarray) -> np.ndarray:
+        op_words = _words_from_bytes(np.asarray(op_bytes, dtype=np.uint8))
+        counts = _popcount8_lut(op_words[..., None, :] ^ key_words)
+        return counts.sum(axis=-1, dtype=np.int64)
+
+    return matcher
+
+
+def _match_builder_lut8(key_bytes: np.ndarray):
+    """Byte-LUT match: one 256-entry XOR-popcount table per key byte.
+
+    The tables hold ``popcount(v ^ key[:, t])`` for every byte value
+    ``v`` — the match loop is then a pure gather-accumulate over the
+    operand bytes, never materializing an XOR intermediate (the DVP
+    lookup idea applied to the conv kernel itself).  uint16 accumulation
+    is exact while ``n_bytes * 8 <= 65535``, far beyond any conv block.
+    """
+    key = _check_key(key_bytes)
+    o, n_bytes = key.shape
+    pop8 = _pop16_table()[:256]
+    byte_values = np.arange(256, dtype=np.uint8)
+    # (n_bytes, 256, O): tables[t][v] = per-channel XOR popcount of byte v.
+    tables = np.ascontiguousarray(
+        pop8[(byte_values[None, :, None] ^ key.T[:, None, :]).astype(np.intp)]
+    )
+
+    def matcher(op_bytes: np.ndarray) -> np.ndarray:
+        op = np.asarray(op_bytes, dtype=np.uint8)
+        acc = np.zeros(op.shape[:-1] + (o,), dtype=np.uint16)
+        for t in range(n_bytes):
+            acc += tables[t][op[..., t]]
+        return acc
+
+    return matcher
+
+
+# ---------------------------------------------------------------------------
 # the dispatch table
 # ---------------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -156,6 +236,9 @@ class KernelSet:
     popcount8: Callable[[np.ndarray], np.ndarray]  # per-word counts, uint8
     pack_impl: str
     popcount_impl: str
+    # key bytes (O, n_bytes) -> matcher(op bytes (..., n_bytes)) -> (..., O)
+    match_builder: Callable[[np.ndarray], Callable[[np.ndarray], np.ndarray]]
+    match_impl: str
 
 
 LEGACY_KERNELS = KernelSet(
@@ -165,6 +248,8 @@ LEGACY_KERNELS = KernelSet(
     popcount8=_popcount8_lut,
     pack_impl="mac64",
     popcount_impl="lut16",
+    match_builder=_match_builder_words,
+    match_impl="xor-words",
 )
 
 FAST_KERNELS = KernelSet(
@@ -174,9 +259,35 @@ FAST_KERNELS = KernelSet(
     popcount8=_popcount8_native if HAVE_BITWISE_COUNT else _popcount8_lut,
     pack_impl="packbits",
     popcount_impl="bitwise_count" if HAVE_BITWISE_COUNT else "lut16",
+    match_builder=_match_builder_lut8,
+    match_impl="lut8-gather",
 )
 
 _SETS = {"legacy": LEGACY_KERNELS, "fast": FAST_KERNELS}
+
+# The optional Numba backend registers itself only when its import
+# chain succeeds; a missing/broken numba leaves JIT_KERNELS = None and
+# the reason in JIT_UNAVAILABLE_REASON.  Nothing below may hard-fail on
+# its absence — "jit requested but unavailable" downgrades to fast.
+JIT_KERNELS: KernelSet | None = None
+JIT_UNAVAILABLE_REASON: str | None = None
+try:
+    from .kernels_jit import build_jit_kernels, numba_unavailable_reason
+
+    JIT_KERNELS = build_jit_kernels()
+    if JIT_KERNELS is None:
+        JIT_UNAVAILABLE_REASON = numba_unavailable_reason()
+except Exception as exc:  # pragma: no cover — a broken numba install
+    JIT_KERNELS = None
+    JIT_UNAVAILABLE_REASON = f"{type(exc).__name__}: {exc}"
+
+HAVE_JIT = JIT_KERNELS is not None
+if HAVE_JIT:
+    _SETS["jit"] = JIT_KERNELS
+
+#: Name of the set a selection was downgraded from (``"jit"`` when the
+#: jit backend was requested but unavailable), ``None`` otherwise.
+_fallback_from: str | None = None
 
 
 def available_kernel_sets() -> dict[str, KernelSet]:
@@ -184,8 +295,24 @@ def available_kernel_sets() -> dict[str, KernelSet]:
     return dict(_SETS)
 
 
+def _resolve_set(name: str) -> KernelSet:
+    """Resolve a set name, downgrading an unavailable ``jit`` to fast."""
+    global _fallback_from
+    if name == "jit" and not HAVE_JIT:
+        _fallback_from = "jit"
+        return FAST_KERNELS
+    try:
+        return _SETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel set {name!r}; expected one of {sorted(_SETS)}"
+        ) from None
+
+
 def _default_kernels() -> KernelSet:
     requested = os.environ.get("REPRO_KERNELS", "fast").strip().lower()
+    if requested == "jit":
+        return _resolve_set("jit")
     return _SETS.get(requested, FAST_KERNELS)
 
 
@@ -198,15 +325,16 @@ def get_kernels() -> KernelSet:
 
 
 def set_kernels(kernels: KernelSet | str) -> KernelSet:
-    """Install a kernel set (by name or instance); returns the active set."""
+    """Install a kernel set (by name or instance); returns the active set.
+
+    Unknown names raise; ``"jit"`` on a host without Numba installs the
+    fast set instead (recorded as ``fallback_from`` in
+    :func:`kernel_info`) — the optional backend must never turn into a
+    hard failure.
+    """
     global _active
     if isinstance(kernels, str):
-        try:
-            kernels = _SETS[kernels]
-        except KeyError:
-            raise ValueError(
-                f"unknown kernel set {kernels!r}; expected one of {sorted(_SETS)}"
-            ) from None
+        kernels = _resolve_set(kernels)
     _active = kernels
     return _active
 
@@ -216,6 +344,7 @@ def wrap_kernels(
     pack: Callable[[np.ndarray], tuple[np.ndarray, int]] | None = None,
     unpack: Callable[[np.ndarray, int], np.ndarray] | None = None,
     popcount8: Callable[[np.ndarray], np.ndarray] | None = None,
+    match_builder: Callable | None = None,
     suffix: str = "+wrapped",
 ) -> KernelSet:
     """A derived :class:`KernelSet` with some primitives interposed.
@@ -233,6 +362,10 @@ def wrap_kernels(
         popcount8=popcount8 if popcount8 is not None else base.popcount8,
         pack_impl=base.pack_impl,
         popcount_impl=base.popcount_impl,
+        match_builder=(
+            match_builder if match_builder is not None else base.match_builder
+        ),
+        match_impl=base.match_impl,
     )
 
 
@@ -254,8 +387,11 @@ def kernel_info(kernels: KernelSet | None = None) -> dict:
         "set": active.name,
         "pack": active.pack_impl,
         "popcount": active.popcount_impl,
+        "match": active.match_impl,
         "numpy": np.__version__,
         "bitwise_count_available": HAVE_BITWISE_COUNT,
+        "jit_available": HAVE_JIT,
+        "fallback_from": _fallback_from,
     }
 
 

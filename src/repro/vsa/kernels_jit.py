@@ -1,0 +1,164 @@
+"""Optional Numba JIT kernel set (``REPRO_KERNELS=jit``).
+
+The third backend behind the :mod:`repro.vsa.kernels` dispatch seam:
+``@njit(cache=True)`` loops over the packed words/bytes, compiled once
+per machine and persisted to Numba's on-disk cache.  The set exists for
+hosts where the NumPy ufunc chain is not the fastest option (no
+``np.bitwise_count``, very small batches where ufunc overhead dominates)
+and as a second independently-derived implementation the property suite
+cross-checks bit-for-bit.
+
+Numba is strictly optional — it is not a project dependency.  The
+algorithms are therefore written as **plain Python functions first**
+(``_*_py``) and only wrapped in ``njit`` when the numba import succeeds:
+
+* with numba absent, :func:`build_jit_kernels` returns ``None`` and the
+  dispatch layer silently serves the fast set instead (recorded as
+  ``fallback_from="jit"`` in ``kernel_info`` — a downgrade, never an
+  error);
+* the ``_py`` reference functions still run everywhere, so the test
+  suite proves the *algorithms* bit-exact against the fast/legacy sets
+  even on hosts that cannot compile them.
+
+Each wrapper normalizes shapes/dtypes in NumPy (cheap, and it keeps the
+jitted cores monomorphic: 2-D contiguous arrays, scalar loops only).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .kernels import WORD_BITS, KernelSet, _check_key, _pop16_table
+
+__all__ = ["NUMBA_AVAILABLE", "build_jit_kernels", "numba_unavailable_reason"]
+
+_NUMBA_ERROR: str | None = None
+try:  # pragma: no cover — exercised only where numba is installed
+    from numba import njit
+
+    NUMBA_AVAILABLE = True
+except Exception as exc:  # ImportError, or a numba/llvmlite version clash
+    NUMBA_AVAILABLE = False
+    _NUMBA_ERROR = f"{type(exc).__name__}: {exc}"
+
+
+def numba_unavailable_reason() -> str | None:
+    """Why the jit set cannot be built (``None`` when it can)."""
+    return _NUMBA_ERROR
+
+
+# ---------------------------------------------------------------------------
+# kernel cores — plain Python, njit-compatible subset
+# ---------------------------------------------------------------------------
+def _pack_core_py(bits: np.ndarray, out: np.ndarray) -> None:
+    """bits (N, D) uint8 -> out (N, W) uint64, bit d at word d//64 bit d%64."""
+    n, d = bits.shape
+    one = np.uint64(1)
+    for i in range(n):
+        for j in range(d):
+            if bits[i, j]:
+                out[i, j >> 6] |= one << np.uint64(j & 63)
+
+
+def _unpack_core_py(packed: np.ndarray, out: np.ndarray) -> None:
+    """packed (N, W) uint64 -> out (N, D) int8 bipolar."""
+    n, d = out.shape
+    one = np.uint64(1)
+    for i in range(n):
+        for j in range(d):
+            bit = (packed[i, j >> 6] >> np.uint64(j & 63)) & one
+            out[i, j] = 1 if bit else -1
+
+
+def _popcount_core_py(words: np.ndarray, pop16: np.ndarray, out: np.ndarray) -> None:
+    """words (N,) uint64 -> out (N,) uint8 via four 16-bit table lookups."""
+    mask = np.uint64(0xFFFF)
+    for i in range(words.shape[0]):
+        w = words[i]
+        out[i] = (
+            pop16[np.intp(w & mask)]
+            + pop16[np.intp((w >> np.uint64(16)) & mask)]
+            + pop16[np.intp((w >> np.uint64(32)) & mask)]
+            + pop16[np.intp((w >> np.uint64(48)) & mask)]
+        )
+
+
+def _match_core_py(
+    op: np.ndarray, key: np.ndarray, pop8: np.ndarray, out: np.ndarray
+) -> None:
+    """op (N, nb) x key (O, nb) uint8 -> out (N, O) uint16 XOR bit counts."""
+    n, nb = op.shape
+    o = key.shape[0]
+    for i in range(n):
+        for j in range(o):
+            c = 0
+            for t in range(nb):
+                c += pop8[np.intp(op[i, t] ^ key[j, t])]
+            out[i, j] = c
+
+
+def build_jit_kernels() -> KernelSet | None:
+    """Compile and wrap the jit set, or ``None`` when numba is absent.
+
+    ``cache=True`` persists the compiled machine code next to this file
+    (or ``NUMBA_CACHE_DIR``), so the compile cost is paid once per host,
+    not once per process — essential for process-pool workers.
+    """
+    if not NUMBA_AVAILABLE:
+        return None
+
+    pack_core = njit(cache=True)(_pack_core_py)
+    unpack_core = njit(cache=True)(_unpack_core_py)
+    popcount_core = njit(cache=True)(_popcount_core_py)
+    match_core = njit(cache=True)(_match_core_py)
+
+    pop16 = _pop16_table()
+    pop8 = np.ascontiguousarray(pop16[:256])
+
+    def pack_jit(vectors: np.ndarray) -> tuple[np.ndarray, int]:
+        vectors = np.asarray(vectors)
+        dim = vectors.shape[-1]
+        n_words = (dim + WORD_BITS - 1) // WORD_BITS
+        bits = np.ascontiguousarray((vectors > 0).reshape(-1, dim), dtype=np.uint8)
+        out = np.zeros((bits.shape[0], n_words), dtype=np.uint64)
+        pack_core(bits, out)
+        return out.reshape(vectors.shape[:-1] + (n_words,)), dim
+
+    def unpack_jit(packed: np.ndarray, dim: int) -> np.ndarray:
+        packed = np.ascontiguousarray(packed, dtype=np.uint64)
+        n_words = packed.shape[-1]
+        flat = packed.reshape(-1, n_words)
+        out = np.empty((flat.shape[0], dim), dtype=np.int8)
+        unpack_core(flat, out)
+        return out.reshape(packed.shape[:-1] + (dim,))
+
+    def popcount8_jit(words: np.ndarray) -> np.ndarray:
+        words = np.ascontiguousarray(words, dtype=np.uint64)
+        flat = words.reshape(-1)
+        out = np.empty(flat.shape[0], dtype=np.uint8)
+        popcount_core(flat, out)
+        return out.reshape(words.shape)
+
+    def match_builder_jit(key_bytes: np.ndarray):
+        key = _check_key(key_bytes)
+        o, n_bytes = key.shape
+
+        def matcher(op_bytes: np.ndarray) -> np.ndarray:
+            op = np.asarray(op_bytes, dtype=np.uint8)
+            flat = np.ascontiguousarray(op.reshape(-1, n_bytes))
+            out = np.empty((flat.shape[0], o), dtype=np.uint16)
+            match_core(flat, key, pop8, out)
+            return out.reshape(op.shape[:-1] + (o,))
+
+        return matcher
+
+    return KernelSet(
+        name="jit",
+        pack=pack_jit,
+        unpack=unpack_jit,
+        popcount8=popcount8_jit,
+        pack_impl="njit-shift",
+        popcount_impl="njit-lut16",
+        match_builder=match_builder_jit,
+        match_impl="njit-lut8",
+    )

@@ -1,0 +1,254 @@
+"""Fused single-pass engine: bit-exactness at every tile boundary.
+
+The fused mode runs one conv tile through DVP lookup → biconv byte-LUT
+match → encode → similarity before touching the next tile, so the
+dangerous seams are the tile edges: a batch exactly one sample short of,
+equal to, one past, and double the tile size must all match the fast
+engine (and the integer artifact reference) bit for bit.  The same suite
+covers BN-folded thresholds with channel flips, kernel-less ablation
+(where fusion degenerates to the DVP-only pipeline), the
+``REPRO_ENGINE=fused`` selection seam, and the loud ``conv_tile_mb`` /
+``REPRO_CONV_TILE_MB`` validation.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core import BitPackedUniVSA, UniVSAConfig, UniVSAModel, extract_artifacts
+from repro.core.inference import _resolve_conv_tile_mb
+from repro.nn import Tensor
+from repro.obs import MetricsRegistry, using_registry
+from repro.vsa.kernels import using_kernels
+
+LEVELS = 12
+SMALL = UniVSAConfig(
+    d_high=4, d_low=2, kernel_size=3, out_channels=8, voters=2, levels=LEVELS
+)
+
+# Position counts straddling the 64-bit word boundary: 60, 65, 64.
+SHAPES = [(6, 10), (13, 5), (4, 16)]
+
+
+def _mask(shape):
+    mask = np.zeros(shape, dtype=np.int8)
+    mask[::2] = 1
+    return mask
+
+
+def _levels_batch(shape, n=9, seed=0):
+    return np.random.default_rng(seed).integers(0, LEVELS, size=(n,) + shape)
+
+
+def _exported(shape, config=SMALL, seed=0, mask=True):
+    model = UniVSAModel(
+        shape, 3, config, mask=_mask(shape) if mask else None, seed=seed
+    )
+    return extract_artifacts(model)
+
+
+class TestFusedEquivalence:
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_fused_matches_fast_and_artifacts(self, shape):
+        artifacts = _exported(shape)
+        levels = _levels_batch(shape)
+        fused = BitPackedUniVSA(artifacts, mode="fused")
+        expected = artifacts.scores(levels)
+        np.testing.assert_array_equal(fused.scores(levels), expected)
+        np.testing.assert_array_equal(
+            BitPackedUniVSA(artifacts, mode="fast").scores(levels), expected
+        )
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_fused_on_every_kernel_set(self, shape):
+        """Engine mode and kernel set are orthogonal; the fused matcher
+        comes from the active set's ``match_builder`` and every set must
+        agree (jit resolves to fast when numba is absent)."""
+        artifacts = _exported(shape, seed=1)
+        levels = _levels_batch(shape, seed=1)
+        expected = artifacts.scores(levels)
+        for kernels in ("fast", "legacy", "jit"):
+            with using_kernels(kernels):
+                engine = BitPackedUniVSA(artifacts, mode="fused")
+                np.testing.assert_array_equal(
+                    engine.scores(levels), expected, err_msg=f"kernels={kernels}"
+                )
+
+    def test_tile_boundary_sweep(self):
+        """Batch sizes 1, tile-1, tile, tile+1, 2*tile around a forced
+        small tile — every boundary must be bit-exact vs the fast engine."""
+        shape = (13, 5)
+        artifacts = _exported(shape, seed=2)
+        fast = BitPackedUniVSA(artifacts, mode="fast")
+        # A budget small enough to force several-but-not-single-sample
+        # tiles for this config (clamped to >= 1 sample regardless).
+        fused = BitPackedUniVSA(artifacts, mode="fused", conv_tile_mb=0.02)
+        tile = fused._fused_tile()
+        assert tile >= 1
+        batches = sorted({1, max(1, tile - 1), tile, tile + 1, 2 * tile})
+        for n in batches:
+            levels = _levels_batch(shape, n=n, seed=n)
+            np.testing.assert_array_equal(
+                fused.scores(levels),
+                fast.scores(levels),
+                err_msg=f"batch={n}, tile={tile}",
+            )
+
+    def test_single_sample_tile(self):
+        """The degenerate one-sample tile (tiny budget) still agrees."""
+        shape = (6, 10)
+        artifacts = _exported(shape, seed=3)
+        fused = BitPackedUniVSA(artifacts, mode="fused", conv_tile_mb=1e-6)
+        assert fused._fused_tile() == 1
+        levels = _levels_batch(shape, n=5, seed=3)
+        np.testing.assert_array_equal(
+            fused.scores(levels), artifacts.scores(levels)
+        )
+
+    def test_batchnorm_thresholds_and_flips(self):
+        """Folded BN thresholds exercise the XOR-space bound conversion
+        (floor/ceil + flip) the fused matcher relies on."""
+        config = replace(SMALL, use_batchnorm=True)
+        shape = (6, 10)
+        model = UniVSAModel(shape, 3, config, mask=_mask(shape), seed=4)
+        model.train()
+        for seed in range(3):
+            model(Tensor(model.preprocess(_levels_batch(shape, seed=seed))))
+        model.eval()
+        artifacts = extract_artifacts(model)
+        assert np.abs(artifacts.conv_thresholds).max() > 0
+        levels = _levels_batch(shape, seed=4)
+        fused = BitPackedUniVSA(artifacts, mode="fused")
+        np.testing.assert_array_equal(
+            fused.scores(levels), artifacts.scores(levels)
+        )
+
+    def test_no_kernel_ablation(self):
+        """Kernel-less configs skip the conv stage; fused mode must
+        degrade to the DVP-only pipeline, still bit-exact."""
+        config = SMALL.with_ablation(True, False, 2)
+        shape = (6, 10)
+        model = UniVSAModel(shape, 3, config, mask=_mask(shape), seed=5)
+        artifacts = extract_artifacts(model)
+        levels = _levels_batch(shape, seed=5)
+        fused = BitPackedUniVSA(artifacts, mode="fused")
+        assert fused._fused_matcher is None
+        np.testing.assert_array_equal(
+            fused.scores(levels), artifacts.scores(levels)
+        )
+
+    def test_encode_matches_reference(self):
+        shape = (6, 10)
+        artifacts = _exported(shape, seed=6)
+        fused = BitPackedUniVSA(artifacts, mode="fused")
+        levels = _levels_batch(shape, seed=6)
+        np.testing.assert_array_equal(
+            fused.encode(levels), artifacts.encode(levels)
+        )
+
+    def test_env_selects_fused(self, monkeypatch):
+        artifacts = _exported((6, 10), seed=7)
+        monkeypatch.setenv("REPRO_ENGINE", "fused")
+        engine = BitPackedUniVSA(artifacts)
+        assert engine.mode == "fused"
+        levels = _levels_batch((6, 10), n=3, seed=7)
+        np.testing.assert_array_equal(
+            engine.scores(levels), artifacts.scores(levels)
+        )
+
+    def test_sibling_crosses_modes(self):
+        artifacts = _exported((6, 10), seed=8)
+        fused = BitPackedUniVSA(artifacts, mode="fused")
+        legacy = fused.sibling("legacy")
+        levels = _levels_batch((6, 10), n=4, seed=8)
+        np.testing.assert_array_equal(
+            fused.scores(levels), legacy.scores(levels)
+        )
+
+    def test_fused_counters(self):
+        shape = (13, 5)
+        artifacts = _exported(shape, seed=9)
+        fused = BitPackedUniVSA(artifacts, mode="fused", conv_tile_mb=0.02)
+        levels = _levels_batch(shape, n=7, seed=9)
+        registry = MetricsRegistry()
+        with using_registry(registry):
+            fused.scores(levels)
+        assert registry.counter("packed.samples").value == 7
+        assert registry.counter("packed.fused.tiles").value >= 1
+        assert registry.gauge("packed.fused.tile_size").value == fused._fused_tile()
+
+
+class TestConvTileValidation:
+    """Satellite: a bad tile budget is a loud config error, not a clamp."""
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.5, float("nan"), float("inf")])
+    def test_rejects_non_positive_or_non_finite(self, bad):
+        with pytest.raises(ValueError, match="positive, finite"):
+            _resolve_conv_tile_mb(bad, "fast")
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ValueError, match="conv_tile_mb='plenty'"):
+            _resolve_conv_tile_mb("plenty", "fused")
+
+    def test_env_source_named_in_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CONV_TILE_MB", "lots")
+        with pytest.raises(ValueError, match="REPRO_CONV_TILE_MB"):
+            _resolve_conv_tile_mb(None, "fast")
+        monkeypatch.setenv("REPRO_CONV_TILE_MB", "-3")
+        with pytest.raises(ValueError, match="REPRO_CONV_TILE_MB"):
+            _resolve_conv_tile_mb(None, "fast")
+
+    def test_engine_constructor_propagates(self):
+        artifacts = _exported((6, 10), seed=10)
+        with pytest.raises(ValueError, match="positive, finite"):
+            BitPackedUniVSA(artifacts, mode="fast", conv_tile_mb=0)
+        with pytest.raises(ValueError, match="not a number"):
+            BitPackedUniVSA(artifacts, mode="fused", conv_tile_mb="big")
+
+    def test_env_default_and_override(self, monkeypatch):
+        artifacts = _exported((6, 10), seed=10)
+        monkeypatch.delenv("REPRO_CONV_TILE_MB", raising=False)
+        assert BitPackedUniVSA(artifacts, mode="fused").conv_tile_mb == 2.0
+        monkeypatch.setenv("REPRO_CONV_TILE_MB", "0.5")
+        assert BitPackedUniVSA(artifacts, mode="fused").conv_tile_mb == 0.5
+
+    def test_blank_env_keeps_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CONV_TILE_MB", "  ")
+        assert _resolve_conv_tile_mb(None, "fused") == 2.0
+
+
+class TestTrafficModel:
+    def test_models_exist_for_all_modes(self):
+        artifacts = _exported((6, 10), seed=11)
+        keys = {
+            "mode",
+            "bytes_per_sample",
+            "popcounts_per_sample",
+            "lut_lookups_per_sample",
+            "tile_samples",
+            "peak_intermediate_mb",
+        }
+        for mode in ("legacy", "fast", "fused"):
+            model = BitPackedUniVSA(artifacts, mode=mode).traffic_model(batch=32)
+            assert keys <= set(model), mode
+            assert model["mode"] == mode
+            assert model["bytes_per_sample"] > 0
+
+    def test_fused_footprint_smaller_than_fast(self):
+        """The fusion claim itself: peak intermediates shrink by orders
+        of magnitude while popcount work moves into LUT lookups."""
+        artifacts = _exported((13, 5), seed=12)
+        fast = BitPackedUniVSA(artifacts, mode="fast").traffic_model(batch=256)
+        fused = BitPackedUniVSA(artifacts, mode="fused").traffic_model(batch=256)
+        assert fused["peak_intermediate_mb"] < fast["peak_intermediate_mb"]
+        assert fused["popcounts_per_sample"] < fast["popcounts_per_sample"]
+        assert fused["lut_lookups_per_sample"] > 0
+
+    def test_publish_traffic_metrics(self):
+        artifacts = _exported((6, 10), seed=13)
+        engine = BitPackedUniVSA(artifacts, mode="fused")
+        registry = MetricsRegistry()
+        engine.publish_traffic_metrics(registry, batch=16)
+        assert registry.gauge("packed.traffic.bytes_per_sample").value > 0
+        assert registry.gauge("packed.traffic.peak_intermediate_mb").value > 0

@@ -198,13 +198,17 @@ class TestBenchThroughput:
         out = capsys.readouterr().out
         assert "throughput bench" in out
         assert "speedup vs seed" in out
-        for engine in ("seed", "fast", "parallel"):
+        for engine in ("seed", "fast", "fused", "parallel", "shm"):
             assert engine in out
 
         import json
 
         payload = json.loads((tmp_path / "tp.json").read_text())
-        assert set(payload["engines"]) == {"seed", "fast", "parallel"}
+        assert set(payload["engines"]) == {
+            "seed", "fast", "fused", "parallel", "shm"
+        }
+        assert payload["shm"]["bytes_shared"] > 0
+        assert payload["traffic"]["fused"]["peak_intermediate_mb"] > 0
         assert ledger.exists()
         trajectory = json.loads(
             (ledger.parent / "BENCH_throughput.json").read_text()

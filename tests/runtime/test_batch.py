@@ -68,6 +68,29 @@ class TestSharding:
         with pytest.raises(ValueError, match="unknown executor"):
             BatchRunner(engine, executor="fiber")
 
+    def test_effective_shard_size_exposed(self, engine):
+        runner = BatchRunner(engine, workers=2)
+        assert runner.effective_shard_size(16) == 4  # ceil(16 / (2*2))
+        assert BatchRunner(engine, shard_size=7).effective_shard_size(100) == 7
+
+    def test_degenerate_batch_smaller_than_workers(self, engine):
+        """Regression: n < workers used to compute phantom empty shards;
+        now the divisor caps at n, giving n single-sample shards."""
+        runner = BatchRunner(engine, workers=8)
+        assert runner.effective_shard_size(3) == 1
+        spans = runner._shards(3)
+        assert spans == [(0, 1), (1, 2), (2, 3)]
+        assert all(b > a for a, b in spans)  # no empty shard, ever
+        levels = _levels_batch(3, seed=9)
+        with BatchRunner(engine, workers=8) as small:
+            np.testing.assert_array_equal(
+                small.scores(levels), engine.scores(levels)
+            )
+
+    def test_effective_shard_size_empty_batch(self, engine):
+        assert BatchRunner(engine, workers=4).effective_shard_size(0) == 0
+        assert BatchRunner(engine, workers=4)._shards(0) == []
+
 
 class TestThreadedScores:
     def test_matches_direct_engine_and_preserves_order(self, engine):

@@ -478,7 +478,7 @@ class TestProcessExecutor:
         monkeypatch.setattr(
             runner,
             "_submit",
-            lambda pool, shard, attempt, levels: submitted.append(
+            lambda pool, shard, attempt, levels, span=None: submitted.append(
                 (shard, attempt)
             )
             or f"resubmitted-{shard}",

@@ -1,0 +1,203 @@
+"""Zero-copy shared-memory shard handoff: lifecycle, parity, leak checks.
+
+The contract under test: the parent owns every segment (create + unlink,
+exactly once per batch, even across crash recovery), workers only ever
+attach read-only views, and nothing with the ``repro-shm`` prefix
+survives a runner — the ``leaked_segments()`` sweep is asserted after
+every scenario including injected process crashes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import BitPackedUniVSA, UniVSAConfig, UniVSAModel, extract_artifacts
+from repro.obs import MetricsRegistry, using_registry
+from repro.runtime import (
+    BatchRunner,
+    ChaosSpec,
+    ResilientBatchRunner,
+    RetryPolicy,
+    SharedArray,
+    attach_view,
+    leaked_segments,
+    resolve_shm,
+)
+from repro.runtime.shm import SHM_PREFIX, evict_attachments
+
+LEVELS = 10
+SHAPE = (5, 8)
+CONFIG = UniVSAConfig(
+    d_high=4, d_low=2, kernel_size=3, out_channels=6, voters=2, levels=LEVELS
+)
+
+
+def _mask():
+    mask = np.zeros(SHAPE, dtype=np.int8)
+    mask[::2] = 1
+    return mask
+
+
+@pytest.fixture(scope="module")
+def engine():
+    model = UniVSAModel(SHAPE, 3, CONFIG, mask=_mask(), seed=0)
+    return BitPackedUniVSA(extract_artifacts(model))
+
+
+def _levels_batch(n, seed=0):
+    return np.random.default_rng(seed).integers(0, LEVELS, size=(n,) + SHAPE)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaks_around_each_test():
+    assert leaked_segments() == [], "pre-existing segment leak"
+    yield
+    evict_attachments()
+    assert leaked_segments() == [], "test leaked a shared-memory segment"
+
+
+class TestSharedArray:
+    def test_round_trip_and_descriptor(self):
+        data = np.arange(24, dtype=np.intp).reshape(4, 6)
+        with SharedArray(data) as shared:
+            assert shared.name.startswith(SHM_PREFIX)
+            np.testing.assert_array_equal(shared.view(), data)
+            name, shape, dtype_str = shared.descriptor()
+            assert tuple(shape) == (4, 6)
+            assert np.dtype(dtype_str) == data.dtype
+            assert shared.nbytes == data.nbytes
+            assert leaked_segments() == [shared.name]
+
+    def test_dispose_unlinks_and_is_idempotent(self):
+        shared = SharedArray(np.zeros((3, 3)))
+        name = shared.name
+        assert leaked_segments() == [name]
+        shared.dispose()
+        assert leaked_segments() == []
+        shared.dispose()  # second call is a no-op, not an error
+
+    def test_attach_view_is_read_only_zero_copy_slice(self):
+        data = np.arange(40, dtype=np.int64).reshape(10, 4)
+        with SharedArray(data) as shared:
+            view = attach_view(shared.descriptor(), 2, 7)
+            np.testing.assert_array_equal(view, data[2:7])
+            assert not view.flags.writeable
+            with pytest.raises((ValueError, RuntimeError)):
+                view[0, 0] = -1
+            evict_attachments()  # release the mapping before unlink
+
+
+class TestResolveShm:
+    def test_thread_executor_never_uses_shm(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM", "1")
+        assert resolve_shm(None, "thread") is False
+        assert resolve_shm(True, "thread") is False
+
+    def test_process_defaults_on(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHM", raising=False)
+        assert resolve_shm(None, "process") is True
+
+    @pytest.mark.parametrize("off", ["0", "false", "no", "off"])
+    def test_env_switch_off(self, monkeypatch, off):
+        monkeypatch.setenv("REPRO_SHM", off)
+        assert resolve_shm(None, "process") is False
+
+    def test_explicit_flag_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM", "0")
+        assert resolve_shm(True, "process") is True
+        monkeypatch.setenv("REPRO_SHM", "1")
+        assert resolve_shm(False, "process") is False
+
+
+class TestBatchRunnerShm:
+    def test_process_shm_matches_direct_engine(self, engine):
+        levels = _levels_batch(12, seed=1)
+        expected = engine.scores(levels)
+        registry = MetricsRegistry()
+        with using_registry(registry):
+            with BatchRunner(
+                engine, shard_size=4, workers=2, executor="process", shm=True
+            ) as runner:
+                assert runner.use_shm
+                np.testing.assert_array_equal(runner.scores(levels), expected)
+        assert registry.counter("batch.shm.segments").value == 1
+        assert registry.counter("batch.shm.bytes_shared").value == levels.nbytes
+        # workers report their attaches through the telemetry delta
+        assert registry.counter("batch.shm.attach").value >= 1
+        assert registry.counter("batch.bytes_pickled").value == 0
+
+    def test_process_without_shm_pickles(self, engine):
+        levels = _levels_batch(8, seed=2)
+        registry = MetricsRegistry()
+        with using_registry(registry):
+            with BatchRunner(
+                engine, shard_size=4, workers=2, executor="process", shm=False
+            ) as runner:
+                np.testing.assert_array_equal(
+                    runner.scores(levels), engine.scores(levels)
+                )
+        assert registry.counter("batch.shm.segments").value == 0
+        assert registry.counter("batch.bytes_pickled").value == levels.nbytes
+
+
+class TestResilientShm:
+    def test_clean_run_populates_report(self, engine):
+        levels = _levels_batch(16, seed=3)
+        with ResilientBatchRunner(
+            engine, shard_size=4, workers=2, executor="process", shm=True
+        ) as runner:
+            result = runner.run(levels)
+        np.testing.assert_array_equal(result.scores, engine.scores(levels))
+        report = result.report
+        assert report.ok
+        assert report.shard_size == 4
+        assert report.n_shards == 4
+        assert report.shm_bytes == levels.nbytes
+        payload = report.as_dict()
+        assert payload["shard_size"] == 4
+        assert payload["n_shards"] == 4
+        assert payload["shm_bytes"] == levels.nbytes
+
+    def test_crash_recovery_reshares_and_never_leaks(self, engine):
+        """A crashed worker breaks the pool mid-batch: recovery must
+        replace the pool, re-share the segment under a fresh name, and
+        still produce bit-exact results with zero leftover segments."""
+        levels = _levels_batch(24, seed=4)
+        expected = engine.scores(levels)
+        registry = MetricsRegistry()
+        with using_registry(registry):
+            with ResilientBatchRunner(
+                engine,
+                shard_size=8,
+                workers=2,
+                executor="process",
+                shm=True,
+                policy=RetryPolicy(max_retries=2, backoff_base_s=0.001),
+                chaos=ChaosSpec(crash_on=frozenset({(1, 0)})),
+            ) as runner:
+                result = runner.run(levels)
+        np.testing.assert_array_equal(result.scores, expected)
+        assert result.report.shards[1].retries >= 1
+        # initial share + one re-share per pool replacement
+        assert registry.counter("batch.shm.segments").value >= 2
+        assert runner._shared is None  # disposed in the finally
+
+    def test_shard_failure_still_disposes_segment(self, engine):
+        """Exhausting the ladder on one shard must not leak the batch
+        segment — disposal is in a finally, not on the happy path."""
+        levels = _levels_batch(12, seed=5)
+        with ResilientBatchRunner(
+            engine,
+            shard_size=4,
+            workers=2,
+            executor="process",
+            shm=True,
+            policy=RetryPolicy(
+                max_retries=0, fallback=False, backoff_base_s=0.001,
+                breaker_threshold=5,
+            ),
+            chaos=ChaosSpec(crash_on=frozenset({(0, 0), (0, 1)})),
+        ) as runner:
+            result = runner.run(levels)
+        assert result.report.shards[0].status == "failed"
+        assert sorted(result.report.failed_samples) == list(range(4))
+        assert runner._shared is None

@@ -1,4 +1,4 @@
-"""bench_throughput: three engine configs, bit-exactness gate, report."""
+"""bench_throughput: five engine configs, bit-exactness gate, report."""
 
 import json
 
@@ -6,6 +6,9 @@ import numpy as np
 import pytest
 
 from repro.runtime import ThroughputReport, bench_throughput
+from repro.runtime.shm import leaked_segments
+
+ENGINES = {"seed", "fast", "fused", "parallel", "shm"}
 
 
 @pytest.fixture(scope="module")
@@ -15,6 +18,7 @@ def report():
         batch=24,
         repeats=2,
         warmup=0,
+        workers=2,
         n_train=24,
         n_test=12,
         epochs=1,
@@ -23,8 +27,8 @@ def report():
 
 
 class TestBenchThroughput:
-    def test_all_three_engines_measured(self, report):
-        assert set(report.engines) == {"seed", "fast", "parallel"}
+    def test_all_five_engines_measured(self, report):
+        assert set(report.engines) == ENGINES
         for engine in report.engines.values():
             assert engine.samples_per_s > 0
             assert engine.best_wall_s > 0
@@ -35,6 +39,11 @@ class TestBenchThroughput:
         parallel = report.engines["parallel"].samples_per_s
         assert report.speedup_vs_seed == pytest.approx(parallel / seed)
 
+    def test_shm_speedup_computed(self, report):
+        shm = report.engines["shm"].samples_per_s
+        parallel = report.engines["parallel"].samples_per_s
+        assert report.speedup_shm_vs_parallel == pytest.approx(shm / parallel)
+
     def test_stage_breakdowns_present(self, report):
         assert any(
             name.startswith("packed.") for name in report.engines["seed"].stages
@@ -44,8 +53,25 @@ class TestBenchThroughput:
         )
 
     def test_kernels_recorded(self, report):
-        assert report.kernels["set"] in ("fast", "legacy")
+        assert report.kernels["set"] in ("fast", "legacy", "jit")
         assert "numpy" in report.kernels
+        assert "jit_available" in report.kernels
+
+    def test_shm_handoff_accounted(self, report):
+        assert report.shm["bytes_shared"] > 0
+        assert report.shm["bytes_pickled_estimate"] > 0
+        assert report.shm["attach"] >= 1
+        assert report.shm["report"]["shm_bytes"] > 0
+        assert report.shm["report"]["n_shards"] >= 1
+        assert report.shm["report"]["shard_size"] >= 1
+        assert leaked_segments() == []
+
+    def test_traffic_models_per_mode(self, report):
+        assert set(report.traffic) == {"legacy", "fast", "fused"}
+        fused = report.traffic["fused"]
+        fast = report.traffic["fast"]
+        assert fused["peak_intermediate_mb"] < fast["peak_intermediate_mb"]
+        assert fused["bytes_per_sample"] > 0
 
     def test_ledger_metrics_flat_and_complete(self, report):
         metrics = report.ledger_metrics()
@@ -54,9 +80,17 @@ class TestBenchThroughput:
             "workers",
             "accuracy",
             "speedup_vs_seed",
+            "speedup_shm_vs_parallel",
             "samples_per_s",
             "samples_per_s_seed",
             "samples_per_s_fast",
+            "samples_per_s_fused",
+            "samples_per_s_shm",
+            "bytes_shared",
+            "bytes_pickled_estimate",
+            "intermediates_peak_mb",
+            "traffic_bytes_per_sample_fused",
+            "traffic_bytes_per_sample_fast",
         ):
             assert key in metrics
             assert np.isfinite(metrics[key])
@@ -66,12 +100,15 @@ class TestBenchThroughput:
         payload = json.loads(json.dumps(report.as_dict()))
         assert payload["benchmark"] == "bci-iii-v"
         assert payload["engines"]["fast"]["samples_per_s"] > 0
+        assert payload["shm"]["bytes_shared"] > 0
+        assert payload["traffic"]["fused"]["mode"] == "fused"
 
     def test_render_mentions_every_engine(self, report):
         text = report.render()
-        for name in ("seed", "fast", "parallel"):
+        for name in ENGINES:
             assert name in text
         assert "speedup vs seed" in text
+        assert "shm+fused vs parallel" in text
 
 
 class TestSpeedupEdgeCases:
@@ -88,3 +125,4 @@ class TestSpeedupEdgeCases:
             engines={},
         )
         assert report.speedup_vs_seed == 0.0
+        assert report.speedup_shm_vs_parallel == 0.0

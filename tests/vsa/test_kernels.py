@@ -21,6 +21,8 @@ from repro.vsa import (
 )
 from repro.vsa.kernels import (
     FAST_KERNELS,
+    HAVE_JIT,
+    JIT_KERNELS,
     LEGACY_KERNELS,
     available_kernel_sets,
     get_kernels,
@@ -29,6 +31,14 @@ from repro.vsa.kernels import (
     set_kernels,
     using_kernels,
 )
+
+
+def _match_sets():
+    """Every registered kernel set (jit included when importable)."""
+    sets = [FAST_KERNELS, LEGACY_KERNELS]
+    if HAVE_JIT:
+        sets.append(JIT_KERNELS)
+    return sets
 
 RNG = np.random.default_rng(11)
 
@@ -134,12 +144,67 @@ def test_match_count_equality_property(dim, seed):
         assert matches == dense
 
 
+class TestMatchBuilderEquality:
+    """Every set's fused-match builder must count XOR bits identically."""
+
+    @pytest.mark.parametrize("dim", EDGE_DIMS)
+    def test_match_counts_agree_across_sets(self, dim):
+        a = _random_bipolar((7, dim))
+        keys = _random_bipolar((5, dim))
+        op_bytes = (
+            FAST_KERNELS.pack(a)[0].astype("<u8", copy=False).view(np.uint8)
+        )
+        key_bytes = (
+            FAST_KERNELS.pack(keys)[0].astype("<u8", copy=False).view(np.uint8)
+        )
+        # dense reference: XOR popcount == disagreeing positions (padding
+        # bits are zero on both sides, so they never contribute)
+        dense = (a[:, None, :] != keys[None, :, :]).sum(axis=-1)
+        for kernels in _match_sets():
+            counts = kernels.match_builder(key_bytes)(op_bytes)
+            np.testing.assert_array_equal(
+                np.asarray(counts, dtype=np.int64),
+                dense,
+                err_msg=f"set={kernels.name}",
+            )
+
+    def test_match_builder_rejects_bad_key(self):
+        for kernels in _match_sets():
+            with pytest.raises(ValueError, match="key_bytes"):
+                kernels.match_builder(np.zeros(8, dtype=np.uint8))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 200), st.integers(0, 2**31 - 1))
+    def test_match_builder_property(self, dim, seed):
+        gen = np.random.default_rng(seed)
+        a = gen.choice(np.array([-1, 1], dtype=np.int8), size=(3, dim))
+        keys = gen.choice(np.array([-1, 1], dtype=np.int8), size=(2, dim))
+        op_bytes = FAST_KERNELS.pack(a)[0].astype("<u8", copy=False).view(np.uint8)
+        key_bytes = (
+            FAST_KERNELS.pack(keys)[0].astype("<u8", copy=False).view(np.uint8)
+        )
+        dense = (a[:, None, :] != keys[None, :, :]).sum(axis=-1)
+        for kernels in _match_sets():
+            counts = kernels.match_builder(key_bytes)(op_bytes)
+            np.testing.assert_array_equal(np.asarray(counts, dtype=np.int64), dense)
+
+
 class TestDispatch:
     def test_available_sets(self):
         sets = available_kernel_sets()
-        assert set(sets) == {"fast", "legacy"}
+        expected = {"fast", "legacy"} | ({"jit"} if HAVE_JIT else set())
+        assert set(sets) == expected
         assert sets["fast"] is FAST_KERNELS
         assert sets["legacy"] is LEGACY_KERNELS
+
+    def test_jit_selection_never_hard_fails(self):
+        """``jit`` always resolves: to the jit set, or to fast (recorded)."""
+        with using_kernels("jit") as active:
+            if HAVE_JIT:
+                assert active.name == "jit"
+            else:
+                assert active is FAST_KERNELS
+                assert kernel_info()["fallback_from"] == "jit"
 
     def test_set_kernels_rejects_unknown(self):
         with pytest.raises(ValueError, match="unknown kernel set"):
@@ -165,13 +230,18 @@ class TestDispatch:
             "set",
             "pack",
             "popcount",
+            "match",
             "numpy",
             "bitwise_count_available",
+            "jit_available",
+            "fallback_from",
         }
         legacy = kernel_info(LEGACY_KERNELS)
         assert legacy["set"] == "legacy"
         assert legacy["pack"] == "mac64"
         assert legacy["popcount"] == "lut16"
+        assert legacy["match"] == "xor-words"
+        assert kernel_info(FAST_KERNELS)["match"] == "lut8-gather"
 
     def test_publish_kernel_metrics_gauges(self):
         from repro.obs import MetricsRegistry

@@ -1,0 +1,127 @@
+"""The optional Numba backend: algorithm correctness without numba.
+
+The jit set's cores are plain Python functions (``_*_py``) wrapped in
+``njit`` only when numba imports, so the *algorithms* are provable
+bit-exact against the fast/legacy sets on every host — including this
+one when numba is absent.  Compiled-set tests skip cleanly in that case;
+the fallback contract (``jit`` request → fast set, recorded) never does.
+"""
+
+import numpy as np
+import pytest
+
+from repro.vsa.kernels import (
+    FAST_KERNELS,
+    HAVE_JIT,
+    JIT_KERNELS,
+    LEGACY_KERNELS,
+    kernel_info,
+    using_kernels,
+)
+from repro.vsa.kernels_jit import (
+    NUMBA_AVAILABLE,
+    _match_core_py,
+    _pack_core_py,
+    _pop16_table,
+    _popcount_core_py,
+    _unpack_core_py,
+    build_jit_kernels,
+    numba_unavailable_reason,
+)
+
+RNG = np.random.default_rng(23)
+
+EDGE_DIMS = [1, 63, 64, 65, 128, 200]
+
+
+def _random_bipolar(shape):
+    return RNG.choice(np.array([-1, 1], dtype=np.int8), size=shape)
+
+
+class TestPythonCores:
+    """The njit-compatible cores, run as plain Python, vs the fast set."""
+
+    @pytest.mark.parametrize("dim", EDGE_DIMS)
+    def test_pack_core_matches_fast(self, dim):
+        v = _random_bipolar((4, dim))
+        n_words = -(-dim // 64)
+        out = np.zeros((4, n_words), dtype=np.uint64)
+        _pack_core_py((v > 0).astype(np.uint8), out)
+        np.testing.assert_array_equal(out, FAST_KERNELS.pack(v)[0])
+
+    @pytest.mark.parametrize("dim", EDGE_DIMS)
+    def test_unpack_core_round_trips(self, dim):
+        v = _random_bipolar((3, dim))
+        packed, _ = FAST_KERNELS.pack(v)
+        out = np.empty((3, dim), dtype=np.int8)
+        _unpack_core_py(np.ascontiguousarray(packed), out)
+        np.testing.assert_array_equal(out, v)
+
+    def test_popcount_core_matches_both_sets(self):
+        words = RNG.integers(0, 2**63, size=37, dtype=np.uint64)
+        words[0] = 0
+        words[1] = np.uint64(0xFFFFFFFFFFFFFFFF)
+        out = np.empty(37, dtype=np.uint8)
+        _popcount_core_py(words, _pop16_table(), out)
+        np.testing.assert_array_equal(out, FAST_KERNELS.popcount8(words))
+        np.testing.assert_array_equal(out, LEGACY_KERNELS.popcount8(words))
+
+    @pytest.mark.parametrize("dim", EDGE_DIMS)
+    def test_match_core_matches_fast_builder(self, dim):
+        a = _random_bipolar((5, dim))
+        keys = _random_bipolar((3, dim))
+        op = FAST_KERNELS.pack(a)[0].astype("<u8", copy=False).view(np.uint8)
+        key = FAST_KERNELS.pack(keys)[0].astype("<u8", copy=False).view(np.uint8)
+        pop8 = np.ascontiguousarray(_pop16_table()[:256])
+        out = np.empty((5, 3), dtype=np.uint16)
+        _match_core_py(np.ascontiguousarray(op), np.ascontiguousarray(key), pop8, out)
+        np.testing.assert_array_equal(
+            out.astype(np.int64), FAST_KERNELS.match_builder(key)(op)
+        )
+
+
+class TestFallbackContract:
+    def test_build_returns_none_without_numba(self):
+        if NUMBA_AVAILABLE:
+            pytest.skip("numba installed; the unavailable path is vacuous here")
+        assert build_jit_kernels() is None
+        assert numba_unavailable_reason() is not None
+        assert not HAVE_JIT
+
+    def test_jit_request_downgrades_not_raises(self):
+        with using_kernels("jit") as active:
+            info = kernel_info()
+            if HAVE_JIT:
+                assert active.name == "jit"
+                assert info["fallback_from"] is None or info["set"] == "jit"
+            else:
+                assert active is FAST_KERNELS
+                assert info["fallback_from"] == "jit"
+                assert info["jit_available"] is False
+
+
+@pytest.mark.skipif(not NUMBA_AVAILABLE, reason="numba not installed")
+class TestCompiledSet:
+    """The njit-compiled set itself (runs only where numba imports)."""
+
+    @pytest.mark.parametrize("dim", EDGE_DIMS)
+    def test_pack_unpack_popcount_bit_exact(self, dim):
+        v = _random_bipolar((4, dim))
+        packed, d = JIT_KERNELS.pack(v)
+        ref, _ = FAST_KERNELS.pack(v)
+        np.testing.assert_array_equal(packed, ref)
+        np.testing.assert_array_equal(JIT_KERNELS.unpack(packed, d), v)
+        np.testing.assert_array_equal(
+            JIT_KERNELS.popcount8(packed), FAST_KERNELS.popcount8(packed)
+        )
+
+    @pytest.mark.parametrize("dim", EDGE_DIMS)
+    def test_match_builder_bit_exact(self, dim):
+        a = _random_bipolar((6, dim))
+        keys = _random_bipolar((4, dim))
+        op = FAST_KERNELS.pack(a)[0].astype("<u8", copy=False).view(np.uint8)
+        key = FAST_KERNELS.pack(keys)[0].astype("<u8", copy=False).view(np.uint8)
+        np.testing.assert_array_equal(
+            np.asarray(JIT_KERNELS.match_builder(key)(op), dtype=np.int64),
+            np.asarray(FAST_KERNELS.match_builder(key)(op), dtype=np.int64),
+        )
