@@ -349,6 +349,42 @@ def _cmd_bench_throughput(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify_artifacts(args: argparse.Namespace) -> int:
+    """Verify a saved artifact archive against its embedded manifest."""
+    import json
+
+    from repro.runtime.integrity import ArtifactCorruptionError, verify_archive
+
+    try:
+        report = verify_archive(args.model)
+    except FileNotFoundError:
+        print(f"error: no such archive: {args.model}", file=sys.stderr)
+        return 1
+    except ArtifactCorruptionError as exc:
+        print(f"CORRUPT: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    rows = [
+        [name, entry["dtype"], "x".join(str(d) for d in entry["shape"]) or "scalar",
+         entry["sha256"][:16]]
+        for name, entry in sorted(report["arrays"].items())
+    ]
+    print(render_kv(
+        {
+            "archive": report["path"],
+            "format version": report["format_version"],
+            "config hash": report["config_hash"] or "-",
+            "arrays": len(rows),
+        },
+        title="artifact integrity — all digests verified",
+    ))
+    print()
+    print(render_table(["array", "dtype", "shape", "sha256[:16]"], rows))
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the micro-batching TCP serving daemon until interrupted."""
     import asyncio
@@ -357,7 +393,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.obs import MetricsRegistry, using_registry
     from repro.obs.slo import SLO
     from repro.runtime import (
+        IntegrityScrubber,
         MicroBatchServer,
+        NetPolicy,
         ResilientBatchRunner,
         ServePolicy,
         serve_tcp,
@@ -398,6 +436,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         slo = dataclasses.replace(slo, p99_ms=args.slo_p99_ms)
     if args.slo_availability is not None:
         slo = dataclasses.replace(slo, availability=args.slo_availability)
+    # REPRO_SERVE_MAX_LINE / _READ_TIMEOUT_S / _MAX_CONNS provide the
+    # front-end limits; explicit flags win over env.
+    net = NetPolicy.from_env()
+    if args.max_line_bytes is not None:
+        net = dataclasses.replace(net, max_line_bytes=args.max_line_bytes)
+    if args.read_timeout_s is not None:
+        net = dataclasses.replace(net, read_timeout_s=args.read_timeout_s)
+    if args.max_connections is not None:
+        net = dataclasses.replace(net, max_connections=args.max_connections)
 
     async def daemon() -> None:
         with ResilientBatchRunner(
@@ -406,14 +453,32 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             workers=args.workers,
             executor=args.executor,
         ) as runner:
-            async with MicroBatchServer(runner, policy, slo=slo) as server:
-                tcp = await serve_tcp(server, args.host, args.port)
+            # With a saved model, repairs reload the verified archive;
+            # a freshly trained model repairs from a pristine in-memory
+            # copy retained here.
+            scrubber = (
+                None
+                if args.no_scrub
+                else IntegrityScrubber(
+                    runner, source=args.model if args.model else None
+                )
+            )
+            async with MicroBatchServer(
+                runner,
+                policy,
+                slo=slo,
+                scrubber=scrubber,
+                scrub_interval_s=args.scrub_interval_s,
+            ) as server:
+                tcp = await serve_tcp(server, args.host, args.port, net=net)
                 host, port = tcp.sockets[0].getsockname()[:2]
                 print(
                     f"serving {name} on {host}:{port} "
                     f"(batch<={policy.max_batch}, deadline {policy.deadline_ms:g} ms, "
                     f"queue<={policy.max_queue}, "
-                    f"slo p99<={slo.p99_ms:g} ms @ {slo.availability:g}) "
+                    f"slo p99<={slo.p99_ms:g} ms @ {slo.availability:g}, "
+                    f"scrub every {server.scrub_interval_s:g} s"
+                    f"{' off' if scrubber is None else ''}) "
                     "— Ctrl-C drains and exits"
                 )
                 sys.stdout.flush()
@@ -423,11 +488,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     tcp.close()
                     await tcp.wait_closed()
 
-    with using_registry(MetricsRegistry()):
+    registry = MetricsRegistry()
+    with using_registry(registry):
         try:
             asyncio.run(daemon())
         except KeyboardInterrupt:
             print("\ninterrupted — queue drained, daemon stopped")
+    # One session record at shutdown: the serve.*/serve.net.*/integrity.*
+    # counters of this daemon's lifetime, so chaos recoveries and
+    # front-end abuse are visible in the ledger after the fact.
+    _append_ledger(
+        args,
+        "serve",
+        "serve-daemon",
+        config=artifacts.config,
+        metrics={},
+        registry=registry,
+    )
     return 0
 
 
@@ -737,6 +814,7 @@ def _cmd_fault_sweep(args: argparse.Namespace) -> int:
             flip_fractions=fractions,
             seed=args.seed,
             predict_fn=predict_fn,
+            repair_after=args.repair_after,
             **kwargs,
         )
     rows = [
@@ -756,6 +834,23 @@ def _cmd_fault_sweep(args: argparse.Namespace) -> int:
     ))
     print()
     print(render_table(["flip fraction", "accuracy", "drop"], rows, title="sweep"))
+    if report.repaired_accuracies is not None:
+        recovery_rows = [
+            [f"{f:g}", f"{deg:.4f}", "yes" if det else "no", f"{rep:.4f}", f"{rec:+.4f}"]
+            for f, deg, det, rep, rec in zip(
+                report.flip_fractions,
+                report.resident_accuracies,
+                report.scrub_detected,
+                report.repaired_accuracies,
+                report.recovery(),
+            )
+        ]
+        print()
+        print(render_table(
+            ["flip fraction", "degraded", "detected", "repaired", "recovered"],
+            recovery_rows,
+            title="recovery — scrub + hot repair of resident engine memory",
+        ))
     payload = report.as_dict()
     payload.update(
         benchmark=args.benchmark,
@@ -775,6 +870,12 @@ def _cmd_fault_sweep(args: argparse.Namespace) -> int:
     for fraction, accuracy in zip(report.flip_fractions, report.accuracies):
         metrics[f"accuracy_flip_{fraction:g}"] = accuracy
     metrics["max_degradation"] = max(report.degradation(), default=0.0)
+    if report.repaired_accuracies is not None:
+        for fraction, accuracy in zip(report.flip_fractions, report.repaired_accuracies):
+            metrics[f"repaired_accuracy_flip_{fraction:g}"] = accuracy
+        metrics["min_repaired_accuracy"] = min(
+            report.repaired_accuracies, default=report.baseline_accuracy
+        )
     _append_ledger(
         args,
         "bench",
@@ -1122,8 +1223,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="SLO availability objective, e.g. 0.999 "
         "(default: REPRO_SLO_AVAILABILITY)",
     )
+    serve.add_argument(
+        "--scrub-interval-s", type=float, default=None,
+        help="seconds between memory-scrub passes "
+        "(default: REPRO_SCRUB_INTERVAL_S or 5; <=0 disables the loop)",
+    )
+    serve.add_argument(
+        "--no-scrub", action="store_true",
+        help="disable the integrity scrubber entirely",
+    )
+    serve.add_argument(
+        "--max-line-bytes", type=int, default=None,
+        help="largest accepted request line (default: REPRO_SERVE_MAX_LINE or 1 MiB)",
+    )
+    serve.add_argument(
+        "--read-timeout-s", type=float, default=None,
+        help="per-connection read timeout in seconds "
+        "(default: REPRO_SERVE_READ_TIMEOUT_S or 30; 0 disables)",
+    )
+    serve.add_argument(
+        "--max-connections", type=int, default=None,
+        help="concurrent connection cap (default: REPRO_SERVE_MAX_CONNS or 128)",
+    )
     _add_serve_policy_flags(serve)
+    _add_ledger_flags(serve)
     serve.set_defaults(func=_cmd_serve)
+
+    verify = sub.add_parser(
+        "verify-artifacts",
+        help="verify a saved model archive against its embedded integrity "
+        "manifest (exit 1 on any digest mismatch)",
+    )
+    verify.add_argument("model", help="path to a saved artifact archive (.npz)")
+    verify.add_argument(
+        "--json", action="store_true", help="print the verification report as JSON"
+    )
+    verify.set_defaults(func=_cmd_verify_artifacts)
 
     top = sub.add_parser(
         "top",
@@ -1232,6 +1367,13 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--n-test", type=int, default=60)
     sweep.add_argument("--epochs", type=int, default=2)
     sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument(
+        "--repair-after",
+        action="store_true",
+        help="also corrupt a live packed engine's resident memory at each "
+        "fraction and measure accuracy after the integrity scrubber's hot "
+        "repair (the recovery curve)",
+    )
     sweep.add_argument(
         "--json",
         help="sweep JSON path (default benchmarks/results/<benchmark>-fault-sweep.json)",

@@ -174,8 +174,20 @@ class UniVSAArtifacts:
             total += self.mask.size
         return int(total)
 
-    def save(self, path) -> None:
-        """Persist all artifacts to an .npz file."""
+    def save(self, path):
+        """Persist all artifacts to a checksummed ``.npz``, atomically.
+
+        The archive embeds a versioned integrity manifest (per-array
+        sha256, config hash) and is written temp-file + fsync + rename,
+        so a crash mid-save leaves any previous archive intact rather
+        than a torn zip.  Returns the final path (``.npz`` appended when
+        missing, matching ``np.savez``).  See
+        :mod:`repro.runtime.integrity` for the format.
+        """
+        # Function-level import: core stays importable without the
+        # runtime package in the loop at module-import time.
+        from repro.runtime.integrity import save_archive
+
         arrays = {
             "mask": self.mask,
             "value_high": self.value_high,
@@ -194,34 +206,42 @@ class UniVSAArtifacts:
             arrays["kernel"] = self.kernel
             arrays["conv_thresholds"] = self.conv_thresholds
             arrays["conv_flips"] = self.conv_flips
-        np.savez(path, **arrays)
+        return save_archive(path, arrays, config=self.config)
 
     @classmethod
-    def load(cls, path) -> "UniVSAArtifacts":
-        """Load artifacts saved by :meth:`save`."""
-        with np.load(path) as archive:
-            flags = archive["flags"]
-            config = UniVSAConfig.from_paper_tuple(
-                tuple(int(v) for v in archive["paper_tuple"]),
-                levels=int(archive["levels"]),
-                use_dvp=bool(flags[0]),
-                use_biconv=bool(flags[1]),
-                use_batchnorm=bool(flags[2]),
-            )
-            return cls(
-                config=config,
-                input_shape=tuple(int(v) for v in archive["input_shape"]),
-                mask=archive["mask"],
-                value_high=archive["value_high"],
-                value_low=archive["value_low"] if "value_low" in archive else None,
-                kernel=archive["kernel"] if "kernel" in archive else None,
-                feature_vectors=archive["feature_vectors"],
-                class_vectors=archive["class_vectors"],
-                conv_thresholds=(
-                    archive["conv_thresholds"] if "conv_thresholds" in archive else None
-                ),
-                conv_flips=archive["conv_flips"] if "conv_flips" in archive else None,
-            )
+    def load(cls, path, verify: bool = True) -> "UniVSAArtifacts":
+        """Load artifacts saved by :meth:`save`.
+
+        Every array is digest-verified against the embedded manifest;
+        damage raises :class:`repro.runtime.integrity
+        .ArtifactCorruptionError` naming the bad array (a torn/truncated
+        archive raises it with ``array=None``).  ``verify=False`` skips
+        the checks — the escape hatch for forensics and for pre-manifest
+        archives.
+        """
+        from repro.runtime.integrity import load_archive_arrays
+
+        archive = load_archive_arrays(path, verify=verify)
+        flags = archive["flags"]
+        config = UniVSAConfig.from_paper_tuple(
+            tuple(int(v) for v in archive["paper_tuple"]),
+            levels=int(archive["levels"]),
+            use_dvp=bool(flags[0]),
+            use_biconv=bool(flags[1]),
+            use_batchnorm=bool(flags[2]),
+        )
+        return cls(
+            config=config,
+            input_shape=tuple(int(v) for v in archive["input_shape"]),
+            mask=archive["mask"],
+            value_high=archive["value_high"],
+            value_low=archive.get("value_low"),
+            kernel=archive.get("kernel"),
+            feature_vectors=archive["feature_vectors"],
+            class_vectors=archive["class_vectors"],
+            conv_thresholds=archive.get("conv_thresholds"),
+            conv_flips=archive.get("conv_flips"),
+        )
 
 
 def extract_artifacts(model: UniVSAModel) -> UniVSAArtifacts:

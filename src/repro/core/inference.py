@@ -488,6 +488,56 @@ class BitPackedUniVSA:
         """Quantizer levels the ValueBox covers — valid inputs are [0, n)."""
         return self.artifacts.value_high.shape[0]
 
+    def resident_operands(self) -> dict:
+        """Every array inference reads at serve time, by stable name.
+
+        Covers both the source artifact arrays and the mode's derived
+        packed operands (value-volume bytes, conv operand words, packed
+        feature/class vectors, thresholds, fused taps/bounds).  This is
+        the scrub surface of :class:`repro.runtime.integrity
+        .IntegrityScrubber`: golden digests are taken over exactly this
+        dict at build time and re-checked on every scrub pass, so a bit
+        flip in any resident memory is detectable — and a rebuilt engine
+        reproduces the same dict bit for bit (construction is
+        deterministic given the artifacts).
+        """
+        operands: dict = {}
+        for name in (
+            "mask",
+            "value_high",
+            "value_low",
+            "kernel",
+            "feature_vectors",
+            "class_vectors",
+            "conv_thresholds",
+            "conv_flips",
+        ):
+            array = getattr(self.artifacts, name, None)
+            if isinstance(array, np.ndarray):
+                operands[f"artifacts.{name}"] = array
+        for attr in (
+            "_kernel_packed",
+            "_thresholds",
+            "_flips",
+            "_feature_packed",
+            "_class_packed",
+            "_value_bytes_high",
+            "_value_bytes_low",
+            "_mask_bool",
+            "_feature_inv",
+            "_class_inv",
+            "_kernel_operand_inv",
+            "_conv_match_hi",
+            "_conv_match_lo",
+            "_kernel_tap_bytes",
+            "_fused_bound",
+            "_fused_flip",
+        ):
+            array = getattr(self, attr, None)
+            if isinstance(array, np.ndarray):
+                operands[f"engine.{attr.lstrip('_')}"] = array
+        return operands
+
     def sibling(self, mode: str, conv_tile_mb: float | None = None) -> "BitPackedUniVSA":
         """An engine over the *same* artifacts in a different mode.
 

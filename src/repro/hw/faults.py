@@ -70,24 +70,55 @@ def inject_bit_flips(
 
 @dataclass
 class FaultReport:
-    """Accuracy vs flip rate for one memory group selection."""
+    """Accuracy vs flip rate for one memory group selection.
+
+    With ``repair_after`` the report also carries the *recovery curve*:
+    per fraction, the accuracy with the same per-bit corruption applied
+    to a live packed engine's resident memory
+    (``resident_accuracies``), whether the integrity scrubber detected
+    it (``scrub_detected``), and the accuracy after the scrubber's hot
+    repair (``repaired_accuracies`` — equal to the baseline when repair
+    restores the golden state, which is the claim the curve documents).
+    """
 
     flip_fractions: list[float]
     accuracies: list[float]
     baseline_accuracy: float
+    resident_accuracies: list[float] | None = None
+    repaired_accuracies: list[float] | None = None
+    scrub_detected: list[bool] | None = None
 
     def degradation(self) -> list[float]:
         """Accuracy drop vs the fault-free model, per flip rate."""
         return [self.baseline_accuracy - a for a in self.accuracies]
 
+    def recovery(self) -> list[float] | None:
+        """Accuracy recovered by the scrub+repair pass, per flip rate."""
+        if self.repaired_accuracies is None:
+            return None
+        return [
+            repaired - corrupted
+            for repaired, corrupted in zip(
+                self.repaired_accuracies, self.resident_accuracies
+            )
+        ]
+
     def as_dict(self) -> dict:
         """JSON-friendly view (the fault-sweep sidecar payload)."""
-        return {
+        out = {
             "flip_fractions": list(self.flip_fractions),
             "accuracies": list(self.accuracies),
             "baseline_accuracy": self.baseline_accuracy,
             "degradation": self.degradation(),
         }
+        if self.repaired_accuracies is not None:
+            out.update(
+                resident_accuracies=list(self.resident_accuracies),
+                repaired_accuracies=list(self.repaired_accuracies),
+                scrub_detected=list(self.scrub_detected),
+                recovery=self.recovery(),
+            )
+        return out
 
 
 def fault_sweep(
@@ -98,6 +129,8 @@ def fault_sweep(
     groups: tuple[str, ...] = _GROUPS,
     seed: int = 0,
     predict_fn=None,
+    repair_after: bool = False,
+    engine_mode: str = "fast",
 ) -> FaultReport:
     """Measure accuracy under increasing memory-corruption rates.
 
@@ -105,6 +138,16 @@ def fault_sweep(
     path; the default is the integer reference (``artifacts.predict``).
     An int ``seed`` reproduces the same flip positions at every fraction,
     so sweep points differ only in corruption *rate*, not location luck.
+
+    With ``repair_after=True`` each fraction additionally runs the live
+    recovery pipeline the serving layer uses: a pristine packed engine
+    (``engine_mode``) gets its resident operands corrupted in place at
+    the same per-bit rate (:func:`repro.runtime.integrity
+    .flip_resident_bits`), accuracy is measured degraded, then the
+    :class:`~repro.runtime.integrity.IntegrityScrubber` is invoked —
+    detect + rebuild-from-pristine — and accuracy is re-measured.  The
+    resulting recovery curve sits alongside the degradation curve in the
+    report (and EXPERIMENTS).
     """
     labels = np.asarray(labels)
     if predict_fn is None:
@@ -115,8 +158,34 @@ def fault_sweep(
         corrupted = inject_bit_flips(artifacts, fraction, groups=groups, seed=seed)
         predictions = np.asarray(predict_fn(corrupted, levels))
         accuracies.append(float((predictions == labels).mean()))
-    return FaultReport(
+    report = FaultReport(
         flip_fractions=list(flip_fractions),
         accuracies=accuracies,
         baseline_accuracy=baseline,
     )
+    if not repair_after:
+        return report
+    from repro.core.inference import BitPackedUniVSA
+    from repro.runtime.integrity import IntegrityScrubber, flip_resident_bits
+
+    resident_accuracies = []
+    repaired_accuracies = []
+    scrub_detected = []
+    for index, fraction in enumerate(flip_fractions):
+        # Resident flips can land in the artifact arrays themselves;
+        # corrupt a private deep copy so the caller's model — and the
+        # next fraction's engine — stay pristine.
+        engine = BitPackedUniVSA(copy.deepcopy(artifacts), mode=engine_mode)
+        scrubber = IntegrityScrubber(engine)
+        rng = np.random.default_rng((seed, index))
+        flip_resident_bits(engine, rng, rate=fraction)
+        degraded = np.asarray(engine.predict(levels))
+        resident_accuracies.append(float((degraded == labels).mean()))
+        scrub = scrubber.scrub()
+        scrub_detected.append(not scrub.clean)
+        repaired = np.asarray(scrubber.engine.predict(levels))
+        repaired_accuracies.append(float((repaired == labels).mean()))
+    report.resident_accuracies = resident_accuracies
+    report.repaired_accuracies = repaired_accuracies
+    report.scrub_detected = scrub_detected
+    return report

@@ -51,6 +51,7 @@ from .export import (
 )
 from .ledger import (
     DEFAULT_LEDGER_PATH,
+    INTEGRITY_NAMESPACE,
     MARGIN_HISTOGRAM,
     SLO_NAMESPACE,
     ComparisonReport,
@@ -141,6 +142,7 @@ __all__ = [
     # SLO / error budgets
     "SLO",
     "SLOTracker",
+    "INTEGRITY_NAMESPACE",
     "SLO_NAMESPACE",
     # tracing
     "Span",

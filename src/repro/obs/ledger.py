@@ -32,6 +32,7 @@ __all__ = [
     "DEFAULT_LEDGER_PATH",
     "MARGIN_HISTOGRAM",
     "FUSED_NAMESPACE",
+    "INTEGRITY_NAMESPACE",
     "RESILIENCE_NAMESPACE",
     "SEARCH_NAMESPACE",
     "SERVE_NAMESPACE",
@@ -112,6 +113,14 @@ TRAFFIC_NAMESPACE = "packed.traffic."
 #: lets ``repro obs compare --max-budget-burn`` gate a run on how much
 #: SLO budget it burned.
 SLO_NAMESPACE = "slo."
+
+#: Counter/gauge namespace the artifact-integrity layer records into
+#: (``integrity.{scrubs,mismatches,repairs,repair_failures,corruptions,
+#: corrupt_bits}`` plus the soft-vote margin-window gauges).  Harvested
+#: into every record, so a serving run shows how often resident memory
+#: decayed, how often the scrubber healed it, and what the corruption
+#: cost in decision margin.
+INTEGRITY_NAMESPACE = "integrity."
 
 
 def config_hash(config) -> str:
@@ -282,6 +291,8 @@ def record_run(
         harvested.update(registry.gauge_values(SERVE_NAMESPACE))
         harvested.update(registry.counter_values(SLO_NAMESPACE))
         harvested.update(registry.gauge_values(SLO_NAMESPACE))
+        harvested.update(registry.counter_values(INTEGRITY_NAMESPACE))
+        harvested.update(registry.gauge_values(INTEGRITY_NAMESPACE))
         harvested.update(registry.counter_values(SHM_NAMESPACE))
         harvested.update(registry.counter_values(FUSED_NAMESPACE))
         harvested.update(registry.gauge_values(FUSED_NAMESPACE))

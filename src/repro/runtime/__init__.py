@@ -4,6 +4,14 @@ micro-batching online front end and its open-loop load harness."""
 
 from .batch import BatchRunner, WorkerPool, resolve_workers
 from .chaos import ChaosError, ChaosSpec, chaos_context, chaos_kernels, parse_chaos
+from .integrity import (
+    ArtifactCorruptionError,
+    IntegrityScrubber,
+    ScrubReport,
+    damage_archive,
+    flip_resident_bits,
+    verify_archive,
+)
 from .loadgen import (
     LoadPoint,
     ServeBenchReport,
@@ -23,7 +31,7 @@ from .resilience import (
     serving_predict_fn,
     validate_levels,
 )
-from .serve import MicroBatchServer, ServePolicy, ServeResponse, serve_tcp
+from .serve import MicroBatchServer, NetPolicy, ServePolicy, ServeResponse, serve_tcp
 from .shm import SharedArray, attach_view, leaked_segments, resolve_shm
 from .stream import StreamingClassifier, StreamingDecision
 from .throughput import EngineSample, ThroughputReport, bench_throughput
@@ -57,7 +65,15 @@ __all__ = [
     "attach_view",
     "leaked_segments",
     "resolve_shm",
+    # artifact integrity / self-healing
+    "ArtifactCorruptionError",
+    "IntegrityScrubber",
+    "ScrubReport",
+    "damage_archive",
+    "flip_resident_bits",
+    "verify_archive",
     # serving front end
+    "NetPolicy",
     "ServePolicy",
     "ServeResponse",
     "MicroBatchServer",

@@ -291,6 +291,18 @@ class BatchRunner:
         """
         return self._workerpool.replace()
 
+    def replace_engine(self, engine) -> None:
+        """Hot-swap a rebuilt engine (the integrity repair path).
+
+        A live pool is rebuilt so process workers re-initialize from the
+        new engine's artifacts; a never-used pool stays lazy.  Callers
+        serialize this against in-flight batches (the serve layer runs
+        both on its single batch-executor thread).
+        """
+        self.engine = engine
+        if self._workerpool.executor is not None:
+            self._replace_pool()
+
     def close(self) -> None:
         """Shut the worker pool down (idempotent).
 

@@ -21,6 +21,13 @@ opens a :func:`chaos_context` around every shard attempt, which
   sibling of :func:`repro.hw.faults.inject_bit_flips`'s stored-memory
   corruption).
 
+Two further directives target the *state* plane rather than shard
+execution, and are consumed by :mod:`repro.runtime.integrity`:
+``corrupt:P`` flips bits in the engine's resident operand memory between
+micro-batches (the serve layer's scrub/repair loop is what recovers),
+and ``truncate`` damages every archive ``UniVSAArtifacts.save`` writes
+(exercising the torn-store detection of the checksummed loader).
+
 Every decision is drawn from ``np.random.default_rng((seed, shard,
 attempt))`` — deterministic per shard *attempt* regardless of thread or
 process scheduling, so a retried shard re-rolls its fate and a chaos run
@@ -108,9 +115,11 @@ class ChaosSpec:
     raise_on: frozenset = field(default_factory=frozenset)
     delay_on: frozenset = field(default_factory=frozenset)
     crash_on: frozenset = field(default_factory=frozenset)
+    corrupt_rate: float = 0.0
+    truncate: bool = False
 
     def __post_init__(self) -> None:
-        for name in ("raise_rate", "crash_rate", "bitflip_rate"):
+        for name in ("raise_rate", "crash_rate", "bitflip_rate", "corrupt_rate"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {value}")
@@ -125,6 +134,8 @@ class ChaosSpec:
             or self.delay_s
             or self.bitflip_rate
             or self.crash_rate
+            or self.corrupt_rate
+            or self.truncate
             or self.raise_on
             or self.delay_on
             or self.crash_on
@@ -152,6 +163,8 @@ class ChaosSpec:
             "delay_s": self.delay_s,
             "bitflip": self.bitflip_rate,
             "crash": self.crash_rate,
+            "corrupt": self.corrupt_rate,
+            "truncate": self.truncate,
             "seed": self.seed,
             "targeted": self.targeted,
         }
@@ -163,17 +176,24 @@ class ChaosSpec:
 
         Comma-separated ``directive:value`` pairs; directives are
         ``raise`` (probability), ``delay`` (duration, e.g. ``10ms``),
-        ``bitflip`` (per-bit rate), ``crash`` (probability), and ``seed``
-        (overrides the ``seed`` argument).  Empty/None parses disabled.
+        ``bitflip`` (per-bit rate), ``crash`` (probability), ``corrupt``
+        (probability per micro-batch of flipping bits in resident
+        artifact memory — see :mod:`repro.runtime.integrity`),
+        ``truncate`` (bare flag: damage archives as they are saved), and
+        ``seed`` (overrides the ``seed`` argument).  Empty/None parses
+        disabled.
         """
         if not text or not text.strip():
             return cls(seed=seed)
-        values: dict[str, float] = {}
+        values: dict = {}
         for part in text.split(","):
             part = part.strip()
             if not part:
                 continue
             if ":" not in part:
+                if part.lower() == "truncate":
+                    values["truncate"] = True
+                    continue
                 raise ValueError(
                     f"bad chaos directive {part!r}; expected 'name:value'"
                 )
@@ -187,12 +207,16 @@ class ChaosSpec:
                 values["bitflip_rate"] = float(raw)
             elif name == "crash":
                 values["crash_rate"] = float(raw)
+            elif name == "corrupt":
+                values["corrupt_rate"] = float(raw)
+            elif name == "truncate":
+                values["truncate"] = raw.strip().lower() in ("1", "true", "yes", "on")
             elif name == "seed":
                 values["seed"] = int(raw)
             else:
                 raise ValueError(
                     f"unknown chaos directive {name!r}; expected "
-                    "raise/delay/bitflip/crash/seed"
+                    "raise/delay/bitflip/crash/corrupt/truncate/seed"
                 )
         values.setdefault("seed", seed)
         return cls(**values)

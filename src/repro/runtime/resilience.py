@@ -518,6 +518,17 @@ class ResilientBatchRunner(BatchRunner):
                 self._fallback_engine = self.engine.sibling("legacy")
         return self._fallback_engine
 
+    def replace_engine(self, engine) -> None:
+        """Hot-swap a rebuilt engine, also resetting the legacy fallback.
+
+        The integrity scrubber calls this on repair: a fallback sibling
+        built over the corrupted artifacts would re-serve the corruption
+        on the next degraded batch, so it is dropped and lazily rebuilt
+        from the repaired engine when next needed.
+        """
+        super().replace_engine(engine)
+        self._fallback_engine = None
+
     # -- public API -----------------------------------------------------
     def scores(self, levels: np.ndarray) -> np.ndarray:
         """Soft-voting class scores; quarantined rows are all-zero."""

@@ -29,8 +29,21 @@ what it already accepted.  Every event lands in ``serve.*`` instruments
 counters, queue-depth gauge, ``serve.latency`` and ``serve.batch``
 histograms), which the run ledger harvests into every record.
 
+The server also hosts the *integrity* loop: given an
+:class:`~repro.runtime.integrity.IntegrityScrubber`, a periodic
+coroutine re-hashes the engine's resident operands on the batch-executor
+thread (so scrubs serialize with batch execution and a hot repair never
+swaps the engine under an in-flight batch) and repairs corruption from
+the verified source while serving continues.  The chaos ``corrupt:P``
+directive is fired between micro-batches on the same thread, which is
+what the CI integrity-smoke job recovers from.
+
 :func:`serve_tcp` puts a newline-delimited-JSON TCP front end over the
-server for the ``python -m repro serve`` daemon;
+server for the ``python -m repro serve`` daemon — hardened per
+:class:`NetPolicy`: a max line length, per-connection read timeouts
+(slow-loris), a connection cap, and ``status="bad_request"`` answers for
+malformed/oversized/wrong-shape requests (a client can never crash a
+handler).  Network-plane events land in ``serve.net.*`` counters;
 :mod:`repro.runtime.loadgen` drives the same server in-process for the
 ``serve-bench`` latency-vs-load harness.
 """
@@ -38,6 +51,7 @@ server for the ``python -m repro serve`` daemon;
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import json
 import os
 from concurrent.futures import ThreadPoolExecutor
@@ -48,9 +62,11 @@ import numpy as np
 from repro.obs import get_registry, snapshot, stage_timer
 from repro.obs.slo import SLO, SLOTracker
 
+from .integrity import maybe_corrupt_resident
 from .resilience import QUARANTINED_LABEL, CircuitOpenError
 
 __all__ = [
+    "NetPolicy",
     "ServePolicy",
     "ServeResponse",
     "MicroBatchServer",
@@ -116,6 +132,56 @@ class ServePolicy:
 
 
 @dataclass(frozen=True)
+class NetPolicy:
+    """Limits of the TCP front end (garbage / slow-loris hardening).
+
+    ``max_line_bytes`` bounds one request line (an over-long line is
+    answered ``bad_request`` and the connection dropped — mid-line there
+    is no newline to resync on).  ``read_timeout_s`` caps how long a
+    connection may sit between lines (0 disables); a client trickling
+    bytes forever is cut off instead of pinning a handler.
+    ``max_connections`` caps concurrently open connections — excess ones
+    get a single ``{"status": "rejected"}`` line and a close, the same
+    explicit-shed philosophy as the admission-controlled queue.
+    """
+
+    max_line_bytes: int = 1 << 20
+    read_timeout_s: float = 30.0
+    max_connections: int = 128
+
+    def __post_init__(self) -> None:
+        if self.max_line_bytes < 64:
+            raise ValueError("max_line_bytes must be >= 64")
+        if self.read_timeout_s < 0:
+            raise ValueError("read_timeout_s must be >= 0 (0 disables)")
+        if self.max_connections < 1:
+            raise ValueError("max_connections must be >= 1")
+
+    @classmethod
+    def from_env(cls, environ=None) -> "NetPolicy":
+        """Policy from ``REPRO_SERVE_MAX_LINE`` / ``REPRO_SERVE_READ_TIMEOUT_S``
+        / ``REPRO_SERVE_MAX_CONNS`` (unset keys keep the defaults)."""
+        env = os.environ if environ is None else environ
+
+        def _get(key, cast, default):
+            raw = env.get(key)
+            if raw is None or not str(raw).strip():
+                return default
+            try:
+                return cast(raw)
+            except (TypeError, ValueError):
+                return default
+
+        return cls(
+            max_line_bytes=_get("REPRO_SERVE_MAX_LINE", int, cls.max_line_bytes),
+            read_timeout_s=_get(
+                "REPRO_SERVE_READ_TIMEOUT_S", float, cls.read_timeout_s
+            ),
+            max_connections=_get("REPRO_SERVE_MAX_CONNS", int, cls.max_connections),
+        )
+
+
+@dataclass(frozen=True)
 class ServeResponse:
     """One answered request.
 
@@ -136,6 +202,21 @@ class ServeResponse:
     @property
     def ok(self) -> bool:
         return self.status == "ok"
+
+
+def _resolve_scrub_interval(value: float | None) -> float:
+    """Scrub period: explicit value, else ``REPRO_SCRUB_INTERVAL_S``,
+    else 5 s.  Only consulted when a scrubber is attached; <= 0 disables
+    the periodic loop (on-demand ``scrub()`` still works)."""
+    if value is not None:
+        return float(value)
+    raw = os.environ.get("REPRO_SCRUB_INTERVAL_S")
+    if raw is None or not raw.strip():
+        return 5.0
+    try:
+        return float(raw)
+    except ValueError:
+        return 5.0
 
 
 @dataclass
@@ -167,6 +248,8 @@ class MicroBatchServer:
         runner,
         policy: ServePolicy | None = None,
         slo: SLO | SLOTracker | None = None,
+        scrubber=None,
+        scrub_interval_s: float | None = None,
     ) -> None:
         self.runner = runner
         self.policy = policy if policy is not None else ServePolicy.from_env()
@@ -174,13 +257,17 @@ class MicroBatchServer:
             self.slo = slo
         else:
             self.slo = SLOTracker(slo if slo is not None else SLO.from_env())
+        self.scrubber = scrubber
+        self.scrub_interval_s = _resolve_scrub_interval(scrub_interval_s)
         self._pending: list[_Request] = []
         self._loop: asyncio.AbstractEventLoop | None = None
         self._wake: asyncio.Event | None = None
         self._flusher: asyncio.Task | None = None
+        self._scrub_task: asyncio.Task | None = None
         self._executor: ThreadPoolExecutor | None = None
         self._closing = False
         self._inflight = 0
+        self._batches_started = 0
 
     # -- lifecycle ------------------------------------------------------
     async def start(self) -> "MicroBatchServer":
@@ -196,6 +283,8 @@ class MicroBatchServer:
             max_workers=1, thread_name_prefix="repro-serve"
         )
         self._flusher = self._loop.create_task(self._flush_loop())
+        if self.scrubber is not None and self.scrub_interval_s > 0:
+            self._scrub_task = self._loop.create_task(self._scrub_loop())
         return self
 
     async def drain(self) -> None:
@@ -207,6 +296,11 @@ class MicroBatchServer:
         self._wake.set()
         flusher, self._flusher = self._flusher, None
         await flusher
+        if self._scrub_task is not None:
+            task, self._scrub_task = self._scrub_task, None
+            task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await task
         executor, self._executor = self._executor, None
         executor.shutdown(wait=True)
         get_registry().gauge("serve.queue_depth").set(0.0)
@@ -375,7 +469,49 @@ class MicroBatchServer:
     def _run_batch(self, levels: np.ndarray):
         """Executor-thread body: one resilient batch under a serve span."""
         with stage_timer("serve.batch"):
+            chaos = getattr(self.runner, "chaos", None)
+            if chaos is not None and getattr(chaos, "corrupt_rate", 0.0):
+                # The corrupt:P chaos seam: between batches, flip bits in
+                # the engine's resident memory.  Indexed by batch ordinal
+                # (this executor is single-threaded, so the ordinal is
+                # the execution order) for reproducible corruption.
+                maybe_corrupt_resident(
+                    self.runner.engine, chaos, self._batches_started
+                )
+            self._batches_started += 1
             return self.runner.run(levels)
+
+    # -- integrity scrubbing --------------------------------------------
+    async def _scrub_loop(self) -> None:
+        """Periodic scrub on the batch executor (serializes with batches)."""
+        while not self._closing:
+            await asyncio.sleep(self.scrub_interval_s)
+            if self._executor is None:
+                return
+            try:
+                await self._loop.run_in_executor(
+                    self._executor, self.scrubber.scrub
+                )
+            except asyncio.CancelledError:
+                raise
+            except Exception:  # noqa: BLE001 — scrubbing must not kill serving
+                get_registry().counter("integrity.scrub_errors").add(1)
+
+    async def scrub(self):
+        """On-demand scrub pass; returns the
+        :class:`~repro.runtime.integrity.ScrubReport`.
+
+        Runs on the batch-executor thread so it serializes with batch
+        execution — a repair never swaps the engine under an in-flight
+        batch, and serving continues (the queue keeps accepting).
+        """
+        if self.scrubber is None:
+            raise RuntimeError("server has no scrubber configured")
+        if self._executor is None:
+            return self.scrubber.scrub()
+        return await self._loop.run_in_executor(
+            self._executor, self.scrubber.scrub
+        )
 
     def _fail_batch(self, batch: list[_Request], reason: str) -> None:
         registry = get_registry()
@@ -418,7 +554,7 @@ class MicroBatchServer:
         """
         registry = get_registry()
         state = snapshot(registry)
-        return {
+        out = {
             "queue_depth": self.queue_depth,
             "inflight": self._inflight,
             "draining": self._closing,
@@ -433,6 +569,9 @@ class MicroBatchServer:
             "gauges": state["gauges"],
             "stages": state["stages"],
         }
+        if self.scrubber is not None:
+            out["integrity"] = self.scrubber.status()
+        return out
 
 
 # ---------------------------------------------------------------------------
@@ -458,7 +597,7 @@ def _admin_response(server: MicroBatchServer, payload: dict) -> dict:
         slo_state = server.slo.state()
         draining = server._closing
         healthy = not draining and slo_state["budget_remaining"] > 0.0
-        return {
+        out = {
             "status": "ok",
             "op": "health",
             "healthy": healthy,
@@ -469,61 +608,181 @@ def _admin_response(server: MicroBatchServer, payload: dict) -> dict:
             "burn_rate_fast": slo_state["burn_rate_fast"],
             "burn_rate_slow": slo_state["burn_rate_slow"],
         }
+        if server.scrubber is not None:
+            last = server.scrubber.last_report
+            out["scrub_clean"] = True if last is None else bool(
+                last.clean or last.repaired
+            )
+        return out
     return {"status": "error", "reason": f"unknown admin op {op!r}"}
 
 
 async def serve_tcp(
-    server: MicroBatchServer, host: str = "127.0.0.1", port: int = 8765
+    server: MicroBatchServer,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    net: NetPolicy | None = None,
 ):
-    """Put a newline-delimited-JSON TCP front end over ``server``.
+    """Put a hardened newline-delimited-JSON TCP front end over ``server``.
 
     Protocol: one request object per line, ``{"levels": [[...]]}`` (a
     single quantized sample shaped like the engine's input; add
     ``"scores": true`` for the per-class score vector), answered with one
     response line carrying ``status`` / ``label`` / ``latency_ms`` /
-    ``batch_size``.  Malformed lines get ``status="error"`` instead of a
-    dropped connection.
+    ``batch_size``.
+
+    The front end never lets a client crash a handler: malformed JSON,
+    non-object payloads, non-numeric or wrong-shape ``levels``, and
+    over-long lines are all answered ``status="bad_request"`` with a
+    ``reason`` (and counted as *client* errors, so they never burn the
+    server's SLO budget); only genuine server-side failures answer
+    ``status="error"``.  :class:`NetPolicy` bounds the line length
+    (oversized lines are answered then the connection dropped — mid-line
+    there is no newline to resync on), idle time between lines
+    (slow-loris timeout), and concurrently open connections (excess ones
+    are told ``status="rejected"`` and closed).  Every network-plane
+    event lands in ``serve.net.*`` counters, which the run ledger
+    harvests.
 
     Lines carrying ``"op"`` instead of ``"levels"`` are *admin* requests
     answered inline, without touching the request queue:
 
     * ``{"op": "metrics"}`` — full operational snapshot (queue depth,
       in-flight batch, flush counters, per-stage p50/p95/p99 including
-      worker-merged totals, SLO error-budget state); add
+      worker-merged totals, SLO error-budget state, scrubber state); add
       ``"format": "prom"`` for Prometheus text exposition in ``"prom"``.
     * ``{"op": "health"}`` — cheap liveness probe with queue depth and
       budget burn.
+    * ``{"op": "scrub"}`` — run one on-demand integrity scrub (detect +
+      hot-repair) and return its report.
 
     Returns the listening :class:`asyncio.Server`; the caller owns its
     lifecycle.
     """
+    net = net if net is not None else NetPolicy.from_env()
+    open_connections = 0
+
+    def _bad_request(reason: str) -> dict:
+        get_registry().counter("serve.net.bad_requests").add(1)
+        # A request the server could not even parse is a *client* error —
+        # it must not burn the server's error budget.
+        server.slo.record_client_error()
+        return {"status": "bad_request", "reason": reason}
+
+    async def _answer(raw: bytes) -> dict:
+        registry = get_registry()
+        registry.counter("serve.net.requests").add(1)
+        try:
+            payload = json.loads(raw)
+        except (ValueError, UnicodeDecodeError) as exc:
+            return _bad_request(f"malformed JSON: {exc}")
+        if not isinstance(payload, dict):
+            return _bad_request("request must be a JSON object")
+        if "op" in payload:
+            try:
+                if payload.get("op") == "scrub":
+                    report = await server.scrub()
+                    out = report.as_dict()
+                    out.update({"status": "ok", "op": "scrub"})
+                    return out
+                return _admin_response(server, payload)
+            except Exception as exc:  # noqa: BLE001 — answer, don't hang up
+                registry.counter("serve.net.errors").add(1)
+                return {"status": "error", "reason": f"{type(exc).__name__}: {exc}"}
+        if "levels" not in payload:
+            return _bad_request("request must carry 'levels' or 'op'")
+        try:
+            levels = np.asarray(payload["levels"])
+        except Exception as exc:  # noqa: BLE001 — ragged nests and worse
+            return _bad_request(f"levels is not array-like: {exc}")
+        if levels.dtype == object or not np.issubdtype(levels.dtype, np.number):
+            return _bad_request("levels must be a numeric array")
+        try:
+            response = await server.submit(levels)
+        except ValueError as exc:
+            return _bad_request(str(exc))
+        except Exception as exc:  # noqa: BLE001 — answer, don't hang up
+            registry.counter("serve.net.errors").add(1)
+            return {"status": "error", "reason": f"{type(exc).__name__}: {exc}"}
+        out = {
+            "status": response.status,
+            "label": response.label,
+            "latency_ms": response.latency_s * 1e3,
+            "batch_size": response.batch_size,
+        }
+        if response.reason:
+            out["reason"] = response.reason
+        if payload.get("scores") and response.scores is not None:
+            out["scores"] = np.asarray(response.scores).tolist()
+        return out
+
+    async def _serve_connection(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        registry = get_registry()
+        timeout = net.read_timeout_s or None
+        while True:
+            try:
+                line = await asyncio.wait_for(reader.readuntil(b"\n"), timeout)
+            except asyncio.TimeoutError:
+                # Slow-loris: a connection trickling (or sending nothing)
+                # between lines is cut off, freeing the handler.
+                registry.counter("serve.net.timeouts").add(1)
+                return
+            except asyncio.IncompleteReadError as exc:
+                if exc.partial:
+                    # Mid-request disconnect: bytes but no newline.
+                    registry.counter("serve.net.disconnects").add(1)
+                return
+            except asyncio.LimitOverrunError:
+                registry.counter("serve.net.oversized").add(1)
+                out = _bad_request(f"line exceeds {net.max_line_bytes} bytes")
+                with contextlib.suppress(ConnectionError, OSError):
+                    writer.write((json.dumps(out) + "\n").encode("utf-8"))
+                    await writer.drain()
+                return
+            except (ConnectionResetError, OSError):
+                registry.counter("serve.net.disconnects").add(1)
+                return
+            out = await _answer(line)
+            try:
+                writer.write((json.dumps(out) + "\n").encode("utf-8"))
+                await writer.drain()
+            except (ConnectionResetError, OSError):
+                registry.counter("serve.net.disconnects").add(1)
+                return
 
     async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
-        while True:
-            line = await reader.readline()
-            if not line:
-                break
-            try:
-                payload = json.loads(line)
-                if isinstance(payload, dict) and "op" in payload:
-                    out = _admin_response(server, payload)
-                else:
-                    response = await server.submit(np.asarray(payload["levels"]))
-                    out = {
-                        "status": response.status,
-                        "label": response.label,
-                        "latency_ms": response.latency_s * 1e3,
-                        "batch_size": response.batch_size,
-                    }
-                    if response.reason:
-                        out["reason"] = response.reason
-                    if payload.get("scores") and response.scores is not None:
-                        out["scores"] = np.asarray(response.scores).tolist()
-            except Exception as exc:  # noqa: BLE001 — answer, don't hang up
-                out = {"status": "error", "reason": str(exc)}
-            writer.write((json.dumps(out) + "\n").encode("utf-8"))
-            await writer.drain()
-        writer.close()
-        await writer.wait_closed()
+        nonlocal open_connections
+        registry = get_registry()
+        registry.counter("serve.net.connections").add(1)
+        if open_connections >= net.max_connections:
+            registry.counter("serve.net.rejected_connections").add(1)
+            with contextlib.suppress(ConnectionError, OSError):
+                writer.write(
+                    (
+                        json.dumps(
+                            {"status": "rejected", "reason": "connection-limit"}
+                        )
+                        + "\n"
+                    ).encode("utf-8")
+                )
+                await writer.drain()
+            writer.close()
+            with contextlib.suppress(ConnectionError, OSError):
+                await writer.wait_closed()
+            return
+        open_connections += 1
+        registry.gauge("serve.net.open").set(open_connections)
+        try:
+            await _serve_connection(reader, writer)
+        finally:
+            open_connections -= 1
+            registry.gauge("serve.net.open").set(open_connections)
+            writer.close()
+            with contextlib.suppress(ConnectionError, OSError):
+                await writer.wait_closed()
 
-    return await asyncio.start_server(handle, host, port)
+    return await asyncio.start_server(
+        handle, host, port, limit=net.max_line_bytes
+    )

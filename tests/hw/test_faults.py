@@ -156,6 +156,30 @@ class TestSweep:
         assert state["degradation"] == [pytest.approx(0.0)]
         assert state["baseline_accuracy"] == report.baseline_accuracy
 
+    def test_repair_after_recovers_baseline_accuracy(self, fitted):
+        """The recovery curve: resident corruption degrades a live packed
+        engine, the scrubber detects it, and the hot repair restores the
+        engine to bit-identical — so repaired accuracy equals baseline."""
+        artifacts, x, y = fitted
+        report = fault_sweep(
+            artifacts, x, y, flip_fractions=(0.01, 0.1), seed=0, repair_after=True
+        )
+        assert report.scrub_detected == [True, True]
+        assert report.repaired_accuracies == [report.baseline_accuracy] * 2
+        assert len(report.resident_accuracies) == 2
+        state = report.as_dict()
+        assert state["repaired_accuracies"] == report.repaired_accuracies
+        assert state["recovery"] == report.recovery()
+        # the caller's model is never touched by the resident corruption
+        assert float((artifacts.predict(x) == y).mean()) == report.baseline_accuracy
+
+    def test_without_repair_after_the_recovery_fields_stay_none(self, fitted):
+        artifacts, x, y = fitted
+        report = fault_sweep(artifacts, x, y, flip_fractions=(0.01,), seed=0)
+        assert report.repaired_accuracies is None
+        assert report.recovery() is None
+        assert "repaired_accuracies" not in report.as_dict()
+
     def test_predict_fn_selects_the_serving_path(self, fitted):
         """The sweep hands predict_fn the corrupted artifacts, once per
         sweep point plus once for the baseline."""

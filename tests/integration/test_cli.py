@@ -78,6 +78,35 @@ class TestParser:
         assert args.slo_p99_ms == pytest.approx(20.0)
         assert args.slo_availability == pytest.approx(0.99)
 
+    def test_serve_integrity_and_net_flags(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "--scrub-interval-s", "0.5", "--no-scrub",
+                "--max-line-bytes", "4096", "--read-timeout-s", "2",
+                "--max-connections", "7",
+            ]
+        )
+        assert args.scrub_interval_s == pytest.approx(0.5)
+        assert args.no_scrub is True
+        assert args.max_line_bytes == 4096
+        assert args.read_timeout_s == pytest.approx(2.0)
+        assert args.max_connections == 7
+        defaults = build_parser().parse_args(["serve"])
+        assert defaults.scrub_interval_s is None and defaults.no_scrub is False
+        assert defaults.max_line_bytes is None
+
+    def test_fault_sweep_repair_after_flag(self):
+        assert build_parser().parse_args(
+            ["fault-sweep", "bci-iii-v", "--repair-after"]
+        ).repair_after is True
+        assert build_parser().parse_args(
+            ["fault-sweep", "bci-iii-v"]
+        ).repair_after is False
+
+    def test_verify_artifacts_registered(self):
+        args = build_parser().parse_args(["verify-artifacts", "model.npz", "--json"])
+        assert args.model == "model.npz" and args.json is True
+
 
 class TestInfo:
     def test_lists_benchmarks(self, capsys):
@@ -130,6 +159,50 @@ class TestTrainEvaluate:
         assert code == 0
         out = capsys.readouterr().out
         assert "accuracy" in out and "KB" in out
+
+
+class TestVerifyArtifacts:
+    @pytest.fixture()
+    def saved_model(self, tmp_path):
+        from repro.core import UniVSAConfig, UniVSAModel, extract_artifacts
+
+        config = UniVSAConfig(
+            d_high=4, d_low=2, kernel_size=3, out_channels=6, voters=2, levels=10
+        )
+        artifacts = extract_artifacts(UniVSAModel((5, 8), 3, config, seed=0))
+        return str(artifacts.save(tmp_path / "model.npz"))
+
+    def test_clean_archive_exits_zero(self, capsys, saved_model):
+        assert main(["verify-artifacts", saved_model]) == 0
+        out = capsys.readouterr().out
+        assert "all digests verified" in out
+        assert "feature_vectors" in out
+
+    def test_json_report(self, capsys, saved_model):
+        import json
+
+        assert main(["verify-artifacts", saved_model, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True and "mask" in report["arrays"]
+
+    def test_corrupted_archive_exits_nonzero_naming_array(self, capsys, saved_model):
+        from repro.runtime.integrity import corrupt_stored_array
+
+        name = corrupt_stored_array(saved_model, seed=2)
+        assert main(["verify-artifacts", saved_model]) == 1
+        err = capsys.readouterr().err
+        assert "CORRUPT" in err and name in err
+
+    def test_truncated_archive_exits_nonzero(self, capsys, saved_model):
+        from repro.runtime.integrity import damage_archive
+
+        damage_archive(saved_model, seed=3, mode="truncate")
+        assert main(["verify-artifacts", saved_model]) == 1
+        assert "unreadable archive" in capsys.readouterr().err
+
+    def test_missing_archive_exits_nonzero(self, capsys, tmp_path):
+        assert main(["verify-artifacts", str(tmp_path / "absent.npz")]) == 1
+        assert "no such archive" in capsys.readouterr().err
 
 
 class TestTrace:

@@ -84,6 +84,20 @@ class TestGrammar:
         assert ChaosSpec(crash_rate=0.1).has_crash
         assert ChaosSpec(crash_on=frozenset({(0, 0)})).has_crash
 
+    def test_state_plane_directives(self):
+        spec = ChaosSpec.parse("corrupt:0.05,truncate,seed:7")
+        assert spec.corrupt_rate == pytest.approx(0.05)
+        assert spec.truncate is True
+        assert spec.seed == 7
+        assert spec.enabled
+        assert spec.as_dict()["corrupt"] == pytest.approx(0.05)
+        assert spec.as_dict()["truncate"] is True
+        # truncate also accepts an explicit boolean value
+        assert ChaosSpec.parse("truncate:1").truncate
+        assert not ChaosSpec.parse("truncate:0").truncate
+        with pytest.raises(ValueError, match="corrupt_rate"):
+            ChaosSpec(corrupt_rate=2.0)
+
 
 class TestCrashGate:
     def test_serving_process_survives_certain_crash(self):

@@ -16,7 +16,9 @@ from repro.obs import MetricsRegistry, using_registry
 from repro.runtime import (
     ChaosSpec,
     CircuitOpenError,
+    IntegrityScrubber,
     MicroBatchServer,
+    NetPolicy,
     ResilientBatchRunner,
     RetryPolicy,
     ServePolicy,
@@ -373,7 +375,7 @@ class TestServeTCP:
         assert [first["label"], second["label"]] == list(expected)
         assert len(first["scores"]) == 3
         assert first["latency_ms"] >= 0.0 and first["batch_size"] >= 1
-        assert err["status"] == "error" and err["reason"]
+        assert err["status"] == "bad_request" and err["reason"]
 
 
 class TestSLOAccounting:
@@ -515,6 +517,316 @@ class TestAdminPlane:
         with using_registry(MetricsRegistry()):
             out = asyncio.run(scenario())
         assert out["healthy"] is False and out["draining"] is True
+
+
+class TestNetPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_line_bytes"):
+            NetPolicy(max_line_bytes=8)
+        with pytest.raises(ValueError, match="read_timeout_s"):
+            NetPolicy(read_timeout_s=-1.0)
+        with pytest.raises(ValueError, match="max_connections"):
+            NetPolicy(max_connections=0)
+
+    def test_from_env_reads_all_knobs_and_survives_garbage(self):
+        net = NetPolicy.from_env(
+            {
+                "REPRO_SERVE_MAX_LINE": "4096",
+                "REPRO_SERVE_READ_TIMEOUT_S": "1.5",
+                "REPRO_SERVE_MAX_CONNS": "3",
+            }
+        )
+        assert net == NetPolicy(max_line_bytes=4096, read_timeout_s=1.5, max_connections=3)
+        assert NetPolicy.from_env({"REPRO_SERVE_MAX_LINE": "huge"}) == NetPolicy()
+
+
+class TestHardenedFrontEnd:
+    """Satellite: every abusive client is answered (or cut off) without
+    ever crashing a handler, and the daemon keeps serving well-formed
+    requests afterwards."""
+
+    def _scenario(self, engine, net, driver):
+        """Run ``driver(port)`` against a live TCP front end; returns
+        (driver result, registry)."""
+        registry = MetricsRegistry()
+
+        async def run():
+            policy = ServePolicy(max_batch=4, deadline_ms=30.0, flush_margin_ms=0.0)
+            with ResilientBatchRunner(engine, policy=FAST, workers=1) as runner:
+                async with MicroBatchServer(runner, policy) as server:
+                    tcp = await serve_tcp(server, host="127.0.0.1", port=0, net=net)
+                    port = tcp.sockets[0].getsockname()[1]
+                    try:
+                        return await driver(port)
+                    finally:
+                        tcp.close()
+                        await tcp.wait_closed()
+
+        with using_registry(registry):
+            result = asyncio.run(run())
+        return result, registry
+
+    def test_garbage_inputs_answer_bad_request_then_daemon_still_serves(self, engine):
+        sample = _samples(1, seed=7)[0]
+        expected = engine.predict(sample[None])[0]
+        abusive = [
+            b"this is not json\n",
+            b"\x00\xff\xfe binary garbage \x80\x81\n",
+            b"[1, 2, 3]\n",  # JSON but not an object
+            b'{"neither_levels_nor_op": 1}\n',
+            b'{"levels": [["a", "b"], ["c", "d"]]}\n',  # non-numeric
+            b'{"levels": [1, 2, 3]}\n',  # wrong shape for the engine
+            b'{"levels": {"nested": "junk"}}\n',
+        ]
+
+        async def driver(port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            answers = []
+            for line in abusive:
+                writer.write(line)
+                await writer.drain()
+                answers.append(json.loads(await reader.readline()))
+            # the same connection still serves a real request afterwards
+            writer.write((json.dumps({"levels": sample.tolist()}) + "\n").encode())
+            await writer.drain()
+            answers.append(json.loads(await reader.readline()))
+            writer.close()
+            await writer.wait_closed()
+            return answers
+
+        answers, registry = self._scenario(engine, NetPolicy(), driver)
+        *bad, good = answers
+        assert [b["status"] for b in bad] == ["bad_request"] * len(abusive)
+        assert all(b["reason"] for b in bad)
+        assert good["status"] == "ok" and good["label"] == expected
+        assert registry.counter("serve.net.bad_requests").value == len(abusive)
+        # client abuse never burns the server's SLO error budget
+        assert registry.gauge("slo.failures").value == 0
+
+    def test_oversized_line_answered_then_connection_dropped(self, engine):
+        sample = _samples(1, seed=8)[0]
+        net = NetPolicy(max_line_bytes=256)
+
+        async def driver(port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(b'{"levels": [' + b"1," * 4096 + b"1]}\n")
+            await writer.drain()
+            answer = json.loads(await reader.readline())
+            trailing = await reader.read()  # server closes after answering
+            writer.close()
+            await writer.wait_closed()
+            # a fresh connection is unaffected
+            reader2, writer2 = await asyncio.open_connection("127.0.0.1", port)
+            writer2.write((json.dumps({"levels": sample.tolist()}) + "\n").encode())
+            await writer2.drain()
+            good = json.loads(await reader2.readline())
+            writer2.close()
+            await writer2.wait_closed()
+            return answer, trailing, good
+
+        (answer, trailing, good), registry = self._scenario(engine, net, driver)
+        assert answer["status"] == "bad_request" and "256" in answer["reason"]
+        assert trailing == b""
+        assert good["status"] == "ok"
+        assert registry.counter("serve.net.oversized").value == 1
+
+    def test_mid_request_disconnect_is_counted_and_survived(self, engine):
+        sample = _samples(1, seed=9)[0]
+
+        async def driver(port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(b'{"levels": [[1, 2')  # no newline: mid-request
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+            await asyncio.sleep(0.05)  # let the handler observe the EOF
+            reader2, writer2 = await asyncio.open_connection("127.0.0.1", port)
+            writer2.write((json.dumps({"levels": sample.tolist()}) + "\n").encode())
+            await writer2.drain()
+            good = json.loads(await reader2.readline())
+            writer2.close()
+            await writer2.wait_closed()
+            return good
+
+        good, registry = self._scenario(engine, NetPolicy(), driver)
+        assert good["status"] == "ok"
+        assert registry.counter("serve.net.disconnects").value == 1
+
+    def test_admin_and_inference_interleave_on_one_connection(self, engine):
+        """Pipelined inference + admin lines on a single connection are
+        answered in order, the admin ops without touching the queue."""
+        samples = _samples(2, seed=10)
+        expected = list(engine.predict(samples))
+
+        async def driver(port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            lines = [
+                {"levels": samples[0].tolist()},
+                {"op": "health"},
+                {"levels": samples[1].tolist()},
+                {"op": "metrics"},
+            ]
+            # pipeline: write everything before reading anything
+            writer.write("".join(json.dumps(l) + "\n" for l in lines).encode())
+            await writer.drain()
+            answers = [json.loads(await reader.readline()) for _ in lines]
+            writer.close()
+            await writer.wait_closed()
+            return answers
+
+        answers, _ = self._scenario(engine, NetPolicy(), driver)
+        first, health, second, metrics = answers
+        assert [first["label"], second["label"]] == expected
+        assert health["op"] == "health" and health["healthy"] is True
+        assert metrics["op"] == "metrics"
+        assert metrics["counters"]["serve.answered"] >= 1
+
+    def test_connection_cap_rejects_excess_connections(self, engine):
+        sample = _samples(1, seed=11)[0]
+        net = NetPolicy(max_connections=1)
+
+        async def driver(port):
+            reader1, writer1 = await asyncio.open_connection("127.0.0.1", port)
+            # hold the first connection open with a request so it is
+            # definitely admitted before the second arrives
+            writer1.write((json.dumps({"levels": sample.tolist()}) + "\n").encode())
+            await writer1.drain()
+            first = json.loads(await reader1.readline())
+            reader2, writer2 = await asyncio.open_connection("127.0.0.1", port)
+            rejected = json.loads(await reader2.readline())
+            assert await reader2.read() == b""  # server closed it
+            writer2.close()
+            await writer2.wait_closed()
+            writer1.close()
+            await writer1.wait_closed()
+            await asyncio.sleep(0.05)  # let the slot free up
+            reader3, writer3 = await asyncio.open_connection("127.0.0.1", port)
+            writer3.write((json.dumps({"levels": sample.tolist()}) + "\n").encode())
+            await writer3.drain()
+            third = json.loads(await reader3.readline())
+            writer3.close()
+            await writer3.wait_closed()
+            return first, rejected, third
+
+        (first, rejected, third), registry = self._scenario(engine, net, driver)
+        assert first["status"] == "ok"
+        assert rejected == {"status": "rejected", "reason": "connection-limit"}
+        assert third["status"] == "ok"
+        assert registry.counter("serve.net.rejected_connections").value == 1
+
+    def test_slow_loris_connection_times_out(self, engine):
+        net = NetPolicy(read_timeout_s=0.1)
+
+        async def driver(port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(b'{"levels"')  # start a line, then stall
+            await writer.drain()
+            cut_off = await reader.read()  # server cuts us off
+            writer.close()
+            await writer.wait_closed()
+            return cut_off
+
+        cut_off, registry = self._scenario(engine, net, driver)
+        assert cut_off == b""
+        assert registry.counter("serve.net.timeouts").value == 1
+
+
+class TestSelfHealingServing:
+    def test_scrub_loop_repairs_chaos_corruption_and_answers_stay_exact(self):
+        """Under ``corrupt`` chaos the periodic scrubber detects the
+        resident bit flips and hot-repairs the engine from its pristine
+        copy; after a quiet (no-corruption) scrub the answers are
+        bit-identical to inline inference again."""
+        # private engine: chaos flips its resident memory in place, so the
+        # shared module fixture must not be the victim
+        engine = BitPackedUniVSA(
+            extract_artifacts(UniVSAModel(SHAPE, 3, CONFIG, seed=0))
+        )
+        samples = _samples(8, seed=12)
+        expected = list(engine.predict(samples))
+        registry = MetricsRegistry()
+
+        async def scenario():
+            policy = ServePolicy(max_batch=8, deadline_ms=30.0, flush_margin_ms=0.0)
+            with ResilientBatchRunner(
+                engine, policy=FAST, workers=1,
+                chaos=ChaosSpec(corrupt_rate=1.0, seed=5),
+            ) as runner:
+                scrubber = IntegrityScrubber(runner)
+                async with MicroBatchServer(
+                    runner, policy, scrubber=scrubber, scrub_interval_s=0
+                ) as server:
+                    # every batch corrupts resident memory afterwards
+                    await server.submit_many(samples)
+                    report = await server.scrub()
+                    assert report.corrupted and report.repaired
+                    # disarm chaos, then verify clean answers post-repair
+                    runner.chaos = ChaosSpec()
+                    clean = await server.scrub()
+                    assert clean.clean
+                    responses = await server.submit_many(samples)
+                    snap = server.admin_snapshot()
+                    return responses, snap
+
+        with using_registry(registry):
+            responses, snap = asyncio.run(scenario())
+        assert [r.label for r in responses] == expected
+        assert registry.counter("integrity.corruptions").value >= 1
+        assert registry.counter("integrity.repairs").value >= 1
+        assert snap["integrity"]["last"]["corrupted"] == []
+        assert registry.counter("integrity.scrubs").value == 2
+
+    def test_scrub_op_and_health_scrub_clean_over_tcp(self, engine):
+        async def scenario():
+            policy = ServePolicy(max_batch=4, deadline_ms=30.0, flush_margin_ms=0.0)
+            with ResilientBatchRunner(engine, policy=FAST, workers=1) as runner:
+                scrubber = IntegrityScrubber(runner)
+                async with MicroBatchServer(
+                    runner, policy, scrubber=scrubber, scrub_interval_s=0
+                ) as server:
+                    tcp = await serve_tcp(server, host="127.0.0.1", port=0)
+                    port = tcp.sockets[0].getsockname()[1]
+                    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+
+                    async def ask(payload):
+                        writer.write((json.dumps(payload) + "\n").encode())
+                        await writer.drain()
+                        return json.loads(await reader.readline())
+
+                    scrub = await ask({"op": "scrub"})
+                    health = await ask({"op": "health"})
+                    writer.close()
+                    await writer.wait_closed()
+                    tcp.close()
+                    await tcp.wait_closed()
+                    return scrub, health
+
+        with using_registry(MetricsRegistry()):
+            scrub, health = asyncio.run(scenario())
+        assert scrub["status"] == "ok" and scrub["op"] == "scrub"
+        assert scrub["corrupted"] == [] and scrub["scanned"] > 0
+        assert health["scrub_clean"] is True
+
+    def test_scrub_op_without_scrubber_answers_error(self):
+        runner = _ScriptedRunner()
+
+        async def scenario():
+            async with MicroBatchServer(runner, ServePolicy()) as server:
+                tcp = await serve_tcp(server, host="127.0.0.1", port=0)
+                port = tcp.sockets[0].getsockname()[1]
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                writer.write(b'{"op": "scrub"}\n')
+                await writer.drain()
+                out = json.loads(await reader.readline())
+                writer.close()
+                await writer.wait_closed()
+                tcp.close()
+                await tcp.wait_closed()
+                return out
+
+        with using_registry(MetricsRegistry()):
+            out = asyncio.run(scenario())
+        assert out["status"] == "error" and "scrubber" in out["reason"]
 
 
 class TestChaosServing:
