@@ -270,6 +270,38 @@ class BitPackedUniVSA:
         self._fused_bound = np.where(flips, xor_lo - 1, xor_hi)
         self._fused_flip = flips
         self._fused_matcher = get_kernels().match_builder(self._kernel_tap_bytes)
+        self._init_cc_conv()
+
+    def _init_cc_conv(self) -> None:
+        """Attach the compiled conv backend when available.
+
+        The compiled kernel computes the *fires* plane directly from the
+        padded DVP byte volume — same tap tables, same XOR-space bounds,
+        bit-exact with the NumPy matcher path (re-encoded as an unsigned
+        inclusive window; see :mod:`repro.vsa.kernels_cc`).  The legacy
+        kernel set is the reference configuration, so it keeps the pure
+        NumPy path; anything else opts in unless ``REPRO_CC`` disables
+        the backend or the build fails, in which case the engine silently
+        keeps the matcher and ``kernel_info()`` records the reason.
+        """
+        self._cc_conv = None
+        if self.artifacts.kernel is None or get_kernels().name == "legacy":
+            return
+        from repro.vsa.kernels_cc import build_conv_fires
+
+        kernel = self.artifacts.kernel
+        k = kernel.shape[2]
+        nb = self._kernel_tap_bytes.shape[-1] // (k * k)
+        self._cc_conv = build_conv_fires(
+            self._kernel_tap_bytes, self._fused_bound, self._fused_flip, k, nb
+        )
+
+    @property
+    def conv_backend(self) -> str:
+        """Which BiConv implementation the fused path dispatches to."""
+        if getattr(self, "_cc_conv", None) is not None:
+            return "cc"
+        return "numpy"
 
     def _fused_tile(self) -> int:
         """Batch-tile size keeping one tile's *entire* pipeline in budget."""
@@ -311,12 +343,15 @@ class BitPackedUniVSA:
                     padded = np.pad(
                         volume_bytes, ((0, 0), (pad, pad), (pad, pad), (0, 0))
                     )
-                    windows = sliding_window_view(padded, (k, k), axis=(1, 2))
-                    operand = windows.transpose(0, 1, 2, 4, 5, 3).reshape(
-                        stop - start, h * w, -1
-                    )
-                    counts = self._fused_matcher(operand)  # (T, P, O) XOR bits
-                    fires = (counts <= self._fused_bound) ^ self._fused_flip
+                    if self._cc_conv is not None:
+                        fires = self._cc_conv(padded)  # (T, P, O) uint8 0/1
+                    else:
+                        windows = sliding_window_view(padded, (k, k), axis=(1, 2))
+                        operand = windows.transpose(0, 1, 2, 4, 5, 3).reshape(
+                            stop - start, h * w, -1
+                        )
+                        counts = self._fused_matcher(operand)  # (T, P, O) XOR bits
+                        fires = (counts <= self._fused_bound) ^ self._fused_flip
                 feature_words = _bytes_to_words(_pack_bytes(fires))
             else:
                 feature_words = _bytes_to_words(
@@ -537,6 +572,96 @@ class BitPackedUniVSA:
             if isinstance(array, np.ndarray):
                 operands[f"engine.{attr.lstrip('_')}"] = array
         return operands
+
+    #: Small integer attributes shipped alongside the operand arrays so a
+    #: reconstructed engine needs no recomputation at all.
+    _OPERAND_SCALARS = (
+        "_conv_bits",
+        "_enc_bits",
+        "_sim_bits",
+        "_channels",
+        "_volume_channels",
+    )
+
+    def operand_state(self) -> tuple[dict[str, np.ndarray], dict]:
+        """The engine's full resident state as ``(arrays, meta)``.
+
+        ``arrays`` is exactly :meth:`resident_operands` — every ndarray
+        inference reads at serve time, artifact and derived alike.
+        ``meta`` carries the non-array remainder (mode, tile budget,
+        config, packed-bit dimensions).  Together they are sufficient for
+        :meth:`from_operand_state` to rebuild a bit-identical engine with
+        **zero** recomputation, which is what lets a worker attach an
+        :class:`repro.runtime.shm.OperandPlane` instead of unpickling and
+        re-deriving the operands per process.
+        """
+        meta = {
+            "mode": self.mode,
+            "conv_tile_mb": self.conv_tile_mb,
+            "input_shape": tuple(self.input_shape),
+            "config": self.artifacts.config,
+            "artifacts_metadata": dict(self.artifacts.metadata),
+            "scalars": {
+                name: getattr(self, name)
+                for name in self._OPERAND_SCALARS
+                if hasattr(self, name)
+            },
+        }
+        return dict(self.resident_operands()), meta
+
+    @classmethod
+    def from_operand_state(
+        cls, arrays: dict[str, np.ndarray], meta: dict
+    ) -> "BitPackedUniVSA":
+        """Reconstruct an engine around externally-owned operand views.
+
+        The inverse of :meth:`operand_state`: artifact arrays and derived
+        packed operands are adopted as-is (typically read-only zero-copy
+        views of a shared-memory plane), so construction does no packing,
+        inverting, or threshold folding.  Only the fused matcher closure
+        and the optional compiled conv backend are (re)built — both are
+        pure functions of the adopted tap bytes and bounds.  Bit-exact
+        with a from-artifacts construction by the property suite.
+        """
+        def _artifact(name: str):
+            return arrays.get(f"artifacts.{name}")
+
+        artifacts = UniVSAArtifacts(
+            config=meta["config"],
+            input_shape=tuple(meta["input_shape"]),
+            mask=_artifact("mask"),
+            value_high=_artifact("value_high"),
+            value_low=_artifact("value_low"),
+            kernel=_artifact("kernel"),
+            feature_vectors=_artifact("feature_vectors"),
+            class_vectors=_artifact("class_vectors"),
+            conv_thresholds=_artifact("conv_thresholds"),
+            conv_flips=_artifact("conv_flips"),
+            metadata=dict(meta.get("artifacts_metadata", {})),
+        )
+        self = cls.__new__(cls)
+        self.mode = meta["mode"]
+        self.conv_tile_mb = float(meta["conv_tile_mb"])
+        self.artifacts = artifacts
+        self.input_shape = artifacts.input_shape
+        self.positions = artifacts.positions
+        self._kernel_packed = None
+        self._value_bytes_low = None
+        for name, value in meta.get("scalars", {}).items():
+            setattr(self, name, value)
+        for key, array in arrays.items():
+            if key.startswith("engine."):
+                setattr(self, "_" + key[len("engine.") :], array)
+        if self.mode == "fused":
+            if artifacts.kernel is not None:
+                self._fused_matcher = get_kernels().match_builder(
+                    self._kernel_tap_bytes
+                )
+                self._init_cc_conv()
+            else:
+                self._fused_matcher = None
+                self._cc_conv = None
+        return self
 
     def sibling(self, mode: str, conv_tile_mb: float | None = None) -> "BitPackedUniVSA":
         """An engine over the *same* artifacts in a different mode.

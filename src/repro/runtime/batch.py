@@ -5,20 +5,33 @@ across a worker pool and runs :class:`repro.core.BitPackedUniVSA` on
 each shard, preserving input order in the assembled output.  Threads are
 the default — the bit kernels are NumPy ufunc loops that release the GIL,
 so shards genuinely overlap — with a process-pool option for workloads
-that want memory isolation: each worker process rebuilds the engine
-**once** from the pickled artifacts in its initializer (zero-copy via
-fork where available), not per task.
+that want memory isolation.
 
-Process pools hand shards off through :mod:`multiprocessing.shared_memory`
-by default (``shm=None`` → ``REPRO_SHM``, see
-:func:`repro.runtime.shm.resolve_shm`): the batch's level array is
-materialized in one parent-owned segment per call and workers attach
-zero-copy views by name + span, so the pool pipe carries descriptors
-instead of pickled sample arrays.  The segment is disposed in a
-``finally`` — its lifetime is exactly the batch's — and
-``batch.shm.{segments,bytes_shared}`` / worker-side ``batch.shm.attach``
-counters account for the handoff (vs ``batch.bytes_pickled`` on the
-non-shm path).
+Process mode is zero-copy in **both** directions by default
+(``shm=None`` → ``REPRO_SHM``, see :func:`repro.runtime.shm.resolve_shm`):
+
+* the **request plane** materializes the batch's level array in one
+  parent-owned segment per call (reused across same-shape batches via a
+  :class:`~repro.runtime.shm.SegmentArena`); workers attach zero-copy
+  views by name + span;
+* the **result plane** is a parent-allocated ``(B, n_classes)`` segment
+  workers *write* at their span offset — the return leg of the pipe
+  carries ``(span, wall, telemetry_delta)`` instead of a pickled score
+  array (``batch.bytes_pickled_return`` stays 0 in shm mode; the
+  non-shm path counts every returned array there);
+* the **operand plane** (``REPRO_OPERAND_PLANE``, default on) serializes
+  the engine's resident read-only operands into one parent-owned segment
+  at pool spin-up; worker initializers attach and reconstruct zero-copy
+  views (:meth:`BitPackedUniVSA.from_operand_state`) instead of
+  rebuilding the engine from pickled artifacts, and
+  :meth:`BatchRunner.replace_engine` repairs become a re-publish plus a
+  generation bump that workers detect per shard — no pool rebuild.
+
+Segments are disposed (or arena-pooled) in a ``finally`` — their
+lifetime is exactly the batch's — and ``batch.shm.{segments,
+bytes_shared,reused,plane_bytes}`` / worker-side ``batch.shm.attach``
+counters account for the handoff (vs ``batch.bytes_pickled`` /
+``batch.bytes_pickled_return`` on the non-shm path).
 
 Observability rides on the existing substrate:
 
@@ -39,6 +52,7 @@ samples/sec (see :mod:`repro.runtime.throughput`).
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from time import perf_counter
 
@@ -53,9 +67,16 @@ from repro.obs.telemetry import (
     worker_telemetry_installed,
 )
 
-from .shm import SharedArray, attach_view, resolve_shm
+from .shm import (
+    OperandPlane,
+    SegmentArena,
+    SharedArray,
+    attach_plane,
+    attach_view,
+    resolve_shm,
+)
 
-__all__ = ["BatchRunner", "WorkerPool", "resolve_workers"]
+__all__ = ["BatchRunner", "WorkerPool", "resolve_operand_plane", "resolve_workers"]
 
 
 def resolve_workers(workers: int | None = None) -> int:
@@ -71,19 +92,93 @@ def resolve_workers(workers: int | None = None) -> int:
     return max(1, os.cpu_count() or 1)
 
 
+def resolve_operand_plane(executor_kind: str) -> bool:
+    """Whether process workers bootstrap from a shared operand plane.
+
+    ``REPRO_OPERAND_PLANE`` (default on) — only meaningful for process
+    executors; threads share the parent's engine object already.
+    """
+    if executor_kind != "process":
+        return False
+    env = os.environ.get("REPRO_OPERAND_PLANE", "1").strip().lower()
+    return env not in ("0", "false", "no", "off")
+
+
+def _active_plan(engine):
+    """The cached execution plan for *engine*, or None.
+
+    Swallows every resolution error: a stale or malformed plan file
+    must degrade to "no plan" rather than break runner construction.
+    """
+    if not (os.environ.get("REPRO_PLAN") or "").strip():
+        return None
+    from repro.runtime.plan import cached_plan_for
+
+    try:
+        return cached_plan_for(engine)
+    except (OSError, ValueError, TypeError, KeyError):
+        return None
+
+
 # ---------------------------------------------------------------------------
 # process-pool plumbing (module level so spawn contexts can pickle it)
 # ---------------------------------------------------------------------------
 _WORKER_ENGINE = None
+_WORKER_PLANE_KEY: tuple | None = None
 
 
-def _process_worker_init(
-    artifacts, mode: str, conv_tile_mb: float, telemetry: bool = False
-) -> None:
-    global _WORKER_ENGINE
+def _attach_plane_engine(plane_descriptor: tuple):
+    """Reconstruct an engine over zero-copy views of an operand plane.
+
+    Shared by this module's workers and the resilient runner's (each
+    keeps its own module-global engine slot).  The counter is gated on
+    the initializer telemetry flag so observability-off pools never
+    touch a registry.
+    """
     from repro.core.inference import BitPackedUniVSA
 
-    _WORKER_ENGINE = BitPackedUniVSA(artifacts, mode=mode, conv_tile_mb=conv_tile_mb)
+    arrays, meta = attach_plane(plane_descriptor)
+    engine = BitPackedUniVSA.from_operand_state(arrays, meta)
+    if worker_telemetry_installed():
+        get_registry().counter("batch.shm.plane_attach").add(1)
+    return engine
+
+
+def _worker_attach_engine(plane_descriptor: tuple) -> None:
+    """(Re)build the worker engine from an operand plane descriptor."""
+    global _WORKER_ENGINE, _WORKER_PLANE_KEY
+    _WORKER_ENGINE = _attach_plane_engine(plane_descriptor)
+    _WORKER_PLANE_KEY = tuple(plane_descriptor)
+
+
+def _ensure_worker_engine(plane_descriptor: tuple | None) -> None:
+    """Detect a generation bump: re-attach when the descriptor changed."""
+    if plane_descriptor is None:
+        return
+    if tuple(plane_descriptor) != _WORKER_PLANE_KEY:
+        _worker_attach_engine(plane_descriptor)
+
+
+def _process_worker_init(source, telemetry: bool = False) -> None:
+    """Pool initializer.
+
+    ``source`` is ``("plane", descriptor)`` — attach the parent-owned
+    operand plane and reconstruct zero-copy views — or
+    ``("artifacts", (artifacts, mode, conv_tile_mb))`` — the pickled
+    fallback that rebuilds the engine from scratch.
+    """
+    global _WORKER_ENGINE, _WORKER_PLANE_KEY
+    kind, payload = source
+    if kind == "plane":
+        _worker_attach_engine(payload)
+    else:
+        from repro.core.inference import BitPackedUniVSA
+
+        artifacts, mode, conv_tile_mb = payload
+        _WORKER_ENGINE = BitPackedUniVSA(
+            artifacts, mode=mode, conv_tile_mb=conv_tile_mb
+        )
+        _WORKER_PLANE_KEY = None
     # Telemetry installs *after* engine construction so one-time init
     # work stays out of the harvested deltas — merged process-run totals
     # must match what a serial run records.
@@ -101,14 +196,37 @@ def _process_worker_scores(levels: np.ndarray) -> tuple[np.ndarray, float, dict 
 
 
 def _process_worker_scores_shm(
-    descriptor: tuple, span_start: int, span_stop: int
-) -> tuple[np.ndarray, float, dict | None]:
-    """Shm variant: attach the parent's segment, score a zero-copy slice."""
+    descriptor: tuple,
+    span_start: int,
+    span_stop: int,
+    out_descriptor: tuple | None = None,
+    plane: tuple | None = None,
+) -> tuple[object, float, dict | None]:
+    """Shm variant: attach the parent's segment, score a zero-copy slice.
+
+    With an ``out_descriptor`` the scores are written in place at the
+    span offset of the parent's result plane and only the span itself is
+    returned — nothing array-shaped crosses the pipe in either
+    direction.  ``plane`` carries the operand-plane descriptor so a
+    generation bump (``replace_engine`` repair) is detected per shard.
+
+    Worker-side counters are gated on the initializer telemetry flag —
+    with telemetry off this path, like the by-value one, must not touch
+    any registry (the fork-inherited parent registry included).
+    """
     start = perf_counter()
+    _ensure_worker_engine(plane)
     levels = attach_view(descriptor, span_start, span_stop)
-    get_registry().counter("batch.shm.attach").add(1)
+    if worker_telemetry_installed():
+        get_registry().counter("batch.shm.attach").add(1)
     scores = _WORKER_ENGINE.scores(levels)
-    return scores, perf_counter() - start, drain_worker_delta()
+    if out_descriptor is not None:
+        out = attach_view(out_descriptor, span_start, span_stop, writable=True)
+        out[...] = scores
+        payload: object = (span_start, span_stop)
+    else:
+        payload = scores
+    return payload, perf_counter() - start, drain_worker_delta()
 
 
 class WorkerPool:
@@ -122,11 +240,17 @@ class WorkerPool:
     Shared by :class:`BatchRunner` and the co-design search engine
     (:mod:`repro.search.engine`), so both layers get the same pool
     lifecycle and recovery semantics.
+
+    All lifecycle transitions are serialized by an internal lock:
+    pipelined serving runs several batches concurrently through one
+    runner, and two collectors recovering from the same crashed pool
+    must end up sharing one replacement instead of leaking an executor.
     """
 
     def __init__(self, factory) -> None:
         self._factory = factory
         self._executor: Executor | None = None
+        self._lock = threading.Lock()
 
     @property
     def executor(self) -> Executor | None:
@@ -135,26 +259,39 @@ class WorkerPool:
 
     def ensure(self) -> Executor:
         """Build the executor on first use; return the live one after."""
-        if self._executor is None:
-            self._executor = self._factory()
-        return self._executor
+        with self._lock:
+            if self._executor is None:
+                self._executor = self._factory()
+            return self._executor
 
-    def replace(self) -> Executor:
+    def replace(self, stale: Executor | None = None) -> Executor:
         """Discard the (possibly broken) executor and build a fresh one.
 
         ``shutdown`` on a broken pool only reaps what is left; it never
-        blocks on lost work, so replacement is safe mid-batch.
+        blocks on lost work, so replacement is safe mid-batch.  Passing
+        the ``stale`` executor the caller saw break makes concurrent
+        recoveries idempotent: if another thread already swapped it out,
+        the live replacement is returned instead of being discarded too.
         """
-        if self._executor is not None:
-            self._executor.shutdown(wait=False, cancel_futures=True)
-            self._executor = None
-        return self.ensure()
+        with self._lock:
+            if (
+                stale is not None
+                and self._executor is not None
+                and self._executor is not stale
+            ):
+                return self._executor
+            if self._executor is not None:
+                self._executor.shutdown(wait=False, cancel_futures=True)
+                self._executor = None
+            self._executor = self._factory()
+            return self._executor
 
     def close(self) -> None:
         """Shut the executor down (idempotent)."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+        with self._lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -172,14 +309,17 @@ class BatchRunner:
         A :class:`repro.core.BitPackedUniVSA` (any mode).
     shard_size:
         Samples per shard; ``None`` splits the batch into about
-        ``2 x workers`` shards (load balancing without tiny shards).
+        ``2 x workers`` shards (load balancing without tiny shards; a
+        single worker gets a single shard — splitting work one process
+        must run serially anyway only adds handoff overhead).
     workers:
         Pool size; ``None`` resolves via :func:`resolve_workers`.
     executor:
-        ``"thread"`` (default) or ``"process"``.  Process mode ships the
-        engine's artifacts to each worker once via the pool initializer;
-        with a fork start method the packed tables are shared
-        copy-on-write rather than pickled.
+        ``"thread"`` (default) or ``"process"``.  Process mode bootstraps
+        each worker once via the pool initializer — from the shared
+        operand plane when enabled, else from pickled artifacts (with a
+        fork start method the packed tables are then shared
+        copy-on-write).
     mp_context:
         Optional ``multiprocessing`` context for process mode.
     shm:
@@ -202,12 +342,26 @@ class BatchRunner:
                 f"unknown executor {executor!r}; expected 'thread' or 'process'"
             )
         self.engine = engine
+        # A calibrated plan (REPRO_PLAN) fills in only the knobs the
+        # caller left unset — explicit arguments always win, so a plan
+        # can never silently override a deliberate configuration.
+        if shard_size is None and workers is None:
+            plan = _active_plan(engine)
+            if plan is not None and plan.executor == executor:
+                workers = plan.workers
+                shard_size = plan.shard_size
+                if shm is None and executor == "process":
+                    shm = plan.use_shm
         self.workers = resolve_workers(workers)
         self.shard_size = shard_size
         self.executor_kind = executor
         self.use_shm = resolve_shm(shm, executor)
+        self.use_plane = resolve_operand_plane(executor)
         self._mp_context = mp_context
         self._workerpool = WorkerPool(self._make_pool)
+        self._plane: OperandPlane | None = None
+        self._plane_generation = 0
+        self._arena = SegmentArena()
 
     @property
     def _pool(self) -> Executor | None:
@@ -220,13 +374,20 @@ class BatchRunner:
         Explicit ``shard_size`` wins; otherwise the batch splits into
         about ``2 x workers`` shards.  The divisor is capped at ``n`` so
         a degenerate batch (``n < workers``) yields ``n`` single-sample
-        shards instead of phantom empty ones.
+        shards instead of phantom empty ones.  A single-worker *thread*
+        runner gets one shard — inline execution is equivalent and there
+        is nobody to balance load against — but a single-worker process
+        runner keeps the 2-shard split: collapsing it to one shard would
+        take the inline shortcut and silently skip the pool, and with it
+        the isolation and zero-copy handoff the caller asked for.
         """
         if n <= 0:
             return 0
         size = self.shard_size
         if size is None:
-            size = -(-n // max(1, min(self.workers * 2, n)))
+            one_shard = self.workers == 1 and self.executor_kind == "thread"
+            target = 1 if one_shard else self.workers * 2
+            size = -(-n // max(1, min(target, n)))
         return max(1, int(size))
 
     def _shards(self, n: int) -> list[tuple[int, int]]:
@@ -237,11 +398,49 @@ class BatchRunner:
         return [(start, min(start + size, n)) for start in range(0, n, size)]
 
     def _share_batch(self, levels: np.ndarray, registry) -> SharedArray:
-        """Materialize ``levels`` in a fresh parent-owned shm segment."""
-        shared = SharedArray(levels)
+        """Materialize ``levels`` in a parent-owned shm segment (arena)."""
+        shared = self._arena.acquire(levels)
         registry.counter("batch.shm.segments").add(1)
         registry.counter("batch.shm.bytes_shared").add(shared.nbytes)
         return shared
+
+    def _share_output(self, n: int, registry) -> SharedArray:
+        """The result plane: one ``(n, n_classes)`` segment per batch."""
+        n_classes = self.engine.artifacts.n_classes
+        out = self._arena.acquire_empty((n, n_classes), np.int64)
+        registry.counter("batch.shm.segments").add(1)
+        registry.counter("batch.shm.bytes_shared").add(out.nbytes)
+        return out
+
+    # ------------------------------------------------------------------
+    # operand plane lifecycle (parent-owned, generation-tagged)
+    # ------------------------------------------------------------------
+    def _publish_plane(self) -> OperandPlane:
+        """Publish the current engine's operands as a fresh plane."""
+        arrays, meta = self.engine.operand_state()
+        self._plane_generation += 1
+        plane = OperandPlane(arrays, meta, generation=self._plane_generation)
+        registry = get_registry()
+        registry.counter("batch.shm.plane_published").add(1)
+        registry.counter("batch.shm.plane_bytes").add(plane.nbytes)
+        registry.gauge("batch.shm.plane_generation").set(self._plane_generation)
+        return plane
+
+    def _ensure_plane(self) -> OperandPlane | None:
+        if not self.use_plane:
+            return None
+        if self._plane is None:
+            try:
+                self._plane = self._publish_plane()
+            except Exception:
+                # No shm plane on this platform — fall back to pickled
+                # artifacts for the life of this runner.
+                self.use_plane = False
+                return None
+        return self._plane
+
+    def _plane_descriptor(self) -> tuple | None:
+        return self._plane.descriptor() if self._plane is not None else None
 
     def _pool_initializer(self):
         """(initializer, initargs) for process pools; overridable seam.
@@ -252,12 +451,15 @@ class BatchRunner:
         zero-overhead path end to end.  Re-evaluated whenever the pool
         is (re)built, including crash replacement.
         """
-        return _process_worker_init, (
-            self.engine.artifacts,
-            self.engine.mode,
-            self.engine.conv_tile_mb,
-            get_registry().enabled,
-        )
+        plane = self._ensure_plane()
+        if plane is not None:
+            source = ("plane", plane.descriptor())
+        else:
+            source = (
+                "artifacts",
+                (self.engine.artifacts, self.engine.mode, self.engine.conv_tile_mb),
+            )
+        return _process_worker_init, (source, get_registry().enabled)
 
     def _make_pool(self) -> Executor:
         """Build a fresh worker pool (also the rebuild path after a crash)."""
@@ -282,24 +484,38 @@ class BatchRunner:
     def _ensure_pool(self) -> Executor:
         return self._workerpool.ensure()
 
-    def _replace_pool(self) -> Executor:
+    def _replace_pool(self, stale: Executor | None = None) -> Executor:
         """Discard the (possibly broken) pool and spin up a fresh one.
 
         A crashed process worker poisons the whole ``ProcessPoolExecutor``
         — every pending future raises ``BrokenProcessPool`` — so recovery
-        is a pool replacement, not a worker restart.
+        is a pool replacement, not a worker restart.  ``stale`` makes
+        concurrent recoveries idempotent (see :meth:`WorkerPool.replace`).
         """
-        return self._workerpool.replace()
+        return self._workerpool.replace(stale)
 
     def replace_engine(self, engine) -> None:
         """Hot-swap a rebuilt engine (the integrity repair path).
 
-        A live pool is rebuilt so process workers re-initialize from the
-        new engine's artifacts; a never-used pool stays lazy.  Callers
-        serialize this against in-flight batches (the serve layer runs
-        both on its single batch-executor thread).
+        With a live operand plane the swap is a re-publish plus a
+        generation bump: workers see the new descriptor on their next
+        shard and re-attach — no pool rebuild, no worker restart.
+        Without a plane, a live process pool is rebuilt so workers
+        re-initialize from the new engine's artifacts; a never-used pool
+        stays lazy.  Callers serialize this against in-flight batches
+        (the serve layer drains its pipeline to a barrier first).
         """
         self.engine = engine
+        if self._plane is not None:
+            old, self._plane = self._plane, None
+            self._plane = self._publish_plane()
+            old.dispose()
+            if self.use_shm:
+                # Shm shards carry the plane descriptor, so live workers
+                # notice the generation bump on their next task.
+                return
+            # By-value shards carry no descriptor — rebuild the pool so
+            # worker initializers attach the republished plane.
         if self._workerpool.executor is not None:
             self._replace_pool()
 
@@ -309,12 +525,17 @@ class BatchRunner:
         Process pools are drained first: workers hold metric residue
         recorded since their last shipped delta (e.g. a final task whose
         result the parent already collected), and close is the last
-        chance to merge it.
+        chance to merge it.  Parent-owned segments (operand plane, arena
+        pool) are disposed here — nothing may outlive the runner.
         """
         executor = self._workerpool.executor
         if executor is not None and self.executor_kind == "process":
             drain_pool(executor, get_registry(), self.workers)
         self._workerpool.close()
+        if self._plane is not None:
+            self._plane.dispose()
+            self._plane = None
+        self._arena.drain()
 
     def __enter__(self) -> "BatchRunner":
         return self
@@ -357,6 +578,7 @@ class BatchRunner:
             pool = self._ensure_pool()
             futures: list = []
             shared: SharedArray | None = None
+            out_shared: SharedArray | None = None
             try:
                 if self.executor_kind == "thread":
                     futures = [
@@ -364,29 +586,57 @@ class BatchRunner:
                         for i, (a, b) in enumerate(spans)
                     ]
                     parts = [f.result() for f in futures]
+                    result = np.concatenate(parts, axis=0)
                 else:
+                    plane = self._plane_descriptor()
                     if self.use_shm:
-                        # One copy into the segment; every shard ships a
-                        # ~100-byte descriptor instead of its samples.
+                        # One copy into the request segment; every shard
+                        # ships a ~100-byte descriptor instead of its
+                        # samples, and writes its scores into the result
+                        # plane at its span offset.
                         shared = self._share_batch(levels, registry)
+                        out_shared = self._share_output(n, registry)
                         descriptor = shared.descriptor()
+                        out_descriptor = out_shared.descriptor()
                         futures = [
-                            pool.submit(_process_worker_scores_shm, descriptor, a, b)
+                            pool.submit(
+                                _process_worker_scores_shm,
+                                descriptor,
+                                a,
+                                b,
+                                out_descriptor,
+                                plane,
+                            )
                             for a, b in spans
                         ]
+                        # The zero-copy contract, measured not asserted.
+                        registry.counter("batch.bytes_pickled_return").add(0)
                     else:
                         registry.counter("batch.bytes_pickled").add(levels.nbytes)
                         futures = [
                             pool.submit(_process_worker_scores, levels[a:b])
                             for a, b in spans
                         ]
-                    parts = []
                     shard_hist = registry.histogram("batch.shard")
+                    out_view = (
+                        out_shared.view() if out_shared is not None else None
+                    )
+                    parts = []
                     for future in futures:
-                        scores, duration, delta = future.result()
+                        payload, duration, delta = future.result()
                         shard_hist.observe(duration)
                         merge_delta(registry, delta)
-                        parts.append(scores)
+                        if out_view is not None:
+                            a, b = payload
+                            parts.append(out_view[a:b])
+                        else:
+                            registry.counter("batch.bytes_pickled_return").add(
+                                payload.nbytes
+                            )
+                            parts.append(payload)
+                    # Concatenate (copies) before the segments go back to
+                    # the arena — parts may alias the result plane.
+                    result = np.concatenate(parts, axis=0)
             except BaseException:
                 # A shard failed while its siblings keep running (or sit
                 # queued).  Cancel whatever has not started so the pool
@@ -394,14 +644,19 @@ class BatchRunner:
                 # under serve load that idle time is the next batch's.
                 for future in futures:
                     future.cancel()
+                # Destroy the segments instead of pooling them: a dying
+                # pool's sibling worker may still be mid-write, and the
+                # arena must never reissue a name a zombie could touch.
+                self._arena.discard(shared)
+                self._arena.discard(out_shared)
                 raise
             finally:
-                if shared is not None:
-                    # The segment's lifetime is exactly the batch's; a
-                    # cancelled shard never ran, a failed one already
-                    # returned — nobody reads it after this point.
-                    shared.dispose()
-            return np.concatenate(parts, axis=0)
+                # Segment lifetime is exactly the batch's; hand both
+                # planes back to the arena for the next same-shape batch
+                # (no-op for segments the except path already destroyed).
+                self._arena.release(shared)
+                self._arena.release(out_shared)
+            return result
 
     def predict(self, levels: np.ndarray) -> np.ndarray:
         """Predicted labels, order preserved."""

@@ -42,7 +42,9 @@ in tests and the CI ``chaos-smoke`` job.
 from __future__ import annotations
 
 import os
+import threading
 import time
+from concurrent.futures import CancelledError as FuturesCancelledError
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -59,7 +61,7 @@ from repro.obs.telemetry import (
 )
 from repro.vsa.kernels import get_kernels, using_kernels
 
-from .batch import BatchRunner
+from .batch import BatchRunner, _attach_plane_engine
 from .shm import SharedArray, attach_view
 from .chaos import (
     ChaosError,
@@ -371,17 +373,33 @@ def validate_levels(
 # ---------------------------------------------------------------------------
 _WORKER_ENGINE = None
 _WORKER_CHAOS: ChaosSpec | None = None
+_WORKER_PLANE_KEY: tuple | None = None
 
 
-def _resilient_worker_init(
-    artifacts, mode, conv_tile_mb, chaos: ChaosSpec | None, telemetry: bool = False
-):
-    global _WORKER_ENGINE, _WORKER_CHAOS
-    from repro.core.inference import BitPackedUniVSA
+def _resilient_worker_init(source, chaos: ChaosSpec | None, telemetry: bool = False):
+    """Pool initializer: plane-attach or pickled-artifact engine + chaos.
+
+    ``source`` mirrors :func:`repro.runtime.batch._process_worker_init`:
+    ``("plane", descriptor)`` attaches the parent-owned operand plane and
+    reconstructs zero-copy views; ``("artifacts", (artifacts, mode,
+    conv_tile_mb))`` rebuilds the engine from pickled artifacts.
+    """
+    global _WORKER_ENGINE, _WORKER_CHAOS, _WORKER_PLANE_KEY
     from repro.vsa.kernels import publish_kernel_metrics, set_kernels
 
     mark_process_worker()  # this process may be hard-killed by crash chaos
-    _WORKER_ENGINE = BitPackedUniVSA(artifacts, mode=mode, conv_tile_mb=conv_tile_mb)
+    kind, payload = source
+    if kind == "plane":
+        _WORKER_ENGINE = _attach_plane_engine(payload)
+        _WORKER_PLANE_KEY = tuple(payload)
+    else:
+        from repro.core.inference import BitPackedUniVSA
+
+        artifacts, mode, conv_tile_mb = payload
+        _WORKER_ENGINE = BitPackedUniVSA(
+            artifacts, mode=mode, conv_tile_mb=conv_tile_mb
+        )
+        _WORKER_PLANE_KEY = None
     _WORKER_CHAOS = chaos
     if chaos is not None and chaos.bitflip_rate > 0.0:
         # chaos_kernels is a no-op on an already-wrapped set, so a fork
@@ -395,6 +413,16 @@ def _resilient_worker_init(
         publish_kernel_metrics(get_registry())
 
 
+def _ensure_worker_engine(plane_descriptor: tuple | None) -> None:
+    """Detect an operand-plane generation bump and re-attach."""
+    global _WORKER_ENGINE, _WORKER_PLANE_KEY
+    if plane_descriptor is None:
+        return
+    if tuple(plane_descriptor) != _WORKER_PLANE_KEY:
+        _WORKER_ENGINE = _attach_plane_engine(plane_descriptor)
+        _WORKER_PLANE_KEY = tuple(plane_descriptor)
+
+
 def _resilient_worker_scores(shard: int, attempt: int, levels: np.ndarray):
     start = perf_counter()
     with chaos_context(_WORKER_CHAOS, shard, attempt):
@@ -403,20 +431,53 @@ def _resilient_worker_scores(shard: int, attempt: int, levels: np.ndarray):
 
 
 def _resilient_worker_scores_shm(
-    descriptor: tuple, shard: int, attempt: int, span_start: int, span_stop: int
+    descriptor: tuple,
+    shard: int,
+    attempt: int,
+    span_start: int,
+    span_stop: int,
+    out_descriptor: tuple | None = None,
+    plane: tuple | None = None,
 ):
     """Shm variant: the shard is a zero-copy view into the parent's segment.
 
     The attach happens *inside* the chaos context — a crash draw kills
     the worker mid-handoff exactly like a real fault would, and the
-    parent's recovery must still unlink and re-share cleanly.
+    parent's recovery must still unlink and re-share cleanly.  With an
+    ``out_descriptor`` the scores land in the parent's result plane at
+    the span offset and only the span crosses the pipe back; ``plane``
+    lets the worker detect an operand-plane generation bump per shard.
+    Worker-side counters are gated on the initializer telemetry flag so
+    observability-off pools never touch a registry on this path either.
     """
     start = perf_counter()
     with chaos_context(_WORKER_CHAOS, shard, attempt):
+        _ensure_worker_engine(plane)
         levels = attach_view(descriptor, span_start, span_stop)
-        get_registry().counter("batch.shm.attach").add(1)
+        if worker_telemetry_installed():
+            get_registry().counter("batch.shm.attach").add(1)
         scores = _WORKER_ENGINE.scores(levels)
-    return scores, perf_counter() - start, drain_worker_delta()
+        if out_descriptor is not None:
+            out = attach_view(out_descriptor, span_start, span_stop, writable=True)
+            out[...] = scores
+            payload = (span_start, span_stop)
+        else:
+            payload = scores
+    return payload, perf_counter() - start, drain_worker_delta()
+
+
+class _BatchSegments:
+    """The shm segments of one in-flight batch (batch-local, not runner
+    state — pipelined serving runs several batches concurrently through
+    one runner).  ``tainted`` marks segments an abandoned attempt might
+    still write to; they are destroyed instead of arena-pooled."""
+
+    __slots__ = ("request", "result", "tainted")
+
+    def __init__(self) -> None:
+        self.request: SharedArray | None = None
+        self.result: SharedArray | None = None
+        self.tainted = False
 
 
 # ---------------------------------------------------------------------------
@@ -465,32 +526,49 @@ class ResilientBatchRunner(BatchRunner):
             )
         self.last_report: BatchReport | None = None
         self._fallback_engine = None
-        self._shared: SharedArray | None = None  # live segment of the current batch
+        self._fallback_lock = threading.Lock()
 
     # -- pool / worker seams -------------------------------------------
     def _pool_initializer(self):
+        plane = self._ensure_plane()
+        if plane is not None:
+            source = ("plane", plane.descriptor())
+        else:
+            source = (
+                "artifacts",
+                (self.engine.artifacts, self.engine.mode, self.engine.conv_tile_mb),
+            )
         return _resilient_worker_init, (
-            self.engine.artifacts,
-            self.engine.mode,
-            self.engine.conv_tile_mb,
+            source,
             self.chaos if self.chaos.enabled else None,
             get_registry().enabled,
         )
 
-    def _submit(self, pool, shard: int, attempt: int, levels: np.ndarray, span=None):
+    def _submit(
+        self,
+        pool,
+        shard: int,
+        attempt: int,
+        levels: np.ndarray,
+        span=None,
+        segments: _BatchSegments | None = None,
+    ):
         if self.executor_kind == "thread":
             return pool.submit(self._thread_shard, shard, attempt, levels)
-        if self._shared is not None and span is not None:
-            # The descriptor is read at submit time, so a segment
-            # re-shared by pool recovery is picked up by every
-            # subsequent (re)submission automatically.
+        if segments is not None and segments.request is not None and span is not None:
+            # Descriptors are read at submit time, so segments re-shared
+            # by pool recovery are picked up by every subsequent
+            # (re)submission automatically.
+            out = segments.result
             return pool.submit(
                 _resilient_worker_scores_shm,
-                self._shared.descriptor(),
+                segments.request.descriptor(),
                 shard,
                 attempt,
                 span[0],
                 span[1],
+                out.descriptor() if out is not None else None,
+                self._plane_descriptor(),
             )
         return pool.submit(_resilient_worker_scores, shard, attempt, levels)
 
@@ -510,13 +588,19 @@ class ResilientBatchRunner(BatchRunner):
                 return engine.scores(levels)
 
     def _fallback(self):
-        """The seed-exact legacy engine, built once on first downgrade."""
-        if self._fallback_engine is None:
-            if self.engine.mode == "legacy":
-                self._fallback_engine = self.engine
-            else:
-                self._fallback_engine = self.engine.sibling("legacy")
-        return self._fallback_engine
+        """The seed-exact legacy engine, built once on first downgrade.
+
+        Built under a lock: pipelined batches can hit their first
+        downgrade concurrently, and two sibling builds would waste the
+        packed-table memory twice.
+        """
+        with self._fallback_lock:
+            if self._fallback_engine is None:
+                if self.engine.mode == "legacy":
+                    self._fallback_engine = self.engine
+                else:
+                    self._fallback_engine = self.engine.sibling("legacy")
+            return self._fallback_engine
 
     def replace_engine(self, engine) -> None:
         """Hot-swap a rebuilt engine, also resetting the legacy fallback.
@@ -598,27 +682,58 @@ class ResilientBatchRunner(BatchRunner):
         use_pool = len(spans) > 1 and not (
             self.workers == 1 and self.executor_kind == "thread"
         )
+        segments = _BatchSegments()
         if use_pool and self.executor_kind == "process":
             if self.use_shm:
-                # One parent-owned segment per batch; disposed in the
-                # finally below no matter how the ladder ends.
-                self._shared = self._share_batch(clean, registry)
-                report.shm_bytes = self._shared.nbytes
+                # Parent-owned request + result planes, one each per
+                # batch.  Batch-local, not runner state: pipelined
+                # serving interleaves batches through this runner, and
+                # each needs its own segments.  Handed back to the arena
+                # in the finally no matter how the ladder ends.
+                segments.request = self._share_batch(clean, registry)
+                segments.result = self._share_output(clean.shape[0], registry)
+                report.shm_bytes = segments.request.nbytes + segments.result.nbytes
+                # The zero-copy contract, measured not asserted.
+                registry.counter("batch.bytes_pickled_return").add(0)
             else:
                 registry.counter("batch.bytes_pickled").add(clean.nbytes)
         try:
             return self._collect_shards(
-                clean, report, statuses, parts, use_pool, registry
+                clean, report, statuses, parts, use_pool, registry, segments
             )
+        except BaseException:
+            # Shards may still be running; their segments must not be
+            # pooled for reuse.
+            segments.tainted = True
+            raise
         finally:
-            if self._shared is not None:
-                self._shared.dispose()
-                self._shared = None
+            if segments.tainted:
+                # An abandoned attempt (timeout, breaker skip, unexpected
+                # unwind) may still write these segments after the batch
+                # ends — destroy the names instead of letting the arena
+                # reissue them to a later batch.
+                self._arena.discard(segments.request)
+                self._arena.discard(segments.result)
+            else:
+                self._arena.release(segments.request)
+                self._arena.release(segments.result)
 
     def _collect_shards(
-        self, clean: np.ndarray, report: BatchReport, statuses, parts, use_pool, registry
+        self,
+        clean: np.ndarray,
+        report: BatchReport,
+        statuses,
+        parts,
+        use_pool,
+        registry,
+        segments: _BatchSegments,
     ):
         futures: dict[int, object] = {}
+        # Which executor each live future was submitted on: recovery
+        # passes it as the ``stale`` pool so a concurrent batch that
+        # already replaced the broken pool is not punished by having its
+        # healthy replacement shut down too (see WorkerPool.replace).
+        pools: dict[int, object] = {}
         if use_pool:
             pool = self._ensure_pool()
             try:
@@ -629,12 +744,17 @@ class ResilientBatchRunner(BatchRunner):
                         0,
                         clean[status.start : status.stop],
                         span=(status.start, status.stop),
+                        segments=segments,
                     )
-            except BrokenProcessPool:
-                # An already-submitted shard crashed its worker before the
-                # batch was even fully enqueued.  Shards left without a
-                # future are submitted lazily by the collector, whose
-                # ladder owns pool recovery.
+                    pools[status.index] = pool
+            except (BrokenProcessPool, RuntimeError):
+                # An already-submitted shard crashed its worker before
+                # the batch was even fully enqueued, or a concurrent
+                # batch's recovery swapped the pool out from under the
+                # enqueue (submit on a shut-down executor raises
+                # RuntimeError).  Shards left without a future are
+                # submitted lazily by the collector, whose ladder owns
+                # pool recovery.
                 pass
         consecutive_failures = 0
         shard_hist = registry.histogram("batch.shard")
@@ -656,16 +776,19 @@ class ResilientBatchRunner(BatchRunner):
                             # broke meanwhile (another worker crashed
                             # during the backoff) feeds the same ladder
                             # instead of escaping it.
+                            lazy_pool = self._ensure_pool()
                             future = futures[i] = self._submit(
-                                self._ensure_pool(),
+                                lazy_pool,
                                 i,
                                 status.attempts,
                                 shard_levels,
                                 span=(status.start, status.stop),
+                                segments=segments,
                             )
+                            pools[i] = lazy_pool
                         outcome = future.result(timeout=self.policy.timeout_s)
                         if self.executor_kind == "process":
-                            scores, duration, delta = outcome
+                            payload, duration, delta = outcome
                             shard_hist.observe(duration)
                             # Each delta ships exactly once per collected
                             # result (workers reset after shipping), so
@@ -674,6 +797,17 @@ class ResilientBatchRunner(BatchRunner):
                             # pool replacement or _late_result collected
                             # a timed-out attempt.
                             merge_delta(registry, delta)
+                            if isinstance(payload, tuple):
+                                # Result-plane span: copy the scores out
+                                # now — the segments go back to the arena
+                                # before assembly runs.
+                                a, b = payload
+                                scores = np.array(segments.result.view()[a:b])
+                            else:
+                                registry.counter(
+                                    "batch.bytes_pickled_return"
+                                ).add(payload.nbytes)
+                                scores = payload
                         else:
                             scores = outcome
                     else:
@@ -683,13 +817,25 @@ class ResilientBatchRunner(BatchRunner):
                     parts[i] = scores
                     consecutive_failures = 0
                     break
-                except Exception as exc:  # noqa: BLE001 — the ladder sorts them
+                except (Exception, FuturesCancelledError) as exc:  # noqa: BLE001 — the ladder sorts them
+                    # CancelledError is a BaseException since 3.8 and is
+                    # named explicitly: a concurrent batch replacing a
+                    # broken pool cancels this batch's pending futures
+                    # (shutdown(cancel_futures=True)), and that must feed
+                    # the retry ladder, not unwind the whole batch.
                     status.attempts += 1
                     status.errors.append(type(exc).__name__)
                     self._count_error(registry, exc)
-                    if isinstance(exc, BrokenProcessPool) and use_pool:
+                    if isinstance(exc, (BrokenProcessPool, FuturesCancelledError)) and use_pool:
                         self._recover_pool(
-                            statuses, futures, clean, parts, registry, current=i
+                            statuses,
+                            futures,
+                            clean,
+                            parts,
+                            registry,
+                            current=i,
+                            segments=segments,
+                            pools=pools,
                         )
                     abandoned = None
                     if isinstance(exc, FuturesTimeoutError) and use_pool:
@@ -702,6 +848,10 @@ class ResilientBatchRunner(BatchRunner):
                         future = futures.get(i)
                         if future is not None and not future.cancel():
                             abandoned = future
+                            # The uninterruptible attempt may outlive the
+                            # batch and write its span late — these
+                            # segments must never be reissued.
+                            segments.tainted = True
                     if status.attempts <= self.policy.max_retries:
                         status.retries += 1
                         registry.counter("resilience.retries").add(1)
@@ -747,7 +897,10 @@ class ResilientBatchRunner(BatchRunner):
             for status in statuses:
                 future = futures.get(status.index)
                 if future is not None and status.status == "skipped":
-                    future.cancel()
+                    if not future.cancel() and not future.done():
+                        # Still running — it will write its span after
+                        # the batch unwinds.
+                        segments.tainted = True
         else:
             registry.gauge("resilience.breaker_open").set(0.0)
         return parts
@@ -777,7 +930,15 @@ class ResilientBatchRunner(BatchRunner):
         registry.counter("resilience.errors").add(1)
 
     def _recover_pool(
-        self, statuses, futures, clean, parts, registry, current: int
+        self,
+        statuses,
+        futures,
+        clean,
+        parts,
+        registry,
+        current: int,
+        segments: _BatchSegments | None = None,
+        pools: dict | None = None,
     ) -> None:
         """Replace a broken process pool and resubmit lost shards.
 
@@ -792,17 +953,33 @@ class ResilientBatchRunner(BatchRunner):
         breakage) is excluded: the collector owns its accounting and
         resubmission.
 
-        Under shm handoff the batch segment is disposed and **re-shared**
+        Under shm handoff **both** planes are re-shared with fresh names
         first: the dead pool's workers can no longer hold the old
-        mapping hostage, and a fresh name guarantees resubmitted shards
+        mappings hostage, and fresh names guarantee resubmitted shards
         never attach to a segment a crashing worker might have been
-        mid-attach on.  Telemetry counts the re-share like any other
-        segment, so ``batch.shm.segments - 1`` is the recovery count.
+        mid-write on.  Spans already completed into the old result plane
+        are carried over by copy, so their kept futures stay collectable.
+        Telemetry counts the re-shares like any other segment, so
+        ``batch.shm.segments - 2`` is the recovery count per shm batch.
         """
-        pool = self._replace_pool()
-        if self._shared is not None:
-            self._shared.dispose()
-            self._shared = self._share_batch(clean, registry)
+        # Replace only the pool this batch's broken future was actually
+        # submitted on.  Pipelined batches share one pool: if a sibling
+        # batch already recovered and installed a fresh executor,
+        # replacing unconditionally would shut the healthy replacement
+        # down mid-flight and cascade the breakage back to the sibling.
+        stale = pools.get(current) if pools is not None else None
+        pool = self._replace_pool(stale)
+        if segments is not None and segments.request is not None:
+            old_request, old_result = segments.request, segments.result
+            segments.request = self._share_batch(clean, registry)
+            if old_result is not None:
+                segments.result = self._share_output(clean.shape[0], registry)
+                # A worker that finished before the break already wrote
+                # its span; its kept future's payload must still resolve
+                # against the new plane.
+                segments.result.view()[:] = old_result.view()
+            self._arena.discard(old_request)
+            self._arena.discard(old_result)
         for status in statuses:
             j = status.index
             if j == current or status.status != "pending" or parts[j] is not None:
@@ -827,13 +1004,19 @@ class ResilientBatchRunner(BatchRunner):
                     status.attempts,
                     clean[status.start : status.stop],
                     span=(status.start, status.stop),
+                    segments=segments,
                 )
-            except BrokenProcessPool:
+                if pools is not None:
+                    pools[j] = pool
+            except (BrokenProcessPool, RuntimeError):
                 # The replacement pool broke under us (a just-resubmitted
-                # shard crashed already).  Replace it again and leave the
+                # shard crashed already), or a concurrent batch's
+                # recovery shut it down between our replace and this
+                # submit (RuntimeError: cannot schedule new futures
+                # after shutdown).  Swap in the live pool and leave the
                 # shard unsubmitted — the collector enqueues it lazily.
                 futures[j] = None
-                pool = self._replace_pool()
+                pool = self._replace_pool(pool)
 
     # -- assembly -------------------------------------------------------
     def _assemble(self, good, parts, report: BatchReport) -> BatchResult:

@@ -13,11 +13,17 @@ into micro-batches that are flushed when either
   execution (``flush.deadline``).
 
 Each micro-batch executes on a
-:class:`~repro.runtime.resilience.ResilientBatchRunner` in a dedicated
-worker thread (one batch in flight at a time; the runner parallelizes
-*within* the batch across its own pool), and per-sample scores/labels —
-including quarantine sentinels — are fanned back to the right futures in
-arrival order.
+:class:`~repro.runtime.resilience.ResilientBatchRunner` via a small
+executor with ``ServePolicy.max_inflight`` slots (default 2): while
+batch N executes, the flusher coalesces and dispatches batch N+1, so
+queue-coalescing and compute overlap instead of serializing.  Fan-out
+stays strictly FIFO — each in-flight batch awaits its predecessor's
+completion gate before resolving futures, so batch N+1 never answers
+before batch N — and dispatch past the cap back-pressures the flusher.
+Per-sample scores/labels — including quarantine sentinels — are fanned
+back to the right futures in arrival order.  ``serve.pipeline.*``
+instruments (slots / inflight / inflight_max gauges, dispatched /
+barriers counters) account for the overlap.
 
 Overload is handled by admission control, not collapse: past
 ``max_queue`` queued samples a request is immediately answered with
@@ -31,12 +37,17 @@ histograms), which the run ledger harvests into every record.
 
 The server also hosts the *integrity* loop: given an
 :class:`~repro.runtime.integrity.IntegrityScrubber`, a periodic
-coroutine re-hashes the engine's resident operands on the batch-executor
-thread (so scrubs serialize with batch execution and a hot repair never
-swaps the engine under an in-flight batch) and repairs corruption from
-the verified source while serving continues.  The chaos ``corrupt:P``
-directive is fired between micro-batches on the same thread, which is
-what the CI integrity-smoke job recovers from.
+coroutine re-hashes the engine's resident operands at a **pipeline
+barrier** — new dispatches are held, in-flight batches are awaited, the
+scrub runs on a quiesced executor, then dispatch reopens — so a hot
+repair never swaps the engine under an in-flight batch even with
+``max_inflight > 1``, and serving continues (the queue keeps accepting
+throughout).  The chaos ``corrupt:P`` directive mutates resident engine
+memory between micro-batches, so it forces the pipeline down to one
+slot (corruption injected concurrently with another executing batch
+would break the repair-to-bit-exactness contract the integrity-smoke CI
+job asserts); ordinals are assigned at dispatch on the event loop, so
+the corruption schedule stays reproducible either way.
 
 :func:`serve_tcp` puts a newline-delimited-JSON TCP front end over the
 server for the ``python -m repro serve`` daemon — hardened per
@@ -84,13 +95,17 @@ class ServePolicy:
     batch execution).  ``max_batch`` caps samples per micro-batch and
     ``max_queue`` caps queued samples — arrivals beyond it are shed with
     an explicit ``rejected`` response instead of growing an unbounded
-    backlog.
+    backlog.  ``max_inflight`` is the pipeline depth: how many
+    micro-batches may execute concurrently (the flusher coalesces batch
+    N+1 while batch N computes; responses still fan out strictly FIFO).
+    ``1`` restores the fully serialized pre-pipeline behaviour.
     """
 
     max_batch: int = 64
     deadline_ms: float = 50.0
     flush_margin_ms: float = 5.0
     max_queue: int = 1024
+    max_inflight: int = 2
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -101,12 +116,14 @@ class ServePolicy:
             raise ValueError("flush_margin_ms must be >= 0")
         if self.max_queue < 1:
             raise ValueError("max_queue must be >= 1")
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
 
     @classmethod
     def from_env(cls, environ=None) -> "ServePolicy":
         """Policy from ``REPRO_SERVE_BATCH`` / ``REPRO_SERVE_DEADLINE_MS``
-        / ``REPRO_SERVE_MARGIN_MS`` / ``REPRO_SERVE_QUEUE`` (unset keys
-        keep the defaults)."""
+        / ``REPRO_SERVE_MARGIN_MS`` / ``REPRO_SERVE_QUEUE`` /
+        ``REPRO_SERVE_INFLIGHT`` (unset keys keep the defaults)."""
         env = os.environ if environ is None else environ
 
         def _get(key, cast, default):
@@ -123,6 +140,7 @@ class ServePolicy:
             deadline_ms=_get("REPRO_SERVE_DEADLINE_MS", float, cls.deadline_ms),
             flush_margin_ms=_get("REPRO_SERVE_MARGIN_MS", float, cls.flush_margin_ms),
             max_queue=_get("REPRO_SERVE_QUEUE", int, cls.max_queue),
+            max_inflight=max(1, _get("REPRO_SERVE_INFLIGHT", int, cls.max_inflight)),
         )
 
     @property
@@ -268,6 +286,11 @@ class MicroBatchServer:
         self._closing = False
         self._inflight = 0
         self._batches_started = 0
+        self._slots = 1
+        self._inflight_tasks: list[asyncio.Task] = []
+        self._fanout_gate: asyncio.Future | None = None
+        self._dispatch_open: asyncio.Event | None = None
+        self._peak_inflight = 0
 
     # -- lifecycle ------------------------------------------------------
     async def start(self) -> "MicroBatchServer":
@@ -277,10 +300,33 @@ class MicroBatchServer:
         self._loop = asyncio.get_running_loop()
         self._wake = asyncio.Event()
         self._closing = False
-        # One executor thread: micro-batches serialize here and fan out
-        # across the runner's own worker pool inside run().
+        # Pipeline depth: micro-batches overlap across these executor
+        # slots (each batch still fans out across the runner's own
+        # worker pool inside run()).  The corrupt:P chaos directive
+        # mutates resident engine memory between batches, which must
+        # never race another executing batch — it forces depth 1.
+        corrupt = getattr(getattr(self.runner, "chaos", None), "corrupt_rate", 0.0)
+        inflight = self.policy.max_inflight
+        if inflight == ServePolicy.max_inflight:
+            # A calibrated plan (REPRO_PLAN) may deepen or flatten the
+            # pipeline, but only while the policy still carries the
+            # default — an explicit max_inflight always wins.
+            from repro.runtime.batch import _active_plan
+
+            plan = _active_plan(self.runner.engine)
+            if plan is not None:
+                inflight = max(1, plan.max_inflight)
+        self._slots = 1 if corrupt else inflight
+        self._inflight_tasks = []
+        self._fanout_gate = None
+        self._peak_inflight = 0
+        self._dispatch_open = asyncio.Event()
+        self._dispatch_open.set()
+        registry = get_registry()
+        registry.gauge("serve.pipeline.slots").set(self._slots)
+        registry.gauge("serve.pipeline.inflight").set(0.0)
         self._executor = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="repro-serve"
+            max_workers=self._slots, thread_name_prefix="repro-serve"
         )
         self._flusher = self._loop.create_task(self._flush_loop())
         if self.scrubber is not None and self.scrub_interval_s > 0:
@@ -289,13 +335,19 @@ class MicroBatchServer:
 
     async def drain(self) -> None:
         """Graceful shutdown: reject new arrivals, answer everything
-        already accepted, then stop the flusher (idempotent)."""
+        already accepted and in flight, then stop the flusher
+        (idempotent)."""
         if self._flusher is None:
             return
         self._closing = True
         self._wake.set()
         flusher, self._flusher = self._flusher, None
         await flusher
+        # The flusher dispatched its tail batches; answer them all.
+        while self._inflight_tasks:
+            await asyncio.gather(
+                *list(self._inflight_tasks), return_exceptions=True
+            )
         if self._scrub_task is not None:
             task, self._scrub_task = self._scrub_task, None
             task.cancel()
@@ -303,7 +355,9 @@ class MicroBatchServer:
                 await task
         executor, self._executor = self._executor, None
         executor.shutdown(wait=True)
-        get_registry().gauge("serve.queue_depth").set(0.0)
+        registry = get_registry()
+        registry.gauge("serve.queue_depth").set(0.0)
+        registry.gauge("serve.pipeline.inflight").set(0.0)
 
     async def __aenter__(self) -> "MicroBatchServer":
         return await self.start()
@@ -409,29 +463,94 @@ class MicroBatchServer:
             registry = get_registry()
             registry.counter(f"serve.flush.{trigger}").add(1)
             registry.gauge("serve.queue_depth").set(len(self._pending))
-            await self._execute(batch)
+            await self._dispatch(batch)
 
-    async def _execute(self, batch: list[_Request]) -> None:
+    async def _dispatch(self, batch: list[_Request]) -> None:
+        """Launch one micro-batch into the pipeline.
+
+        Waits for an open dispatch window (a scrub barrier closes it)
+        and for a free slot (back-pressure past ``max_inflight``), then
+        spawns the batch as a task chained to its predecessor's fan-out
+        gate.  The ordinal is assigned here, on the event loop, so the
+        execution *schedule* (which batch is Nth) is deterministic even
+        though completion order is not.
+        """
+        while True:
+            await self._dispatch_open.wait()
+            if len(self._inflight_tasks) < self._slots:
+                # No await between here and task creation, so a barrier
+                # cannot close the window under this dispatch.
+                break
+            # Back-pressure: the flusher stalls (queue keeps accepting
+            # up to max_queue) until the oldest in-flight batch answers —
+            # then re-checks the window, which may have closed meanwhile.
+            await asyncio.wait(
+                list(self._inflight_tasks), return_when=asyncio.FIRST_COMPLETED
+            )
+        registry = get_registry()
+        ordinal = self._batches_started
+        self._batches_started += 1
+        prev_gate = self._fanout_gate
+        gate = self._loop.create_future()
+        self._fanout_gate = gate
+        task = self._loop.create_task(
+            self._execute(batch, ordinal, prev_gate, gate)
+        )
+        self._inflight_tasks.append(task)
+        depth = len(self._inflight_tasks)
+        self._peak_inflight = max(self._peak_inflight, depth)
+        registry.counter("serve.pipeline.dispatched").add(1)
+        registry.gauge("serve.pipeline.inflight").set(depth)
+        registry.gauge("serve.pipeline.inflight_max").set(self._peak_inflight)
+
+    async def _execute(
+        self,
+        batch: list[_Request],
+        ordinal: int,
+        prev_gate: asyncio.Future | None,
+        gate: asyncio.Future,
+    ) -> None:
         registry = get_registry()
         registry.counter("serve.batches").add(1)
         registry.counter("serve.batched_samples").add(len(batch))
-        self._inflight = len(batch)
-        registry.gauge("serve.inflight").set(len(batch))
+        self._inflight += len(batch)
+        registry.gauge("serve.inflight").set(self._inflight)
         levels = np.stack([request.levels for request in batch])
+        result = None
+        failure = None
         try:
-            result = await self._loop.run_in_executor(
-                self._executor, self._run_batch, levels
-            )
-        except CircuitOpenError:
-            registry.counter("serve.breaker_trips").add(1)
-            self._fail_batch(batch, "circuit-open")
-            return
-        except Exception as exc:  # noqa: BLE001 — a batch must not kill the daemon
-            self._fail_batch(batch, type(exc).__name__)
-            return
+            try:
+                result = await self._loop.run_in_executor(
+                    self._executor, self._run_batch, levels, ordinal
+                )
+            except CircuitOpenError:
+                registry.counter("serve.breaker_trips").add(1)
+                failure = "circuit-open"
+            except Exception as exc:  # noqa: BLE001 — must not kill the daemon
+                failure = type(exc).__name__
+            if prev_gate is not None:
+                # FIFO fan-out: batch N+1 never answers before batch N,
+                # even when it finishes computing first.
+                await prev_gate
+            if failure is not None:
+                self._fail_batch(batch, failure)
+            else:
+                self._fan_out(batch, result)
         finally:
-            self._inflight = 0
-            registry.gauge("serve.inflight").set(0.0)
+            self._inflight = max(0, self._inflight - len(batch))
+            registry.gauge("serve.inflight").set(self._inflight)
+            if not gate.done():
+                gate.set_result(None)
+            task = asyncio.current_task()
+            if task in self._inflight_tasks:
+                self._inflight_tasks.remove(task)
+            registry.gauge("serve.pipeline.inflight").set(
+                len(self._inflight_tasks)
+            )
+
+    def _fan_out(self, batch: list[_Request], result) -> None:
+        """Resolve every request future of one completed micro-batch."""
+        registry = get_registry()
         report = result.report
         failed_rows = set(report.failed_samples)
         now = self._loop.time()
@@ -466,32 +585,52 @@ class MicroBatchServer:
             )
         self.slo.publish(registry)
 
-    def _run_batch(self, levels: np.ndarray):
+    def _run_batch(self, levels: np.ndarray, ordinal: int):
         """Executor-thread body: one resilient batch under a serve span."""
         with stage_timer("serve.batch"):
             chaos = getattr(self.runner, "chaos", None)
             if chaos is not None and getattr(chaos, "corrupt_rate", 0.0):
                 # The corrupt:P chaos seam: between batches, flip bits in
-                # the engine's resident memory.  Indexed by batch ordinal
-                # (this executor is single-threaded, so the ordinal is
-                # the execution order) for reproducible corruption.
-                maybe_corrupt_resident(
-                    self.runner.engine, chaos, self._batches_started
-                )
-            self._batches_started += 1
+                # the engine's resident memory.  Indexed by the dispatch
+                # ordinal (corrupt chaos pins the pipeline to one slot,
+                # so the ordinal is the execution order) for reproducible
+                # corruption.
+                maybe_corrupt_resident(self.runner.engine, chaos, ordinal)
             return self.runner.run(levels)
 
     # -- integrity scrubbing --------------------------------------------
+    async def _pipeline_barrier(self) -> None:
+        """Quiesce the pipeline: close the dispatch window, then wait
+        out every in-flight batch.  The caller MUST reopen the window
+        (``self._dispatch_open.set()``) in a ``finally``."""
+        get_registry().counter("serve.pipeline.barriers").add(1)
+        self._dispatch_open.clear()
+        while self._inflight_tasks:
+            await asyncio.gather(
+                *list(self._inflight_tasks), return_exceptions=True
+            )
+
+    async def _scrub_barriered(self):
+        """One scrub pass at a pipeline barrier (the only safe place: a
+        hot repair swaps the engine, which must never happen under an
+        in-flight batch).  Dispatch reopens no matter how the scrub
+        ends; the queue keeps accepting throughout."""
+        try:
+            await self._pipeline_barrier()
+            return await self._loop.run_in_executor(
+                self._executor, self.scrubber.scrub
+            )
+        finally:
+            self._dispatch_open.set()
+
     async def _scrub_loop(self) -> None:
-        """Periodic scrub on the batch executor (serializes with batches)."""
+        """Periodic scrub at a pipeline barrier."""
         while not self._closing:
             await asyncio.sleep(self.scrub_interval_s)
             if self._executor is None:
                 return
             try:
-                await self._loop.run_in_executor(
-                    self._executor, self.scrubber.scrub
-                )
+                await self._scrub_barriered()
             except asyncio.CancelledError:
                 raise
             except Exception:  # noqa: BLE001 — scrubbing must not kill serving
@@ -501,17 +640,15 @@ class MicroBatchServer:
         """On-demand scrub pass; returns the
         :class:`~repro.runtime.integrity.ScrubReport`.
 
-        Runs on the batch-executor thread so it serializes with batch
-        execution — a repair never swaps the engine under an in-flight
-        batch, and serving continues (the queue keeps accepting).
+        Runs at a pipeline barrier — in-flight batches are awaited
+        first, so a repair never swaps the engine under one — and
+        serving continues (the queue keeps accepting).
         """
         if self.scrubber is None:
             raise RuntimeError("server has no scrubber configured")
         if self._executor is None:
             return self.scrubber.scrub()
-        return await self._loop.run_in_executor(
-            self._executor, self.scrubber.scrub
-        )
+        return await self._scrub_barriered()
 
     def _fail_batch(self, batch: list[_Request], reason: str) -> None:
         registry = get_registry()
@@ -540,8 +677,13 @@ class MicroBatchServer:
     # -- admin plane ----------------------------------------------------
     @property
     def inflight(self) -> int:
-        """Samples in the micro-batch currently executing (0 when idle)."""
+        """Samples across all currently-executing micro-batches."""
         return self._inflight
+
+    @property
+    def inflight_batches(self) -> int:
+        """Micro-batches currently in the pipeline (0 when idle)."""
+        return len(self._inflight_tasks)
 
     def admin_snapshot(self) -> dict:
         """Live operational state for the admin endpoint / ``repro top``.
@@ -563,6 +705,12 @@ class MicroBatchServer:
                 "deadline_ms": self.policy.deadline_ms,
                 "flush_margin_ms": self.policy.flush_margin_ms,
                 "max_queue": self.policy.max_queue,
+                "max_inflight": self.policy.max_inflight,
+            },
+            "pipeline": {
+                "slots": self._slots,
+                "inflight_batches": len(self._inflight_tasks),
+                "inflight_max": self._peak_inflight,
             },
             "slo": self.slo.state(),
             "counters": state["counters"],

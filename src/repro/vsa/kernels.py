@@ -383,7 +383,9 @@ def using_kernels(kernels: KernelSet | str):
 def kernel_info(kernels: KernelSet | None = None) -> dict:
     """JSON-friendly description of the (active) kernel configuration."""
     active = kernels if kernels is not None else get_kernels()
-    return {
+    from repro.vsa.kernels_cc import cc_info
+
+    info = {
         "set": active.name,
         "pack": active.pack_impl,
         "popcount": active.popcount_impl,
@@ -393,6 +395,8 @@ def kernel_info(kernels: KernelSet | None = None) -> dict:
         "jit_available": HAVE_JIT,
         "fallback_from": _fallback_from,
     }
+    info.update(cc_info())
+    return info
 
 
 def publish_kernel_metrics(registry=None) -> None:
@@ -414,3 +418,6 @@ def publish_kernel_metrics(registry=None) -> None:
     registry.gauge("kernels.popcount_native").set(
         1.0 if active.popcount_impl == "bitwise_count" else 0.0
     )
+    from repro.vsa.kernels_cc import cc_enabled
+
+    registry.gauge("kernels.cc_conv").set(1.0 if cc_enabled() else 0.0)

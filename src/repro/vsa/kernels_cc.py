@@ -1,0 +1,275 @@
+"""Compiled conv-fires kernel: a tiny C hot loop built with gcc at first use.
+
+The fused engine's dominant cost is the BiConv byte-LUT match: for every
+(sample, position, out-channel) it sums per-tap XOR popcounts gathered
+from 256-entry tables and compares the total against an integer bound.
+NumPy executes that as ``taps`` separate fancy-gather + add passes over a
+``(T, P, O)`` uint16 plane — memory-bound and allocation-heavy.  The C
+kernel below walks the *padded DVP volume bytes* directly: per position
+it resolves one table row pointer per tap, then runs a single
+vectorizable sum+compare loop over the out channels, writing the fires
+plane in place.  No window materialization, no uint16 intermediates.
+
+Design constraints:
+
+* **Compile at first use, never at import.**  The source is generated
+  with the tap count baked in as a compile-time constant (the inner
+  loops must unroll; a runtime tap count defeats vectorization) and
+  compiled with ``gcc -O3 -march=native`` into a per-user cache dir
+  under the system temp dir.  The artifact is keyed by a hash of the
+  source and reused across processes; compilation is atomic
+  (temp + rename) so concurrent workers race benignly.
+* **Bit-exactness by construction.**  The threshold compare
+  ``fires = (counts <= bound) ^ flip`` is re-encoded as an inclusive
+  window ``blo <= acc <= bhi`` in unsigned space: flip channels get
+  ``[bound+1, inf)``, plain channels ``[0, bound]``, and a negative
+  plain bound (never fires) becomes the empty window ``[1, 0]``.
+  Bounds are uint16 so tap counts up to 8k bits stay exact.
+* **Graceful degradation.**  ``REPRO_CC=0`` (or ``off``/``false``/
+  ``no``), a missing compiler, or a failed build all surface as
+  ``build_conv_fires(...) -> None`` with the reason recorded — callers
+  keep the NumPy matcher and :func:`cc_info` reports why.
+* ctypes releases the GIL for the call, so thread executors overlap
+  compute; the kernel itself is pure and re-entrant.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+
+import numpy as np
+
+__all__ = [
+    "build_conv_fires",
+    "cc_enabled",
+    "cc_info",
+    "reset_cc",
+]
+
+_ENV_FLAG = "REPRO_CC"
+_OFF_VALUES = {"0", "false", "off", "no"}
+
+_C_TEMPLATE = r"""
+#include <stdint.h>
+#include <stddef.h>
+
+#define TAPS {taps}
+
+void conv_fires(const uint8_t *restrict vol,
+                const int64_t *restrict offs,
+                const uint8_t *restrict tables,
+                const uint16_t *restrict blo,
+                const uint16_t *restrict bhi,
+                uint8_t *restrict fires,
+                int64_t batch, int64_t height, int64_t width,
+                int64_t img_stride, int64_t row_stride, int64_t col_stride,
+                int64_t o)
+{{
+    const uint8_t *rows[TAPS];
+    for (int64_t bi = 0; bi < batch; ++bi) {{
+        for (int64_t i = 0; i < height; ++i) {{
+            const uint8_t *base = vol + bi * img_stride + i * row_stride;
+            for (int64_t j = 0; j < width; ++j) {{
+                const uint8_t *pos = base + j * col_stride;
+                for (int t = 0; t < TAPS; ++t)
+                    rows[t] = tables + ((size_t)t * 256 + pos[offs[t]]) * (size_t)o;
+                for (int64_t c = 0; c < o; ++c) {{
+                    unsigned acc = 0;
+                    for (int t = 0; t < TAPS; ++t)
+                        acc += rows[t][c];
+                    *fires++ = (uint8_t)((blo[c] <= acc) & (acc <= bhi[c]));
+                }}
+            }}
+        }}
+    }}
+}}
+"""
+
+_lock = threading.Lock()
+_libs: dict[int, ctypes.CDLL | None] = {}
+_reasons: dict[int, str] = {}
+_global_reason: str | None = None
+
+
+def cc_enabled() -> bool:
+    """Whether the compiled conv backend is allowed by the environment."""
+    return os.environ.get(_ENV_FLAG, "1").strip().lower() not in _OFF_VALUES
+
+
+def reset_cc() -> None:
+    """Drop cached libraries/reasons (tests toggling availability)."""
+    global _global_reason
+    with _lock:
+        _libs.clear()
+        _reasons.clear()
+        _global_reason = None
+
+
+def cc_info() -> dict:
+    """Availability snapshot for :func:`repro.vsa.kernels.kernel_info`."""
+    compiled = sorted(taps for taps, lib in _libs.items() if lib is not None)
+    reason = _global_reason
+    if reason is None and _reasons:
+        reason = next(iter(_reasons.values()))
+    return {
+        "cc_conv_enabled": cc_enabled(),
+        "cc_conv_compiled_taps": compiled,
+        "cc_conv_unavailable_reason": reason,
+    }
+
+
+def _cache_dir() -> str:
+    path = os.path.join(
+        tempfile.gettempdir(), f"repro-cc-{os.getuid()}"
+    )
+    os.makedirs(path, mode=0o700, exist_ok=True)
+    return path
+
+
+def _compile(taps: int) -> ctypes.CDLL:
+    source = _C_TEMPLATE.format(taps=taps)
+    digest = hashlib.sha256(source.encode()).hexdigest()[:12]
+    cache = _cache_dir()
+    so_path = os.path.join(cache, f"conv{taps}-{digest}.so")
+    if not os.path.exists(so_path):
+        gcc = shutil.which("gcc") or shutil.which("cc")
+        if gcc is None:
+            raise RuntimeError("no C compiler (gcc/cc) on PATH")
+        fd, c_path = tempfile.mkstemp(suffix=".c", dir=cache)
+        with os.fdopen(fd, "w") as fh:
+            fh.write(source)
+        tmp_so = c_path[:-2] + ".so"
+        base = [gcc, "-O3", "-shared", "-fPIC", "-o", tmp_so, c_path]
+        try:
+            attempts = (
+                base[:1] + ["-march=native", "-funroll-loops"] + base[1:],
+                base,
+            )
+            last = None
+            for cmd in attempts:
+                last = subprocess.run(cmd, capture_output=True, text=True)
+                if last.returncode == 0:
+                    break
+            if last is None or last.returncode != 0:
+                stderr = (last.stderr or "").strip() if last else ""
+                raise RuntimeError(f"cc build failed: {stderr[:400]}")
+            os.replace(tmp_so, so_path)
+        finally:
+            for leftover in (c_path, tmp_so):
+                try:
+                    os.unlink(leftover)
+                except OSError:
+                    pass
+    lib = ctypes.CDLL(so_path)
+    fn = lib.conv_fires
+    fn.restype = None
+    fn.argtypes = [ctypes.c_void_p] * 6 + [ctypes.c_int64] * 7
+    return lib
+
+
+def _load(taps: int) -> ctypes.CDLL | None:
+    global _global_reason
+    with _lock:
+        if taps in _libs:
+            return _libs[taps]
+        try:
+            lib = _compile(taps)
+        except Exception as exc:  # pragma: no cover - host-dependent
+            _libs[taps] = None
+            _reasons[taps] = str(exc)
+            _global_reason = str(exc)
+            return None
+        _libs[taps] = lib
+        return lib
+
+
+_POP8 = np.array([bin(v).count("1") for v in range(256)], dtype=np.uint8)
+
+
+def build_conv_fires(tap_bytes, bound, flip, k, nb):
+    """Build a compiled fires function for one engine's conv operands.
+
+    ``tap_bytes`` is the ``(O, k*k*nb)`` uint8 kernel-tap plane in operand
+    order, ``bound``/``flip`` the XOR-space threshold encoding from
+    ``BitPackedUniVSA._init_fused``.  Returns
+    ``fires_fn(padded_volume_bytes) -> (B, H*W, O) uint8`` operating on
+    the zero-padded ``(B, H+k-1, W+k-1, nb)`` DVP byte volume, or
+    ``None`` when the compiled backend is unavailable (reason recorded in
+    :func:`cc_info`).
+    """
+    global _global_reason
+    if not cc_enabled():
+        _global_reason = f"disabled via {_ENV_FLAG}"
+        return None
+    tap_bytes = np.ascontiguousarray(np.asarray(tap_bytes, dtype=np.uint8))
+    o, taps = tap_bytes.shape
+    if taps != k * k * nb:
+        _global_reason = f"tap layout mismatch: {taps} != {k}*{k}*{nb}"
+        return None
+    lib = _load(taps)
+    if lib is None:
+        return None
+    fn = lib.conv_fires
+
+    # (taps, 256, O): per-tap XOR popcount rows, uint8 (each <= 8).
+    byte_values = np.arange(256, dtype=np.uint8)
+    tables = np.ascontiguousarray(
+        _POP8[byte_values[None, :, None] ^ tap_bytes.T[:, None, :]]
+    )
+    bound = np.asarray(bound, dtype=np.int64)
+    flip = np.asarray(flip, dtype=bool)
+    blo = np.where(
+        flip, np.clip(bound + 1, 0, 0xFFFF), np.where(bound < 0, 1, 0)
+    ).astype(np.uint16)
+    bhi = np.where(flip, 0xFFFF, np.clip(bound, 0, 0xFFFF)).astype(np.uint16)
+    blo = np.ascontiguousarray(blo)
+    bhi = np.ascontiguousarray(bhi)
+
+    offs_cache: dict[tuple[int, int], np.ndarray] = {}
+
+    def _offsets(wp: int) -> np.ndarray:
+        key = (wp, nb)
+        offs = offs_cache.get(key)
+        if offs is None:
+            row_stride = wp * nb
+            kh, kw, cb = np.meshgrid(
+                np.arange(k), np.arange(k), np.arange(nb), indexing="ij"
+            )
+            offs = (kh * row_stride + kw * nb + cb).reshape(-1).astype(np.int64)
+            offs = np.ascontiguousarray(offs)
+            offs_cache[key] = offs
+        return offs
+
+    def fires_fn(padded: np.ndarray) -> np.ndarray:
+        padded = np.ascontiguousarray(padded)
+        b, hp, wp, nb_local = padded.shape
+        h = hp - (k - 1)
+        w = wp - (k - 1)
+        offs = _offsets(wp)
+        out = np.empty((b, h * w, o), dtype=np.uint8)
+        fn(
+            padded.ctypes.data_as(ctypes.c_void_p),
+            offs.ctypes.data_as(ctypes.c_void_p),
+            tables.ctypes.data_as(ctypes.c_void_p),
+            blo.ctypes.data_as(ctypes.c_void_p),
+            bhi.ctypes.data_as(ctypes.c_void_p),
+            out.ctypes.data_as(ctypes.c_void_p),
+            b,
+            h,
+            w,
+            hp * wp * nb_local,
+            wp * nb_local,
+            nb_local,
+            o,
+        )
+        return out
+
+    fires_fn.taps = taps  # type: ignore[attr-defined]
+    fires_fn.backend = "cc"  # type: ignore[attr-defined]
+    return fires_fn

@@ -474,14 +474,13 @@ class TestProcessExecutor:
         futures = {0: survived, 1: real_error, 2: lost}
         parts = [np.zeros((4, 1)), None, None, None]
         submitted = []
-        monkeypatch.setattr(runner, "_replace_pool", lambda: "fresh-pool")
+        monkeypatch.setattr(runner, "_replace_pool", lambda stale=None: "fresh-pool")
         monkeypatch.setattr(
             runner,
             "_submit",
-            lambda pool, shard, attempt, levels, span=None: submitted.append(
-                (shard, attempt)
-            )
-            or f"resubmitted-{shard}",
+            lambda pool, shard, attempt, levels, span=None, segments=None: (
+                submitted.append((shard, attempt)) or f"resubmitted-{shard}"
+            ),
         )
         clean = np.zeros((16,) + SHAPE, dtype=np.intp)
         runner._recover_pool(
@@ -493,6 +492,90 @@ class TestProcessExecutor:
         assert futures[2] == "resubmitted-2"
         assert statuses[2].retries == 1
         assert statuses[2].errors == ["BrokenProcessPool"]
+
+    def test_recover_pool_passes_stale_pool(self, engine, monkeypatch):
+        """Recovery must replace only the pool the broken future ran on.
+
+        Pipelined batches share one pool: if a sibling batch already
+        swapped the broken executor for a fresh one, an unconditional
+        replace would shut the healthy replacement down mid-flight and
+        cascade the breakage back to the sibling."""
+        runner = ResilientBatchRunner(
+            engine, executor="process", policy=FAST_POLICY, chaos=ChaosSpec()
+        )
+        statuses = [ShardStatus(0, 0, 4)]
+        seen = []
+        monkeypatch.setattr(
+            runner,
+            "_replace_pool",
+            lambda stale=None: seen.append(stale) or "fresh-pool",
+        )
+        runner._recover_pool(
+            statuses,
+            {},
+            np.zeros((4,) + SHAPE, dtype=np.intp),
+            [None],
+            MetricsRegistry(),
+            current=0,
+            pools={0: "broken-pool"},
+        )
+        assert seen == ["broken-pool"]
+
+
+class TestPipelinedConcurrency:
+    """Concurrent batches through ONE shared process runner stay bit-exact.
+
+    This is what ``max_inflight=2`` serving does: two executor threads
+    interleave ``runner.run()`` on the same pool, arena, and operand
+    plane, with micro-batches of varying sizes.  The varied sizes churn
+    the workers' attach cache past its LRU bound — the regression this
+    pins down is an eviction unmapping pages under the worker engine's
+    live operand views (segfault → chaos-free BrokenProcessPool →
+    recovery churn corrupting innocent batches)."""
+
+    def test_concurrent_varied_batches_bit_exact(self, engine):
+        import threading
+
+        registry = MetricsRegistry()
+        failures = []
+        with using_registry(registry):
+            with ResilientBatchRunner(
+                engine,
+                shard_size=8,
+                workers=2,
+                executor="process",
+                policy=FAST_POLICY,
+                chaos=ChaosSpec(),
+            ) as runner:
+
+                def drive(tid):
+                    gen = np.random.default_rng(tid)
+                    for it in range(6):
+                        n = int(gen.integers(17, 33))
+                        levels = _levels_batch(n, seed=tid * 100 + it)
+                        result = runner.run(levels)
+                        expected = engine.scores(levels)
+                        if not np.array_equal(result.scores, expected):
+                            failures.append((tid, it, "scores diverged"))
+                        bad = [
+                            (s.index, s.status, s.errors)
+                            for s in result.report.shards
+                            if s.status != "ok" or s.errors
+                        ]
+                        if bad:
+                            failures.append((tid, it, bad))
+
+                threads = [
+                    threading.Thread(target=drive, args=(t,)) for t in range(2)
+                ]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+        assert failures == []
+        # Chaos-free concurrency must not break a single pool worker.
+        assert registry.counter("resilience.broken_pools").value == 0
+        assert registry.counter("resilience.errors").value == 0
 
 
 class TestCrashGating:

@@ -855,3 +855,184 @@ class TestChaosServing:
         assert [r.status for r in responses] == ["ok"] * 12
         assert [r.label for r in responses] == list(expected)
         assert registry.counter("resilience.retries").value >= 1
+
+
+class _GatedRunner:
+    """Scripted runner whose batches block on per-ordinal gates, so tests
+    control exactly when each pipelined batch's compute finishes."""
+
+    def __init__(self, chaos=None):
+        self.engine = _FakeEngine()
+        self.chaos = chaos
+        self.gates = [threading.Event() for _ in range(8)]
+        self.started = []
+        self._lock = threading.Lock()
+        self._running = 0
+        self.concurrent_max = 0
+
+    def run(self, levels):
+        with self._lock:
+            ordinal = len(self.started)
+            self.started.append(len(levels))
+            self._running += 1
+            self.concurrent_max = max(self.concurrent_max, self._running)
+        try:
+            assert self.gates[ordinal].wait(timeout=10.0), "gate never opened"
+            n = len(levels)
+            return BatchResult(
+                scores=np.tile(np.arange(3.0), (n, 1)),
+                # label = batch ordinal, so fan-out order is observable
+                predictions=np.full(n, ordinal, dtype=np.int64),
+                report=BatchReport(batch=n),
+            )
+        finally:
+            with self._lock:
+                self._running -= 1
+
+
+class TestPipelinedServing:
+    """max_inflight > 1: overlapped execution, FIFO fan-out, back
+    pressure, barrier-serialized scrubs, corrupt-chaos slot pinning."""
+
+    def _policy(self, **kw):
+        kw.setdefault("max_batch", 1)
+        kw.setdefault("deadline_ms", 5000.0)
+        kw.setdefault("flush_margin_ms", 0.0)
+        return ServePolicy(**kw)
+
+    def test_batches_overlap_and_fan_out_fifo(self):
+        runner = _GatedRunner()
+        registry = MetricsRegistry()
+        order = []
+
+        async def scenario():
+            async with MicroBatchServer(
+                runner, self._policy(max_inflight=2)
+            ) as server:
+                tasks = []
+                for i in range(2):
+                    task = asyncio.ensure_future(server.submit(_samples(1, seed=i)[0]))
+                    task.add_done_callback(lambda _t, i=i: order.append(i))
+                    tasks.append(task)
+                # both batches must be *executing concurrently*
+                for _ in range(200):
+                    if len(runner.started) == 2:
+                        break
+                    await asyncio.sleep(0.01)
+                assert len(runner.started) == 2, "second batch never dispatched"
+                assert server.inflight_batches == 2
+                # finish batch 1 first: FIFO fan-out must still hold it
+                # behind batch 0
+                runner.gates[1].set()
+                await asyncio.sleep(0.05)
+                assert not tasks[1].done(), "batch 1 fanned out before batch 0"
+                runner.gates[0].set()
+                return await asyncio.gather(*tasks)
+
+        with using_registry(registry):
+            responses = asyncio.run(scenario())
+        assert runner.concurrent_max == 2
+        assert order == [0, 1]
+        assert [r.label for r in responses] == [0, 1]
+        assert registry.gauge("serve.pipeline.inflight_max").value == 2.0
+        assert registry.gauge("serve.pipeline.slots").value == 2.0
+        assert registry.counter("serve.pipeline.dispatched").value == 2
+
+    def test_max_inflight_one_serializes(self):
+        runner = _GatedRunner()
+        for gate in runner.gates:
+            gate.set()  # nothing blocks; we only watch concurrency
+
+        async def scenario():
+            async with MicroBatchServer(
+                runner, self._policy(max_inflight=1)
+            ) as server:
+                return await server.submit_many(_samples(6, seed=3))
+
+        with using_registry(MetricsRegistry()):
+            responses = asyncio.run(scenario())
+        assert all(r.ok for r in responses)
+        assert runner.concurrent_max == 1
+
+    def test_backpressure_holds_dispatch_at_the_cap(self):
+        runner = _GatedRunner()
+
+        async def scenario():
+            async with MicroBatchServer(
+                runner, self._policy(max_inflight=2)
+            ) as server:
+                tasks = [
+                    asyncio.ensure_future(server.submit(_samples(1, seed=i)[0]))
+                    for i in range(3)
+                ]
+                for _ in range(200):
+                    if len(runner.started) == 2:
+                        break
+                    await asyncio.sleep(0.01)
+                # the third batch must NOT start while two fill the pipe
+                await asyncio.sleep(0.05)
+                assert len(runner.started) == 2
+                for gate in runner.gates:
+                    gate.set()
+                return await asyncio.gather(*tasks)
+
+        with using_registry(MetricsRegistry()):
+            responses = asyncio.run(scenario())
+        assert [r.label for r in responses] == [0, 1, 2]
+
+    def test_scrub_waits_for_pipeline_barrier(self):
+        runner = _GatedRunner()
+        events = []
+
+        class _FakeScrubber:
+            def scrub(self):
+                events.append("scrub")
+                return "scrubbed"
+
+        registry = MetricsRegistry()
+
+        async def scenario():
+            async with MicroBatchServer(
+                runner,
+                self._policy(max_inflight=2),
+                scrubber=_FakeScrubber(),
+                scrub_interval_s=0,
+            ) as server:
+                submit = asyncio.ensure_future(server.submit(_samples(1)[0]))
+                for _ in range(200):
+                    if runner.started:
+                        break
+                    await asyncio.sleep(0.01)
+                scrub = asyncio.ensure_future(server.scrub())
+                await asyncio.sleep(0.05)
+                # batch 0 still executing: the scrub must be parked at
+                # the barrier, not running
+                assert not scrub.done() and events == []
+                runner.gates[0].set()
+                report = await scrub
+                events.append("released")
+                # dispatch reopens after the barrier: serving continues
+                runner.gates[1].set()
+                follow_up = await server.submit(_samples(1, seed=9)[0])
+                return (await submit), report, follow_up
+
+        with using_registry(registry):
+            first, report, follow_up = asyncio.run(scenario())
+        assert first.ok and follow_up.ok
+        assert report == "scrubbed"
+        assert events == ["scrub", "released"]
+        assert registry.counter("serve.pipeline.barriers").value == 1
+
+    def test_corrupt_chaos_pins_pipeline_to_one_slot(self):
+        runner = _GatedRunner(chaos=ChaosSpec(corrupt_rate=0.5))
+        for gate in runner.gates:
+            gate.set()
+
+        async def scenario():
+            async with MicroBatchServer(
+                runner, self._policy(max_inflight=2)
+            ) as server:
+                return server._slots
+
+        with using_registry(MetricsRegistry()):
+            assert asyncio.run(scenario()) == 1

@@ -86,6 +86,81 @@ class TestSharedArray:
             evict_attachments()  # release the mapping before unlink
 
 
+class TestAttachmentPinning:
+    """Live views must pin their mapping across attach-cache eviction.
+
+    The worker's attach cache is a bounded LRU: pipelined serving with
+    varied micro-batch sizes churns enough segment names to evict any
+    entry — including the operand plane the engine's resident views
+    alias.  A view built over an evicted attachment must keep the pages
+    mapped (np.frombuffer's buffer export); the old np.ndarray(buffer=)
+    construction let the munmap through, and workers then segfaulted or
+    silently read recycled pages mid-``scores``.
+    """
+
+    def test_view_survives_eviction(self):
+        data = np.arange(40, dtype=np.int64).reshape(10, 4)
+        with SharedArray(data) as shared:
+            view = attach_view(shared.descriptor(), 2, 7)
+            evict_attachments()  # simulates LRU pressure mid-task
+            np.testing.assert_array_equal(view, data[2:7])
+            del view
+            evict_attachments()
+
+    def test_writable_view_write_lands_after_eviction(self):
+        with SharedArray.allocate((6, 3), np.int64) as shared:
+            out = attach_view(shared.descriptor(), 1, 4, writable=True)
+            evict_attachments()
+            out[...] = np.arange(9).reshape(3, 3)
+            np.testing.assert_array_equal(
+                shared.view()[1:4], np.arange(9).reshape(3, 3)
+            )
+            del out
+            evict_attachments()
+
+    def test_plane_views_survive_eviction(self):
+        from repro.runtime.shm import OperandPlane, attach_plane
+
+        arrays = {
+            "table": np.arange(64, dtype=np.uint64).reshape(8, 8),
+            "bytes": np.arange(24, dtype=np.uint8),
+        }
+        plane = OperandPlane(arrays, {"tag": 7})
+        try:
+            attached, meta = attach_plane(plane.descriptor())
+            assert meta == {"tag": 7}
+            evict_attachments()  # the engine outlives cache entries
+            for name, original in arrays.items():
+                np.testing.assert_array_equal(attached[name], original)
+                assert not attached[name].flags.writeable
+        finally:
+            attached = None
+            evict_attachments()
+            plane.dispose()
+
+    def test_view_survives_lru_churn(self):
+        """Churning >cache-size distinct names must not unmap the first."""
+        from repro.runtime.shm import _ATTACH_CACHE_SIZE
+
+        data = np.arange(30, dtype=np.int64).reshape(5, 6)
+        keep = SharedArray(data)
+        churn = [
+            SharedArray(np.full((2, 2), i, dtype=np.int64))
+            for i in range(_ATTACH_CACHE_SIZE + 4)
+        ]
+        try:
+            view = attach_view(keep.descriptor(), 0, 5)
+            for seg in churn:  # evicts ``keep``'s attachment from the LRU
+                attach_view(seg.descriptor(), 0, 2)
+            np.testing.assert_array_equal(view, data)
+        finally:
+            del view
+            evict_attachments()
+            keep.dispose()
+            for seg in churn:
+                seg.dispose()
+
+
 class TestResolveShm:
     def test_thread_executor_never_uses_shm(self, monkeypatch):
         monkeypatch.setenv("REPRO_SHM", "1")
@@ -119,11 +194,18 @@ class TestBatchRunnerShm:
             ) as runner:
                 assert runner.use_shm
                 np.testing.assert_array_equal(runner.scores(levels), expected)
-        assert registry.counter("batch.shm.segments").value == 1
-        assert registry.counter("batch.shm.bytes_shared").value == levels.nbytes
+        # request plane + result plane, one segment each
+        assert registry.counter("batch.shm.segments").value == 2
+        out_bytes = 12 * engine.artifacts.n_classes * np.dtype(np.int64).itemsize
+        assert (
+            registry.counter("batch.shm.bytes_shared").value
+            == levels.nbytes + out_bytes
+        )
         # workers report their attaches through the telemetry delta
         assert registry.counter("batch.shm.attach").value >= 1
         assert registry.counter("batch.bytes_pickled").value == 0
+        # the return leg is spans, not pickled score arrays
+        assert registry.counter("batch.bytes_pickled_return").value == 0
 
     def test_process_without_shm_pickles(self, engine):
         levels = _levels_batch(8, seed=2)
@@ -151,11 +233,12 @@ class TestResilientShm:
         assert report.ok
         assert report.shard_size == 4
         assert report.n_shards == 4
-        assert report.shm_bytes == levels.nbytes
+        out_bytes = 16 * engine.artifacts.n_classes * np.dtype(np.int64).itemsize
+        assert report.shm_bytes == levels.nbytes + out_bytes
         payload = report.as_dict()
         assert payload["shard_size"] == 4
         assert payload["n_shards"] == 4
-        assert payload["shm_bytes"] == levels.nbytes
+        assert payload["shm_bytes"] == levels.nbytes + out_bytes
 
     def test_crash_recovery_reshares_and_never_leaks(self, engine):
         """A crashed worker breaks the pool mid-batch: recovery must
@@ -177,9 +260,27 @@ class TestResilientShm:
                 result = runner.run(levels)
         np.testing.assert_array_equal(result.scores, expected)
         assert result.report.shards[1].retries >= 1
-        # initial share + one re-share per pool replacement
-        assert registry.counter("batch.shm.segments").value >= 2
-        assert runner._shared is None  # disposed in the finally
+        # initial request+result shares plus a re-share of both per pool
+        # replacement
+        assert registry.counter("batch.shm.segments").value >= 4
+        assert registry.counter("batch.bytes_pickled_return").value == 0
+
+    def test_telemetry_gating_keeps_init_attaches_out_of_deltas(self, engine):
+        """Satellite regression: worker-side shm counters are gated on
+        the telemetry-install flag, and the operand-plane attach in the
+        pool *initializer* happens before telemetry installs — so clean
+        batches report exactly one ``batch.shm.attach`` per shard and
+        zero ``batch.shm.plane_attach`` (no init-work leaking into
+        deltas, no parent/worker asymmetry)."""
+        levels = _levels_batch(16, seed=8)
+        registry = MetricsRegistry()
+        with using_registry(registry):
+            with BatchRunner(
+                engine, shard_size=4, workers=2, executor="process", shm=True
+            ) as runner:
+                runner.scores(levels)
+        assert registry.counter("batch.shm.attach").value == 4  # one per shard
+        assert registry.counter("batch.shm.plane_attach").value == 0
 
     def test_shard_failure_still_disposes_segment(self, engine):
         """Exhausting the ladder on one shard must not leak the batch
@@ -200,4 +301,80 @@ class TestResilientShm:
             result = runner.run(levels)
         assert result.report.shards[0].status == "failed"
         assert sorted(result.report.failed_samples) == list(range(4))
-        assert runner._shared is None
+
+
+class TestSegmentChurn:
+    """Arena behaviour under the planner's sustained-batch churn:
+    same-shape batches must reuse segments (names stay stable so worker
+    attach caches keep hitting), crash recovery must discard-and-replace
+    without leaking, and an operand-plane generation bump must
+    invalidate worker attach caches."""
+
+    def test_arena_reuses_segments_across_same_shape_batches(self, engine):
+        levels = _levels_batch(12, seed=10)
+        expected = engine.scores(levels)
+        with BatchRunner(
+            engine, shard_size=4, workers=2, executor="process", shm=True
+        ) as runner:
+            np.testing.assert_array_equal(runner.scores(levels), expected)
+            first = (runner._arena.allocated, runner._arena.reused)
+            for _ in range(3):
+                np.testing.assert_array_equal(runner.scores(levels), expected)
+            # batch 1 allocates request+result; batches 2-4 reuse both
+            assert runner._arena.allocated == first[0] == 2
+            assert runner._arena.reused == first[1] + 6
+
+    def test_crash_recovery_discards_then_next_batch_reuses_fresh(self, engine):
+        """A BrokenProcessPool mid-batch taints the live segments: they
+        are discarded (names never reissued), replacements are arena
+        pooled, and the next batch runs clean on the fresh names with
+        nothing leaked."""
+        levels = _levels_batch(24, seed=11)
+        expected = engine.scores(levels)
+        with ResilientBatchRunner(
+            engine,
+            shard_size=8,
+            workers=2,
+            executor="process",
+            shm=True,
+            policy=RetryPolicy(max_retries=2, backoff_base_s=0.001),
+            chaos=ChaosSpec(crash_on=frozenset({(1, 0)})),
+        ) as runner:
+            result = runner.run(levels)
+            np.testing.assert_array_equal(result.scores, expected)
+            # recovery acquired a fresh request+result pair
+            assert runner._arena.allocated >= 4
+            reused_before = runner._arena.reused
+            # chaos crashes only on attempt 0 of shard 1; the next batch
+            # runs clean and reuses the post-recovery segments
+            again = runner.run(levels)
+            np.testing.assert_array_equal(again.scores, expected)
+            assert runner._arena.reused >= reused_before + 2
+        assert leaked_segments() == []
+
+    def test_generation_bump_invalidates_worker_attach_cache(self):
+        """``replace_engine`` republishes the operand plane under a new
+        generation; workers detect the bump on their next shard and
+        re-attach — scores must follow the *new* engine, and the
+        re-attach is visible as ``batch.shm.plane_attach``."""
+        model_a = UniVSAModel(SHAPE, 3, CONFIG, mask=_mask(), seed=0)
+        model_b = UniVSAModel(SHAPE, 3, CONFIG, mask=_mask(), seed=7)
+        engine_a = BitPackedUniVSA(extract_artifacts(model_a))
+        engine_b = BitPackedUniVSA(extract_artifacts(model_b))
+        levels = _levels_batch(12, seed=12)
+        expected_a = engine_a.scores(levels)
+        expected_b = engine_b.scores(levels)
+        assert not np.array_equal(expected_a, expected_b)
+        registry = MetricsRegistry()
+        with using_registry(registry):
+            with BatchRunner(
+                engine_a, shard_size=4, workers=2, executor="process", shm=True
+            ) as runner:
+                np.testing.assert_array_equal(runner.scores(levels), expected_a)
+                assert registry.counter("batch.shm.plane_attach").value == 0
+                runner.replace_engine(engine_b)
+                np.testing.assert_array_equal(runner.scores(levels), expected_b)
+        assert registry.gauge("batch.shm.plane_generation").value == 2.0
+        # every live worker that served a post-bump shard re-attached
+        assert registry.counter("batch.shm.plane_attach").value >= 1
+        assert leaked_segments() == []

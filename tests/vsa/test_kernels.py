@@ -235,6 +235,9 @@ class TestDispatch:
             "bitwise_count_available",
             "jit_available",
             "fallback_from",
+            "cc_conv_enabled",
+            "cc_conv_compiled_taps",
+            "cc_conv_unavailable_reason",
         }
         legacy = kernel_info(LEGACY_KERNELS)
         assert legacy["set"] == "legacy"
